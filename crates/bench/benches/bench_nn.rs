@@ -1,0 +1,43 @@
+//! Performance companion to E11/E13: MSY3I inference (squeezed vs full
+//! conv) and GAN training steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcr_nn::gan::{GanConfig, GanTrainer, RingMixture};
+use rcr_nn::msy3i::{BackboneKind, Msy3iConfig, Msy3iModel};
+use rcr_nn::tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_msy3i_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msy3i_infer");
+    group.sample_size(30);
+    for kind in [BackboneKind::FullConv, BackboneKind::Squeezed] {
+        let mut model =
+            Msy3iModel::build(&Msy3iConfig { kind, ..Default::default() }).expect("build");
+        let x = Tensor::zeros(vec![4, 1, 16, 16]);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &x,
+            |b, x| b.iter(|| model.infer(black_box(x)).expect("infer")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gan_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gan_train");
+    group.sample_size(10);
+    let target = RingMixture::new(8, 2.0, 0.15).expect("mixture");
+    for &gens in &[1usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(gens), &gens, |b, &gens| {
+            b.iter(|| {
+                let cfg = GanConfig { num_generators: gens, steps: 50, seed: 1, ..Default::default() };
+                let mut t = GanTrainer::new(cfg).expect("config");
+                t.train(black_box(&target)).expect("train")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_msy3i_inference, bench_gan_steps);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Performance companion to E4/E5: PSO generations per second across
+//! swarm sizes and discretization strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcr_pso::benchfn::BenchFunction;
+use rcr_pso::discrete::{minimize_mixed, DiscreteStrategy, VarSpec};
+use rcr_pso::swarm::{PsoSettings, Swarm};
+use std::hint::black_box;
+
+fn bench_continuous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pso_continuous");
+    group.sample_size(20);
+    let f = BenchFunction::Rastrigin;
+    for &swarm in &[10usize, 30] {
+        let settings = PsoSettings { swarm_size: swarm, max_iter: 100, seed: 1, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(swarm), &settings, |b, s| {
+            b.iter(|| {
+                Swarm::minimize(|x| f.eval(x), black_box(&f.bounds(5)), s).expect("minimize")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_discrete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pso_discrete");
+    group.sample_size(20);
+    let specs = vec![VarSpec::Integer { lo: -20, hi: 20 }; 4];
+    let obj = |z: &[f64]| z.iter().map(|v| (v * 0.3).sin() * 2.0 + 0.01 * v * v).sum::<f64>();
+    for strat in [DiscreteStrategy::Rounding, DiscreteStrategy::Distribution] {
+        let settings = PsoSettings { swarm_size: 15, max_iter: 100, seed: 1, ..Default::default() };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strat:?}")),
+            &settings,
+            |b, s| b.iter(|| minimize_mixed(obj, black_box(&specs), strat, s).expect("minimize")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_continuous, bench_discrete);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Performance companion to E12: solver runtime scaling on RRA
+//! scenarios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcr_minlp::BnbSettings;
+use rcr_pso::swarm::PsoSettings;
+use rcr_qos::rra::{solve_exact, solve_greedy, solve_pso};
+use rcr_qos::workload::{Scenario, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rra");
+    group.sample_size(10);
+    for &(users, rbs) in &[(3usize, 6usize), (4, 8)] {
+        let scenario = Scenario::generate(
+            &ScenarioConfig { users, resource_blocks: rbs, ..Default::default() },
+            42,
+        )
+        .expect("scenario");
+        let label = format!("{users}u{rbs}rb");
+        // The exact solver is only benched at the smallest size — at 4x8
+        // a single solve already takes seconds (see table_e12_qos).
+        if users == 3 {
+            group.bench_with_input(BenchmarkId::new("exact", &label), &scenario, |b, s| {
+                b.iter(|| solve_exact(black_box(&s.rra), &BnbSettings::default()).expect("exact"))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("greedy", &label), &scenario, |b, s| {
+            b.iter(|| solve_greedy(black_box(&s.rra)).expect("greedy"))
+        });
+        let pso = PsoSettings { swarm_size: 10, max_iter: 20, seed: 1, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("pso", &label), &scenario, |b, s| {
+            b.iter(|| solve_pso(black_box(&s.rra), &pso).expect("pso"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

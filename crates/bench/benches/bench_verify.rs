@@ -1,0 +1,40 @@
+//! Performance companion to E10: the cost ladder IBP → CROWN → exact
+//! branch-and-bound, on a trained classifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_core::robust::{train_classifier, BlobData, RobustTrainConfig, TrainMode};
+use rcr_verify::bounds::interval_bounds;
+use rcr_verify::crown::crown_lower;
+use rcr_verify::exact::{verify_complete, BnbSettings};
+use rcr_verify::net::Specification;
+use std::hint::black_box;
+
+fn bench_verifiers(c: &mut Criterion) {
+    let data = BlobData::generate(40, 3);
+    let cfg = RobustTrainConfig { mode: TrainMode::Standard, epochs: 60, ..Default::default() };
+    let model = train_classifier(&data, &cfg).expect("training");
+    let net = model.to_affine_relu().expect("extraction");
+    let spec = Specification::margin(2, 1, 0).expect("spec");
+    let center = [1.0, 0.0];
+    let eps = 0.25;
+    let bx = [(center[0] - eps, center[0] + eps), (center[1] - eps, center[1] + eps)];
+
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(30);
+    group.bench_function("ibp", |b| {
+        b.iter(|| interval_bounds(black_box(&net), black_box(&bx)).expect("ibp"))
+    });
+    group.bench_function("crown", |b| {
+        b.iter(|| crown_lower(black_box(&net), black_box(&bx), &spec).expect("crown"))
+    });
+    group.bench_function("exact_bnb", |b| {
+        b.iter(|| {
+            verify_complete(black_box(&net), black_box(&bx), &spec, &BnbSettings::default())
+                .expect("bnb")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verifiers);
+criterion_main!(benches);

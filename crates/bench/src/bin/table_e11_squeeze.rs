@@ -1,0 +1,68 @@
+//! E11 — fire-layer squeezing: MSY3I vs the full-conv baseline on the
+//! burst-detection task (parameters, inference time, AP).
+
+use rcr_bench::{banner, Table};
+use rcr_nn::detect::{BurstConfig, BurstDataset};
+use rcr_nn::msy3i::{BackboneKind, Msy3iConfig, Msy3iModel};
+use rcr_nn::tensor::Tensor;
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "E11",
+        "fire-layer parameter squeeze vs detection quality",
+        "§II-B-1, refs [5-7]",
+    );
+    let burst = BurstConfig { count: 128, bursts: (1, 1), noise: 0.1, ..Default::default() };
+    let train = BurstDataset::generate(&burst, 1).expect("dataset");
+    let eval = BurstDataset::generate(&BurstConfig { count: 32, ..burst }, 2).expect("dataset");
+
+    let table = Table::new(&[
+        ("backbone", 10),
+        ("params", 8),
+        ("ratio", 7),
+        ("AP@0.5", 8),
+        ("AP@0.3", 8),
+        ("train ms", 9),
+        ("infer µs", 9),
+    ]);
+    let mut full_params = 0usize;
+    for (kind, special_fire) in [
+        (BackboneKind::FullConv, false),
+        (BackboneKind::Squeezed, false),
+        (BackboneKind::Squeezed, true),
+    ] {
+        let cfg = Msy3iConfig { kind, special_fire, seed: 7, ..Default::default() };
+        let mut model = Msy3iModel::build(&cfg).expect("buildable");
+        let params = model.param_count();
+        if kind == BackboneKind::FullConv {
+            full_params = params;
+        }
+        let t0 = Instant::now();
+        let report = model.train(&train, &eval, 80, 8, 6e-3).expect("training");
+        let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let ap_loose = model.evaluate_at(&eval, 0.1, 0.3).expect("evaluation");
+        // Inference timing.
+        let x = Tensor::zeros(vec![1, 1, 16, 16]);
+        let t1 = Instant::now();
+        let reps = 50;
+        for _ in 0..reps {
+            model.infer(&x).expect("inference");
+        }
+        let infer_us = t1.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        table.row(&[
+            if special_fire { "SFL".to_owned() } else { format!("{kind:?}") },
+            params.to_string(),
+            format!("{:.2}", params as f64 / full_params as f64),
+            format!("{:.3}", report.ap),
+            format!("{:.3}", ap_loose),
+            format!("{train_ms:.0}"),
+            format!("{infer_us:.0}"),
+        ]);
+    }
+    println!();
+    println!("expectation (paper): 'the number of model parameters in MSY3I will be");
+    println!("lower than that of just YOLO v3 with only the slightest degradation in");
+    println!("performance' — the squeezed backbone cuts parameters by >2x with AP in");
+    println!("the same band as the full-conv baseline.");
+}

@@ -1,0 +1,126 @@
+//! E12 — the RRA MINLP solver comparison: exact B&B vs PSO vs greedy vs
+//! the convex relaxation bound, across scenario sizes.
+//!
+//! The exact solver runs only where its combinatorics allow (≤ 4 users ×
+//! 8 RBs finishes in seconds; the next size up runs for minutes — that
+//! wall *is* the paper's motivation for metaheuristics). Larger scenarios
+//! report each heuristic's gap against the convex relaxation bound, which
+//! is always available.
+
+use rcr_bench::{banner, fmt, Table};
+use rcr_core::qos_entry::{compare_solvers, SolverKind};
+use rcr_minlp::BnbSettings;
+use rcr_pso::swarm::PsoSettings;
+use rcr_qos::rra::{relaxation_bound_bps, solve_greedy, solve_pso};
+use rcr_qos::workload::{Scenario, ScenarioConfig};
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "E12",
+        "RRA: exact vs PSO vs greedy vs relaxation bound",
+        "§I (RRA formulation), §II-A (PSO for MINLP)",
+    );
+    let table = Table::new(&[
+        ("users", 6),
+        ("RBs", 5),
+        ("solver", 12),
+        ("rate Mb/s", 10),
+        ("SE b/s/Hz", 10),
+        ("QoS ok", 7),
+        ("vs bound%", 10),
+        ("ms", 9),
+    ]);
+
+    // Small scenarios: the full three-way comparison with proven optima.
+    for &(users, rbs) in &[(3usize, 6usize), (4, 8)] {
+        let scenario = Scenario::generate(
+            &ScenarioConfig { users, resource_blocks: rbs, ..Default::default() },
+            42 + users as u64,
+        )
+        .expect("scenario");
+        let pso = PsoSettings { swarm_size: 24, max_iter: 80, seed: 3, ..Default::default() };
+        let bnb = BnbSettings { max_nodes: 500_000, ..Default::default() };
+        let cmp = compare_solvers(&scenario, &bnb, &pso).expect("comparison");
+        let bound = cmp.relaxation_bound_bps;
+        for outcome in &cmp.outcomes {
+            let (rate, se, ok, gap) = match &outcome.solution {
+                Some(s) => (
+                    fmt(s.total_rate_bps / 1e6),
+                    fmt(s.spectral_efficiency),
+                    if s.qos_satisfied { "yes" } else { "NO" }.to_owned(),
+                    format!("{:.2}", 100.0 * (bound - s.total_rate_bps) / bound),
+                ),
+                None => ("-".to_owned(), "-".to_owned(), "fail".to_owned(), "-".to_owned()),
+            };
+            table.row(&[
+                users.to_string(),
+                rbs.to_string(),
+                outcome.solver.name().to_owned(),
+                rate,
+                se,
+                ok,
+                gap,
+                format!("{:.1}", outcome.seconds * 1e3),
+            ]);
+        }
+        if let Some(g) = cmp.gap_vs_exact(SolverKind::Pso) {
+            println!("    (PSO gap vs proven optimum: {:.2}%)", 100.0 * g);
+        }
+    }
+
+    // Larger scenarios: the exact solver's tree explodes (that wall is the
+    // paper's point) — heuristics are certified against the bound alone.
+    for &(users, rbs) in &[(6usize, 12usize), (8, 16)] {
+        let scenario = Scenario::generate(
+            &ScenarioConfig { users, resource_blocks: rbs, ..Default::default() },
+            42 + users as u64,
+        )
+        .expect("scenario");
+        let bound = relaxation_bound_bps(&scenario.rra);
+        table.row(&[
+            users.to_string(),
+            rbs.to_string(),
+            "exact (B&B)".to_owned(),
+            "-".to_owned(),
+            "-".to_owned(),
+            "-".to_owned(),
+            "(tree explodes)".to_owned(),
+            "-".to_owned(),
+        ]);
+        let pso_settings =
+            PsoSettings { swarm_size: 24, max_iter: 80, seed: 3, ..Default::default() };
+        let t0 = Instant::now();
+        if let Ok(s) = solve_pso(&scenario.rra, &pso_settings) {
+            table.row(&[
+                users.to_string(),
+                rbs.to_string(),
+                "PSO".to_owned(),
+                fmt(s.total_rate_bps / 1e6),
+                fmt(s.spectral_efficiency),
+                if s.qos_satisfied { "yes" } else { "NO" }.to_owned(),
+                format!("{:.2}", 100.0 * (bound - s.total_rate_bps) / bound),
+                format!("{:.1}", t0.elapsed().as_secs_f64() * 1e3),
+            ]);
+        }
+        let t0 = Instant::now();
+        if let Ok(s) = solve_greedy(&scenario.rra) {
+            table.row(&[
+                users.to_string(),
+                rbs.to_string(),
+                "greedy".to_owned(),
+                fmt(s.total_rate_bps / 1e6),
+                fmt(s.spectral_efficiency),
+                if s.qos_satisfied { "yes" } else { "NO" }.to_owned(),
+                format!("{:.2}", 100.0 * (bound - s.total_rate_bps) / bound),
+                format!("{:.1}", t0.elapsed().as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    println!();
+    println!("expectation (paper): the exact solver attains the best feasible rate but");
+    println!("its runtime grows combinatorially with users x RBs (unusable past ~4x8);");
+    println!("PSO lands within a few percent of the bound in bounded time ('good enough");
+    println!("near-optimum solutions in relatively few iterations', §II-A); greedy is");
+    println!("fastest, loosest, and can violate QoS; the convex relaxation certifies all.");
+}

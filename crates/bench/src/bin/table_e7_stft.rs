@@ -1,0 +1,83 @@
+//! E7 — the Eq. 5 vs Eq. 6 STFT phase skew: magnitude agreement, phase
+//! disagreement growing with window length, and exact recovery by the
+//! point-wise phase-factor correction.
+
+use rcr_bench::{banner, fmt, Table};
+use rcr_signal::stft::{PhaseConvention, Stft, StftPlan};
+use rcr_signal::window::{window, WindowKind, WindowSymmetry};
+
+fn test_signal(len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let t = i as f64;
+            (0.21 * t).sin() + 0.5 * (0.57 * t + 0.3).cos()
+        })
+        .collect()
+}
+
+fn main() {
+    banner("E7", "stored-window STFT phase skew and its correction", "Eqs. 5-6, §IV-B");
+    let signal = test_signal(512);
+    let fft_size = 128usize;
+    let probe_bin = 5usize; // coprime to the FFT size: skew never aliases to 0
+    let table = Table::new(&[
+        ("window Lg", 10),
+        ("max |mag diff|", 15),
+        ("skew @m=5", 12),
+        ("theory @m=5", 12),
+        ("corrected", 12),
+    ]);
+    for lg in [16usize, 32, 64, 128] {
+        let g = window(WindowKind::Hann, WindowSymmetry::Periodic, lg).expect("valid window");
+        let ti = StftPlan::new(g.clone(), 8, fft_size, PhaseConvention::TimeInvariant)
+            .expect("valid plan");
+        let sti = StftPlan::new(g, 8, fft_size, PhaseConvention::SimplifiedTimeInvariant)
+            .expect("valid plan");
+        let x_ti = ti.analyze(&signal).expect("analyze");
+        let x_sti = sti.analyze(&signal).expect("analyze");
+
+        let mut mag_diff = 0.0f64;
+        let mut phase_err = 0.0f64;
+        for (fa, fb) in x_ti.frames().iter().zip(x_sti.frames()) {
+            for (bin, (a, b)) in fa.iter().zip(fb).enumerate() {
+                mag_diff = mag_diff.max((a.abs() - b.abs()).abs());
+                if bin == probe_bin && a.abs() > 1e-6 {
+                    let mut d = (a.arg() - b.arg()).abs();
+                    if d > std::f64::consts::PI {
+                        d = 2.0 * std::f64::consts::PI - d;
+                    }
+                    phase_err = phase_err.max(d);
+                }
+            }
+        }
+        // Theoretical skew at the probe bin: 2π·m·(Lg/2)/M, wrapped to [0, π].
+        let raw = Stft::eq5_eq6_phase_skew(x_ti.plan(), probe_bin)
+            % (2.0 * std::f64::consts::PI);
+        let theory = if raw > std::f64::consts::PI {
+            2.0 * std::f64::consts::PI - raw
+        } else {
+            raw
+        };
+
+        // Point-wise correction: convert sti → ti, residual must vanish.
+        let corrected = x_sti.convert(PhaseConvention::TimeInvariant);
+        let mut residual = 0.0f64;
+        for (fa, fb) in corrected.frames().iter().zip(x_ti.frames()) {
+            for (a, b) in fa.iter().zip(fb) {
+                residual = residual.max((*a - *b).abs());
+            }
+        }
+        table.row(&[
+            lg.to_string(),
+            fmt(mag_diff),
+            fmt(phase_err),
+            fmt(theory),
+            fmt(residual),
+        ]);
+    }
+    println!();
+    println!("expectation (paper): magnitudes agree to machine precision; the phase");
+    println!("skew depends on the stored window length Lg (Eq. 6 'imbues a delay as");
+    println!("well as a phase skew'); point-wise multiplication by the a-priori phase");
+    println!("factor matrix removes it exactly (§IV-B).");
+}

@@ -1,0 +1,92 @@
+//! E8 — the Eq. 7 convex QCQP: interior-point accuracy and scaling, with
+//! the ADMM-QP solver cross-checking the pure-QP subclass.
+
+use rcr_bench::{banner, fmt, Table};
+use rcr_convex::qcqp::{QcqpProblem, QcqpSettings, QuadraticForm};
+use rcr_convex::qp::{QpProblem, QpSettings, QP_INF};
+use rcr_linalg::{vector, Matrix};
+use std::time::Instant;
+
+/// Deterministic PSD matrix `AᵀA/n + I·0.1`.
+fn psd(n: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let a = Matrix::from_fn(n, n, |_, _| next());
+    let mut p = a.transpose().matmul(&a).expect("square").scale(1.0 / n as f64);
+    for i in 0..n {
+        p[(i, i)] += 0.1;
+    }
+    p
+}
+
+fn ball(n: usize, radius: f64) -> QuadraticForm {
+    QuadraticForm::new(Matrix::identity(n), vec![0.0; n], -0.5 * radius * radius)
+        .expect("valid form")
+}
+
+fn main() {
+    banner("E8", "convex QCQP interior point: accuracy and scaling", "Eq. 7, §IV-C");
+    let table = Table::new(&[
+        ("n", 4),
+        ("m cons", 7),
+        ("newton its", 11),
+        ("gap bound", 11),
+        ("violation", 11),
+        ("ms", 8),
+    ]);
+    for &n in &[5usize, 10, 20, 40] {
+        for &m in &[2usize, 5] {
+            let p0 = psd(n, n as u64);
+            let q0: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 / 11.0 - 0.5).collect();
+            let obj = QuadraticForm::new(p0, q0, 0.0).expect("valid form");
+            let mut cons = vec![ball(n, 2.0)];
+            for j in 1..m {
+                cons.push(ball(n, 2.0 + j as f64 * 0.5));
+            }
+            let prob = QcqpProblem::new(obj, cons, None).expect("convex problem");
+            let t0 = Instant::now();
+            let sol = prob.solve(&QcqpSettings::default()).expect("solvable");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            table.row(&[
+                n.to_string(),
+                m.to_string(),
+                sol.newton_iterations.to_string(),
+                fmt(sol.gap_bound),
+                fmt(prob.max_violation(&sol.x).max(0.0)),
+                format!("{ms:.1}"),
+            ]);
+        }
+    }
+
+    println!();
+    println!("-- cross-check against the ADMM-QP solver on the QP subclass --");
+    let t2 = Table::new(&[("n", 4), ("|x_ip − x_admm|∞", 17), ("obj diff", 11)]);
+    for &n in &[5usize, 10, 20] {
+        let p = psd(n, 100 + n as u64);
+        let q: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        // Box via QCQP needs quadratic constraints; use a generous ball so
+        // the unconstrained optimum is interior for both solvers.
+        let obj = QuadraticForm::new(p.clone(), q.clone(), 0.0).expect("valid form");
+        let prob = QcqpProblem::new(obj, vec![ball(n, 100.0)], None).expect("convex");
+        let ip = prob.solve(&QcqpSettings::default()).expect("solvable");
+        let qp = QpProblem::new(
+            p,
+            q,
+            Matrix::identity(n),
+            vec![-QP_INF; n],
+            vec![QP_INF; n],
+        )
+        .expect("valid qp")
+        .solve(&QpSettings::default())
+        .expect("solvable");
+        let diff = vector::norm_inf(&vector::sub(&ip.x, &qp.x));
+        t2.row(&[n.to_string(), fmt(diff), fmt((ip.objective - qp.objective).abs())]);
+    }
+    println!();
+    println!("expectation (paper): the QCQP special class is solved 'in polynomial");
+    println!("time' — Newton iteration counts grow mildly with n, duality-gap bounds");
+    println!("reach tolerance, and the two solver families agree on shared problems.");
+}

@@ -1,0 +1,64 @@
+//! E9 — the Eq. 8 → Eq. 9 → Eq. 10 pipeline: rank minimization relaxed
+//! to trace minimization, solved as an SDP; rank recovery vs planted
+//! rank and matrix size.
+
+use rcr_bench::{banner, fmt, Table};
+use rcr_convex::rankmin::{synth_low_rank_plus_diag, trace_min_decompose};
+use rcr_convex::sdp::SdpSettings;
+use rcr_linalg::Matrix;
+use std::time::Instant;
+
+fn planted(n: usize, rank: usize, seed: u64) -> (Matrix, f64) {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let v = Matrix::from_fn(n, rank, |_, _| next());
+    let d: Vec<f64> = (0..n).map(|_| 0.5 + 0.5 * next().abs()).collect();
+    let true_trace = v.matmul(&v.transpose()).expect("square").trace();
+    (synth_low_rank_plus_diag(&v, &d).expect("matched dims"), true_trace)
+}
+
+fn main() {
+    banner("E9", "rank minimization via trace relaxation (SDP)", "Eqs. 8-10, §IV-C");
+    let table = Table::new(&[
+        ("n", 4),
+        ("true rank", 9),
+        ("recovered", 9),
+        ("top-r share", 11),
+        ("tr(Rc)", 10),
+        ("tr true", 10),
+        ("sdp iters", 9),
+        ("ms", 8),
+    ]);
+    for &n in &[6usize, 10, 16] {
+        for &rank in &[1usize, 2, 3] {
+            let (r_s, true_trace) = planted(n, rank, (n * 10 + rank) as u64);
+            let t0 = Instant::now();
+            let res = trace_min_decompose(&r_s, &SdpSettings::default())
+                .expect("decomposable matrix");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            // Spectral mass carried by the top `rank` eigenvalues of R_c.
+            let eig = res.r_c.symmetric_eigen().expect("symmetric");
+            let evals = eig.eigenvalues();
+            let top: f64 = evals.iter().rev().take(rank).sum();
+            let share = if res.trace > 0.0 { top / res.trace } else { 1.0 };
+            table.row(&[
+                n.to_string(),
+                rank.to_string(),
+                res.rank.to_string(),
+                fmt(share),
+                fmt(res.trace),
+                fmt(true_trace),
+                res.sdp_iterations.to_string(),
+                format!("{ms:.1}"),
+            ]);
+        }
+    }
+    println!();
+    println!("expectation (paper): 'the rank function tallies the number of nonzero");
+    println!("eigenvalues and the trace function computes the sum' — the convex trace");
+    println!("surrogate concentrates the spectrum on ~r modes (top-r share ≈ 1) with");
+    println!("tr(Rc) ≤ planted trace, without ever touching the nonconvex rank.");
+}

@@ -1,0 +1,308 @@
+//! Convex under-estimators and concave over-estimators.
+//!
+//! §II-B: "the nonlinearities are typically replaced by convex
+//! under-estimators and concave over-estimators. The tightest convex
+//! under-estimator and the tightest concave over-estimator are referred to
+//! as the convex envelope and the concave envelope of a function." This
+//! module provides:
+//!
+//! * [`Interval`] arithmetic for bound propagation;
+//! * the exact envelopes of common nonlinearities over an interval
+//!   ([`square_envelopes`], [`exp_envelopes`], [`log_envelopes`]);
+//! * the McCormick relaxation of a bilinear term ([`mccormick`]), the
+//!   canonical "key combinatorial substructure" relaxation used by the
+//!   MINLP branch-and-bound.
+
+use crate::ConvexError;
+
+/// A closed interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval, validating `lo <= hi` and finiteness.
+    ///
+    /// # Errors
+    /// Returns [`ConvexError::InvalidParameter`] for reversed or non-finite
+    /// endpoints.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, ConvexError> {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(ConvexError::InvalidParameter(format!("bad interval [{lo}, {hi}]")));
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// Width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Containment test.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Interval sum.
+    pub fn add(&self, o: &Interval) -> Interval {
+        Interval { lo: self.lo + o.lo, hi: self.hi + o.hi }
+    }
+
+    /// Interval product (exact for intervals).
+    pub fn mul(&self, o: &Interval) -> Interval {
+        let c = [self.lo * o.lo, self.lo * o.hi, self.hi * o.lo, self.hi * o.hi];
+        Interval {
+            lo: c.iter().cloned().fold(f64::INFINITY, f64::min),
+            hi: c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Scales by a constant.
+    pub fn scale(&self, s: f64) -> Interval {
+        if s >= 0.0 {
+            Interval { lo: self.lo * s, hi: self.hi * s }
+        } else {
+            Interval { lo: self.hi * s, hi: self.lo * s }
+        }
+    }
+
+    /// Splits at the midpoint (for branch-and-bound).
+    pub fn bisect(&self) -> (Interval, Interval) {
+        let m = self.mid();
+        (Interval { lo: self.lo, hi: m }, Interval { lo: m, hi: self.hi })
+    }
+}
+
+/// An affine function `a·x + b` used as an estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineEstimator {
+    /// Slope.
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl AffineEstimator {
+    /// Evaluates the estimator.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.a * x + self.b
+    }
+
+    /// The secant of `f` through the interval endpoints — the concave
+    /// envelope of any convex `f` (and the convex envelope of any concave
+    /// `f`) over that interval.
+    pub fn secant(f: impl Fn(f64) -> f64, iv: Interval) -> AffineEstimator {
+        let (flo, fhi) = (f(iv.lo), f(iv.hi));
+        if iv.width() <= f64::EPSILON * iv.lo.abs().max(1.0) {
+            return AffineEstimator { a: 0.0, b: flo };
+        }
+        let a = (fhi - flo) / iv.width();
+        AffineEstimator { a, b: flo - a * iv.lo }
+    }
+
+    /// The tangent of a differentiable `f` at `x0` — an under-estimator of
+    /// any convex `f` (over-estimator of any concave `f`).
+    pub fn tangent(f: impl Fn(f64) -> f64, df: impl Fn(f64) -> f64, x0: f64) -> AffineEstimator {
+        let a = df(x0);
+        AffineEstimator { a, b: f(x0) - a * x0 }
+    }
+}
+
+/// Envelope pair for a univariate function over an interval: the convex
+/// under-estimator (here the function itself when convex, otherwise an
+/// affine minorant) and the concave over-estimator.
+#[derive(Debug, Clone)]
+pub struct EnvelopePair {
+    /// Evaluates the convex under-estimator.
+    pub under: fn(f64, Interval) -> f64,
+    /// Evaluates the concave over-estimator.
+    pub over: fn(f64, Interval) -> f64,
+}
+
+/// Envelopes of `x²` over `iv`: the convex envelope is `x²` itself; the
+/// concave envelope is the secant.
+pub fn square_envelopes() -> EnvelopePair {
+    EnvelopePair {
+        under: |x, _| x * x,
+        over: |x, iv| AffineEstimator::secant(|t| t * t, iv).eval(x),
+    }
+}
+
+/// Envelopes of `eˣ` over `iv` (convex function: itself / secant).
+pub fn exp_envelopes() -> EnvelopePair {
+    EnvelopePair {
+        under: |x, _| x.exp(),
+        over: |x, iv| AffineEstimator::secant(f64::exp, iv).eval(x),
+    }
+}
+
+/// Envelopes of `ln x` over a positive `iv` (concave function:
+/// secant / itself).
+pub fn log_envelopes() -> EnvelopePair {
+    EnvelopePair {
+        under: |x, iv| AffineEstimator::secant(f64::ln, iv).eval(x),
+        over: |x, _| x.ln(),
+    }
+}
+
+/// The four McCormick inequalities for `w = x·y` over a box, returned as
+/// the implied interval for `w` at a specific `(x, y)`:
+///
+/// ```text
+/// w ≥ x_lo·y + x·y_lo − x_lo·y_lo      w ≥ x_hi·y + x·y_hi − x_hi·y_hi
+/// w ≤ x_hi·y + x·y_lo − x_hi·y_lo      w ≤ x_lo·y + x·y_hi − x_lo·y_hi
+/// ```
+///
+/// The returned interval always contains the true product and collapses to
+/// it when either interval is degenerate.
+pub fn mccormick(x: f64, y: f64, xi: Interval, yi: Interval) -> Interval {
+    let under1 = xi.lo * y + x * yi.lo - xi.lo * yi.lo;
+    let under2 = xi.hi * y + x * yi.hi - xi.hi * yi.hi;
+    let over1 = xi.hi * y + x * yi.lo - xi.hi * yi.lo;
+    let over2 = xi.lo * y + x * yi.hi - xi.lo * yi.hi;
+    Interval { lo: under1.max(under2), hi: over1.min(over2) }
+}
+
+/// Two-sided gap of the McCormick relaxation at the box midpoint — the
+/// standard tightness measure, equal to `(x_hi − x_lo)(y_hi − y_lo)/2`
+/// (each one-sided envelope is off by a quarter of the box area).
+pub fn mccormick_midpoint_gap(xi: Interval, yi: Interval) -> f64 {
+    let iv = mccormick(xi.mid(), yi.mid(), xi, yi);
+    iv.hi - iv.lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(-1.0, 3.0).unwrap();
+        assert_eq!(iv.width(), 4.0);
+        assert_eq!(iv.mid(), 1.0);
+        assert!(iv.contains(0.0) && !iv.contains(3.5));
+        let (a, b) = iv.bisect();
+        assert_eq!(a.hi, 1.0);
+        assert_eq!(b.lo, 1.0);
+    }
+
+    #[test]
+    fn interval_validation() {
+        assert!(Interval::new(1.0, 0.0).is_err());
+        assert!(Interval::new(f64::NAN, 1.0).is_err());
+        assert!(Interval::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn interval_product_covers_all_signs() {
+        let a = Interval::new(-2.0, 3.0).unwrap();
+        let b = Interval::new(-1.0, 4.0).unwrap();
+        let p = a.mul(&b);
+        // Extremes: (-2)(4) = -8 and (3)(4) = 12.
+        assert_eq!(p.lo, -8.0);
+        assert_eq!(p.hi, 12.0);
+    }
+
+    #[test]
+    fn scale_flips_for_negative_factor() {
+        let iv = Interval::new(1.0, 2.0).unwrap().scale(-3.0);
+        assert_eq!(iv.lo, -6.0);
+        assert_eq!(iv.hi, -3.0);
+    }
+
+    #[test]
+    fn secant_over_estimates_convex_function() {
+        let iv = Interval::new(0.0, 2.0).unwrap();
+        let sec = AffineEstimator::secant(|x| x * x, iv);
+        for i in 0..=20 {
+            let x = iv.lo + iv.width() * i as f64 / 20.0;
+            assert!(sec.eval(x) >= x * x - 1e-12);
+        }
+        // Tight at the endpoints.
+        assert!((sec.eval(0.0) - 0.0).abs() < 1e-14);
+        assert!((sec.eval(2.0) - 4.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn tangent_under_estimates_convex_function() {
+        let tan = AffineEstimator::tangent(f64::exp, f64::exp, 0.5);
+        for i in -10..=10 {
+            let x = i as f64 / 5.0;
+            assert!(tan.eval(x) <= x.exp() + 1e-12);
+        }
+        assert!((tan.eval(0.5) - 0.5f64.exp()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn square_envelopes_bracket_function() {
+        let env = square_envelopes();
+        let iv = Interval::new(-1.0, 2.0).unwrap();
+        for i in 0..=30 {
+            let x = iv.lo + iv.width() * i as f64 / 30.0;
+            let f = x * x;
+            assert!((env.under)(x, iv) <= f + 1e-12);
+            assert!((env.over)(x, iv) >= f - 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_envelopes_bracket_function() {
+        let env = log_envelopes();
+        let iv = Interval::new(0.5, 4.0).unwrap();
+        for i in 0..=30 {
+            let x = iv.lo + iv.width() * i as f64 / 30.0;
+            let f = x.ln();
+            assert!((env.under)(x, iv) <= f + 1e-12);
+            assert!((env.over)(x, iv) >= f - 1e-12);
+        }
+    }
+
+    #[test]
+    fn mccormick_contains_true_product() {
+        let xi = Interval::new(-1.0, 2.0).unwrap();
+        let yi = Interval::new(0.5, 3.0).unwrap();
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let x = xi.lo + xi.width() * i as f64 / 10.0;
+                let y = yi.lo + yi.width() * j as f64 / 10.0;
+                let iv = mccormick(x, y, xi, yi);
+                assert!(iv.lo <= x * y + 1e-12, "({x},{y}): {iv:?}");
+                assert!(iv.hi >= x * y - 1e-12, "({x},{y}): {iv:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mccormick_exact_at_corners() {
+        let xi = Interval::new(-1.0, 2.0).unwrap();
+        let yi = Interval::new(0.5, 3.0).unwrap();
+        for &x in &[xi.lo, xi.hi] {
+            for &y in &[yi.lo, yi.hi] {
+                let iv = mccormick(x, y, xi, yi);
+                assert!((iv.lo - x * y).abs() < 1e-12);
+                assert!((iv.hi - x * y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mccormick_gap_shrinks_with_bisection() {
+        let xi = Interval::new(0.0, 4.0).unwrap();
+        let yi = Interval::new(0.0, 4.0).unwrap();
+        let g0 = mccormick_midpoint_gap(xi, yi);
+        let (xl, _) = xi.bisect();
+        let (yl, _) = yi.bisect();
+        let g1 = mccormick_midpoint_gap(xl, yl);
+        assert!((g0 - 8.0).abs() < 1e-12); // (4·4)/2
+        assert!((g1 - 2.0).abs() < 1e-12); // (2·2)/2
+    }
+}

@@ -1,0 +1,60 @@
+use rcr_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced by the convex solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConvexError {
+    /// Problem data dimensions are inconsistent.
+    DimensionMismatch(String),
+    /// The problem is not convex (an indefinite quadratic form where a PSD
+    /// one is required).
+    NotConvex(String),
+    /// No strictly feasible point could be found (Slater's condition
+    /// appears violated, or phase-I failed).
+    Infeasible,
+    /// The iteration budget was exhausted before reaching tolerance.
+    NonConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual when the solver gave up.
+        residual: f64,
+    },
+    /// Problem data contained NaN or infinite entries.
+    NotFinite,
+    /// An invalid solver or problem parameter.
+    InvalidParameter(String),
+    /// An underlying linear-algebra kernel failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ConvexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvexError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            ConvexError::NotConvex(msg) => write!(f, "problem is not convex: {msg}"),
+            ConvexError::Infeasible => write!(f, "no strictly feasible point found"),
+            ConvexError::NonConvergence { iterations, residual } => {
+                write!(f, "no convergence after {iterations} iterations (residual {residual:.3e})")
+            }
+            ConvexError::NotFinite => write!(f, "problem data contains NaN or infinite entries"),
+            ConvexError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ConvexError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConvexError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ConvexError {
+    fn from(e: LinalgError) -> Self {
+        ConvexError::Linalg(e)
+    }
+}

@@ -1,0 +1,233 @@
+//! Lasserre's moment/SOS relaxation for global polynomial minimization —
+//! the "Lassere's Semidefinite Programming (SDP) Relaxation (a.k.a.,
+//! Linear Matrix Inequality or LMI)" the paper lists among the
+//! general-purpose convexification routes (§I).
+//!
+//! For a univariate polynomial `p(x) = Σ c_k x^k` of even degree `2d`,
+//! the first-level relaxation is exact: minimize `Σ c_k y_k` over moment
+//! sequences `y` with `y_0 = 1` whose moment matrix
+//! `M(y)[i][j] = y_{i+j}` (of size `(d+1) x (d+1)`) is positive
+//! semidefinite. For univariate polynomials the moment relaxation attains
+//! the true global minimum (every nonnegative univariate polynomial is a
+//! sum of squares), so this module doubles as a *global* minimizer for
+//! arbitrary nonconvex univariate polynomials — no branching, one SDP.
+
+use crate::sdp::{SdpProblem, SdpSettings};
+use crate::ConvexError;
+use rcr_linalg::Matrix;
+
+/// Result of a moment relaxation.
+#[derive(Debug, Clone)]
+pub struct MomentSolution {
+    /// The certified global minimum value of the polynomial.
+    pub minimum: f64,
+    /// First-order moment `y_1` — the minimizer when the optimal moment
+    /// matrix is rank-1 (generic case).
+    pub minimizer_estimate: f64,
+    /// The optimal moment matrix (for rank diagnostics).
+    pub moment_matrix: Matrix,
+    /// SDP iterations used.
+    pub sdp_iterations: usize,
+}
+
+/// Evaluates `p(x)` for coefficients in ascending-degree order.
+pub fn eval_poly(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Minimizes a univariate polynomial globally via the Lasserre moment
+/// SDP. `coeffs[k]` is the coefficient of `x^k`; the leading (even-degree)
+/// coefficient must be positive so the polynomial is bounded below.
+///
+/// ```
+/// use rcr_convex::lasserre::minimize_polynomial;
+/// use rcr_convex::sdp::SdpSettings;
+///
+/// # fn main() -> Result<(), rcr_convex::ConvexError> {
+/// // The nonconvex double well (x² − 1)² has global minimum 0.
+/// let sol = minimize_polynomial(&[1.0, 0.0, -2.0, 0.0, 1.0], &SdpSettings::default())?;
+/// assert!(sol.minimum.abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// * [`ConvexError::InvalidParameter`] for an empty/odd-degree/unbounded
+///   polynomial.
+/// * Propagates SDP solver errors.
+pub fn minimize_polynomial(
+    coeffs: &[f64],
+    settings: &SdpSettings,
+) -> Result<MomentSolution, ConvexError> {
+    // Strip trailing zeros to find the true degree.
+    let degree = coeffs
+        .iter()
+        .rposition(|&c| c != 0.0)
+        .ok_or_else(|| ConvexError::InvalidParameter("zero polynomial".into()))?;
+    if degree == 0 {
+        return Err(ConvexError::InvalidParameter("constant polynomial".into()));
+    }
+    if degree % 2 != 0 {
+        return Err(ConvexError::InvalidParameter(format!(
+            "odd degree {degree}: polynomial is unbounded below"
+        )));
+    }
+    if coeffs[degree] <= 0.0 {
+        return Err(ConvexError::InvalidParameter(
+            "negative leading coefficient: polynomial is unbounded below".into(),
+        ));
+    }
+    if coeffs.iter().any(|c| !c.is_finite()) {
+        return Err(ConvexError::NotFinite);
+    }
+    let d = degree / 2;
+    let n = d + 1; // moment matrix size; entries are y_0 .. y_{2d}
+
+    // Variables: the moment matrix M with M[i][j] = y_{i+j}. Constraints:
+    //   (a) y_0 = 1  →  M[0][0] = 1,
+    //   (b) Hankel structure: all anti-diagonals share one value.
+    // Objective: Σ_k c_k y_k expressed on a fixed representative entry of
+    // each anti-diagonal, spread evenly to keep C symmetric.
+    let mut c_mat = Matrix::zeros(n, n);
+    for (k, &ck) in coeffs.iter().enumerate().take(degree + 1) {
+        if ck == 0.0 {
+            continue;
+        }
+        // Cells (i, j) with i + j = k.
+        let cells: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i + j == k)
+            .collect();
+        let share = ck / cells.len() as f64;
+        for (i, j) in cells {
+            c_mat[(i, j)] += share;
+        }
+    }
+
+    let mut constraints: Vec<(Matrix, f64)> = Vec::new();
+    // y_0 = 1.
+    let mut a0 = Matrix::zeros(n, n);
+    a0[(0, 0)] = 1.0;
+    constraints.push((a0, 1.0));
+    // Hankel structure: for each anti-diagonal k, every cell equals the
+    // representative cell (the first one).
+    for k in 0..=2 * d {
+        let cells: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i + j == k && i <= j)
+            .collect();
+        let rep = cells[0];
+        for &(i, j) in &cells[1..] {
+            let mut a = Matrix::zeros(n, n);
+            // Symmetrized difference: cell (i,j)+(j,i) − rep (both sides).
+            a[(i, j)] += 1.0;
+            a[(j, i)] += 1.0;
+            a[(rep.0, rep.1)] -= 1.0;
+            a[(rep.1, rep.0)] -= 1.0;
+            constraints.push((a, 0.0));
+        }
+    }
+
+    let prob = SdpProblem::new(c_mat, constraints)?;
+    let sol = prob.solve(settings)?;
+    let minimum = coeffs
+        .iter()
+        .enumerate()
+        .take(degree + 1)
+        .map(|(k, &ck)| {
+            // Read y_k off the moment matrix.
+            let i = k.min(n - 1);
+            let j = k - i;
+            ck * sol.x[(i, j)]
+        })
+        .sum();
+    Ok(MomentSolution {
+        minimum,
+        minimizer_estimate: sol.x[(0, 1)],
+        moment_matrix: sol.x,
+        sdp_iterations: sol.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settings() -> SdpSettings {
+        SdpSettings { tol: 1e-8, ..Default::default() }
+    }
+
+    #[test]
+    fn eval_poly_horner() {
+        // 1 + 2x + 3x² at x = 2: 1 + 4 + 12 = 17.
+        assert_eq!(eval_poly(&[1.0, 2.0, 3.0], 2.0), 17.0);
+        assert_eq!(eval_poly(&[5.0], 123.0), 5.0);
+    }
+
+    #[test]
+    fn convex_quadratic_exact() {
+        // (x − 2)² = 4 − 4x + x²: min 0 at x = 2.
+        let sol = minimize_polynomial(&[4.0, -4.0, 1.0], &settings()).unwrap();
+        assert!(sol.minimum.abs() < 1e-5, "min {}", sol.minimum);
+        assert!((sol.minimizer_estimate - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nonconvex_quartic_global_minimum() {
+        // Double well: (x² − 1)² = 1 − 2x² + x⁴, global min 0 at x = ±1.
+        let sol = minimize_polynomial(&[1.0, 0.0, -2.0, 0.0, 1.0], &settings()).unwrap();
+        assert!(sol.minimum.abs() < 1e-4, "min {}", sol.minimum);
+        // Symmetric wells: the first moment averages the two minimizers.
+        assert!(sol.minimizer_estimate.abs() < 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn asymmetric_quartic_finds_deeper_well() {
+        // p(x) = x⁴ − x³ − 2x² : wells at x ≈ −0.86 (p ≈ −0.26) and
+        // x ≈ 1.61 (p ≈ −2.62). Global min is the right well.
+        let coeffs = [0.0, 0.0, -2.0, -1.0, 1.0];
+        let sol = minimize_polynomial(&coeffs, &settings()).unwrap();
+        // Grid-search reference.
+        let mut best = f64::INFINITY;
+        let mut best_x = 0.0;
+        for i in 0..4000 {
+            let x = -3.0 + 6.0 * i as f64 / 4000.0;
+            let v = eval_poly(&coeffs, x);
+            if v < best {
+                best = v;
+                best_x = x;
+            }
+        }
+        assert!((sol.minimum - best).abs() < 1e-3, "sdp {} vs grid {best}", sol.minimum);
+        assert!((sol.minimizer_estimate - best_x).abs() < 1e-2);
+    }
+
+    #[test]
+    fn degree_six_polynomial() {
+        // (x² − 1)²(x² − 4) + 5 — a wiggly sextic, bounded below since the
+        // leading coefficient is +1.
+        // Expand: (x⁴ − 2x² + 1)(x² − 4) + 5
+        //       = x⁶ − 4x⁴ − 2x⁴ + 8x² + x² − 4 + 5
+        //       = x⁶ − 6x⁴ + 9x² + 1.
+        let coeffs = [1.0, 0.0, 9.0, 0.0, -6.0, 0.0, 1.0];
+        let sol = minimize_polynomial(&coeffs, &settings()).unwrap();
+        let mut best = f64::INFINITY;
+        for i in 0..6000 {
+            let x = -3.0 + 6.0 * i as f64 / 6000.0;
+            best = best.min(eval_poly(&coeffs, x));
+        }
+        assert!((sol.minimum - best).abs() < 1e-2, "sdp {} vs grid {best}", sol.minimum);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(minimize_polynomial(&[], &settings()).is_err());
+        assert!(minimize_polynomial(&[0.0, 0.0], &settings()).is_err());
+        assert!(minimize_polynomial(&[1.0], &settings()).is_err());
+        // Odd degree unbounded.
+        assert!(minimize_polynomial(&[0.0, 0.0, 0.0, 1.0], &settings()).is_err());
+        // Negative leading coefficient unbounded.
+        assert!(minimize_polynomial(&[0.0, 0.0, -1.0], &settings()).is_err());
+        assert!(minimize_polynomial(&[f64::NAN, 0.0, 1.0], &settings()).is_err());
+    }
+}

@@ -1,0 +1,383 @@
+//! Quasi-Newton smooth minimization: BFGS and L-BFGS with Armijo
+//! backtracking.
+//!
+//! §IV-C: "given a particular Hessian matrix in a resolvable form, proxies
+//! (i.e., approximations) of the Hessian matrix can be obtained in
+//! alternative ways, e.g., Broyden–Fletcher–Goldfarb–Shanno (BFGS) ...
+//! however, to avoid false curvature information, additional
+//! initialization conditions are required." Both solvers here implement
+//! the standard curvature guard (`sᵀy > 0` check with damping/skip) and
+//! the scaled initial Hessian `γI` initialization the cited L-BFGS
+//! trust-region literature recommends.
+
+use crate::ConvexError;
+use rcr_linalg::{vector, Matrix};
+use std::collections::VecDeque;
+
+/// A smooth objective: value and gradient at a point.
+pub trait Objective {
+    /// Evaluates `f(x)`.
+    fn value(&self, x: &[f64]) -> f64;
+    /// Evaluates `∇f(x)`.
+    fn gradient(&self, x: &[f64]) -> Vec<f64>;
+}
+
+impl<F, G> Objective for (F, G)
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> Vec<f64>,
+{
+    fn value(&self, x: &[f64]) -> f64 {
+        (self.0)(x)
+    }
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        (self.1)(x)
+    }
+}
+
+/// Settings shared by both quasi-Newton drivers.
+#[derive(Debug, Clone)]
+pub struct QuasiNewtonSettings {
+    /// Maximum outer iterations.
+    pub max_iter: usize,
+    /// Gradient infinity-norm stopping tolerance.
+    pub grad_tol: f64,
+    /// Armijo sufficient-decrease constant.
+    pub armijo_c: f64,
+    /// Backtracking shrink factor.
+    pub backtrack: f64,
+    /// History size (L-BFGS only).
+    pub memory: usize,
+}
+
+impl Default for QuasiNewtonSettings {
+    fn default() -> Self {
+        QuasiNewtonSettings {
+            max_iter: 500,
+            grad_tol: 1e-8,
+            armijo_c: 1e-4,
+            backtrack: 0.5,
+            memory: 10,
+        }
+    }
+}
+
+/// Result of a quasi-Newton run.
+#[derive(Debug, Clone)]
+pub struct QuasiNewtonResult {
+    /// The final iterate.
+    pub x: Vec<f64>,
+    /// Objective value at the final iterate.
+    pub value: f64,
+    /// Gradient infinity norm at the final iterate.
+    pub grad_norm: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// True when `grad_norm <= grad_tol` (otherwise the budget ran out —
+    /// still returned, per C-INTERMEDIATE, since the iterate is useful).
+    pub converged: bool,
+}
+
+fn line_search(
+    f: &dyn Objective,
+    x: &[f64],
+    fx: f64,
+    g: &[f64],
+    dir: &[f64],
+    settings: &QuasiNewtonSettings,
+) -> Option<(Vec<f64>, f64, f64)> {
+    let slope = vector::dot(g, dir);
+    if slope >= 0.0 {
+        return None; // not a descent direction
+    }
+    let mut step = 1.0;
+    for _ in 0..60 {
+        let cand: Vec<f64> = x.iter().zip(dir).map(|(xi, di)| xi + step * di).collect();
+        let fc = f.value(&cand);
+        if fc.is_finite() && fc <= fx + settings.armijo_c * step * slope {
+            return Some((cand, fc, step));
+        }
+        step *= settings.backtrack;
+    }
+    None
+}
+
+/// Full-memory BFGS.
+///
+/// # Errors
+/// * [`ConvexError::NotFinite`] when the start point or its gradient is
+///   non-finite.
+/// * [`ConvexError::InvalidParameter`] for an empty start.
+pub fn bfgs(
+    f: &dyn Objective,
+    x0: &[f64],
+    settings: &QuasiNewtonSettings,
+) -> Result<QuasiNewtonResult, ConvexError> {
+    let n = x0.len();
+    if n == 0 {
+        return Err(ConvexError::InvalidParameter("empty start point".into()));
+    }
+    if !vector::is_finite(x0) {
+        return Err(ConvexError::NotFinite);
+    }
+    let mut x = x0.to_vec();
+    let mut fx = f.value(&x);
+    let mut g = f.gradient(&x);
+    if !fx.is_finite() || !vector::is_finite(&g) {
+        return Err(ConvexError::NotFinite);
+    }
+    let mut h = Matrix::identity(n); // inverse Hessian approximation
+
+    for iter in 0..settings.max_iter {
+        let gn = vector::norm_inf(&g);
+        if gn <= settings.grad_tol {
+            return Ok(QuasiNewtonResult { x, value: fx, grad_norm: gn, iterations: iter, converged: true });
+        }
+        let dir = vector::scale(-1.0, &h.matvec(&g)?);
+        let Some((x_new, f_new, _)) = line_search(f, &x, fx, &g, &dir, settings) else {
+            // Reset curvature and fall back to steepest descent once.
+            h = Matrix::identity(n);
+            let dir = vector::scale(-1.0, &g);
+            match line_search(f, &x, fx, &g, &dir, settings) {
+                Some((x_new, f_new, _)) => {
+                    let g_new = f.gradient(&x_new);
+                    x = x_new;
+                    fx = f_new;
+                    g = g_new;
+                    continue;
+                }
+                None => {
+                    return Ok(QuasiNewtonResult {
+                        x,
+                        value: fx,
+                        grad_norm: gn,
+                        iterations: iter,
+                        converged: false,
+                    })
+                }
+            }
+        };
+        let g_new = f.gradient(&x_new);
+        let s = vector::sub(&x_new, &x);
+        let y = vector::sub(&g_new, &g);
+        let sy = vector::dot(&s, &y);
+        // Curvature guard: skip the update when sᵀy is not safely positive
+        // ("to avoid false curvature information").
+        if sy > 1e-12 * vector::norm2(&s) * vector::norm2(&y) {
+            // H ← (I − ρsyᵀ) H (I − ρysᵀ) + ρssᵀ with ρ = 1/sᵀy.
+            let rho = 1.0 / sy;
+            let hy = h.matvec(&y)?;
+            let yhy = vector::dot(&y, &hy);
+            for r in 0..n {
+                for c in 0..n {
+                    h[(r, c)] += rho * rho * (sy + yhy) * s[r] * s[c]
+                        - rho * (hy[r] * s[c] + s[r] * hy[c]);
+                }
+            }
+        }
+        x = x_new;
+        fx = f_new;
+        g = g_new;
+    }
+    let gn = vector::norm_inf(&g);
+    Ok(QuasiNewtonResult {
+        x,
+        value: fx,
+        grad_norm: gn,
+        iterations: settings.max_iter,
+        converged: gn <= settings.grad_tol,
+    })
+}
+
+/// Limited-memory BFGS (two-loop recursion).
+///
+/// # Errors
+/// Same as [`bfgs`].
+pub fn lbfgs(
+    f: &dyn Objective,
+    x0: &[f64],
+    settings: &QuasiNewtonSettings,
+) -> Result<QuasiNewtonResult, ConvexError> {
+    let n = x0.len();
+    if n == 0 {
+        return Err(ConvexError::InvalidParameter("empty start point".into()));
+    }
+    if !vector::is_finite(x0) {
+        return Err(ConvexError::NotFinite);
+    }
+    let mut x = x0.to_vec();
+    let mut fx = f.value(&x);
+    let mut g = f.gradient(&x);
+    if !fx.is_finite() || !vector::is_finite(&g) {
+        return Err(ConvexError::NotFinite);
+    }
+    let mut hist: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new(); // (s, y, ρ)
+
+    for iter in 0..settings.max_iter {
+        let gn = vector::norm_inf(&g);
+        if gn <= settings.grad_tol {
+            return Ok(QuasiNewtonResult { x, value: fx, grad_norm: gn, iterations: iter, converged: true });
+        }
+        // Two-loop recursion.
+        let mut q = g.clone();
+        let mut alphas = Vec::with_capacity(hist.len());
+        for (s, y, rho) in hist.iter().rev() {
+            let a = rho * vector::dot(s, &q);
+            vector::axpy(-a, y, &mut q);
+            alphas.push(a);
+        }
+        // Scaled initial inverse Hessian γI ("improving L-BFGS
+        // initialization", Rafati & Marcia).
+        let gamma = hist
+            .back()
+            .map(|(s, y, _)| vector::dot(s, y) / vector::dot(y, y).max(1e-300))
+            .unwrap_or(1.0);
+        let mut r = vector::scale(gamma, &q);
+        for ((s, y, rho), a) in hist.iter().zip(alphas.iter().rev()) {
+            let b = rho * vector::dot(y, &r);
+            vector::axpy(a - b, s, &mut r);
+        }
+        let dir = vector::scale(-1.0, &r);
+        let Some((x_new, f_new, _)) = line_search(f, &x, fx, &g, &dir, settings) else {
+            hist.clear();
+            let dir = vector::scale(-1.0, &g);
+            match line_search(f, &x, fx, &g, &dir, settings) {
+                Some((x_new, f_new, _)) => {
+                    let g_new = f.gradient(&x_new);
+                    x = x_new;
+                    fx = f_new;
+                    g = g_new;
+                    continue;
+                }
+                None => {
+                    return Ok(QuasiNewtonResult {
+                        x,
+                        value: fx,
+                        grad_norm: gn,
+                        iterations: iter,
+                        converged: false,
+                    })
+                }
+            }
+        };
+        let g_new = f.gradient(&x_new);
+        let s = vector::sub(&x_new, &x);
+        let y = vector::sub(&g_new, &g);
+        let sy = vector::dot(&s, &y);
+        if sy > 1e-12 * vector::norm2(&s) * vector::norm2(&y) {
+            if hist.len() == settings.memory {
+                hist.pop_front();
+            }
+            hist.push_back((s, y, 1.0 / sy));
+        }
+        x = x_new;
+        fx = f_new;
+        g = g_new;
+    }
+    let gn = vector::norm_inf(&g);
+    Ok(QuasiNewtonResult {
+        x,
+        value: fx,
+        grad_norm: gn,
+        iterations: settings.max_iter,
+        converged: gn <= settings.grad_tol,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic() -> impl Objective {
+        // f(x) = ½(x₁ − 1)² + 2(x₂ + 0.5)²
+        (
+            |x: &[f64]| 0.5 * (x[0] - 1.0).powi(2) + 2.0 * (x[1] + 0.5).powi(2),
+            |x: &[f64]| vec![x[0] - 1.0, 4.0 * (x[1] + 0.5)],
+        )
+    }
+
+    fn rosenbrock() -> impl Objective {
+        (
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            |x: &[f64]| {
+                vec![
+                    -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]),
+                    200.0 * (x[1] - x[0] * x[0]),
+                ]
+            },
+        )
+    }
+
+    #[test]
+    fn bfgs_solves_quadratic() {
+        let r = bfgs(&quadratic(), &[5.0, 5.0], &QuasiNewtonSettings::default()).unwrap();
+        assert!(r.converged);
+        assert!((r.x[0] - 1.0).abs() < 1e-6);
+        assert!((r.x[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lbfgs_solves_quadratic() {
+        let r = lbfgs(&quadratic(), &[-3.0, 7.0], &QuasiNewtonSettings::default()).unwrap();
+        assert!(r.converged);
+        assert!((r.x[0] - 1.0).abs() < 1e-6);
+        assert!((r.x[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bfgs_solves_rosenbrock() {
+        let s = QuasiNewtonSettings { max_iter: 2000, ..Default::default() };
+        let r = bfgs(&rosenbrock(), &[-1.2, 1.0], &s).unwrap();
+        assert!(r.converged, "grad norm {}", r.grad_norm);
+        assert!((r.x[0] - 1.0).abs() < 1e-5);
+        assert!((r.x[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lbfgs_solves_rosenbrock() {
+        let s = QuasiNewtonSettings { max_iter: 2000, ..Default::default() };
+        let r = lbfgs(&rosenbrock(), &[-1.2, 1.0], &s).unwrap();
+        assert!(r.converged, "grad norm {}", r.grad_norm);
+        assert!((r.x[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lbfgs_high_dimensional_quadratic() {
+        // f(x) = ½Σ (i+1)·x_i², n = 50.
+        let n = 50usize;
+        let f = (
+            move |x: &[f64]| {
+                0.5 * x.iter().enumerate().map(|(i, v)| (i + 1) as f64 * v * v).sum::<f64>()
+            },
+            move |x: &[f64]| {
+                x.iter().enumerate().map(|(i, v)| (i + 1) as f64 * v).collect::<Vec<_>>()
+            },
+        );
+        let x0 = vec![1.0; n];
+        let r = lbfgs(&f, &x0, &QuasiNewtonSettings::default()).unwrap();
+        assert!(r.converged);
+        assert!(vector::norm_inf(&r.x) < 1e-6);
+    }
+
+    #[test]
+    fn starting_at_optimum_returns_immediately() {
+        let r = bfgs(&quadratic(), &[1.0, -0.5], &QuasiNewtonSettings::default()).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(bfgs(&quadratic(), &[], &QuasiNewtonSettings::default()).is_err());
+        assert!(bfgs(&quadratic(), &[f64::NAN, 0.0], &QuasiNewtonSettings::default()).is_err());
+        assert!(lbfgs(&quadratic(), &[], &QuasiNewtonSettings::default()).is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        let s = QuasiNewtonSettings { max_iter: 2, ..Default::default() };
+        let r = bfgs(&rosenbrock(), &[-1.2, 1.0], &s).unwrap();
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Exact trust-region subproblem solver (Moré–Sorensen via
+//! eigendecomposition):
+//!
+//! ```text
+//! minimize  ½ xᵀ B x + gᵀ x   subject to ‖x‖₂ ≤ Δ
+//! ```
+//!
+//! This is the "QCQP special class convex optimization problem" of §IV-C
+//! that the paper uses to obtain trust regions for Hessian proxies
+//! (BFGS-style curvature with "additional initialization conditions to
+//! avoid false curvature information"). `B` may be **indefinite** — the
+//! subproblem is still solvable exactly thanks to the secular-equation
+//! structure, including the hard case.
+
+use crate::ConvexError;
+use rcr_linalg::{vector, Matrix};
+
+/// Solution of a trust-region subproblem.
+#[derive(Debug, Clone)]
+pub struct TrustRegionSolution {
+    /// The minimizer.
+    pub x: Vec<f64>,
+    /// Model value `½xᵀBx + gᵀx` at the minimizer.
+    pub value: f64,
+    /// The Lagrange multiplier λ ≥ 0 of the norm constraint.
+    pub lambda: f64,
+    /// True when the constraint is active (‖x‖ = Δ).
+    pub on_boundary: bool,
+    /// True when the hard case was taken (g ⟂ leading eigenspace with an
+    /// indefinite `B`).
+    pub hard_case: bool,
+}
+
+/// Solves the trust-region subproblem exactly.
+///
+/// # Errors
+/// * [`ConvexError::DimensionMismatch`] when `g.len()` differs from `B`'s
+///   dimension.
+/// * [`ConvexError::InvalidParameter`] when `delta <= 0`.
+/// * [`ConvexError::NotFinite`] for non-finite data.
+pub fn solve_trust_region(
+    b: &Matrix,
+    g: &[f64],
+    delta: f64,
+) -> Result<TrustRegionSolution, ConvexError> {
+    let n = g.len();
+    if b.shape() != (n, n) {
+        return Err(ConvexError::DimensionMismatch(format!(
+            "B is {:?}, expected {n}x{n}",
+            b.shape()
+        )));
+    }
+    if !(delta > 0.0) || !delta.is_finite() {
+        return Err(ConvexError::InvalidParameter(format!("delta = {delta}")));
+    }
+    if !b.is_finite() || !vector::is_finite(g) {
+        return Err(ConvexError::NotFinite);
+    }
+
+    let sym = b.symmetrize()?;
+    let eig = sym.symmetric_eigen()?;
+    let lam = eig.eigenvalues().to_vec();
+    let v = eig.eigenvectors();
+    // g in the eigenbasis.
+    let gt = v.matvec_t(g)?;
+    let lam_min = lam[0];
+
+    let model = |x: &[f64]| -> f64 {
+        0.5 * sym.quadratic_form(x).unwrap_or(f64::NAN) + vector::dot(g, x)
+    };
+
+    // Candidate 1: interior solution B x = -g (requires B ≻ 0).
+    if lam_min > 1e-12 {
+        let y: Vec<f64> = gt.iter().zip(&lam).map(|(gi, li)| -gi / li).collect();
+        let x = v.matvec(&y)?;
+        if vector::norm2(&x) <= delta {
+            return Ok(TrustRegionSolution {
+                value: model(&x),
+                x,
+                lambda: 0.0,
+                on_boundary: false,
+                hard_case: false,
+            });
+        }
+    }
+
+    // Boundary solution: find λ > max(0, -λ_min) with ‖x(λ)‖ = Δ where
+    // x(λ) = -(B + λI)^{-1} g, via the secular equation in the eigenbasis:
+    // φ(λ) = Σ g_i² / (λ_i + λ)² − Δ² = 0 (strictly decreasing in λ).
+    let lam_lo_base = (-lam_min).max(0.0);
+
+    // Hard case detection: components of g along the minimal eigenspace.
+    let g_min_norm: f64 = gt
+        .iter()
+        .zip(&lam)
+        .filter(|(_, &li)| (li - lam_min).abs() < 1e-10)
+        .map(|(gi, _)| gi * gi)
+        .sum::<f64>()
+        .sqrt();
+
+    let norm_at = |l: f64| -> f64 {
+        gt.iter()
+            .zip(&lam)
+            .map(|(gi, li)| {
+                let d = li + l;
+                if d.abs() < 1e-300 {
+                    0.0
+                } else {
+                    (gi / d) * (gi / d)
+                }
+            })
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    if g_min_norm < 1e-12 && lam_min <= 1e-12 {
+        // Possible hard case: at λ = -λ_min the norm may stay below Δ.
+        let l = lam_lo_base;
+        let partial = norm_at(l + 1e-14);
+        if partial <= delta {
+            // x = pseudo-solution + τ·(min eigenvector) to reach the boundary.
+            let y: Vec<f64> = gt
+                .iter()
+                .zip(&lam)
+                .map(|(gi, li)| {
+                    let d = li + l;
+                    if d.abs() < 1e-10 {
+                        0.0
+                    } else {
+                        -gi / d
+                    }
+                })
+                .collect();
+            let tau = (delta * delta - vector::dot(&y, &y)).max(0.0).sqrt();
+            let mut y_adj = y;
+            // Add τ along the first minimal eigen-direction.
+            let idx = 0;
+            y_adj[idx] += tau;
+            let x = v.matvec(&y_adj)?;
+            return Ok(TrustRegionSolution {
+                value: model(&x),
+                x,
+                lambda: l,
+                on_boundary: true,
+                hard_case: true,
+            });
+        }
+    }
+
+    // Safeguarded bisection + Newton on the secular equation.
+    let mut lo = lam_lo_base + 1e-14;
+    let mut hi = lam_lo_base + 1.0;
+    let mut grow = 0;
+    while norm_at(hi) > delta && grow < 200 {
+        hi = lam_lo_base + (hi - lam_lo_base) * 4.0;
+        grow += 1;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if norm_at(mid) > delta {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-14 * (1.0 + hi) {
+            break;
+        }
+    }
+    let l = 0.5 * (lo + hi);
+    let y: Vec<f64> = gt
+        .iter()
+        .zip(&lam)
+        .map(|(gi, li)| -gi / (li + l))
+        .collect();
+    let x = v.matvec(&y)?;
+    Ok(TrustRegionSolution { value: model(&x), x, lambda: l, on_boundary: true, hard_case: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_solution_when_newton_step_fits() {
+        // B = I, g = (-1, 0): Newton step (1, 0), Δ = 2 → interior.
+        let b = Matrix::identity(2);
+        let sol = solve_trust_region(&b, &[-1.0, 0.0], 2.0).unwrap();
+        assert!(!sol.on_boundary);
+        assert!((sol.x[0] - 1.0).abs() < 1e-10);
+        assert!(sol.lambda.abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_solution_when_step_too_long() {
+        // Newton step (3, 0) with Δ = 1 → clipped to (1, 0).
+        let b = Matrix::identity(2);
+        let sol = solve_trust_region(&b, &[-3.0, 0.0], 1.0).unwrap();
+        assert!(sol.on_boundary);
+        assert!((vector::norm2(&sol.x) - 1.0).abs() < 1e-8);
+        assert!((sol.x[0] - 1.0).abs() < 1e-6);
+        // λ = 2 satisfies (1+λ)·1 = 3.
+        assert!((sol.lambda - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn indefinite_b_goes_to_boundary() {
+        // Negative curvature: solution always on the boundary.
+        let b = Matrix::from_diag(&[1.0, -2.0]);
+        let sol = solve_trust_region(&b, &[0.5, 0.3], 1.0).unwrap();
+        assert!(sol.on_boundary);
+        assert!((vector::norm2(&sol.x) - 1.0).abs() < 1e-6);
+        // λ must dominate the negative eigenvalue.
+        assert!(sol.lambda >= 2.0 - 1e-8);
+        // Verify stationarity: (B + λI)x = -g.
+        let lhs = {
+            let mut m = b.clone();
+            m[(0, 0)] += sol.lambda;
+            m[(1, 1)] += sol.lambda;
+            m.matvec(&sol.x).unwrap()
+        };
+        assert!((lhs[0] + 0.5).abs() < 1e-5 && (lhs[1] + 0.3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn hard_case_handled() {
+        // g orthogonal to the negative eigenvector: classic hard case.
+        let b = Matrix::from_diag(&[-1.0, 2.0]);
+        let sol = solve_trust_region(&b, &[0.0, 0.1], 1.0).unwrap();
+        assert!(sol.on_boundary);
+        assert!((vector::norm2(&sol.x) - 1.0).abs() < 1e-6);
+        assert!(sol.hard_case);
+        // Optimal value: ½(-1)(x₁²) + ½(2)x₂² + 0.1x₂ minimized with
+        // x₁² + x₂² = 1; the x₁ direction absorbs most of the norm.
+        assert!(sol.x[0].abs() > 0.9);
+    }
+
+    #[test]
+    fn beats_random_feasible_points() {
+        let b = Matrix::from_rows(&[&[2.0, 0.5, 0.0], &[0.5, -1.0, 0.3], &[0.0, 0.3, 0.5]])
+            .unwrap();
+        let g = [0.2, -0.4, 0.7];
+        let delta = 1.3;
+        let sol = solve_trust_region(&b, &g, delta).unwrap();
+        let model = |x: &[f64]| 0.5 * b.quadratic_form(x).unwrap() + vector::dot(&g, x);
+        // Deterministic probe points on and inside the ball.
+        for seed in 0..50 {
+            let raw: Vec<f64> =
+                (0..3).map(|i| ((seed * 37 + i * 17) % 21) as f64 / 10.0 - 1.0).collect();
+            let nrm = vector::norm2(&raw).max(1e-9);
+            let scale = delta * ((seed % 10) as f64 / 10.0) / nrm;
+            let x: Vec<f64> = raw.iter().map(|v| v * scale).collect();
+            assert!(model(&sol.x) <= model(&x) + 1e-7, "beaten at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_gradient_with_psd_b_stays_at_origin() {
+        let b = Matrix::identity(3);
+        let sol = solve_trust_region(&b, &[0.0; 3], 1.0).unwrap();
+        assert!(vector::norm2(&sol.x) < 1e-10);
+        assert!(sol.value.abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_gradient_with_indefinite_b_rides_negative_curvature() {
+        let b = Matrix::from_diag(&[1.0, -3.0]);
+        let sol = solve_trust_region(&b, &[0.0, 0.0], 2.0).unwrap();
+        assert!(sol.on_boundary);
+        // value = ½(-3)(4) = -6 along the negative eigenvector.
+        assert!((sol.value + 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation() {
+        let b = Matrix::identity(2);
+        assert!(solve_trust_region(&b, &[1.0], 1.0).is_err());
+        assert!(solve_trust_region(&b, &[1.0, 1.0], 0.0).is_err());
+        assert!(solve_trust_region(&b, &[f64::NAN, 1.0], 1.0).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based invariants of the convex solvers.
+
+use proptest::prelude::*;
+use rcr_convex::envelope::{exp_envelopes, log_envelopes, square_envelopes, Interval};
+use rcr_convex::qp::{solve_box_qp, QpSettings};
+use rcr_convex::quasi_newton::{lbfgs, QuasiNewtonSettings};
+use rcr_convex::trust_region::solve_trust_region;
+use rcr_linalg::{vector, Matrix};
+
+fn spd(entries: &[f64], n: usize) -> Matrix {
+    let g = Matrix::from_vec(n, n, entries.to_vec()).unwrap();
+    let mut p = g.transpose().matmul(&g).unwrap().scale(1.0 / n as f64);
+    for i in 0..n {
+        p[(i, i)] += 0.5;
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn box_qp_solution_feasible_and_locally_optimal(
+        entries in prop::collection::vec(-1.5f64..1.5, 9),
+        q in prop::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        let p = spd(&entries, 3);
+        let sol = solve_box_qp(
+            p.clone(),
+            q.clone(),
+            vec![-1.0; 3],
+            vec![1.0; 3],
+            &QpSettings::default(),
+        )
+        .unwrap();
+        // Feasible.
+        for &xi in &sol.x {
+            prop_assert!((-1.0 - 1e-6..=1.0 + 1e-6).contains(&xi));
+        }
+        // No interior coordinate descent direction: projected gradient ~ 0.
+        let grad = {
+            let mut g = p.matvec(&sol.x).unwrap();
+            vector::axpy(1.0, &q, &mut g);
+            g
+        };
+        for (xi, gi) in sol.x.iter().zip(&grad) {
+            let proj = if *xi <= -1.0 + 1e-5 {
+                gi.min(0.0) // pushing further out is blocked
+            } else if *xi >= 1.0 - 1e-5 {
+                gi.max(0.0)
+            } else {
+                *gi
+            };
+            prop_assert!(proj.abs() < 1e-3, "projected gradient {proj} at x={xi}");
+        }
+    }
+
+    #[test]
+    fn trust_region_beats_scaled_gradient_points(
+        entries in prop::collection::vec(-1.5f64..1.5, 9),
+        g in prop::collection::vec(-2.0f64..2.0, 3),
+        delta in 0.2f64..2.0,
+    ) {
+        // Indefinite B: subtract a diagonal shift.
+        let mut b = spd(&entries, 3);
+        b[(1, 1)] -= 1.5;
+        let sol = solve_trust_region(&b, &g, delta).unwrap();
+        prop_assert!(vector::norm2(&sol.x) <= delta * (1.0 + 1e-6));
+        let model = |x: &[f64]| 0.5 * b.quadratic_form(x).unwrap() + vector::dot(&g, x);
+        // Compare against the clipped steepest-descent point and origin.
+        let gn = vector::norm2(&g).max(1e-9);
+        let sd: Vec<f64> = g.iter().map(|v| -v * delta / gn).collect();
+        prop_assert!(model(&sol.x) <= model(&sd) + 1e-7);
+        prop_assert!(model(&sol.x) <= 0.0 + 1e-9); // origin is feasible
+    }
+
+    #[test]
+    fn lbfgs_minimizes_random_convex_quadratics(
+        entries in prop::collection::vec(-1.5f64..1.5, 16),
+        c in prop::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        let p = spd(&entries, 4);
+        let pc = p.clone();
+        let cc = c.clone();
+        let f = (
+            move |x: &[f64]| 0.5 * pc.quadratic_form(x).unwrap() + vector::dot(&cc, x),
+            {
+                let p2 = p.clone();
+                let c2 = c.clone();
+                move |x: &[f64]| {
+                    let mut g = p2.matvec(x).unwrap();
+                    vector::axpy(1.0, &c2, &mut g);
+                    g
+                }
+            },
+        );
+        let r = lbfgs(&f, &[0.5; 4], &QuasiNewtonSettings::default()).unwrap();
+        prop_assert!(r.grad_norm < 1e-5, "grad norm {}", r.grad_norm);
+        // Optimality: P x* = -c.
+        let px = p.matvec(&r.x).unwrap();
+        for (a, b) in px.iter().zip(&c) {
+            prop_assert!((a + b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn envelopes_always_bracket(
+        t in 0.0f64..1.0,
+        lo in -1.0f64..0.0,
+        hi in 1.0f64..2.0,
+    ) {
+        let iv = Interval::new(lo, hi).unwrap();
+        // Envelopes are only estimators *within* the interval.
+        let x = lo + t * (hi - lo);
+        let sq = square_envelopes();
+        prop_assert!((sq.under)(x, iv) <= x * x + 1e-12);
+        prop_assert!((sq.over)(x, iv) >= x * x - 1e-12);
+        let ex = exp_envelopes();
+        prop_assert!((ex.under)(x, iv) <= x.exp() + 1e-12);
+        prop_assert!((ex.over)(x, iv) >= x.exp() - 1e-12);
+        // log over a shifted positive interval.
+        let ivp = Interval::new(lo + 1.5, hi + 1.5).unwrap();
+        let xp = x + 1.5;
+        let lg = log_envelopes();
+        prop_assert!((lg.under)(xp, ivp) <= xp.ln() + 1e-12);
+        prop_assert!((lg.over)(xp, ivp) >= xp.ln() - 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Errors produced by the RCR stack.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Configuration was malformed.
+    InvalidConfig(String),
+    /// A neural-network phase failed.
+    Nn(rcr_nn::NnError),
+    /// A PSO phase failed.
+    Pso(rcr_pso::PsoError),
+    /// A verification phase failed.
+    Verify(rcr_verify::VerifyError),
+    /// A QoS solver failed.
+    Qos(rcr_qos::QosError),
+    /// A signal-processing component failed.
+    Signal(rcr_signal::SignalError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Nn(e) => write!(f, "neural-network phase: {e}"),
+            CoreError::Pso(e) => write!(f, "PSO phase: {e}"),
+            CoreError::Verify(e) => write!(f, "verification phase: {e}"),
+            CoreError::Qos(e) => write!(f, "QoS solver: {e}"),
+            CoreError::Signal(e) => write!(f, "signal processing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::InvalidConfig(_) => None,
+            CoreError::Nn(e) => Some(e),
+            CoreError::Pso(e) => Some(e),
+            CoreError::Verify(e) => Some(e),
+            CoreError::Qos(e) => Some(e),
+            CoreError::Signal(e) => Some(e),
+        }
+    }
+}
+
+impl From<rcr_nn::NnError> for CoreError {
+    fn from(e: rcr_nn::NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+impl From<rcr_pso::PsoError> for CoreError {
+    fn from(e: rcr_pso::PsoError) -> Self {
+        CoreError::Pso(e)
+    }
+}
+impl From<rcr_verify::VerifyError> for CoreError {
+    fn from(e: rcr_verify::VerifyError) -> Self {
+        CoreError::Verify(e)
+    }
+}
+impl From<rcr_qos::QosError> for CoreError {
+    fn from(e: rcr_qos::QosError) -> Self {
+        CoreError::Qos(e)
+    }
+}
+impl From<rcr_signal::SignalError> for CoreError {
+    fn from(e: rcr_signal::SignalError) -> Self {
+        CoreError::Signal(e)
+    }
+}

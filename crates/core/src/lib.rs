@@ -1,0 +1,45 @@
+//! The RCR architectural stack — the paper's primary contribution
+//! (Fig. 1), assembled from the substrate crates.
+//!
+//! "The RCR architectural stack achieved this via three distinct phases:
+//! (1) effectuating a RCR paradigm, via a bespoke MSY3I, (2) using a PSO
+//! to tune the MSY3I so as to reduce the associated computational costs,
+//! and (3) operationalizing the PSO via an adaptive inertial weighting
+//! mechanism facilitated by an M-GNU-O." (§V)
+//!
+//! * [`stack`] — [`stack::RcrStack`]: Phase 3 (adaptive-inertia kernel) →
+//!   Phase 2 (PSO hyperparameter tuning of the MSY3I) → Phase 1
+//!   (training + convex-relaxation adversarial training + hybrid
+//!   exact/relaxed verification), end to end.
+//! * [`robust`] — convex-relaxation adversarial training of a
+//!   verification-friendly MLP classifier, and the certification
+//!   machinery comparing IBP / CROWN / exact verdicts (experiment E10).
+//! * [`paradigm`] — the Fig. 2 experiment harness: the two RCR paradigms
+//!   (stability-first vs accuracy-first) plus the stabilizer
+//!   mixture-of-generators "DCGAN #3", with stability metrics.
+//! * [`qos_entry`] — the headline API: solve a 5G QoS RRA scenario with
+//!   the full solver arsenal and report the relaxation certificates.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rcr_core::stack::{RcrStack, StackConfig};
+//!
+//! # fn main() -> Result<(), rcr_core::CoreError> {
+//! let report = RcrStack::new(StackConfig::quick()).run()?;
+//! println!("tuned AP = {:.2}", report.detector_ap);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paradigm;
+pub mod qos_entry;
+pub mod robust;
+pub mod stack;
+
+mod error;
+
+pub use error::CoreError;

@@ -1,0 +1,276 @@
+//! The three-phase RCR stack of Fig. 1.
+//!
+//! Phase 3 (bottom): the adaptive inertial weighting kernel — the role
+//! the paper assigns to its "M-GNU-O" platform — supplies the
+//! diversity-driven inertia schedule that keeps the PSO from premature
+//! stagnation. Phase 2 (middle): that PSO tunes the MSY3I
+//! hyperparameters. Phase 1 (top): the tuned MSY3I trains on the burst
+//! detection task, and the relaxation-trained robustness head is
+//! certified with the hybrid exact/relaxed verifier pair.
+
+use crate::robust::{certify, train_classifier, BlobData, CertReport, RobustTrainConfig, TrainMode};
+use crate::CoreError;
+use rcr_nn::detect::{BurstConfig, BurstDataset};
+use rcr_nn::msy3i::{BackboneKind, Msy3iConfig, Msy3iModel};
+use rcr_pso::discrete::DiscreteStrategy;
+use rcr_pso::inertia::InertiaSchedule;
+use rcr_pso::swarm::PsoSettings;
+use rcr_pso::tuner::{tune, Assignment, Hyperparameter};
+use rcr_verify::exact::BnbSettings;
+
+/// Configuration of a full stack run.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Image side length for the detection task (divisible by 4).
+    pub input: usize,
+    /// Training images for tuning fitness evaluations.
+    pub tune_images: usize,
+    /// Training images for the final model.
+    pub train_images: usize,
+    /// Evaluation images.
+    pub eval_images: usize,
+    /// Epochs per tuning fitness evaluation.
+    pub tune_epochs: usize,
+    /// Epochs for the final training.
+    pub train_epochs: usize,
+    /// PSO swarm size for Phase 2.
+    pub swarm_size: usize,
+    /// PSO iterations for Phase 2.
+    pub pso_iterations: usize,
+    /// Adaptive inertia range `(min, max)` supplied by Phase 3.
+    pub inertia_range: (f64, f64),
+    /// Robust-training configuration for Phase 1's verification head.
+    pub robust: RobustTrainConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl StackConfig {
+    /// A configuration sized for tests and smoke runs (seconds, not
+    /// minutes).
+    pub fn quick() -> Self {
+        StackConfig {
+            input: 8,
+            tune_images: 8,
+            train_images: 16,
+            eval_images: 8,
+            tune_epochs: 2,
+            train_epochs: 6,
+            swarm_size: 4,
+            pso_iterations: 4,
+            inertia_range: (0.4, 0.9),
+            robust: RobustTrainConfig {
+                epochs: 30,
+                samples_per_class: 30,
+                ..Default::default()
+            },
+            seed: 0,
+        }
+    }
+
+    /// The benchmark-scale configuration (used by experiment E1).
+    pub fn standard() -> Self {
+        StackConfig {
+            input: 16,
+            tune_images: 24,
+            train_images: 128,
+            eval_images: 32,
+            tune_epochs: 4,
+            train_epochs: 40,
+            swarm_size: 8,
+            pso_iterations: 8,
+            inertia_range: (0.4, 0.9),
+            robust: RobustTrainConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Report from a full stack run.
+#[derive(Debug)]
+pub struct StackReport {
+    /// Phase-2 result: the tuned hyperparameters.
+    pub tuned: Assignment,
+    /// Phase-2 fitness of the tuned configuration (training loss).
+    pub tuned_fitness: f64,
+    /// Phase-1 result: detection AP of the final model.
+    pub detector_ap: f64,
+    /// Parameter count of the final model.
+    pub detector_params: usize,
+    /// Phase-1 verification: certification of the robustness head.
+    pub certification: CertReport,
+    /// Fitness evaluations spent by the PSO.
+    pub pso_evaluations: usize,
+}
+
+/// The RCR stack runner.
+#[derive(Debug)]
+pub struct RcrStack {
+    config: StackConfig,
+}
+
+impl RcrStack {
+    /// Creates a runner.
+    pub fn new(config: StackConfig) -> Self {
+        RcrStack { config }
+    }
+
+    /// Runs all three phases and reports.
+    ///
+    /// # Errors
+    /// Propagates phase errors; configuration problems surface as
+    /// [`CoreError::InvalidConfig`].
+    pub fn run(&self) -> Result<StackReport, CoreError> {
+        let cfg = &self.config;
+        if cfg.input % 4 != 0 || cfg.input < 8 {
+            return Err(CoreError::InvalidConfig(format!(
+                "input {} must be >= 8 and divisible by 4",
+                cfg.input
+            )));
+        }
+        let (imin, imax) = cfg.inertia_range;
+        if !(imin > 0.0 && imax >= imin && imax < 2.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "inertia range ({imin}, {imax}) invalid"
+            )));
+        }
+
+        // Shared data (single-burst scenes, matching experiment E11).
+        let burst_cfg = BurstConfig {
+            height: cfg.input,
+            width: cfg.input,
+            count: cfg.tune_images,
+            bursts: (1, 1),
+            noise: 0.1,
+            ..Default::default()
+        };
+        let tune_data = BurstDataset::generate(&burst_cfg, cfg.seed)?;
+        let train_data = BurstDataset::generate(
+            &BurstConfig { count: cfg.train_images, ..burst_cfg.clone() },
+            cfg.seed + 1,
+        )?;
+        let eval_data = BurstDataset::generate(
+            &BurstConfig { count: cfg.eval_images, ..burst_cfg },
+            cfg.seed + 2,
+        )?;
+
+        // ---- Phase 3: the adaptive inertial weighting kernel.
+        let inertia = InertiaSchedule::AdaptiveDiversity { min: imin, max: imax };
+
+        // ---- Phase 2: PSO hyperparameter tuning of the MSY3I.
+        let params = vec![
+            Hyperparameter::integer("base_channels", 4, 10),
+            Hyperparameter::integer("squeeze_ratio", 2, 5),
+            Hyperparameter::categorical("backbone", 2),
+            Hyperparameter::categorical("special_fire", 2),
+            Hyperparameter::continuous("learning_rate", 1e-3, 1e-2),
+        ];
+        let input = cfg.input;
+        let tune_epochs = cfg.tune_epochs;
+        let seed = cfg.seed;
+        let fitness = |a: &Assignment| -> f64 {
+            let model_cfg = Msy3iConfig {
+                input,
+                base_channels: a["base_channels"] as usize,
+                squeeze_ratio: a["squeeze_ratio"] as usize,
+                kind: if a["backbone"] == 0.0 {
+                    BackboneKind::Squeezed
+                } else {
+                    BackboneKind::FullConv
+                },
+                batchnorm: true,
+                special_fire: a["special_fire"] == 1.0,
+                learning_rate: a["learning_rate"],
+                seed,
+            };
+            let Ok(mut model) = Msy3iModel::build(&model_cfg) else {
+                return f64::MAX / 1e6;
+            };
+            match model.train(&tune_data, &tune_data, tune_epochs, 8, a["learning_rate"]) {
+                // Fitness: final loss plus a parameter-count penalty so
+                // squeezing is rewarded ("reduce the computational costs",
+                // Phase 2's brief) — 2e-5/param ≈ 0.07 for the full-conv
+                // backbone vs 0.01 for the squeezed one.
+                Ok(report) => {
+                    report.loss.last().copied().unwrap_or(f64::MAX / 1e6)
+                        + 2e-5 * model.param_count() as f64
+                }
+                Err(_) => f64::MAX / 1e6,
+            }
+        };
+        let pso_settings = PsoSettings {
+            swarm_size: cfg.swarm_size,
+            max_iter: cfg.pso_iterations,
+            inertia,
+            seed: cfg.seed,
+            ..Default::default()
+        };
+        let tuning = tune(&params, fitness, DiscreteStrategy::Distribution, &pso_settings)?;
+
+        // ---- Phase 1: final training with the tuned hyperparameters.
+        let best = &tuning.best;
+        let final_cfg = Msy3iConfig {
+            input: cfg.input,
+            base_channels: best["base_channels"] as usize,
+            squeeze_ratio: best["squeeze_ratio"] as usize,
+            kind: if best["backbone"] == 0.0 {
+                BackboneKind::Squeezed
+            } else {
+                BackboneKind::FullConv
+            },
+            batchnorm: true,
+            special_fire: best["special_fire"] == 1.0,
+            learning_rate: best["learning_rate"],
+            seed: cfg.seed,
+        };
+        let mut model = Msy3iModel::build(&final_cfg)?;
+        let report =
+            model.train(&train_data, &eval_data, cfg.train_epochs, 8, best["learning_rate"])?;
+
+        // Phase 1's verification arm: relaxation-trained robustness head +
+        // hybrid certification.
+        let blob = BlobData::generate(self.config.robust.samples_per_class, cfg.seed + 9);
+        let mut head = train_classifier(
+            &blob,
+            &RobustTrainConfig { mode: TrainMode::RelaxationAdversarial, ..self.config.robust.clone() },
+        )?;
+        let certification =
+            certify(&mut head, &blob, self.config.robust.epsilon, &BnbSettings::default())?;
+
+        Ok(StackReport {
+            tuned: tuning.best,
+            tuned_fitness: tuning.best_fitness,
+            detector_ap: report.ap,
+            detector_params: model.param_count(),
+            certification,
+            pso_evaluations: tuning.raw.evaluations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_stack_runs_end_to_end() {
+        let report = RcrStack::new(StackConfig::quick()).run().unwrap();
+        assert!(report.tuned.contains_key("base_channels"));
+        assert!(report.tuned.contains_key("learning_rate"));
+        assert!(report.detector_ap >= 0.0 && report.detector_ap <= 1.0);
+        assert!(report.detector_params > 0);
+        assert!(report.pso_evaluations > 0);
+        assert!(report.certification.clean_accuracy > 0.5);
+        assert!(report.tuned_fitness.is_finite());
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut bad = StackConfig::quick();
+        bad.input = 10;
+        assert!(RcrStack::new(bad).run().is_err());
+        let mut bad = StackConfig::quick();
+        bad.inertia_range = (0.9, 0.4);
+        assert!(RcrStack::new(bad).run().is_err());
+    }
+}

@@ -1,0 +1,278 @@
+use crate::{LinalgError, Matrix};
+
+/// Cholesky factorization `A = L * L^T` of a symmetric positive definite
+/// matrix.
+///
+/// Besides solving, the factorization doubles as the standard
+/// positive-definiteness test used by the convex solvers: construction fails
+/// with [`LinalgError::NotPositiveDefinite`] exactly when `A` is not SPD
+/// (up to a small diagonal tolerance).
+///
+/// # Example
+/// ```
+/// use rcr_linalg::{Cholesky, Matrix};
+/// # fn main() -> Result<(), rcr_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[25.0, 15.0], &[15.0, 18.0]])?;
+/// let ch = Cholesky::new(&a)?;
+/// assert!((ch.factor()[(0, 0)] - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive definite matrix.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] for non-square input.
+    /// * [`LinalgError::NotFinite`] for NaN/inf entries.
+    /// * [`LinalgError::NotPositiveDefinite`] when a pivot is non-positive.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let n = a.rows();
+        let tol = 1e-13 * a.max_abs().max(1.0);
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= tol {
+                return Err(LinalgError::NotPositiveDefinite);
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via two triangular solves.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] when `b.len()` differs from `n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                got: vec![n, b.len()],
+            });
+        }
+        // L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // L^T x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` (twice the log-sum of the diagonal of `L`);
+    /// numerically safer than computing the determinant directly.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// LDLᵀ factorization `A = L * D * L^T` of a symmetric matrix, where `D` is
+/// diagonal (possibly with negative entries).
+///
+/// Unlike [`Cholesky`] this handles symmetric *indefinite* matrices (no
+/// pivoting, so nearly-singular leading minors can still fail). It powers
+/// inertia queries — the count of negative eigenvalues equals the count of
+/// negative entries of `D` by Sylvester's law — used when classifying
+/// quadratic forms as convex/nonconvex in the QCQP pipeline.
+#[derive(Debug, Clone)]
+pub struct Ldlt {
+    l: Matrix,
+    d: Vec<f64>,
+}
+
+impl Ldlt {
+    /// Factorizes a symmetric matrix.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] for non-square input.
+    /// * [`LinalgError::NotFinite`] for NaN/inf entries.
+    /// * [`LinalgError::Singular`] when a pivot vanishes (the unpivoted
+    ///   algorithm cannot continue).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let n = a.rows();
+        let tol = 1e-13 * a.max_abs().max(1.0);
+        let mut l = Matrix::identity(n);
+        let mut d = vec![0.0; n];
+        for j in 0..n {
+            let mut dj = a[(j, j)];
+            for k in 0..j {
+                dj -= l[(j, k)] * l[(j, k)] * d[k];
+            }
+            if dj.abs() <= tol {
+                return Err(LinalgError::Singular);
+            }
+            d[j] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)] * d[k];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Ldlt { l, d })
+    }
+
+    /// The unit lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// The diagonal of `D`.
+    pub fn diagonal(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Matrix inertia `(n_neg, n_zero, n_pos)`: the signs of `D` equal the
+    /// signs of the eigenvalues (Sylvester's law of inertia). `n_zero` is
+    /// always 0 here since zero pivots abort factorization.
+    pub fn inertia(&self) -> (usize, usize, usize) {
+        let neg = self.d.iter().filter(|&&v| v < 0.0).count();
+        (neg, 0, self.d.len() - neg)
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] when `b.len()` differs from `n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch { op: "ldlt solve", got: vec![n, b.len()] });
+        }
+        // L y = b (unit diagonal)
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s;
+        }
+        // D z = y
+        for i in 0..n {
+            y[i] /= self.d[i];
+        }
+        // L^T x = z
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_known_factor() {
+        let a = Matrix::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]])
+            .unwrap();
+        let ch = a.cholesky().unwrap();
+        let l = ch.factor();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_diag(&[1.0, -1.0]);
+        assert!(matches!(a.cholesky(), Err(LinalgError::NotPositiveDefinite)));
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let x1 = a.cholesky().unwrap().solve(&b).unwrap();
+        let x2 = a.solve(&b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_determinant_matches_determinant() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let ld = a.cholesky().unwrap().log_determinant();
+        assert!((ld - 5.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ldlt_inertia_counts_negative_eigenvalues() {
+        let a = Matrix::from_diag(&[2.0, -3.0, 5.0]);
+        let f = Ldlt::new(&a).unwrap();
+        assert_eq!(f.inertia(), (1, 0, 2));
+    }
+
+    #[test]
+    fn ldlt_solves_indefinite_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, -3.0]]).unwrap();
+        let b = [1.0, 2.0];
+        let x = Ldlt::new(&a).unwrap().solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        assert!((r[0] - b[0]).abs() < 1e-12 && (r[1] - b[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ldlt_detects_zero_pivot() {
+        let a = Matrix::zeros(2, 2);
+        assert!(matches!(Ldlt::new(&a), Err(LinalgError::Singular)));
+    }
+}

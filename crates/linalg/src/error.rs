@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand dimensions are incompatible with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions that were supplied, in the order the operation saw them.
+        got: Vec<usize>,
+    },
+    /// A square matrix was required.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix is singular (or numerically singular) to working precision.
+    Singular,
+    /// A symmetric positive definite matrix was required (e.g. Cholesky).
+    NotPositiveDefinite,
+    /// An iterative kernel failed to converge within its iteration budget.
+    NonConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input contained NaN or infinite entries.
+    NotFinite,
+    /// Construction input was empty or otherwise malformed.
+    InvalidInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, got } => {
+                write!(f, "dimension mismatch in {op}: got {got:?}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "square matrix required, got {rows}x{cols}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not symmetric positive definite")
+            }
+            LinalgError::NonConvergence { iterations } => {
+                write!(f, "iteration failed to converge after {iterations} iterations")
+            }
+            LinalgError::NotFinite => write!(f, "input contains NaN or infinite entries"),
+            LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,187 @@
+use crate::{LinalgError, Matrix};
+
+/// Householder QR decomposition `A = Q * R` of an `m x n` matrix with
+/// `m >= n`.
+///
+/// `Q` is `m x n` with orthonormal columns (thin QR) and `R` is `n x n`
+/// upper triangular. Primarily used for least-squares solves inside the
+/// trust-region and water-filling routines.
+///
+/// # Example
+/// ```
+/// use rcr_linalg::Matrix;
+/// # fn main() -> Result<(), rcr_linalg::LinalgError> {
+/// // Over-determined fit: find x minimizing ||Ax - b||.
+/// let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]])?;
+/// let x = a.qr()?.solve_least_squares(&[6.0, 0.0, 0.0])?;
+/// assert!((x[0] - 8.0).abs() < 1e-10 && (x[1] + 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl QrDecomposition {
+    /// Factorizes `a` (requires `rows >= cols`).
+    ///
+    /// # Errors
+    /// * [`LinalgError::InvalidInput`] when `rows < cols`.
+    /// * [`LinalgError::NotFinite`] for NaN/inf entries.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidInput(format!(
+                "thin QR requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let mut r = a.clone();
+        // Accumulate Q as a full m x m product, take the thin part at the end.
+        let mut q = Matrix::identity(m);
+        for k in 0..n {
+            // Householder vector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut v = vec![0.0; m];
+            v[k] = r[(k, k)] - alpha;
+            for i in (k + 1)..m {
+                v[i] = r[(i, k)];
+            }
+            let vtv: f64 = v.iter().map(|x| x * x).sum();
+            if vtv == 0.0 {
+                continue;
+            }
+            // Apply H = I - 2 v v^T / (v^T v) to R (columns k..n).
+            for c in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r[(i, c)];
+                }
+                let f = 2.0 * dot / vtv;
+                for i in k..m {
+                    let sub = f * v[i];
+                    r[(i, c)] -= sub;
+                }
+            }
+            // Accumulate into Q: Q = Q * H.
+            for rr in 0..m {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += q[(rr, i)] * v[i];
+                }
+                let f = 2.0 * dot / vtv;
+                for i in k..m {
+                    let sub = f * v[i];
+                    q[(rr, i)] -= sub;
+                }
+            }
+        }
+        let q_thin = q.submatrix(0, m, 0, n);
+        let r_thin = r.submatrix(0, n, 0, n);
+        Ok(QrDecomposition { q: q_thin, r: r_thin })
+    }
+
+    /// The thin orthonormal factor `Q` (`m x n`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`n x n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves the least-squares problem `min_x ||A x - b||_2`.
+    ///
+    /// # Errors
+    /// * [`LinalgError::DimensionMismatch`] when `b.len()` differs from `m`.
+    /// * [`LinalgError::Singular`] when `A` is rank-deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let m = self.q.rows();
+        let n = self.q.cols();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch { op: "qr solve", got: vec![m, b.len()] });
+        }
+        // x = R^{-1} Q^T b
+        let qtb = self.q.matvec_t(b)?;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = qtb[i];
+            for j in (i + 1)..n {
+                s -= self.r[(i, j)] * x[j];
+            }
+            let d = self.r[(i, i)];
+            if d.abs() < 1e-13 {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        let recon = qr.q().matmul(qr.r()).unwrap();
+        assert!((&recon - &a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_rows(&[&[2.0, -1.0], &[1.0, 3.0], &[0.0, 1.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        assert!((&qtq - &Matrix::identity(2)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        assert!(qr.r()[(1, 0)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let b = [1.0, 2.0, 2.5, 4.0];
+        let x = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations: (A^T A) x = A^T b.
+        let ata = a.transpose().matmul(&a).unwrap();
+        let atb = a.matvec_t(&b).unwrap();
+        let xn = ata.solve(&atb).unwrap();
+        for (p, q) in x.iter().zip(&xn) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_wide_matrices() {
+        assert!(Matrix::zeros(2, 3).qr().is_err());
+    }
+
+    #[test]
+    fn rank_deficient_detected_on_solve() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        assert!(matches!(qr.solve_least_squares(&[1.0, 1.0, 1.0]), Err(LinalgError::Singular)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! These helpers operate on plain slices so callers never need to wrap data
+//! in a dedicated vector type. All fallible operations assert matching
+//! lengths via `debug_assert!` and document panic behaviour.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// 1-norm (sum of absolute values).
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+/// Infinity norm (maximum absolute value); `0.0` for an empty slice.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise `a - b` into a new vector.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise `a + b` into a new vector.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// `alpha * a` into a new vector.
+pub fn scale(alpha: f64, a: &[f64]) -> Vec<f64> {
+    a.iter().map(|v| alpha * v).collect()
+}
+
+/// Euclidean distance between two points.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Clamps every element of `x` into `[lo[i], hi[i]]`.
+///
+/// # Panics
+/// Panics in debug builds if lengths differ.
+pub fn clamp_box(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+    debug_assert!(x.len() == lo.len() && x.len() == hi.len());
+    for ((xi, &l), &h) in x.iter_mut().zip(lo).zip(hi) {
+        *xi = xi.clamp(l, h);
+    }
+}
+
+/// True when every element is finite.
+pub fn is_finite(a: &[f64]) -> bool {
+    a.iter().all(|v| v.is_finite())
+}
+
+/// Index and value of the maximum element; `None` for an empty slice.
+/// NaN entries are skipped.
+pub fn argmax(a: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best
+}
+
+/// Index and value of the minimum element; `None` for an empty slice.
+/// NaN entries are skipped.
+pub fn argmin(a: &[f64]) -> Option<(usize, f64)> {
+    argmax(&a.iter().map(|v| -v).collect::<Vec<_>>()).map(|(i, v)| (i, -v))
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance; `0.0` for slices shorter than 2.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm1(&[-1.0, 2.0]), 3.0);
+        assert_eq!(norm_inf(&[-5.0, 2.0]), 5.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(scale(2.0, &[1.0, -1.0]), vec![2.0, -2.0]);
+        assert_eq!(distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn clamp_box_respects_bounds() {
+        let mut x = vec![-2.0, 0.5, 9.0];
+        clamp_box(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some((1, 3.0)));
+        assert_eq!(argmin(&[1.0, 3.0, 2.0]), Some((0, 1.0)));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some((1, 2.0)));
+    }
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(is_finite(&[1.0, 2.0]));
+        assert!(!is_finite(&[1.0, f64::NAN]));
+        assert!(!is_finite(&[f64::INFINITY]));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based invariants of the linear-algebra kernels.
+
+use proptest::prelude::*;
+use rcr_linalg::{Cholesky, Matrix};
+
+fn diag_dominant(entries: &[f64], n: usize) -> Matrix {
+    let mut a = Matrix::from_vec(n, n, entries.to_vec()).expect("sized");
+    for i in 0..n {
+        let v = a[(i, i)];
+        a[(i, i)] = v + (n as f64) * 3.0 + 1.0;
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lu_inverse_roundtrip(entries in prop::collection::vec(-2.0f64..2.0, 9)) {
+        let a = diag_dominant(&entries, 3);
+        let inv = a.inverse().unwrap();
+        let id = a.matmul(&inv).unwrap();
+        prop_assert!((&id - &Matrix::identity(3)).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn determinant_of_product_multiplies(
+        e1 in prop::collection::vec(-2.0f64..2.0, 9),
+        e2 in prop::collection::vec(-2.0f64..2.0, 9),
+    ) {
+        let a = diag_dominant(&e1, 3);
+        let b = diag_dominant(&e2, 3);
+        let da = a.determinant().unwrap();
+        let db = b.determinant().unwrap();
+        let dab = a.matmul(&b).unwrap().determinant().unwrap();
+        prop_assert!((dab - da * db).abs() < 1e-6 * dab.abs().max(1.0));
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(
+        entries in prop::collection::vec(-1.5f64..1.5, 12),
+        rhs in prop::collection::vec(-3.0f64..3.0, 3),
+    ) {
+        // A = GᵀG + I is SPD for any G.
+        let g = Matrix::from_vec(4, 3, entries).unwrap();
+        let a = {
+            let gtg = g.transpose().matmul(&g).unwrap();
+            &gtg + &Matrix::identity(3)
+        };
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve(&rhs).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (got, want) in r.iter().zip(&rhs) {
+            prop_assert!((got - want).abs() < 1e-8);
+        }
+        // L Lᵀ reconstructs A.
+        let l = ch.factor();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        prop_assert!((&recon - &a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstruction_and_trace(entries in prop::collection::vec(-2.0f64..2.0, 9)) {
+        let a = Matrix::from_vec(3, 3, entries).unwrap().symmetrize().unwrap();
+        let e = a.symmetric_eigen().unwrap();
+        prop_assert!((&e.reconstruct() - &a).max_abs() < 1e-8);
+        let sum: f64 = e.eigenvalues().iter().sum();
+        prop_assert!((sum - a.trace()).abs() < 1e-8);
+        // Eigenvalues ascend.
+        for w in e.eigenvalues().windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn qr_factors_are_consistent(entries in prop::collection::vec(-2.0f64..2.0, 12)) {
+        let a = Matrix::from_vec(4, 3, entries).unwrap();
+        let qr = a.qr().unwrap();
+        let recon = qr.q().matmul(qr.r()).unwrap();
+        prop_assert!((&recon - &a).max_abs() < 1e-9);
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        prop_assert!((&qtq - &Matrix::identity(3)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn operator_norms_bound_action(
+        entries in prop::collection::vec(-2.0f64..2.0, 9),
+        x in prop::collection::vec(-1.0f64..1.0, 3),
+    ) {
+        // ‖Ax‖∞ ≤ ‖A‖∞ ‖x‖∞.
+        let a = Matrix::from_vec(3, 3, entries).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let lhs = ax.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let xinf = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        prop_assert!(lhs <= a.inf_norm() * xinf + 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based check: branch-and-bound equals brute force on random
+//! separable integer quadratics.
+
+use proptest::prelude::*;
+use rcr_minlp::{solve, BnbSettings, SeparableQuadratic};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bnb_matches_brute_force(
+        targets in prop::collection::vec(-3.0f64..3.0, 2..4),
+        use_budget in any::<bool>(),
+        budget in -4i64..8,
+    ) {
+        let range = (-4i64, 4i64);
+        let n = targets.len();
+        let budget_opt = if use_budget { Some(budget) } else { None };
+        let p = SeparableQuadratic::new(targets.clone(), range, budget_opt).unwrap();
+        let objective = |x: &[i64]| -> f64 {
+            targets.iter().zip(x).map(|(c, &v)| (v as f64 - c) * (v as f64 - c)).sum()
+        };
+
+        // Brute force over the full lattice.
+        let mut best: Option<(f64, Vec<i64>)> = None;
+        let size = (range.1 - range.0 + 1) as usize;
+        for idx in 0..size.pow(n as u32) {
+            let mut x = Vec::with_capacity(n);
+            let mut rem = idx;
+            for _ in 0..n {
+                x.push(range.0 + (rem % size) as i64);
+                rem /= size;
+            }
+            if let Some(s) = budget_opt {
+                if x.iter().sum::<i64>() != s {
+                    continue;
+                }
+            }
+            let v = objective(&x);
+            match &best {
+                Some((bv, _)) if *bv <= v => {}
+                _ => best = Some((v, x)),
+            }
+        }
+
+        match (solve(&p, &BnbSettings::default()), best) {
+            (Ok(report), Some((bv, _))) => {
+                prop_assert!(
+                    (report.objective - bv).abs() < 1e-9,
+                    "bnb {} vs brute {bv}",
+                    report.objective
+                );
+                prop_assert!(report.proven_optimal);
+            }
+            (Err(rcr_minlp::MinlpError::Infeasible), None) => {} // agree: infeasible
+            (got, want) => prop_assert!(false, "bnb {got:?} vs brute {want:?}"),
+        }
+    }
+}

@@ -1,0 +1,30 @@
+use std::fmt;
+
+/// Errors produced by the neural-network substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Tensor shape is inconsistent with the operation.
+    ShapeMismatch {
+        /// Operation description.
+        op: &'static str,
+        /// Shape(s) seen, flattened.
+        got: Vec<usize>,
+    },
+    /// A layer/model parameter was outside its documented domain.
+    InvalidParameter(String),
+    /// Training diverged (NaN/inf in activations, loss, or gradients).
+    Diverged(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { op, got } => write!(f, "shape mismatch in {op}: {got:?}"),
+            NnError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            NnError::Diverged(msg) => write!(f, "training diverged: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}

@@ -1,0 +1,1287 @@
+//! Layers with manual forward/backward passes.
+//!
+//! Every layer caches what it needs during `forward` and consumes it in
+//! `backward`; parameter gradients accumulate until
+//! [`Layer::zero_grad`]. The catalog is exactly what the MSY3I backbone
+//! needs: linear, conv, pooling, activations, batch normalization with
+//! selective placement, and the SqueezeNet/SqueezeDet fire layers.
+
+use crate::tensor::Tensor;
+use crate::NnError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A differentiable layer.
+pub trait Layer: std::fmt::Debug {
+    /// Forward pass. `training` selects batch-vs-running statistics for
+    /// normalization layers.
+    fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError>;
+
+    /// Backward pass: consumes the loss gradient w.r.t. this layer's
+    /// output, accumulates parameter gradients, returns the gradient
+    /// w.r.t. the input.
+    ///
+    /// # Errors
+    /// Returns [`NnError::ShapeMismatch`] when `grad` does not match the
+    /// cached forward output, and [`NnError::InvalidParameter`] when
+    /// called before any forward pass.
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError>;
+
+    /// `(parameters, gradients)` pairs, in a stable order.
+    fn params_mut(&mut self) -> Vec<(&mut [f64], &mut [f64])>;
+
+    /// Clears accumulated gradients.
+    fn zero_grad(&mut self);
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize;
+}
+
+fn he_init(rng: &mut StdRng, fan_in: usize, n: usize) -> Vec<f64> {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    // Box–Muller from uniform samples keeps us on rand's stable API.
+    (0..n)
+        .map(|_| {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * std
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------
+
+/// A fully-connected layer `y = W x + b` over `[N, in]` tensors.
+#[derive(Debug)]
+pub struct Linear {
+    in_f: usize,
+    out_f: usize,
+    w: Vec<f64>,
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    cache_x: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with He-initialized weights.
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidParameter`] for zero dimensions.
+    pub fn new(in_f: usize, out_f: usize, seed: u64) -> Result<Self, NnError> {
+        if in_f == 0 || out_f == 0 {
+            return Err(NnError::InvalidParameter("linear dims must be >= 1".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(Linear {
+            in_f,
+            out_f,
+            w: he_init(&mut rng, in_f, in_f * out_f),
+            b: vec![0.0; out_f],
+            gw: vec![0.0; in_f * out_f],
+            gb: vec![0.0; out_f],
+            cache_x: None,
+        })
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_f
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_f
+    }
+
+    /// The weight matrix, row-major `[out, in]` — exposed for the
+    /// verification crate, which re-expresses trained networks as affine
+    /// layers.
+    pub fn weight(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Overwrites weights and bias (used to build reference networks in
+    /// tests and experiments).
+    ///
+    /// # Errors
+    /// Returns [`NnError::ShapeMismatch`] when the buffer sizes differ.
+    pub fn set_parameters(&mut self, w: &[f64], b: &[f64]) -> Result<(), NnError> {
+        if w.len() != self.w.len() || b.len() != self.b.len() {
+            return Err(NnError::ShapeMismatch {
+                op: "linear set_parameters",
+                got: vec![w.len(), b.len()],
+            });
+        }
+        self.w.copy_from_slice(w);
+        self.b.copy_from_slice(b);
+        Ok(())
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
+        if x.shape().len() != 2 || x.shape()[1] != self.in_f {
+            return Err(NnError::ShapeMismatch { op: "linear forward", got: x.shape().to_vec() });
+        }
+        let n = x.batch();
+        let mut out = Tensor::zeros(vec![n, self.out_f]);
+        for i in 0..n {
+            for o in 0..self.out_f {
+                let mut s = self.b[o];
+                for k in 0..self.in_f {
+                    s += self.w[o * self.in_f + k] * x.data()[i * self.in_f + k];
+                }
+                out.data_mut()[i * self.out_f + o] = s;
+            }
+        }
+        self.cache_x = Some(x.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let x = self
+            .cache_x
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidParameter("backward before forward".into()))?;
+        let n = x.batch();
+        if grad.shape() != [n, self.out_f] {
+            return Err(NnError::ShapeMismatch { op: "linear backward", got: grad.shape().to_vec() });
+        }
+        let mut gx = Tensor::zeros(vec![n, self.in_f]);
+        for i in 0..n {
+            for o in 0..self.out_f {
+                let go = grad.data()[i * self.out_f + o];
+                self.gb[o] += go;
+                for k in 0..self.in_f {
+                    self.gw[o * self.in_f + k] += go * x.data()[i * self.in_f + k];
+                    gx.data_mut()[i * self.in_f + k] += go * self.w[o * self.in_f + k];
+                }
+            }
+        }
+        Ok(gx)
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut [f64], &mut [f64])> {
+        vec![(&mut self.w, &mut self.gw), (&mut self.b, &mut self.gb)]
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw.iter_mut().for_each(|v| *v = 0.0);
+        self.gb.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------
+
+/// A 2-D convolution over `[N, C, H, W]` tensors.
+#[derive(Debug)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    w: Vec<f64>, // [out_c, in_c, k, k]
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialized weights.
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidParameter`] for zero dims/kernel/stride.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if in_c == 0 || out_c == 0 || k == 0 || stride == 0 {
+            return Err(NnError::InvalidParameter("conv dims must be >= 1".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = in_c * k * k;
+        Ok(Conv2d {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            w: he_init(&mut rng, fan_in, out_c * fan_in),
+            b: vec![0.0; out_c],
+            gw: vec![0.0; out_c * fan_in],
+            gb: vec![0.0; out_c],
+            cache_x: None,
+        })
+    }
+
+    /// Output spatial size for an input of `h x w`.
+    ///
+    /// # Errors
+    /// Returns [`NnError::ShapeMismatch`] when the kernel does not fit.
+    pub fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize), NnError> {
+        let he = h + 2 * self.pad;
+        let we = w + 2 * self.pad;
+        if he < self.k || we < self.k {
+            return Err(NnError::ShapeMismatch { op: "conv out_hw", got: vec![h, w, self.k] });
+        }
+        Ok(((he - self.k) / self.stride + 1, (we - self.k) / self.stride + 1))
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, c: usize, i: usize, j: usize) -> usize {
+        ((o * self.in_c + c) * self.k + i) * self.k + j
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
+        if x.shape().len() != 4 || x.shape()[1] != self.in_c {
+            return Err(NnError::ShapeMismatch { op: "conv forward", got: x.shape().to_vec() });
+        }
+        let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.out_hw(h, w)?;
+        let mut out = Tensor::zeros(vec![n, self.out_c, oh, ow]);
+        for ni in 0..n {
+            for o in 0..self.out_c {
+                for yo in 0..oh {
+                    for xo in 0..ow {
+                        let mut s = self.b[o];
+                        for c in 0..self.in_c {
+                            for i in 0..self.k {
+                                let yi = yo * self.stride + i;
+                                if yi < self.pad || yi - self.pad >= h {
+                                    continue;
+                                }
+                                for j in 0..self.k {
+                                    let xi = xo * self.stride + j;
+                                    if xi < self.pad || xi - self.pad >= w {
+                                        continue;
+                                    }
+                                    s += self.w[self.widx(o, c, i, j)]
+                                        * x.at4(ni, c, yi - self.pad, xi - self.pad);
+                                }
+                            }
+                        }
+                        *out.at4_mut(ni, o, yo, xo) = s;
+                    }
+                }
+            }
+        }
+        self.cache_x = Some(x.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let x = self
+            .cache_x
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidParameter("backward before forward".into()))?
+            .clone();
+        let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.out_hw(h, w)?;
+        if grad.shape() != [n, self.out_c, oh, ow] {
+            return Err(NnError::ShapeMismatch { op: "conv backward", got: grad.shape().to_vec() });
+        }
+        let mut gx = Tensor::zeros(x.shape().to_vec());
+        for ni in 0..n {
+            for o in 0..self.out_c {
+                for yo in 0..oh {
+                    for xo in 0..ow {
+                        let go = grad.at4(ni, o, yo, xo);
+                        if go == 0.0 {
+                            continue;
+                        }
+                        self.gb[o] += go;
+                        for c in 0..self.in_c {
+                            for i in 0..self.k {
+                                let yi = yo * self.stride + i;
+                                if yi < self.pad || yi - self.pad >= h {
+                                    continue;
+                                }
+                                for j in 0..self.k {
+                                    let xi = xo * self.stride + j;
+                                    if xi < self.pad || xi - self.pad >= w {
+                                        continue;
+                                    }
+                                    let xv = x.at4(ni, c, yi - self.pad, xi - self.pad);
+                                    let wi = self.widx(o, c, i, j);
+                                    self.gw[wi] += go * xv;
+                                    *gx.at4_mut(ni, c, yi - self.pad, xi - self.pad) +=
+                                        go * self.w[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(gx)
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut [f64], &mut [f64])> {
+        vec![(&mut self.w, &mut self.gw), (&mut self.b, &mut self.gb)]
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw.iter_mut().for_each(|v| *v = 0.0);
+        self.gb.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------
+
+/// Element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// `max(αx, x)` — the DCGAN staple.
+    LeakyRelu(f64),
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+/// An activation layer.
+#[derive(Debug)]
+pub struct ActivationLayer {
+    kind: Activation,
+    cache_x: Option<Tensor>,
+}
+
+impl ActivationLayer {
+    /// Creates the layer.
+    pub fn new(kind: Activation) -> Self {
+        ActivationLayer { kind, cache_x: None }
+    }
+
+    fn apply(&self, v: f64) -> f64 {
+        match self.kind {
+            Activation::Relu => v.max(0.0),
+            Activation::LeakyRelu(a) => {
+                if v >= 0.0 {
+                    v
+                } else {
+                    a * v
+                }
+            }
+            Activation::Tanh => v.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        }
+    }
+
+    fn derivative(&self, v: f64) -> f64 {
+        match self.kind {
+            Activation::Relu => {
+                if v > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu(a) => {
+                if v > 0.0 {
+                    1.0
+                } else {
+                    a
+                }
+            }
+            Activation::Tanh => {
+                let t = v.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-v).exp());
+                s * (1.0 - s)
+            }
+        }
+    }
+}
+
+impl Layer for ActivationLayer {
+    fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
+        self.cache_x = Some(x.clone());
+        Ok(x.map(|v| self.apply(v)))
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let x = self
+            .cache_x
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidParameter("backward before forward".into()))?;
+        if grad.shape() != x.shape() {
+            return Err(NnError::ShapeMismatch {
+                op: "activation backward",
+                got: grad.shape().to_vec(),
+            });
+        }
+        let mut out = grad.clone();
+        for (g, &xv) in out.data_mut().iter_mut().zip(x.data()) {
+            *g *= self.derivative(xv);
+        }
+        Ok(out)
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut [f64], &mut [f64])> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------
+// BatchNorm
+// ---------------------------------------------------------------------
+
+/// Batch normalization over the channel dimension of `[N, C, H, W]`
+/// tensors (or the feature dimension of `[N, F]`).
+///
+/// §II-B-2: "simply applying batchnorm to all the layers of the neural
+/// network can result in oscillation and instability … this instability
+/// can be avoided by selectively applying batchnorm". The placement
+/// decision lives in the model builders; this type is just the kernel.
+#[derive(Debug)]
+pub struct BatchNorm {
+    channels: usize,
+    gamma: Vec<f64>,
+    beta: Vec<f64>,
+    g_gamma: Vec<f64>,
+    g_beta: Vec<f64>,
+    running_mean: Vec<f64>,
+    running_var: Vec<f64>,
+    momentum: f64,
+    eps: f64,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    std_inv: Vec<f64>,
+    shape: Vec<usize>,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer for `channels` channels.
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidParameter`] for zero channels.
+    pub fn new(channels: usize) -> Result<Self, NnError> {
+        if channels == 0 {
+            return Err(NnError::InvalidParameter("batchnorm channels must be >= 1".into()));
+        }
+        Ok(BatchNorm {
+            channels,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            g_gamma: vec![0.0; channels],
+            g_beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        })
+    }
+
+    /// Per-channel iteration helper: yields `(channel, flat index)`.
+    fn channel_of(shape: &[usize], idx: usize) -> usize {
+        match shape.len() {
+            2 => idx % shape[1],
+            4 => (idx / (shape[2] * shape[3])) % shape[1],
+            _ => 0,
+        }
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        let shape = x.shape().to_vec();
+        let ok = (shape.len() == 2 && shape[1] == self.channels)
+            || (shape.len() == 4 && shape[1] == self.channels);
+        if !ok {
+            return Err(NnError::ShapeMismatch { op: "batchnorm forward", got: shape });
+        }
+        let count_per_ch = x.len() / self.channels;
+        let (mean, var) = if training {
+            let mut mean = vec![0.0; self.channels];
+            let mut var = vec![0.0; self.channels];
+            for (i, &v) in x.data().iter().enumerate() {
+                mean[Self::channel_of(&shape, i)] += v;
+            }
+            for m in &mut mean {
+                *m /= count_per_ch as f64;
+            }
+            for (i, &v) in x.data().iter().enumerate() {
+                let c = Self::channel_of(&shape, i);
+                var[c] += (v - mean[c]) * (v - mean[c]);
+            }
+            for v in &mut var {
+                *v /= count_per_ch as f64;
+            }
+            for c in 0..self.channels {
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let std_inv: Vec<f64> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut x_hat = x.clone();
+        for (i, v) in x_hat.data_mut().iter_mut().enumerate() {
+            let c = Self::channel_of(&shape, i);
+            *v = (*v - mean[c]) * std_inv[c];
+        }
+        let mut out = x_hat.clone();
+        for (i, v) in out.data_mut().iter_mut().enumerate() {
+            let c = Self::channel_of(&shape, i);
+            *v = self.gamma[c] * *v + self.beta[c];
+        }
+        if training {
+            self.cache = Some(BnCache { x_hat, std_inv, shape });
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidParameter("backward before training forward".into()))?;
+        if grad.shape() != cache.shape.as_slice() {
+            return Err(NnError::ShapeMismatch {
+                op: "batchnorm backward",
+                got: grad.shape().to_vec(),
+            });
+        }
+        let shape = &cache.shape;
+        let m = (grad.len() / self.channels) as f64;
+
+        // Accumulate per-channel sums.
+        let mut sum_g = vec![0.0; self.channels];
+        let mut sum_gx = vec![0.0; self.channels];
+        for (i, &g) in grad.data().iter().enumerate() {
+            let c = Self::channel_of(shape, i);
+            sum_g[c] += g;
+            sum_gx[c] += g * cache.x_hat.data()[i];
+        }
+        for c in 0..self.channels {
+            self.g_beta[c] += sum_g[c];
+            self.g_gamma[c] += sum_gx[c];
+        }
+        // dx = (γ·std_inv/m)·(m·g − sum_g − x̂·sum_gx)
+        let mut gx = grad.clone();
+        for (i, v) in gx.data_mut().iter_mut().enumerate() {
+            let c = Self::channel_of(shape, i);
+            *v = self.gamma[c] * cache.std_inv[c] / m
+                * (m * grad.data()[i] - sum_g[c] - cache.x_hat.data()[i] * sum_gx[c]);
+        }
+        Ok(gx)
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut [f64], &mut [f64])> {
+        vec![(&mut self.gamma, &mut self.g_gamma), (&mut self.beta, &mut self.g_beta)]
+    }
+
+    fn zero_grad(&mut self) {
+        self.g_gamma.iter_mut().for_each(|v| *v = 0.0);
+        self.g_beta.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.gamma.len() + self.beta.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// MaxPool2d
+// ---------------------------------------------------------------------
+
+/// 2×2 stride-2 max pooling.
+#[derive(Debug, Default)]
+pub struct MaxPool2d {
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (input shape, argmax flat indices)
+}
+
+impl MaxPool2d {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        MaxPool2d::default()
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
+        if x.shape().len() != 4 || x.shape()[2] < 2 || x.shape()[3] < 2 {
+            return Err(NnError::ShapeMismatch { op: "maxpool forward", got: x.shape().to_vec() });
+        }
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(vec![n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let mut oi = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                for yo in 0..oh {
+                    for xo in 0..ow {
+                        let mut best = f64::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let (yi, xi) = (yo * 2 + dy, xo * 2 + dx);
+                                let v = x.at4(ni, ci, yi, xi);
+                                if v > best {
+                                    best = v;
+                                    best_idx = ((ni * c + ci) * h + yi) * w + xi;
+                                }
+                            }
+                        }
+                        *out.at4_mut(ni, ci, yo, xo) = best;
+                        argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        self.cache = Some((x.shape().to_vec(), argmax));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let (in_shape, argmax) = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidParameter("backward before forward".into()))?;
+        if grad.len() != argmax.len() {
+            return Err(NnError::ShapeMismatch { op: "maxpool backward", got: grad.shape().to_vec() });
+        }
+        let mut gx = Tensor::zeros(in_shape.clone());
+        for (g, &idx) in grad.data().iter().zip(argmax) {
+            gx.data_mut()[idx] += g;
+        }
+        Ok(gx)
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut [f64], &mut [f64])> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flatten
+// ---------------------------------------------------------------------
+
+/// Flattens `[N, C, H, W]` to `[N, C·H·W]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
+        let shape = x.shape().to_vec();
+        if shape.is_empty() {
+            return Err(NnError::ShapeMismatch { op: "flatten forward", got: shape });
+        }
+        self.cache_shape = Some(shape.clone());
+        let n = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        x.clone().reshape(vec![n, rest])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self
+            .cache_shape
+            .clone()
+            .ok_or_else(|| NnError::InvalidParameter("backward before forward".into()))?;
+        grad.clone().reshape(shape)
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut [f64], &mut [f64])> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fire layers
+// ---------------------------------------------------------------------
+
+/// A SqueezeNet fire layer: a 1×1 squeeze convolution followed by
+/// parallel 1×1 and 3×3 expand convolutions whose outputs are
+/// concatenated along channels (ReLU after each conv).
+///
+/// Replacing a `k×k` convolution of equal output width with a fire layer
+/// cuts the parameter count by roughly the squeeze ratio — the mechanism
+/// behind the paper's MSY3I ("the number of model parameters in MSY3I
+/// will be lower than that of just YOLO v3 with only the slightest
+/// degradation in performance").
+#[derive(Debug)]
+pub struct FireLayer {
+    squeeze: Conv2d,
+    expand1: Conv2d,
+    expand3: Conv2d,
+    relu_s: ActivationLayer,
+    relu_e1: ActivationLayer,
+    relu_e3: ActivationLayer,
+    e1_c: usize,
+    e3_c: usize,
+    cache_hw: Option<(usize, usize, usize)>, // (n, h, w) after squeeze
+}
+
+impl FireLayer {
+    /// Creates a fire layer: `in_c → squeeze_c → (expand1_c ∥ expand3_c)`.
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidParameter`] for zero channel counts.
+    pub fn new(
+        in_c: usize,
+        squeeze_c: usize,
+        expand1_c: usize,
+        expand3_c: usize,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if expand1_c == 0 || expand3_c == 0 {
+            return Err(NnError::InvalidParameter("expand channels must be >= 1".into()));
+        }
+        Ok(FireLayer {
+            squeeze: Conv2d::new(in_c, squeeze_c, 1, 1, 0, seed)?,
+            expand1: Conv2d::new(squeeze_c, expand1_c, 1, 1, 0, seed.wrapping_add(1))?,
+            expand3: Conv2d::new(squeeze_c, expand3_c, 3, 1, 1, seed.wrapping_add(2))?,
+            relu_s: ActivationLayer::new(Activation::LeakyRelu(0.1)),
+            relu_e1: ActivationLayer::new(Activation::LeakyRelu(0.1)),
+            relu_e3: ActivationLayer::new(Activation::LeakyRelu(0.1)),
+            e1_c: expand1_c,
+            e3_c: expand3_c,
+            cache_hw: None,
+        })
+    }
+
+    /// Total output channels (`expand1_c + expand3_c`).
+    pub fn out_channels(&self) -> usize {
+        self.e1_c + self.e3_c
+    }
+}
+
+impl Layer for FireLayer {
+    fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        let s = self.relu_s.forward(&self.squeeze.forward(x, training)?, training)?;
+        let e1 = self.relu_e1.forward(&self.expand1.forward(&s, training)?, training)?;
+        let e3 = self.relu_e3.forward(&self.expand3.forward(&s, training)?, training)?;
+        let (n, h, w) = (s.shape()[0], s.shape()[2], s.shape()[3]);
+        self.cache_hw = Some((n, h, w));
+        // Concatenate along channels.
+        let mut out = Tensor::zeros(vec![n, self.e1_c + self.e3_c, h, w]);
+        for ni in 0..n {
+            for c in 0..self.e1_c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        *out.at4_mut(ni, c, y, xx) = e1.at4(ni, c, y, xx);
+                    }
+                }
+            }
+            for c in 0..self.e3_c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        *out.at4_mut(ni, self.e1_c + c, y, xx) = e3.at4(ni, c, y, xx);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let (n, h, w) = self
+            .cache_hw
+            .ok_or_else(|| NnError::InvalidParameter("backward before forward".into()))?;
+        if grad.shape() != [n, self.e1_c + self.e3_c, h, w] {
+            return Err(NnError::ShapeMismatch { op: "fire backward", got: grad.shape().to_vec() });
+        }
+        // Split the channel gradient.
+        let mut g1 = Tensor::zeros(vec![n, self.e1_c, h, w]);
+        let mut g3 = Tensor::zeros(vec![n, self.e3_c, h, w]);
+        for ni in 0..n {
+            for c in 0..self.e1_c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        *g1.at4_mut(ni, c, y, xx) = grad.at4(ni, c, y, xx);
+                    }
+                }
+            }
+            for c in 0..self.e3_c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        *g3.at4_mut(ni, c, y, xx) = grad.at4(ni, self.e1_c + c, y, xx);
+                    }
+                }
+            }
+        }
+        let gs1 = self.expand1.backward(&self.relu_e1.backward(&g1)?)?;
+        let gs3 = self.expand3.backward(&self.relu_e3.backward(&g3)?)?;
+        let mut gs = gs1;
+        for (a, b) in gs.data_mut().iter_mut().zip(gs3.data()) {
+            *a += b;
+        }
+        self.squeeze.backward(&self.relu_s.backward(&gs)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut [f64], &mut [f64])> {
+        let mut v = self.squeeze.params_mut();
+        v.extend(self.expand1.params_mut());
+        v.extend(self.expand3.params_mut());
+        v
+    }
+
+    fn zero_grad(&mut self) {
+        self.squeeze.zero_grad();
+        self.expand1.zero_grad();
+        self.expand3.zero_grad();
+    }
+
+    fn param_count(&self) -> usize {
+        self.squeeze.param_count() + self.expand1.param_count() + self.expand3.param_count()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Special fire layer
+// ---------------------------------------------------------------------
+
+/// A SqueezeDet **Special Fire Layer** (SFL): a fire layer whose expand
+/// convolutions use stride 2, so it squeezes parameters *and* halves the
+/// spatial resolution in one step — "a SqueezeDet adaptation was
+/// incorporated for the replacement of certain Conv with Special Fire
+/// Layers (SFL)" (§I).
+///
+/// Input height/width must be even.
+#[derive(Debug)]
+pub struct SpecialFireLayer {
+    squeeze: Conv2d,
+    expand1: Conv2d,
+    expand3: Conv2d,
+    relu_s: ActivationLayer,
+    relu_e1: ActivationLayer,
+    relu_e3: ActivationLayer,
+    e1_c: usize,
+    e3_c: usize,
+    cache_hw: Option<(usize, usize, usize)>, // (n, out_h, out_w)
+}
+
+impl SpecialFireLayer {
+    /// Creates an SFL: `in_c → squeeze_c → (expand1_c ∥ expand3_c)` at
+    /// stride 2.
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidParameter`] for zero channel counts.
+    pub fn new(
+        in_c: usize,
+        squeeze_c: usize,
+        expand1_c: usize,
+        expand3_c: usize,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if expand1_c == 0 || expand3_c == 0 {
+            return Err(NnError::InvalidParameter("expand channels must be >= 1".into()));
+        }
+        Ok(SpecialFireLayer {
+            squeeze: Conv2d::new(in_c, squeeze_c, 1, 1, 0, seed)?,
+            // 2x2 stride-2 expand-1 branch keeps the two output grids
+            // aligned ((h-2)/2+1 = h/2 for even h, matching the 3x3 pad-1
+            // branch's (h+2-3)/2+1 = h/2 on even h... both h/2).
+            expand1: Conv2d::new(squeeze_c, expand1_c, 2, 2, 0, seed.wrapping_add(1))?,
+            expand3: Conv2d::new(squeeze_c, expand3_c, 3, 2, 1, seed.wrapping_add(2))?,
+            relu_s: ActivationLayer::new(Activation::LeakyRelu(0.1)),
+            relu_e1: ActivationLayer::new(Activation::LeakyRelu(0.1)),
+            relu_e3: ActivationLayer::new(Activation::LeakyRelu(0.1)),
+            e1_c: expand1_c,
+            e3_c: expand3_c,
+            cache_hw: None,
+        })
+    }
+
+    /// Total output channels (`expand1_c + expand3_c`).
+    pub fn out_channels(&self) -> usize {
+        self.e1_c + self.e3_c
+    }
+}
+
+impl Layer for SpecialFireLayer {
+    fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        if x.shape().len() != 4 || x.shape()[2] % 2 != 0 || x.shape()[3] % 2 != 0 {
+            return Err(NnError::ShapeMismatch { op: "sfl forward", got: x.shape().to_vec() });
+        }
+        let s = self.relu_s.forward(&self.squeeze.forward(x, training)?, training)?;
+        let e1 = self.relu_e1.forward(&self.expand1.forward(&s, training)?, training)?;
+        let e3 = self.relu_e3.forward(&self.expand3.forward(&s, training)?, training)?;
+        let (n, h, w) = (e1.shape()[0], e1.shape()[2], e1.shape()[3]);
+        if e3.shape()[2] != h || e3.shape()[3] != w {
+            return Err(NnError::ShapeMismatch { op: "sfl branches", got: e3.shape().to_vec() });
+        }
+        self.cache_hw = Some((n, h, w));
+        let mut out = Tensor::zeros(vec![n, self.e1_c + self.e3_c, h, w]);
+        for ni in 0..n {
+            for c in 0..self.e1_c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        *out.at4_mut(ni, c, y, xx) = e1.at4(ni, c, y, xx);
+                    }
+                }
+            }
+            for c in 0..self.e3_c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        *out.at4_mut(ni, self.e1_c + c, y, xx) = e3.at4(ni, c, y, xx);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let (n, h, w) = self
+            .cache_hw
+            .ok_or_else(|| NnError::InvalidParameter("backward before forward".into()))?;
+        if grad.shape() != [n, self.e1_c + self.e3_c, h, w] {
+            return Err(NnError::ShapeMismatch { op: "sfl backward", got: grad.shape().to_vec() });
+        }
+        let mut g1 = Tensor::zeros(vec![n, self.e1_c, h, w]);
+        let mut g3 = Tensor::zeros(vec![n, self.e3_c, h, w]);
+        for ni in 0..n {
+            for c in 0..self.e1_c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        *g1.at4_mut(ni, c, y, xx) = grad.at4(ni, c, y, xx);
+                    }
+                }
+            }
+            for c in 0..self.e3_c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        *g3.at4_mut(ni, c, y, xx) = grad.at4(ni, self.e1_c + c, y, xx);
+                    }
+                }
+            }
+        }
+        let gs1 = self.expand1.backward(&self.relu_e1.backward(&g1)?)?;
+        let gs3 = self.expand3.backward(&self.relu_e3.backward(&g3)?)?;
+        let mut gs = gs1;
+        for (a, b) in gs.data_mut().iter_mut().zip(gs3.data()) {
+            *a += b;
+        }
+        self.squeeze.backward(&self.relu_s.backward(&gs)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut [f64], &mut [f64])> {
+        let mut v = self.squeeze.params_mut();
+        v.extend(self.expand1.params_mut());
+        v.extend(self.expand3.params_mut());
+        v
+    }
+
+    fn zero_grad(&mut self) {
+        self.squeeze.zero_grad();
+        self.expand1.zero_grad();
+        self.expand3.zero_grad();
+    }
+
+    fn param_count(&self) -> usize {
+        self.squeeze.param_count() + self.expand1.param_count() + self.expand3.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(layer: &mut dyn Layer, shape: Vec<usize>, seed: u64) {
+        // Verify input gradients against central finite differences on a
+        // scalar loss L = Σ out².
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n: usize = shape.iter().product();
+        let x = Tensor::from_vec(shape.clone(), (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .unwrap();
+        let out = layer.forward(&x, true).unwrap();
+        let grad_out = out.map(|v| 2.0 * v);
+        layer.zero_grad();
+        let gx = layer.backward(&grad_out).unwrap();
+
+        let eps = 1e-5;
+        let loss = |l: &mut dyn Layer, x: &Tensor| -> f64 {
+            l.forward(x, true).unwrap().data().iter().map(|v| v * v).sum()
+        };
+        // Probe a handful of coordinates.
+        for probe in [0usize, n / 3, n / 2, n - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[probe] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[probe] -= eps;
+            let fd = (loss(layer, &xp) - loss(layer, &xm)) / (2.0 * eps);
+            assert!(
+                (fd - gx.data()[probe]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "probe {probe}: fd {fd} vs analytic {}",
+                gx.data()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn linear_forward_known_values() {
+        let mut l = Linear::new(2, 1, 0).unwrap();
+        // Overwrite weights deterministically.
+        {
+            let mut params = l.params_mut();
+            params[0].0.copy_from_slice(&[2.0, -1.0]);
+        }
+        let x = Tensor::from_vec(vec![1, 2], vec![3.0, 4.0]).unwrap();
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[2.0]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut l = Linear::new(4, 3, 1).unwrap();
+        finite_diff_check(&mut l, vec![2, 4], 10);
+    }
+
+    #[test]
+    fn conv_identity_kernel_preserves_input() {
+        let mut c = Conv2d::new(1, 1, 1, 1, 0, 0).unwrap();
+        {
+            let mut params = c.params_mut();
+            params[0].0.copy_from_slice(&[1.0]);
+            params[1].0.copy_from_slice(&[0.0]);
+        }
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = c.forward(&x, true).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_output_shape_with_stride_and_pad() {
+        let mut c = Conv2d::new(2, 3, 3, 2, 1, 0).unwrap();
+        let x = Tensor::zeros(vec![1, 2, 8, 8]);
+        let y = c.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        let mut c = Conv2d::new(2, 2, 3, 1, 1, 2).unwrap();
+        finite_diff_check(&mut c, vec![1, 2, 4, 4], 11);
+    }
+
+    #[test]
+    fn conv_strided_gradcheck() {
+        let mut c = Conv2d::new(1, 2, 3, 2, 1, 3).unwrap();
+        finite_diff_check(&mut c, vec![1, 1, 5, 5], 12);
+    }
+
+    #[test]
+    fn activation_values_and_gradcheck() {
+        let mut relu = ActivationLayer::new(Activation::Relu);
+        let x = Tensor::from_vec(vec![1, 3], vec![-1.0, 0.5, 2.0]).unwrap();
+        let y = relu.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.5, 2.0]);
+
+        for k in [Activation::LeakyRelu(0.1), Activation::Tanh, Activation::Sigmoid] {
+            let mut l = ActivationLayer::new(k);
+            finite_diff_check(&mut l, vec![2, 5], 13);
+        }
+    }
+
+    #[test]
+    fn batchnorm_normalizes_in_training() {
+        let mut bn = BatchNorm::new(2).unwrap();
+        let x = Tensor::from_vec(vec![4, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0])
+            .unwrap();
+        let y = bn.forward(&x, true).unwrap();
+        // Each channel ~zero mean, unit variance.
+        for c in 0..2 {
+            let vals: Vec<f64> = (0..4).map(|i| y.data()[i * 2 + c]).collect();
+            let mean: f64 = vals.iter().sum::<f64>() / 4.0;
+            let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-10);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm::new(1).unwrap();
+        // Run a few training batches so running stats move.
+        for _ in 0..50 {
+            let x = Tensor::from_vec(vec![4, 1], vec![4.0, 6.0, 5.0, 5.0]).unwrap();
+            bn.forward(&x, true).unwrap();
+        }
+        // Eval: input equal to the running mean maps near beta (=0).
+        let x = Tensor::from_vec(vec![1, 1], vec![5.0]).unwrap();
+        let y = bn.forward(&x, false).unwrap();
+        assert!(y.data()[0].abs() < 0.1, "{}", y.data()[0]);
+    }
+
+    #[test]
+    fn batchnorm_gradcheck() {
+        let mut bn = BatchNorm::new(3).unwrap();
+        finite_diff_check(&mut bn, vec![4, 3], 14);
+    }
+
+    #[test]
+    fn batchnorm_4d_gradcheck() {
+        let mut bn = BatchNorm::new(2).unwrap();
+        finite_diff_check(&mut bn, vec![2, 2, 3, 3], 15);
+    }
+
+    #[test]
+    fn maxpool_values_and_gradient_routing() {
+        let mut mp = MaxPool2d::new();
+        let x = Tensor::from_vec(
+            vec![1, 1, 2, 2],
+            vec![1.0, 5.0, 2.0, 3.0],
+        )
+        .unwrap();
+        let y = mp.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[5.0]);
+        let g = mp.backward(&Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]).unwrap()).unwrap();
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(vec![2, 3, 4, 4]);
+        let y = f.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 48]);
+        let g = f.backward(&y).unwrap();
+        assert_eq!(g.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn fire_layer_shapes_and_param_savings() {
+        let fire = FireLayer::new(16, 4, 8, 8, 0).unwrap();
+        assert_eq!(fire.out_channels(), 16);
+        // Equivalent plain 3x3 conv: 16→16 = 16·16·9 + 16 = 2320 params.
+        let plain = Conv2d::new(16, 16, 3, 1, 1, 0).unwrap();
+        assert!(
+            fire.param_count() * 2 < plain.param_count(),
+            "fire {} vs plain {}",
+            fire.param_count(),
+            plain.param_count()
+        );
+    }
+
+    #[test]
+    fn fire_layer_forward_shape() {
+        let mut fire = FireLayer::new(4, 2, 3, 3, 1).unwrap();
+        let x = Tensor::zeros(vec![2, 4, 6, 6]);
+        let y = fire.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 6, 6, 6]);
+    }
+
+    #[test]
+    fn fire_layer_gradcheck() {
+        let mut fire = FireLayer::new(2, 2, 2, 2, 2).unwrap();
+        finite_diff_check(&mut fire, vec![1, 2, 4, 4], 16);
+    }
+
+    #[test]
+    fn special_fire_halves_resolution() {
+        let mut sfl = SpecialFireLayer::new(4, 2, 3, 3, 0).unwrap();
+        assert_eq!(sfl.out_channels(), 6);
+        let x = Tensor::zeros(vec![2, 4, 8, 8]);
+        let y = sfl.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 6, 4, 4]);
+        // Odd input rejected.
+        assert!(sfl.forward(&Tensor::zeros(vec![1, 4, 7, 8]), true).is_err());
+    }
+
+    #[test]
+    fn special_fire_gradcheck() {
+        let mut sfl = SpecialFireLayer::new(2, 2, 2, 2, 3).unwrap();
+        finite_diff_check(&mut sfl, vec![1, 2, 4, 4], 17);
+    }
+
+    #[test]
+    fn special_fire_cheaper_than_strided_conv() {
+        // Equivalent stride-2 3x3 conv 16→16.
+        let sfl = SpecialFireLayer::new(16, 4, 8, 8, 0).unwrap();
+        let conv = Conv2d::new(16, 16, 3, 2, 1, 0).unwrap();
+        assert!(
+            sfl.param_count() * 2 < conv.param_count(),
+            "sfl {} vs conv {}",
+            sfl.param_count(),
+            conv.param_count()
+        );
+    }
+
+    #[test]
+    fn layer_validation() {
+        assert!(Linear::new(0, 1, 0).is_err());
+        assert!(Conv2d::new(1, 0, 3, 1, 1, 0).is_err());
+        assert!(Conv2d::new(1, 1, 3, 0, 1, 0).is_err());
+        assert!(BatchNorm::new(0).is_err());
+        assert!(FireLayer::new(4, 2, 0, 3, 0).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut l = Linear::new(2, 2, 0).unwrap();
+        assert!(l.backward(&Tensor::zeros(vec![1, 2])).is_err());
+        let mut c = Conv2d::new(1, 1, 1, 1, 0, 0).unwrap();
+        assert!(c.backward(&Tensor::zeros(vec![1, 1, 1, 1])).is_err());
+    }
+}

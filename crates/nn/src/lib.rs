@@ -1,0 +1,63 @@
+//! From-scratch neural-network substrate for the RCR framework.
+//!
+//! This crate replaces the paper's PyTorch/TensorFlow dependency with a
+//! transparent implementation of exactly the pieces the MSY3I
+//! ("Modified Squeezed YOLO v3 Implementation") needs:
+//!
+//! * [`tensor::Tensor`] — a minimal dense NCHW tensor.
+//! * [`layers`] — `Linear`, `Conv2d`, `MaxPool2d`, activations,
+//!   `BatchNorm` (with the *selective placement* control §II-B-2 calls
+//!   out: "simply applying batchnorm to all the layers … can result in
+//!   oscillation and instability"), and the SqueezeNet/SqueezeDet
+//!   [`layers::FireLayer`] that makes the network "squeezed".
+//! * [`network::Network`] — a sequential container with manual
+//!   backpropagation and SGD/Adam optimizers.
+//! * [`gan`] — a DCGAN-style trainer on 2-D mixture distributions with
+//!   mode-coverage metrics and the *mixture of generators* (the paper's
+//!   "DCGAN #3") mode-collapse mitigation.
+//! * [`detect`] — the synthetic spectrogram burst-detection task and a
+//!   YOLO-style single-scale grid head with average-precision scoring.
+//! * [`msy3i`] — the MSY3I model builder: a conv backbone where fire
+//!   layers replace plain convolutions, with the hyperparameters the
+//!   Phase-2 PSO tunes.
+//!
+//! # Example
+//!
+//! ```
+//! use rcr_nn::layers::{Activation, Linear};
+//! use rcr_nn::network::{Network, Optimizer};
+//! use rcr_nn::tensor::Tensor;
+//!
+//! # fn main() -> Result<(), rcr_nn::NnError> {
+//! // Learn y = 2x with a single linear layer.
+//! let mut net = Network::new(vec![Box::new(Linear::new(1, 1, 42)?)]);
+//! let mut opt = Optimizer::sgd(0.1);
+//! for _ in 0..200 {
+//!     let x = Tensor::from_vec(vec![2, 1], vec![1.0, -1.0])?;
+//!     let y = net.forward(&x)?;
+//!     let target = [2.0, -2.0];
+//!     let grad: Vec<f64> =
+//!         y.data().iter().zip(target).map(|(p, t)| 2.0 * (p - t)).collect();
+//!     net.backward(&Tensor::from_vec(vec![2, 1], grad)?)?;
+//!     net.step(&mut opt);
+//! }
+//! let out = net.forward(&Tensor::from_vec(vec![1, 1], vec![3.0])?)?;
+//! assert!((out.data()[0] - 6.0).abs() < 1e-3);
+//! # let _ = Activation::Relu;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod gan;
+pub mod layers;
+pub mod msy3i;
+pub mod network;
+pub mod tensor;
+
+mod error;
+
+pub use error::NnError;

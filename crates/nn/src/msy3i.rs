@@ -1,0 +1,323 @@
+//! The MSY3I model builder — a squeezed YOLO-style burst detector.
+//!
+//! §II-B-1: "to decrease the number of parameters for the YOLO
+//! instantiation, the use of fire layers (of SqueezeDet) to optimize the
+//! network structure segues to a MSY3I. In essence, certain SFLs replace
+//! certain Conv layers … prior research has indicated that the number of
+//! model parameters in MSY3I will be lower than that of just YOLO v3 with
+//! only the slightest degradation in performance."
+//!
+//! [`Msy3iConfig`] exposes exactly the hyperparameters the Phase-2 PSO
+//! tunes: backbone kind (full-conv vs squeezed), base width, squeeze
+//! ratio, batch-norm placement and learning rate.
+
+use crate::detect::{average_precision, decode_predictions, yolo_loss, BurstDataset};
+use crate::layers::{
+    Activation, ActivationLayer, BatchNorm, Conv2d, FireLayer, Layer, MaxPool2d,
+    SpecialFireLayer,
+};
+use crate::network::{Network, Optimizer};
+use crate::tensor::Tensor;
+use crate::NnError;
+
+/// Which backbone variant to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackboneKind {
+    /// Plain 3×3 convolutions throughout (the "YOLO v3"-style baseline).
+    FullConv,
+    /// Fire layers replace the inner convolutions (the MSY3I).
+    Squeezed,
+}
+
+/// MSY3I architecture + training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct Msy3iConfig {
+    /// Input image side (square, must be divisible by 4).
+    pub input: usize,
+    /// Base channel width of the backbone.
+    pub base_channels: usize,
+    /// Squeeze ratio: `squeeze_c = base_channels / ratio` (Squeezed only).
+    pub squeeze_ratio: usize,
+    /// Backbone variant.
+    pub kind: BackboneKind,
+    /// Insert batch normalization after the stem convolution.
+    pub batchnorm: bool,
+    /// Use a stride-2 Special Fire Layer (SqueezeDet SFL) for the
+    /// downsampling stage instead of max-pool + fire (Squeezed backbone
+    /// only; ignored for the full-conv baseline).
+    pub special_fire: bool,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for Msy3iConfig {
+    fn default() -> Self {
+        Msy3iConfig {
+            input: 16,
+            base_channels: 8,
+            squeeze_ratio: 4,
+            kind: BackboneKind::Squeezed,
+            batchnorm: true,
+            special_fire: false,
+            learning_rate: 3e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// A built detector: backbone + YOLO grid head.
+#[derive(Debug)]
+pub struct Msy3iModel {
+    net: Network,
+    grid: usize,
+    input: usize,
+}
+
+/// Training metrics per epoch.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean loss per epoch.
+    pub loss: Vec<f64>,
+    /// Final average precision on the evaluation set.
+    pub ap: f64,
+}
+
+impl Msy3iModel {
+    /// Builds the model from a config.
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidParameter`] for an input not divisible by
+    /// 4, zero widths, or a squeeze ratio that exhausts the channels.
+    pub fn build(config: &Msy3iConfig) -> Result<Self, NnError> {
+        if config.input % 4 != 0 || config.input < 8 {
+            return Err(NnError::InvalidParameter(format!(
+                "input {} must be >= 8 and divisible by 4",
+                config.input
+            )));
+        }
+        if config.base_channels == 0 {
+            return Err(NnError::InvalidParameter("base_channels must be >= 1".into()));
+        }
+        let c = config.base_channels;
+        let squeeze = (c / config.squeeze_ratio.max(1)).max(1);
+        let seed = config.seed;
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        // Stem: 1 → c.
+        layers.push(Box::new(Conv2d::new(1, c, 3, 1, 1, seed)?));
+        if config.batchnorm {
+            layers.push(Box::new(BatchNorm::new(c)?));
+        }
+        layers.push(Box::new(ActivationLayer::new(Activation::LeakyRelu(0.1))));
+        layers.push(Box::new(MaxPool2d::new()));
+        // Stage 2: c → 2c (the layer the squeeze replaces). The SFL
+        // variant folds the second downsampling into the fire layer.
+        match config.kind {
+            BackboneKind::FullConv => {
+                layers.push(Box::new(Conv2d::new(c, 2 * c, 3, 1, 1, seed + 1)?));
+                layers.push(Box::new(ActivationLayer::new(Activation::LeakyRelu(0.1))));
+                layers.push(Box::new(MaxPool2d::new()));
+            }
+            BackboneKind::Squeezed => {
+                if config.special_fire {
+                    layers.push(Box::new(SpecialFireLayer::new(c, squeeze, c, c, seed + 1)?));
+                } else {
+                    layers.push(Box::new(FireLayer::new(c, squeeze, c, c, seed + 1)?));
+                    layers.push(Box::new(MaxPool2d::new()));
+                }
+            }
+        }
+        // Stage 3: 2c → 2c refinement.
+        match config.kind {
+            BackboneKind::FullConv => {
+                layers.push(Box::new(Conv2d::new(2 * c, 2 * c, 3, 1, 1, seed + 2)?));
+                layers.push(Box::new(ActivationLayer::new(Activation::LeakyRelu(0.1))));
+            }
+            BackboneKind::Squeezed => {
+                layers.push(Box::new(FireLayer::new(2 * c, squeeze, c, c, seed + 2)?));
+            }
+        }
+        // Head: 1×1 conv to the 5 YOLO channels at grid resolution.
+        layers.push(Box::new(Conv2d::new(2 * c, 5, 1, 1, 0, seed + 3)?));
+        Ok(Msy3iModel { net: Network::new(layers), grid: config.input / 4, input: config.input })
+    }
+
+    /// Grid side length of the detection head.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.net.param_count()
+    }
+
+    /// Raw forward pass (training mode) producing `[N, 5, G, G]` logits.
+    ///
+    /// # Errors
+    /// Propagates network errors.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        self.net.forward(x)
+    }
+
+    /// Inference pass producing `[N, 5, G, G]` logits.
+    ///
+    /// # Errors
+    /// Propagates network errors.
+    pub fn infer(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        self.net.infer(x)
+    }
+
+    /// Trains on `train` for `epochs` epochs with the given batch size,
+    /// then evaluates average precision on `eval`.
+    ///
+    /// # Errors
+    /// Propagates network/shape errors; training divergence surfaces as
+    /// [`NnError::Diverged`].
+    pub fn train(
+        &mut self,
+        train: &BurstDataset,
+        eval: &BurstDataset,
+        epochs: usize,
+        batch_size: usize,
+        learning_rate: f64,
+    ) -> Result<TrainReport, NnError> {
+        if batch_size == 0 || epochs == 0 {
+            return Err(NnError::InvalidParameter("epochs and batch_size must be >= 1".into()));
+        }
+        if train.height() != self.input || train.width() != self.input {
+            return Err(NnError::InvalidParameter(format!(
+                "dataset is {}x{}, model expects {}",
+                train.height(),
+                train.width(),
+                self.input
+            )));
+        }
+        let mut opt = Optimizer::adam(learning_rate);
+        let mut losses = Vec::with_capacity(epochs);
+        let n = train.len();
+        for _epoch in 0..epochs {
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            let mut start = 0usize;
+            while start < n {
+                let idx: Vec<usize> = (start..(start + batch_size).min(n)).collect();
+                let (x, t) = train.batch(&idx, self.grid)?;
+                let pred = self.net.forward(&x)?;
+                let (loss, grad) = yolo_loss(&pred, &t)?;
+                self.net.backward(&grad)?;
+                self.net.clip_grad_norm(10.0);
+                self.net.step(&mut opt);
+                epoch_loss += loss;
+                batches += 1;
+                start += batch_size;
+            }
+            losses.push(epoch_loss / batches.max(1) as f64);
+        }
+        let ap = self.evaluate(eval, 0.3)?;
+        Ok(TrainReport { loss: losses, ap })
+    }
+
+    /// Average precision at IoU 0.5 over a dataset.
+    ///
+    /// # Errors
+    /// Propagates network/shape errors.
+    pub fn evaluate(&mut self, data: &BurstDataset, conf_threshold: f64) -> Result<f64, NnError> {
+        self.evaluate_at(data, conf_threshold, 0.5)
+    }
+
+    /// Average precision at an arbitrary IoU matching threshold.
+    ///
+    /// # Errors
+    /// Propagates network/shape errors.
+    pub fn evaluate_at(
+        &mut self,
+        data: &BurstDataset,
+        conf_threshold: f64,
+        iou_threshold: f64,
+    ) -> Result<f64, NnError> {
+        let g = self.grid;
+        let mut dets = Vec::with_capacity(data.len());
+        let mut gts = Vec::with_capacity(data.len());
+        for i in 0..data.len() {
+            let (x, _) = data.batch(&[i], g)?;
+            let pred = self.net.infer(&x)?;
+            let single = Tensor::from_vec(vec![5, g, g], pred.data().to_vec())?;
+            dets.push(decode_predictions(&single, conf_threshold)?);
+            gts.push(data.boxes(i).to_vec());
+        }
+        average_precision(&dets, &gts, iou_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::BurstConfig;
+
+    #[test]
+    fn squeezed_has_fewer_parameters_than_full_conv() {
+        let full = Msy3iModel::build(&Msy3iConfig {
+            kind: BackboneKind::FullConv,
+            ..Default::default()
+        })
+        .unwrap();
+        let squeezed = Msy3iModel::build(&Msy3iConfig {
+            kind: BackboneKind::Squeezed,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(
+            (squeezed.param_count() as f64) < 0.6 * full.param_count() as f64,
+            "squeezed {} vs full {}",
+            squeezed.param_count(),
+            full.param_count()
+        );
+    }
+
+    #[test]
+    fn forward_shape_matches_grid() {
+        let mut m = Msy3iModel::build(&Msy3iConfig::default()).unwrap();
+        assert_eq!(m.grid(), 4);
+        let x = Tensor::zeros(vec![2, 1, 16, 16]);
+        let y = m.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 5, 4, 4]);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Msy3iModel::build(&Msy3iConfig { input: 10, ..Default::default() }).is_err());
+        assert!(Msy3iModel::build(&Msy3iConfig { input: 4, ..Default::default() }).is_err());
+        assert!(
+            Msy3iModel::build(&Msy3iConfig { base_channels: 0, ..Default::default() }).is_err()
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let cfg = BurstConfig { count: 24, ..Default::default() };
+        let train = BurstDataset::generate(&cfg, 1).unwrap();
+        let eval = BurstDataset::generate(&BurstConfig { count: 8, ..cfg }, 2).unwrap();
+        let mut m = Msy3iModel::build(&Msy3iConfig { seed: 3, ..Default::default() }).unwrap();
+        let report = m.train(&train, &eval, 8, 8, 3e-3).unwrap();
+        let first = report.loss[0];
+        let last = *report.loss.last().unwrap();
+        assert!(last < first * 0.7, "loss {first} → {last}");
+        assert!(report.ap >= 0.0 && report.ap <= 1.0);
+    }
+
+    #[test]
+    fn train_validates_input() {
+        let ds = BurstDataset::generate(&BurstConfig::default(), 0).unwrap();
+        let mut m = Msy3iModel::build(&Msy3iConfig::default()).unwrap();
+        assert!(m.train(&ds, &ds, 0, 8, 1e-3).is_err());
+        assert!(m.train(&ds, &ds, 1, 0, 1e-3).is_err());
+        let big = BurstDataset::generate(
+            &BurstConfig { height: 32, width: 32, count: 4, ..Default::default() },
+            0,
+        )
+        .unwrap();
+        assert!(m.train(&big, &big, 1, 2, 1e-3).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! A minimal dense tensor with NCHW conventions.
+
+use crate::NnError;
+
+/// A dense tensor of `f64` with an explicit shape.
+///
+/// Convolutional layers interpret 4-D shapes as `[N, C, H, W]`; linear
+/// layers interpret 2-D shapes as `[N, features]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor of the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Tensor { shape, data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`NnError::ShapeMismatch`] if the element count differs
+    /// from the shape product.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f64>) -> Result<Self, NnError> {
+        let len: usize = shape.iter().product();
+        if data.len() != len {
+            return Err(NnError::ShapeMismatch {
+                op: "from_vec",
+                got: shape.iter().cloned().chain([data.len()]).collect(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat data buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data buffer.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes into the flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reshapes in place (element count must match).
+    ///
+    /// # Errors
+    /// Returns [`NnError::ShapeMismatch`] on element-count mismatch.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Result<Self, NnError> {
+        let len: usize = shape.iter().product();
+        if len != self.data.len() {
+            return Err(NnError::ShapeMismatch {
+                op: "reshape",
+                got: shape.iter().cloned().chain([self.data.len()]).collect(),
+            });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Batch size (first dimension), or 0 for rank-0 tensors.
+    pub fn batch(&self) -> usize {
+        self.shape.first().copied().unwrap_or(0)
+    }
+
+    /// 4-D accessor `[n, c, h, w]` (debug-checked).
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f64 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (_, ch, hh, ww) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
+        self.data[((n * ch + c) * hh + h) * ww + w]
+    }
+
+    /// 4-D mutable accessor.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f64 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (_, ch, hh, ww) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
+        &mut self.data[((n * ch + c) * hh + h) * ww + w]
+    }
+
+    /// True when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Maximum absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(vec![2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn reshape_checks_count() {
+        let t = Tensor::from_vec(vec![2, 6], (0..12).map(|i| i as f64).collect()).unwrap();
+        let r = t.clone().reshape(vec![3, 4]).unwrap();
+        assert_eq!(r.shape(), &[3, 4]);
+        assert!(t.reshape(vec![5, 5]).is_err());
+    }
+
+    #[test]
+    fn at4_indexing_row_major() {
+        let t = Tensor::from_vec(vec![1, 2, 2, 2], (0..8).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(t.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(t.at4(0, 0, 1, 1), 3.0);
+        assert_eq!(t.at4(0, 1, 0, 0), 4.0);
+        assert_eq!(t.at4(0, 1, 1, 1), 7.0);
+    }
+
+    #[test]
+    fn map_and_stats() {
+        let t = Tensor::from_vec(vec![3], vec![-1.0, 2.0, -3.0]).unwrap();
+        let m = t.map(f64::abs);
+        assert_eq!(m.data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.max_abs(), 3.0);
+        assert!(t.is_finite());
+    }
+}

@@ -1,0 +1,26 @@
+use std::fmt;
+
+/// Errors produced by the numerical kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// The input was empty where at least one element is required.
+    EmptyInput,
+    /// A parameter was outside its documented domain.
+    InvalidParameter(String),
+    /// The input contained NaN or infinite values where finite values are
+    /// required.
+    NotFinite,
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::EmptyInput => write!(f, "input must be non-empty"),
+            NumericsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            NumericsError::NotFinite => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}

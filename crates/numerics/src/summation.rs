@@ -1,0 +1,153 @@
+//! Summation algorithms with different round-off characteristics.
+//!
+//! The paper's Fig. 3 catalog traces several library defects to naive
+//! accumulation. This module provides the three standard accumulation
+//! strategies so higher layers (and the E3 conformance suite) can measure
+//! the difference:
+//!
+//! | algorithm | error bound (n terms) |
+//! |---|---|
+//! | [`naive_sum`] | `O(n·ε)` relative |
+//! | [`pairwise_sum`] | `O(log n·ε)` relative |
+//! | [`kahan_sum`] / [`neumaier_sum`] | `O(ε)` + `O(n·ε²)` relative |
+
+/// Plain left-to-right accumulation — worst-case `O(n·ε)` error growth.
+/// Kept as the baseline the compensated algorithms are measured against.
+pub fn naive_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+/// Kahan compensated summation.
+///
+/// Carries a running compensation term capturing the low-order bits lost at
+/// each add. Fails (loses the compensation) when individual terms exceed the
+/// running sum in magnitude — see [`neumaier_sum`] for the fix.
+pub fn kahan_sum(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for &x in xs {
+        let y = x - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Neumaier's improved compensated summation ("Kahan–Babuška").
+///
+/// Like Kahan, but swaps the roles of sum and addend when the addend is
+/// larger, so compensation survives terms that dwarf the running sum.
+pub fn neumaier_sum(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for &x in xs {
+        let t = sum + x;
+        if sum.abs() >= x.abs() {
+            c += (sum - t) + x;
+        } else {
+            c += (x - t) + sum;
+        }
+        sum = t;
+    }
+    sum + c
+}
+
+/// Pairwise (cascade) summation — `O(log n)` error growth, no compensation
+/// state. This is what well-behaved FFT libraries use internally.
+pub fn pairwise_sum(xs: &[f64]) -> f64 {
+    const BASE: usize = 32;
+    fn rec(xs: &[f64]) -> f64 {
+        if xs.len() <= BASE {
+            xs.iter().sum()
+        } else {
+            let mid = xs.len() / 2;
+            rec(&xs[..mid]) + rec(&xs[mid..])
+        }
+    }
+    rec(xs)
+}
+
+/// Dot product with Neumaier compensation on the accumulated products.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+pub fn compensated_dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "compensated_dot length mismatch");
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let p = x * y;
+        let t = sum + p;
+        if sum.abs() >= p.abs() {
+            c += (sum - t) + p;
+        } else {
+            c += (p - t) + sum;
+        }
+        sum = t;
+    }
+    sum + c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_agree_on_benign_input() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let expect = 5050.0;
+        assert_eq!(naive_sum(&xs), expect);
+        assert_eq!(kahan_sum(&xs), expect);
+        assert_eq!(neumaier_sum(&xs), expect);
+        assert_eq!(pairwise_sum(&xs), expect);
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_ill_conditioned_sum() {
+        // 1 followed by many tiny values that naive accumulation drops.
+        let mut xs = vec![1.0];
+        xs.extend(std::iter::repeat(1e-16).take(100_000));
+        let exact = 1.0 + 1e-16 * 100_000.0;
+        let naive_err = (naive_sum(&xs) - exact).abs();
+        let kahan_err = (kahan_sum(&xs) - exact).abs();
+        assert!(kahan_err < naive_err / 100.0, "kahan {kahan_err} vs naive {naive_err}");
+    }
+
+    #[test]
+    fn neumaier_handles_large_addend_after_small_sum() {
+        // Classic case where plain Kahan loses the compensation.
+        let xs = [1.0, 1e100, 1.0, -1e100];
+        assert_eq!(neumaier_sum(&xs), 2.0);
+        // Naive sum annihilates both ones.
+        assert_eq!(naive_sum(&xs), 0.0);
+    }
+
+    #[test]
+    fn pairwise_matches_exact_on_alternating_series() {
+        let xs: Vec<f64> = (0..1 << 12).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert_eq!(pairwise_sum(&xs), 0.0);
+    }
+
+    #[test]
+    fn compensated_dot_matches_naive_on_easy_input() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(compensated_dot(&a, &b), 32.0);
+    }
+
+    #[test]
+    fn compensated_dot_survives_cancellation() {
+        let a = [1e100, 1.0, -1e100];
+        let b = [1.0, 1.0, 1.0];
+        assert_eq!(compensated_dot(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_sums_are_zero() {
+        assert_eq!(naive_sum(&[]), 0.0);
+        assert_eq!(kahan_sum(&[]), 0.0);
+        assert_eq!(neumaier_sum(&[]), 0.0);
+        assert_eq!(pairwise_sum(&[]), 0.0);
+    }
+}

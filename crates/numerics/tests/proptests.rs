@@ -1,0 +1,67 @@
+//! Property-based invariants of the numerical kernels.
+
+use proptest::prelude::*;
+use rcr_numerics::approx::taylor_exp;
+use rcr_numerics::special::{erfc, q_function};
+use rcr_numerics::stable::{log_softmax, log_sum_exp, softmax};
+use rcr_numerics::summation::{kahan_sum, naive_sum, neumaier_sum, pairwise_sum};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn summation_algorithms_agree_on_moderate_input(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..256),
+    ) {
+        let reference = neumaier_sum(&xs);
+        let scale = xs.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        prop_assert!((naive_sum(&xs) - reference).abs() < 1e-9 * scale);
+        prop_assert!((kahan_sum(&xs) - reference).abs() < 1e-10 * scale);
+        prop_assert!((pairwise_sum(&xs) - reference).abs() < 1e-10 * scale);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(
+        xs in prop::collection::vec(-30.0f64..30.0, 1..12),
+        shift in -100.0f64..100.0,
+    ) {
+        let a = softmax(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|v| v + shift).collect();
+        let b = softmax(&shifted);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_bracketed_by_max(
+        xs in prop::collection::vec(-50.0f64..50.0, 1..12),
+    ) {
+        let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lse = log_sum_exp(&xs);
+        prop_assert!(lse >= m - 1e-12);
+        prop_assert!(lse <= m + (xs.len() as f64).ln() + 1e-12);
+        // log_softmax entries are ≤ 0 and exponentiate to a distribution.
+        let lp = log_softmax(&xs);
+        prop_assert!(lp.iter().all(|&v| v <= 1e-12));
+        let total: f64 = lp.iter().map(|v| v.exp()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn taylor_bound_dominates_randomized(x in -2.5f64..2.5, n in 1usize..24) {
+        let r = taylor_exp(x, n).unwrap();
+        let err = (r.value - x.exp()).abs();
+        prop_assert!(err <= r.truncation_bound * (1.0 + 1e-9) + 1e-14);
+    }
+
+    #[test]
+    fn erfc_monotone_decreasing_and_bounded(a in -4.0f64..4.0, b in -4.0f64..4.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(erfc(lo) >= erfc(hi) - 1e-12);
+        prop_assert!((0.0..=2.0).contains(&erfc(a)));
+        prop_assert!((0.0..=1.0).contains(&q_function(a)));
+        // Complementarity: Q(x) + Q(−x) = 1.
+        prop_assert!((q_function(a) + q_function(-a) - 1.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,143 @@
+//! Standard continuous benchmark functions with known optima.
+//!
+//! These are the workloads of experiment E4 (PSO convergence vs swarm
+//! size): a bowl, a curved valley, and three multimodal surfaces of
+//! increasing ruggedness.
+
+use std::f64::consts::PI;
+
+/// A benchmark objective with a known global minimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BenchFunction {
+    /// `Σ x_i²`, minimum 0 at the origin. Convex.
+    Sphere,
+    /// The Rosenbrock valley, minimum 0 at `(1, …, 1)`. Unimodal, badly
+    /// conditioned.
+    Rosenbrock,
+    /// Rastrigin, minimum 0 at the origin. Highly multimodal, separable.
+    Rastrigin,
+    /// Ackley, minimum 0 at the origin. Multimodal with a deep funnel.
+    Ackley,
+    /// Griewank, minimum 0 at the origin. Multimodal, non-separable.
+    Griewank,
+}
+
+impl BenchFunction {
+    /// All functions in catalog order.
+    pub fn all() -> &'static [BenchFunction] {
+        &[
+            BenchFunction::Sphere,
+            BenchFunction::Rosenbrock,
+            BenchFunction::Rastrigin,
+            BenchFunction::Ackley,
+            BenchFunction::Griewank,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchFunction::Sphere => "sphere",
+            BenchFunction::Rosenbrock => "rosenbrock",
+            BenchFunction::Rastrigin => "rastrigin",
+            BenchFunction::Ackley => "ackley",
+            BenchFunction::Griewank => "griewank",
+        }
+    }
+
+    /// Evaluates the function.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        match self {
+            BenchFunction::Sphere => x.iter().map(|v| v * v).sum(),
+            BenchFunction::Rosenbrock => x
+                .windows(2)
+                .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+                .sum(),
+            BenchFunction::Rastrigin => {
+                10.0 * x.len() as f64
+                    + x.iter().map(|v| v * v - 10.0 * (2.0 * PI * v).cos()).sum::<f64>()
+            }
+            BenchFunction::Ackley => {
+                let n = x.len() as f64;
+                let s1 = x.iter().map(|v| v * v).sum::<f64>() / n;
+                let s2 = x.iter().map(|v| (2.0 * PI * v).cos()).sum::<f64>() / n;
+                -20.0 * (-0.2 * s1.sqrt()).exp() - s2.exp() + 20.0 + std::f64::consts::E
+            }
+            BenchFunction::Griewank => {
+                let s: f64 = x.iter().map(|v| v * v).sum::<f64>() / 4000.0;
+                let p: f64 =
+                    x.iter().enumerate().map(|(i, v)| (v / ((i + 1) as f64).sqrt()).cos()).product();
+                s - p + 1.0
+            }
+        }
+    }
+
+    /// The canonical search box for dimension `dim`.
+    pub fn bounds(&self, dim: usize) -> Vec<(f64, f64)> {
+        let (lo, hi) = match self {
+            BenchFunction::Sphere => (-5.12, 5.12),
+            BenchFunction::Rosenbrock => (-5.0, 10.0),
+            BenchFunction::Rastrigin => (-5.12, 5.12),
+            BenchFunction::Ackley => (-32.768, 32.768),
+            BenchFunction::Griewank => (-600.0, 600.0),
+        };
+        vec![(lo, hi); dim]
+    }
+
+    /// The global minimizer for dimension `dim`.
+    pub fn optimum(&self, dim: usize) -> Vec<f64> {
+        match self {
+            BenchFunction::Rosenbrock => vec![1.0; dim],
+            _ => vec![0.0; dim],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optima_evaluate_to_zero() {
+        for f in BenchFunction::all() {
+            for dim in [2usize, 5] {
+                let v = f.eval(&f.optimum(dim));
+                assert!(v.abs() < 1e-12, "{} at dim {dim}: {v}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn functions_positive_away_from_optimum() {
+        for f in BenchFunction::all() {
+            let x = vec![2.5, -1.5, 3.0];
+            assert!(f.eval(&x) > 0.0, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn rastrigin_is_multimodal() {
+        // Local minimum near integers: f(1,0) is a local min but not 0.
+        let f = BenchFunction::Rastrigin;
+        let near_local = f.eval(&[1.0, 0.0]);
+        assert!(near_local > 0.5 && near_local < 2.0);
+    }
+
+    #[test]
+    fn bounds_contain_optimum() {
+        for f in BenchFunction::all() {
+            for (b, o) in f.bounds(4).iter().zip(f.optimum(4)) {
+                assert!(o >= b.0 && o <= b.1, "{}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = BenchFunction::all().iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BenchFunction::all().len());
+    }
+}

@@ -1,0 +1,255 @@
+//! Differential evolution — the other swarm-intelligence family §II-A
+//! lists ("genetic, differential evolution, colony optimization, and PSO
+//! algorithms"), used as the comparison baseline in experiment E4.
+//!
+//! Classic DE/rand/1/bin: each generation, every agent `x_i` is
+//! challenged by a trial vector built from three distinct random agents
+//! `a + F·(b − c)` with binomial crossover at rate `CR`; the trial
+//! replaces the agent when it scores better. Unlike PSO there is no
+//! velocity state — and hence no inertia schedule to tune, which is
+//! exactly the trade-off the paper weighs when it chooses PSO "given its
+//! advantages in terms of the reduced number of hyperparameters to tune".
+
+use crate::PsoError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Differential evolution settings.
+#[derive(Debug, Clone)]
+pub struct DeSettings {
+    /// Population size (≥ 4 for DE/rand/1).
+    pub population: usize,
+    /// Generation horizon.
+    pub max_iter: usize,
+    /// Differential weight `F` ∈ (0, 2].
+    pub weight: f64,
+    /// Crossover rate `CR` ∈ [0, 1].
+    pub crossover: f64,
+    /// Stop early when the best value drops below this target.
+    pub target_value: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeSettings {
+    fn default() -> Self {
+        DeSettings {
+            population: 30,
+            max_iter: 400,
+            weight: 0.8,
+            crossover: 0.9,
+            target_value: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a DE run.
+#[derive(Debug, Clone)]
+pub struct DeResult {
+    /// Best position found.
+    pub best_position: Vec<f64>,
+    /// Best objective value found.
+    pub best_value: f64,
+    /// Generations actually run.
+    pub iterations: usize,
+    /// Best value after each generation.
+    pub history: Vec<f64>,
+    /// Objective evaluations consumed.
+    pub evaluations: usize,
+}
+
+/// Minimizes `f` over the box `bounds` with DE/rand/1/bin.
+///
+/// ```
+/// use rcr_pso::de::{minimize, DeSettings};
+///
+/// # fn main() -> Result<(), rcr_pso::PsoError> {
+/// let settings = DeSettings { seed: 1, ..Default::default() };
+/// let r = minimize(|x| x[0] * x[0] + x[1] * x[1], &[(-5.0, 5.0); 2], &settings)?;
+/// assert!(r.best_value < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// * [`PsoError::InvalidBounds`] for malformed bounds.
+/// * [`PsoError::InvalidParameter`] for bad settings (population < 4,
+///   weight/crossover out of range).
+/// * [`PsoError::ObjectiveNan`] if `f` returns NaN at a feasible point.
+pub fn minimize(
+    mut f: impl FnMut(&[f64]) -> f64,
+    bounds: &[(f64, f64)],
+    settings: &DeSettings,
+) -> Result<DeResult, PsoError> {
+    if bounds.is_empty() {
+        return Err(PsoError::InvalidBounds("empty bounds".into()));
+    }
+    for &(lo, hi) in bounds {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(PsoError::InvalidBounds(format!("[{lo}, {hi}]")));
+        }
+    }
+    if settings.population < 4 {
+        return Err(PsoError::InvalidParameter("population must be >= 4".into()));
+    }
+    if settings.max_iter == 0 {
+        return Err(PsoError::InvalidParameter("max_iter must be >= 1".into()));
+    }
+    if !(settings.weight > 0.0 && settings.weight <= 2.0) {
+        return Err(PsoError::InvalidParameter("weight must be in (0, 2]".into()));
+    }
+    if !(0.0..=1.0).contains(&settings.crossover) {
+        return Err(PsoError::InvalidParameter("crossover must be in [0, 1]".into()));
+    }
+
+    let dim = bounds.len();
+    let np = settings.population;
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+    let mut pop: Vec<Vec<f64>> = (0..np)
+        .map(|_| bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..=hi)).collect())
+        .collect();
+    let mut scores = Vec::with_capacity(np);
+    let mut evaluations = 0usize;
+    for x in &pop {
+        let v = f(x);
+        evaluations += 1;
+        if v.is_nan() {
+            return Err(PsoError::ObjectiveNan);
+        }
+        scores.push(v);
+    }
+    let mut best_idx = (0..np)
+        .min_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"))
+        .expect("non-empty population");
+    let mut history = Vec::with_capacity(settings.max_iter);
+    let mut iterations = 0usize;
+
+    for gen in 0..settings.max_iter {
+        iterations = gen + 1;
+        for i in 0..np {
+            // Three distinct agents, all different from i.
+            let mut pick = || loop {
+                let k = rng.gen_range(0..np);
+                if k != i {
+                    return k;
+                }
+            };
+            let (a, b, c) = {
+                let a = pick();
+                let b = loop {
+                    let k = pick();
+                    if k != a {
+                        break k;
+                    }
+                };
+                let c = loop {
+                    let k = pick();
+                    if k != a && k != b {
+                        break k;
+                    }
+                };
+                (a, b, c)
+            };
+            // Binomial crossover with a guaranteed mutated coordinate.
+            let forced = rng.gen_range(0..dim);
+            let mut trial = pop[i].clone();
+            for d in 0..dim {
+                if d == forced || rng.gen::<f64>() < settings.crossover {
+                    let v = pop[a][d] + settings.weight * (pop[b][d] - pop[c][d]);
+                    trial[d] = v.clamp(bounds[d].0, bounds[d].1);
+                }
+            }
+            let v = f(&trial);
+            evaluations += 1;
+            if v.is_nan() {
+                return Err(PsoError::ObjectiveNan);
+            }
+            if v <= scores[i] {
+                pop[i] = trial;
+                scores[i] = v;
+                if v < scores[best_idx] {
+                    best_idx = i;
+                }
+            }
+        }
+        history.push(scores[best_idx]);
+        if let Some(target) = settings.target_value {
+            if scores[best_idx] <= target {
+                break;
+            }
+        }
+    }
+
+    Ok(DeResult {
+        best_position: pop[best_idx].clone(),
+        best_value: scores[best_idx],
+        iterations,
+        history,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchfn::BenchFunction;
+
+    fn run(f: BenchFunction, dim: usize, seed: u64) -> DeResult {
+        let settings = DeSettings { seed, ..Default::default() };
+        minimize(|x| f.eval(x), &f.bounds(dim), &settings).unwrap()
+    }
+
+    #[test]
+    fn solves_sphere() {
+        let r = run(BenchFunction::Sphere, 5, 1);
+        assert!(r.best_value < 1e-6, "best {}", r.best_value);
+    }
+
+    #[test]
+    fn solves_rastrigin_2d() {
+        let r = run(BenchFunction::Rastrigin, 2, 2);
+        assert!(r.best_value < 1e-3, "best {}", r.best_value);
+    }
+
+    #[test]
+    fn solves_rosenbrock_2d() {
+        let r = run(BenchFunction::Rosenbrock, 2, 3);
+        assert!(r.best_value < 1e-2, "best {}", r.best_value);
+    }
+
+    #[test]
+    fn deterministic_and_monotone() {
+        let a = run(BenchFunction::Ackley, 3, 7);
+        let b = run(BenchFunction::Ackley, 3, 7);
+        assert_eq!(a.best_value, b.best_value);
+        for w in a.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15);
+        }
+    }
+
+    #[test]
+    fn stays_in_bounds_and_stops_at_target() {
+        let f = BenchFunction::Griewank;
+        let settings = DeSettings { target_value: Some(1e-1), seed: 4, ..Default::default() };
+        let r = minimize(|x| f.eval(x), &f.bounds(4), &settings).unwrap();
+        for (x, (lo, hi)) in r.best_position.iter().zip(f.bounds(4)) {
+            assert!(*x >= lo && *x <= hi);
+        }
+        assert!(r.iterations <= settings.max_iter);
+    }
+
+    #[test]
+    fn validation() {
+        let f = |x: &[f64]| x[0];
+        assert!(minimize(f, &[], &DeSettings::default()).is_err());
+        assert!(minimize(f, &[(1.0, 0.0)], &DeSettings::default()).is_err());
+        let bad = DeSettings { population: 3, ..Default::default() };
+        assert!(minimize(f, &[(0.0, 1.0)], &bad).is_err());
+        let bad = DeSettings { weight: 0.0, ..Default::default() };
+        assert!(minimize(f, &[(0.0, 1.0)], &bad).is_err());
+        let bad = DeSettings { crossover: 1.5, ..Default::default() };
+        assert!(minimize(f, &[(0.0, 1.0)], &bad).is_err());
+        assert!(minimize(|_| f64::NAN, &[(0.0, 1.0)], &DeSettings::default()).is_err());
+    }
+}

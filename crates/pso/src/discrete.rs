@@ -1,0 +1,695 @@
+//! Discrete and mixed-integer PSO.
+//!
+//! §II-A-2: "the rounding of the calculated velocities to discrete integer
+//! values creates an artificial environment, wherein particles may
+//! stagnate prematurely". Two strategies are provided so experiment E5 can
+//! measure exactly that effect:
+//!
+//! * [`DiscreteStrategy::Rounding`] — the naive approach: run the
+//!   continuous kernel and round discrete coordinates at evaluation time.
+//!   Once the inertia decays, rounded positions stop changing and the
+//!   swarm freezes on a lattice point.
+//! * [`DiscreteStrategy::Distribution`] — the Strasser-style encoding
+//!   where "each attribute of a PSO particle is a distribution over its
+//!   possible values rather than a specific value"; velocities act on the
+//!   distribution simplex and evaluation samples from it, so exploration
+//!   pressure never quantizes away.
+
+use crate::inertia::{InertiaSchedule, SwarmObservation};
+use crate::swarm::PsoSettings;
+use crate::PsoError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// One decision variable of a mixed problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarSpec {
+    /// A continuous variable in `[lo, hi]`.
+    Continuous {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// An integer variable in `{lo, …, hi}`.
+    Integer {
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// A categorical variable with values `{0, …, cardinality − 1}`.
+    Categorical {
+        /// Number of categories.
+        cardinality: usize,
+    },
+}
+
+impl VarSpec {
+    fn validate(&self) -> Result<(), PsoError> {
+        match *self {
+            VarSpec::Continuous { lo, hi } => {
+                if lo.is_finite() && hi.is_finite() && lo <= hi {
+                    Ok(())
+                } else {
+                    Err(PsoError::InvalidBounds(format!("continuous [{lo}, {hi}]")))
+                }
+            }
+            VarSpec::Integer { lo, hi } => {
+                if lo <= hi {
+                    Ok(())
+                } else {
+                    Err(PsoError::InvalidBounds(format!("integer [{lo}, {hi}]")))
+                }
+            }
+            VarSpec::Categorical { cardinality } => {
+                if cardinality >= 1 {
+                    Ok(())
+                } else {
+                    Err(PsoError::InvalidBounds("categorical with 0 values".into()))
+                }
+            }
+        }
+    }
+
+    fn is_discrete(&self) -> bool {
+        !matches!(self, VarSpec::Continuous { .. })
+    }
+
+    /// Number of discrete values (1 for continuous, used as a sentinel).
+    fn cardinality(&self) -> usize {
+        match *self {
+            VarSpec::Continuous { .. } => 1,
+            VarSpec::Integer { lo, hi } => (hi - lo + 1) as usize,
+            VarSpec::Categorical { cardinality } => cardinality,
+        }
+    }
+
+    /// Decodes category index `k` to the variable's numeric value.
+    fn decode(&self, k: usize) -> f64 {
+        match *self {
+            VarSpec::Continuous { .. } => unreachable!("decode on continuous"),
+            VarSpec::Integer { lo, .. } => (lo + k as i64) as f64,
+            VarSpec::Categorical { .. } => k as f64,
+        }
+    }
+}
+
+/// Discretization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscreteStrategy {
+    /// Round continuous positions at evaluation time (stagnation-prone).
+    Rounding,
+    /// Distribution-over-values attributes (Strasser et al.).
+    Distribution,
+}
+
+/// Result of a mixed-integer PSO run.
+#[derive(Debug, Clone)]
+pub struct MixedPsoResult {
+    /// Best point found (discrete coordinates hold exact integer values).
+    pub best_position: Vec<f64>,
+    /// Best objective value found.
+    pub best_value: f64,
+    /// Best value after each generation.
+    pub history: Vec<f64>,
+    /// Number of *distinct* discrete assignments evaluated — the
+    /// exploration measure of experiment E5 (small = premature lattice
+    /// stagnation).
+    pub distinct_discrete_points: usize,
+    /// Objective evaluations consumed.
+    pub evaluations: usize,
+    /// Fraction of particles whose discrete velocity had fully collapsed
+    /// to zero at the final generation — the paper's "premature
+    /// stagnation" symptom. Always 0 for the distribution strategy, whose
+    /// sampling never freezes.
+    pub frozen_fraction: f64,
+}
+
+/// Minimizes `f` over a mixed continuous/discrete space.
+///
+/// Discrete coordinates are passed to `f` as exact `f64` integers.
+///
+/// ```
+/// use rcr_pso::discrete::{minimize_mixed, DiscreteStrategy, VarSpec};
+/// use rcr_pso::swarm::PsoSettings;
+///
+/// # fn main() -> Result<(), rcr_pso::PsoError> {
+/// // min (n - 3)² over n ∈ {-10..10}.
+/// let specs = [VarSpec::Integer { lo: -10, hi: 10 }];
+/// let settings = PsoSettings { seed: 1, max_iter: 60, ..Default::default() };
+/// let r = minimize_mixed(|x| (x[0] - 3.0).powi(2), &specs,
+///                        DiscreteStrategy::Distribution, &settings)?;
+/// assert_eq!(r.best_position, vec![3.0]);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// * [`PsoError::InvalidBounds`] / [`PsoError::InvalidParameter`] for bad
+///   problem or settings data.
+/// * [`PsoError::ObjectiveNan`] if `f` returns NaN.
+pub fn minimize_mixed(
+    mut f: impl FnMut(&[f64]) -> f64,
+    specs: &[VarSpec],
+    strategy: DiscreteStrategy,
+    settings: &PsoSettings,
+) -> Result<MixedPsoResult, PsoError> {
+    if specs.is_empty() {
+        return Err(PsoError::InvalidBounds("empty variable list".into()));
+    }
+    for s in specs {
+        s.validate()?;
+    }
+    if settings.swarm_size == 0 || settings.max_iter == 0 {
+        return Err(PsoError::InvalidParameter("swarm_size and max_iter must be >= 1".into()));
+    }
+    settings.inertia.validate().map_err(PsoError::InvalidParameter)?;
+    match strategy {
+        DiscreteStrategy::Rounding => rounding_pso(&mut f, specs, settings),
+        DiscreteStrategy::Distribution => distribution_pso(&mut f, specs, settings),
+    }
+}
+
+/// Relaxed box for the rounding strategy.
+fn relaxed_bounds(specs: &[VarSpec]) -> Vec<(f64, f64)> {
+    specs
+        .iter()
+        .map(|s| match *s {
+            VarSpec::Continuous { lo, hi } => (lo, hi),
+            VarSpec::Integer { lo, hi } => (lo as f64, hi as f64),
+            VarSpec::Categorical { cardinality } => (0.0, (cardinality - 1) as f64),
+        })
+        .collect()
+}
+
+fn discrete_key(specs: &[VarSpec], x: &[f64]) -> Vec<i64> {
+    x.iter()
+        .zip(specs)
+        .filter(|(_, s)| s.is_discrete())
+        .map(|(&v, _)| v.round() as i64)
+        .collect()
+}
+
+/// The naive strategy of §II-A-2 implemented *faithfully*: discrete
+/// coordinates hold integer positions and the calculated velocities are
+/// rounded to integers before being applied. When the swarm contracts so
+/// that `|v| < 0.5`, the rounded velocity becomes exactly 0 and the
+/// particle freezes on its lattice point — the premature stagnation the
+/// paper describes.
+fn rounding_pso(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    specs: &[VarSpec],
+    settings: &PsoSettings,
+) -> Result<MixedPsoResult, PsoError> {
+    let dim = specs.len();
+    let bounds = relaxed_bounds(specs);
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+    let mut seen: HashSet<Vec<i64>> = HashSet::new();
+    let mut evaluations = 0usize;
+
+    struct RPart {
+        x: Vec<f64>,
+        v: Vec<f64>,
+        best_x: Vec<f64>,
+        best_f: f64,
+    }
+
+    let mut particles: Vec<RPart> = (0..settings.swarm_size)
+        .map(|_| {
+            let x: Vec<f64> = (0..dim)
+                .map(|d| {
+                    let (lo, hi) = bounds[d];
+                    let raw = rng.gen_range(lo..=hi);
+                    if specs[d].is_discrete() {
+                        raw.round()
+                    } else {
+                        raw
+                    }
+                })
+                .collect();
+            let v: Vec<f64> = (0..dim)
+                .map(|d| {
+                    let (lo, hi) = bounds[d];
+                    let vm = settings.velocity_clamp * (hi - lo);
+                    let raw = rng.gen_range(-vm..=vm);
+                    if specs[d].is_discrete() {
+                        raw.round()
+                    } else {
+                        raw
+                    }
+                })
+                .collect();
+            RPart { best_x: x.clone(), x, v, best_f: f64::INFINITY }
+        })
+        .collect();
+
+    let mut g_best = particles[0].x.clone();
+    let mut g_best_f = f64::INFINITY;
+    for p in &mut particles {
+        let fx = f(&p.x);
+        evaluations += 1;
+        if fx.is_nan() {
+            return Err(PsoError::ObjectiveNan);
+        }
+        seen.insert(discrete_key(specs, &p.x));
+        p.best_f = fx;
+        if fx < g_best_f {
+            g_best_f = fx;
+            g_best = p.x.clone();
+        }
+    }
+
+    // True swarm diversity (mean distance to centroid), normalized by its
+    // initial value, so adaptive schedules see genuine collapse.
+    let diversity = |parts: &[RPart]| -> f64 {
+        let n = parts.len();
+        let mut center = vec![0.0; dim];
+        for p in parts {
+            for (c, &xi) in center.iter_mut().zip(&p.x) {
+                *c += xi;
+            }
+        }
+        for c in &mut center {
+            *c /= n as f64;
+        }
+        parts
+            .iter()
+            .map(|p| {
+                p.x.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+            })
+            .sum::<f64>()
+            / n as f64
+    };
+    let initial_diversity = diversity(&particles).max(1e-12);
+
+    let mut history = Vec::with_capacity(settings.max_iter);
+    for gen in 0..settings.max_iter {
+        let obs = SwarmObservation {
+            generation: gen,
+            horizon: settings.max_iter,
+            diversity: (diversity(&particles) / initial_diversity).clamp(0.0, 1.0),
+            improved: false,
+        };
+        let w = settings.inertia.weight(&obs);
+        for p in &mut particles {
+            for d in 0..dim {
+                let (lo, hi) = bounds[d];
+                let vmax = settings.velocity_clamp * (hi - lo);
+                let beta1: f64 = rng.gen();
+                let beta2: f64 = rng.gen();
+                let mut v = w * p.v[d]
+                    + settings.cognitive * beta1 * (p.best_x[d] - p.x[d])
+                    + settings.social * beta2 * (g_best[d] - p.x[d]);
+                v = v.clamp(-vmax, vmax);
+                if specs[d].is_discrete() {
+                    // The defect under study: velocities rounded to ints.
+                    v = v.round();
+                }
+                p.v[d] = v;
+                p.x[d] = (p.x[d] + v).clamp(lo, hi);
+            }
+            let fx = f(&p.x);
+            evaluations += 1;
+            if fx.is_nan() {
+                return Err(PsoError::ObjectiveNan);
+            }
+            seen.insert(discrete_key(specs, &p.x));
+            if fx < p.best_f {
+                p.best_f = fx;
+                p.best_x.copy_from_slice(&p.x);
+            }
+            if fx < g_best_f {
+                g_best_f = fx;
+                g_best.copy_from_slice(&p.x);
+            }
+        }
+        history.push(g_best_f);
+        if let Some(target) = settings.target_value {
+            if g_best_f <= target {
+                break;
+            }
+        }
+    }
+
+    let frozen = particles
+        .iter()
+        .filter(|p| {
+            specs
+                .iter()
+                .zip(&p.v)
+                .filter(|(s, _)| s.is_discrete())
+                .all(|(_, &v)| v == 0.0)
+        })
+        .count();
+    let frozen_fraction = if specs.iter().any(|s| s.is_discrete()) {
+        frozen as f64 / particles.len() as f64
+    } else {
+        0.0
+    };
+
+    Ok(MixedPsoResult {
+        best_position: g_best,
+        best_value: g_best_f,
+        history,
+        distinct_discrete_points: seen.len(),
+        evaluations,
+        frozen_fraction,
+    })
+}
+
+/// Distribution-attribute PSO for the discrete coordinates; continuous
+/// coordinates keep the classic update.
+fn distribution_pso(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    specs: &[VarSpec],
+    settings: &PsoSettings,
+) -> Result<MixedPsoResult, PsoError> {
+    const MAX_CARD: usize = 512;
+    for s in specs {
+        if s.is_discrete() && s.cardinality() > MAX_CARD {
+            return Err(PsoError::InvalidParameter(format!(
+                "distribution strategy supports at most {MAX_CARD} values per attribute"
+            )));
+        }
+    }
+    let dim = specs.len();
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+
+    struct DistParticle {
+        // One simplex (probability vector) per discrete dim, plus scalar
+        // position/velocity for continuous dims.
+        dist: Vec<Vec<f64>>,
+        dist_v: Vec<Vec<f64>>,
+        xc: Vec<f64>,
+        vc: Vec<f64>,
+        best_sample: Vec<f64>,
+        best_f: f64,
+    }
+
+    let card: Vec<usize> = specs.iter().map(|s| s.cardinality()).collect();
+    let cont_bounds = relaxed_bounds(specs);
+
+    let sample_point = |p: &DistParticle, rng: &mut StdRng| -> Vec<f64> {
+        let mut out = vec![0.0; dim];
+        for d in 0..dim {
+            if specs[d].is_discrete() {
+                let dist = &p.dist[d];
+                let u: f64 = rng.gen();
+                let mut acc = 0.0;
+                let mut k = dist.len() - 1;
+                for (i, &pi) in dist.iter().enumerate() {
+                    acc += pi;
+                    if u <= acc {
+                        k = i;
+                        break;
+                    }
+                }
+                out[d] = specs[d].decode(k);
+            } else {
+                out[d] = p.xc[d];
+            }
+        }
+        out
+    };
+
+    let normalize = |dist: &mut Vec<f64>| {
+        // Floor keeps every value reachable (exploration never dies).
+        let floor = 0.01 / dist.len() as f64;
+        for v in dist.iter_mut() {
+            *v = v.max(floor);
+        }
+        let s: f64 = dist.iter().sum();
+        for v in dist.iter_mut() {
+            *v /= s;
+        }
+    };
+
+    let mut particles: Vec<DistParticle> = (0..settings.swarm_size)
+        .map(|_| {
+            let mut dist = Vec::with_capacity(dim);
+            let mut dist_v = Vec::with_capacity(dim);
+            let mut xc = vec![0.0; dim];
+            let mut vc = vec![0.0; dim];
+            for d in 0..dim {
+                if specs[d].is_discrete() {
+                    // Random Dirichlet-ish start.
+                    let mut p: Vec<f64> = (0..card[d]).map(|_| rng.gen::<f64>() + 0.1).collect();
+                    let s: f64 = p.iter().sum();
+                    for v in &mut p {
+                        *v /= s;
+                    }
+                    dist.push(p);
+                    dist_v.push(vec![0.0; card[d]]);
+                } else {
+                    dist.push(Vec::new());
+                    dist_v.push(Vec::new());
+                    let (lo, hi) = cont_bounds[d];
+                    xc[d] = rng.gen_range(lo..=hi);
+                    vc[d] = rng.gen_range(-(hi - lo)..=(hi - lo)) * settings.velocity_clamp;
+                }
+            }
+            DistParticle { dist, dist_v, xc, vc, best_sample: Vec::new(), best_f: f64::INFINITY }
+        })
+        .collect();
+
+    let mut g_best: Vec<f64> = Vec::new();
+    let mut g_best_f = f64::INFINITY;
+    let mut seen: HashSet<Vec<i64>> = HashSet::new();
+    let mut evaluations = 0usize;
+    let mut history = Vec::with_capacity(settings.max_iter);
+
+    // One-hot target for a discrete dim from a concrete sampled value.
+    let one_hot_index = |d: usize, value: f64| -> usize {
+        match specs[d] {
+            VarSpec::Integer { lo, .. } => (value as i64 - lo) as usize,
+            VarSpec::Categorical { .. } => value as usize,
+            VarSpec::Continuous { .. } => unreachable!(),
+        }
+    };
+
+    // Diversity for the distribution encoding: mean normalized entropy of
+    // the attribute distributions (1 = uniform sampling, 0 = collapsed).
+    let dist_diversity = |parts: &[DistParticle]| -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for p in parts {
+            for d in 0..dim {
+                if !specs[d].is_discrete() || card[d] < 2 {
+                    continue;
+                }
+                let h: f64 = p.dist[d]
+                    .iter()
+                    .filter(|&&q| q > 0.0)
+                    .map(|&q| -q * q.ln())
+                    .sum();
+                total += h / (card[d] as f64).ln();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            1.0
+        } else {
+            total / count as f64
+        }
+    };
+
+    for gen in 0..settings.max_iter {
+        let obs = SwarmObservation {
+            generation: gen,
+            horizon: settings.max_iter,
+            diversity: dist_diversity(&particles).clamp(0.0, 1.0),
+            improved: false,
+        };
+        let w = match settings.inertia {
+            InertiaSchedule::AdaptiveDiversity { .. } => settings.inertia.weight(&obs),
+            other => other.weight(&obs),
+        };
+        for p in &mut particles {
+            let x = sample_point(p, &mut rng);
+            let fx = f(&x);
+            evaluations += 1;
+            if fx.is_nan() {
+                return Err(PsoError::ObjectiveNan);
+            }
+            seen.insert(discrete_key(specs, &x));
+            if fx < p.best_f {
+                p.best_f = fx;
+                p.best_sample = x.clone();
+            }
+            if fx < g_best_f {
+                g_best_f = fx;
+                g_best = x.clone();
+            }
+        }
+        history.push(g_best_f);
+        if let Some(target) = settings.target_value {
+            if g_best_f <= target {
+                break;
+            }
+        }
+
+        // Velocity/position updates toward personal and global bests.
+        for p in 0..particles.len() {
+            let (beta1, beta2): (f64, f64) = (rng.gen(), rng.gen());
+            let pb = particles[p].best_sample.clone();
+            for d in 0..dim {
+                if specs[d].is_discrete() {
+                    let ki = one_hot_index(d, pb[d]);
+                    let kg = one_hot_index(d, g_best[d]);
+                    let part = &mut particles[p];
+                    for k in 0..card[d] {
+                        let target_i = if k == ki { 1.0 } else { 0.0 };
+                        let target_g = if k == kg { 1.0 } else { 0.0 };
+                        part.dist_v[d][k] = w * part.dist_v[d][k]
+                            + settings.cognitive * beta1 * (target_i - part.dist[d][k])
+                            + settings.social * beta2 * (target_g - part.dist[d][k]);
+                        part.dist[d][k] += part.dist_v[d][k];
+                    }
+                    normalize(&mut part.dist[d]);
+                } else {
+                    let (lo, hi) = cont_bounds[d];
+                    let vmax = settings.velocity_clamp * (hi - lo);
+                    let part = &mut particles[p];
+                    part.vc[d] = w * part.vc[d]
+                        + settings.cognitive * beta1 * (pb[d] - part.xc[d])
+                        + settings.social * beta2 * (g_best[d] - part.xc[d]);
+                    part.vc[d] = part.vc[d].clamp(-vmax, vmax);
+                    part.xc[d] = (part.xc[d] + part.vc[d]).clamp(lo, hi);
+                }
+            }
+        }
+    }
+
+    Ok(MixedPsoResult {
+        best_position: g_best,
+        best_value: g_best_f,
+        history,
+        distinct_discrete_points: seen.len(),
+        evaluations,
+        frozen_fraction: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shifted integer quadratic: min at x = (3, -2), value 0.
+    fn int_quadratic(x: &[f64]) -> f64 {
+        (x[0] - 3.0).powi(2) + (x[1] + 2.0).powi(2)
+    }
+
+    fn int_specs() -> Vec<VarSpec> {
+        vec![VarSpec::Integer { lo: -10, hi: 10 }, VarSpec::Integer { lo: -10, hi: 10 }]
+    }
+
+    fn settings(seed: u64) -> PsoSettings {
+        PsoSettings { seed, max_iter: 120, swarm_size: 20, ..Default::default() }
+    }
+
+    #[test]
+    fn rounding_solves_small_integer_quadratic() {
+        let r = minimize_mixed(int_quadratic, &int_specs(), DiscreteStrategy::Rounding, &settings(1))
+            .unwrap();
+        assert_eq!(r.best_value, 0.0);
+        assert_eq!(r.best_position, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn distribution_solves_small_integer_quadratic() {
+        // Sampling-based search needs a longer budget than the lattice
+        // walk to pin the exact optimum among 441 assignments.
+        let s = PsoSettings { max_iter: 400, ..settings(2) };
+        let r =
+            minimize_mixed(int_quadratic, &int_specs(), DiscreteStrategy::Distribution, &s)
+                .unwrap();
+        assert_eq!(r.best_value, 0.0);
+        assert_eq!(r.best_position, vec![3.0, -2.0]);
+        assert_eq!(r.frozen_fraction, 0.0);
+    }
+
+    #[test]
+    fn discrete_positions_are_exact_integers() {
+        for strat in [DiscreteStrategy::Rounding, DiscreteStrategy::Distribution] {
+            let r = minimize_mixed(int_quadratic, &int_specs(), strat, &settings(3)).unwrap();
+            for v in &r.best_position {
+                assert_eq!(v.fract(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_continuous_and_integer() {
+        // min (n − 4)² + (x − 0.25)² over n ∈ {0..10}, x ∈ [0, 1].
+        let f = |z: &[f64]| (z[0] - 4.0).powi(2) + (z[1] - 0.25).powi(2);
+        let specs = vec![VarSpec::Integer { lo: 0, hi: 10 }, VarSpec::Continuous { lo: 0.0, hi: 1.0 }];
+        for strat in [DiscreteStrategy::Rounding, DiscreteStrategy::Distribution] {
+            let r = minimize_mixed(f, &specs, strat, &settings(4)).unwrap();
+            assert_eq!(r.best_position[0], 4.0, "{strat:?}");
+            assert!((r.best_position[1] - 0.25).abs() < 0.05, "{strat:?}: {:?}", r.best_position);
+        }
+    }
+
+    #[test]
+    fn categorical_variable_selected_correctly() {
+        // Category 2 of 5 is the unique minimum.
+        let f = |z: &[f64]| if z[0] == 2.0 { 0.0 } else { 1.0 + z[0] };
+        let specs = vec![VarSpec::Categorical { cardinality: 5 }];
+        for strat in [DiscreteStrategy::Rounding, DiscreteStrategy::Distribution] {
+            let r = minimize_mixed(f, &specs, strat, &settings(5)).unwrap();
+            assert_eq!(r.best_position[0], 2.0, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn rounding_velocities_freeze_particles_but_distribution_never_does() {
+        // §II-A-2's premature stagnation: with decaying inertia, rounded
+        // velocities collapse to exactly 0 and particles freeze on their
+        // lattice points. The distribution encoding keeps sampling.
+        let f = |z: &[f64]| {
+            let (a, b) = (z[0], z[1]);
+            (a * 0.3).sin() * 3.0 + (b * 0.4).cos() * 3.0 + 0.01 * (a * a + b * b)
+        };
+        let specs =
+            vec![VarSpec::Integer { lo: -20, hi: 20 }, VarSpec::Integer { lo: -20, hi: 20 }];
+        let s = PsoSettings {
+            max_iter: 200,
+            swarm_size: 15,
+            stagnation_window: 0,
+            inertia: crate::inertia::InertiaSchedule::LinearDecay { start: 0.9, end: 0.2 },
+            ..settings(6)
+        };
+        let rr = minimize_mixed(f, &specs, DiscreteStrategy::Rounding, &s).unwrap();
+        let rd = minimize_mixed(f, &specs, DiscreteStrategy::Distribution, &s).unwrap();
+        assert!(
+            rr.frozen_fraction > 0.3,
+            "rounding frozen fraction only {}",
+            rr.frozen_fraction
+        );
+        assert_eq!(rd.frozen_fraction, 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let f = |_: &[f64]| 0.0;
+        assert!(minimize_mixed(f, &[], DiscreteStrategy::Rounding, &settings(0)).is_err());
+        let bad = vec![VarSpec::Integer { lo: 5, hi: 1 }];
+        assert!(minimize_mixed(f, &bad, DiscreteStrategy::Rounding, &settings(0)).is_err());
+        let bad = vec![VarSpec::Categorical { cardinality: 0 }];
+        assert!(minimize_mixed(f, &bad, DiscreteStrategy::Distribution, &settings(0)).is_err());
+        let huge = vec![VarSpec::Integer { lo: 0, hi: 100_000 }];
+        assert!(minimize_mixed(f, &huge, DiscreteStrategy::Distribution, &settings(0)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = minimize_mixed(int_quadratic, &int_specs(), DiscreteStrategy::Distribution, &settings(9))
+            .unwrap();
+        let b = minimize_mixed(int_quadratic, &int_specs(), DiscreteStrategy::Distribution, &settings(9))
+            .unwrap();
+        assert_eq!(a.best_value, b.best_value);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+}

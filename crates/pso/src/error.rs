@@ -1,0 +1,25 @@
+use std::fmt;
+
+/// Errors produced by the PSO kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PsoError {
+    /// A search-space bound was malformed (`lo > hi`, NaN, or empty).
+    InvalidBounds(String),
+    /// A solver setting was outside its documented domain.
+    InvalidParameter(String),
+    /// The objective returned NaN at a feasible point.
+    ObjectiveNan,
+}
+
+impl fmt::Display for PsoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsoError::InvalidBounds(msg) => write!(f, "invalid bounds: {msg}"),
+            PsoError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            PsoError::ObjectiveNan => write!(f, "objective returned NaN at a feasible point"),
+        }
+    }
+}
+
+impl std::error::Error for PsoError {}

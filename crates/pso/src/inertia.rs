@@ -1,0 +1,163 @@
+//! Inertia weighting schedules `ι(k)` for the velocity update (Eq. 2).
+//!
+//! §II-A-2: naive discretization leads to "a nongraceful degradation of
+//! the particle inertia ι(k)"; "certain techniques, such as increasing the
+//! inertia (e.g., weighting the distance from the particle's local
+//! optimum) allow the involved particles to progress past their current
+//! local optimum instead of stagnating prematurely; these techniques beget
+//! calculating varying inertial weights." The adaptive schedule here is
+//! the one the RCR stack's Phase-3 kernel drives: the weight rises when
+//! swarm diversity collapses and decays when the swarm is healthy.
+
+/// A rule for computing the inertia weight at each generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum InertiaSchedule {
+    /// Fixed weight (classic PSO, typically 0.7–0.9).
+    Constant(f64),
+    /// Linear decay from `start` at generation 0 to `end` at the horizon —
+    /// the standard Shi–Eberhart schedule.
+    LinearDecay {
+        /// Weight at generation 0.
+        start: f64,
+        /// Weight at the final generation.
+        end: f64,
+    },
+    /// Diversity-adaptive weighting: interpolates between `min` (healthy,
+    /// diverse swarm → favor exploitation) and `max` (collapsed swarm →
+    /// boost inertia so particles can escape their local optima). The
+    /// interpolation coefficient is the *normalized diversity deficit*,
+    /// the closed-form solution of the 1-D convex penalty problem
+    /// `min_w (w − min)² s.t. w ≥ max − diversity·(max − min)`.
+    AdaptiveDiversity {
+        /// Weight used when the swarm is fully diverse.
+        min: f64,
+        /// Weight used when the swarm has fully collapsed.
+        max: f64,
+    },
+}
+
+/// Swarm state observed by adaptive schedules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwarmObservation {
+    /// Current generation index.
+    pub generation: usize,
+    /// Generation horizon (`max_iter`).
+    pub horizon: usize,
+    /// Normalized swarm diversity in `[0, 1]`: mean pairwise-to-center
+    /// distance relative to its initial value (clamped).
+    pub diversity: f64,
+    /// Whether the global best improved last generation.
+    pub improved: bool,
+}
+
+impl InertiaSchedule {
+    /// Computes `ι(k)` for the observed swarm state.
+    pub fn weight(&self, obs: &SwarmObservation) -> f64 {
+        match *self {
+            InertiaSchedule::Constant(w) => w,
+            InertiaSchedule::LinearDecay { start, end } => {
+                if obs.horizon == 0 {
+                    return end;
+                }
+                let t = (obs.generation as f64 / obs.horizon as f64).clamp(0.0, 1.0);
+                start + (end - start) * t
+            }
+            InertiaSchedule::AdaptiveDiversity { min, max } => {
+                // Deficit 0 (fully diverse) → min; deficit 1 (collapsed) → max.
+                let deficit = (1.0 - obs.diversity).clamp(0.0, 1.0);
+                min + (max - min) * deficit
+            }
+        }
+    }
+
+    /// Validates schedule parameters.
+    ///
+    /// # Errors
+    /// Returns a message describing the violated condition.
+    pub fn validate(&self) -> Result<(), String> {
+        let ok = |w: f64| w.is_finite() && w >= 0.0 && w < 2.0;
+        match *self {
+            InertiaSchedule::Constant(w) => {
+                if ok(w) {
+                    Ok(())
+                } else {
+                    Err(format!("constant inertia {w} outside [0, 2)"))
+                }
+            }
+            InertiaSchedule::LinearDecay { start, end } => {
+                if ok(start) && ok(end) {
+                    Ok(())
+                } else {
+                    Err(format!("linear decay weights ({start}, {end}) outside [0, 2)"))
+                }
+            }
+            InertiaSchedule::AdaptiveDiversity { min, max } => {
+                if ok(min) && ok(max) && min <= max {
+                    Ok(())
+                } else {
+                    Err(format!("adaptive weights ({min}, {max}) invalid"))
+                }
+            }
+        }
+    }
+}
+
+impl Default for InertiaSchedule {
+    fn default() -> Self {
+        InertiaSchedule::LinearDecay { start: 0.9, end: 0.4 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(gen: usize, horizon: usize, diversity: f64) -> SwarmObservation {
+        SwarmObservation { generation: gen, horizon, diversity, improved: false }
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let s = InertiaSchedule::Constant(0.7);
+        assert_eq!(s.weight(&obs(0, 100, 1.0)), 0.7);
+        assert_eq!(s.weight(&obs(99, 100, 0.0)), 0.7);
+    }
+
+    #[test]
+    fn linear_decay_interpolates() {
+        let s = InertiaSchedule::LinearDecay { start: 0.9, end: 0.4 };
+        assert!((s.weight(&obs(0, 100, 1.0)) - 0.9).abs() < 1e-12);
+        assert!((s.weight(&obs(50, 100, 1.0)) - 0.65).abs() < 1e-12);
+        assert!((s.weight(&obs(100, 100, 1.0)) - 0.4).abs() < 1e-12);
+        // Zero horizon degenerates to the end weight.
+        assert_eq!(s.weight(&obs(0, 0, 1.0)), 0.4);
+    }
+
+    #[test]
+    fn adaptive_raises_inertia_when_diversity_collapses() {
+        let s = InertiaSchedule::AdaptiveDiversity { min: 0.4, max: 0.9 };
+        let healthy = s.weight(&obs(10, 100, 1.0));
+        let collapsed = s.weight(&obs(10, 100, 0.0));
+        assert!((healthy - 0.4).abs() < 1e-12);
+        assert!((collapsed - 0.9).abs() < 1e-12);
+        let mid = s.weight(&obs(10, 100, 0.5));
+        assert!((mid - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_clamps_out_of_range_diversity() {
+        let s = InertiaSchedule::AdaptiveDiversity { min: 0.4, max: 0.9 };
+        assert_eq!(s.weight(&obs(0, 10, 2.0)), 0.4);
+        assert_eq!(s.weight(&obs(0, 10, -1.0)), 0.9);
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(InertiaSchedule::Constant(0.7).validate().is_ok());
+        assert!(InertiaSchedule::Constant(2.5).validate().is_err());
+        assert!(InertiaSchedule::Constant(f64::NAN).validate().is_err());
+        assert!(InertiaSchedule::LinearDecay { start: 0.9, end: -0.1 }.validate().is_err());
+        assert!(InertiaSchedule::AdaptiveDiversity { min: 0.9, max: 0.4 }.validate().is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Particle Swarm Optimization with adaptive inertia weighting and
+//! discrete-variable support.
+//!
+//! Implements the paper's Eqs. 1–2 —
+//!
+//! ```text
+//! x_i(k+1) = x_i(k) + v_i(k+1)
+//! v_i(k+1) = ι(k)·v_i(k) + α₁[β₁(I_i − x_i(k))] + α₂[β₂(G − x_i(k))]
+//! ```
+//!
+//! — together with the three implementation concerns §II-A/§III dwell on:
+//!
+//! * **Inertia schedules** ([`inertia::InertiaSchedule`]): constant,
+//!   linearly decaying, and the adaptive diversity-driven weighting that
+//!   the paper's "M-GNU-O" layer supplies to rescue particles from
+//!   premature stagnation.
+//! * **Discretization strategies** ([`discrete`]): naive velocity/position
+//!   rounding (which "creates an artificial paradigm, wherein particles
+//!   may stagnate prematurely") versus the distribution-over-values
+//!   attribute encoding of Strasser et al. that "maximally preserves the
+//!   original semantics".
+//! * **Stagnation detection and dispersion** ([`swarm`]): velocity
+//!   collapse is detected and the worst particles are re-scattered
+//!   (Worasucheep-style) rather than left trapped at local optima.
+//!
+//! # Example
+//!
+//! ```
+//! use rcr_pso::benchfn::BenchFunction;
+//! use rcr_pso::swarm::{PsoSettings, Swarm};
+//!
+//! # fn main() -> Result<(), rcr_pso::PsoError> {
+//! let f = BenchFunction::Sphere;
+//! let settings = PsoSettings { seed: 7, ..PsoSettings::default() };
+//! let result = Swarm::minimize(|x| f.eval(x), &f.bounds(2), &settings)?;
+//! assert!(result.best_value < 1e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchfn;
+pub mod de;
+pub mod discrete;
+pub mod inertia;
+pub mod swarm;
+pub mod tuner;
+
+mod error;
+
+pub use error::PsoError;

@@ -1,0 +1,403 @@
+//! The continuous PSO core (Eqs. 1–2) with stagnation detection and
+//! dispersion.
+
+use crate::inertia::{InertiaSchedule, SwarmObservation};
+use crate::PsoError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// PSO driver settings.
+#[derive(Debug, Clone)]
+pub struct PsoSettings {
+    /// Number of particles.
+    pub swarm_size: usize,
+    /// Generation horizon.
+    pub max_iter: usize,
+    /// Cognitive acceleration α₁.
+    pub cognitive: f64,
+    /// Social acceleration α₂.
+    pub social: f64,
+    /// Inertia schedule ι(k).
+    pub inertia: InertiaSchedule,
+    /// Velocity clamp as a fraction of each dimension's range.
+    pub velocity_clamp: f64,
+    /// Generations without improvement before dispersion triggers
+    /// (0 disables dispersion).
+    pub stagnation_window: usize,
+    /// Fraction of worst particles re-scattered on dispersion.
+    pub dispersion_fraction: f64,
+    /// Stop early when the best value drops below this target.
+    pub target_value: Option<f64>,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for PsoSettings {
+    fn default() -> Self {
+        PsoSettings {
+            swarm_size: 30,
+            max_iter: 400,
+            cognitive: 1.49445,
+            social: 1.49445,
+            inertia: InertiaSchedule::default(),
+            velocity_clamp: 0.5,
+            stagnation_window: 25,
+            dispersion_fraction: 0.3,
+            target_value: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a PSO run.
+#[derive(Debug, Clone)]
+pub struct PsoResult {
+    /// Best position found.
+    pub best_position: Vec<f64>,
+    /// Best objective value found.
+    pub best_value: f64,
+    /// Generations actually run.
+    pub iterations: usize,
+    /// Best value after each generation (for convergence plots).
+    pub history: Vec<f64>,
+    /// Number of dispersion events triggered by stagnation.
+    pub dispersion_events: usize,
+    /// Objective evaluations consumed.
+    pub evaluations: usize,
+}
+
+struct Particle {
+    x: Vec<f64>,
+    v: Vec<f64>,
+    best_x: Vec<f64>,
+    best_f: f64,
+}
+
+/// The particle swarm optimizer.
+///
+/// Use [`Swarm::minimize`] for one-shot runs; the struct form exposes
+/// generation-by-generation stepping for the adaptive-inertia experiments.
+#[derive(Debug)]
+pub struct Swarm {
+    _private: (),
+}
+
+impl Swarm {
+    /// Minimizes `f` over the box `bounds` (one `(lo, hi)` per dimension).
+    ///
+    /// # Errors
+    /// * [`PsoError::InvalidBounds`] for empty/reversed/non-finite bounds.
+    /// * [`PsoError::InvalidParameter`] for bad settings.
+    /// * [`PsoError::ObjectiveNan`] if `f` returns NaN at a feasible point.
+    pub fn minimize(
+        mut f: impl FnMut(&[f64]) -> f64,
+        bounds: &[(f64, f64)],
+        settings: &PsoSettings,
+    ) -> Result<PsoResult, PsoError> {
+        validate(bounds, settings)?;
+        let dim = bounds.len();
+        let mut rng = StdRng::seed_from_u64(settings.seed);
+        let mut evaluations = 0usize;
+
+        // Velocity clamp per dimension.
+        let vmax: Vec<f64> =
+            bounds.iter().map(|(lo, hi)| settings.velocity_clamp * (hi - lo)).collect();
+
+        // Initialize swarm uniformly at random within the box.
+        let mut particles: Vec<Particle> = (0..settings.swarm_size)
+            .map(|_| {
+                let x: Vec<f64> =
+                    bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..=hi)).collect();
+                let v: Vec<f64> = vmax.iter().map(|&vm| rng.gen_range(-vm..=vm)).collect();
+                Particle { best_x: x.clone(), x, v, best_f: f64::INFINITY }
+            })
+            .collect();
+
+        let mut g_best_x = particles[0].x.clone();
+        let mut g_best_f = f64::INFINITY;
+        for p in &mut particles {
+            let fx = f(&p.x);
+            evaluations += 1;
+            if fx.is_nan() {
+                return Err(PsoError::ObjectiveNan);
+            }
+            p.best_f = fx;
+            if fx < g_best_f {
+                g_best_f = fx;
+                g_best_x = p.x.clone();
+            }
+        }
+
+        let initial_diversity = diversity(&particles).max(1e-12);
+        let mut history = Vec::with_capacity(settings.max_iter);
+        let mut since_improvement = 0usize;
+        let mut dispersion_events = 0usize;
+        let mut iterations = 0usize;
+
+        for gen in 0..settings.max_iter {
+            iterations = gen + 1;
+            let div = (diversity(&particles) / initial_diversity).clamp(0.0, 1.0);
+            let obs = SwarmObservation {
+                generation: gen,
+                horizon: settings.max_iter,
+                diversity: div,
+                improved: since_improvement == 0,
+            };
+            let w = settings.inertia.weight(&obs);
+
+            let mut improved = false;
+            for p in &mut particles {
+                for d in 0..dim {
+                    let beta1: f64 = rng.gen();
+                    let beta2: f64 = rng.gen();
+                    // Eq. 2.
+                    p.v[d] = w * p.v[d]
+                        + settings.cognitive * beta1 * (p.best_x[d] - p.x[d])
+                        + settings.social * beta2 * (g_best_x[d] - p.x[d]);
+                    p.v[d] = p.v[d].clamp(-vmax[d], vmax[d]);
+                    // Eq. 1, clamped to the box.
+                    p.x[d] = (p.x[d] + p.v[d]).clamp(bounds[d].0, bounds[d].1);
+                }
+                let fx = f(&p.x);
+                evaluations += 1;
+                if fx.is_nan() {
+                    return Err(PsoError::ObjectiveNan);
+                }
+                if fx < p.best_f {
+                    p.best_f = fx;
+                    p.best_x.copy_from_slice(&p.x);
+                }
+                if fx < g_best_f {
+                    g_best_f = fx;
+                    g_best_x.copy_from_slice(&p.x);
+                    improved = true;
+                }
+            }
+            history.push(g_best_f);
+
+            if let Some(target) = settings.target_value {
+                if g_best_f <= target {
+                    break;
+                }
+            }
+
+            since_improvement = if improved { 0 } else { since_improvement + 1 };
+            if settings.stagnation_window > 0 && since_improvement >= settings.stagnation_window {
+                // Dispersion: re-scatter the worst particles uniformly.
+                let mut order: Vec<usize> = (0..particles.len()).collect();
+                order.sort_by(|&a, &b| {
+                    particles[b].best_f.partial_cmp(&particles[a].best_f).expect("finite")
+                });
+                let k = ((particles.len() as f64 * settings.dispersion_fraction) as usize).max(1);
+                for &idx in order.iter().take(k) {
+                    let p = &mut particles[idx];
+                    for d in 0..dim {
+                        p.x[d] = rng.gen_range(bounds[d].0..=bounds[d].1);
+                        p.v[d] = rng.gen_range(-vmax[d]..=vmax[d]);
+                    }
+                    let fx = f(&p.x);
+                    evaluations += 1;
+                    if fx.is_nan() {
+                        return Err(PsoError::ObjectiveNan);
+                    }
+                    if fx < p.best_f {
+                        p.best_f = fx;
+                        p.best_x.copy_from_slice(&p.x);
+                    }
+                    if fx < g_best_f {
+                        g_best_f = fx;
+                        g_best_x.copy_from_slice(&p.x);
+                    }
+                }
+                dispersion_events += 1;
+                since_improvement = 0;
+            }
+        }
+
+        Ok(PsoResult {
+            best_position: g_best_x,
+            best_value: g_best_f,
+            iterations,
+            history,
+            dispersion_events,
+            evaluations,
+        })
+    }
+}
+
+/// Mean distance of particle positions from the swarm centroid.
+fn diversity(particles: &[Particle]) -> f64 {
+    let n = particles.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let dim = particles[0].x.len();
+    let mut center = vec![0.0; dim];
+    for p in particles {
+        for (c, &xi) in center.iter_mut().zip(&p.x) {
+            *c += xi;
+        }
+    }
+    for c in &mut center {
+        *c /= n as f64;
+    }
+    particles
+        .iter()
+        .map(|p| {
+            p.x.iter()
+                .zip(&center)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+fn validate(bounds: &[(f64, f64)], settings: &PsoSettings) -> Result<(), PsoError> {
+    if bounds.is_empty() {
+        return Err(PsoError::InvalidBounds("empty bounds".into()));
+    }
+    for &(lo, hi) in bounds {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(PsoError::InvalidBounds(format!("[{lo}, {hi}]")));
+        }
+    }
+    if settings.swarm_size == 0 {
+        return Err(PsoError::InvalidParameter("swarm_size must be >= 1".into()));
+    }
+    if settings.max_iter == 0 {
+        return Err(PsoError::InvalidParameter("max_iter must be >= 1".into()));
+    }
+    if !(settings.cognitive >= 0.0) || !(settings.social >= 0.0) {
+        return Err(PsoError::InvalidParameter("accelerations must be >= 0".into()));
+    }
+    if !(settings.velocity_clamp > 0.0 && settings.velocity_clamp <= 1.0) {
+        return Err(PsoError::InvalidParameter("velocity_clamp must be in (0, 1]".into()));
+    }
+    if !(settings.dispersion_fraction > 0.0 && settings.dispersion_fraction <= 1.0) {
+        return Err(PsoError::InvalidParameter("dispersion_fraction must be in (0, 1]".into()));
+    }
+    settings.inertia.validate().map_err(PsoError::InvalidParameter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchfn::BenchFunction;
+
+    fn run(f: BenchFunction, dim: usize, seed: u64) -> PsoResult {
+        let settings = PsoSettings { seed, ..Default::default() };
+        Swarm::minimize(|x| f.eval(x), &f.bounds(dim), &settings).unwrap()
+    }
+
+    #[test]
+    fn solves_sphere() {
+        let r = run(BenchFunction::Sphere, 5, 1);
+        assert!(r.best_value < 1e-6, "best {}", r.best_value);
+    }
+
+    #[test]
+    fn solves_rosenbrock_2d() {
+        let r = run(BenchFunction::Rosenbrock, 2, 2);
+        assert!(r.best_value < 1e-3, "best {}", r.best_value);
+    }
+
+    #[test]
+    fn solves_rastrigin_2d_with_adaptive_inertia() {
+        let settings = PsoSettings {
+            seed: 3,
+            max_iter: 600,
+            inertia: crate::inertia::InertiaSchedule::AdaptiveDiversity { min: 0.4, max: 0.9 },
+            ..Default::default()
+        };
+        let f = BenchFunction::Rastrigin;
+        let r = Swarm::minimize(|x| f.eval(x), &f.bounds(2), &settings).unwrap();
+        assert!(r.best_value < 1.0, "best {}", r.best_value);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(BenchFunction::Ackley, 3, 42);
+        let b = run(BenchFunction::Ackley, 3, 42);
+        assert_eq!(a.best_value, b.best_value);
+        assert_eq!(a.best_position, b.best_position);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(BenchFunction::Ackley, 3, 1);
+        let b = run(BenchFunction::Ackley, 3, 2);
+        assert_ne!(a.best_position, b.best_position);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let r = run(BenchFunction::Griewank, 4, 5);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15);
+        }
+    }
+
+    #[test]
+    fn target_value_stops_early() {
+        let f = BenchFunction::Sphere;
+        let settings = PsoSettings { target_value: Some(1e-2), seed: 9, ..Default::default() };
+        let r = Swarm::minimize(|x| f.eval(x), &f.bounds(3), &settings).unwrap();
+        assert!(r.iterations < settings.max_iter);
+        assert!(r.best_value <= 1e-2);
+    }
+
+    #[test]
+    fn best_position_within_bounds() {
+        let f = BenchFunction::Rastrigin;
+        let r = run(f, 4, 7);
+        for (x, (lo, hi)) in r.best_position.iter().zip(f.bounds(4)) {
+            assert!(*x >= lo && *x <= hi);
+        }
+    }
+
+    #[test]
+    fn small_swarm_still_finds_decent_solutions() {
+        // §II-A: "even relatively small swarm sizes are fairly consistent
+        // in providing good-enough near-optimum solutions".
+        let f = BenchFunction::Sphere;
+        let settings = PsoSettings { swarm_size: 5, seed: 11, ..Default::default() };
+        let r = Swarm::minimize(|x| f.eval(x), &f.bounds(4), &settings).unwrap();
+        assert!(r.best_value < 1e-3, "best {}", r.best_value);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let f = |x: &[f64]| x[0];
+        let s = PsoSettings::default();
+        assert!(Swarm::minimize(f, &[], &s).is_err());
+        assert!(Swarm::minimize(f, &[(1.0, 0.0)], &s).is_err());
+        let bad = PsoSettings { swarm_size: 0, ..Default::default() };
+        assert!(Swarm::minimize(f, &[(0.0, 1.0)], &bad).is_err());
+        let bad = PsoSettings { velocity_clamp: 0.0, ..Default::default() };
+        assert!(Swarm::minimize(f, &[(0.0, 1.0)], &bad).is_err());
+    }
+
+    #[test]
+    fn nan_objective_reported() {
+        let s = PsoSettings { swarm_size: 3, max_iter: 5, ..Default::default() };
+        let r = Swarm::minimize(|_| f64::NAN, &[(0.0, 1.0)], &s);
+        assert!(matches!(r, Err(PsoError::ObjectiveNan)));
+    }
+
+    #[test]
+    fn dispersion_triggers_on_flat_landscape() {
+        // Constant objective: no improvement ever → dispersion events fire.
+        let s = PsoSettings {
+            swarm_size: 8,
+            max_iter: 120,
+            stagnation_window: 10,
+            seed: 1,
+            ..Default::default()
+        };
+        let r = Swarm::minimize(|_| 1.0, &[(0.0, 1.0), (0.0, 1.0)], &s).unwrap();
+        assert!(r.dispersion_events >= 5, "events {}", r.dispersion_events);
+    }
+}

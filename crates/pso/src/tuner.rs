@@ -1,0 +1,150 @@
+//! Hyperparameter tuning harness — Phase 2 of the RCR stack.
+//!
+//! "Ultimately, the final rendition of the MSY3I is dictated by the PSO
+//! deployment; the PSO determines the reduction in the number of
+//! hyperparameters and the tuning thereof" (§II-B-3). This module wraps
+//! [`crate::discrete::minimize_mixed`] in a named-parameter interface so a
+//! model-training crate can expose its hyperparameters without knowing
+//! anything about swarms.
+
+use crate::discrete::{minimize_mixed, DiscreteStrategy, MixedPsoResult, VarSpec};
+use crate::swarm::PsoSettings;
+use crate::PsoError;
+use std::collections::BTreeMap;
+
+/// A named hyperparameter with its search range.
+#[derive(Debug, Clone)]
+pub struct Hyperparameter {
+    /// Name used in the result map (e.g. `"learning_rate"`).
+    pub name: String,
+    /// Search specification.
+    pub spec: VarSpec,
+}
+
+impl Hyperparameter {
+    /// A continuous hyperparameter.
+    pub fn continuous(name: &str, lo: f64, hi: f64) -> Self {
+        Hyperparameter { name: name.to_owned(), spec: VarSpec::Continuous { lo, hi } }
+    }
+
+    /// An integer hyperparameter.
+    pub fn integer(name: &str, lo: i64, hi: i64) -> Self {
+        Hyperparameter { name: name.to_owned(), spec: VarSpec::Integer { lo, hi } }
+    }
+
+    /// A categorical hyperparameter.
+    pub fn categorical(name: &str, cardinality: usize) -> Self {
+        Hyperparameter { name: name.to_owned(), spec: VarSpec::Categorical { cardinality } }
+    }
+}
+
+/// A concrete assignment of hyperparameter values, keyed by name.
+pub type Assignment = BTreeMap<String, f64>;
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// Best assignment found.
+    pub best: Assignment,
+    /// Fitness (lower is better) of the best assignment.
+    pub best_fitness: f64,
+    /// Raw PSO result (history, exploration metrics).
+    pub raw: MixedPsoResult,
+}
+
+/// Tunes hyperparameters by minimizing `fitness` (lower is better).
+///
+/// # Errors
+/// * [`PsoError::InvalidParameter`] for an empty parameter list or
+///   duplicate names.
+/// * Propagates PSO errors.
+pub fn tune(
+    params: &[Hyperparameter],
+    mut fitness: impl FnMut(&Assignment) -> f64,
+    strategy: DiscreteStrategy,
+    settings: &PsoSettings,
+) -> Result<TuningResult, PsoError> {
+    if params.is_empty() {
+        return Err(PsoError::InvalidParameter("no hyperparameters to tune".into()));
+    }
+    {
+        let mut names: Vec<&str> = params.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != params.len() {
+            return Err(PsoError::InvalidParameter("duplicate hyperparameter names".into()));
+        }
+    }
+    let specs: Vec<VarSpec> = params.iter().map(|p| p.spec).collect();
+    let to_assignment = |x: &[f64]| -> Assignment {
+        params.iter().zip(x).map(|(p, &v)| (p.name.clone(), v)).collect()
+    };
+    let raw = minimize_mixed(
+        |x| fitness(&to_assignment(x)),
+        &specs,
+        strategy,
+        settings,
+    )?;
+    let best = to_assignment(&raw.best_position);
+    Ok(TuningResult { best, best_fitness: raw.best_value, raw })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settings() -> PsoSettings {
+        PsoSettings { swarm_size: 15, max_iter: 80, seed: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn tunes_named_parameters() {
+        let params = vec![
+            Hyperparameter::continuous("lr", 0.0, 1.0),
+            Hyperparameter::integer("layers", 1, 8),
+            Hyperparameter::categorical("activation", 3),
+        ];
+        // Optimum: lr = 0.3, layers = 4, activation = 1.
+        let fitness = |a: &Assignment| {
+            (a["lr"] - 0.3).powi(2)
+                + (a["layers"] - 4.0).powi(2)
+                + if a["activation"] == 1.0 { 0.0 } else { 1.0 }
+        };
+        let r = tune(&params, fitness, DiscreteStrategy::Distribution, &settings()).unwrap();
+        assert_eq!(r.best["layers"], 4.0);
+        assert_eq!(r.best["activation"], 1.0);
+        assert!((r.best["lr"] - 0.3).abs() < 0.05, "lr = {}", r.best["lr"]);
+        assert!(r.best_fitness < 0.01);
+    }
+
+    #[test]
+    fn both_strategies_work() {
+        let params = vec![Hyperparameter::integer("n", 0, 20)];
+        let fitness = |a: &Assignment| (a["n"] - 13.0).abs();
+        for strat in [DiscreteStrategy::Rounding, DiscreteStrategy::Distribution] {
+            let r = tune(&params, fitness, strat, &settings()).unwrap();
+            assert_eq!(r.best["n"], 13.0, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        let fitness = |_: &Assignment| 0.0;
+        assert!(tune(&[], fitness, DiscreteStrategy::Rounding, &settings()).is_err());
+        let dup = vec![
+            Hyperparameter::integer("x", 0, 1),
+            Hyperparameter::integer("x", 0, 1),
+        ];
+        assert!(tune(&dup, |_| 0.0, DiscreteStrategy::Rounding, &settings()).is_err());
+    }
+
+    #[test]
+    fn assignment_contains_all_names() {
+        let params = vec![
+            Hyperparameter::continuous("a", 0.0, 1.0),
+            Hyperparameter::integer("b", 0, 5),
+        ];
+        let r = tune(&params, |_| 1.0, DiscreteStrategy::Rounding, &settings()).unwrap();
+        assert!(r.best.contains_key("a") && r.best.contains_key("b"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based invariants of the stochastic-search kernels.
+
+use proptest::prelude::*;
+use rcr_pso::de::{self, DeSettings};
+use rcr_pso::discrete::{minimize_mixed, DiscreteStrategy, VarSpec};
+use rcr_pso::swarm::{PsoSettings, Swarm};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pso_result_always_within_bounds(
+        centers in prop::collection::vec(-3.0f64..3.0, 1..4),
+        width in 0.5f64..4.0,
+        seed in 0u64..1000,
+    ) {
+        let bounds: Vec<(f64, f64)> =
+            centers.iter().map(|&c| (c - width, c + width)).collect();
+        let settings = PsoSettings { swarm_size: 8, max_iter: 30, seed, ..Default::default() };
+        let target = centers.clone();
+        let r = Swarm::minimize(
+            move |x| x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum(),
+            &bounds,
+            &settings,
+        )
+        .unwrap();
+        for (x, (lo, hi)) in r.best_position.iter().zip(&bounds) {
+            prop_assert!(x >= lo && x <= hi);
+        }
+        // The optimum (the box center) is reachable, so PSO should land
+        // close after 30 generations on these tiny problems.
+        prop_assert!(r.best_value < width * width);
+        // History is the running best: monotone non-increasing.
+        for w in r.history.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-15);
+        }
+    }
+
+    #[test]
+    fn de_result_always_within_bounds(
+        width in 0.5f64..4.0,
+        seed in 0u64..1000,
+    ) {
+        let bounds = vec![(-width, width); 3];
+        let settings = DeSettings { population: 8, max_iter: 30, seed, ..Default::default() };
+        let r = de::minimize(|x| x.iter().map(|v| v * v).sum(), &bounds, &settings).unwrap();
+        for (x, (lo, hi)) in r.best_position.iter().zip(&bounds) {
+            prop_assert!(x >= lo && x <= hi);
+        }
+        prop_assert_eq!(r.history.len(), r.iterations);
+    }
+
+    #[test]
+    fn discrete_results_are_exact_lattice_points(
+        lo in -8i64..0,
+        hi in 1i64..8,
+        seed in 0u64..200,
+    ) {
+        let specs = vec![VarSpec::Integer { lo, hi }; 2];
+        let settings = PsoSettings { swarm_size: 6, max_iter: 20, seed, ..Default::default() };
+        for strat in [DiscreteStrategy::Rounding, DiscreteStrategy::Distribution] {
+            let r = minimize_mixed(
+                |x| x.iter().map(|v| (v - 0.4) * (v - 0.4)).sum(),
+                &specs,
+                strat,
+                &settings,
+            )
+            .unwrap();
+            for v in &r.best_position {
+                prop_assert_eq!(v.fract(), 0.0);
+                prop_assert!(*v >= lo as f64 && *v <= hi as f64);
+            }
+            prop_assert!(r.frozen_fraction >= 0.0 && r.frozen_fraction <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Downlink channel model: log-distance path loss with Rayleigh fading.
+//!
+//! A substitution for the paper's (unavailable) testbed measurements: the
+//! generated gain matrix `g[user][rb]` exercises the same optimization
+//! structure — users at different distances see very different channel
+//! qualities, and per-RB fading makes assignment genuinely combinatorial.
+
+use crate::QosError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Channel generation parameters.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Cell radius in meters.
+    pub cell_radius_m: f64,
+    /// Minimum user distance from the base station in meters.
+    pub min_distance_m: f64,
+    /// Path-loss exponent (3–4 urban).
+    pub path_loss_exponent: f64,
+    /// Reference gain at 1 m (linear).
+    pub reference_gain: f64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            cell_radius_m: 250.0,
+            min_distance_m: 10.0,
+            path_loss_exponent: 3.5,
+            reference_gain: 1e-3,
+        }
+    }
+}
+
+/// A realized downlink channel: per-user distances and the per-(user, RB)
+/// power gain matrix.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    distances_m: Vec<f64>,
+    gains: Vec<Vec<f64>>,
+}
+
+impl Channel {
+    /// Draws a channel for `users` users over `resource_blocks` RBs.
+    ///
+    /// # Errors
+    /// Returns [`QosError::InvalidParameter`] for zero sizes or a
+    /// degenerate geometry.
+    pub fn generate(
+        config: &ChannelConfig,
+        users: usize,
+        resource_blocks: usize,
+        seed: u64,
+    ) -> Result<Self, QosError> {
+        if users == 0 || resource_blocks == 0 {
+            return Err(QosError::InvalidParameter("users and RBs must be >= 1".into()));
+        }
+        if !(config.min_distance_m > 0.0)
+            || !(config.cell_radius_m > config.min_distance_m)
+            || !(config.path_loss_exponent > 0.0)
+            || !(config.reference_gain > 0.0)
+        {
+            return Err(QosError::InvalidParameter(format!("bad channel geometry {config:?}")));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Uniform over the disc area → sqrt sampling of radius.
+        let distances_m: Vec<f64> = (0..users)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                (config.min_distance_m.powi(2)
+                    + u * (config.cell_radius_m.powi(2) - config.min_distance_m.powi(2)))
+                .sqrt()
+            })
+            .collect();
+        let gains = distances_m
+            .iter()
+            .map(|&d| {
+                let path = config.reference_gain * d.powf(-config.path_loss_exponent);
+                (0..resource_blocks)
+                    .map(|_| {
+                        // Rayleigh fading: |h|² is Exp(1).
+                        let u: f64 = rng.gen_range(1e-12..1.0f64);
+                        let fading = -u.ln();
+                        path * fading
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Channel { distances_m, gains })
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.gains.len()
+    }
+
+    /// Number of resource blocks.
+    pub fn resource_blocks(&self) -> usize {
+        self.gains[0].len()
+    }
+
+    /// User distances from the base station (meters).
+    pub fn distances_m(&self) -> &[f64] {
+        &self.distances_m
+    }
+
+    /// Power gain of `user` on `rb` (linear).
+    ///
+    /// # Panics
+    /// Panics when either index is out of range.
+    pub fn gain(&self, user: usize, rb: usize) -> f64 {
+        self.gains[user][rb]
+    }
+
+    /// The full gain matrix.
+    pub fn gains(&self) -> &[Vec<f64>] {
+        &self.gains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_shapes_and_determinism() {
+        let cfg = ChannelConfig::default();
+        let a = Channel::generate(&cfg, 4, 8, 3).unwrap();
+        let b = Channel::generate(&cfg, 4, 8, 3).unwrap();
+        assert_eq!(a.users(), 4);
+        assert_eq!(a.resource_blocks(), 8);
+        assert_eq!(a.gains(), b.gains());
+        let c = Channel::generate(&cfg, 4, 8, 4).unwrap();
+        assert_ne!(a.gains(), c.gains());
+    }
+
+    #[test]
+    fn gains_positive_and_distance_ordered_on_average() {
+        let cfg = ChannelConfig::default();
+        let ch = Channel::generate(&cfg, 12, 64, 1).unwrap();
+        for u in 0..ch.users() {
+            for k in 0..ch.resource_blocks() {
+                assert!(ch.gain(u, k) > 0.0);
+            }
+        }
+        // Mean gain decreases with distance (fading averages out over RBs).
+        let mean = |u: usize| -> f64 {
+            (0..ch.resource_blocks()).map(|k| ch.gain(u, k)).sum::<f64>()
+                / ch.resource_blocks() as f64
+        };
+        let mut idx: Vec<usize> = (0..ch.users()).collect();
+        idx.sort_by(|&a, &b| ch.distances_m()[a].partial_cmp(&ch.distances_m()[b]).unwrap());
+        let near = mean(idx[0]);
+        let far = mean(*idx.last().unwrap());
+        assert!(near > far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn distances_within_cell() {
+        let cfg = ChannelConfig::default();
+        let ch = Channel::generate(&cfg, 50, 2, 9).unwrap();
+        for &d in ch.distances_m() {
+            assert!(d >= cfg.min_distance_m && d <= cfg.cell_radius_m);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let cfg = ChannelConfig::default();
+        assert!(Channel::generate(&cfg, 0, 4, 0).is_err());
+        assert!(Channel::generate(&cfg, 4, 0, 0).is_err());
+        let bad = ChannelConfig { cell_radius_m: 5.0, ..Default::default() };
+        assert!(Channel::generate(&bad, 2, 2, 0).is_err());
+    }
+}

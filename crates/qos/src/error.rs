@@ -1,0 +1,39 @@
+use std::fmt;
+
+/// Errors produced by the QoS problem builders and solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QosError {
+    /// Scenario or problem parameters were malformed.
+    InvalidParameter(String),
+    /// The continuous power subproblem failed to converge.
+    PowerAllocationFailure(String),
+    /// An underlying solver failed.
+    Solver(String),
+}
+
+impl fmt::Display for QosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            QosError::PowerAllocationFailure(msg) => {
+                write!(f, "power allocation failure: {msg}")
+            }
+            QosError::Solver(msg) => write!(f, "solver failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QosError {}
+
+impl From<rcr_minlp::MinlpError> for QosError {
+    fn from(e: rcr_minlp::MinlpError) -> Self {
+        QosError::Solver(e.to_string())
+    }
+}
+
+impl From<rcr_pso::PsoError> for QosError {
+    fn from(e: rcr_pso::PsoError) -> Self {
+        QosError::Solver(e.to_string())
+    }
+}

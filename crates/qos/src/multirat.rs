@@ -1,0 +1,246 @@
+//! Multi-RAT assignment — the paper's second QoS example: "Multi-Radio
+//! Access Technology (RAT) handling for multi-connectivity (each with its
+//! own QoS requirements)".
+//!
+//! Each user is attached to exactly one RAT (e.g. sub-6 GHz NR, mmWave,
+//! WiFi offload); RAT `r` supports at most `capacity[r]` users; attaching
+//! user `u` to RAT `r` yields utility `utility[u][r]` (rate scaled by the
+//! user's QoS weight). Maximize total utility — an integer program solved
+//! exactly via [`rcr_minlp`], with a greedy baseline.
+
+use crate::QosError;
+use rcr_minlp::{BnbSettings, MinlpError, RelaxableProblem, Relaxation};
+
+/// A multi-RAT assignment problem.
+#[derive(Debug, Clone)]
+pub struct MultiRatProblem {
+    utility: Vec<Vec<f64>>,
+    capacity: Vec<usize>,
+}
+
+/// A solved assignment.
+#[derive(Debug, Clone)]
+pub struct MultiRatSolution {
+    /// User → RAT assignment.
+    pub assignment: Vec<usize>,
+    /// Total utility.
+    pub utility: f64,
+    /// Users per RAT.
+    pub load: Vec<usize>,
+}
+
+impl MultiRatProblem {
+    /// Builds a problem from a `users x rats` utility matrix and per-RAT
+    /// capacities.
+    ///
+    /// # Errors
+    /// Returns [`QosError::InvalidParameter`] for empty/ragged utilities,
+    /// mismatched capacities, or total capacity below the user count.
+    pub fn new(utility: Vec<Vec<f64>>, capacity: Vec<usize>) -> Result<Self, QosError> {
+        if utility.is_empty() || utility[0].is_empty() {
+            return Err(QosError::InvalidParameter("empty utility matrix".into()));
+        }
+        let rats = utility[0].len();
+        if utility.iter().any(|row| row.len() != rats) {
+            return Err(QosError::InvalidParameter("ragged utility matrix".into()));
+        }
+        if capacity.len() != rats {
+            return Err(QosError::InvalidParameter(format!(
+                "{} capacities for {rats} RATs",
+                capacity.len()
+            )));
+        }
+        if capacity.iter().sum::<usize>() < utility.len() {
+            return Err(QosError::InvalidParameter("total capacity below user count".into()));
+        }
+        if utility.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(QosError::InvalidParameter("non-finite utility".into()));
+        }
+        Ok(MultiRatProblem { utility, capacity })
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.utility.len()
+    }
+
+    /// Number of RATs.
+    pub fn rats(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Total utility and per-RAT load of an assignment; `None` when a
+    /// capacity is violated.
+    pub fn evaluate(&self, assignment: &[usize]) -> Option<MultiRatSolution> {
+        if assignment.len() != self.users() || assignment.iter().any(|&r| r >= self.rats()) {
+            return None;
+        }
+        let mut load = vec![0usize; self.rats()];
+        let mut total = 0.0;
+        for (u, &r) in assignment.iter().enumerate() {
+            load[r] += 1;
+            total += self.utility[u][r];
+        }
+        if load.iter().zip(&self.capacity).any(|(l, c)| l > c) {
+            return None;
+        }
+        Some(MultiRatSolution { assignment: assignment.to_vec(), utility: total, load })
+    }
+}
+
+struct MultiRatMinlp<'a> {
+    problem: &'a MultiRatProblem,
+}
+
+impl RelaxableProblem for MultiRatMinlp<'_> {
+    fn num_integers(&self) -> usize {
+        self.problem.users()
+    }
+
+    fn integer_bounds(&self) -> Vec<(i64, i64)> {
+        vec![(0, self.problem.rats() as i64 - 1); self.problem.users()]
+    }
+
+    fn solve_relaxation(&self, bounds: &[(i64, i64)]) -> Result<Relaxation, MinlpError> {
+        // Drop capacities: each user independently takes the best RAT in
+        // its range — a valid upper bound on utility (lower bound on the
+        // negated objective).
+        let mut total = 0.0;
+        let mut values = Vec::with_capacity(bounds.len());
+        for (u, &(lo, hi)) in bounds.iter().enumerate() {
+            let mut best = (lo as usize, f64::NEG_INFINITY);
+            for r in lo..=hi {
+                let v = self.problem.utility[u][r as usize];
+                if v > best.1 {
+                    best = (r as usize, v);
+                }
+            }
+            total += best.1;
+            values.push(best.0 as f64);
+        }
+        Ok(Relaxation { lower_bound: -total, values })
+    }
+
+    fn evaluate_assignment(&self, assignment: &[i64]) -> Result<Option<f64>, MinlpError> {
+        let a: Vec<usize> = assignment.iter().map(|&v| v as usize).collect();
+        Ok(self.problem.evaluate(&a).map(|s| -s.utility))
+    }
+}
+
+/// Solves multi-RAT assignment to proven optimality.
+///
+/// # Errors
+/// Propagates [`rcr_minlp`] errors.
+pub fn solve_exact(
+    problem: &MultiRatProblem,
+    settings: &BnbSettings,
+) -> Result<MultiRatSolution, QosError> {
+    let adapter = MultiRatMinlp { problem };
+    let report = rcr_minlp::solve(&adapter, settings)?;
+    let a: Vec<usize> = report.assignment.iter().map(|&v| v as usize).collect();
+    problem
+        .evaluate(&a)
+        .ok_or_else(|| QosError::Solver("optimal assignment failed re-evaluation".into()))
+}
+
+/// Greedy baseline: users in order of their best-vs-second-best utility
+/// gap pick their best RAT with remaining capacity.
+pub fn solve_greedy(problem: &MultiRatProblem) -> MultiRatSolution {
+    let users = problem.users();
+    let rats = problem.rats();
+    let mut order: Vec<usize> = (0..users).collect();
+    let regret = |u: usize| -> f64 {
+        let mut vals: Vec<f64> = problem.utility[u].clone();
+        vals.sort_by(|a, b| b.partial_cmp(a).expect("finite utilities"));
+        if vals.len() > 1 {
+            vals[0] - vals[1]
+        } else {
+            vals[0]
+        }
+    };
+    order.sort_by(|&a, &b| regret(b).partial_cmp(&regret(a)).expect("finite regrets"));
+    let mut remaining = problem.capacity.clone();
+    let mut assignment = vec![0usize; users];
+    for &u in &order {
+        let mut rats_by_pref: Vec<usize> = (0..rats).collect();
+        rats_by_pref.sort_by(|&a, &b| {
+            problem.utility[u][b].partial_cmp(&problem.utility[u][a]).expect("finite utilities")
+        });
+        for r in rats_by_pref {
+            if remaining[r] > 0 {
+                remaining[r] -= 1;
+                assignment[u] = r;
+                break;
+            }
+        }
+    }
+    problem.evaluate(&assignment).expect("greedy respects capacities by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> MultiRatProblem {
+        // 4 users, 2 RATs; RAT 0 capacity 2.
+        MultiRatProblem::new(
+            vec![
+                vec![10.0, 1.0],
+                vec![9.0, 8.0],
+                vec![8.0, 2.0],
+                vec![7.0, 6.5],
+            ],
+            vec![2, 4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let p = toy();
+        let exact = solve_exact(&p, &BnbSettings::default()).unwrap();
+        let mut best = 0.0f64;
+        for mask in 0..16usize {
+            let a: Vec<usize> = (0..4).map(|u| (mask >> u) & 1).collect();
+            if let Some(s) = p.evaluate(&a) {
+                best = best.max(s.utility);
+            }
+        }
+        assert!((exact.utility - best).abs() < 1e-9, "exact {} vs brute {best}", exact.utility);
+        // Users 0 and 2 have the largest regret → RAT 0; 1 and 3 spill.
+        assert_eq!(exact.assignment, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let p = toy();
+        let exact = solve_exact(&p, &BnbSettings::default()).unwrap();
+        assert!(exact.load[0] <= 2);
+        assert!(p.evaluate(&[0, 0, 0, 1]).is_none()); // over capacity
+    }
+
+    #[test]
+    fn greedy_feasible_and_close() {
+        let p = toy();
+        let exact = solve_exact(&p, &BnbSettings::default()).unwrap();
+        let greedy = solve_greedy(&p);
+        assert!(greedy.utility <= exact.utility + 1e-9);
+        assert!(greedy.utility >= 0.9 * exact.utility, "greedy {}", greedy.utility);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MultiRatProblem::new(vec![], vec![1]).is_err());
+        assert!(MultiRatProblem::new(vec![vec![1.0], vec![1.0, 2.0]], vec![2]).is_err());
+        assert!(MultiRatProblem::new(vec![vec![1.0, 2.0]], vec![1]).is_err());
+        assert!(MultiRatProblem::new(vec![vec![1.0]], vec![0]).is_err());
+        assert!(MultiRatProblem::new(vec![vec![f64::NAN]], vec![1]).is_err());
+    }
+
+    #[test]
+    fn evaluate_rejects_bad_assignments() {
+        let p = toy();
+        assert!(p.evaluate(&[0, 1]).is_none());
+        assert!(p.evaluate(&[0, 1, 0, 9]).is_none());
+    }
+}

@@ -1,0 +1,281 @@
+//! The continuous inner problem of the RRA MINLP: power allocation over
+//! assigned resource blocks.
+//!
+//! For a fixed RB→user assignment the remaining problem is concave:
+//!
+//! ```text
+//! maximize   Σ_k B·log2(1 + a_k p_k)
+//! subject to Σ_k p_k ≤ P_total,  p ≥ 0
+//!            Σ_{k ∈ K_u} B·log2(1 + a_k p_k) ≥ r_u   ∀u
+//! ```
+//!
+//! with `a_k = g_{u(k),k} / N₀B` the normalized gain of RB `k`'s owner.
+//! Without rate constraints the solution is classical water-filling; the
+//! constrained version is solved by dual subgradient ascent on the rate
+//! multipliers μ with an inner bisection on the water level — each inner
+//! problem is *weighted* water-filling `p_k = (w_k/λ − 1/a_k)₊` with
+//! `w_k = 1 + μ_{u(k)}`.
+
+use crate::QosError;
+
+/// Power-allocation problem description for one assignment.
+#[derive(Debug, Clone)]
+pub struct PowerProblem {
+    /// Normalized gain `a_k` per RB (gain / noise power).
+    pub gains: Vec<f64>,
+    /// Owner user of each RB.
+    pub owners: Vec<usize>,
+    /// Total power budget (W).
+    pub power_budget: f64,
+    /// Bandwidth per RB (Hz).
+    pub rb_bandwidth_hz: f64,
+    /// Minimum rate per user (bit/s); users without assigned RBs must
+    /// have 0 here to be satisfiable.
+    pub min_rates_bps: Vec<f64>,
+}
+
+/// Result of a power allocation.
+#[derive(Debug, Clone)]
+pub struct PowerSolution {
+    /// Power per RB (W).
+    pub powers: Vec<f64>,
+    /// Rate per RB (bit/s).
+    pub rb_rates_bps: Vec<f64>,
+    /// Rate per user (bit/s).
+    pub user_rates_bps: Vec<f64>,
+    /// Total rate (bit/s).
+    pub total_rate_bps: f64,
+    /// True when every minimum-rate constraint is met (within tolerance).
+    pub feasible: bool,
+}
+
+fn rate_bps(bandwidth: f64, a: f64, p: f64) -> f64 {
+    bandwidth * (1.0 + a * p).log2()
+}
+
+/// Weighted water-filling: maximize `Σ w_k log(1 + a_k p_k)` subject to
+/// `Σ p ≤ budget`, `p ≥ 0`. Exact via bisection on the water level.
+fn weighted_waterfill(gains: &[f64], weights: &[f64], budget: f64) -> Vec<f64> {
+    let power_at = |lambda: f64| -> Vec<f64> {
+        gains
+            .iter()
+            .zip(weights)
+            .map(|(&a, &w)| ((w / lambda) - 1.0 / a).max(0.0))
+            .collect()
+    };
+    // λ ∈ (0, ∞): total power decreases in λ. Find λ with Σp = budget.
+    let mut lo = 1e-12f64;
+    let mut hi = 1e12;
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt(); // geometric bisection for scale-freeness
+        let total: f64 = power_at(mid).iter().sum();
+        if total > budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    power_at((lo * hi).sqrt())
+}
+
+/// Solves the constrained power allocation.
+///
+/// ```
+/// use rcr_qos::power::{solve_power, PowerProblem};
+///
+/// # fn main() -> Result<(), rcr_qos::QosError> {
+/// let sol = solve_power(&PowerProblem {
+///     gains: vec![10.0, 2.0],
+///     owners: vec![0, 1],
+///     power_budget: 1.0,
+///     rb_bandwidth_hz: 1.0,
+///     min_rates_bps: vec![0.0, 0.0],
+/// })?;
+/// assert!(sol.feasible);
+/// assert!(sol.powers.iter().sum::<f64>() <= 1.0 + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Returns the best allocation found; `feasible` reports whether the
+/// minimum rates were met. When some user's minimum rate is unattainable
+/// even with the whole budget on its best RB, the result comes back
+/// infeasible rather than erroring.
+///
+/// # Errors
+/// Returns [`QosError::InvalidParameter`] for malformed problem data.
+pub fn solve_power(problem: &PowerProblem) -> Result<PowerSolution, QosError> {
+    let k = problem.gains.len();
+    if k == 0 || problem.owners.len() != k {
+        return Err(QosError::InvalidParameter(format!(
+            "{} gains vs {} owners",
+            k,
+            problem.owners.len()
+        )));
+    }
+    if !(problem.power_budget > 0.0) || !(problem.rb_bandwidth_hz > 0.0) {
+        return Err(QosError::InvalidParameter("budget and bandwidth must be positive".into()));
+    }
+    if problem.gains.iter().any(|&a| !(a > 0.0) || !a.is_finite()) {
+        return Err(QosError::InvalidParameter("gains must be positive and finite".into()));
+    }
+    let users = problem.min_rates_bps.len();
+    if problem.owners.iter().any(|&u| u >= users) {
+        return Err(QosError::InvalidParameter("owner index out of range".into()));
+    }
+
+    let user_rates = |powers: &[f64]| -> Vec<f64> {
+        let mut rates = vec![0.0; users];
+        for ((&p, &a), &u) in powers.iter().zip(&problem.gains).zip(&problem.owners) {
+            rates[u] += rate_bps(problem.rb_bandwidth_hz, a, p);
+        }
+        rates
+    };
+
+    // Dual subgradient on μ ≥ 0 (one per user with a positive min rate).
+    let mut mu = vec![0.0; users];
+    let mut best: Option<PowerSolution> = None;
+    let iterations = 300;
+    for it in 0..iterations {
+        let weights: Vec<f64> =
+            problem.owners.iter().map(|&u| 1.0 + mu[u]).collect();
+        let powers = weighted_waterfill(&problem.gains, &weights, problem.power_budget);
+        let rates = user_rates(&powers);
+        let violation: Vec<f64> = rates
+            .iter()
+            .zip(&problem.min_rates_bps)
+            .map(|(r, m)| m - r)
+            .collect();
+        let feasible = violation.iter().all(|&v| v <= 1e-6 * problem.rb_bandwidth_hz.max(1.0));
+
+        let rb_rates: Vec<f64> = powers
+            .iter()
+            .zip(&problem.gains)
+            .map(|(&p, &a)| rate_bps(problem.rb_bandwidth_hz, a, p))
+            .collect();
+        let total: f64 = rb_rates.iter().sum();
+        let candidate = PowerSolution {
+            powers,
+            rb_rates_bps: rb_rates,
+            user_rates_bps: rates,
+            total_rate_bps: total,
+            feasible,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                (candidate.feasible && !b.feasible)
+                    || (candidate.feasible == b.feasible
+                        && candidate.total_rate_bps > b.total_rate_bps)
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+        if feasible && mu.iter().all(|&m| m == 0.0) {
+            break; // unconstrained optimum already satisfies the rates
+        }
+        // Subgradient step on μ: grow where violated, shrink otherwise.
+        let step = 2.0 / (1.0 + it as f64).sqrt();
+        for (m, v) in mu.iter_mut().zip(&violation) {
+            *m = (*m + step * v / problem.rb_bandwidth_hz.max(1.0)).max(0.0);
+        }
+    }
+    Ok(best.expect("at least one iteration"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_problem() -> PowerProblem {
+        PowerProblem {
+            gains: vec![10.0, 5.0, 1.0],
+            owners: vec![0, 0, 1],
+            power_budget: 3.0,
+            rb_bandwidth_hz: 1.0,
+            min_rates_bps: vec![0.0, 0.0],
+        }
+    }
+
+    #[test]
+    fn unconstrained_matches_classic_waterfilling() {
+        let p = base_problem();
+        let s = solve_power(&p).unwrap();
+        assert!(s.feasible);
+        assert!((s.powers.iter().sum::<f64>() - 3.0).abs() < 1e-6);
+        // Water-filling: p_k = (1/λ − 1/a_k)₊ with common water level:
+        // better channels get *more* power only through the 1/a term —
+        // levels p_k + 1/a_k must be equal where p > 0.
+        let levels: Vec<f64> =
+            s.powers.iter().zip(&p.gains).map(|(&pw, &a)| pw + 1.0 / a).collect();
+        for w in levels.windows(2) {
+            if s.powers[0] > 1e-9 && s.powers[1] > 1e-9 {
+                assert!((w[0] - w[1]).abs() < 1e-5, "levels {levels:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn weak_channel_gets_no_power_under_tight_budget() {
+        let p = PowerProblem {
+            gains: vec![100.0, 0.001],
+            owners: vec![0, 1],
+            power_budget: 0.5,
+            rb_bandwidth_hz: 1.0,
+            min_rates_bps: vec![0.0, 0.0],
+        };
+        let s = solve_power(&p).unwrap();
+        assert!(s.powers[1] < 1e-9, "weak RB power {}", s.powers[1]);
+    }
+
+    #[test]
+    fn min_rate_constraint_diverts_power() {
+        // User 1 owns only the weak RB; without a constraint it gets
+        // almost nothing, with one it must reach its floor.
+        let mut p = base_problem();
+        let unconstrained = solve_power(&p).unwrap();
+        p.min_rates_bps = vec![0.0, 1.0];
+        let constrained = solve_power(&p).unwrap();
+        assert!(constrained.feasible, "rates {:?}", constrained.user_rates_bps);
+        assert!(constrained.user_rates_bps[1] >= 1.0 - 1e-4);
+        assert!(constrained.user_rates_bps[1] > unconstrained.user_rates_bps[1]);
+        // The diverted power costs total throughput.
+        assert!(constrained.total_rate_bps <= unconstrained.total_rate_bps + 1e-9);
+    }
+
+    #[test]
+    fn impossible_rate_reported_infeasible() {
+        let mut p = base_problem();
+        p.min_rates_bps = vec![0.0, 1000.0];
+        let s = solve_power(&p).unwrap();
+        assert!(!s.feasible);
+    }
+
+    #[test]
+    fn rates_consistent_with_powers() {
+        let p = base_problem();
+        let s = solve_power(&p).unwrap();
+        for ((&r, &pw), &a) in s.rb_rates_bps.iter().zip(&s.powers).zip(&p.gains) {
+            assert!((r - (1.0 + a * pw).log2()).abs() < 1e-9);
+        }
+        let sum: f64 = s.user_rates_bps.iter().sum();
+        assert!((sum - s.total_rate_bps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        let mut p = base_problem();
+        p.owners = vec![0, 0];
+        assert!(solve_power(&p).is_err());
+        let mut p = base_problem();
+        p.power_budget = 0.0;
+        assert!(solve_power(&p).is_err());
+        let mut p = base_problem();
+        p.gains[0] = -1.0;
+        assert!(solve_power(&p).is_err());
+        let mut p = base_problem();
+        p.owners = vec![0, 0, 5];
+        assert!(solve_power(&p).is_err());
+    }
+}

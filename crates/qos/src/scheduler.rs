@@ -1,0 +1,225 @@
+//! Multi-slot scheduling — the *time* half of the paper's
+//! "frequency-time blocks (integer variables)" formulation (§I).
+//!
+//! [`crate::rra`] allocates one slot's frequency blocks; this module
+//! iterates it over a horizon of slots with deadline-aware rate floors:
+//! each task's per-slot minimum rate is its remaining demand spread over
+//! the slots left before its deadline (a fluid earliest-deadline-first
+//! policy). URLLC latency budgets become deadline slots, and a deadline
+//! miss is precisely the QoS violation the paper's RRM must manage.
+
+use crate::rra::{solve_greedy, RraProblem};
+use crate::QosError;
+
+/// One finite transfer with a latency budget.
+#[derive(Debug, Clone)]
+pub struct SlotTask {
+    /// The served user (indexes the RRA problem's users).
+    pub user: usize,
+    /// Total bits to deliver.
+    pub demand_bits: f64,
+    /// Last slot index (0-based, inclusive) by which the transfer must
+    /// complete.
+    pub deadline_slot: usize,
+}
+
+/// Outcome of a horizon schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// Slot in which each task finished (`None` = unfinished at horizon).
+    pub completed_slot: Vec<Option<usize>>,
+    /// Whether each task met its deadline.
+    pub met_deadline: Vec<bool>,
+    /// Remaining bits per task at the horizon.
+    pub remaining_bits: Vec<f64>,
+    /// Cell throughput per slot (bit/s).
+    pub per_slot_rate: Vec<f64>,
+}
+
+impl ScheduleResult {
+    /// Fraction of tasks that met their deadlines.
+    pub fn deadline_success_rate(&self) -> f64 {
+        if self.met_deadline.is_empty() {
+            return 1.0;
+        }
+        self.met_deadline.iter().filter(|&&m| m).count() as f64
+            / self.met_deadline.len() as f64
+    }
+}
+
+/// Schedules `tasks` over `slots` slots of `slot_duration_s` seconds on a
+/// block-fading channel (the RRA problem's gains hold for the horizon).
+///
+/// # Errors
+/// * [`QosError::InvalidParameter`] for empty tasks, zero slots/duration,
+///   or task users outside the problem.
+/// * Propagates per-slot solver errors.
+pub fn schedule(
+    problem: &RraProblem,
+    tasks: &[SlotTask],
+    slots: usize,
+    slot_duration_s: f64,
+) -> Result<ScheduleResult, QosError> {
+    if tasks.is_empty() || slots == 0 || !(slot_duration_s > 0.0) {
+        return Err(QosError::InvalidParameter(
+            "need tasks, slots >= 1 and a positive slot duration".into(),
+        ));
+    }
+    for (i, t) in tasks.iter().enumerate() {
+        if t.user >= problem.users() {
+            return Err(QosError::InvalidParameter(format!(
+                "task {i} serves user {} of {}",
+                t.user,
+                problem.users()
+            )));
+        }
+        if !(t.demand_bits > 0.0) || !t.demand_bits.is_finite() {
+            return Err(QosError::InvalidParameter(format!("task {i} demand invalid")));
+        }
+    }
+
+    let mut remaining: Vec<f64> = tasks.iter().map(|t| t.demand_bits).collect();
+    let mut completed: Vec<Option<usize>> = vec![None; tasks.len()];
+    let mut per_slot_rate = Vec::with_capacity(slots);
+
+    for slot in 0..slots {
+        // Fluid-EDF rate floors: remaining demand over remaining slots
+        // until the deadline (at least one slot — overdue tasks demand
+        // everything now).
+        let mut min_rates = vec![0.0; problem.users()];
+        for (t, &rem) in tasks.iter().zip(&remaining) {
+            if rem <= 0.0 {
+                continue;
+            }
+            // Slots left before the deadline, counting this one; overdue
+            // tasks get a single-slot horizon (demand everything now).
+            let left = t.deadline_slot.saturating_sub(slot) + 1;
+            min_rates[t.user] += rem / (left as f64 * slot_duration_s);
+        }
+        let sub = RraProblem::new(
+            problem.channel().clone(),
+            problem.noise_power_w,
+            problem.power_budget_w,
+            problem.rb_bandwidth_hz,
+            min_rates,
+        )?;
+        let sol = solve_greedy(&sub)?;
+        per_slot_rate.push(sol.total_rate_bps);
+
+        // Drain demands in deadline order within each user.
+        let mut served_bits: Vec<f64> = sol
+            .power
+            .user_rates_bps
+            .iter()
+            .map(|r| r * slot_duration_s)
+            .collect();
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        order.sort_by_key(|&i| tasks[i].deadline_slot);
+        for i in order {
+            let u = tasks[i].user;
+            if remaining[i] <= 0.0 || served_bits[u] <= 0.0 {
+                continue;
+            }
+            let take = remaining[i].min(served_bits[u]);
+            remaining[i] -= take;
+            served_bits[u] -= take;
+            if remaining[i] <= 1e-9 && completed[i].is_none() {
+                completed[i] = Some(slot);
+            }
+        }
+    }
+
+    let met_deadline: Vec<bool> = tasks
+        .iter()
+        .zip(&completed)
+        .map(|(t, c)| matches!(c, Some(s) if *s <= t.deadline_slot))
+        .collect();
+    Ok(ScheduleResult { completed_slot: completed, met_deadline, remaining_bits: remaining, per_slot_rate })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Channel, ChannelConfig};
+
+    fn problem(users: usize, rbs: usize, seed: u64) -> RraProblem {
+        let ch = Channel::generate(&ChannelConfig::default(), users, rbs, seed).unwrap();
+        RraProblem::new(ch, 1e-12, 1.0, 180e3, vec![0.0; users]).unwrap()
+    }
+
+    /// Per-slot bit capacity of the cell under greedy scheduling.
+    fn slot_capacity_bits(p: &RraProblem, slot_s: f64) -> f64 {
+        solve_greedy(p).unwrap().total_rate_bps * slot_s
+    }
+
+    #[test]
+    fn single_small_task_completes_by_deadline() {
+        let p = problem(2, 6, 1);
+        let slot_s = 1e-3;
+        // A task worth ~half of one slot's capacity.
+        let demand = 0.5 * slot_capacity_bits(&p, slot_s);
+        let tasks = [SlotTask { user: 0, demand_bits: demand, deadline_slot: 5 }];
+        let r = schedule(&p, &tasks, 6, slot_s).unwrap();
+        assert!(r.met_deadline[0], "completed {:?}", r.completed_slot);
+        assert_eq!(r.deadline_success_rate(), 1.0);
+        assert!(r.remaining_bits[0] <= 1e-9);
+    }
+
+    #[test]
+    fn oversized_demand_misses_deadline() {
+        let p = problem(2, 4, 2);
+        let slot_s = 1e-3;
+        // 100 slots' worth of bits, two slots of time.
+        let demand = 100.0 * slot_capacity_bits(&p, slot_s);
+        let tasks = [SlotTask { user: 0, demand_bits: demand, deadline_slot: 1 }];
+        let r = schedule(&p, &tasks, 2, slot_s).unwrap();
+        assert!(!r.met_deadline[0]);
+        assert!(r.remaining_bits[0] > 0.0);
+    }
+
+    #[test]
+    fn urgent_task_finishes_before_lax_task() {
+        let p = problem(2, 6, 3);
+        let slot_s = 1e-3;
+        // Size each demand against that user's own solo capacity (all RBs
+        // to the user), since the users' channels can differ wildly.
+        let solo = |u: usize| -> f64 {
+            p.evaluate(&vec![u; p.resource_blocks()]).unwrap().total_rate_bps * slot_s
+        };
+        let tasks = [
+            SlotTask { user: 0, demand_bits: 3.0 * solo(0), deadline_slot: 9 }, // lax
+            SlotTask { user: 1, demand_bits: 0.1 * solo(1), deadline_slot: 1 }, // urgent
+        ];
+        let r = schedule(&p, &tasks, 10, slot_s).unwrap();
+        assert!(r.met_deadline[1], "urgent task missed: {:?}", r.completed_slot);
+        let (lax, urgent) = (r.completed_slot[0], r.completed_slot[1]);
+        if let (Some(l), Some(u)) = (lax, urgent) {
+            assert!(u <= l, "urgent {u} finished after lax {l}");
+        }
+    }
+
+    #[test]
+    fn throughput_reported_every_slot() {
+        let p = problem(3, 6, 4);
+        let tasks = [
+            SlotTask { user: 0, demand_bits: 1e6, deadline_slot: 3 },
+            SlotTask { user: 2, demand_bits: 1e6, deadline_slot: 3 },
+        ];
+        let r = schedule(&p, &tasks, 4, 1e-3).unwrap();
+        assert_eq!(r.per_slot_rate.len(), 4);
+        assert!(r.per_slot_rate.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn validation() {
+        let p = problem(2, 4, 5);
+        assert!(schedule(&p, &[], 2, 1e-3).is_err());
+        let t = [SlotTask { user: 9, demand_bits: 1.0, deadline_slot: 0 }];
+        assert!(schedule(&p, &t, 2, 1e-3).is_err());
+        let t = [SlotTask { user: 0, demand_bits: -1.0, deadline_slot: 0 }];
+        assert!(schedule(&p, &t, 2, 1e-3).is_err());
+        let t = [SlotTask { user: 0, demand_bits: 1.0, deadline_slot: 0 }];
+        assert!(schedule(&p, &t, 0, 1e-3).is_err());
+        assert!(schedule(&p, &t, 1, 0.0).is_err());
+    }
+}

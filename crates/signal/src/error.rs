@@ -1,0 +1,35 @@
+use std::fmt;
+
+/// Errors produced by signal-processing operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SignalError {
+    /// Input was empty where data is required.
+    EmptyInput,
+    /// A size/length parameter was invalid for the requested transform.
+    InvalidLength {
+        /// What the length describes.
+        what: &'static str,
+        /// The offending value.
+        got: usize,
+    },
+    /// A configuration parameter was outside its documented domain.
+    InvalidParameter(String),
+    /// Input contained NaN or infinite values.
+    NotFinite,
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalError::EmptyInput => write!(f, "input must be non-empty"),
+            SignalError::InvalidLength { what, got } => {
+                write!(f, "invalid length for {what}: {got}")
+            }
+            SignalError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            SignalError::NotFinite => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for SignalError {}

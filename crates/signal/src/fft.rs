@@ -1,0 +1,325 @@
+//! Fast Fourier transforms: radix-2 Cooley–Tukey with a Bluestein fallback
+//! for arbitrary lengths, real-input transforms, and a naive DFT oracle.
+//!
+//! Conventions (fixed and documented — the whole point of this crate):
+//! * Forward transform: `X[k] = Σ_n x[n]·e^{-2πikn/N}` (no scaling).
+//! * Inverse transform: `x[n] = (1/N)·Σ_k X[k]·e^{+2πikn/N}`.
+//! * [`rfft`] returns the `N/2 + 1` non-redundant bins of a real signal;
+//!   [`irfft`] requires the original length because `N` is not recoverable
+//!   from the bin count alone when `N` is odd — exactly the signature
+//!   ambiguity class the paper's §IV-A discusses.
+
+use crate::{Complex64, SignalError};
+use std::f64::consts::PI;
+
+/// Naive `O(n²)` DFT — the correctness oracle for the fast paths and the
+/// "deliberately slow" baseline in benchmarks.
+///
+/// # Errors
+/// Returns [`SignalError::EmptyInput`] for empty input.
+pub fn dft_naive(x: &[Complex64]) -> Result<Vec<Complex64>, SignalError> {
+    if x.is_empty() {
+        return Err(SignalError::EmptyInput);
+    }
+    let n = x.len();
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (j, &xj) in x.iter().enumerate() {
+            let angle = -2.0 * PI * (k as f64) * (j as f64) / n as f64;
+            acc += xj * Complex64::cis(angle);
+        }
+        *o = acc;
+    }
+    Ok(out)
+}
+
+/// Forward FFT of a complex signal of arbitrary length.
+///
+/// Power-of-two lengths use iterative radix-2 Cooley–Tukey; other lengths
+/// use Bluestein's chirp-z algorithm (exact, `O(n log n)`).
+///
+/// # Errors
+/// Returns [`SignalError::EmptyInput`] for empty input.
+pub fn fft(x: &[Complex64]) -> Result<Vec<Complex64>, SignalError> {
+    if x.is_empty() {
+        return Err(SignalError::EmptyInput);
+    }
+    let n = x.len();
+    if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        fft_pow2_in_place(&mut buf, false);
+        Ok(buf)
+    } else {
+        bluestein(x, false)
+    }
+}
+
+/// Inverse FFT (with `1/N` normalization).
+///
+/// # Errors
+/// Returns [`SignalError::EmptyInput`] for empty input.
+pub fn ifft(x: &[Complex64]) -> Result<Vec<Complex64>, SignalError> {
+    if x.is_empty() {
+        return Err(SignalError::EmptyInput);
+    }
+    let n = x.len();
+    let mut out = if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        fft_pow2_in_place(&mut buf, true);
+        buf
+    } else {
+        bluestein(x, true)?
+    };
+    let scale = 1.0 / n as f64;
+    for v in &mut out {
+        *v = v.scale(scale);
+    }
+    Ok(out)
+}
+
+/// Real-input FFT: returns the `N/2 + 1` non-redundant spectrum bins.
+///
+/// # Errors
+/// Returns [`SignalError::EmptyInput`] for empty input.
+pub fn rfft(x: &[f64]) -> Result<Vec<Complex64>, SignalError> {
+    let cx: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+    let full = fft(&cx)?;
+    let n = x.len();
+    Ok(full[..n / 2 + 1].to_vec())
+}
+
+/// Inverse real FFT. `n` is the original signal length, which **must** be
+/// supplied: a spectrum of `m` bins corresponds to either `2(m-1)` (even)
+/// or `2m - 1` (odd) samples.
+///
+/// # Errors
+/// * [`SignalError::EmptyInput`] for an empty spectrum.
+/// * [`SignalError::InvalidLength`] when `n` is inconsistent with the
+///   number of bins.
+pub fn irfft(spectrum: &[Complex64], n: usize) -> Result<Vec<f64>, SignalError> {
+    if spectrum.is_empty() {
+        return Err(SignalError::EmptyInput);
+    }
+    if n / 2 + 1 != spectrum.len() {
+        return Err(SignalError::InvalidLength { what: "irfft output length", got: n });
+    }
+    // Rebuild the full Hermitian spectrum.
+    let mut full = Vec::with_capacity(n);
+    full.extend_from_slice(spectrum);
+    for k in (1..n - n / 2).rev() {
+        full.push(spectrum[k].conj());
+    }
+    debug_assert_eq!(full.len(), n);
+    let time = ifft(&full)?;
+    Ok(time.into_iter().map(|c| c.re).collect())
+}
+
+/// In-place radix-2 Cooley–Tukey FFT (length must be a power of two).
+/// `inverse` selects the conjugate transform **without** normalization.
+fn fft_pow2_in_place(buf: &mut [Complex64], inverse: bool) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein chirp-z transform for arbitrary lengths.
+fn bluestein(x: &[Complex64], inverse: bool) -> Result<Vec<Complex64>, SignalError> {
+    let n = x.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w[k] = e^{sign·iπk²/n}; use k² mod 2n to keep angles bounded.
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|k| {
+            let idx = (k as u128 * k as u128) % (2 * n as u128);
+            Complex64::cis(sign * PI * idx as f64 / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex64::ZERO; m];
+    let mut b = vec![Complex64::ZERO; m];
+    for k in 0..n {
+        a[k] = x[k] * chirp[k];
+        b[k] = chirp[k].conj();
+    }
+    for k in 1..n {
+        b[m - k] = chirp[k].conj();
+    }
+    fft_pow2_in_place(&mut a, false);
+    fft_pow2_in_place(&mut b, false);
+    for k in 0..m {
+        a[k] = a[k] * b[k];
+    }
+    fft_pow2_in_place(&mut a, true);
+    let scale = 1.0 / m as f64;
+    Ok((0..n).map(|k| (a[k] * chirp[k]).scale(scale)).collect())
+}
+
+/// Total spectral energy `Σ|X[k]|²` — used for Parseval checks.
+pub fn spectral_energy(spectrum: &[Complex64]) -> f64 {
+    spectrum.iter().map(|c| c.norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_spectra_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        let spec = fft(&x).unwrap();
+        for s in &spec {
+            assert!((s.re - 1.0).abs() < 1e-14 && s.im.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_pow2() {
+        let x: Vec<Complex64> =
+            (0..16).map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos())).collect();
+        assert_spectra_close(&fft(&x).unwrap(), &dft_naive(&x).unwrap(), 1e-10);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_arbitrary_lengths() {
+        for n in [3usize, 5, 6, 7, 12, 15, 17, 31] {
+            let x: Vec<Complex64> =
+                (0..n).map(|i| Complex64::new(i as f64 * 0.7 - 1.0, (i * i % 5) as f64)).collect();
+            assert_spectra_close(&fft(&x).unwrap(), &dft_naive(&x).unwrap(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        for n in [8usize, 13, 16, 27] {
+            let x: Vec<Complex64> =
+                (0..n).map(|i| Complex64::new((i as f64 * 1.7).sin(), (i as f64).cos())).collect();
+            let back = ifft(&fft(&x).unwrap()).unwrap();
+            assert_spectra_close(&back, &x, 1e-10);
+        }
+    }
+
+    #[test]
+    fn rfft_irfft_roundtrip_even_and_odd() {
+        for n in [8usize, 9, 16, 21] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2).collect();
+            let spec = rfft(&x).unwrap();
+            assert_eq!(spec.len(), n / 2 + 1);
+            let back = irfft(&spec, n).unwrap();
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn irfft_rejects_inconsistent_length() {
+        let spec = vec![Complex64::ONE; 5];
+        assert!(irfft(&spec, 12).is_err()); // 12/2+1 = 7 != 5
+        assert!(irfft(&spec, 8).is_ok()); // 8/2+1 = 5
+        assert!(irfft(&spec, 9).is_ok()); // 9/2+1 = 5
+    }
+
+    #[test]
+    fn parseval_theorem_holds() {
+        let n = 64usize;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos() * (i as f64 * 0.02).exp()).collect();
+        let cx: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+        let spec = fft(&cx).unwrap();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy = spectral_energy(&spec) / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 12usize;
+        let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.5)).collect();
+        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(1.0, -(i as f64))).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = fft(&a).unwrap();
+        let fb = fft(&b).unwrap();
+        let fsum = fft(&sum).unwrap();
+        let expect: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_spectra_close(&fsum, &expect, 1e-9);
+    }
+
+    #[test]
+    fn single_tone_peaks_at_right_bin() {
+        let n = 32usize;
+        let k0 = 5;
+        let x: Vec<f64> =
+            (0..n).map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos()).collect();
+        let spec = rfft(&x).unwrap();
+        let mags: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, k0);
+        assert!((mags[k0] - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(fft(&[]).is_err());
+        assert!(ifft(&[]).is_err());
+        assert!(rfft(&[]).is_err());
+        assert!(dft_naive(&[]).is_err());
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let x = vec![Complex64::new(3.0, -2.0)];
+        assert_eq!(fft(&x).unwrap(), x);
+        assert_eq!(ifft(&x).unwrap(), x);
+    }
+}

@@ -1,0 +1,430 @@
+//! Emulation of the library defect classes cataloged in the paper's
+//! Fig. 3, and the conformance suite that detects them.
+//!
+//! The paper examined FFT/IFFT/RFFT/IRFFT/STFT/ISTFT implementations
+//! across Caffe, Caffe2, Julia, PyTorch, SciPy and TensorFlow over
+//! 2018–2020 and cataloged recurring defect classes. Each
+//! [`LibraryProfile`] variant emulates one of those classes *faithfully* —
+//! same symptom, same mechanism — so the [`ConformanceSuite`] can
+//! regenerate the issue matrix (experiment E3) without shipping the
+//! original buggy binaries.
+
+use crate::fft::{fft, ifft, rfft, spectral_energy};
+use crate::stft::{FrameAlignment, Normalization, PaddingMode, PhaseConvention, StftPlan};
+use crate::window::{window, WindowKind, WindowSymmetry};
+use crate::{Complex64, SignalError};
+use rcr_numerics::stable::{log_softmax, naive_log_softmax};
+
+/// A library behavior profile: one defect class from the Fig. 3 catalog
+/// (plus the clean reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LibraryProfile {
+    /// Correct modern behavior — the paper's "M-GNU-O"-style reference.
+    Reference,
+    /// Pre-v0.4.1 signature class (§IV-A): the forward transform applies a
+    /// `1/N` normalization the caller does not expect, so code written
+    /// against the documented (Librosa-consistent) signature gets scaled
+    /// spectra. Emulates the PyTorch `torch.stft` signature break fixed in
+    /// \#9308.
+    LegacySignature,
+    /// Stored-window phase-skew class (§IV-B, Eqs. 5–6): the STFT is
+    /// computed in the simplified stored-window convention while phase
+    /// consumers assume the time-invariant convention; magnitudes agree,
+    /// phases carry the `e^{-2πim⌊L_g/2⌋/M}` skew. Emulates the
+    /// TensorFlow/SciPy phase-convention mismatch.
+    PhaseSkew,
+    /// Non-circular framing class (§IV-B): the signal is not treated
+    /// circularly; frames exist only for `n ∈ [0, ⌊(L-L_g)/a⌋]`, so tail
+    /// samples are silently dropped.
+    NonCircular,
+    /// Symmetric-window class: a filter-design (symmetric) window is used
+    /// for spectral analysis, breaking constant-overlap-add and degrading
+    /// ISTFT reconstruction.
+    SymmetricWindow,
+    /// Naive unstable kernels (§V): composed `log(softmax(x))` instead of
+    /// the fused kernel; overflows at extreme logits.
+    NaiveKernels,
+}
+
+impl LibraryProfile {
+    /// All profiles in catalog order.
+    pub fn all() -> &'static [LibraryProfile] {
+        &[
+            LibraryProfile::Reference,
+            LibraryProfile::LegacySignature,
+            LibraryProfile::PhaseSkew,
+            LibraryProfile::NonCircular,
+            LibraryProfile::SymmetricWindow,
+            LibraryProfile::NaiveKernels,
+        ]
+    }
+
+    /// Short display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LibraryProfile::Reference => "reference",
+            LibraryProfile::LegacySignature => "legacy-signature",
+            LibraryProfile::PhaseSkew => "phase-skew",
+            LibraryProfile::NonCircular => "non-circular",
+            LibraryProfile::SymmetricWindow => "symmetric-window",
+            LibraryProfile::NaiveKernels => "naive-kernels",
+        }
+    }
+
+    /// Forward FFT as this profile's library would compute it.
+    ///
+    /// # Errors
+    /// Propagates FFT errors.
+    pub fn forward_fft(&self, x: &[Complex64]) -> Result<Vec<Complex64>, SignalError> {
+        let mut out = fft(x)?;
+        if *self == LibraryProfile::LegacySignature {
+            // The signature break: forward transform silently normalized.
+            let s = 1.0 / x.len() as f64;
+            for v in &mut out {
+                *v = v.scale(s);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse FFT as this profile's library would compute it (always the
+    /// documented `1/N` inverse — the *pair* is what is inconsistent for
+    /// [`LibraryProfile::LegacySignature`]).
+    ///
+    /// # Errors
+    /// Propagates FFT errors.
+    pub fn inverse_fft(&self, x: &[Complex64]) -> Result<Vec<Complex64>, SignalError> {
+        ifft(x)
+    }
+
+    /// Builds this profile's STFT plan for a window of length `lg`, hop
+    /// `hop` and FFT size `m`.
+    ///
+    /// # Errors
+    /// Propagates plan validation errors.
+    pub fn stft_plan(&self, lg: usize, hop: usize, m: usize) -> Result<StftPlan, SignalError> {
+        let symmetry = if *self == LibraryProfile::SymmetricWindow {
+            WindowSymmetry::Symmetric
+        } else {
+            WindowSymmetry::Periodic
+        };
+        let g = window(WindowKind::Hann, symmetry, lg)?;
+        let (convention, alignment, padding) = match self {
+            LibraryProfile::PhaseSkew => (
+                PhaseConvention::SimplifiedTimeInvariant,
+                FrameAlignment::Centered,
+                PaddingMode::Circular,
+            ),
+            LibraryProfile::NonCircular => (
+                PhaseConvention::TimeInvariant,
+                FrameAlignment::Causal,
+                PaddingMode::Truncate,
+            ),
+            _ => (PhaseConvention::TimeInvariant, FrameAlignment::Centered, PaddingMode::Circular),
+        };
+        // The symmetric-window defect is really two entangled assumptions:
+        // a filter-design window *plus* the constant-COLA-gain ISTFT that
+        // would have been exact for the periodic window.
+        let normalization = if *self == LibraryProfile::SymmetricWindow {
+            Normalization::ColaConstant
+        } else {
+            Normalization::WindowSquaredPerSample
+        };
+        Ok(StftPlan::new(g, hop, m, convention)?
+            .with_alignment(alignment)
+            .with_padding(padding)
+            .with_normalization(normalization))
+    }
+
+    /// Log-softmax as this profile's library computes it.
+    pub fn log_softmax(&self, xs: &[f64]) -> Vec<f64> {
+        if *self == LibraryProfile::NaiveKernels {
+            naive_log_softmax(xs)
+        } else {
+            log_softmax(xs)
+        }
+    }
+}
+
+/// Outcome of one conformance check against one profile.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Check identifier (e.g. `"fft-roundtrip"`).
+    pub check: &'static str,
+    /// The measured error metric (check-specific; smaller is better).
+    pub metric: f64,
+    /// Whether the metric is within the check's tolerance.
+    pub pass: bool,
+}
+
+/// One row of the Fig. 3 issue matrix: a profile and its check outcomes.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// The profile under test.
+    pub profile: LibraryProfile,
+    /// Outcomes in suite order.
+    pub outcomes: Vec<CheckOutcome>,
+}
+
+impl ProfileReport {
+    /// Count of failing checks.
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.pass).count()
+    }
+}
+
+/// The conformance suite regenerating the Fig. 3 issue matrix.
+///
+/// Runs a fixed battery of transform-identity checks against each
+/// [`LibraryProfile`] and reports which fail where. The reference profile
+/// passes everything; each defect profile fails exactly the checks its
+/// defect class predicts.
+#[derive(Debug, Clone)]
+pub struct ConformanceSuite {
+    signal_len: usize,
+    window_len: usize,
+    hop: usize,
+    fft_size: usize,
+}
+
+impl Default for ConformanceSuite {
+    fn default() -> Self {
+        // 250 is deliberately not a multiple of the hop past the last full
+        // window: (250-32)/8 truncates, so non-circular framing must lose
+        // tail samples.
+        ConformanceSuite { signal_len: 250, window_len: 32, hop: 8, fft_size: 32 }
+    }
+}
+
+impl ConformanceSuite {
+    /// Creates a suite with the default workload (256-sample multitone,
+    /// 32-sample Hann window, hop 8).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The deterministic multitone + noise-like test signal.
+    pub fn test_signal(&self) -> Vec<f64> {
+        (0..self.signal_len)
+            .map(|i| {
+                let t = i as f64;
+                (0.21 * t).sin()
+                    + 0.5 * (0.57 * t + 0.3).cos()
+                    + 0.05 * (((i * 2654435761) % 1024) as f64 / 1024.0 - 0.5)
+            })
+            .collect()
+    }
+
+    /// Runs every check against `profile`.
+    ///
+    /// # Errors
+    /// Propagates kernel errors (none are expected for the built-in
+    /// profiles and workload).
+    pub fn run_profile(&self, profile: LibraryProfile) -> Result<ProfileReport, SignalError> {
+        let s = self.test_signal();
+        let cx: Vec<Complex64> = s.iter().map(|&v| Complex64::from_real(v)).collect();
+        let mut outcomes = Vec::new();
+
+        // 1. FFT/IFFT roundtrip with the profile's (possibly mis-scaled)
+        //    forward transform paired with the documented inverse.
+        let spec = profile.forward_fft(&cx)?;
+        let back = profile.inverse_fft(&spec)?;
+        let rt_err = cx
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
+        outcomes.push(CheckOutcome { check: "fft-roundtrip", metric: rt_err, pass: rt_err < 1e-9 });
+
+        // 2. Parseval: time energy vs spectral energy under the documented
+        //    convention (unscaled forward).
+        let time_e: f64 = s.iter().map(|v| v * v).sum();
+        let freq_e = spectral_energy(&spec) / s.len() as f64;
+        let pv_err = (time_e - freq_e).abs() / time_e.max(1e-30);
+        outcomes.push(CheckOutcome { check: "parseval", metric: pv_err, pass: pv_err < 1e-9 });
+
+        // 3. RFFT amplitude: a unit-amplitude tone must have bin magnitude
+        //    N/2 under the documented convention.
+        {
+            let k0 = 5usize;
+            let n = 64usize;
+            let tone: Vec<f64> = (0..n)
+                .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+                .collect();
+            let spec = match profile {
+                LibraryProfile::LegacySignature => {
+                    let cx: Vec<Complex64> =
+                        tone.iter().map(|&v| Complex64::from_real(v)).collect();
+                    profile.forward_fft(&cx)?[..n / 2 + 1].to_vec()
+                }
+                _ => rfft(&tone)?,
+            };
+            let mag = spec[k0].abs();
+            let amp_err = (mag - n as f64 / 2.0).abs() / (n as f64 / 2.0);
+            outcomes.push(CheckOutcome {
+                check: "rfft-amplitude",
+                metric: amp_err,
+                pass: amp_err < 1e-9,
+            });
+        }
+
+        // 4. STFT/ISTFT roundtrip over the full signal (catches both the
+        //    non-circular truncation and the COLA break).
+        let plan = profile.stft_plan(self.window_len, self.hop, self.fft_size)?;
+        let st = plan.analyze(&s)?;
+        let rec = plan.synthesize(&st)?;
+        let stft_err =
+            s.iter().zip(&rec).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        outcomes.push(CheckOutcome {
+            check: "stft-roundtrip",
+            metric: stft_err,
+            pass: stft_err < 1e-9,
+        });
+
+        // 5. STFT phase agreement with the time-invariant reference
+        //    convention (catches the stored-window phase skew).
+        {
+            let ref_plan = LibraryProfile::Reference.stft_plan(
+                self.window_len,
+                self.hop,
+                self.fft_size,
+            )?;
+            let ref_st = ref_plan.analyze(&s)?;
+            let frames = st.num_frames().min(ref_st.num_frames());
+            let mut max_phase = 0.0f64;
+            for n in 0..frames {
+                for m in 0..self.fft_size {
+                    let a = st.frames()[n][m];
+                    let b = ref_st.frames()[n][m];
+                    if a.abs() > 1e-6 && b.abs() > 1e-6 {
+                        let mut d = (a.arg() - b.arg()).abs();
+                        if d > std::f64::consts::PI {
+                            d = 2.0 * std::f64::consts::PI - d;
+                        }
+                        max_phase = max_phase.max(d);
+                    }
+                }
+            }
+            outcomes.push(CheckOutcome {
+                check: "stft-phase",
+                metric: max_phase,
+                pass: max_phase < 1e-6,
+            });
+        }
+
+        // 6. Tail coverage: relative reconstruction error over the last
+        //    window of samples (catches non-circular truncation).
+        {
+            let tail = self.window_len;
+            let err: f64 = s[self.signal_len - tail..]
+                .iter()
+                .zip(&rec[self.signal_len - tail..])
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            outcomes.push(CheckOutcome { check: "tail-coverage", metric: err, pass: err < 1e-9 });
+        }
+
+        // 7. Log-softmax stability at extreme logits (§V).
+        {
+            let logits = [1000.0, 0.0, -500.0];
+            let out = profile.log_softmax(&logits);
+            let audit = rcr_numerics::float::FloatAudit::scan(&out);
+            let bad = (audit.nan_count + audit.inf_count) as f64;
+            outcomes.push(CheckOutcome { check: "log-softmax", metric: bad, pass: bad == 0.0 });
+        }
+
+        Ok(ProfileReport { profile, outcomes })
+    }
+
+    /// Runs the whole catalog: one report per profile.
+    ///
+    /// # Errors
+    /// Propagates kernel errors.
+    pub fn run_all(&self) -> Result<Vec<ProfileReport>, SignalError> {
+        LibraryProfile::all().iter().map(|&p| self.run_profile(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(p: LibraryProfile) -> ProfileReport {
+        ConformanceSuite::new().run_profile(p).unwrap()
+    }
+
+    fn failed(r: &ProfileReport) -> Vec<&'static str> {
+        r.outcomes.iter().filter(|o| !o.pass).map(|o| o.check).collect()
+    }
+
+    #[test]
+    fn reference_profile_passes_everything() {
+        let r = report(LibraryProfile::Reference);
+        assert_eq!(failed(&r), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn legacy_signature_fails_scaling_checks_only() {
+        let r = report(LibraryProfile::LegacySignature);
+        let f = failed(&r);
+        assert!(f.contains(&"fft-roundtrip"));
+        assert!(f.contains(&"parseval"));
+        assert!(f.contains(&"rfft-amplitude"));
+        assert!(!f.contains(&"stft-phase"));
+        assert!(!f.contains(&"log-softmax"));
+    }
+
+    #[test]
+    fn phase_skew_fails_phase_but_not_magnitude_checks() {
+        let r = report(LibraryProfile::PhaseSkew);
+        let f = failed(&r);
+        assert!(f.contains(&"stft-phase"));
+        assert!(!f.contains(&"fft-roundtrip"));
+        assert!(!f.contains(&"stft-roundtrip"), "own-convention roundtrip still works");
+    }
+
+    #[test]
+    fn non_circular_fails_tail_coverage() {
+        let r = report(LibraryProfile::NonCircular);
+        let f = failed(&r);
+        assert!(f.contains(&"tail-coverage"));
+        assert!(!f.contains(&"fft-roundtrip"));
+    }
+
+    #[test]
+    fn symmetric_window_degrades_reconstruction() {
+        let r = report(LibraryProfile::SymmetricWindow);
+        let f = failed(&r);
+        assert!(f.contains(&"stft-roundtrip"));
+        assert!(!f.contains(&"log-softmax"));
+    }
+
+    #[test]
+    fn naive_kernels_fail_log_softmax_only() {
+        let r = report(LibraryProfile::NaiveKernels);
+        assert_eq!(failed(&r), vec!["log-softmax"]);
+    }
+
+    #[test]
+    fn run_all_covers_catalog() {
+        let reports = ConformanceSuite::new().run_all().unwrap();
+        assert_eq!(reports.len(), LibraryProfile::all().len());
+        // Every defect profile fails at least one check; reference none.
+        for r in &reports {
+            if r.profile == LibraryProfile::Reference {
+                assert_eq!(r.failures(), 0);
+            } else {
+                assert!(r.failures() > 0, "{} failed nothing", r.profile.name());
+            }
+        }
+    }
+
+    #[test]
+    fn profile_names_are_unique() {
+        let mut names: Vec<_> = LibraryProfile::all().iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LibraryProfile::all().len());
+    }
+}

@@ -1,0 +1,123 @@
+//! Power spectrograms — the time–frequency images consumed by the MSY3I
+//! burst detector and by spectrum-sensing examples.
+
+use crate::stft::Stft;
+use crate::SignalError;
+
+/// A real-valued power spectrogram: `data[n][m]` is the power at frame
+/// `n`, bin `m` (only the non-redundant `M/2 + 1` bins are kept).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    data: Vec<Vec<f64>>,
+    n_bins: usize,
+}
+
+impl Spectrogram {
+    /// Builds a power spectrogram (`|X|²`) from an STFT.
+    ///
+    /// # Errors
+    /// Returns [`SignalError::EmptyInput`] when the STFT has no frames.
+    pub fn from_stft(stft: &Stft) -> Result<Self, SignalError> {
+        if stft.num_frames() == 0 {
+            return Err(SignalError::EmptyInput);
+        }
+        let n_bins = stft.num_bins() / 2 + 1;
+        let data = stft
+            .frames()
+            .iter()
+            .map(|f| f[..n_bins].iter().map(|c| c.norm_sqr()).collect())
+            .collect();
+        Ok(Spectrogram { data, n_bins })
+    }
+
+    /// Number of time frames.
+    pub fn num_frames(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of frequency bins (`M/2 + 1`).
+    pub fn num_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    /// Power values: `rows()[n][m]`.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.data
+    }
+
+    /// Converts to decibels relative to the peak, clamped at `floor_db`
+    /// (e.g. `-80.0`).
+    pub fn to_db(&self, floor_db: f64) -> Spectrogram {
+        let peak = self
+            .data
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let data = self
+            .data
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&p| (10.0 * (p / peak).max(1e-300).log10()).max(floor_db))
+                    .collect()
+            })
+            .collect();
+        Spectrogram { data, n_bins: self.n_bins }
+    }
+
+    /// Total power summed over the whole plane.
+    pub fn total_power(&self) -> f64 {
+        self.data.iter().flatten().sum()
+    }
+
+    /// Flattens to a single row-major buffer (frames x bins) — the tensor
+    /// layout the neural-network crate consumes.
+    pub fn to_flat(&self) -> Vec<f64> {
+        self.data.iter().flatten().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stft::{PhaseConvention, StftPlan};
+    use crate::window::{window, WindowKind, WindowSymmetry};
+    use std::f64::consts::PI;
+
+    fn make(signal: &[f64]) -> Spectrogram {
+        let g = window(WindowKind::Hann, WindowSymmetry::Periodic, 32).unwrap();
+        let plan = StftPlan::new(g, 8, 32, PhaseConvention::TimeInvariant).unwrap();
+        Spectrogram::from_stft(&plan.analyze(signal).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn tone_concentrates_power_at_its_bin() {
+        let k0 = 6usize;
+        let s: Vec<f64> = (0..256).map(|i| (2.0 * PI * k0 as f64 * i as f64 / 32.0).cos()).collect();
+        let sp = make(&s);
+        assert_eq!(sp.num_bins(), 17);
+        for row in sp.rows() {
+            let peak = row.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+            assert_eq!(peak, k0);
+        }
+    }
+
+    #[test]
+    fn db_conversion_peak_is_zero() {
+        let s: Vec<f64> = (0..128).map(|i| (0.3 * i as f64).sin()).collect();
+        let db = make(&s).to_db(-80.0);
+        let max = db.rows().iter().flatten().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = db.rows().iter().flatten().cloned().fold(f64::INFINITY, f64::min);
+        assert!((max - 0.0).abs() < 1e-12);
+        assert!(min >= -80.0);
+    }
+
+    #[test]
+    fn flat_layout_matches_dims() {
+        let s: Vec<f64> = (0..64).map(|i| i as f64 * 0.01).collect();
+        let sp = make(&s);
+        assert_eq!(sp.to_flat().len(), sp.num_frames() * sp.num_bins());
+        assert!(sp.total_power() > 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Gradient-free adversarial attack — the *empirical* robustness probe
+//! that complements the certification ladder.
+//!
+//! Verifiers bound the worst case from below; an attack bounds it from
+//! above by exhibiting concrete bad inputs. The gap between "not
+//! attacked" and "not verified" is exactly the region the paper's
+//! §II-B-2 hybrid exact/relaxed strategy exists to close. The attack here
+//! is a coordinate-descent / random-restart search over the ε-box —
+//! derivative-free so it works on the verifier's [`AffineReluNet`] form
+//! directly (piecewise-linear networks have no useful smooth gradient at
+//! the kinks anyway at this scale).
+
+use crate::net::{validate_box, AffineReluNet, Specification};
+use crate::VerifyError;
+
+/// Result of an attack run.
+#[derive(Debug, Clone)]
+pub struct AttackResult {
+    /// The input achieving the lowest margin found.
+    pub worst_input: Vec<f64>,
+    /// The margin at that input (≤ 0 means a successful attack).
+    pub worst_margin: f64,
+    /// Margin evaluations spent.
+    pub evaluations: usize,
+}
+
+impl AttackResult {
+    /// True when a spec violation was found.
+    pub fn succeeded(&self) -> bool {
+        self.worst_margin <= 0.0
+    }
+}
+
+/// Attacks `spec` over `input_box` with coordinate descent from multiple
+/// deterministic starts (center, corners, midpoints of faces).
+///
+/// # Errors
+/// * [`VerifyError::InvalidInput`] for a malformed box or zero budget.
+pub fn coordinate_attack(
+    net: &AffineReluNet,
+    input_box: &[(f64, f64)],
+    spec: &Specification,
+    sweeps: usize,
+) -> Result<AttackResult, VerifyError> {
+    validate_box(input_box)?;
+    if sweeps == 0 {
+        return Err(VerifyError::InvalidInput("sweeps must be >= 1".into()));
+    }
+    let dim = input_box.len();
+    let mut evaluations = 0usize;
+    let mut margin_of = |x: &[f64]| -> Result<f64, VerifyError> {
+        evaluations += 1;
+        Ok(spec.eval(&net.eval(x)?))
+    };
+
+    // Deterministic starts: center + up to 2^min(dim,8) corners.
+    let mut starts: Vec<Vec<f64>> = Vec::new();
+    starts.push(input_box.iter().map(|&(l, h)| 0.5 * (l + h)).collect());
+    let corner_bits = dim.min(8);
+    for mask in 0..(1usize << corner_bits) {
+        starts.push(
+            input_box
+                .iter()
+                .enumerate()
+                .map(|(i, &(l, h))| {
+                    if i < corner_bits && mask >> i & 1 == 1 {
+                        h
+                    } else {
+                        l
+                    }
+                })
+                .collect(),
+        );
+    }
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for start in starts {
+        let mut x = start;
+        let mut m = margin_of(&x)?;
+        for sweep in 0..sweeps {
+            // Step size shrinks geometrically per sweep.
+            let scale = 0.5f64.powi(sweep as i32);
+            let mut improved = false;
+            for d in 0..dim {
+                let (lo, hi) = input_box[d];
+                let step = scale * (hi - lo);
+                if step == 0.0 {
+                    continue;
+                }
+                for cand in [x[d] - step, x[d] + step, lo, hi] {
+                    let cand = cand.clamp(lo, hi);
+                    if cand == x[d] {
+                        continue;
+                    }
+                    let old = x[d];
+                    x[d] = cand;
+                    let mc = margin_of(&x)?;
+                    if mc < m {
+                        m = mc;
+                        improved = true;
+                    } else {
+                        x[d] = old;
+                    }
+                }
+            }
+            if !improved && sweep > 0 {
+                break;
+            }
+        }
+        match &best {
+            Some((bm, _)) if *bm <= m => {}
+            _ => best = Some((m, x)),
+        }
+    }
+    let (worst_margin, worst_input) = best.expect("at least the center start");
+    Ok(AttackResult { worst_input, worst_margin, evaluations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcr_linalg::Matrix;
+
+    fn abs_net() -> AffineReluNet {
+        AffineReluNet::new(vec![
+            (Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(), vec![0.0, 0.0]),
+            (Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(), vec![0.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_the_violation_when_one_exists() {
+        // |x| − 0.5 > 0 fails on (−0.5, 0.5); the attack must find it.
+        let net = abs_net();
+        let spec = Specification { c: vec![1.0], offset: -0.5 };
+        let r = coordinate_attack(&net, &[(-1.0, 1.0)], &spec, 12).unwrap();
+        assert!(r.succeeded(), "margin {}", r.worst_margin);
+        assert!(r.worst_input[0].abs() < 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn cannot_attack_a_true_property() {
+        let net = abs_net();
+        let spec = Specification { c: vec![1.0], offset: 0.1 };
+        let r = coordinate_attack(&net, &[(-1.0, 1.0)], &spec, 12).unwrap();
+        assert!(!r.succeeded());
+        // And the attack margin upper-bounds the true minimum (0.1).
+        assert!(r.worst_margin >= 0.1 - 1e-9);
+    }
+
+    #[test]
+    fn attack_margin_at_least_exact_minimum() {
+        // For any net: attack margin (an upper bound on the min) must be
+        // ≥ the exact verifier's certified lower bound.
+        let net = abs_net();
+        let spec = Specification { c: vec![1.0], offset: 0.05 };
+        let bx = [(-1.0, 1.0)];
+        let attack = coordinate_attack(&net, &bx, &spec, 16).unwrap();
+        let exact = crate::exact::verify_complete(
+            &net,
+            &bx,
+            &spec,
+            &crate::exact::BnbSettings::default(),
+        )
+        .unwrap();
+        assert!(attack.worst_margin >= exact.lower_bound - 1e-9);
+        // On |x| the attack actually reaches the true minimum at x = 0.
+        assert!((attack.worst_margin - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_dimensional_attack() {
+        // f(x,y) = |x| + |y| − 0.3: minimum −0.3 at the origin.
+        let net = AffineReluNet::new(vec![
+            (
+                Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]])
+                    .unwrap(),
+                vec![0.0; 4],
+            ),
+            (Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]).unwrap(), vec![-0.3]),
+        ])
+        .unwrap();
+        let spec = Specification { c: vec![1.0], offset: 0.0 };
+        let r = coordinate_attack(&net, &[(-1.0, 1.0), (-1.0, 1.0)], &spec, 16).unwrap();
+        assert!(r.succeeded());
+        assert!((r.worst_margin + 0.3).abs() < 1e-6, "margin {}", r.worst_margin);
+    }
+
+    #[test]
+    fn validation() {
+        let net = abs_net();
+        let spec = Specification { c: vec![1.0], offset: 0.0 };
+        assert!(coordinate_attack(&net, &[], &spec, 4).is_err());
+        assert!(coordinate_attack(&net, &[(-1.0, 1.0)], &spec, 0).is_err());
+    }
+}

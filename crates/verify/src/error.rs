@@ -1,0 +1,33 @@
+use std::fmt;
+
+/// Errors produced by the verification kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// Network layer dimensions do not chain.
+    DimensionMismatch(String),
+    /// The input box or specification was malformed.
+    InvalidInput(String),
+    /// Branch-and-bound exhausted its node budget without a verdict.
+    BudgetExhausted {
+        /// Nodes explored before giving up.
+        nodes: usize,
+    },
+    /// Data contained NaN or infinite values.
+    NotFinite,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            VerifyError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            VerifyError::BudgetExhausted { nodes } => {
+                write!(f, "branch-and-bound budget exhausted after {nodes} nodes")
+            }
+            VerifyError::NotFinite => write!(f, "data contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}

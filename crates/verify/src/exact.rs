@@ -1,0 +1,475 @@
+//! Complete verification by input-domain branch-and-bound — the paper's
+//! "exact (complete)" verifier arm.
+//!
+//! §II-B-2: "prototypical exact verifiers are predicated upon …
+//! Branch-and-Bound … by definition, these exact verifiers are not beset
+//! by false positives or false negatives, but they must contend with
+//! resolving NP-hard optimization problems, which in turn obviates their
+//! scalability." This implementation bisects the input box along its
+//! widest dimension, bounds each sub-box with CROWN, falsifies with
+//! concrete center/corner evaluations, and terminates with an exact
+//! verdict up to the requested gap `epsilon`.
+
+use crate::bounds::interval_bounds;
+use crate::crown::crown_lower_with_bounds;
+use crate::net::{validate_box, AffineReluNet, Specification};
+use crate::VerifyError;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Node bound: the tighter of the CROWN linear relaxation and the plain
+/// IBP interval bound (neither dominates the other in general).
+fn node_bound(
+    net: &AffineReluNet,
+    domain: &[(f64, f64)],
+    spec: &Specification,
+) -> Result<f64, VerifyError> {
+    let ib = interval_bounds(net, domain)?;
+    let cb = crown_lower_with_bounds(net, domain, spec, &ib)?;
+    let mut ibp_spec = spec.offset;
+    for (ci, &(lo, hi)) in spec.c.iter().zip(ib.output()) {
+        ibp_spec += if *ci >= 0.0 { ci * lo } else { ci * hi };
+    }
+    Ok(cb.lower.max(ibp_spec))
+}
+
+/// Verdict of a complete verification run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// The specification holds everywhere in the box (min margin > 0).
+    Verified {
+        /// A certified lower bound on the margin.
+        lower_bound: f64,
+    },
+    /// A concrete counterexample was found.
+    Falsified {
+        /// The margin at the counterexample (≤ 0).
+        margin: f64,
+    },
+}
+
+/// Statistics of a branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct BnbReport {
+    /// Final verdict.
+    pub verdict: Verdict,
+    /// Nodes (sub-boxes) explored.
+    pub nodes: usize,
+    /// Best certified global lower bound on the margin.
+    pub lower_bound: f64,
+    /// Best concrete margin observed (a sound upper bound on the min).
+    pub upper_bound: f64,
+    /// Counterexample input when falsified.
+    pub counterexample: Option<Vec<f64>>,
+}
+
+/// Branch-and-bound settings.
+#[derive(Debug, Clone)]
+pub struct BnbSettings {
+    /// Node budget before giving up.
+    pub max_nodes: usize,
+    /// Terminate once `upper − lower < epsilon` (bound gap).
+    pub epsilon: f64,
+}
+
+impl Default for BnbSettings {
+    fn default() -> Self {
+        BnbSettings { max_nodes: 100_000, epsilon: 1e-6 }
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    lower: f64,
+    domain: Vec<(f64, f64)>,
+}
+
+// Min-heap on lower bound: explore the weakest-bound node first.
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.lower == other.lower
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest lower.
+        other.lower.partial_cmp(&self.lower).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Runs complete verification of `spec` over `input_box`.
+///
+/// ```
+/// use rcr_linalg::Matrix;
+/// use rcr_verify::exact::{verify_complete, BnbSettings, Verdict};
+/// use rcr_verify::net::{AffineReluNet, Specification};
+///
+/// # fn main() -> Result<(), rcr_verify::VerifyError> {
+/// // f(x) = ReLU(x): prove f(x) + 0.5 > 0 on [-1, 1].
+/// let net = AffineReluNet::new(vec![
+///     (Matrix::identity(1), vec![0.0]),
+///     (Matrix::identity(1), vec![0.0]),
+/// ])?;
+/// let spec = Specification { c: vec![1.0], offset: 0.5 };
+/// let report = verify_complete(&net, &[(-1.0, 1.0)], &spec, &BnbSettings::default())?;
+/// assert!(matches!(report.verdict, Verdict::Verified { .. }));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// * [`VerifyError::InvalidInput`] / [`VerifyError::DimensionMismatch`]
+///   for malformed problems.
+/// * [`VerifyError::BudgetExhausted`] when `max_nodes` is reached without
+///   a verdict (the partial bounds are lost; raise the budget).
+pub fn verify_complete(
+    net: &AffineReluNet,
+    input_box: &[(f64, f64)],
+    spec: &Specification,
+    settings: &BnbSettings,
+) -> Result<BnbReport, VerifyError> {
+    validate_box(input_box)?;
+    if settings.max_nodes == 0 || !(settings.epsilon > 0.0) {
+        return Err(VerifyError::InvalidInput("max_nodes >= 1 and epsilon > 0 required".into()));
+    }
+
+    let eval_margin = |x: &[f64]| -> Result<f64, VerifyError> {
+        Ok(spec.eval(&net.eval(x)?))
+    };
+
+    // Concrete probes: center and corners (corners capped at 2^10).
+    let probe = |domain: &[(f64, f64)]| -> Result<(f64, Vec<f64>), VerifyError> {
+        let center: Vec<f64> = domain.iter().map(|&(l, h)| 0.5 * (l + h)).collect();
+        let mut best = (eval_margin(&center)?, center);
+        if domain.len() <= 10 {
+            for mask in 0..(1usize << domain.len()) {
+                let corner: Vec<f64> = domain
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(l, h))| if mask >> i & 1 == 1 { h } else { l })
+                    .collect();
+                let m = eval_margin(&corner)?;
+                if m < best.0 {
+                    best = (m, corner);
+                }
+            }
+        }
+        Ok(best)
+    };
+
+    let root_lower = node_bound(net, input_box, spec)?;
+    let (mut upper, mut witness) = probe(input_box)?;
+    let mut lower_global = root_lower;
+    let mut nodes = 1usize;
+
+    if upper <= 0.0 {
+        return Ok(BnbReport {
+            verdict: Verdict::Falsified { margin: upper },
+            nodes,
+            lower_bound: lower_global,
+            upper_bound: upper,
+            counterexample: Some(witness),
+        });
+    }
+    if lower_global > 0.0 {
+        return Ok(BnbReport {
+            verdict: Verdict::Verified { lower_bound: lower_global },
+            nodes,
+            lower_bound: lower_global,
+            upper_bound: upper,
+            counterexample: None,
+        });
+    }
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node { lower: root_lower, domain: input_box.to_vec() });
+
+    while let Some(node) = heap.pop() {
+        // Global lower bound = weakest open node (heap top after pop is
+        // this node, the smallest).
+        lower_global = node.lower;
+        if lower_global > 0.0 {
+            return Ok(BnbReport {
+                verdict: Verdict::Verified { lower_bound: lower_global },
+                nodes,
+                lower_bound: lower_global,
+                upper_bound: upper,
+                counterexample: None,
+            });
+        }
+        if upper - lower_global < settings.epsilon {
+            // Gap closed: the true minimum is ≈ upper; sign decides.
+            let verdict = if upper > 0.0 {
+                Verdict::Verified { lower_bound: lower_global }
+            } else {
+                Verdict::Falsified { margin: upper }
+            };
+            return Ok(BnbReport {
+                verdict,
+                nodes,
+                lower_bound: lower_global,
+                upper_bound: upper,
+                counterexample: if upper <= 0.0 { Some(witness) } else { None },
+            });
+        }
+        if nodes >= settings.max_nodes {
+            return Err(VerifyError::BudgetExhausted { nodes });
+        }
+
+        // Split along the widest dimension.
+        let (dim, _) = node
+            .domain
+            .iter()
+            .enumerate()
+            .map(|(i, &(l, h))| (i, h - l))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite widths"))
+            .expect("non-empty domain");
+        let mid = 0.5 * (node.domain[dim].0 + node.domain[dim].1);
+        for half in 0..2 {
+            let mut sub = node.domain.clone();
+            if half == 0 {
+                sub[dim].1 = mid;
+            } else {
+                sub[dim].0 = mid;
+            }
+            nodes += 1;
+            let lower = node_bound(net, &sub, spec)?;
+            let (m, x) = probe(&sub)?;
+            if m < upper {
+                upper = m;
+                witness = x;
+                if upper <= 0.0 {
+                    return Ok(BnbReport {
+                        verdict: Verdict::Falsified { margin: upper },
+                        nodes,
+                        lower_bound: lower_global,
+                        upper_bound: upper,
+                        counterexample: Some(witness),
+                    });
+                }
+            }
+            if lower <= 0.0 {
+                heap.push(Node { lower, domain: sub });
+            }
+        }
+    }
+
+    // No open node has a bound ≤ 0 anymore: verified everywhere.
+    Ok(BnbReport {
+        verdict: Verdict::Verified { lower_bound: 0.0 },
+        nodes,
+        lower_bound: 0.0,
+        upper_bound: upper,
+        counterexample: None,
+    })
+}
+
+/// Largest `ε` in `[0, max_eps]` (to resolution `tol`) for which the
+/// margin specification holds on the `ε`-ball (infinity norm) around
+/// `center` — the *certified radius*, computed by bisection with the
+/// given verifier.
+///
+/// # Errors
+/// Propagates verifier errors.
+pub fn certified_radius(
+    net: &AffineReluNet,
+    center: &[f64],
+    spec: &Specification,
+    max_eps: f64,
+    tol: f64,
+    settings: &BnbSettings,
+) -> Result<f64, VerifyError> {
+    if !(max_eps > 0.0) || !(tol > 0.0) {
+        return Err(VerifyError::InvalidInput("max_eps and tol must be positive".into()));
+    }
+    let ball = |eps: f64| -> Vec<(f64, f64)> {
+        center.iter().map(|&c| (c - eps, c + eps)).collect()
+    };
+    // The margin at the center must be positive to begin with.
+    if spec.eval(&net.eval(center)?) <= 0.0 {
+        return Ok(0.0);
+    }
+    let mut lo = 0.0;
+    let mut hi = max_eps;
+    // Check the outer radius first: maybe everything verifies.
+    if matches!(
+        verify_complete(net, &ball(max_eps), spec, settings)?.verdict,
+        Verdict::Verified { .. }
+    ) {
+        return Ok(max_eps);
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        match verify_complete(net, &ball(mid), spec, settings)?.verdict {
+            Verdict::Verified { .. } => lo = mid,
+            Verdict::Falsified { .. } => hi = mid,
+        }
+    }
+    Ok(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcr_linalg::Matrix;
+
+    fn abs_net() -> AffineReluNet {
+        // f(x) = |x|.
+        AffineReluNet::new(vec![
+            (Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(), vec![0.0, 0.0]),
+            (Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(), vec![0.0]),
+        ])
+        .unwrap()
+    }
+
+    fn settings() -> BnbSettings {
+        BnbSettings::default()
+    }
+
+    #[test]
+    fn verifies_true_property() {
+        // |x| + 0.5 > 0 everywhere: trivially true, needs tight bounding
+        // because IBP at the root gives lower −... actually 0.5 > 0.
+        let net = abs_net();
+        let spec = Specification { c: vec![1.0], offset: 0.5 };
+        let r = verify_complete(&net, &[(-1.0, 1.0)], &spec, &settings()).unwrap();
+        assert!(matches!(r.verdict, Verdict::Verified { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn falsifies_false_property() {
+        // |x| − 0.5 > 0 fails near x = 0.
+        let net = abs_net();
+        let spec = Specification { c: vec![1.0], offset: -0.5 };
+        let r = verify_complete(&net, &[(-1.0, 1.0)], &spec, &settings()).unwrap();
+        match r.verdict {
+            Verdict::Falsified { margin } => {
+                assert!(margin <= 0.0);
+                let x = r.counterexample.unwrap();
+                assert!(x[0].abs() < 0.5 + 1e-9, "cex {x:?}");
+            }
+            v => panic!("expected falsified, got {v:?}"),
+        }
+    }
+
+    /// `f(x) = |x| − 0.9x` built so the pass-through neuron (`x + 10`,
+    /// always active on small boxes) defeats CROWN's coefficient
+    /// cancellation: the root bound is −0.9 although the true minimum
+    /// over `[-1, 1]` is `+0.1`.
+    fn loose_net() -> AffineReluNet {
+        AffineReluNet::new(vec![
+            (
+                Matrix::from_rows(&[&[1.0], &[-1.0], &[1.0]]).unwrap(),
+                vec![0.0, 0.0, 10.0],
+            ),
+            (Matrix::from_rows(&[&[1.0, 1.0, -0.9]]).unwrap(), vec![9.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn tight_true_property_requires_branching() {
+        let net = loose_net();
+        // f(x) = |x| − 0.9x has min 0 at x = 0, so f + 0.05 > 0 holds
+        // everywhere with margin 0.05.
+        let spec = Specification { c: vec![1.0], offset: 0.05 };
+        // Root CROWN bound is loose (≈ −0.85) so branching must kick in.
+        let root = crate::crown::crown_lower(&net, &[(-1.0, 1.0)], &spec).unwrap();
+        assert!(root.lower < 0.0, "root bound unexpectedly tight: {}", root.lower);
+        let r = verify_complete(&net, &[(-1.0, 1.0)], &spec, &settings()).unwrap();
+        assert!(matches!(r.verdict, Verdict::Verified { .. }), "{r:?}");
+        assert!(r.nodes > 1, "expected branching, got {} nodes", r.nodes);
+    }
+
+    #[test]
+    fn margin_spec_on_two_output_net() {
+        // f(x) = (x, 1 − x) on [0, 0.4]: f₀ < f₁ everywhere (x < 0.5),
+        // so margin(1, 0) verifies and margin(0, 1) falsifies.
+        let net = AffineReluNet::new(vec![(
+            Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(),
+            vec![0.0, 1.0],
+        )])
+        .unwrap();
+        let good = Specification::margin(2, 1, 0).unwrap();
+        let bad = Specification::margin(2, 0, 1).unwrap();
+        let r1 = verify_complete(&net, &[(0.0, 0.4)], &good, &settings()).unwrap();
+        assert!(matches!(r1.verdict, Verdict::Verified { .. }));
+        let r2 = verify_complete(&net, &[(0.0, 0.4)], &bad, &settings()).unwrap();
+        assert!(matches!(r2.verdict, Verdict::Falsified { .. }));
+    }
+
+    #[test]
+    fn two_dim_input_bnb() {
+        // f(x, y) = |x| + |y| − 0.3 > 0 fails inside the L1 ball of radius
+        // 0.3 — BnB must find it.
+        let net = AffineReluNet::new(vec![
+            (
+                Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]])
+                    .unwrap(),
+                vec![0.0; 4],
+            ),
+            (Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]).unwrap(), vec![-0.3]),
+        ])
+        .unwrap();
+        let spec = Specification { c: vec![1.0], offset: 0.0 };
+        let r = verify_complete(&net, &[(-1.0, 1.0), (-1.0, 1.0)], &spec, &settings()).unwrap();
+        assert!(matches!(r.verdict, Verdict::Falsified { .. }));
+        // Restricted to a far corner, the property holds.
+        let r = verify_complete(&net, &[(0.5, 1.0), (0.5, 1.0)], &spec, &settings()).unwrap();
+        assert!(matches!(r.verdict, Verdict::Verified { .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        // True property with a loose root bound: verification needs many
+        // nodes, a 2-node budget cannot finish.
+        let net = loose_net();
+        let spec = Specification { c: vec![1.0], offset: 0.05 };
+        let s = BnbSettings { max_nodes: 1, epsilon: 1e-12 };
+        let r = verify_complete(&net, &[(-1.0, 1.0)], &spec, &s);
+        assert!(matches!(r, Err(VerifyError::BudgetExhausted { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn certified_radius_matches_geometry() {
+        // f(x) = |x| − margin spec at center 0.6: property f > 0.2 holds
+        // while |x| > 0.2, i.e. radius 0.4 around 0.6.
+        let net = abs_net();
+        let spec = Specification { c: vec![1.0], offset: -0.2 };
+        let r = certified_radius(&net, &[0.6], &spec, 1.0, 1e-3, &settings()).unwrap();
+        assert!((r - 0.4).abs() < 5e-3, "radius {r}");
+    }
+
+    #[test]
+    fn certified_radius_zero_for_misclassified_center() {
+        let net = abs_net();
+        let spec = Specification { c: vec![1.0], offset: -0.5 };
+        // At center 0.1 the margin is already negative.
+        let r = certified_radius(&net, &[0.1], &spec, 1.0, 1e-3, &settings()).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn full_radius_when_property_globally_true() {
+        let net = abs_net();
+        let spec = Specification { c: vec![1.0], offset: 1.0 };
+        let r = certified_radius(&net, &[0.0], &spec, 0.5, 1e-3, &settings()).unwrap();
+        assert_eq!(r, 0.5);
+    }
+
+    #[test]
+    fn validation() {
+        let net = abs_net();
+        let spec = Specification { c: vec![1.0], offset: 0.0 };
+        assert!(verify_complete(&net, &[], &spec, &settings()).is_err());
+        let bad = BnbSettings { max_nodes: 0, epsilon: 1e-6 };
+        assert!(verify_complete(&net, &[(0.0, 1.0)], &spec, &bad).is_err());
+        assert!(certified_radius(&net, &[0.0], &spec, -1.0, 1e-3, &settings()).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! The affine-ReLU network form consumed by every verifier.
+
+use crate::VerifyError;
+use rcr_linalg::Matrix;
+
+/// A feed-forward network `x → W_L(…ReLU(W_1 x + b_1)…) + b_L`:
+/// affine layers with ReLU between them (none after the last).
+#[derive(Debug, Clone)]
+pub struct AffineReluNet {
+    layers: Vec<(Matrix, Vec<f64>)>,
+}
+
+impl AffineReluNet {
+    /// Creates a network from `(weight, bias)` pairs; weight `i` maps the
+    /// previous layer's width to `bias_i.len()`.
+    ///
+    /// # Errors
+    /// * [`VerifyError::DimensionMismatch`] when layers do not chain or a
+    ///   bias length differs from its weight's row count.
+    /// * [`VerifyError::InvalidInput`] for an empty layer list.
+    /// * [`VerifyError::NotFinite`] for NaN/inf parameters.
+    pub fn new(layers: Vec<(Matrix, Vec<f64>)>) -> Result<Self, VerifyError> {
+        if layers.is_empty() {
+            return Err(VerifyError::InvalidInput("network needs at least one layer".into()));
+        }
+        let mut prev_out: Option<usize> = None;
+        for (i, (w, b)) in layers.iter().enumerate() {
+            if w.rows() != b.len() {
+                return Err(VerifyError::DimensionMismatch(format!(
+                    "layer {i}: weight has {} rows but bias has {}",
+                    w.rows(),
+                    b.len()
+                )));
+            }
+            if let Some(p) = prev_out {
+                if w.cols() != p {
+                    return Err(VerifyError::DimensionMismatch(format!(
+                        "layer {i}: expects {} inputs, previous layer emits {p}",
+                        w.cols()
+                    )));
+                }
+            }
+            if !w.is_finite() || !b.iter().all(|v| v.is_finite()) {
+                return Err(VerifyError::NotFinite);
+            }
+            prev_out = Some(w.rows());
+        }
+        Ok(AffineReluNet { layers })
+    }
+
+    /// Extracts an affine-ReLU net from a trained [`rcr_nn`] MLP given its
+    /// linear layers in order (the caller supplies the `Linear` handles;
+    /// activations between them are assumed ReLU).
+    ///
+    /// # Errors
+    /// Same as [`AffineReluNet::new`].
+    pub fn from_linear_layers(linears: &[&rcr_nn::layers::Linear]) -> Result<Self, VerifyError> {
+        let layers = linears
+            .iter()
+            .map(|l| {
+                let w = Matrix::from_vec(l.out_features(), l.in_features(), l.weight().to_vec())
+                    .map_err(|e| VerifyError::InvalidInput(e.to_string()))?;
+                Ok((w, l.bias().to_vec()))
+            })
+            .collect::<Result<Vec<_>, VerifyError>>()?;
+        Self::new(layers)
+    }
+
+    /// The `(weight, bias)` layers.
+    pub fn layers(&self) -> &[(Matrix, Vec<f64>)] {
+        &self.layers
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].0.cols()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").1.len()
+    }
+
+    /// Number of affine layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Concrete forward evaluation.
+    ///
+    /// # Errors
+    /// Returns [`VerifyError::DimensionMismatch`] for a wrong-length input.
+    pub fn eval(&self, x: &[f64]) -> Result<Vec<f64>, VerifyError> {
+        if x.len() != self.input_dim() {
+            return Err(VerifyError::DimensionMismatch(format!(
+                "input has {} entries, expected {}",
+                x.len(),
+                self.input_dim()
+            )));
+        }
+        let mut cur = x.to_vec();
+        for (i, (w, b)) in self.layers.iter().enumerate() {
+            let mut z = w.matvec(&cur).map_err(|e| VerifyError::InvalidInput(e.to_string()))?;
+            for (zi, bi) in z.iter_mut().zip(b) {
+                *zi += bi;
+            }
+            if i + 1 < self.layers.len() {
+                for zi in &mut z {
+                    *zi = zi.max(0.0);
+                }
+            }
+            cur = z;
+        }
+        Ok(cur)
+    }
+}
+
+/// A verification problem: show `cᵀ f(x) + offset > 0` for every `x` in
+/// the input box.
+#[derive(Debug, Clone)]
+pub struct Specification {
+    /// Objective row `c`.
+    pub c: Vec<f64>,
+    /// Constant offset added to `cᵀ f(x)`.
+    pub offset: f64,
+}
+
+impl Specification {
+    /// Margin specification for a classifier: class `target` beats class
+    /// `other` (`f_target − f_other > 0`).
+    ///
+    /// # Errors
+    /// Returns [`VerifyError::InvalidInput`] for equal or out-of-range
+    /// indices.
+    pub fn margin(output_dim: usize, target: usize, other: usize) -> Result<Self, VerifyError> {
+        if target == other || target >= output_dim || other >= output_dim {
+            return Err(VerifyError::InvalidInput(format!(
+                "bad margin spec: {target} vs {other} with {output_dim} outputs"
+            )));
+        }
+        let mut c = vec![0.0; output_dim];
+        c[target] = 1.0;
+        c[other] = -1.0;
+        Ok(Specification { c, offset: 0.0 })
+    }
+
+    /// Evaluates the specification margin at a concrete output.
+    pub fn eval(&self, output: &[f64]) -> f64 {
+        self.c.iter().zip(output).map(|(a, b)| a * b).sum::<f64>() + self.offset
+    }
+}
+
+/// Validates an input box.
+///
+/// # Errors
+/// Returns [`VerifyError::InvalidInput`] for an empty/reversed/non-finite
+/// box.
+pub fn validate_box(input_box: &[(f64, f64)]) -> Result<(), VerifyError> {
+    if input_box.is_empty() {
+        return Err(VerifyError::InvalidInput("empty input box".into()));
+    }
+    for &(lo, hi) in input_box {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(VerifyError::InvalidInput(format!("bad interval [{lo}, {hi}]")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> AffineReluNet {
+        // f(x) = W2 ReLU(W1 x + b1) + b2 with W1 = [[1],[−1]], b1 = 0,
+        // W2 = [1, 1], b2 = 0 ⇒ f(x) = |x|.
+        AffineReluNet::new(vec![
+            (Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(), vec![0.0, 0.0]),
+            (Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(), vec![0.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn absolute_value_network() {
+        let net = tiny_net();
+        assert_eq!(net.input_dim(), 1);
+        assert_eq!(net.output_dim(), 1);
+        assert_eq!(net.depth(), 2);
+        for x in [-2.0, -0.5, 0.0, 1.5] {
+            assert_eq!(net.eval(&[x]).unwrap()[0], x.abs());
+        }
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(AffineReluNet::new(vec![]).is_err());
+        // Bias length mismatch.
+        assert!(AffineReluNet::new(vec![(Matrix::identity(2), vec![0.0])]).is_err());
+        // Chain mismatch.
+        assert!(AffineReluNet::new(vec![
+            (Matrix::identity(2), vec![0.0; 2]),
+            (Matrix::identity(3), vec![0.0; 3]),
+        ])
+        .is_err());
+        // NaN.
+        let mut w = Matrix::identity(1);
+        w[(0, 0)] = f64::NAN;
+        assert!(AffineReluNet::new(vec![(w, vec![0.0])]).is_err());
+    }
+
+    #[test]
+    fn eval_validates_input_length() {
+        let net = tiny_net();
+        assert!(net.eval(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn extraction_from_rcr_nn_linear() {
+        let mut l1 = rcr_nn::layers::Linear::new(2, 3, 0).unwrap();
+        l1.set_parameters(&[1.0, 0.0, 0.0, 1.0, 1.0, -1.0], &[0.0, 0.1, -0.1]).unwrap();
+        let l2 = rcr_nn::layers::Linear::new(3, 1, 1).unwrap();
+        let net = AffineReluNet::from_linear_layers(&[&l1, &l2]).unwrap();
+        assert_eq!(net.input_dim(), 2);
+        assert_eq!(net.output_dim(), 1);
+        // Spot-check against manual forward.
+        let x = [0.3f64, -0.7];
+        let z1 = [
+            (1.0 * x[0] + 0.0 * x[1]).max(0.0),
+            (0.0 * x[0] + 1.0 * x[1] + 0.1).max(0.0),
+            (1.0 * x[0] - 1.0 * x[1] - 0.1).max(0.0),
+        ];
+        let expected: f64 = l2.weight().iter().zip(&z1).map(|(w, z)| w * z).sum::<f64>()
+            + l2.bias()[0];
+        assert!((net.eval(&x).unwrap()[0] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_specification() {
+        let s = Specification::margin(3, 0, 2).unwrap();
+        assert_eq!(s.c, vec![1.0, 0.0, -1.0]);
+        assert_eq!(s.eval(&[2.0, 9.0, 0.5]), 1.5);
+        assert!(Specification::margin(3, 1, 1).is_err());
+        assert!(Specification::margin(3, 5, 0).is_err());
+    }
+
+    #[test]
+    fn box_validation() {
+        assert!(validate_box(&[]).is_err());
+        assert!(validate_box(&[(1.0, 0.0)]).is_err());
+        assert!(validate_box(&[(0.0, f64::INFINITY)]).is_err());
+        assert!(validate_box(&[(-1.0, 1.0)]).is_ok());
+    }
+}

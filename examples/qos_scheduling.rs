@@ -1,0 +1,103 @@
+//! 5G downlink scheduling: the paper's motivating RRA problem end to end.
+//!
+//! ```sh
+//! cargo run --release --example qos_scheduling
+//! ```
+//!
+//! Generates a cell with mixed eMBB/URLLC/mMTC users, solves the
+//! resource-block assignment + power allocation MINLP with all three
+//! solvers, and prints the allocation with per-user QoS outcomes.
+
+use rcr::core::qos_entry::{compare_solvers, SolverKind};
+use rcr::minlp::BnbSettings;
+use rcr::pso::swarm::PsoSettings;
+use rcr::qos::admission::admit;
+use rcr::qos::rra::RraProblem;
+use rcr::qos::workload::{Scenario, ScenarioConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ScenarioConfig {
+        users: 4,
+        resource_blocks: 8,
+        class_mix: (0.4, 0.3, 0.3),
+        ..Default::default()
+    };
+    let scenario = Scenario::generate(&config, 2026)?;
+
+    println!("cell: {} users on {} resource blocks", config.users, config.resource_blocks);
+    for (u, (class, dist)) in scenario
+        .classes
+        .iter()
+        .zip(scenario.rra.channel().distances_m())
+        .enumerate()
+    {
+        println!(
+            "  user {u}: {:>5} at {:>5.0} m, min rate {:.2} Mb/s",
+            class.name(),
+            dist,
+            scenario.rra.min_rates_bps[u] / 1e6
+        );
+    }
+    println!();
+
+    let pso = PsoSettings { swarm_size: 20, max_iter: 60, seed: 3, ..Default::default() };
+    let comparison = compare_solvers(&scenario, &BnbSettings::default(), &pso)?;
+    println!(
+        "relaxation upper bound: {:.2} Mb/s (no allocation can exceed this)",
+        comparison.relaxation_bound_bps / 1e6
+    );
+    println!();
+
+    for outcome in &comparison.outcomes {
+        match &outcome.solution {
+            Some(sol) => {
+                println!(
+                    "{:<12} rate {:>7.2} Mb/s  SE {:>5.2} b/s/Hz  QoS {}  ({:.0} ms)",
+                    outcome.solver.name(),
+                    sol.total_rate_bps / 1e6,
+                    sol.spectral_efficiency,
+                    if sol.qos_satisfied { "met" } else { "VIOLATED" },
+                    outcome.seconds * 1e3
+                );
+                if outcome.solver == SolverKind::Exact {
+                    println!("             RB owners: {:?}", sol.owners);
+                    for (u, r) in sol.power.user_rates_bps.iter().enumerate() {
+                        println!(
+                            "             user {u}: {:.2} Mb/s (min {:.2})",
+                            r / 1e6,
+                            scenario.rra.min_rates_bps[u] / 1e6
+                        );
+                    }
+                }
+            }
+            None => println!("{:<12} failed / infeasible", outcome.solver.name()),
+        }
+    }
+
+    // --- Admission control (RRM): overload the cell and watch the RRM
+    //     evict the cheapest guarantees first.
+    println!();
+    println!("-- overload: everyone demands 4 Mb/s --");
+    let overloaded = RraProblem::new(
+        scenario.rra.channel().clone(),
+        scenario.rra.noise_power_w,
+        scenario.rra.power_budget_w,
+        scenario.rra.rb_bandwidth_hz,
+        vec![4e6; config.users],
+    )?;
+    let adm = admit(&overloaded, &scenario.classes)?;
+    for (u, (&kept, class)) in adm.admitted.iter().zip(&scenario.classes).enumerate() {
+        println!(
+            "  user {u} ({:>5}): {}",
+            class.name(),
+            if kept { "admitted" } else { "rejected" }
+        );
+    }
+    println!(
+        "  admitted weight {:.0}, serving rate {:.2} Mb/s ({} feasibility checks)",
+        adm.weight,
+        adm.solution.total_rate_bps / 1e6,
+        adm.feasibility_checks
+    );
+    Ok(())
+}

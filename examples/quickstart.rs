@@ -1,0 +1,71 @@
+//! Quickstart: a five-minute tour of the RCR framework.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Touches one piece of every layer of the Fig. 1 stack: a convex QCQP
+//! (Eq. 7), the trace-minimization SDP (Eqs. 8–10), a PSO run with
+//! adaptive inertia (Eqs. 1–2), an STFT phase-convention conversion
+//! (Eqs. 5–6), and a complete robustness verification.
+
+use rcr::convex::qcqp::{QcqpProblem, QcqpSettings, QuadraticForm};
+use rcr::convex::rankmin::{synth_low_rank_plus_diag, trace_min_decompose};
+use rcr::convex::sdp::SdpSettings;
+use rcr::linalg::Matrix;
+use rcr::pso::benchfn::BenchFunction;
+use rcr::pso::inertia::InertiaSchedule;
+use rcr::pso::swarm::{PsoSettings, Swarm};
+use rcr::signal::stft::{PhaseConvention, StftPlan};
+use rcr::signal::window::{window, WindowKind, WindowSymmetry};
+use rcr::verify::exact::{verify_complete, BnbSettings};
+use rcr::verify::net::{AffineReluNet, Specification};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A convex QCQP (Eq. 7): minimize ½‖x − (3,0)‖² inside the unit ball.
+    let objective = QuadraticForm::new(Matrix::identity(2), vec![-3.0, 0.0], 0.0)?;
+    let ball = QuadraticForm::new(Matrix::identity(2), vec![0.0, 0.0], -0.5)?;
+    let qcqp = QcqpProblem::new(objective, vec![ball], None)?;
+    let sol = qcqp.solve(&QcqpSettings::default())?;
+    println!("QCQP:     x* = ({:.4}, {:.4}), gap bound {:.1e}", sol.x[0], sol.x[1], sol.gap_bound);
+
+    // 2. Rank minimization via the trace relaxation (Eqs. 8–10).
+    let v = Matrix::from_rows(&[&[1.0], &[2.0], &[-1.0]])?;
+    let r_s = synth_low_rank_plus_diag(&v, &[0.5, 0.3, 0.4])?;
+    let rank = trace_min_decompose(&r_s, &SdpSettings::default())?;
+    println!("RMP→SDP:  planted rank 1 recovered as rank {}", rank.rank);
+
+    // 3. PSO with adaptive inertia (Eqs. 1–2) on the Rastrigin surface.
+    let settings = PsoSettings {
+        inertia: InertiaSchedule::AdaptiveDiversity { min: 0.4, max: 0.9 },
+        seed: 7,
+        ..Default::default()
+    };
+    let f = BenchFunction::Rastrigin;
+    let pso = Swarm::minimize(|x| f.eval(x), &f.bounds(2), &settings)?;
+    println!("PSO:      rastrigin best = {:.2e} in {} generations", pso.best_value, pso.iterations);
+
+    // 4. STFT phase conventions (Eqs. 5–6): analyze in the stored-window
+    //    convention, convert to time-invariant by the phase-factor matrix.
+    let signal: Vec<f64> = (0..256).map(|i| (0.21 * i as f64).sin()).collect();
+    let g = window(WindowKind::Hann, WindowSymmetry::Periodic, 32)?;
+    let plan = StftPlan::new(g, 8, 32, PhaseConvention::SimplifiedTimeInvariant)?;
+    let stft = plan.analyze(&signal)?;
+    let converted = stft.convert(PhaseConvention::TimeInvariant);
+    println!(
+        "STFT:     {} frames x {} bins, converted Eq.6 → Eq.5 by point-wise phase factors",
+        converted.num_frames(),
+        converted.num_bins()
+    );
+
+    // 5. Complete robustness verification: f(x) = |x| stays above −0.1.
+    let net = AffineReluNet::new(vec![
+        (Matrix::from_rows(&[&[1.0], &[-1.0]])?, vec![0.0, 0.0]),
+        (Matrix::from_rows(&[&[1.0, 1.0]])?, vec![0.0]),
+    ])?;
+    let spec = Specification { c: vec![1.0], offset: 0.1 };
+    let report = verify_complete(&net, &[(-1.0, 1.0)], &spec, &BnbSettings::default())?;
+    println!("Verify:   |x| + 0.1 > 0 on [-1,1] → {:?} ({} nodes)", report.verdict, report.nodes);
+
+    Ok(())
+}

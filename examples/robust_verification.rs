@@ -1,0 +1,54 @@
+//! Convex relaxation adversarial training and the verifier ladder.
+//!
+//! ```sh
+//! cargo run --release --example robust_verification
+//! ```
+//!
+//! Trains two classifiers — one standard, one hardened with
+//! relaxation-guided adversarial examples — and certifies both with the
+//! paper's two verifier arms (relaxed: IBP and CROWN; exact:
+//! branch-and-bound), plus a certified-radius computation.
+
+use rcr::core::robust::{
+    certify, train_classifier, BlobData, RobustTrainConfig, TrainMode,
+};
+use rcr::verify::exact::{certified_radius, BnbSettings};
+use rcr::verify::net::Specification;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let train_data = BlobData::generate(60, 1);
+    let eval_data = BlobData::generate(40, 2);
+    let eps = 0.2;
+
+    for mode in [TrainMode::Standard, TrainMode::RelaxationAdversarial] {
+        let cfg = RobustTrainConfig { mode, epochs: 80, epsilon: eps, seed: 5, ..Default::default() };
+        let mut model = train_classifier(&train_data, &cfg)?;
+        let report = certify(&mut model, &eval_data, eps, &BnbSettings::default())?;
+        println!("{mode:?} (ε = {eps}):");
+        println!("  clean accuracy:      {:.0}%", 100.0 * report.clean_accuracy);
+        println!(
+            "  verified robust:     IBP {:.0}%  |  CROWN {:.0}%  |  exact {:.0}%",
+            100.0 * report.verified_ibp,
+            100.0 * report.verified_crown,
+            100.0 * report.verified_exact
+        );
+        println!(
+            "  mean relaxation gap: IBP {:.3}  |  CROWN {:.3}",
+            report.mean_ibp_gap, report.mean_crown_gap
+        );
+
+        // Certified radius around one well-classified point per class.
+        let net = model.to_affine_relu()?;
+        for (center, label) in [([-1.0, 0.0], 0usize), ([1.0, 0.0], 1usize)] {
+            let spec = Specification::margin(2, label, 1 - label)?;
+            let radius =
+                certified_radius(&net, &center, &spec, 1.0, 1e-3, &BnbSettings::default())?;
+            println!("  certified radius at class-{label} center: {radius:.3}");
+        }
+        println!();
+    }
+    println!("reading: the relaxed verifiers are sound but conservative (their");
+    println!("verified%% trails the exact verdict — the 'convex relaxation barrier');");
+    println!("relaxation-adversarial training widens all certified margins.");
+    Ok(())
+}

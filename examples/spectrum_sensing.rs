@@ -1,0 +1,96 @@
+//! Spectrum sensing: STFT-based burst detection with the squeezed MSY3I.
+//!
+//! ```sh
+//! cargo run --release --example spectrum_sensing
+//! ```
+//!
+//! Follows the paper's §IV-A motivation: STFT "is often used as the basis
+//! for signal detection and classification in 5G and beyond". A synthetic
+//! time-domain signal with narrowband bursts is turned into a power
+//! spectrogram; the MSY3I detector is then trained on the synthetic burst
+//! dataset and scored; finally the phase-convention pitfall is
+//! demonstrated on the very same spectrogram pipeline.
+
+use rcr::nn::detect::{BurstConfig, BurstDataset};
+use rcr::nn::msy3i::{BackboneKind, Msy3iConfig, Msy3iModel};
+use rcr::signal::spectrogram::Spectrogram;
+use rcr::signal::stft::{PhaseConvention, StftPlan};
+use rcr::signal::window::{window, WindowKind, WindowSymmetry};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A time-domain scene: two tone bursts in noise.
+    let n = 2048usize;
+    let mut signal = vec![0.0f64; n];
+    let mut lcg = 0x2545F4914F6CDD1Du64;
+    let mut noise = move || {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((lcg >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.1
+    };
+    for (i, s) in signal.iter_mut().enumerate() {
+        *s = noise();
+        let t = i as f64;
+        if (300..700).contains(&i) {
+            *s += (0.8 * t).sin(); // burst 1
+        }
+        if (1200..1600).contains(&i) {
+            *s += (2.2 * t).sin(); // burst 2, higher frequency
+        }
+    }
+
+    // --- 2. STFT → power spectrogram.
+    let g = window(WindowKind::Hann, WindowSymmetry::Periodic, 64)?;
+    let plan = StftPlan::new(g, 16, 64, PhaseConvention::TimeInvariant)?;
+    let stft = plan.analyze(&signal)?;
+    let spec = Spectrogram::from_stft(&stft)?;
+    println!(
+        "spectrogram: {} frames x {} bins, total power {:.1}",
+        spec.num_frames(),
+        spec.num_bins(),
+        spec.total_power()
+    );
+    // Where does the energy sit? Rough burst localization by frame power.
+    let frame_power: Vec<f64> = spec.rows().iter().map(|r| r.iter().sum()).collect();
+    let hot: Vec<usize> = frame_power
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p > 0.25 * frame_power.iter().cloned().fold(0.0, f64::max))
+        .map(|(i, _)| i)
+        .collect();
+    println!("high-energy frames: {} of {} (bursts live here)", hot.len(), spec.num_frames());
+
+    // --- 3. Train the squeezed MSY3I detector on the burst dataset.
+    let burst_cfg = BurstConfig { count: 128, bursts: (1, 1), noise: 0.1, ..Default::default() };
+    let train = BurstDataset::generate(&burst_cfg, 1)?;
+    let eval = BurstDataset::generate(&BurstConfig { count: 32, ..burst_cfg }, 2)?;
+    let mut model = Msy3iModel::build(&Msy3iConfig {
+        kind: BackboneKind::Squeezed,
+        seed: 7,
+        ..Default::default()
+    })?;
+    let report = model.train(&train, &eval, 80, 8, 6e-3)?;
+    println!(
+        "MSY3I (squeezed, {} params): loss {:.3} → {:.3}, AP@0.5 = {:.3}",
+        model.param_count(),
+        report.loss.first().unwrap(),
+        report.loss.last().unwrap(),
+        report.ap
+    );
+
+    // --- 4. The §IV-B pitfall: the stored-window convention carries a
+    //        phase skew. Magnitudes (hence spectrograms) agree; phases do
+    //        not — until the a-priori correction matrix is applied.
+    let g2 = window(WindowKind::Hann, WindowSymmetry::Periodic, 64)?;
+    let plan_sti = StftPlan::new(g2, 16, 64, PhaseConvention::SimplifiedTimeInvariant)?;
+    let stft_sti = plan_sti.analyze(&signal)?;
+    let bin = 5usize; // odd bin: the skew 2π·5·(Lg/2)/M never aliases to 0
+    let frame = hot.first().copied().unwrap_or(0);
+    let a = stft.frames()[frame][bin];
+    let b = stft_sti.frames()[frame][bin];
+    let corrected = stft_sti.convert(PhaseConvention::TimeInvariant);
+    let c = corrected.frames()[frame][bin];
+    println!("phase at (frame {frame}, bin {bin}):");
+    println!("  Eq.5 (time-invariant):        {:+.4} rad", a.arg());
+    println!("  Eq.6 (stored-window):         {:+.4} rad  ← skewed", b.arg());
+    println!("  Eq.6 corrected point-wise:    {:+.4} rad  ← matches Eq.5", c.arg());
+    Ok(())
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table (E1-E15) into experiments_output.txt.
+# Usage: scripts/run_experiments.sh [output-file]
+set -u
+out="${1:-experiments_output.txt}"
+cd "$(dirname "$0")/.."
+: > "$out"
+for bin in table_e1_stack table_e2_paradigms table_e3_issues table_e4_pso \
+           table_e5_discrete table_e6_truncation table_e7_stft table_e8_qcqp \
+           table_e9_sdp table_e10_verify table_e11_squeeze table_e12_qos \
+           table_e13_gan table_e15_rrm; do
+    echo "running $bin ..." >&2
+    cargo run --release -p rcr-bench --bin "$bin" 2>/dev/null >> "$out"
+    echo >> "$out"
+done
+echo "wrote $out" >&2

@@ -1,0 +1,59 @@
+//! Cross-crate integration: the QoS pipeline — channel → RRA MINLP →
+//! exact/PSO/greedy solvers → relaxation certificate.
+
+use rcr::core::qos_entry::{compare_solvers, SolverKind};
+use rcr::minlp::BnbSettings;
+use rcr::pso::swarm::PsoSettings;
+use rcr::qos::rra::relaxation_bound_bps;
+use rcr::qos::workload::{Scenario, ScenarioConfig};
+
+#[test]
+fn solver_hierarchy_and_certificates() {
+    let scenario = Scenario::generate(
+        &ScenarioConfig { users: 3, resource_blocks: 6, ..Default::default() },
+        77,
+    )
+    .unwrap();
+    let pso = PsoSettings { swarm_size: 12, max_iter: 40, seed: 5, ..Default::default() };
+    let cmp = compare_solvers(&scenario, &BnbSettings::default(), &pso).unwrap();
+
+    let exact = cmp
+        .outcomes
+        .iter()
+        .find(|o| o.solver == SolverKind::Exact)
+        .and_then(|o| o.solution.as_ref())
+        .expect("exact solver succeeds on this scenario");
+    assert!(exact.qos_satisfied);
+
+    // Certificates: optimum within the relaxation bound; heuristics never
+    // beat the exact optimum.
+    let bound = relaxation_bound_bps(&scenario.rra);
+    assert!(exact.total_rate_bps <= bound * (1.0 + 1e-9));
+    for o in &cmp.outcomes {
+        if let Some(s) = &o.solution {
+            assert!(s.total_rate_bps <= exact.total_rate_bps * (1.0 + 1e-9), "{:?}", o.solver);
+            // Every reported allocation is physically consistent.
+            let band = 180e3 * scenario.rra.resource_blocks() as f64;
+            assert!((s.spectral_efficiency - s.total_rate_bps / band).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn urllc_heavy_mix_still_solvable_and_guarantees_rates() {
+    let scenario = Scenario::generate(
+        &ScenarioConfig {
+            users: 3,
+            resource_blocks: 8,
+            class_mix: (0.0, 1.0, 0.0), // all URLLC
+            ..Default::default()
+        },
+        5,
+    )
+    .unwrap();
+    let exact = rcr::qos::rra::solve_exact(&scenario.rra, &BnbSettings::default()).unwrap();
+    assert!(exact.qos_satisfied);
+    for (rate, min) in exact.power.user_rates_bps.iter().zip(&scenario.rra.min_rates_bps) {
+        assert!(rate >= &(min - 1.0), "rate {rate} below min {min}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Cross-crate integration: signal kernels × numerics — Parseval through
+//! the compensated summers, conformance through the paradigm profiles,
+//! and spectrogram energy consistency.
+
+use rcr::numerics::summation::{kahan_sum, naive_sum};
+use rcr::signal::fft::{rfft, spectral_energy};
+use rcr::signal::profile::{ConformanceSuite, LibraryProfile};
+use rcr::signal::spectrogram::Spectrogram;
+use rcr::signal::stft::{PhaseConvention, StftPlan};
+use rcr::signal::window::{window, WindowKind, WindowSymmetry};
+use rcr::signal::Complex64;
+
+fn chirp(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (1e-3 * (i * i) as f64).sin()).collect()
+}
+
+#[test]
+fn parseval_with_compensated_summation() {
+    let x = chirp(512);
+    let time_energy = kahan_sum(&x.iter().map(|v| v * v).collect::<Vec<_>>());
+    let full: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+    let spec = rcr::signal::fft::fft(&full).unwrap();
+    let freq_energy = spectral_energy(&spec) / x.len() as f64;
+    assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    // The naive and compensated sums agree here (benign input), which
+    // itself is a regression check on the compensated path.
+    let naive = naive_sum(&x.iter().map(|v| v * v).collect::<Vec<_>>());
+    assert!((naive - time_energy).abs() < 1e-9);
+}
+
+#[test]
+fn spectrogram_energy_tracks_signal_energy() {
+    let x = chirp(1024);
+    let g = window(WindowKind::Hann, WindowSymmetry::Periodic, 64).unwrap();
+    let plan = StftPlan::new(g, 16, 64, PhaseConvention::TimeInvariant).unwrap();
+    let sp = Spectrogram::from_stft(&plan.analyze(&x).unwrap()).unwrap();
+    // A louder signal yields a proportionally louder spectrogram.
+    let x2: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+    let sp2 = Spectrogram::from_stft(&plan.analyze(&x2).unwrap()).unwrap();
+    let ratio = sp2.total_power() / sp.total_power();
+    assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
+}
+
+#[test]
+fn rfft_halves_match_full_transform() {
+    let x = chirp(128);
+    let spec = rfft(&x).unwrap();
+    let full: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+    let full_spec = rcr::signal::fft::fft(&full).unwrap();
+    for (a, b) in spec.iter().zip(&full_spec) {
+        assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn fig3_matrix_shape_is_stable() {
+    // The conformance matrix is the E3 deliverable: its shape (profiles x
+    // checks) and the reference row must stay stable across refactors.
+    let reports = ConformanceSuite::new().run_all().unwrap();
+    assert_eq!(reports.len(), LibraryProfile::all().len());
+    let checks = reports[0].outcomes.len();
+    assert!(checks >= 7, "expected at least 7 checks, got {checks}");
+    for r in &reports {
+        assert_eq!(r.outcomes.len(), checks);
+    }
+    assert_eq!(reports[0].profile, LibraryProfile::Reference);
+    assert_eq!(reports[0].failures(), 0);
+}

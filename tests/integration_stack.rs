@@ -1,0 +1,36 @@
+//! Cross-crate integration: the full Fig. 1 stack and the Fig. 2
+//! paradigm harness driving every substrate crate at once.
+
+use rcr::core::paradigm::{run_paradigm, Paradigm};
+use rcr::core::stack::{RcrStack, StackConfig};
+
+#[test]
+fn rcr_stack_quick_run_produces_consistent_report() {
+    let report = RcrStack::new(StackConfig::quick()).run().unwrap();
+    // Phase 2 tuned every declared hyperparameter.
+    for key in ["base_channels", "squeeze_ratio", "backbone", "learning_rate"] {
+        assert!(report.tuned.contains_key(key), "missing {key}");
+    }
+    // Tuned integers are inside their declared ranges.
+    let bc = report.tuned["base_channels"];
+    assert!((4.0..=10.0).contains(&bc));
+    let lr = report.tuned["learning_rate"];
+    assert!((1e-3..=1e-2).contains(&lr));
+    // Phase 1 metrics are well-formed.
+    assert!(report.detector_ap.is_finite());
+    assert!(report.detector_params > 0);
+    // The verification hierarchy holds on the robustness head.
+    let c = &report.certification;
+    assert!(c.verified_ibp <= c.verified_exact + 1e-12);
+    assert!(c.verified_crown <= c.verified_exact + 1e-12);
+}
+
+#[test]
+fn stability_paradigm_stable_and_accuracy_paradigm_flagged() {
+    let stable = run_paradigm(Paradigm::StabilityFirst, 120, 3).unwrap();
+    let fast = run_paradigm(Paradigm::AccuracyFirst, 120, 3).unwrap();
+    // The stability paradigm's kernels pass conformance; the
+    // accuracy-first kernels carry the documented phase defect.
+    assert_eq!(stable.kernel_failures, 0);
+    assert!(fast.kernel_failures > 0);
+}
