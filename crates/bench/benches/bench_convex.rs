@@ -13,11 +13,17 @@ use std::hint::black_box;
 fn psd(n: usize, seed: u64) -> Matrix {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
     };
     let a = Matrix::from_fn(n, n, |_, _| next());
-    let mut p = a.transpose().matmul(&a).expect("square").scale(1.0 / n as f64);
+    let mut p = a
+        .transpose()
+        .matmul(&a)
+        .expect("square")
+        .scale(1.0 / n as f64);
     for i in 0..n {
         p[(i, i)] += 0.1;
     }
@@ -30,16 +36,13 @@ fn bench_qp(c: &mut Criterion) {
     for &n in &[10usize, 25, 50] {
         let p = psd(n, n as u64);
         let q: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
-        let prob = QpProblem::new(
-            p,
-            q,
-            Matrix::identity(n),
-            vec![-QP_INF; n],
-            vec![1.0; n],
-        )
-        .expect("valid qp");
+        let prob = QpProblem::new(p, q, Matrix::identity(n), vec![-QP_INF; n], vec![1.0; n])
+            .expect("valid qp");
         group.bench_with_input(BenchmarkId::from_parameter(n), &prob, |b, prob| {
-            b.iter(|| prob.solve(black_box(&QpSettings::default())).expect("solve"))
+            b.iter(|| {
+                prob.solve(black_box(&QpSettings::default()))
+                    .expect("solve")
+            })
         });
     }
     group.finish();
@@ -58,7 +61,10 @@ fn bench_qcqp(c: &mut Criterion) {
         let ball = QuadraticForm::new(Matrix::identity(n), vec![0.0; n], -2.0).expect("form");
         let prob = QcqpProblem::new(obj, vec![ball], None).expect("convex");
         group.bench_with_input(BenchmarkId::from_parameter(n), &prob, |b, prob| {
-            b.iter(|| prob.solve(black_box(&QcqpSettings::default())).expect("solve"))
+            b.iter(|| {
+                prob.solve(black_box(&QcqpSettings::default()))
+                    .expect("solve")
+            })
         });
     }
     group.finish();

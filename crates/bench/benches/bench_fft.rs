@@ -9,28 +9,33 @@ use rcr_signal::Complex64;
 use std::hint::black_box;
 
 fn signal(n: usize) -> Vec<f64> {
-    (0..n).map(|i| (0.21 * i as f64).sin() + 0.5 * (0.57 * i as f64).cos()).collect()
+    (0..n)
+        .map(|i| (0.21 * i as f64).sin() + 0.5 * (0.57 * i as f64).cos())
+        .collect()
 }
 
 fn bench_fft_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
     group.sample_size(30);
     for &n in &[64usize, 256, 1024] {
-        let x: Vec<Complex64> =
-            signal(n).into_iter().map(Complex64::from_real).collect();
+        let x: Vec<Complex64> = signal(n).into_iter().map(Complex64::from_real).collect();
         group.bench_with_input(BenchmarkId::new("radix2", n), &x, |b, x| {
             b.iter(|| fft(black_box(x)).expect("fft"))
         });
         // Non-power-of-two goes through Bluestein.
-        let xb: Vec<Complex64> =
-            signal(n - 1).into_iter().map(Complex64::from_real).collect();
+        let xb: Vec<Complex64> = signal(n - 1)
+            .into_iter()
+            .map(Complex64::from_real)
+            .collect();
         group.bench_with_input(BenchmarkId::new("bluestein", n - 1), &xb, |b, x| {
             b.iter(|| fft(black_box(x)).expect("fft"))
         });
     }
     // The O(n²) oracle at a size where it is tolerable.
     let x: Vec<Complex64> = signal(256).into_iter().map(Complex64::from_real).collect();
-    group.bench_function("dft_naive/256", |b| b.iter(|| dft_naive(black_box(&x)).expect("dft")));
+    group.bench_function("dft_naive/256", |b| {
+        b.iter(|| dft_naive(black_box(&x)).expect("dft"))
+    });
     group.finish();
 }
 
@@ -38,7 +43,9 @@ fn bench_rfft_and_stft(c: &mut Criterion) {
     let mut group = c.benchmark_group("stft");
     group.sample_size(30);
     let x = signal(1024);
-    group.bench_function("rfft/1024", |b| b.iter(|| rfft(black_box(&x)).expect("rfft")));
+    group.bench_function("rfft/1024", |b| {
+        b.iter(|| rfft(black_box(&x)).expect("rfft"))
+    });
     let g = window(WindowKind::Hann, WindowSymmetry::Periodic, 64).expect("window");
     let plan = StftPlan::new(g, 16, 64, PhaseConvention::TimeInvariant).expect("plan");
     group.bench_function("stft_analyze/1024", |b| {

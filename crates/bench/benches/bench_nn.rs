@@ -11,8 +11,11 @@ fn bench_msy3i_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("msy3i_infer");
     group.sample_size(30);
     for kind in [BackboneKind::FullConv, BackboneKind::Squeezed] {
-        let mut model =
-            Msy3iModel::build(&Msy3iConfig { kind, ..Default::default() }).expect("build");
+        let mut model = Msy3iModel::build(&Msy3iConfig {
+            kind,
+            ..Default::default()
+        })
+        .expect("build");
         let x = Tensor::zeros(vec![4, 1, 16, 16]);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{kind:?}")),
@@ -30,7 +33,12 @@ fn bench_gan_steps(c: &mut Criterion) {
     for &gens in &[1usize, 3] {
         group.bench_with_input(BenchmarkId::from_parameter(gens), &gens, |b, &gens| {
             b.iter(|| {
-                let cfg = GanConfig { num_generators: gens, steps: 50, seed: 1, ..Default::default() };
+                let cfg = GanConfig {
+                    num_generators: gens,
+                    steps: 50,
+                    seed: 1,
+                    ..Default::default()
+                };
                 let mut t = GanTrainer::new(cfg).expect("config");
                 t.train(black_box(&target)).expect("train")
             })

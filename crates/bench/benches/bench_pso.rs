@@ -12,11 +12,14 @@ fn bench_continuous(c: &mut Criterion) {
     group.sample_size(20);
     let f = BenchFunction::Rastrigin;
     for &swarm in &[10usize, 30] {
-        let settings = PsoSettings { swarm_size: swarm, max_iter: 100, seed: 1, ..Default::default() };
+        let settings = PsoSettings {
+            swarm_size: swarm,
+            max_iter: 100,
+            seed: 1,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(swarm), &settings, |b, s| {
-            b.iter(|| {
-                Swarm::minimize(|x| f.eval(x), black_box(&f.bounds(5)), s).expect("minimize")
-            })
+            b.iter(|| Swarm::minimize(|x| f.eval(x), black_box(&f.bounds(5)), s).expect("minimize"))
         });
     }
     group.finish();
@@ -26,9 +29,18 @@ fn bench_discrete(c: &mut Criterion) {
     let mut group = c.benchmark_group("pso_discrete");
     group.sample_size(20);
     let specs = vec![VarSpec::Integer { lo: -20, hi: 20 }; 4];
-    let obj = |z: &[f64]| z.iter().map(|v| (v * 0.3).sin() * 2.0 + 0.01 * v * v).sum::<f64>();
+    let obj = |z: &[f64]| {
+        z.iter()
+            .map(|v| (v * 0.3).sin() * 2.0 + 0.01 * v * v)
+            .sum::<f64>()
+    };
     for strat in [DiscreteStrategy::Rounding, DiscreteStrategy::Distribution] {
-        let settings = PsoSettings { swarm_size: 15, max_iter: 100, seed: 1, ..Default::default() };
+        let settings = PsoSettings {
+            swarm_size: 15,
+            max_iter: 100,
+            seed: 1,
+            ..Default::default()
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{strat:?}")),
             &settings,
@@ -38,5 +50,37 @@ fn bench_discrete(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_continuous, bench_discrete);
+/// Serial vs parallel objective fan-out at a fixed seed. The objective is
+/// made deliberately expensive (inner spin over a quadrature-style sum) so
+/// the per-evaluation work dominates the thread hand-off; on a multi-core
+/// host 4+ workers should sit well above the serial throughput, and by
+/// construction every worker count returns bit-identical results.
+fn bench_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pso_workers");
+    group.sample_size(10);
+    // Rastrigin with an artificial 200-term inner sum per evaluation.
+    let f = |x: &[f64]| {
+        let base = BenchFunction::Rastrigin.eval(x);
+        let refine: f64 = (1..=200)
+            .map(|k| (base * k as f64 / 200.0).sin() / k as f64)
+            .sum();
+        base + 1e-9 * refine
+    };
+    let bounds = BenchFunction::Rastrigin.bounds(8);
+    for &workers in &[1usize, 2, 4, 8] {
+        let settings = PsoSettings {
+            swarm_size: 64,
+            max_iter: 40,
+            seed: 1,
+            workers,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &settings, |b, s| {
+            b.iter(|| Swarm::minimize(f, black_box(&bounds), s).expect("minimize"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_continuous, bench_discrete, bench_workers);
 criterion_main!(benches);

@@ -13,7 +13,11 @@ fn bench_solvers(c: &mut Criterion) {
     group.sample_size(10);
     for &(users, rbs) in &[(3usize, 6usize), (4, 8)] {
         let scenario = Scenario::generate(
-            &ScenarioConfig { users, resource_blocks: rbs, ..Default::default() },
+            &ScenarioConfig {
+                users,
+                resource_blocks: rbs,
+                ..Default::default()
+            },
             42,
         )
         .expect("scenario");
@@ -28,7 +32,12 @@ fn bench_solvers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("greedy", &label), &scenario, |b, s| {
             b.iter(|| solve_greedy(black_box(&s.rra)).expect("greedy"))
         });
-        let pso = PsoSettings { swarm_size: 10, max_iter: 20, seed: 1, ..Default::default() };
+        let pso = PsoSettings {
+            swarm_size: 10,
+            max_iter: 20,
+            seed: 1,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("pso", &label), &scenario, |b, s| {
             b.iter(|| solve_pso(black_box(&s.rra), &pso).expect("pso"))
         });

@@ -26,7 +26,12 @@ fn main() {
         ("ms", 8),
     ]);
     for mode in [TrainMode::Standard, TrainMode::RelaxationAdversarial] {
-        let cfg = RobustTrainConfig { mode, epochs: 80, seed: 5, ..Default::default() };
+        let cfg = RobustTrainConfig {
+            mode,
+            epochs: 80,
+            seed: 5,
+            ..Default::default()
+        };
         let mut model = train_classifier(&train_data, &cfg).expect("training");
         for eps in [0.05, 0.1, 0.2, 0.3] {
             let t0 = Instant::now();

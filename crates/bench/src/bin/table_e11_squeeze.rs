@@ -13,7 +13,12 @@ fn main() {
         "fire-layer parameter squeeze vs detection quality",
         "§II-B-1, refs [5-7]",
     );
-    let burst = BurstConfig { count: 128, bursts: (1, 1), noise: 0.1, ..Default::default() };
+    let burst = BurstConfig {
+        count: 128,
+        bursts: (1, 1),
+        noise: 0.1,
+        ..Default::default()
+    };
     let train = BurstDataset::generate(&burst, 1).expect("dataset");
     let eval = BurstDataset::generate(&BurstConfig { count: 32, ..burst }, 2).expect("dataset");
 
@@ -32,7 +37,12 @@ fn main() {
         (BackboneKind::Squeezed, false),
         (BackboneKind::Squeezed, true),
     ] {
-        let cfg = Msy3iConfig { kind, special_fire, seed: 7, ..Default::default() };
+        let cfg = Msy3iConfig {
+            kind,
+            special_fire,
+            seed: 7,
+            ..Default::default()
+        };
         let mut model = Msy3iModel::build(&cfg).expect("buildable");
         let params = model.param_count();
         if kind == BackboneKind::FullConv {
@@ -51,7 +61,11 @@ fn main() {
         }
         let infer_us = t1.elapsed().as_secs_f64() * 1e6 / reps as f64;
         table.row(&[
-            if special_fire { "SFL".to_owned() } else { format!("{kind:?}") },
+            if special_fire {
+                "SFL".to_owned()
+            } else {
+                format!("{kind:?}")
+            },
             params.to_string(),
             format!("{:.2}", params as f64 / full_params as f64),
             format!("{:.3}", report.ap),

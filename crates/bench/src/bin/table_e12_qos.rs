@@ -35,12 +35,24 @@ fn main() {
     // Small scenarios: the full three-way comparison with proven optima.
     for &(users, rbs) in &[(3usize, 6usize), (4, 8)] {
         let scenario = Scenario::generate(
-            &ScenarioConfig { users, resource_blocks: rbs, ..Default::default() },
+            &ScenarioConfig {
+                users,
+                resource_blocks: rbs,
+                ..Default::default()
+            },
             42 + users as u64,
         )
         .expect("scenario");
-        let pso = PsoSettings { swarm_size: 24, max_iter: 80, seed: 3, ..Default::default() };
-        let bnb = BnbSettings { max_nodes: 500_000, ..Default::default() };
+        let pso = PsoSettings {
+            swarm_size: 24,
+            max_iter: 80,
+            seed: 3,
+            ..Default::default()
+        };
+        let bnb = BnbSettings {
+            max_nodes: 500_000,
+            ..Default::default()
+        };
         let cmp = compare_solvers(&scenario, &bnb, &pso).expect("comparison");
         let bound = cmp.relaxation_bound_bps;
         for outcome in &cmp.outcomes {
@@ -51,7 +63,12 @@ fn main() {
                     if s.qos_satisfied { "yes" } else { "NO" }.to_owned(),
                     format!("{:.2}", 100.0 * (bound - s.total_rate_bps) / bound),
                 ),
-                None => ("-".to_owned(), "-".to_owned(), "fail".to_owned(), "-".to_owned()),
+                None => (
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "fail".to_owned(),
+                    "-".to_owned(),
+                ),
             };
             table.row(&[
                 users.to_string(),
@@ -73,7 +90,11 @@ fn main() {
     // paper's point) — heuristics are certified against the bound alone.
     for &(users, rbs) in &[(6usize, 12usize), (8, 16)] {
         let scenario = Scenario::generate(
-            &ScenarioConfig { users, resource_blocks: rbs, ..Default::default() },
+            &ScenarioConfig {
+                users,
+                resource_blocks: rbs,
+                ..Default::default()
+            },
             42 + users as u64,
         )
         .expect("scenario");
@@ -88,8 +109,12 @@ fn main() {
             "(tree explodes)".to_owned(),
             "-".to_owned(),
         ]);
-        let pso_settings =
-            PsoSettings { swarm_size: 24, max_iter: 80, seed: 3, ..Default::default() };
+        let pso_settings = PsoSettings {
+            swarm_size: 24,
+            max_iter: 80,
+            seed: 3,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         if let Ok(s) = solve_pso(&scenario.rra, &pso_settings) {
             table.row(&[

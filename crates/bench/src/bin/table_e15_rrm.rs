@@ -27,7 +27,11 @@ fn main() {
         ("checks", 7),
     ]);
     let scenario = Scenario::generate(
-        &ScenarioConfig { users: 6, resource_blocks: 12, ..Default::default() },
+        &ScenarioConfig {
+            users: 6,
+            resource_blocks: 12,
+            ..Default::default()
+        },
         99,
     )
     .expect("scenario");

@@ -7,9 +7,15 @@ use rcr_core::stack::{RcrStack, StackConfig};
 use std::time::Instant;
 
 fn main() {
-    banner("E1", "the three-phase RCR stack end to end", "Fig. 1, §III, §V");
+    banner(
+        "E1",
+        "the three-phase RCR stack end to end",
+        "Fig. 1, §III, §V",
+    );
     let t0 = Instant::now();
-    let report = RcrStack::new(StackConfig::standard()).run().expect("stack run");
+    let report = RcrStack::new(StackConfig::standard())
+        .run()
+        .expect("stack run");
     let secs = t0.elapsed().as_secs_f64();
 
     println!("Phase 3 (M-GNU-O role): adaptive diversity-driven inertia in [0.4, 0.9]");
@@ -19,19 +25,28 @@ fn main() {
     for (k, v) in &report.tuned {
         t.row(&[k.clone(), fmt(*v)]);
     }
-    println!("  fitness (final loss + size penalty): {}", fmt(report.tuned_fitness));
+    println!(
+        "  fitness (final loss + size penalty): {}",
+        fmt(report.tuned_fitness)
+    );
     println!("  PSO fitness evaluations: {}", report.pso_evaluations);
     println!();
     println!("Phase 1 (training + convex relaxation adversarial training + verification):");
     println!("  detector AP@0.5:        {:.3}", report.detector_ap);
     println!("  detector parameters:    {}", report.detector_params);
     let c = &report.certification;
-    println!("  robustness head: clean {:.0}%  verified ibp/crown/exact = {:.0}%/{:.0}%/{:.0}%",
+    println!(
+        "  robustness head: clean {:.0}%  verified ibp/crown/exact = {:.0}%/{:.0}%/{:.0}%",
         100.0 * c.clean_accuracy,
         100.0 * c.verified_ibp,
         100.0 * c.verified_crown,
-        100.0 * c.verified_exact);
-    println!("  relaxation gaps: ibp {}  crown {}", fmt(c.mean_ibp_gap), fmt(c.mean_crown_gap));
+        100.0 * c.verified_exact
+    );
+    println!(
+        "  relaxation gaps: ibp {}  crown {}",
+        fmt(c.mean_ibp_gap),
+        fmt(c.mean_crown_gap)
+    );
     println!();
     println!("total wall clock: {secs:.1}s");
     println!();

@@ -5,7 +5,11 @@ use rcr_bench::{banner, fmt, Table};
 use rcr_core::paradigm::{run_paradigm, Paradigm};
 
 fn main() {
-    banner("E2", "RCR paradigms: stability-first vs accuracy-first (+DCGAN #3)", "Fig. 2, §IV");
+    banner(
+        "E2",
+        "RCR paradigms: stability-first vs accuracy-first (+DCGAN #3)",
+        "Fig. 2, §IV",
+    );
     let seeds = 3u64;
     let table = Table::new(&[
         ("paradigm", 32),

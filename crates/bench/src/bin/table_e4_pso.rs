@@ -50,7 +50,11 @@ fn main() {
                 f.name().to_owned(),
                 swarm.to_string(),
                 format!("{}", successes * 100 / seeds as usize),
-                if med > 0 { med.to_string() } else { "-".to_owned() },
+                if med > 0 {
+                    med.to_string()
+                } else {
+                    "-".to_owned()
+                },
                 fmt(mean_best),
                 (evals / seeds as usize).to_string(),
             ]);
@@ -70,8 +74,8 @@ fn main() {
                     seed,
                     ..Default::default()
                 };
-                let r = de::minimize(|x| f.eval(x), &f.bounds(dim), &settings)
-                    .expect("valid settings");
+                let r =
+                    de::minimize(|x| f.eval(x), &f.bounds(dim), &settings).expect("valid settings");
                 if r.best_value <= tol {
                     successes += 1;
                     iters.push(r.iterations);
@@ -86,7 +90,11 @@ fn main() {
                 format!("{} (DE)", f.name()),
                 "20".to_owned(),
                 format!("{}", successes * 100 / seeds as usize),
-                if med > 0 { med.to_string() } else { "-".to_owned() },
+                if med > 0 {
+                    med.to_string()
+                } else {
+                    "-".to_owned()
+                },
                 fmt(mean_best),
                 (evals / seeds as usize).to_string(),
             ]);

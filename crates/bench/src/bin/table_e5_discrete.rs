@@ -15,15 +15,28 @@ fn objective(z: &[f64]) -> f64 {
 }
 
 fn main() {
-    banner("E5", "discrete PSO: rounding vs distribution attributes", "§II-A-2, refs [9-11,15]");
+    banner(
+        "E5",
+        "discrete PSO: rounding vs distribution attributes",
+        "§II-A-2, refs [9-11,15]",
+    );
     let specs = vec![
         VarSpec::Integer { lo: -20, hi: 20 },
         VarSpec::Integer { lo: -20, hi: 20 },
     ];
     let schedules: &[(&str, InertiaSchedule)] = &[
         ("constant 0.7", InertiaSchedule::Constant(0.7)),
-        ("linear 0.9→0.2", InertiaSchedule::LinearDecay { start: 0.9, end: 0.2 }),
-        ("adaptive", InertiaSchedule::AdaptiveDiversity { min: 0.4, max: 0.9 }),
+        (
+            "linear 0.9→0.2",
+            InertiaSchedule::LinearDecay {
+                start: 0.9,
+                end: 0.2,
+            },
+        ),
+        (
+            "adaptive",
+            InertiaSchedule::AdaptiveDiversity { min: 0.4, max: 0.9 },
+        ),
     ];
     let seeds = 10u64;
     let table = Table::new(&[
@@ -47,8 +60,8 @@ fn main() {
                     seed,
                     ..Default::default()
                 };
-                let r = minimize_mixed(objective, &specs, strat, &settings)
-                    .expect("valid settings");
+                let r =
+                    minimize_mixed(objective, &specs, strat, &settings).expect("valid settings");
                 best_sum += r.best_value;
                 frozen_sum += r.frozen_fraction;
                 distinct_sum += r.distinct_discrete_points;

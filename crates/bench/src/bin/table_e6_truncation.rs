@@ -5,12 +5,21 @@ use rcr_bench::{banner, fmt, Table};
 use rcr_numerics::approx::{taylor_exp, trapezoid};
 
 fn main() {
-    banner("E6", "truncation error vs approximation order / step", "Eqs. 3-4, §IV-B");
+    banner(
+        "E6",
+        "truncation error vs approximation order / step",
+        "Eqs. 3-4, §IV-B",
+    );
 
     println!("-- Taylor e^x at x = 2 --");
     let x = 2.0f64;
     let exact = x.exp();
-    let t1 = Table::new(&[("order n", 8), ("value", 12), ("|error|", 12), ("bound", 12)]);
+    let t1 = Table::new(&[
+        ("order n", 8),
+        ("value", 12),
+        ("|error|", 12),
+        ("bound", 12),
+    ]);
     for n in [1usize, 2, 4, 6, 8, 12, 16, 20] {
         let r = taylor_exp(x, n).expect("finite x");
         t1.row(&[
@@ -25,8 +34,15 @@ fn main() {
     println!("-- composite trapezoid of ∫₀¹ e^(-x²) dx --");
     let f = |t: f64| (-t * t).exp();
     // Reference via a very fine grid.
-    let reference = trapezoid(f, 0.0, 1.0, 1 << 16).expect("valid interval").value;
-    let t2 = Table::new(&[("intervals", 10), ("value", 12), ("|error|", 12), ("bound", 12)]);
+    let reference = trapezoid(f, 0.0, 1.0, 1 << 16)
+        .expect("valid interval")
+        .value;
+    let t2 = Table::new(&[
+        ("intervals", 10),
+        ("value", 12),
+        ("|error|", 12),
+        ("bound", 12),
+    ]);
     for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
         let r = trapezoid(f, 0.0, 1.0, n).expect("valid interval");
         t2.row(&[

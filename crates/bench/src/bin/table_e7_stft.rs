@@ -16,7 +16,11 @@ fn test_signal(len: usize) -> Vec<f64> {
 }
 
 fn main() {
-    banner("E7", "stored-window STFT phase skew and its correction", "Eqs. 5-6, §IV-B");
+    banner(
+        "E7",
+        "stored-window STFT phase skew and its correction",
+        "Eqs. 5-6, §IV-B",
+    );
     let signal = test_signal(512);
     let fft_size = 128usize;
     let probe_bin = 5usize; // coprime to the FFT size: skew never aliases to 0
@@ -51,8 +55,7 @@ fn main() {
             }
         }
         // Theoretical skew at the probe bin: 2π·m·(Lg/2)/M, wrapped to [0, π].
-        let raw = Stft::eq5_eq6_phase_skew(x_ti.plan(), probe_bin)
-            % (2.0 * std::f64::consts::PI);
+        let raw = Stft::eq5_eq6_phase_skew(x_ti.plan(), probe_bin) % (2.0 * std::f64::consts::PI);
         let theory = if raw > std::f64::consts::PI {
             2.0 * std::f64::consts::PI - raw
         } else {

@@ -11,11 +11,17 @@ use std::time::Instant;
 fn psd(n: usize, seed: u64) -> Matrix {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
     };
     let a = Matrix::from_fn(n, n, |_, _| next());
-    let mut p = a.transpose().matmul(&a).expect("square").scale(1.0 / n as f64);
+    let mut p = a
+        .transpose()
+        .matmul(&a)
+        .expect("square")
+        .scale(1.0 / n as f64);
     for i in 0..n {
         p[(i, i)] += 0.1;
     }
@@ -28,7 +34,11 @@ fn ball(n: usize, radius: f64) -> QuadraticForm {
 }
 
 fn main() {
-    banner("E8", "convex QCQP interior point: accuracy and scaling", "Eq. 7, §IV-C");
+    banner(
+        "E8",
+        "convex QCQP interior point: accuracy and scaling",
+        "Eq. 7, §IV-C",
+    );
     let table = Table::new(&[
         ("n", 4),
         ("m cons", 7),
@@ -40,7 +50,9 @@ fn main() {
     for &n in &[5usize, 10, 20, 40] {
         for &m in &[2usize, 5] {
             let p0 = psd(n, n as u64);
-            let q0: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 / 11.0 - 0.5).collect();
+            let q0: Vec<f64> = (0..n)
+                .map(|i| ((i * 7 + 3) % 11) as f64 / 11.0 - 0.5)
+                .collect();
             let obj = QuadraticForm::new(p0, q0, 0.0).expect("valid form");
             let mut cons = vec![ball(n, 2.0)];
             for j in 1..m {
@@ -72,18 +84,16 @@ fn main() {
         let obj = QuadraticForm::new(p.clone(), q.clone(), 0.0).expect("valid form");
         let prob = QcqpProblem::new(obj, vec![ball(n, 100.0)], None).expect("convex");
         let ip = prob.solve(&QcqpSettings::default()).expect("solvable");
-        let qp = QpProblem::new(
-            p,
-            q,
-            Matrix::identity(n),
-            vec![-QP_INF; n],
-            vec![QP_INF; n],
-        )
-        .expect("valid qp")
-        .solve(&QpSettings::default())
-        .expect("solvable");
+        let qp = QpProblem::new(p, q, Matrix::identity(n), vec![-QP_INF; n], vec![QP_INF; n])
+            .expect("valid qp")
+            .solve(&QpSettings::default())
+            .expect("solvable");
         let diff = vector::norm_inf(&vector::sub(&ip.x, &qp.x));
-        t2.row(&[n.to_string(), fmt(diff), fmt((ip.objective - qp.objective).abs())]);
+        t2.row(&[
+            n.to_string(),
+            fmt(diff),
+            fmt((ip.objective - qp.objective).abs()),
+        ]);
     }
     println!();
     println!("expectation (paper): the QCQP special class is solved 'in polynomial");

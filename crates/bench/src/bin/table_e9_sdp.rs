@@ -11,17 +11,26 @@ use std::time::Instant;
 fn planted(n: usize, rank: usize, seed: u64) -> (Matrix, f64) {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
     };
     let v = Matrix::from_fn(n, rank, |_, _| next());
     let d: Vec<f64> = (0..n).map(|_| 0.5 + 0.5 * next().abs()).collect();
     let true_trace = v.matmul(&v.transpose()).expect("square").trace();
-    (synth_low_rank_plus_diag(&v, &d).expect("matched dims"), true_trace)
+    (
+        synth_low_rank_plus_diag(&v, &d).expect("matched dims"),
+        true_trace,
+    )
 }
 
 fn main() {
-    banner("E9", "rank minimization via trace relaxation (SDP)", "Eqs. 8-10, §IV-C");
+    banner(
+        "E9",
+        "rank minimization via trace relaxation (SDP)",
+        "Eqs. 8-10, §IV-C",
+    );
     let table = Table::new(&[
         ("n", 4),
         ("true rank", 9),
@@ -36,14 +45,18 @@ fn main() {
         for &rank in &[1usize, 2, 3] {
             let (r_s, true_trace) = planted(n, rank, (n * 10 + rank) as u64);
             let t0 = Instant::now();
-            let res = trace_min_decompose(&r_s, &SdpSettings::default())
-                .expect("decomposable matrix");
+            let res =
+                trace_min_decompose(&r_s, &SdpSettings::default()).expect("decomposable matrix");
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             // Spectral mass carried by the top `rank` eigenvalues of R_c.
             let eig = res.r_c.symmetric_eigen().expect("symmetric");
             let evals = eig.eigenvalues();
             let top: f64 = evals.iter().rev().take(rank).sum();
-            let share = if res.trace > 0.0 { top / res.trace } else { 1.0 };
+            let share = if res.trace > 0.0 {
+                top / res.trace
+            } else {
+                1.0
+            };
             table.row(&[
                 n.to_string(),
                 rank.to_string(),

@@ -32,7 +32,9 @@ impl Interval {
     /// endpoints.
     pub fn new(lo: f64, hi: f64) -> Result<Self, ConvexError> {
         if !lo.is_finite() || !hi.is_finite() || lo > hi {
-            return Err(ConvexError::InvalidParameter(format!("bad interval [{lo}, {hi}]")));
+            return Err(ConvexError::InvalidParameter(format!(
+                "bad interval [{lo}, {hi}]"
+            )));
         }
         Ok(Interval { lo, hi })
     }
@@ -54,12 +56,20 @@ impl Interval {
 
     /// Interval sum.
     pub fn add(&self, o: &Interval) -> Interval {
-        Interval { lo: self.lo + o.lo, hi: self.hi + o.hi }
+        Interval {
+            lo: self.lo + o.lo,
+            hi: self.hi + o.hi,
+        }
     }
 
     /// Interval product (exact for intervals).
     pub fn mul(&self, o: &Interval) -> Interval {
-        let c = [self.lo * o.lo, self.lo * o.hi, self.hi * o.lo, self.hi * o.hi];
+        let c = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
         Interval {
             lo: c.iter().cloned().fold(f64::INFINITY, f64::min),
             hi: c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
@@ -69,16 +79,25 @@ impl Interval {
     /// Scales by a constant.
     pub fn scale(&self, s: f64) -> Interval {
         if s >= 0.0 {
-            Interval { lo: self.lo * s, hi: self.hi * s }
+            Interval {
+                lo: self.lo * s,
+                hi: self.hi * s,
+            }
         } else {
-            Interval { lo: self.hi * s, hi: self.lo * s }
+            Interval {
+                lo: self.hi * s,
+                hi: self.lo * s,
+            }
         }
     }
 
     /// Splits at the midpoint (for branch-and-bound).
     pub fn bisect(&self) -> (Interval, Interval) {
         let m = self.mid();
-        (Interval { lo: self.lo, hi: m }, Interval { lo: m, hi: self.hi })
+        (
+            Interval { lo: self.lo, hi: m },
+            Interval { lo: m, hi: self.hi },
+        )
     }
 }
 
@@ -106,42 +125,67 @@ impl AffineEstimator {
             return AffineEstimator { a: 0.0, b: flo };
         }
         let a = (fhi - flo) / iv.width();
-        AffineEstimator { a, b: flo - a * iv.lo }
+        AffineEstimator {
+            a,
+            b: flo - a * iv.lo,
+        }
     }
 
     /// The tangent of a differentiable `f` at `x0` — an under-estimator of
     /// any convex `f` (over-estimator of any concave `f`).
     pub fn tangent(f: impl Fn(f64) -> f64, df: impl Fn(f64) -> f64, x0: f64) -> AffineEstimator {
         let a = df(x0);
-        AffineEstimator { a, b: f(x0) - a * x0 }
+        AffineEstimator {
+            a,
+            b: f(x0) - a * x0,
+        }
     }
 }
 
 /// Envelope pair for a univariate function over an interval: the convex
 /// under-estimator (here the function itself when convex, otherwise an
 /// affine minorant) and the concave over-estimator.
+///
+/// Envelopes are only defined *on* the interval, so evaluators clamp `x`
+/// into `[iv.lo, iv.hi]` first. Without the clamp the bracket property
+/// `under(x) ≤ f(x) ≤ over(x)` silently breaks outside the interval (the
+/// secant of a convex function drops below it past the endpoints) — the
+/// exact failure the committed proptest regression at `x = 1.6514…`
+/// outside `[0, 1]` caught.
 #[derive(Debug, Clone)]
 pub struct EnvelopePair {
-    /// Evaluates the convex under-estimator.
+    /// Evaluates the convex under-estimator (clamping `x` into the
+    /// interval).
     pub under: fn(f64, Interval) -> f64,
-    /// Evaluates the concave over-estimator.
+    /// Evaluates the concave over-estimator (clamping `x` into the
+    /// interval).
     pub over: fn(f64, Interval) -> f64,
+}
+
+impl Interval {
+    /// Clamps `x` to the nearest point of the interval.
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
 }
 
 /// Envelopes of `x²` over `iv`: the convex envelope is `x²` itself; the
 /// concave envelope is the secant.
 pub fn square_envelopes() -> EnvelopePair {
     EnvelopePair {
-        under: |x, _| x * x,
-        over: |x, iv| AffineEstimator::secant(|t| t * t, iv).eval(x),
+        under: |x, iv| {
+            let x = iv.clamp(x);
+            x * x
+        },
+        over: |x, iv| AffineEstimator::secant(|t| t * t, iv).eval(iv.clamp(x)),
     }
 }
 
 /// Envelopes of `eˣ` over `iv` (convex function: itself / secant).
 pub fn exp_envelopes() -> EnvelopePair {
     EnvelopePair {
-        under: |x, _| x.exp(),
-        over: |x, iv| AffineEstimator::secant(f64::exp, iv).eval(x),
+        under: |x, iv| iv.clamp(x).exp(),
+        over: |x, iv| AffineEstimator::secant(f64::exp, iv).eval(iv.clamp(x)),
     }
 }
 
@@ -149,8 +193,8 @@ pub fn exp_envelopes() -> EnvelopePair {
 /// secant / itself).
 pub fn log_envelopes() -> EnvelopePair {
     EnvelopePair {
-        under: |x, iv| AffineEstimator::secant(f64::ln, iv).eval(x),
-        over: |x, _| x.ln(),
+        under: |x, iv| AffineEstimator::secant(f64::ln, iv).eval(iv.clamp(x)),
+        over: |x, iv| iv.clamp(x).ln(),
     }
 }
 
@@ -169,7 +213,10 @@ pub fn mccormick(x: f64, y: f64, xi: Interval, yi: Interval) -> Interval {
     let under2 = xi.hi * y + x * yi.hi - xi.hi * yi.hi;
     let over1 = xi.hi * y + x * yi.lo - xi.hi * yi.lo;
     let over2 = xi.lo * y + x * yi.hi - xi.lo * yi.hi;
-    Interval { lo: under1.max(under2), hi: over1.min(over2) }
+    Interval {
+        lo: under1.max(under2),
+        hi: over1.min(over2),
+    }
 }
 
 /// Two-sided gap of the McCormick relaxation at the box midpoint — the

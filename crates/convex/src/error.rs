@@ -34,8 +34,14 @@ impl fmt::Display for ConvexError {
             ConvexError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
             ConvexError::NotConvex(msg) => write!(f, "problem is not convex: {msg}"),
             ConvexError::Infeasible => write!(f, "no strictly feasible point found"),
-            ConvexError::NonConvergence { iterations, residual } => {
-                write!(f, "no convergence after {iterations} iterations (residual {residual:.3e})")
+            ConvexError::NonConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:.3e})"
+                )
             }
             ConvexError::NotFinite => write!(f, "problem data contains NaN or infinite entries"),
             ConvexError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),

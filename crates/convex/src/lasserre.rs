@@ -154,7 +154,10 @@ mod tests {
     use super::*;
 
     fn settings() -> SdpSettings {
-        SdpSettings { tol: 1e-8, ..Default::default() }
+        SdpSettings {
+            tol: 1e-8,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -198,7 +201,11 @@ mod tests {
                 best_x = x;
             }
         }
-        assert!((sol.minimum - best).abs() < 1e-3, "sdp {} vs grid {best}", sol.minimum);
+        assert!(
+            (sol.minimum - best).abs() < 1e-3,
+            "sdp {} vs grid {best}",
+            sol.minimum
+        );
         assert!((sol.minimizer_estimate - best_x).abs() < 1e-2);
     }
 
@@ -216,7 +223,11 @@ mod tests {
             let x = -3.0 + 6.0 * i as f64 / 6000.0;
             best = best.min(eval_poly(&coeffs, x));
         }
-        assert!((sol.minimum - best).abs() < 1e-2, "sdp {} vs grid {best}", sol.minimum);
+        assert!(
+            (sol.minimum - best).abs() < 1e-2,
+            "sdp {} vs grid {best}",
+            sol.minimum
+        );
     }
 
     #[test]

@@ -41,8 +41,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod error;
 pub mod envelope;
+mod error;
 pub mod lasserre;
 pub mod qcqp;
 pub mod qp;

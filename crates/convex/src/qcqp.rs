@@ -57,7 +57,11 @@ impl QuadraticForm {
     /// A purely linear form `qᵀx + r`.
     pub fn linear(q: Vec<f64>, r: f64) -> Self {
         let n = q.len();
-        QuadraticForm { p: Matrix::zeros(n, n), q, r }
+        QuadraticForm {
+            p: Matrix::zeros(n, n),
+            q,
+            r,
+        }
     }
 
     /// Number of variables.
@@ -103,7 +107,13 @@ pub struct QcqpSettings {
 
 impl Default for QcqpSettings {
     fn default() -> Self {
-        QcqpSettings { t0: 1.0, mu: 20.0, tol: 1e-8, max_newton: 80, max_outer: 60 }
+        QcqpSettings {
+            t0: 1.0,
+            mu: 20.0,
+            tol: 1e-8,
+            max_newton: 80,
+            max_outer: 60,
+        }
     }
 }
 
@@ -156,7 +166,9 @@ impl QcqpProblem {
                 )));
             }
             if !c.is_convex(PSD_TOL * c.p.max_abs().max(1.0)) {
-                return Err(ConvexError::NotConvex(format!("constraint {i} P is indefinite")));
+                return Err(ConvexError::NotConvex(format!(
+                    "constraint {i} P is indefinite"
+                )));
             }
         }
         if let Some((a, b)) = &equality {
@@ -171,7 +183,11 @@ impl QcqpProblem {
                 return Err(ConvexError::NotFinite);
             }
         }
-        Ok(QcqpProblem { objective, constraints, equality })
+        Ok(QcqpProblem {
+            objective,
+            constraints,
+            equality,
+        })
     }
 
     /// Number of variables.
@@ -301,7 +317,11 @@ impl QcqpProblem {
     }
 
     /// The barrier outer loop; `x` must be strictly feasible.
-    fn barrier(&self, mut x: Vec<f64>, settings: &QcqpSettings) -> Result<QcqpSolution, ConvexError> {
+    fn barrier(
+        &self,
+        mut x: Vec<f64>,
+        settings: &QcqpSettings,
+    ) -> Result<QcqpSolution, ConvexError> {
         let m = self.constraints.len().max(1) as f64;
         let mut t = settings.t0;
         let mut total_newton = 0usize;
@@ -318,11 +338,19 @@ impl QcqpProblem {
             }
             t *= settings.mu;
         }
-        Err(ConvexError::NonConvergence { iterations: total_newton, residual: m / t })
+        Err(ConvexError::NonConvergence {
+            iterations: total_newton,
+            residual: m / t,
+        })
     }
 
     /// Newton centering for fixed `t`; returns iterations used.
-    fn center(&self, x: &mut Vec<f64>, t: f64, settings: &QcqpSettings) -> Result<usize, ConvexError> {
+    fn center(
+        &self,
+        x: &mut Vec<f64>,
+        t: f64,
+        settings: &QcqpSettings,
+    ) -> Result<usize, ConvexError> {
         let n = self.num_vars();
         let p_eq = self.equality.as_ref().map(|(a, _)| a.rows()).unwrap_or(0);
         // Work with the 1/t-scaled objective f₀ + φ/t so the KKT system
@@ -380,8 +408,7 @@ impl QcqpProblem {
             let mut step = 1.0;
             let mut accepted = false;
             for _ in 0..60 {
-                let cand: Vec<f64> =
-                    x.iter().zip(&dx).map(|(xi, di)| xi + step * di).collect();
+                let cand: Vec<f64> = x.iter().zip(&dx).map(|(xi, di)| xi + step * di).collect();
                 if self.constraints.iter().all(|c| c.eval(&cand) < 0.0) {
                     let fc = self.objective.eval(&cand) + inv_t * self.barrier_phi(&cand);
                     if fc <= f0 - 0.25 * step * lambda2 {
@@ -414,7 +441,11 @@ mod tests {
         let n = center.len();
         let q: Vec<f64> = center.iter().map(|v| -v).collect();
         let r = 0.5 * vector::dot(center, center) - 0.5 * radius * radius;
-        QuadraticForm { p: Matrix::identity(n), q, r }
+        QuadraticForm {
+            p: Matrix::identity(n),
+            q,
+            r,
+        }
     }
 
     #[test]
@@ -480,7 +511,10 @@ mod tests {
         let obj = QuadraticForm::new(Matrix::identity(2), vec![0.0, -5.0], 0.0).unwrap();
         let prob = QcqpProblem::new(
             obj,
-            vec![ball_constraint(&[1.0, 0.0], 1.5), ball_constraint(&[-1.0, 0.0], 1.5)],
+            vec![
+                ball_constraint(&[1.0, 0.0], 1.5),
+                ball_constraint(&[-1.0, 0.0], 1.5),
+            ],
             None,
         )
         .unwrap();
@@ -497,11 +531,17 @@ mod tests {
         let obj = QuadraticForm::new(Matrix::identity(2), vec![0.0, 0.0], 0.0).unwrap();
         let prob = QcqpProblem::new(
             obj,
-            vec![ball_constraint(&[2.0, 0.0], 0.5), ball_constraint(&[-2.0, 0.0], 0.5)],
+            vec![
+                ball_constraint(&[2.0, 0.0], 0.5),
+                ball_constraint(&[-2.0, 0.0], 0.5),
+            ],
             None,
         )
         .unwrap();
-        assert!(matches!(prob.solve(&QcqpSettings::default()), Err(ConvexError::Infeasible)));
+        assert!(matches!(
+            prob.solve(&QcqpSettings::default()),
+            Err(ConvexError::Infeasible)
+        ));
     }
 
     #[test]
@@ -514,7 +554,9 @@ mod tests {
             Err(ConvexError::Infeasible)
         ));
         // Strictly inside: fine.
-        assert!(prob.solve_with_start(&[0.1, 0.1], &QcqpSettings::default()).is_ok());
+        assert!(prob
+            .solve_with_start(&[0.1, 0.1], &QcqpSettings::default())
+            .is_ok());
     }
 
     #[test]

@@ -153,7 +153,8 @@ impl QpProblem {
         let rho = settings.rho;
         let sigma = settings.sigma;
         let alpha = settings.alpha;
-        if !(rho > 0.0) || !(sigma >= 0.0) || !(alpha > 0.0 && alpha < 2.0) {
+        // Negated so NaN parameters fail validation too.
+        if !(rho > 0.0 && sigma >= 0.0 && alpha > 0.0 && alpha < 2.0) {
             return Err(ConvexError::InvalidParameter(
                 "need rho > 0, sigma >= 0, 0 < alpha < 2".into(),
             ));
@@ -165,9 +166,8 @@ impl QpProblem {
         for i in 0..n {
             kkt[(i, i)] += sigma;
         }
-        let chol = Cholesky::new(&kkt).map_err(|_| {
-            ConvexError::NotConvex("P + σI + ρAᵀA is not positive definite".into())
-        })?;
+        let chol = Cholesky::new(&kkt)
+            .map_err(|_| ConvexError::NotConvex("P + σI + ρAᵀA is not positive definite".into()))?;
 
         let mut x = vec![0.0; n];
         let mut z = vec![0.0; m];
@@ -332,8 +332,14 @@ mod tests {
     fn psd_but_singular_p_is_accepted() {
         // P = [[1,0],[0,0]] is PSD (not PD); σ regularization handles it.
         let p = Matrix::from_diag(&[1.0, 0.0]);
-        let sol = solve_box_qp(p, vec![0.0, 1.0], vec![-1.0, -1.0], vec![1.0, 1.0], &settings())
-            .unwrap();
+        let sol = solve_box_qp(
+            p,
+            vec![0.0, 1.0],
+            vec![-1.0, -1.0],
+            vec![1.0, 1.0],
+            &settings(),
+        )
+        .unwrap();
         // x₂ has linear objective coefficient 1 → slides to its lower bound.
         assert!((sol.x[1] + 1.0).abs() < 1e-4);
     }
@@ -361,8 +367,14 @@ mod tests {
         )
         .is_err());
         // NaN
-        assert!(QpProblem::new(p.clone(), vec![f64::NAN, 0.0], a.clone(), vec![0.0; 2], vec![1.0; 2])
-            .is_err());
+        assert!(QpProblem::new(
+            p.clone(),
+            vec![f64::NAN, 0.0],
+            a.clone(),
+            vec![0.0; 2],
+            vec![1.0; 2]
+        )
+        .is_err());
         // asymmetric P
         let bad = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
         assert!(QpProblem::new(bad, vec![0.0; 2], a, vec![0.0; 2], vec![1.0; 2]).is_err());
@@ -380,7 +392,10 @@ mod tests {
         )
         .unwrap();
         // -5 on the diagonal defeats ρAᵀA + σ for default settings.
-        assert!(matches!(prob.solve(&settings()), Err(ConvexError::NotConvex(_))));
+        assert!(matches!(
+            prob.solve(&settings()),
+            Err(ConvexError::NotConvex(_))
+        ));
     }
 
     #[test]
@@ -404,8 +419,14 @@ mod tests {
         let n = 8;
         let c: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 1.5).collect();
         let q: Vec<f64> = c.iter().map(|v| -v).collect();
-        let sol =
-            solve_box_qp(Matrix::identity(n), q, vec![0.0; n], vec![1.0; n], &settings()).unwrap();
+        let sol = solve_box_qp(
+            Matrix::identity(n),
+            q,
+            vec![0.0; n],
+            vec![1.0; n],
+            &settings(),
+        )
+        .unwrap();
         for (xi, ci) in sol.x.iter().zip(&c) {
             assert!((xi - ci.clamp(0.0, 1.0)).abs() < 1e-5);
         }

@@ -131,7 +131,13 @@ pub fn bfgs(
     for iter in 0..settings.max_iter {
         let gn = vector::norm_inf(&g);
         if gn <= settings.grad_tol {
-            return Ok(QuasiNewtonResult { x, value: fx, grad_norm: gn, iterations: iter, converged: true });
+            return Ok(QuasiNewtonResult {
+                x,
+                value: fx,
+                grad_norm: gn,
+                iterations: iter,
+                converged: true,
+            });
         }
         let dir = vector::scale(-1.0, &h.matvec(&g)?);
         let Some((x_new, f_new, _)) = line_search(f, &x, fx, &g, &dir, settings) else {
@@ -170,8 +176,8 @@ pub fn bfgs(
             let yhy = vector::dot(&y, &hy);
             for r in 0..n {
                 for c in 0..n {
-                    h[(r, c)] += rho * rho * (sy + yhy) * s[r] * s[c]
-                        - rho * (hy[r] * s[c] + s[r] * hy[c]);
+                    h[(r, c)] +=
+                        rho * rho * (sy + yhy) * s[r] * s[c] - rho * (hy[r] * s[c] + s[r] * hy[c]);
                 }
             }
         }
@@ -216,7 +222,13 @@ pub fn lbfgs(
     for iter in 0..settings.max_iter {
         let gn = vector::norm_inf(&g);
         if gn <= settings.grad_tol {
-            return Ok(QuasiNewtonResult { x, value: fx, grad_norm: gn, iterations: iter, converged: true });
+            return Ok(QuasiNewtonResult {
+                x,
+                value: fx,
+                grad_norm: gn,
+                iterations: iter,
+                converged: true,
+            });
         }
         // Two-loop recursion.
         let mut q = g.clone();
@@ -326,7 +338,10 @@ mod tests {
 
     #[test]
     fn bfgs_solves_rosenbrock() {
-        let s = QuasiNewtonSettings { max_iter: 2000, ..Default::default() };
+        let s = QuasiNewtonSettings {
+            max_iter: 2000,
+            ..Default::default()
+        };
         let r = bfgs(&rosenbrock(), &[-1.2, 1.0], &s).unwrap();
         assert!(r.converged, "grad norm {}", r.grad_norm);
         assert!((r.x[0] - 1.0).abs() < 1e-5);
@@ -335,7 +350,10 @@ mod tests {
 
     #[test]
     fn lbfgs_solves_rosenbrock() {
-        let s = QuasiNewtonSettings { max_iter: 2000, ..Default::default() };
+        let s = QuasiNewtonSettings {
+            max_iter: 2000,
+            ..Default::default()
+        };
         let r = lbfgs(&rosenbrock(), &[-1.2, 1.0], &s).unwrap();
         assert!(r.converged, "grad norm {}", r.grad_norm);
         assert!((r.x[0] - 1.0).abs() < 1e-5);
@@ -347,10 +365,17 @@ mod tests {
         let n = 50usize;
         let f = (
             move |x: &[f64]| {
-                0.5 * x.iter().enumerate().map(|(i, v)| (i + 1) as f64 * v * v).sum::<f64>()
+                0.5 * x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (i + 1) as f64 * v * v)
+                    .sum::<f64>()
             },
             move |x: &[f64]| {
-                x.iter().enumerate().map(|(i, v)| (i + 1) as f64 * v).collect::<Vec<_>>()
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| (i + 1) as f64 * v)
+                    .collect::<Vec<_>>()
             },
         );
         let x0 = vec![1.0; n];
@@ -369,13 +394,21 @@ mod tests {
     #[test]
     fn validates_input() {
         assert!(bfgs(&quadratic(), &[], &QuasiNewtonSettings::default()).is_err());
-        assert!(bfgs(&quadratic(), &[f64::NAN, 0.0], &QuasiNewtonSettings::default()).is_err());
+        assert!(bfgs(
+            &quadratic(),
+            &[f64::NAN, 0.0],
+            &QuasiNewtonSettings::default()
+        )
+        .is_err());
         assert!(lbfgs(&quadratic(), &[], &QuasiNewtonSettings::default()).is_err());
     }
 
     #[test]
     fn budget_exhaustion_reports_not_converged() {
-        let s = QuasiNewtonSettings { max_iter: 2, ..Default::default() };
+        let s = QuasiNewtonSettings {
+            max_iter: 2,
+            ..Default::default()
+        };
         let r = bfgs(&rosenbrock(), &[-1.2, 1.0], &s).unwrap();
         assert!(!r.converged);
         assert_eq!(r.iterations, 2);

@@ -55,7 +55,10 @@ pub fn trace_min_decompose(
     settings: &SdpSettings,
 ) -> Result<RankMinResult, ConvexError> {
     if !r_s.is_square() {
-        return Err(ConvexError::DimensionMismatch(format!("R_s is {:?}", r_s.shape())));
+        return Err(ConvexError::DimensionMismatch(format!(
+            "R_s is {:?}",
+            r_s.shape()
+        )));
     }
     if !r_s.is_finite() {
         return Err(ConvexError::NotFinite);
@@ -82,7 +85,14 @@ pub fn trace_min_decompose(
     let trace = r_c.trace();
     let rank_tol = 1e-4 * r_c.max_abs().max(1.0);
     let rank = r_c.symmetric_eigen()?.rank(rank_tol);
-    Ok(RankMinResult { r_c, r_n, trace, rank, rank_tol, sdp_iterations: iterations })
+    Ok(RankMinResult {
+        r_c,
+        r_n,
+        trace,
+        rank,
+        rank_tol,
+        sdp_iterations: iterations,
+    })
 }
 
 /// Generates a synthetic `R_s = V Vᵀ + diag(d)` with known rank, for
@@ -107,7 +117,10 @@ mod tests {
     use super::*;
 
     fn settings() -> SdpSettings {
-        SdpSettings { tol: 1e-8, ..Default::default() }
+        SdpSettings {
+            tol: 1e-8,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -128,7 +141,11 @@ mod tests {
         }
         // Recovered diagonal noise close to the truth.
         for (i, &di) in d.iter().enumerate() {
-            assert!((res.r_n[(i, i)] - di).abs() < 1e-3, "d[{i}]: {} vs {di}", res.r_n[(i, i)]);
+            assert!(
+                (res.r_n[(i, i)] - di).abs() < 1e-3,
+                "d[{i}]: {} vs {di}",
+                res.r_n[(i, i)]
+            );
         }
     }
 

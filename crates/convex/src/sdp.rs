@@ -35,7 +35,11 @@ pub struct SdpSettings {
 
 impl Default for SdpSettings {
     fn default() -> Self {
-        SdpSettings { rho: 1.0, max_iter: 20_000, tol: 1e-7 }
+        SdpSettings {
+            rho: 1.0,
+            max_iter: 20_000,
+            tol: 1e-7,
+        }
     }
 }
 
@@ -70,7 +74,10 @@ impl SdpProblem {
     pub fn new(c: Matrix, constraints: Vec<(Matrix, f64)>) -> Result<Self, ConvexError> {
         let n = c.rows();
         if !c.is_square() {
-            return Err(ConvexError::DimensionMismatch(format!("C is {:?}", c.shape())));
+            return Err(ConvexError::DimensionMismatch(format!(
+                "C is {:?}",
+                c.shape()
+            )));
         }
         if !c.is_finite() {
             return Err(ConvexError::NotFinite);
@@ -124,7 +131,10 @@ impl SdpProblem {
 
         // Gram matrix G_ij = ⟨A_i, A_j⟩ for the affine projection.
         let gram = Matrix::from_fn(m, m, |i, j| {
-            self.constraints[i].0.inner(&self.constraints[j].0).unwrap_or(f64::NAN)
+            self.constraints[i]
+                .0
+                .inner(&self.constraints[j].0)
+                .unwrap_or(f64::NAN)
         });
         let chol = if m > 0 {
             Some(Cholesky::new(&gram).map_err(|_| ConvexError::Infeasible)?)
@@ -133,7 +143,9 @@ impl SdpProblem {
         };
 
         let proj_affine = |mat: &Matrix| -> Result<Matrix, ConvexError> {
-            let Some(chol) = &chol else { return Ok(mat.clone()) };
+            let Some(chol) = &chol else {
+                return Ok(mat.clone());
+            };
             // X = M − Σ w_i A_i with G w = A(M) − b.
             let resid: Vec<f64> = self
                 .constraints
@@ -171,7 +183,10 @@ impl SdpProblem {
                 });
             }
         }
-        Err(ConvexError::NonConvergence { iterations: settings.max_iter, residual })
+        Err(ConvexError::NonConvergence {
+            iterations: settings.max_iter,
+            residual,
+        })
     }
 }
 
@@ -208,7 +223,11 @@ mod tests {
         let c = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap(); // eigs 1, 3
         let prob = SdpProblem::new(c, vec![(Matrix::identity(2), 1.0)]).unwrap();
         let sol = prob.solve(&SdpSettings::default()).unwrap();
-        assert!((sol.objective - 1.0).abs() < 1e-4, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 1.0).abs() < 1e-4,
+            "objective {}",
+            sol.objective
+        );
         // X should be rank-1 on the eigenvector (1,-1)/√2.
         assert!((sol.x[(0, 1)] + 0.5).abs() < 1e-3, "{}", sol.x);
     }
@@ -216,11 +235,7 @@ mod tests {
     #[test]
     fn solution_is_psd_and_feasible() {
         let c = Matrix::from_diag(&[1.0, 1.0, 1.0]);
-        let prob = SdpProblem::new(
-            c,
-            vec![(e_ii(3, 0), 0.5), (e_ii(3, 1), 0.25)],
-        )
-        .unwrap();
+        let prob = SdpProblem::new(c, vec![(e_ii(3, 0), 0.5), (e_ii(3, 1), 0.25)]).unwrap();
         let sol = prob.solve(&SdpSettings::default()).unwrap();
         assert!(sol.x.min_eigenvalue().unwrap() > -1e-6);
         assert!(prob.constraint_residual(&sol.x) < 1e-6);
@@ -242,11 +257,7 @@ mod tests {
         // Same A with two different right-hand sides. The Gram matrix is
         // singular, so Cholesky fails → Infeasible.
         let a = e_ii(2, 0);
-        let prob = SdpProblem::new(
-            Matrix::identity(2),
-            vec![(a.clone(), 1.0), (a, 2.0)],
-        )
-        .unwrap();
+        let prob = SdpProblem::new(Matrix::identity(2), vec![(a.clone(), 1.0), (a, 2.0)]).unwrap();
         assert!(matches!(
             prob.solve(&SdpSettings::default()),
             Err(ConvexError::Infeasible) | Err(ConvexError::NonConvergence { .. })
@@ -256,11 +267,7 @@ mod tests {
     #[test]
     fn validation() {
         assert!(SdpProblem::new(Matrix::zeros(2, 3), vec![]).is_err());
-        assert!(SdpProblem::new(
-            Matrix::identity(2),
-            vec![(Matrix::identity(3), 1.0)]
-        )
-        .is_err());
+        assert!(SdpProblem::new(Matrix::identity(2), vec![(Matrix::identity(3), 1.0)]).is_err());
         let mut c = Matrix::identity(2);
         c[(0, 0)] = f64::NAN;
         assert!(SdpProblem::new(c, vec![]).is_err());
@@ -269,7 +276,10 @@ mod tests {
     #[test]
     fn negative_rho_rejected() {
         let prob = SdpProblem::new(Matrix::identity(2), vec![]).unwrap();
-        let s = SdpSettings { rho: -1.0, ..Default::default() };
+        let s = SdpSettings {
+            rho: -1.0,
+            ..Default::default()
+        };
         assert!(prob.solve(&s).is_err());
     }
 }

@@ -65,9 +65,8 @@ pub fn solve_trust_region(
     let gt = v.matvec_t(g)?;
     let lam_min = lam[0];
 
-    let model = |x: &[f64]| -> f64 {
-        0.5 * sym.quadratic_form(x).unwrap_or(f64::NAN) + vector::dot(g, x)
-    };
+    let model =
+        |x: &[f64]| -> f64 { 0.5 * sym.quadratic_form(x).unwrap_or(f64::NAN) + vector::dot(g, x) };
 
     // Candidate 1: interior solution B x = -g (requires B ≻ 0).
     if lam_min > 1e-12 {
@@ -167,13 +166,15 @@ pub fn solve_trust_region(
         }
     }
     let l = 0.5 * (lo + hi);
-    let y: Vec<f64> = gt
-        .iter()
-        .zip(&lam)
-        .map(|(gi, li)| -gi / (li + l))
-        .collect();
+    let y: Vec<f64> = gt.iter().zip(&lam).map(|(gi, li)| -gi / (li + l)).collect();
     let x = v.matvec(&y)?;
-    Ok(TrustRegionSolution { value: model(&x), x, lambda: l, on_boundary: true, hard_case: false })
+    Ok(TrustRegionSolution {
+        value: model(&x),
+        x,
+        lambda: l,
+        on_boundary: true,
+        hard_case: false,
+    })
 }
 
 #[cfg(test)]
@@ -236,16 +237,17 @@ mod tests {
 
     #[test]
     fn beats_random_feasible_points() {
-        let b = Matrix::from_rows(&[&[2.0, 0.5, 0.0], &[0.5, -1.0, 0.3], &[0.0, 0.3, 0.5]])
-            .unwrap();
+        let b =
+            Matrix::from_rows(&[&[2.0, 0.5, 0.0], &[0.5, -1.0, 0.3], &[0.0, 0.3, 0.5]]).unwrap();
         let g = [0.2, -0.4, 0.7];
         let delta = 1.3;
         let sol = solve_trust_region(&b, &g, delta).unwrap();
         let model = |x: &[f64]| 0.5 * b.quadratic_form(x).unwrap() + vector::dot(&g, x);
         // Deterministic probe points on and inside the ball.
         for seed in 0..50 {
-            let raw: Vec<f64> =
-                (0..3).map(|i| ((seed * 37 + i * 17) % 21) as f64 / 10.0 - 1.0).collect();
+            let raw: Vec<f64> = (0..3)
+                .map(|i| ((seed * 37 + i * 17) % 21) as f64 / 10.0 - 1.0)
+                .collect();
             let nrm = vector::norm2(&raw).max(1e-9);
             let scale = delta * ((seed % 10) as f64 / 10.0) / nrm;
             let x: Vec<f64> = raw.iter().map(|v| v * scale).collect();

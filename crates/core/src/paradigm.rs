@@ -38,7 +38,11 @@ pub enum Paradigm {
 impl Paradigm {
     /// All paradigms in Fig. 2 order.
     pub fn all() -> &'static [Paradigm] {
-        &[Paradigm::StabilityFirst, Paradigm::AccuracyFirst, Paradigm::AccuracyFirstStabilized]
+        &[
+            Paradigm::StabilityFirst,
+            Paradigm::AccuracyFirst,
+            Paradigm::AccuracyFirstStabilized,
+        ]
     }
 
     /// Display name.
@@ -104,7 +108,11 @@ pub struct ParadigmReport {
 ///
 /// # Errors
 /// Propagates GAN and signal errors.
-pub fn run_paradigm(paradigm: Paradigm, steps: usize, seed: u64) -> Result<ParadigmReport, CoreError> {
+pub fn run_paradigm(
+    paradigm: Paradigm,
+    steps: usize,
+    seed: u64,
+) -> Result<ParadigmReport, CoreError> {
     let target = RingMixture::new(8, 2.0, 0.15)?;
     let mut trainer = GanTrainer::new(paradigm.gan_config(steps, seed))?;
     let gan = trainer.train(&target)?;
@@ -138,8 +146,14 @@ mod tests {
 
     #[test]
     fn stability_paradigm_has_clean_kernels() {
-        assert_eq!(Paradigm::StabilityFirst.library_profile(), LibraryProfile::Reference);
-        assert_eq!(Paradigm::AccuracyFirst.library_profile(), LibraryProfile::PhaseSkew);
+        assert_eq!(
+            Paradigm::StabilityFirst.library_profile(),
+            LibraryProfile::Reference
+        );
+        assert_eq!(
+            Paradigm::AccuracyFirst.library_profile(),
+            LibraryProfile::PhaseSkew
+        );
     }
 
     #[test]
@@ -149,7 +163,10 @@ mod tests {
         assert!(r.modes_covered <= 8);
         assert_eq!(r.kernel_failures, 0);
         let r2 = run_paradigm(Paradigm::AccuracyFirst, 60, 1).unwrap();
-        assert!(r2.kernel_failures > 0, "phase-skew kernels should fail conformance");
+        assert!(
+            r2.kernel_failures > 0,
+            "phase-skew kernels should fail conformance"
+        );
     }
 
     #[test]

@@ -114,7 +114,10 @@ pub fn compare_solvers(
             seconds: t0.elapsed().as_secs_f64(),
         });
     }
-    Ok(QosComparison { relaxation_bound_bps: bound, outcomes })
+    Ok(QosComparison {
+        relaxation_bound_bps: bound,
+        outcomes,
+    })
 }
 
 #[cfg(test)]
@@ -125,11 +128,20 @@ mod tests {
     #[test]
     fn comparison_runs_and_orders_sensibly() {
         let scenario = Scenario::generate(
-            &ScenarioConfig { users: 3, resource_blocks: 5, ..Default::default() },
+            &ScenarioConfig {
+                users: 3,
+                resource_blocks: 5,
+                ..Default::default()
+            },
             21,
         )
         .unwrap();
-        let pso = PsoSettings { swarm_size: 10, max_iter: 30, seed: 2, ..Default::default() };
+        let pso = PsoSettings {
+            swarm_size: 10,
+            max_iter: 30,
+            seed: 2,
+            ..Default::default()
+        };
         let cmp = compare_solvers(&scenario, &BnbSettings::default(), &pso).unwrap();
         let exact = cmp.outcomes[0].solution.as_ref().expect("exact solves");
         assert!(exact.total_rate_bps <= cmp.relaxation_bound_bps + 1e-6);
@@ -137,7 +149,11 @@ mod tests {
         for o in &cmp.outcomes[1..] {
             if let Some(s) = &o.solution {
                 if s.qos_satisfied {
-                    assert!(s.total_rate_bps <= exact.total_rate_bps + 1e-6, "{:?}", o.solver);
+                    assert!(
+                        s.total_rate_bps <= exact.total_rate_bps + 1e-6,
+                        "{:?}",
+                        o.solver
+                    );
                 }
             }
         }

@@ -17,14 +17,14 @@
 //! the data of experiment E10.
 
 use crate::CoreError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rcr_nn::layers::{Activation, ActivationLayer, Layer, Linear};
 use rcr_nn::tensor::Tensor;
 use rcr_verify::bounds::interval_bounds;
 use rcr_verify::crown::crown_lower;
 use rcr_verify::exact::{verify_complete, BnbSettings, Verdict};
 use rcr_verify::net::{AffineReluNet, Specification};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Training mode for the classifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,7 +151,9 @@ impl RobustClassifier {
     /// # Errors
     /// Propagates extraction errors.
     pub fn to_affine_relu(&self) -> Result<AffineReluNet, CoreError> {
-        Ok(AffineReluNet::from_linear_layers(&[&self.l1, &self.l2, &self.l3])?)
+        Ok(AffineReluNet::from_linear_layers(&[
+            &self.l1, &self.l2, &self.l3,
+        ])?)
     }
 
     /// Predicts the class of a point.
@@ -192,7 +194,9 @@ pub fn train_classifier(
     config: &RobustTrainConfig,
 ) -> Result<RobustClassifier, CoreError> {
     if config.epochs == 0 || !(config.epsilon >= 0.0) {
-        return Err(CoreError::InvalidConfig("epochs >= 1 and epsilon >= 0 required".into()));
+        return Err(CoreError::InvalidConfig(
+            "epochs >= 1 and epsilon >= 0 required".into(),
+        ));
     }
     let mut model = RobustClassifier::new(config.hidden, config.seed)?;
     let n = data.x.len();
@@ -209,8 +213,10 @@ pub fn train_classifier(
                 let net = model.to_affine_relu()?;
                 for (p, &label) in data.x.iter().zip(&data.y) {
                     let spec = Specification::margin(2, label, 1 - label)?;
-                    let bx =
-                        [(p[0] - config.epsilon, p[0] + config.epsilon), (p[1] - config.epsilon, p[1] + config.epsilon)];
+                    let bx = [
+                        (p[0] - config.epsilon, p[0] + config.epsilon),
+                        (p[1] - config.epsilon, p[1] + config.epsilon),
+                    ];
                     let cb = crown_lower(&net, &bx, &spec)?;
                     // Minimizing corner of the affine minorant.
                     for (d, coeff) in cb.input_coeffs.iter().enumerate() {
@@ -276,7 +282,10 @@ pub fn certify(
         }
         correct += 1;
         let spec = Specification::margin(2, label, 1 - label)?;
-        let bx = [(p[0] - epsilon, p[0] + epsilon), (p[1] - epsilon, p[1] + epsilon)];
+        let bx = [
+            (p[0] - epsilon, p[0] + epsilon),
+            (p[1] - epsilon, p[1] + epsilon),
+        ];
 
         // IBP bound of the margin.
         let ib = interval_bounds(&net, &bx)?;
@@ -332,9 +341,19 @@ mod tests {
         assert_eq!(d.y.iter().filter(|&&y| y == 0).count(), 25);
         // Classes are separated in the first coordinate on average.
         let mean0: f64 =
-            d.x.iter().zip(&d.y).filter(|(_, &y)| y == 0).map(|(p, _)| p[0]).sum::<f64>() / 25.0;
+            d.x.iter()
+                .zip(&d.y)
+                .filter(|(_, &y)| y == 0)
+                .map(|(p, _)| p[0])
+                .sum::<f64>()
+                / 25.0;
         let mean1: f64 =
-            d.x.iter().zip(&d.y).filter(|(_, &y)| y == 1).map(|(p, _)| p[0]).sum::<f64>() / 25.0;
+            d.x.iter()
+                .zip(&d.y)
+                .filter(|(_, &y)| y == 1)
+                .map(|(p, _)| p[0])
+                .sum::<f64>()
+                / 25.0;
         assert!(mean0 < -0.7 && mean1 > 0.7);
     }
 
@@ -383,7 +402,10 @@ mod tests {
     #[test]
     fn config_validation() {
         let data = BlobData::generate(5, 0);
-        let bad = RobustTrainConfig { epochs: 0, ..Default::default() };
+        let bad = RobustTrainConfig {
+            epochs: 0,
+            ..Default::default()
+        };
         assert!(train_classifier(&data, &bad).is_err());
     }
 

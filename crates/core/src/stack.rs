@@ -8,7 +8,9 @@
 //! detection task, and the relaxation-trained robustness head is
 //! certified with the hybrid exact/relaxed verifier pair.
 
-use crate::robust::{certify, train_classifier, BlobData, CertReport, RobustTrainConfig, TrainMode};
+use crate::robust::{
+    certify, train_classifier, BlobData, CertReport, RobustTrainConfig, TrainMode,
+};
 use crate::CoreError;
 use rcr_nn::detect::{BurstConfig, BurstDataset};
 use rcr_nn::msy3i::{BackboneKind, Msy3iConfig, Msy3iModel};
@@ -122,7 +124,7 @@ impl RcrStack {
     /// [`CoreError::InvalidConfig`].
     pub fn run(&self) -> Result<StackReport, CoreError> {
         let cfg = &self.config;
-        if cfg.input % 4 != 0 || cfg.input < 8 {
+        if !cfg.input.is_multiple_of(4) || cfg.input < 8 {
             return Err(CoreError::InvalidConfig(format!(
                 "input {} must be >= 8 and divisible by 4",
                 cfg.input
@@ -146,16 +148,25 @@ impl RcrStack {
         };
         let tune_data = BurstDataset::generate(&burst_cfg, cfg.seed)?;
         let train_data = BurstDataset::generate(
-            &BurstConfig { count: cfg.train_images, ..burst_cfg.clone() },
+            &BurstConfig {
+                count: cfg.train_images,
+                ..burst_cfg.clone()
+            },
             cfg.seed + 1,
         )?;
         let eval_data = BurstDataset::generate(
-            &BurstConfig { count: cfg.eval_images, ..burst_cfg },
+            &BurstConfig {
+                count: cfg.eval_images,
+                ..burst_cfg
+            },
             cfg.seed + 2,
         )?;
 
         // ---- Phase 3: the adaptive inertial weighting kernel.
-        let inertia = InertiaSchedule::AdaptiveDiversity { min: imin, max: imax };
+        let inertia = InertiaSchedule::AdaptiveDiversity {
+            min: imin,
+            max: imax,
+        };
 
         // ---- Phase 2: PSO hyperparameter tuning of the MSY3I.
         let params = vec![
@@ -205,7 +216,12 @@ impl RcrStack {
             seed: cfg.seed,
             ..Default::default()
         };
-        let tuning = tune(&params, fitness, DiscreteStrategy::Distribution, &pso_settings)?;
+        let tuning = tune(
+            &params,
+            fitness,
+            DiscreteStrategy::Distribution,
+            &pso_settings,
+        )?;
 
         // ---- Phase 1: final training with the tuned hyperparameters.
         let best = &tuning.best;
@@ -224,18 +240,30 @@ impl RcrStack {
             seed: cfg.seed,
         };
         let mut model = Msy3iModel::build(&final_cfg)?;
-        let report =
-            model.train(&train_data, &eval_data, cfg.train_epochs, 8, best["learning_rate"])?;
+        let report = model.train(
+            &train_data,
+            &eval_data,
+            cfg.train_epochs,
+            8,
+            best["learning_rate"],
+        )?;
 
         // Phase 1's verification arm: relaxation-trained robustness head +
         // hybrid certification.
         let blob = BlobData::generate(self.config.robust.samples_per_class, cfg.seed + 9);
         let mut head = train_classifier(
             &blob,
-            &RobustTrainConfig { mode: TrainMode::RelaxationAdversarial, ..self.config.robust.clone() },
+            &RobustTrainConfig {
+                mode: TrainMode::RelaxationAdversarial,
+                ..self.config.robust.clone()
+            },
         )?;
-        let certification =
-            certify(&mut head, &blob, self.config.robust.epsilon, &BnbSettings::default())?;
+        let certification = certify(
+            &mut head,
+            &blob,
+            self.config.robust.epsilon,
+            &BnbSettings::default(),
+        )?;
 
         Ok(StackReport {
             tuned: tuning.best,

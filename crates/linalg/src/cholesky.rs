@@ -32,7 +32,10 @@ impl Cholesky {
     /// * [`LinalgError::NotPositiveDefinite`] when a pivot is non-positive.
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         if !a.is_finite() {
             return Err(LinalgError::NotFinite);
@@ -130,7 +133,10 @@ impl Ldlt {
     ///   algorithm cannot continue).
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         if !a.is_finite() {
             return Err(LinalgError::NotFinite);
@@ -184,7 +190,10 @@ impl Ldlt {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.l.rows();
         if b.len() != n {
-            return Err(LinalgError::DimensionMismatch { op: "ldlt solve", got: vec![n, b.len()] });
+            return Err(LinalgError::DimensionMismatch {
+                op: "ldlt solve",
+                got: vec![n, b.len()],
+            });
         }
         // L y = b (unit diagonal)
         let mut y = vec![0.0; n];
@@ -218,8 +227,12 @@ mod tests {
 
     #[test]
     fn cholesky_known_factor() {
-        let a = Matrix::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+        .unwrap();
         let ch = a.cholesky().unwrap();
         let l = ch.factor();
         assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
@@ -233,7 +246,10 @@ mod tests {
     #[test]
     fn cholesky_rejects_indefinite() {
         let a = Matrix::from_diag(&[1.0, -1.0]);
-        assert!(matches!(a.cholesky(), Err(LinalgError::NotPositiveDefinite)));
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl SymmetricEigen {
     ///   (practically unreachable for finite symmetric input).
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         if !a.is_finite() {
             return Err(LinalgError::NotFinite);
@@ -109,7 +112,9 @@ impl SymmetricEigen {
                 }
             }
         }
-        Err(LinalgError::NonConvergence { iterations: MAX_SWEEPS })
+        Err(LinalgError::NonConvergence {
+            iterations: MAX_SWEEPS,
+        })
     }
 
     fn sorted(m: Matrix, v: Matrix) -> Self {
@@ -119,7 +124,10 @@ impl SymmetricEigen {
         idx.sort_by(|&a, &b| diag[a].partial_cmp(&diag[b]).expect("finite eigenvalues"));
         let eigenvalues: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
         let eigenvectors = Matrix::from_fn(n, n, |r, c| v[(r, idx[c])]);
-        SymmetricEigen { eigenvalues, eigenvectors }
+        SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        }
     }
 
     /// Eigenvalues in ascending order.
@@ -153,7 +161,8 @@ impl SymmetricEigen {
 
     /// Rebuilds the original matrix `V * diag(λ) * V^T`.
     pub fn reconstruct(&self) -> Matrix {
-        self.reconstruct_with(&self.eigenvalues.clone()).expect("matching lengths")
+        self.reconstruct_with(&self.eigenvalues.clone())
+            .expect("matching lengths")
     }
 
     /// Numerical rank: eigenvalues with `|λ| > tol` count toward the rank.
@@ -164,7 +173,11 @@ impl SymmetricEigen {
     /// Symmetric positive semidefinite square root `A^{1/2}` (negative
     /// eigenvalues are clipped to zero first).
     pub fn sqrt_psd(&self) -> Matrix {
-        let vals: Vec<f64> = self.eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let vals: Vec<f64> = self
+            .eigenvalues
+            .iter()
+            .map(|&l| l.max(0.0).sqrt())
+            .collect();
         self.reconstruct_with(&vals).expect("matching lengths")
     }
 }
@@ -195,12 +208,8 @@ mod tests {
 
     #[test]
     fn reconstruction_roundtrip() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]).unwrap();
         let e = a.symmetric_eigen().unwrap();
         assert!((&e.reconstruct() - &a).max_abs() < 1e-10);
     }
@@ -209,7 +218,11 @@ mod tests {
     fn eigenvectors_orthonormal() {
         let a = Matrix::from_rows(&[&[5.0, 2.0], &[2.0, 1.0]]).unwrap();
         let e = a.symmetric_eigen().unwrap();
-        let vtv = e.eigenvectors().transpose().matmul(e.eigenvectors()).unwrap();
+        let vtv = e
+            .eigenvectors()
+            .transpose()
+            .matmul(e.eigenvectors())
+            .unwrap();
         assert!((&vtv - &Matrix::identity(2)).max_abs() < 1e-10);
     }
 
@@ -236,7 +249,8 @@ mod tests {
 
     #[test]
     fn trace_equals_eigenvalue_sum() {
-        let a = Matrix::from_rows(&[&[3.0, 1.0, 0.5], &[1.0, -2.0, 0.0], &[0.5, 0.0, 1.0]]).unwrap();
+        let a =
+            Matrix::from_rows(&[&[3.0, 1.0, 0.5], &[1.0, -2.0, 0.0], &[0.5, 0.0, 1.0]]).unwrap();
         let e = a.symmetric_eigen().unwrap();
         let sum: f64 = e.eigenvalues().iter().sum();
         assert!((sum - a.trace()).abs() < 1e-10);

@@ -47,7 +47,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not symmetric positive definite")
             }
             LinalgError::NonConvergence { iterations } => {
-                write!(f, "iteration failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "iteration failed to converge after {iterations} iterations"
+                )
             }
             LinalgError::NotFinite => write!(f, "input contains NaN or infinite entries"),
             LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),

@@ -37,7 +37,10 @@ impl LuDecomposition {
     /// * [`LinalgError::NotFinite`] if `a` contains NaN/inf.
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         if !a.is_finite() {
             return Err(LinalgError::NotFinite);
@@ -83,7 +86,12 @@ impl LuDecomposition {
                 }
             }
         }
-        Ok(LuDecomposition { lu, perm, sign, singular })
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            sign,
+            singular,
+        })
     }
 
     /// True when a pivot was smaller than the singularity tolerance.
@@ -112,7 +120,10 @@ impl LuDecomposition {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.lu.rows();
         if b.len() != n {
-            return Err(LinalgError::DimensionMismatch { op: "lu solve", got: vec![n, b.len()] });
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu solve",
+                got: vec![n, b.len()],
+            });
         }
         if self.singular {
             return Err(LinalgError::Singular);
@@ -223,7 +234,10 @@ mod tests {
 
     #[test]
     fn rejects_nonsquare_and_nonfinite() {
-        assert!(matches!(Matrix::zeros(2, 3).lu(), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            Matrix::zeros(2, 3).lu(),
+            Err(LinalgError::NotSquare { .. })
+        ));
         let mut a = Matrix::identity(2);
         a[(0, 0)] = f64::NAN;
         assert!(matches!(a.lu(), Err(LinalgError::NotFinite)));
@@ -232,7 +246,9 @@ mod tests {
     #[test]
     fn random_like_system_residual_small() {
         // Fixed pseudo-random 5x5 system (no RNG dependency in this crate).
-        let a = Matrix::from_fn(5, 5, |r, c| ((r * 7 + c * 3 + 1) % 11) as f64 + if r == c { 12.0 } else { 0.0 });
+        let a = Matrix::from_fn(5, 5, |r, c| {
+            ((r * 7 + c * 3 + 1) % 11) as f64 + if r == c { 12.0 } else { 0.0 }
+        });
         let xtrue: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
         let b = a.matvec(&xtrue).unwrap();
         let x = a.solve(&b).unwrap();

@@ -26,12 +26,20 @@ impl Matrix {
     /// assert_eq!(z.shape(), (2, 3));
     /// ```
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix with every entry set to `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -73,7 +81,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Creates a square diagonal matrix from `diag`.
@@ -146,7 +158,10 @@ impl Matrix {
     /// # Panics
     /// Panics if `r` or `c` is out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -165,7 +180,9 @@ impl Matrix {
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "column {c} out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Returns the main diagonal.
@@ -216,7 +233,10 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for non-square input.
     pub fn symmetrize(&self) -> Result<Matrix, LinalgError> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         let n = self.rows;
         let mut out = self.clone();
@@ -332,7 +352,11 @@ impl Matrix {
     /// Maximum absolute column sum (operator 1-norm).
     pub fn one_norm(&self) -> f64 {
         (0..self.cols)
-            .map(|c| (0..self.rows).map(|r| self.data[r * self.cols + c].abs()).sum::<f64>())
+            .map(|c| {
+                (0..self.rows)
+                    .map(|r| self.data[r * self.cols + c].abs())
+                    .sum::<f64>()
+            })
             .fold(0.0, f64::max)
     }
 
@@ -361,7 +385,9 @@ impl Matrix {
     /// Panics if the ranges exceed the matrix bounds or are reversed.
     pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
         assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
-        Matrix::from_fn(r1 - r0, c1 - c0, |r, c| self.data[(r0 + r) * self.cols + c0 + c])
+        Matrix::from_fn(r1 - r0, c1 - c0, |r, c| {
+            self.data[(r0 + r) * self.cols + c0 + c]
+        })
     }
 
     /// Writes `block` into `self` with its top-left corner at `(r0, c0)`.
@@ -456,7 +482,11 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for non-square input.
     pub fn min_eigenvalue(&self) -> Result<f64, LinalgError> {
         let eig = self.symmetrize()?.symmetric_eigen()?;
-        Ok(eig.eigenvalues().iter().cloned().fold(f64::INFINITY, f64::min))
+        Ok(eig
+            .eigenvalues()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min))
     }
 
     /// Estimates the 1-norm condition number via LU (exact inverse norm).
@@ -475,14 +505,20 @@ impl Index<(usize, usize)> for Matrix {
     /// # Panics
     /// Panics when the index is out of bounds.
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -494,8 +530,17 @@ impl Add for &Matrix {
     /// Panics on shape mismatch; use explicit methods for fallible code paths.
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "matrix addition shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -505,9 +550,22 @@ impl Sub for &Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -582,7 +640,10 @@ mod tests {
     fn matmul_dimension_error() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl QrDecomposition {
         }
         let q_thin = q.submatrix(0, m, 0, n);
         let r_thin = r.submatrix(0, n, 0, n);
-        Ok(QrDecomposition { q: q_thin, r: r_thin })
+        Ok(QrDecomposition {
+            q: q_thin,
+            r: r_thin,
+        })
     }
 
     /// The thin orthonormal factor `Q` (`m x n`).
@@ -112,7 +115,10 @@ impl QrDecomposition {
         let m = self.q.rows();
         let n = self.q.cols();
         if b.len() != m {
-            return Err(LinalgError::DimensionMismatch { op: "qr solve", got: vec![m, b.len()] });
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr solve",
+                got: vec![m, b.len()],
+            });
         }
         // x = R^{-1} Q^T b
         let qtb = self.q.matvec_t(b)?;
@@ -182,6 +188,9 @@ mod tests {
     fn rank_deficient_detected_on_solve() {
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
         let qr = a.qr().unwrap();
-        assert!(matches!(qr.solve_least_squares(&[1.0, 1.0, 1.0]), Err(LinalgError::Singular)));
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular)
+        ));
     }
 }

@@ -68,7 +68,11 @@ pub fn scale(alpha: f64, a: &[f64]) -> Vec<f64> {
 /// Panics in debug builds if the lengths differ.
 pub fn distance(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "distance length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Clamps every element of `x` into `[lo[i], hi[i]]`.

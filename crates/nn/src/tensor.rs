@@ -16,7 +16,10 @@ impl Tensor {
     /// Creates a zero tensor of the given shape.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let len = shape.iter().product();
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor from a flat row-major buffer.
@@ -109,7 +112,10 @@ impl Tensor {
 
     /// Element-wise map into a new tensor.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Maximum absolute element (0 for empty tensors).

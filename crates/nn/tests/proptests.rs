@@ -1,12 +1,12 @@
 //! Property-based invariants of the neural-network substrate.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rcr_nn::gan::RingMixture;
 use rcr_nn::layers::{Activation, ActivationLayer, BatchNorm, Layer, Linear};
 use rcr_nn::network::{bce_with_logits, mse_loss};
 use rcr_nn::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

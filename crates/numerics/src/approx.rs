@@ -41,7 +41,10 @@ pub fn taylor_exp(x: f64, n: usize) -> Result<ApproxResult, NumericsError> {
     // Lagrange remainder: next term magnitude times e^{ξ} with ξ in [0, x].
     let next = (term * x / (n as f64 + 1.0)).abs();
     let bound = next * x.max(0.0).exp();
-    Ok(ApproxResult { value: sum, truncation_bound: bound })
+    Ok(ApproxResult {
+        value: sum,
+        truncation_bound: bound,
+    })
 }
 
 /// Composite trapezoidal approximation of `∫_a^b f(x) dx` with `n`
@@ -65,7 +68,9 @@ pub fn trapezoid(
         return Err(NumericsError::InvalidParameter("n must be >= 1".into()));
     }
     if !(a <= b) || !a.is_finite() || !b.is_finite() {
-        return Err(NumericsError::InvalidParameter(format!("bad interval [{a}, {b}]")));
+        return Err(NumericsError::InvalidParameter(format!(
+            "bad interval [{a}, {b}]"
+        )));
     }
     let h = (b - a) / n as f64;
     let mut interior = 0.0;
@@ -92,7 +97,10 @@ pub fn trapezoid(
     }
     let value = h / 2.0 * (fa + 2.0 * interior + fb);
     let bound = (b - a) * h * h * max_f2 / 12.0;
-    Ok(ApproxResult { value, truncation_bound: bound })
+    Ok(ApproxResult {
+        value,
+        truncation_bound: bound,
+    })
 }
 
 /// One step of Richardson extrapolation for a second-order method:

@@ -96,7 +96,10 @@ pub struct FloatAudit {
 impl FloatAudit {
     /// Scans `xs` and tallies representation defects.
     pub fn scan(xs: &[f64]) -> Self {
-        let mut audit = FloatAudit { total: xs.len(), ..Default::default() };
+        let mut audit = FloatAudit {
+            total: xs.len(),
+            ..Default::default()
+        };
         for &x in xs {
             if x.is_nan() {
                 audit.nan_count += 1;

@@ -111,7 +111,10 @@ mod tests {
         let exact = 1.0 + 1e-16 * 100_000.0;
         let naive_err = (naive_sum(&xs) - exact).abs();
         let kahan_err = (kahan_sum(&xs) - exact).abs();
-        assert!(kahan_err < naive_err / 100.0, "kahan {kahan_err} vs naive {naive_err}");
+        assert!(
+            kahan_err < naive_err / 100.0,
+            "kahan {kahan_err} vs naive {naive_err}"
+        );
     }
 
     #[test]
@@ -125,7 +128,9 @@ mod tests {
 
     #[test]
     fn pairwise_matches_exact_on_alternating_series() {
-        let xs: Vec<f64> = (0..1 << 12).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..1 << 12)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert_eq!(pairwise_sum(&xs), 0.0);
     }
 

@@ -56,7 +56,9 @@ impl BenchFunction {
                 .sum(),
             BenchFunction::Rastrigin => {
                 10.0 * x.len() as f64
-                    + x.iter().map(|v| v * v - 10.0 * (2.0 * PI * v).cos()).sum::<f64>()
+                    + x.iter()
+                        .map(|v| v * v - 10.0 * (2.0 * PI * v).cos())
+                        .sum::<f64>()
             }
             BenchFunction::Ackley => {
                 let n = x.len() as f64;
@@ -66,8 +68,11 @@ impl BenchFunction {
             }
             BenchFunction::Griewank => {
                 let s: f64 = x.iter().map(|v| v * v).sum::<f64>() / 4000.0;
-                let p: f64 =
-                    x.iter().enumerate().map(|(i, v)| (v / ((i + 1) as f64).sqrt()).cos()).product();
+                let p: f64 = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v / ((i + 1) as f64).sqrt()).cos())
+                    .product();
                 s - p + 1.0
             }
         }

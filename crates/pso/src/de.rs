@@ -97,17 +97,26 @@ pub fn minimize(
         return Err(PsoError::InvalidParameter("max_iter must be >= 1".into()));
     }
     if !(settings.weight > 0.0 && settings.weight <= 2.0) {
-        return Err(PsoError::InvalidParameter("weight must be in (0, 2]".into()));
+        return Err(PsoError::InvalidParameter(
+            "weight must be in (0, 2]".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&settings.crossover) {
-        return Err(PsoError::InvalidParameter("crossover must be in [0, 1]".into()));
+        return Err(PsoError::InvalidParameter(
+            "crossover must be in [0, 1]".into(),
+        ));
     }
 
     let dim = bounds.len();
     let np = settings.population;
     let mut rng = StdRng::seed_from_u64(settings.seed);
     let mut pop: Vec<Vec<f64>> = (0..np)
-        .map(|_| bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..=hi)).collect())
+        .map(|_| {
+            bounds
+                .iter()
+                .map(|&(lo, hi)| rng.gen_range(lo..=hi))
+                .collect()
+        })
         .collect();
     let mut scores = Vec::with_capacity(np);
     let mut evaluations = 0usize;
@@ -119,9 +128,11 @@ pub fn minimize(
         }
         scores.push(v);
     }
+    // total_cmp: scores are NaN-free (checked above), and the population
+    // is non-empty (>= 4 validated), so this selection cannot panic.
     let mut best_idx = (0..np)
-        .min_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"))
-        .expect("non-empty population");
+        .min_by(|&a, &b| scores[a].total_cmp(&scores[b]))
+        .unwrap_or(0);
     let mut history = Vec::with_capacity(settings.max_iter);
     let mut iterations = 0usize;
 
@@ -196,7 +207,10 @@ mod tests {
     use crate::benchfn::BenchFunction;
 
     fn run(f: BenchFunction, dim: usize, seed: u64) -> DeResult {
-        let settings = DeSettings { seed, ..Default::default() };
+        let settings = DeSettings {
+            seed,
+            ..Default::default()
+        };
         minimize(|x| f.eval(x), &f.bounds(dim), &settings).unwrap()
     }
 
@@ -231,7 +245,11 @@ mod tests {
     #[test]
     fn stays_in_bounds_and_stops_at_target() {
         let f = BenchFunction::Griewank;
-        let settings = DeSettings { target_value: Some(1e-1), seed: 4, ..Default::default() };
+        let settings = DeSettings {
+            target_value: Some(1e-1),
+            seed: 4,
+            ..Default::default()
+        };
         let r = minimize(|x| f.eval(x), &f.bounds(4), &settings).unwrap();
         for (x, (lo, hi)) in r.best_position.iter().zip(f.bounds(4)) {
             assert!(*x >= lo && *x <= hi);
@@ -244,11 +262,20 @@ mod tests {
         let f = |x: &[f64]| x[0];
         assert!(minimize(f, &[], &DeSettings::default()).is_err());
         assert!(minimize(f, &[(1.0, 0.0)], &DeSettings::default()).is_err());
-        let bad = DeSettings { population: 3, ..Default::default() };
+        let bad = DeSettings {
+            population: 3,
+            ..Default::default()
+        };
         assert!(minimize(f, &[(0.0, 1.0)], &bad).is_err());
-        let bad = DeSettings { weight: 0.0, ..Default::default() };
+        let bad = DeSettings {
+            weight: 0.0,
+            ..Default::default()
+        };
         assert!(minimize(f, &[(0.0, 1.0)], &bad).is_err());
-        let bad = DeSettings { crossover: 1.5, ..Default::default() };
+        let bad = DeSettings {
+            crossover: 1.5,
+            ..Default::default()
+        };
         assert!(minimize(f, &[(0.0, 1.0)], &bad).is_err());
         assert!(minimize(|_| f64::NAN, &[(0.0, 1.0)], &DeSettings::default()).is_err());
     }

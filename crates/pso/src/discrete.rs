@@ -163,9 +163,14 @@ pub fn minimize_mixed(
         s.validate()?;
     }
     if settings.swarm_size == 0 || settings.max_iter == 0 {
-        return Err(PsoError::InvalidParameter("swarm_size and max_iter must be >= 1".into()));
+        return Err(PsoError::InvalidParameter(
+            "swarm_size and max_iter must be >= 1".into(),
+        ));
     }
-    settings.inertia.validate().map_err(PsoError::InvalidParameter)?;
+    settings
+        .inertia
+        .validate()
+        .map_err(PsoError::InvalidParameter)?;
     match strategy {
         DiscreteStrategy::Rounding => rounding_pso(&mut f, specs, settings),
         DiscreteStrategy::Distribution => distribution_pso(&mut f, specs, settings),
@@ -241,7 +246,12 @@ fn rounding_pso(
                     }
                 })
                 .collect();
-            RPart { best_x: x.clone(), x, v, best_f: f64::INFINITY }
+            RPart {
+                best_x: x.clone(),
+                x,
+                v,
+                best_f: f64::INFINITY,
+            }
         })
         .collect();
 
@@ -277,7 +287,11 @@ fn rounding_pso(
         parts
             .iter()
             .map(|p| {
-                p.x.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+                p.x.iter()
+                    .zip(&center)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt()
             })
             .sum::<f64>()
             / n as f64
@@ -450,7 +464,14 @@ fn distribution_pso(
                     vc[d] = rng.gen_range(-(hi - lo)..=(hi - lo)) * settings.velocity_clamp;
                 }
             }
-            DistParticle { dist, dist_v, xc, vc, best_sample: Vec::new(), best_f: f64::INFINITY }
+            DistParticle {
+                dist,
+                dist_v,
+                xc,
+                vc,
+                best_sample: Vec::new(),
+                best_f: f64::INFINITY,
+            }
         })
         .collect();
 
@@ -582,17 +603,30 @@ mod tests {
     }
 
     fn int_specs() -> Vec<VarSpec> {
-        vec![VarSpec::Integer { lo: -10, hi: 10 }, VarSpec::Integer { lo: -10, hi: 10 }]
+        vec![
+            VarSpec::Integer { lo: -10, hi: 10 },
+            VarSpec::Integer { lo: -10, hi: 10 },
+        ]
     }
 
     fn settings(seed: u64) -> PsoSettings {
-        PsoSettings { seed, max_iter: 120, swarm_size: 20, ..Default::default() }
+        PsoSettings {
+            seed,
+            max_iter: 120,
+            swarm_size: 20,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn rounding_solves_small_integer_quadratic() {
-        let r = minimize_mixed(int_quadratic, &int_specs(), DiscreteStrategy::Rounding, &settings(1))
-            .unwrap();
+        let r = minimize_mixed(
+            int_quadratic,
+            &int_specs(),
+            DiscreteStrategy::Rounding,
+            &settings(1),
+        )
+        .unwrap();
         assert_eq!(r.best_value, 0.0);
         assert_eq!(r.best_position, vec![3.0, -2.0]);
     }
@@ -601,10 +635,17 @@ mod tests {
     fn distribution_solves_small_integer_quadratic() {
         // Sampling-based search needs a longer budget than the lattice
         // walk to pin the exact optimum among 441 assignments.
-        let s = PsoSettings { max_iter: 400, ..settings(2) };
-        let r =
-            minimize_mixed(int_quadratic, &int_specs(), DiscreteStrategy::Distribution, &s)
-                .unwrap();
+        let s = PsoSettings {
+            max_iter: 400,
+            ..settings(2)
+        };
+        let r = minimize_mixed(
+            int_quadratic,
+            &int_specs(),
+            DiscreteStrategy::Distribution,
+            &s,
+        )
+        .unwrap();
         assert_eq!(r.best_value, 0.0);
         assert_eq!(r.best_position, vec![3.0, -2.0]);
         assert_eq!(r.frozen_fraction, 0.0);
@@ -624,11 +665,18 @@ mod tests {
     fn mixed_continuous_and_integer() {
         // min (n − 4)² + (x − 0.25)² over n ∈ {0..10}, x ∈ [0, 1].
         let f = |z: &[f64]| (z[0] - 4.0).powi(2) + (z[1] - 0.25).powi(2);
-        let specs = vec![VarSpec::Integer { lo: 0, hi: 10 }, VarSpec::Continuous { lo: 0.0, hi: 1.0 }];
+        let specs = vec![
+            VarSpec::Integer { lo: 0, hi: 10 },
+            VarSpec::Continuous { lo: 0.0, hi: 1.0 },
+        ];
         for strat in [DiscreteStrategy::Rounding, DiscreteStrategy::Distribution] {
             let r = minimize_mixed(f, &specs, strat, &settings(4)).unwrap();
             assert_eq!(r.best_position[0], 4.0, "{strat:?}");
-            assert!((r.best_position[1] - 0.25).abs() < 0.05, "{strat:?}: {:?}", r.best_position);
+            assert!(
+                (r.best_position[1] - 0.25).abs() < 0.05,
+                "{strat:?}: {:?}",
+                r.best_position
+            );
         }
     }
 
@@ -652,13 +700,18 @@ mod tests {
             let (a, b) = (z[0], z[1]);
             (a * 0.3).sin() * 3.0 + (b * 0.4).cos() * 3.0 + 0.01 * (a * a + b * b)
         };
-        let specs =
-            vec![VarSpec::Integer { lo: -20, hi: 20 }, VarSpec::Integer { lo: -20, hi: 20 }];
+        let specs = vec![
+            VarSpec::Integer { lo: -20, hi: 20 },
+            VarSpec::Integer { lo: -20, hi: 20 },
+        ];
         let s = PsoSettings {
             max_iter: 200,
             swarm_size: 15,
             stagnation_window: 0,
-            inertia: crate::inertia::InertiaSchedule::LinearDecay { start: 0.9, end: 0.2 },
+            inertia: crate::inertia::InertiaSchedule::LinearDecay {
+                start: 0.9,
+                end: 0.2,
+            },
             ..settings(6)
         };
         let rr = minimize_mixed(f, &specs, DiscreteStrategy::Rounding, &s).unwrap();
@@ -685,10 +738,20 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = minimize_mixed(int_quadratic, &int_specs(), DiscreteStrategy::Distribution, &settings(9))
-            .unwrap();
-        let b = minimize_mixed(int_quadratic, &int_specs(), DiscreteStrategy::Distribution, &settings(9))
-            .unwrap();
+        let a = minimize_mixed(
+            int_quadratic,
+            &int_specs(),
+            DiscreteStrategy::Distribution,
+            &settings(9),
+        )
+        .unwrap();
+        let b = minimize_mixed(
+            int_quadratic,
+            &int_specs(),
+            DiscreteStrategy::Distribution,
+            &settings(9),
+        )
+        .unwrap();
         assert_eq!(a.best_value, b.best_value);
         assert_eq!(a.evaluations, b.evaluations);
     }

@@ -76,7 +76,7 @@ impl InertiaSchedule {
     /// # Errors
     /// Returns a message describing the violated condition.
     pub fn validate(&self) -> Result<(), String> {
-        let ok = |w: f64| w.is_finite() && w >= 0.0 && w < 2.0;
+        let ok = |w: f64| w.is_finite() && (0.0..2.0).contains(&w);
         match *self {
             InertiaSchedule::Constant(w) => {
                 if ok(w) {
@@ -89,7 +89,9 @@ impl InertiaSchedule {
                 if ok(start) && ok(end) {
                     Ok(())
                 } else {
-                    Err(format!("linear decay weights ({start}, {end}) outside [0, 2)"))
+                    Err(format!(
+                        "linear decay weights ({start}, {end}) outside [0, 2)"
+                    ))
                 }
             }
             InertiaSchedule::AdaptiveDiversity { min, max } => {
@@ -105,7 +107,10 @@ impl InertiaSchedule {
 
 impl Default for InertiaSchedule {
     fn default() -> Self {
-        InertiaSchedule::LinearDecay { start: 0.9, end: 0.4 }
+        InertiaSchedule::LinearDecay {
+            start: 0.9,
+            end: 0.4,
+        }
     }
 }
 
@@ -114,7 +119,12 @@ mod tests {
     use super::*;
 
     fn obs(gen: usize, horizon: usize, diversity: f64) -> SwarmObservation {
-        SwarmObservation { generation: gen, horizon, diversity, improved: false }
+        SwarmObservation {
+            generation: gen,
+            horizon,
+            diversity,
+            improved: false,
+        }
     }
 
     #[test]
@@ -126,7 +136,10 @@ mod tests {
 
     #[test]
     fn linear_decay_interpolates() {
-        let s = InertiaSchedule::LinearDecay { start: 0.9, end: 0.4 };
+        let s = InertiaSchedule::LinearDecay {
+            start: 0.9,
+            end: 0.4,
+        };
         assert!((s.weight(&obs(0, 100, 1.0)) - 0.9).abs() < 1e-12);
         assert!((s.weight(&obs(50, 100, 1.0)) - 0.65).abs() < 1e-12);
         assert!((s.weight(&obs(100, 100, 1.0)) - 0.4).abs() < 1e-12);
@@ -157,7 +170,14 @@ mod tests {
         assert!(InertiaSchedule::Constant(0.7).validate().is_ok());
         assert!(InertiaSchedule::Constant(2.5).validate().is_err());
         assert!(InertiaSchedule::Constant(f64::NAN).validate().is_err());
-        assert!(InertiaSchedule::LinearDecay { start: 0.9, end: -0.1 }.validate().is_err());
-        assert!(InertiaSchedule::AdaptiveDiversity { min: 0.9, max: 0.4 }.validate().is_err());
+        assert!(InertiaSchedule::LinearDecay {
+            start: 0.9,
+            end: -0.1
+        }
+        .validate()
+        .is_err());
+        assert!(InertiaSchedule::AdaptiveDiversity { min: 0.9, max: 0.4 }
+            .validate()
+            .is_err());
     }
 }

@@ -1,10 +1,19 @@
 //! The continuous PSO core (Eqs. 1–2) with stagnation detection and
 //! dispersion.
+//!
+//! Generations are evaluated *synchronously*: every particle's velocity
+//! update reads the global best frozen at the start of the generation, and
+//! each particle draws from its own RNG stream derived from
+//! `settings.seed` + particle index ([`rcr_runtime::seed_stream`]). Those
+//! two choices make the optimizer's output a pure function of the seed —
+//! bit-identical across worker counts — so per-particle objective
+//! evaluation fans out across the worker pool for free.
 
 use crate::inertia::{InertiaSchedule, SwarmObservation};
 use crate::PsoError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rcr_runtime::{parallel_map, parallel_map_mut, resolve_workers, seed_stream};
 
 /// PSO driver settings.
 #[derive(Debug, Clone)]
@@ -30,6 +39,10 @@ pub struct PsoSettings {
     pub target_value: Option<f64>,
     /// RNG seed (runs are deterministic given the seed).
     pub seed: u64,
+    /// Worker threads for objective evaluation: `0` = auto (the
+    /// `RCR_WORKERS` environment variable, else serial). Results are
+    /// identical for every worker count.
+    pub workers: usize,
 }
 
 impl Default for PsoSettings {
@@ -45,6 +58,7 @@ impl Default for PsoSettings {
             dispersion_fraction: 0.3,
             target_value: None,
             seed: 0,
+            workers: 0,
         }
     }
 }
@@ -71,6 +85,10 @@ struct Particle {
     v: Vec<f64>,
     best_x: Vec<f64>,
     best_f: f64,
+    /// Objective value at `x` from the latest sweep (merged serially).
+    last_f: f64,
+    /// Private RNG stream — what makes parallel sweeps deterministic.
+    rng: StdRng,
 }
 
 /// The particle swarm optimizer.
@@ -85,38 +103,60 @@ pub struct Swarm {
 impl Swarm {
     /// Minimizes `f` over the box `bounds` (one `(lo, hi)` per dimension).
     ///
+    /// Objective evaluations fan out across `settings.workers` threads;
+    /// the result is bit-identical for every worker count because each
+    /// particle owns an RNG stream derived from the seed and its index,
+    /// and all best-so-far reductions run serially in particle order.
+    ///
     /// # Errors
     /// * [`PsoError::InvalidBounds`] for empty/reversed/non-finite bounds.
     /// * [`PsoError::InvalidParameter`] for bad settings.
     /// * [`PsoError::ObjectiveNan`] if `f` returns NaN at a feasible point.
     pub fn minimize(
-        mut f: impl FnMut(&[f64]) -> f64,
+        f: impl Fn(&[f64]) -> f64 + Sync,
         bounds: &[(f64, f64)],
         settings: &PsoSettings,
     ) -> Result<PsoResult, PsoError> {
         validate(bounds, settings)?;
         let dim = bounds.len();
-        let mut rng = StdRng::seed_from_u64(settings.seed);
+        let workers = resolve_workers(settings.workers);
         let mut evaluations = 0usize;
 
         // Velocity clamp per dimension.
-        let vmax: Vec<f64> =
-            bounds.iter().map(|(lo, hi)| settings.velocity_clamp * (hi - lo)).collect();
+        let vmax: Vec<f64> = bounds
+            .iter()
+            .map(|(lo, hi)| settings.velocity_clamp * (hi - lo))
+            .collect();
 
-        // Initialize swarm uniformly at random within the box.
+        // Initialize the swarm uniformly at random within the box, each
+        // particle drawing from its own seed-derived stream.
         let mut particles: Vec<Particle> = (0..settings.swarm_size)
-            .map(|_| {
-                let x: Vec<f64> =
-                    bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..=hi)).collect();
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(seed_stream(settings.seed, i as u64));
+                let x: Vec<f64> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| rng.gen_range(lo..=hi))
+                    .collect();
                 let v: Vec<f64> = vmax.iter().map(|&vm| rng.gen_range(-vm..=vm)).collect();
-                Particle { best_x: x.clone(), x, v, best_f: f64::INFINITY }
+                Particle {
+                    best_x: x.clone(),
+                    x,
+                    v,
+                    best_f: f64::INFINITY,
+                    last_f: f64::NAN,
+                    rng,
+                }
             })
             .collect();
 
+        // Initial sweep: evaluate in parallel, reduce serially in order.
+        parallel_map_mut(&mut particles, workers, |_, p| {
+            p.last_f = f(&p.x);
+        });
         let mut g_best_x = particles[0].x.clone();
         let mut g_best_f = f64::INFINITY;
         for p in &mut particles {
-            let fx = f(&p.x);
+            let fx = p.last_f;
             evaluations += 1;
             if fx.is_nan() {
                 return Err(PsoError::ObjectiveNan);
@@ -145,20 +185,31 @@ impl Swarm {
             };
             let w = settings.inertia.weight(&obs);
 
+            // Synchronous sweep: every particle sees the global best as of
+            // the start of the generation, so the update is independent of
+            // evaluation order and can fan out.
+            {
+                let g_best_snapshot = &g_best_x;
+                parallel_map_mut(&mut particles, workers, |_, p| {
+                    for d in 0..dim {
+                        let beta1: f64 = p.rng.gen();
+                        let beta2: f64 = p.rng.gen();
+                        // Eq. 2.
+                        p.v[d] = w * p.v[d]
+                            + settings.cognitive * beta1 * (p.best_x[d] - p.x[d])
+                            + settings.social * beta2 * (g_best_snapshot[d] - p.x[d]);
+                        p.v[d] = p.v[d].clamp(-vmax[d], vmax[d]);
+                        // Eq. 1, clamped to the box.
+                        p.x[d] = (p.x[d] + p.v[d]).clamp(bounds[d].0, bounds[d].1);
+                    }
+                    p.last_f = f(&p.x);
+                });
+            }
+
+            // Serial reduction in particle order.
             let mut improved = false;
             for p in &mut particles {
-                for d in 0..dim {
-                    let beta1: f64 = rng.gen();
-                    let beta2: f64 = rng.gen();
-                    // Eq. 2.
-                    p.v[d] = w * p.v[d]
-                        + settings.cognitive * beta1 * (p.best_x[d] - p.x[d])
-                        + settings.social * beta2 * (g_best_x[d] - p.x[d]);
-                    p.v[d] = p.v[d].clamp(-vmax[d], vmax[d]);
-                    // Eq. 1, clamped to the box.
-                    p.x[d] = (p.x[d] + p.v[d]).clamp(bounds[d].0, bounds[d].1);
-                }
-                let fx = f(&p.x);
+                let fx = p.last_f;
                 evaluations += 1;
                 if fx.is_nan() {
                     return Err(PsoError::ObjectiveNan);
@@ -184,22 +235,27 @@ impl Swarm {
             since_improvement = if improved { 0 } else { since_improvement + 1 };
             if settings.stagnation_window > 0 && since_improvement >= settings.stagnation_window {
                 // Dispersion: re-scatter the worst particles uniformly.
+                // Scatter draws come from each particle's own stream, so
+                // this too is worker-count independent.
                 let mut order: Vec<usize> = (0..particles.len()).collect();
-                order.sort_by(|&a, &b| {
-                    particles[b].best_f.partial_cmp(&particles[a].best_f).expect("finite")
-                });
+                order.sort_by(|&a, &b| particles[b].best_f.total_cmp(&particles[a].best_f));
                 let k = ((particles.len() as f64 * settings.dispersion_fraction) as usize).max(1);
-                for &idx in order.iter().take(k) {
+                let scattered: Vec<usize> = order.iter().take(k).copied().collect();
+                for &idx in &scattered {
                     let p = &mut particles[idx];
                     for d in 0..dim {
-                        p.x[d] = rng.gen_range(bounds[d].0..=bounds[d].1);
-                        p.v[d] = rng.gen_range(-vmax[d]..=vmax[d]);
+                        p.x[d] = p.rng.gen_range(bounds[d].0..=bounds[d].1);
+                        p.v[d] = p.rng.gen_range(-vmax[d]..=vmax[d]);
                     }
-                    let fx = f(&p.x);
+                }
+                let fresh = parallel_map(&scattered, workers, |_, &idx| f(&particles[idx].x));
+                for (&idx, &fx) in scattered.iter().zip(&fresh) {
+                    let p = &mut particles[idx];
                     evaluations += 1;
                     if fx.is_nan() {
                         return Err(PsoError::ObjectiveNan);
                     }
+                    p.last_f = fx;
                     if fx < p.best_f {
                         p.best_f = fx;
                         p.best_x.copy_from_slice(&p.x);
@@ -270,15 +326,24 @@ fn validate(bounds: &[(f64, f64)], settings: &PsoSettings) -> Result<(), PsoErro
         return Err(PsoError::InvalidParameter("max_iter must be >= 1".into()));
     }
     if !(settings.cognitive >= 0.0) || !(settings.social >= 0.0) {
-        return Err(PsoError::InvalidParameter("accelerations must be >= 0".into()));
+        return Err(PsoError::InvalidParameter(
+            "accelerations must be >= 0".into(),
+        ));
     }
     if !(settings.velocity_clamp > 0.0 && settings.velocity_clamp <= 1.0) {
-        return Err(PsoError::InvalidParameter("velocity_clamp must be in (0, 1]".into()));
+        return Err(PsoError::InvalidParameter(
+            "velocity_clamp must be in (0, 1]".into(),
+        ));
     }
     if !(settings.dispersion_fraction > 0.0 && settings.dispersion_fraction <= 1.0) {
-        return Err(PsoError::InvalidParameter("dispersion_fraction must be in (0, 1]".into()));
+        return Err(PsoError::InvalidParameter(
+            "dispersion_fraction must be in (0, 1]".into(),
+        ));
     }
-    settings.inertia.validate().map_err(PsoError::InvalidParameter)
+    settings
+        .inertia
+        .validate()
+        .map_err(PsoError::InvalidParameter)
 }
 
 #[cfg(test)]
@@ -287,7 +352,10 @@ mod tests {
     use crate::benchfn::BenchFunction;
 
     fn run(f: BenchFunction, dim: usize, seed: u64) -> PsoResult {
-        let settings = PsoSettings { seed, ..Default::default() };
+        let settings = PsoSettings {
+            seed,
+            ..Default::default()
+        };
         Swarm::minimize(|x| f.eval(x), &f.bounds(dim), &settings).unwrap()
     }
 
@@ -343,7 +411,11 @@ mod tests {
     #[test]
     fn target_value_stops_early() {
         let f = BenchFunction::Sphere;
-        let settings = PsoSettings { target_value: Some(1e-2), seed: 9, ..Default::default() };
+        let settings = PsoSettings {
+            target_value: Some(1e-2),
+            seed: 9,
+            ..Default::default()
+        };
         let r = Swarm::minimize(|x| f.eval(x), &f.bounds(3), &settings).unwrap();
         assert!(r.iterations < settings.max_iter);
         assert!(r.best_value <= 1e-2);
@@ -363,7 +435,11 @@ mod tests {
         // §II-A: "even relatively small swarm sizes are fairly consistent
         // in providing good-enough near-optimum solutions".
         let f = BenchFunction::Sphere;
-        let settings = PsoSettings { swarm_size: 5, seed: 11, ..Default::default() };
+        let settings = PsoSettings {
+            swarm_size: 5,
+            seed: 11,
+            ..Default::default()
+        };
         let r = Swarm::minimize(|x| f.eval(x), &f.bounds(4), &settings).unwrap();
         assert!(r.best_value < 1e-3, "best {}", r.best_value);
     }
@@ -374,15 +450,25 @@ mod tests {
         let s = PsoSettings::default();
         assert!(Swarm::minimize(f, &[], &s).is_err());
         assert!(Swarm::minimize(f, &[(1.0, 0.0)], &s).is_err());
-        let bad = PsoSettings { swarm_size: 0, ..Default::default() };
+        let bad = PsoSettings {
+            swarm_size: 0,
+            ..Default::default()
+        };
         assert!(Swarm::minimize(f, &[(0.0, 1.0)], &bad).is_err());
-        let bad = PsoSettings { velocity_clamp: 0.0, ..Default::default() };
+        let bad = PsoSettings {
+            velocity_clamp: 0.0,
+            ..Default::default()
+        };
         assert!(Swarm::minimize(f, &[(0.0, 1.0)], &bad).is_err());
     }
 
     #[test]
     fn nan_objective_reported() {
-        let s = PsoSettings { swarm_size: 3, max_iter: 5, ..Default::default() };
+        let s = PsoSettings {
+            swarm_size: 3,
+            max_iter: 5,
+            ..Default::default()
+        };
         let r = Swarm::minimize(|_| f64::NAN, &[(0.0, 1.0)], &s);
         assert!(matches!(r, Err(PsoError::ObjectiveNan)));
     }

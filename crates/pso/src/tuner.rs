@@ -24,17 +24,26 @@ pub struct Hyperparameter {
 impl Hyperparameter {
     /// A continuous hyperparameter.
     pub fn continuous(name: &str, lo: f64, hi: f64) -> Self {
-        Hyperparameter { name: name.to_owned(), spec: VarSpec::Continuous { lo, hi } }
+        Hyperparameter {
+            name: name.to_owned(),
+            spec: VarSpec::Continuous { lo, hi },
+        }
     }
 
     /// An integer hyperparameter.
     pub fn integer(name: &str, lo: i64, hi: i64) -> Self {
-        Hyperparameter { name: name.to_owned(), spec: VarSpec::Integer { lo, hi } }
+        Hyperparameter {
+            name: name.to_owned(),
+            spec: VarSpec::Integer { lo, hi },
+        }
     }
 
     /// A categorical hyperparameter.
     pub fn categorical(name: &str, cardinality: usize) -> Self {
-        Hyperparameter { name: name.to_owned(), spec: VarSpec::Categorical { cardinality } }
+        Hyperparameter {
+            name: name.to_owned(),
+            spec: VarSpec::Categorical { cardinality },
+        }
     }
 }
 
@@ -65,28 +74,35 @@ pub fn tune(
     settings: &PsoSettings,
 ) -> Result<TuningResult, PsoError> {
     if params.is_empty() {
-        return Err(PsoError::InvalidParameter("no hyperparameters to tune".into()));
+        return Err(PsoError::InvalidParameter(
+            "no hyperparameters to tune".into(),
+        ));
     }
     {
         let mut names: Vec<&str> = params.iter().map(|p| p.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
         if names.len() != params.len() {
-            return Err(PsoError::InvalidParameter("duplicate hyperparameter names".into()));
+            return Err(PsoError::InvalidParameter(
+                "duplicate hyperparameter names".into(),
+            ));
         }
     }
     let specs: Vec<VarSpec> = params.iter().map(|p| p.spec).collect();
     let to_assignment = |x: &[f64]| -> Assignment {
-        params.iter().zip(x).map(|(p, &v)| (p.name.clone(), v)).collect()
+        params
+            .iter()
+            .zip(x)
+            .map(|(p, &v)| (p.name.clone(), v))
+            .collect()
     };
-    let raw = minimize_mixed(
-        |x| fitness(&to_assignment(x)),
-        &specs,
-        strategy,
-        settings,
-    )?;
+    let raw = minimize_mixed(|x| fitness(&to_assignment(x)), &specs, strategy, settings)?;
     let best = to_assignment(&raw.best_position);
-    Ok(TuningResult { best, best_fitness: raw.best_value, raw })
+    Ok(TuningResult {
+        best,
+        best_fitness: raw.best_value,
+        raw,
+    })
 }
 
 #[cfg(test)]
@@ -94,7 +110,12 @@ mod tests {
     use super::*;
 
     fn settings() -> PsoSettings {
-        PsoSettings { swarm_size: 15, max_iter: 80, seed: 1, ..Default::default() }
+        PsoSettings {
+            swarm_size: 15,
+            max_iter: 80,
+            seed: 1,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -110,7 +131,13 @@ mod tests {
                 + (a["layers"] - 4.0).powi(2)
                 + if a["activation"] == 1.0 { 0.0 } else { 1.0 }
         };
-        let r = tune(&params, fitness, DiscreteStrategy::Distribution, &settings()).unwrap();
+        let r = tune(
+            &params,
+            fitness,
+            DiscreteStrategy::Distribution,
+            &settings(),
+        )
+        .unwrap();
         assert_eq!(r.best["layers"], 4.0);
         assert_eq!(r.best["activation"], 1.0);
         assert!((r.best["lr"] - 0.3).abs() < 0.05, "lr = {}", r.best["lr"]);

@@ -90,7 +90,7 @@ pub fn admit(problem: &RraProblem, classes: &[QosClass]) -> Result<AdmissionResu
                     class_weight(classes[u])
                         / (problem.min_rates_bps[u] - sol.power.user_rates_bps[u]).max(1.0)
                 };
-                score(a).partial_cmp(&score(b)).expect("finite scores")
+                score(a).total_cmp(&score(b))
             });
         let Some(evict) = candidate else {
             break; // infeasible for other reasons; stop evicting
@@ -108,11 +108,7 @@ pub fn admit(problem: &RraProblem, classes: &[QosClass]) -> Result<AdmissionResu
 
     // Re-admission pass: lowest demand first.
     let mut evicted: Vec<usize> = (0..users).filter(|&u| !admitted[u]).collect();
-    evicted.sort_by(|&a, &b| {
-        problem.min_rates_bps[a]
-            .partial_cmp(&problem.min_rates_bps[b])
-            .expect("finite rates")
-    });
+    evicted.sort_by(|&a, &b| problem.min_rates_bps[a].total_cmp(&problem.min_rates_bps[b]));
     for u in evicted {
         admitted[u] = true;
         let (_, s) = masked(&admitted)?;
@@ -130,7 +126,33 @@ pub fn admit(problem: &RraProblem, classes: &[QosClass]) -> Result<AdmissionResu
         .filter(|(&a, _)| a)
         .map(|(_, &c)| class_weight(c))
         .sum();
-    Ok(AdmissionResult { admitted, weight, solution: sol, feasibility_checks: checks })
+    Ok(AdmissionResult {
+        admitted,
+        weight,
+        solution: sol,
+        feasibility_checks: checks,
+    })
+}
+
+/// One admission request: a cell's RRA problem plus the service class of
+/// each connection.
+pub type AdmissionRequest = (RraProblem, Vec<QosClass>);
+
+/// Runs [`admit`] over many independent cells/epochs, fanning the
+/// requests across `workers` threads (`0` = auto: the `RCR_WORKERS`
+/// environment variable, else serial).
+///
+/// Results are returned in input order and are identical to calling
+/// [`admit`] per request serially, for every worker count; per-request
+/// errors are reported in place rather than aborting the batch.
+pub fn admit_batch(
+    requests: &[AdmissionRequest],
+    workers: usize,
+) -> Vec<Result<AdmissionResult, QosError>> {
+    let workers = rcr_runtime::resolve_workers(workers);
+    rcr_runtime::parallel_map(requests, workers, |_, (problem, classes)| {
+        admit(problem, classes)
+    })
 }
 
 #[cfg(test)]
@@ -159,7 +181,12 @@ mod tests {
     fn overloaded_scenario_evicts_someone_and_stays_feasible() {
         // Demands far beyond the cell capacity: someone must go.
         let p = problem_with_rates(vec![4e6, 4e6, 4e6, 4e6], 2);
-        let classes = vec![QosClass::Mmtc, QosClass::Urllc, QosClass::Embb, QosClass::Mmtc];
+        let classes = vec![
+            QosClass::Mmtc,
+            QosClass::Urllc,
+            QosClass::Embb,
+            QosClass::Mmtc,
+        ];
         let r = admit(&p, &classes).unwrap();
         let kept = r.admitted.iter().filter(|&&a| a).count();
         assert!(kept < 4, "admitted {:?}", r.admitted);
@@ -190,7 +217,11 @@ mod tests {
     #[test]
     fn generated_scenarios_admit_consistently() {
         let s = Scenario::generate(
-            &ScenarioConfig { users: 5, resource_blocks: 10, ..Default::default() },
+            &ScenarioConfig {
+                users: 5,
+                resource_blocks: 10,
+                ..Default::default()
+            },
             11,
         )
         .unwrap();

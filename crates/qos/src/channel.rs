@@ -54,14 +54,18 @@ impl Channel {
         seed: u64,
     ) -> Result<Self, QosError> {
         if users == 0 || resource_blocks == 0 {
-            return Err(QosError::InvalidParameter("users and RBs must be >= 1".into()));
+            return Err(QosError::InvalidParameter(
+                "users and RBs must be >= 1".into(),
+            ));
         }
         if !(config.min_distance_m > 0.0)
             || !(config.cell_radius_m > config.min_distance_m)
             || !(config.path_loss_exponent > 0.0)
             || !(config.reference_gain > 0.0)
         {
-            return Err(QosError::InvalidParameter(format!("bad channel geometry {config:?}")));
+            return Err(QosError::InvalidParameter(format!(
+                "bad channel geometry {config:?}"
+            )));
         }
         let mut rng = StdRng::seed_from_u64(seed);
         // Uniform over the disc area → sqrt sampling of radius.
@@ -146,11 +150,17 @@ mod tests {
         }
         // Mean gain decreases with distance (fading averages out over RBs).
         let mean = |u: usize| -> f64 {
-            (0..ch.resource_blocks()).map(|k| ch.gain(u, k)).sum::<f64>()
+            (0..ch.resource_blocks())
+                .map(|k| ch.gain(u, k))
+                .sum::<f64>()
                 / ch.resource_blocks() as f64
         };
         let mut idx: Vec<usize> = (0..ch.users()).collect();
-        idx.sort_by(|&a, &b| ch.distances_m()[a].partial_cmp(&ch.distances_m()[b]).unwrap());
+        idx.sort_by(|&a, &b| {
+            ch.distances_m()[a]
+                .partial_cmp(&ch.distances_m()[b])
+                .unwrap()
+        });
         let near = mean(idx[0]);
         let far = mean(*idx.last().unwrap());
         assert!(near > far, "near {near} vs far {far}");
@@ -170,7 +180,10 @@ mod tests {
         let cfg = ChannelConfig::default();
         assert!(Channel::generate(&cfg, 0, 4, 0).is_err());
         assert!(Channel::generate(&cfg, 4, 0, 0).is_err());
-        let bad = ChannelConfig { cell_radius_m: 5.0, ..Default::default() };
+        let bad = ChannelConfig {
+            cell_radius_m: 5.0,
+            ..Default::default()
+        };
         assert!(Channel::generate(&bad, 2, 2, 0).is_err());
     }
 }

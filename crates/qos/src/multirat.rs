@@ -51,7 +51,9 @@ impl MultiRatProblem {
             )));
         }
         if capacity.iter().sum::<usize>() < utility.len() {
-            return Err(QosError::InvalidParameter("total capacity below user count".into()));
+            return Err(QosError::InvalidParameter(
+                "total capacity below user count".into(),
+            ));
         }
         if utility.iter().flatten().any(|v| !v.is_finite()) {
             return Err(QosError::InvalidParameter("non-finite utility".into()));
@@ -84,7 +86,11 @@ impl MultiRatProblem {
         if load.iter().zip(&self.capacity).any(|(l, c)| l > c) {
             return None;
         }
-        Some(MultiRatSolution { assignment: assignment.to_vec(), utility: total, load })
+        Some(MultiRatSolution {
+            assignment: assignment.to_vec(),
+            utility: total,
+            load,
+        })
     }
 }
 
@@ -118,7 +124,10 @@ impl RelaxableProblem for MultiRatMinlp<'_> {
             total += best.1;
             values.push(best.0 as f64);
         }
-        Ok(Relaxation { lower_bound: -total, values })
+        Ok(Relaxation {
+            lower_bound: -total,
+            values,
+        })
     }
 
     fn evaluate_assignment(&self, assignment: &[i64]) -> Result<Option<f64>, MinlpError> {
@@ -164,7 +173,9 @@ pub fn solve_greedy(problem: &MultiRatProblem) -> MultiRatSolution {
     for &u in &order {
         let mut rats_by_pref: Vec<usize> = (0..rats).collect();
         rats_by_pref.sort_by(|&a, &b| {
-            problem.utility[u][b].partial_cmp(&problem.utility[u][a]).expect("finite utilities")
+            problem.utility[u][b]
+                .partial_cmp(&problem.utility[u][a])
+                .expect("finite utilities")
         });
         for r in rats_by_pref {
             if remaining[r] > 0 {
@@ -174,7 +185,9 @@ pub fn solve_greedy(problem: &MultiRatProblem) -> MultiRatSolution {
             }
         }
     }
-    problem.evaluate(&assignment).expect("greedy respects capacities by construction")
+    problem
+        .evaluate(&assignment)
+        .expect("greedy respects capacities by construction")
 }
 
 #[cfg(test)]
@@ -206,7 +219,11 @@ mod tests {
                 best = best.max(s.utility);
             }
         }
-        assert!((exact.utility - best).abs() < 1e-9, "exact {} vs brute {best}", exact.utility);
+        assert!(
+            (exact.utility - best).abs() < 1e-9,
+            "exact {} vs brute {best}",
+            exact.utility
+        );
         // Users 0 and 2 have the largest regret → RAT 0; 1 and 3 spill.
         assert_eq!(exact.assignment, vec![0, 1, 0, 1]);
     }
@@ -225,7 +242,11 @@ mod tests {
         let exact = solve_exact(&p, &BnbSettings::default()).unwrap();
         let greedy = solve_greedy(&p);
         assert!(greedy.utility <= exact.utility + 1e-9);
-        assert!(greedy.utility >= 0.9 * exact.utility, "greedy {}", greedy.utility);
+        assert!(
+            greedy.utility >= 0.9 * exact.utility,
+            "greedy {}",
+            greedy.utility
+        );
     }
 
     #[test]

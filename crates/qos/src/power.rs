@@ -114,14 +114,20 @@ pub fn solve_power(problem: &PowerProblem) -> Result<PowerSolution, QosError> {
         )));
     }
     if !(problem.power_budget > 0.0) || !(problem.rb_bandwidth_hz > 0.0) {
-        return Err(QosError::InvalidParameter("budget and bandwidth must be positive".into()));
+        return Err(QosError::InvalidParameter(
+            "budget and bandwidth must be positive".into(),
+        ));
     }
     if problem.gains.iter().any(|&a| !(a > 0.0) || !a.is_finite()) {
-        return Err(QosError::InvalidParameter("gains must be positive and finite".into()));
+        return Err(QosError::InvalidParameter(
+            "gains must be positive and finite".into(),
+        ));
     }
     let users = problem.min_rates_bps.len();
     if problem.owners.iter().any(|&u| u >= users) {
-        return Err(QosError::InvalidParameter("owner index out of range".into()));
+        return Err(QosError::InvalidParameter(
+            "owner index out of range".into(),
+        ));
     }
 
     let user_rates = |powers: &[f64]| -> Vec<f64> {
@@ -137,8 +143,7 @@ pub fn solve_power(problem: &PowerProblem) -> Result<PowerSolution, QosError> {
     let mut best: Option<PowerSolution> = None;
     let iterations = 300;
     for it in 0..iterations {
-        let weights: Vec<f64> =
-            problem.owners.iter().map(|&u| 1.0 + mu[u]).collect();
+        let weights: Vec<f64> = problem.owners.iter().map(|&u| 1.0 + mu[u]).collect();
         let powers = weighted_waterfill(&problem.gains, &weights, problem.power_budget);
         let rates = user_rates(&powers);
         let violation: Vec<f64> = rates
@@ -146,7 +151,9 @@ pub fn solve_power(problem: &PowerProblem) -> Result<PowerSolution, QosError> {
             .zip(&problem.min_rates_bps)
             .map(|(r, m)| m - r)
             .collect();
-        let feasible = violation.iter().all(|&v| v <= 1e-6 * problem.rb_bandwidth_hz.max(1.0));
+        let feasible = violation
+            .iter()
+            .all(|&v| v <= 1e-6 * problem.rb_bandwidth_hz.max(1.0));
 
         let rb_rates: Vec<f64> = powers
             .iter()
@@ -207,8 +214,12 @@ mod tests {
         // Water-filling: p_k = (1/λ − 1/a_k)₊ with common water level:
         // better channels get *more* power only through the 1/a term —
         // levels p_k + 1/a_k must be equal where p > 0.
-        let levels: Vec<f64> =
-            s.powers.iter().zip(&p.gains).map(|(&pw, &a)| pw + 1.0 / a).collect();
+        let levels: Vec<f64> = s
+            .powers
+            .iter()
+            .zip(&p.gains)
+            .map(|(&pw, &a)| pw + 1.0 / a)
+            .collect();
         for w in levels.windows(2) {
             if s.powers[0] > 1e-9 && s.powers[1] > 1e-9 {
                 assert!((w[0] - w[1]).abs() < 1e-5, "levels {levels:?}");
@@ -237,7 +248,11 @@ mod tests {
         let unconstrained = solve_power(&p).unwrap();
         p.min_rates_bps = vec![0.0, 1.0];
         let constrained = solve_power(&p).unwrap();
-        assert!(constrained.feasible, "rates {:?}", constrained.user_rates_bps);
+        assert!(
+            constrained.feasible,
+            "rates {:?}",
+            constrained.user_rates_bps
+        );
         assert!(constrained.user_rates_bps[1] >= 1.0 - 1e-4);
         assert!(constrained.user_rates_bps[1] > unconstrained.user_rates_bps[1]);
         // The diverted power costs total throughput.

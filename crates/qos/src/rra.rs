@@ -18,6 +18,7 @@ use crate::QosError;
 use rcr_minlp::{BnbSettings, MinlpError, RelaxableProblem, Relaxation};
 use rcr_pso::discrete::{minimize_mixed, DiscreteStrategy, VarSpec};
 use rcr_pso::swarm::PsoSettings;
+use rcr_runtime::BatchSolve;
 
 /// An RRA problem instance.
 #[derive(Debug, Clone)]
@@ -73,9 +74,17 @@ impl RraProblem {
             ));
         }
         if min_rates_bps.iter().any(|r| *r < 0.0 || !r.is_finite()) {
-            return Err(QosError::InvalidParameter("negative or non-finite min rate".into()));
+            return Err(QosError::InvalidParameter(
+                "negative or non-finite min rate".into(),
+            ));
         }
-        Ok(RraProblem { channel, noise_power_w, power_budget_w, rb_bandwidth_hz, min_rates_bps })
+        Ok(RraProblem {
+            channel,
+            noise_power_w,
+            power_budget_w,
+            rb_bandwidth_hz,
+            min_rates_bps,
+        })
     }
 
     /// The underlying channel.
@@ -112,10 +121,15 @@ impl RraProblem {
             )));
         }
         if owners.iter().any(|&u| u >= self.users()) {
-            return Err(QosError::InvalidParameter("owner index out of range".into()));
+            return Err(QosError::InvalidParameter(
+                "owner index out of range".into(),
+            ));
         }
-        let gains: Vec<f64> =
-            owners.iter().enumerate().map(|(k, &u)| self.normalized_gain(u, k)).collect();
+        let gains: Vec<f64> = owners
+            .iter()
+            .enumerate()
+            .map(|(k, &u)| self.normalized_gain(u, k))
+            .collect();
         let power = solve_power(&PowerProblem {
             gains,
             owners: owners.to_vec(),
@@ -131,6 +145,24 @@ impl RraProblem {
             qos_satisfied: power.feasible,
             power,
         })
+    }
+
+    /// Evaluates many candidate assignments, fanning the independent
+    /// water-filling solves across `workers` threads (`0` = auto: the
+    /// `RCR_WORKERS` environment variable, else serial).
+    ///
+    /// Results are returned in input order and are identical to calling
+    /// [`RraProblem::evaluate`] per assignment — per-candidate errors are
+    /// reported in place rather than aborting the batch. This is the
+    /// batched evaluation seam for admission sweeps and scheduling
+    /// candidate scoring.
+    pub fn evaluate_batch(
+        &self,
+        assignments: &[Vec<usize>],
+        workers: usize,
+    ) -> Vec<Result<RraSolution, QosError>> {
+        let workers = rcr_runtime::resolve_workers(workers);
+        self.solve_batch(assignments, workers)
     }
 
     /// The relaxation bound for an assignment sub-box: each RB may go to
@@ -163,7 +195,23 @@ impl RraProblem {
             rb_bandwidth_hz: self.rb_bandwidth_hz,
             min_rates_bps: vec![0.0; self.users()],
         })?;
-        Ok((sol.total_rate_bps, owners.iter().map(|&u| u as f64).collect()))
+        Ok((
+            sol.total_rate_bps,
+            owners.iter().map(|&u| u as f64).collect(),
+        ))
+    }
+}
+
+/// Candidate-assignment evaluation is the batch-solve workload of the
+/// QoS layer: each item is an independent inner water-filling solve, so
+/// the runtime's generic fan-out applies directly. [`RraProblem::evaluate_batch`]
+/// routes through this impl.
+impl BatchSolve for RraProblem {
+    type Item = Vec<usize>;
+    type Output = Result<RraSolution, QosError>;
+
+    fn solve_item(&self, _index: usize, owners: &Vec<usize>) -> Self::Output {
+        self.evaluate(owners)
     }
 }
 
@@ -187,7 +235,10 @@ impl RelaxableProblem for RraMinlp<'_> {
             .problem
             .relaxation_rate(bounds)
             .map_err(|e| MinlpError::SubproblemFailure(e.to_string()))?;
-        Ok(Relaxation { lower_bound: -rate, values })
+        Ok(Relaxation {
+            lower_bound: -rate,
+            values,
+        })
     }
 
     fn evaluate_assignment(&self, assignment: &[i64]) -> Result<Option<f64>, MinlpError> {
@@ -196,7 +247,11 @@ impl RelaxableProblem for RraMinlp<'_> {
             .problem
             .evaluate(&owners)
             .map_err(|e| MinlpError::SubproblemFailure(e.to_string()))?;
-        Ok(if sol.qos_satisfied { Some(-sol.total_rate_bps) } else { None })
+        Ok(if sol.qos_satisfied {
+            Some(-sol.total_rate_bps)
+        } else {
+            None
+        })
     }
 }
 
@@ -217,7 +272,10 @@ pub fn relaxation_bound_bps(problem: &RraProblem) -> f64 {
     let bounds = vec![(0i64, problem.users() as i64 - 1); problem.resource_blocks()];
     // Validated problem data cannot fail the unconstrained water-filling;
     // degrade to 0 (a useless but sound bound) rather than panicking.
-    problem.relaxation_rate(&bounds).map(|(r, _)| r).unwrap_or(0.0)
+    problem
+        .relaxation_rate(&bounds)
+        .map(|(r, _)| r)
+        .unwrap_or(0.0)
 }
 
 /// Solves the RRA problem with discrete PSO (distribution attributes) and
@@ -225,12 +283,14 @@ pub fn relaxation_bound_bps(problem: &RraProblem) -> f64 {
 ///
 /// # Errors
 /// Propagates PSO and evaluation errors.
-pub fn solve_pso(
-    problem: &RraProblem,
-    settings: &PsoSettings,
-) -> Result<RraSolution, QosError> {
-    let specs =
-        vec![VarSpec::Integer { lo: 0, hi: problem.users() as i64 - 1 }; problem.resource_blocks()];
+pub fn solve_pso(problem: &RraProblem, settings: &PsoSettings) -> Result<RraSolution, QosError> {
+    let specs = vec![
+        VarSpec::Integer {
+            lo: 0,
+            hi: problem.users() as i64 - 1
+        };
+        problem.resource_blocks()
+    ];
     let band = problem.rb_bandwidth_hz * problem.resource_blocks() as f64;
     let fitness = |x: &[f64]| -> f64 {
         let owners: Vec<usize> = x.iter().map(|&v| v as usize).collect();
@@ -348,7 +408,11 @@ mod tests {
         let bound = relaxation_bound_bps(&p);
         assert!(exact.total_rate_bps <= bound + 1e-6);
         // The bound should not be absurdly loose on small instances.
-        assert!(exact.total_rate_bps > 0.5 * bound, "rate {} bound {bound}", exact.total_rate_bps);
+        assert!(
+            exact.total_rate_bps > 0.5 * bound,
+            "rate {} bound {bound}",
+            exact.total_rate_bps
+        );
     }
 
     #[test]
@@ -377,10 +441,19 @@ mod tests {
         let exact = solve_exact(&p, &BnbSettings::default()).unwrap();
         let pso = solve_pso(
             &p,
-            &PsoSettings { swarm_size: 20, max_iter: 60, seed: 4, ..Default::default() },
+            &PsoSettings {
+                swarm_size: 20,
+                max_iter: 60,
+                seed: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert!(pso.qos_satisfied, "PSO rates {:?}", pso.power.user_rates_bps);
+        assert!(
+            pso.qos_satisfied,
+            "PSO rates {:?}",
+            pso.power.user_rates_bps
+        );
         assert!(
             pso.total_rate_bps >= 0.85 * exact.total_rate_bps,
             "pso {} vs exact {}",

@@ -42,8 +42,7 @@ impl ScheduleResult {
         if self.met_deadline.is_empty() {
             return 1.0;
         }
-        self.met_deadline.iter().filter(|&&m| m).count() as f64
-            / self.met_deadline.len() as f64
+        self.met_deadline.iter().filter(|&&m| m).count() as f64 / self.met_deadline.len() as f64
     }
 }
 
@@ -74,7 +73,9 @@ pub fn schedule(
             )));
         }
         if !(t.demand_bits > 0.0) || !t.demand_bits.is_finite() {
-            return Err(QosError::InvalidParameter(format!("task {i} demand invalid")));
+            return Err(QosError::InvalidParameter(format!(
+                "task {i} demand invalid"
+            )));
         }
     }
 
@@ -134,7 +135,12 @@ pub fn schedule(
         .zip(&completed)
         .map(|(t, c)| matches!(c, Some(s) if *s <= t.deadline_slot))
         .collect();
-    Ok(ScheduleResult { completed_slot: completed, met_deadline, remaining_bits: remaining, per_slot_rate })
+    Ok(ScheduleResult {
+        completed_slot: completed,
+        met_deadline,
+        remaining_bits: remaining,
+        per_slot_rate,
+    })
 }
 
 #[cfg(test)]
@@ -158,7 +164,11 @@ mod tests {
         let slot_s = 1e-3;
         // A task worth ~half of one slot's capacity.
         let demand = 0.5 * slot_capacity_bits(&p, slot_s);
-        let tasks = [SlotTask { user: 0, demand_bits: demand, deadline_slot: 5 }];
+        let tasks = [SlotTask {
+            user: 0,
+            demand_bits: demand,
+            deadline_slot: 5,
+        }];
         let r = schedule(&p, &tasks, 6, slot_s).unwrap();
         assert!(r.met_deadline[0], "completed {:?}", r.completed_slot);
         assert_eq!(r.deadline_success_rate(), 1.0);
@@ -171,7 +181,11 @@ mod tests {
         let slot_s = 1e-3;
         // 100 slots' worth of bits, two slots of time.
         let demand = 100.0 * slot_capacity_bits(&p, slot_s);
-        let tasks = [SlotTask { user: 0, demand_bits: demand, deadline_slot: 1 }];
+        let tasks = [SlotTask {
+            user: 0,
+            demand_bits: demand,
+            deadline_slot: 1,
+        }];
         let r = schedule(&p, &tasks, 2, slot_s).unwrap();
         assert!(!r.met_deadline[0]);
         assert!(r.remaining_bits[0] > 0.0);
@@ -184,14 +198,29 @@ mod tests {
         // Size each demand against that user's own solo capacity (all RBs
         // to the user), since the users' channels can differ wildly.
         let solo = |u: usize| -> f64 {
-            p.evaluate(&vec![u; p.resource_blocks()]).unwrap().total_rate_bps * slot_s
+            p.evaluate(&vec![u; p.resource_blocks()])
+                .unwrap()
+                .total_rate_bps
+                * slot_s
         };
         let tasks = [
-            SlotTask { user: 0, demand_bits: 3.0 * solo(0), deadline_slot: 9 }, // lax
-            SlotTask { user: 1, demand_bits: 0.1 * solo(1), deadline_slot: 1 }, // urgent
+            SlotTask {
+                user: 0,
+                demand_bits: 3.0 * solo(0),
+                deadline_slot: 9,
+            }, // lax
+            SlotTask {
+                user: 1,
+                demand_bits: 0.1 * solo(1),
+                deadline_slot: 1,
+            }, // urgent
         ];
         let r = schedule(&p, &tasks, 10, slot_s).unwrap();
-        assert!(r.met_deadline[1], "urgent task missed: {:?}", r.completed_slot);
+        assert!(
+            r.met_deadline[1],
+            "urgent task missed: {:?}",
+            r.completed_slot
+        );
         let (lax, urgent) = (r.completed_slot[0], r.completed_slot[1]);
         if let (Some(l), Some(u)) = (lax, urgent) {
             assert!(u <= l, "urgent {u} finished after lax {l}");
@@ -202,8 +231,16 @@ mod tests {
     fn throughput_reported_every_slot() {
         let p = problem(3, 6, 4);
         let tasks = [
-            SlotTask { user: 0, demand_bits: 1e6, deadline_slot: 3 },
-            SlotTask { user: 2, demand_bits: 1e6, deadline_slot: 3 },
+            SlotTask {
+                user: 0,
+                demand_bits: 1e6,
+                deadline_slot: 3,
+            },
+            SlotTask {
+                user: 2,
+                demand_bits: 1e6,
+                deadline_slot: 3,
+            },
         ];
         let r = schedule(&p, &tasks, 4, 1e-3).unwrap();
         assert_eq!(r.per_slot_rate.len(), 4);
@@ -214,11 +251,23 @@ mod tests {
     fn validation() {
         let p = problem(2, 4, 5);
         assert!(schedule(&p, &[], 2, 1e-3).is_err());
-        let t = [SlotTask { user: 9, demand_bits: 1.0, deadline_slot: 0 }];
+        let t = [SlotTask {
+            user: 9,
+            demand_bits: 1.0,
+            deadline_slot: 0,
+        }];
         assert!(schedule(&p, &t, 2, 1e-3).is_err());
-        let t = [SlotTask { user: 0, demand_bits: -1.0, deadline_slot: 0 }];
+        let t = [SlotTask {
+            user: 0,
+            demand_bits: -1.0,
+            deadline_slot: 0,
+        }];
         assert!(schedule(&p, &t, 2, 1e-3).is_err());
-        let t = [SlotTask { user: 0, demand_bits: 1.0, deadline_slot: 0 }];
+        let t = [SlotTask {
+            user: 0,
+            demand_bits: 1.0,
+            deadline_slot: 0,
+        }];
         assert!(schedule(&p, &t, 0, 1e-3).is_err());
         assert!(schedule(&p, &t, 1, 0.0).is_err());
     }

@@ -95,7 +95,10 @@ impl Scenario {
     pub fn generate(config: &ScenarioConfig, seed: u64) -> Result<Self, QosError> {
         let (a, b, c) = config.class_mix;
         if !(a >= 0.0 && b >= 0.0 && c >= 0.0) || a + b + c <= 0.0 {
-            return Err(QosError::InvalidParameter(format!("bad class mix {:?}", config.class_mix)));
+            return Err(QosError::InvalidParameter(format!(
+                "bad class mix {:?}",
+                config.class_mix
+            )));
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let total = a + b + c;
@@ -168,7 +171,11 @@ mod tests {
         };
         let s = Scenario::generate(&cfg, 1).unwrap();
         assert_eq!(s.class_counts(), (300, 0, 0));
-        let cfg = ScenarioConfig { users: 300, class_mix: (1.0, 1.0, 1.0), ..Default::default() };
+        let cfg = ScenarioConfig {
+            users: 300,
+            class_mix: (1.0, 1.0, 1.0),
+            ..Default::default()
+        };
         let s = Scenario::generate(&cfg, 2).unwrap();
         let (e, u, m) = s.class_counts();
         assert!(e > 50 && u > 50 && m > 50, "({e},{u},{m})");
@@ -176,7 +183,10 @@ mod tests {
 
     #[test]
     fn min_rates_follow_classes() {
-        let cfg = ScenarioConfig { users: 20, ..Default::default() };
+        let cfg = ScenarioConfig {
+            users: 20,
+            ..Default::default()
+        };
         let s = Scenario::generate(&cfg, 3).unwrap();
         for (cl, &r) in s.classes.iter().zip(&s.rra.min_rates_bps) {
             assert_eq!(r, cl.min_rate_per_rb_bandwidth() * cfg.rb_bandwidth_hz);
@@ -193,9 +203,15 @@ mod tests {
 
     #[test]
     fn validation() {
-        let bad = ScenarioConfig { class_mix: (0.0, 0.0, 0.0), ..Default::default() };
+        let bad = ScenarioConfig {
+            class_mix: (0.0, 0.0, 0.0),
+            ..Default::default()
+        };
         assert!(Scenario::generate(&bad, 0).is_err());
-        let bad = ScenarioConfig { class_mix: (-1.0, 1.0, 1.0), ..Default::default() };
+        let bad = ScenarioConfig {
+            class_mix: (-1.0, 1.0, 1.0),
+            ..Default::default()
+        };
         assert!(Scenario::generate(&bad, 0).is_err());
     }
 

@@ -33,17 +33,26 @@ impl Complex64 {
 
     /// `e^{iθ}` — the unit phasor at angle `theta`.
     pub fn cis(theta: f64) -> Self {
-        Complex64 { re: theta.cos(), im: theta.sin() }
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Creates from polar form `r·e^{iθ}`.
     pub fn from_polar(r: f64, theta: f64) -> Self {
-        Complex64 { re: r * theta.cos(), im: r * theta.sin() }
+        Complex64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Magnitude (modulus).
@@ -63,7 +72,10 @@ impl Complex64 {
 
     /// Scales by a real factor.
     pub fn scale(self, s: f64) -> Self {
-        Complex64 { re: self.re * s, im: self.im * s }
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// True when both components are finite.
@@ -81,7 +93,10 @@ impl From<f64> for Complex64 {
 impl Add for Complex64 {
     type Output = Complex64;
     fn add(self, o: Complex64) -> Complex64 {
-        Complex64 { re: self.re + o.re, im: self.im + o.im }
+        Complex64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -95,7 +110,10 @@ impl AddAssign for Complex64 {
 impl Sub for Complex64 {
     type Output = Complex64;
     fn sub(self, o: Complex64) -> Complex64 {
-        Complex64 { re: self.re - o.re, im: self.im - o.im }
+        Complex64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -136,7 +154,10 @@ impl Div for Complex64 {
 impl Neg for Complex64 {
     type Output = Complex64;
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

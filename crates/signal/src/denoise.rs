@@ -25,7 +25,10 @@ pub struct DenoiseConfig {
 
 impl Default for DenoiseConfig {
     fn default() -> Self {
-        DenoiseConfig { oversubtraction: 1.0, floor: 0.05 }
+        DenoiseConfig {
+            oversubtraction: 1.0,
+            floor: 0.05,
+        }
     }
 }
 
@@ -79,8 +82,7 @@ pub fn subtract_spectrum(
             if mag <= 0.0 {
                 continue;
             }
-            let cleaned =
-                (mag - config.oversubtraction * noise_mag).max(config.floor * mag);
+            let cleaned = (mag - config.oversubtraction * noise_mag).max(config.floor * mag);
             let scale = cleaned / mag;
             *c = Complex64::new(c.re * scale, c.im * scale);
         }
@@ -169,7 +171,10 @@ mod tests {
         let p = plan();
         let profile = noise_profile(&p, &noise).unwrap();
         // Aggressive over-subtraction: output is attenuated but not zero.
-        let cfg = DenoiseConfig { oversubtraction: 5.0, floor: 0.05 };
+        let cfg = DenoiseConfig {
+            oversubtraction: 5.0,
+            floor: 0.05,
+        };
         let out = denoise(&p, &noise, &profile, &cfg).unwrap();
         let energy: f64 = out.iter().map(|v| v * v).sum();
         assert!(energy > 0.0);
@@ -183,9 +188,15 @@ mod tests {
         let noisy = tone(256, 4.0);
         let mut stft = p.analyze(&noisy).unwrap();
         assert!(subtract_spectrum(&mut stft, &[1.0; 5], &DenoiseConfig::default()).is_err());
-        let bad = DenoiseConfig { oversubtraction: 0.0, floor: 0.05 };
+        let bad = DenoiseConfig {
+            oversubtraction: 0.0,
+            floor: 0.05,
+        };
         assert!(subtract_spectrum(&mut stft, &vec![0.1; 32], &bad).is_err());
-        let bad = DenoiseConfig { oversubtraction: 1.0, floor: 1.5 };
+        let bad = DenoiseConfig {
+            oversubtraction: 1.0,
+            floor: 1.5,
+        };
         assert!(subtract_spectrum(&mut stft, &vec![0.1; 32], &bad).is_err());
     }
 }

@@ -10,7 +10,9 @@
 //!   ambiguity class the paper's §IV-A discusses.
 
 use crate::{Complex64, SignalError};
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Naive `O(n²)` DFT — the correctness oracle for the fast paths and the
 /// "deliberately slow" baseline in benchmarks.
@@ -34,10 +36,256 @@ pub fn dft_naive(x: &[Complex64]) -> Result<Vec<Complex64>, SignalError> {
     Ok(out)
 }
 
+/// A precomputed transform plan for one length: bit-reversal table plus
+/// per-stage twiddle factors (both directions), and for non-power-of-two
+/// lengths the Bluestein chirp and the pre-transformed chirp filter.
+///
+/// Plans are immutable and shared: [`FftPlan::for_len`] memoizes them in a
+/// process-wide cache, so repeated transforms of the same length — the
+/// STFT frame loop being the motivating case — pay the setup cost once
+/// instead of recomputing tables per call. [`fft`]/[`ifft`] route through
+/// the same cache, so planned and unplanned calls produce identical
+/// results.
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+#[derive(Debug)]
+enum PlanKind {
+    Pow2(Pow2Plan),
+    Bluestein {
+        /// Forward chirp `e^{-iπk²/n}` (inverse uses the conjugate).
+        chirp: Vec<Complex64>,
+        /// Pow2 convolution length `m = (2n − 1).next_power_of_two()`.
+        inner: Pow2Plan,
+        /// Forward transform of the chirp filter, forward direction.
+        filter_fwd: Vec<Complex64>,
+        /// Forward transform of the chirp filter, inverse direction.
+        filter_inv: Vec<Complex64>,
+    },
+}
+
+/// Tables for the iterative radix-2 kernel.
+#[derive(Debug)]
+struct Pow2Plan {
+    n: usize,
+    bitrev: Vec<usize>,
+    /// `twiddles[s][k] = e^{-2πik/len}` with `len = 2^(s+1)`.
+    twiddles_fwd: Vec<Vec<Complex64>>,
+    /// Conjugate tables for the inverse direction.
+    twiddles_inv: Vec<Vec<Complex64>>,
+}
+
+impl Pow2Plan {
+    fn new(n: usize) -> Pow2Plan {
+        debug_assert!(n.is_power_of_two());
+        let mut bitrev = vec![0usize; n];
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            bitrev[i] = j;
+        }
+        let mut twiddles_fwd = Vec::new();
+        let mut twiddles_inv = Vec::new();
+        let mut len = 2usize;
+        while len <= n {
+            let fwd: Vec<Complex64> = (0..len / 2)
+                .map(|k| Complex64::cis(-2.0 * PI * k as f64 / len as f64))
+                .collect();
+            let inv: Vec<Complex64> = fwd.iter().map(|w| w.conj()).collect();
+            twiddles_fwd.push(fwd);
+            twiddles_inv.push(inv);
+            len <<= 1;
+        }
+        Pow2Plan {
+            n,
+            bitrev,
+            twiddles_fwd,
+            twiddles_inv,
+        }
+    }
+
+    /// Unnormalized in-place transform using the precomputed tables.
+    fn process(&self, buf: &mut [Complex64], inverse: bool) {
+        let n = self.n;
+        debug_assert_eq!(buf.len(), n);
+        if n <= 1 {
+            return;
+        }
+        for i in 1..n {
+            let j = self.bitrev[i];
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let stages = if inverse {
+            &self.twiddles_inv
+        } else {
+            &self.twiddles_fwd
+        };
+        let mut len = 2usize;
+        for tw in stages {
+            let half = len / 2;
+            let mut i = 0;
+            while i < n {
+                for k in 0..half {
+                    let u = buf[i + k];
+                    let v = buf[i + k + half] * tw[k];
+                    buf[i + k] = u + v;
+                    buf[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+    }
+}
+
+impl FftPlan {
+    /// Returns the shared plan for length `n`, building and caching it on
+    /// first use.
+    ///
+    /// # Errors
+    /// Returns [`SignalError::EmptyInput`] for `n == 0`.
+    pub fn for_len(n: usize) -> Result<Arc<FftPlan>, SignalError> {
+        if n == 0 {
+            return Err(SignalError::EmptyInput);
+        }
+        static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(Arc::clone(
+            map.entry(n).or_insert_with(|| Arc::new(FftPlan::build(n))),
+        ))
+    }
+
+    /// The transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the plan length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn build(n: usize) -> FftPlan {
+        if n.is_power_of_two() {
+            return FftPlan {
+                n,
+                kind: PlanKind::Pow2(Pow2Plan::new(n)),
+            };
+        }
+        // Bluestein: w[k] = e^{-iπk²/n}, using k² mod 2n to bound angles.
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let idx = (k as u128 * k as u128) % (2 * n as u128);
+                Complex64::cis(-PI * idx as f64 / n as f64)
+            })
+            .collect();
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Pow2Plan::new(m);
+        let filter_for = |inverse: bool| -> Vec<Complex64> {
+            let mut b = vec![Complex64::ZERO; m];
+            for k in 0..n {
+                let c = if inverse { chirp[k] } else { chirp[k].conj() };
+                b[k] = c;
+                if k > 0 {
+                    b[m - k] = c;
+                }
+            }
+            inner.process(&mut b, false);
+            b
+        };
+        let filter_fwd = filter_for(false);
+        let filter_inv = filter_for(true);
+        FftPlan {
+            n,
+            kind: PlanKind::Bluestein {
+                chirp,
+                inner,
+                filter_fwd,
+                filter_inv,
+            },
+        }
+    }
+
+    /// Forward transform (no scaling).
+    ///
+    /// # Errors
+    /// Returns [`SignalError::InvalidLength`] when `x.len()` differs from
+    /// the plan length.
+    pub fn forward(&self, x: &[Complex64]) -> Result<Vec<Complex64>, SignalError> {
+        self.transform(x, false)
+    }
+
+    /// Inverse transform (with `1/N` normalization).
+    ///
+    /// # Errors
+    /// Returns [`SignalError::InvalidLength`] when `x.len()` differs from
+    /// the plan length.
+    pub fn inverse(&self, x: &[Complex64]) -> Result<Vec<Complex64>, SignalError> {
+        let mut out = self.transform(x, true)?;
+        let scale = 1.0 / self.n as f64;
+        for v in &mut out {
+            *v = v.scale(scale);
+        }
+        Ok(out)
+    }
+
+    fn transform(&self, x: &[Complex64], inverse: bool) -> Result<Vec<Complex64>, SignalError> {
+        if x.len() != self.n {
+            return Err(SignalError::InvalidLength {
+                what: "fft plan input length",
+                got: x.len(),
+            });
+        }
+        match &self.kind {
+            PlanKind::Pow2(plan) => {
+                let mut buf = x.to_vec();
+                plan.process(&mut buf, inverse);
+                Ok(buf)
+            }
+            PlanKind::Bluestein {
+                chirp,
+                inner,
+                filter_fwd,
+                filter_inv,
+            } => {
+                let n = self.n;
+                let m = inner.n;
+                // Inverse direction conjugates the chirp.
+                let c = |k: usize| if inverse { chirp[k].conj() } else { chirp[k] };
+                let filter = if inverse { filter_inv } else { filter_fwd };
+                let mut a = vec![Complex64::ZERO; m];
+                for k in 0..n {
+                    a[k] = x[k] * c(k);
+                }
+                inner.process(&mut a, false);
+                for (av, fv) in a.iter_mut().zip(filter) {
+                    *av *= *fv;
+                }
+                inner.process(&mut a, true);
+                let scale = 1.0 / m as f64;
+                Ok((0..n).map(|k| (a[k] * c(k)).scale(scale)).collect())
+            }
+        }
+    }
+}
+
 /// Forward FFT of a complex signal of arbitrary length.
 ///
 /// Power-of-two lengths use iterative radix-2 Cooley–Tukey; other lengths
-/// use Bluestein's chirp-z algorithm (exact, `O(n log n)`).
+/// use Bluestein's chirp-z algorithm (exact, `O(n log n)`). Twiddle and
+/// bit-reversal tables come from the process-wide [`FftPlan`] cache, so
+/// repeated same-length calls skip the setup entirely.
 ///
 /// # Errors
 /// Returns [`SignalError::EmptyInput`] for empty input.
@@ -45,14 +293,7 @@ pub fn fft(x: &[Complex64]) -> Result<Vec<Complex64>, SignalError> {
     if x.is_empty() {
         return Err(SignalError::EmptyInput);
     }
-    let n = x.len();
-    if n.is_power_of_two() {
-        let mut buf = x.to_vec();
-        fft_pow2_in_place(&mut buf, false);
-        Ok(buf)
-    } else {
-        bluestein(x, false)
-    }
+    FftPlan::for_len(x.len())?.forward(x)
 }
 
 /// Inverse FFT (with `1/N` normalization).
@@ -63,19 +304,7 @@ pub fn ifft(x: &[Complex64]) -> Result<Vec<Complex64>, SignalError> {
     if x.is_empty() {
         return Err(SignalError::EmptyInput);
     }
-    let n = x.len();
-    let mut out = if n.is_power_of_two() {
-        let mut buf = x.to_vec();
-        fft_pow2_in_place(&mut buf, true);
-        buf
-    } else {
-        bluestein(x, true)?
-    };
-    let scale = 1.0 / n as f64;
-    for v in &mut out {
-        *v = v.scale(scale);
-    }
-    Ok(out)
+    FftPlan::for_len(x.len())?.inverse(x)
 }
 
 /// Real-input FFT: returns the `N/2 + 1` non-redundant spectrum bins.
@@ -102,7 +331,10 @@ pub fn irfft(spectrum: &[Complex64], n: usize) -> Result<Vec<f64>, SignalError> 
         return Err(SignalError::EmptyInput);
     }
     if n / 2 + 1 != spectrum.len() {
-        return Err(SignalError::InvalidLength { what: "irfft output length", got: n });
+        return Err(SignalError::InvalidLength {
+            what: "irfft output length",
+            got: n,
+        });
     }
     // Rebuild the full Hermitian spectrum.
     let mut full = Vec::with_capacity(n);
@@ -113,81 +345,6 @@ pub fn irfft(spectrum: &[Complex64], n: usize) -> Result<Vec<f64>, SignalError> 
     debug_assert_eq!(full.len(), n);
     let time = ifft(&full)?;
     Ok(time.into_iter().map(|c| c.re).collect())
-}
-
-/// In-place radix-2 Cooley–Tukey FFT (length must be a power of two).
-/// `inverse` selects the conjugate transform **without** normalization.
-fn fft_pow2_in_place(buf: &mut [Complex64], inverse: bool) {
-    let n = buf.len();
-    debug_assert!(n.is_power_of_two());
-    if n <= 1 {
-        return;
-    }
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            buf.swap(i, j);
-        }
-    }
-    // Butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
-        let wlen = Complex64::cis(ang);
-        let mut i = 0;
-        while i < n {
-            let mut w = Complex64::ONE;
-            for k in 0..len / 2 {
-                let u = buf[i + k];
-                let v = buf[i + k + len / 2] * w;
-                buf[i + k] = u + v;
-                buf[i + k + len / 2] = u - v;
-                w *= wlen;
-            }
-            i += len;
-        }
-        len <<= 1;
-    }
-}
-
-/// Bluestein chirp-z transform for arbitrary lengths.
-fn bluestein(x: &[Complex64], inverse: bool) -> Result<Vec<Complex64>, SignalError> {
-    let n = x.len();
-    let sign = if inverse { 1.0 } else { -1.0 };
-    // Chirp: w[k] = e^{sign·iπk²/n}; use k² mod 2n to keep angles bounded.
-    let chirp: Vec<Complex64> = (0..n)
-        .map(|k| {
-            let idx = (k as u128 * k as u128) % (2 * n as u128);
-            Complex64::cis(sign * PI * idx as f64 / n as f64)
-        })
-        .collect();
-
-    let m = (2 * n - 1).next_power_of_two();
-    let mut a = vec![Complex64::ZERO; m];
-    let mut b = vec![Complex64::ZERO; m];
-    for k in 0..n {
-        a[k] = x[k] * chirp[k];
-        b[k] = chirp[k].conj();
-    }
-    for k in 1..n {
-        b[m - k] = chirp[k].conj();
-    }
-    fft_pow2_in_place(&mut a, false);
-    fft_pow2_in_place(&mut b, false);
-    for k in 0..m {
-        a[k] = a[k] * b[k];
-    }
-    fft_pow2_in_place(&mut a, true);
-    let scale = 1.0 / m as f64;
-    Ok((0..n).map(|k| (a[k] * chirp[k]).scale(scale)).collect())
 }
 
 /// Total spectral energy `Σ|X[k]|²` — used for Parseval checks.
@@ -221,16 +378,18 @@ mod tests {
 
     #[test]
     fn fft_matches_naive_dft_pow2() {
-        let x: Vec<Complex64> =
-            (0..16).map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos())).collect();
+        let x: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
         assert_spectra_close(&fft(&x).unwrap(), &dft_naive(&x).unwrap(), 1e-10);
     }
 
     #[test]
     fn fft_matches_naive_dft_arbitrary_lengths() {
         for n in [3usize, 5, 6, 7, 12, 15, 17, 31] {
-            let x: Vec<Complex64> =
-                (0..n).map(|i| Complex64::new(i as f64 * 0.7 - 1.0, (i * i % 5) as f64)).collect();
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new(i as f64 * 0.7 - 1.0, (i * i % 5) as f64))
+                .collect();
             assert_spectra_close(&fft(&x).unwrap(), &dft_naive(&x).unwrap(), 1e-9);
         }
     }
@@ -238,8 +397,9 @@ mod tests {
     #[test]
     fn fft_ifft_roundtrip() {
         for n in [8usize, 13, 16, 27] {
-            let x: Vec<Complex64> =
-                (0..n).map(|i| Complex64::new((i as f64 * 1.7).sin(), (i as f64).cos())).collect();
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 1.7).sin(), (i as f64).cos()))
+                .collect();
             let back = ifft(&fft(&x).unwrap()).unwrap();
             assert_spectra_close(&back, &x, 1e-10);
         }
@@ -269,7 +429,9 @@ mod tests {
     #[test]
     fn parseval_theorem_holds() {
         let n = 64usize;
-        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos() * (i as f64 * 0.02).exp()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.1).cos() * (i as f64 * 0.02).exp())
+            .collect();
         let cx: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
         let spec = fft(&cx).unwrap();
         let time_energy: f64 = x.iter().map(|v| v * v).sum();
@@ -294,8 +456,9 @@ mod tests {
     fn single_tone_peaks_at_right_bin() {
         let n = 32usize;
         let k0 = 5;
-        let x: Vec<f64> =
-            (0..n).map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
         let spec = rfft(&x).unwrap();
         let mags: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
         let peak = mags
@@ -321,5 +484,39 @@ mod tests {
         let x = vec![Complex64::new(3.0, -2.0)];
         assert_eq!(fft(&x).unwrap(), x);
         assert_eq!(ifft(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn plan_cache_returns_shared_plans() {
+        let a = FftPlan::for_len(48).unwrap();
+        let b = FftPlan::for_len(48).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same length must hit the cache");
+        assert_eq!(a.len(), 48);
+        assert!(!a.is_empty());
+        assert!(FftPlan::for_len(0).is_err());
+    }
+
+    #[test]
+    fn planned_transform_is_bitwise_identical_to_fft() {
+        // `fft`/`ifft` route through the cache, so a user-held plan must
+        // produce the exact same floats — pow2 and Bluestein alike.
+        for n in [16usize, 20] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64).sin(), i as f64 * 0.25))
+                .collect();
+            let plan = FftPlan::for_len(n).unwrap();
+            assert_eq!(plan.forward(&x).unwrap(), fft(&x).unwrap());
+            assert_eq!(plan.inverse(&x).unwrap(), ifft(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_length() {
+        let plan = FftPlan::for_len(8).unwrap();
+        let x = vec![Complex64::ONE; 4];
+        assert!(matches!(
+            plan.forward(&x),
+            Err(SignalError::InvalidLength { got: 4, .. })
+        ));
     }
 }

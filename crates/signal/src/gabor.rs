@@ -47,7 +47,11 @@ pub fn gabor_transform(
     hop: usize,
     fft_size: usize,
 ) -> Result<Stft, SignalError> {
-    let g = window(WindowKind::Gaussian { sigma: 0.4 }, WindowSymmetry::Periodic, window_len)?;
+    let g = window(
+        WindowKind::Gaussian { sigma: 0.4 },
+        WindowSymmetry::Periodic,
+        window_len,
+    )?;
     let plan = StftPlan::new(g, hop, fft_size, PhaseConvention::TimeInvariant)?;
     plan.analyze(signal)
 }
@@ -107,10 +111,18 @@ pub fn phase_derivative(
             };
             let ok = cur.abs() > mag_tol && prev.abs() > mag_tol;
             reliable[n][m] = ok;
-            values[n][m] = if ok { wrap(cur.arg() - prev.arg()) } else { 0.0 };
+            values[n][m] = if ok {
+                wrap(cur.arg() - prev.arg())
+            } else {
+                0.0
+            };
         }
     }
-    Ok(PhaseDerivative { values, reliable, mag_tol })
+    Ok(PhaseDerivative {
+        values,
+        reliable,
+        mag_tol,
+    })
 }
 
 #[cfg(test)]
@@ -136,8 +148,9 @@ mod tests {
         let k0 = 4usize;
         let m_size = 32usize;
         let hop = 8usize;
-        let s: Vec<f64> =
-            (0..n).map(|i| (2.0 * PI * k0 as f64 * i as f64 / m_size as f64).cos()).collect();
+        let s: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / m_size as f64).cos())
+            .collect();
         let g = gabor_transform(&s, 32, hop, m_size).unwrap();
         let pd = phase_derivative(&g, PhaseDerivKind::Time, 1e-6).unwrap();
         let expected = {

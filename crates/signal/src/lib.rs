@@ -42,8 +42,8 @@
 #![warn(missing_docs)]
 
 mod complex;
-mod error;
 pub mod denoise;
+mod error;
 pub mod fft;
 pub mod gabor;
 pub mod ofdm;

@@ -24,7 +24,10 @@ pub struct OfdmConfig {
 
 impl Default for OfdmConfig {
     fn default() -> Self {
-        OfdmConfig { subcarriers: 64, cyclic_prefix: 16 }
+        OfdmConfig {
+            subcarriers: 64,
+            cyclic_prefix: 16,
+        }
     }
 }
 
@@ -77,7 +80,7 @@ pub fn qpsk_demap(sym: Complex64) -> (bool, bool) {
 pub fn modulate(config: &OfdmConfig, bits: &[bool]) -> Result<Vec<Complex64>, SignalError> {
     config.validate()?;
     let bps = config.bits_per_symbol();
-    if bits.is_empty() || bits.len() % bps != 0 {
+    if bits.is_empty() || !bits.len().is_multiple_of(bps) {
         return Err(SignalError::InvalidParameter(format!(
             "{} bits do not fill whole {}-bit OFDM symbols",
             bits.len(),
@@ -87,8 +90,7 @@ pub fn modulate(config: &OfdmConfig, bits: &[bool]) -> Result<Vec<Complex64>, Si
     let m = config.subcarriers;
     let mut out = Vec::with_capacity(bits.len() / bps * config.samples_per_symbol());
     for chunk in bits.chunks(bps) {
-        let freq: Vec<Complex64> =
-            chunk.chunks(2).map(|b| qpsk_map(b[0], b[1])).collect();
+        let freq: Vec<Complex64> = chunk.chunks(2).map(|b| qpsk_map(b[0], b[1])).collect();
         let time = ifft(&freq)?;
         // Cyclic prefix: the tail of the symbol, prepended.
         out.extend_from_slice(&time[m - config.cyclic_prefix..]);
@@ -122,7 +124,9 @@ pub fn channel_frequency_response(
 ) -> Result<Vec<Complex64>, SignalError> {
     config.validate()?;
     if taps.len() > config.subcarriers {
-        return Err(SignalError::InvalidParameter("more taps than subcarriers".into()));
+        return Err(SignalError::InvalidParameter(
+            "more taps than subcarriers".into(),
+        ));
     }
     let mut padded = vec![Complex64::ZERO; config.subcarriers];
     padded[..taps.len()].copy_from_slice(taps);
@@ -142,7 +146,7 @@ pub fn demodulate(
 ) -> Result<Vec<bool>, SignalError> {
     config.validate()?;
     let sps = config.samples_per_symbol();
-    if samples.is_empty() || samples.len() % sps != 0 {
+    if samples.is_empty() || !samples.len().is_multiple_of(sps) {
         return Err(SignalError::InvalidParameter(format!(
             "{} samples do not fill whole {sps}-sample OFDM symbols",
             samples.len()
@@ -216,14 +220,20 @@ mod tests {
         let rx_samples = apply_channel(&tx, &taps);
         let h = channel_frequency_response(&cfg, &taps).unwrap();
         let rx = demodulate(&cfg, &rx_samples, &h).unwrap();
-        assert_eq!(bits, rx, "cyclic prefix + single-tap equalization must be exact");
+        assert_eq!(
+            bits, rx,
+            "cyclic prefix + single-tap equalization must be exact"
+        );
     }
 
     #[test]
     fn first_symbol_survives_channel_memory() {
         // The FIR channel smears across symbol boundaries; the CP absorbs
         // it even for the very first symbol (leading zeros).
-        let cfg = OfdmConfig { subcarriers: 32, cyclic_prefix: 8 };
+        let cfg = OfdmConfig {
+            subcarriers: 32,
+            cyclic_prefix: 8,
+        };
         let taps = vec![Complex64::new(0.9, 0.1), Complex64::new(0.3, 0.0)];
         let bits = test_bits(cfg.bits_per_symbol());
         let tx = modulate(&cfg, &bits).unwrap();
@@ -236,7 +246,10 @@ mod tests {
     #[test]
     fn insufficient_cyclic_prefix_breaks_orthogonality() {
         // Channel longer than the CP → inter-symbol interference → errors.
-        let cfg = OfdmConfig { subcarriers: 32, cyclic_prefix: 2 };
+        let cfg = OfdmConfig {
+            subcarriers: 32,
+            cyclic_prefix: 2,
+        };
         let mut taps = vec![Complex64::ZERO; 8];
         taps[0] = Complex64::ONE;
         taps[7] = Complex64::new(0.9, 0.0); // strong echo past the CP
@@ -251,9 +264,15 @@ mod tests {
 
     #[test]
     fn validation() {
-        let bad = OfdmConfig { subcarriers: 48, cyclic_prefix: 8 };
+        let bad = OfdmConfig {
+            subcarriers: 48,
+            cyclic_prefix: 8,
+        };
         assert!(modulate(&bad, &test_bits(96)).is_err());
-        let bad = OfdmConfig { subcarriers: 32, cyclic_prefix: 32 };
+        let bad = OfdmConfig {
+            subcarriers: 32,
+            cyclic_prefix: 32,
+        };
         assert!(modulate(&bad, &test_bits(64)).is_err());
         let cfg = OfdmConfig::default();
         assert!(modulate(&cfg, &test_bits(7)).is_err());
@@ -272,7 +291,11 @@ mod tests {
         // With this modem's 1/N-scaled IFFT, per-bin symbol energy is 1
         // and FFT-aggregated noise has variance N·σ² per bin, so
         // Eb/N0 = 1 / (2·N·σ²)  ⇒  σ² = 1 / (2·N·ebn0).
-        let cfg = OfdmConfig { subcarriers: 64, cyclic_prefix: 8, ..Default::default() };
+        let cfg = OfdmConfig {
+            subcarriers: 64,
+            cyclic_prefix: 8,
+            ..Default::default()
+        };
         let symbols = 400usize;
         let bits = test_bits(cfg.bits_per_symbol() * symbols);
         let tx = modulate(&cfg, &bits).unwrap();
@@ -285,9 +308,13 @@ mod tests {
         // Deterministic Box–Muller noise.
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut gauss = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u1 = ((state >> 33) as f64 / (1u64 << 31) as f64).clamp(1e-12, 1.0);
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u2 = (state >> 33) as f64 / (1u64 << 31) as f64;
             (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
         };
@@ -309,7 +336,10 @@ mod tests {
 
     #[test]
     fn cp_is_a_copy_of_the_symbol_tail() {
-        let cfg = OfdmConfig { subcarriers: 16, cyclic_prefix: 4 };
+        let cfg = OfdmConfig {
+            subcarriers: 16,
+            cyclic_prefix: 4,
+        };
         let bits = test_bits(cfg.bits_per_symbol());
         let tx = modulate(&cfg, &bits).unwrap();
         // tx = [cp(4) | body(16)]: cp must equal the last 4 body samples.

@@ -121,7 +121,11 @@ impl LibraryProfile {
                 FrameAlignment::Causal,
                 PaddingMode::Truncate,
             ),
-            _ => (PhaseConvention::TimeInvariant, FrameAlignment::Centered, PaddingMode::Circular),
+            _ => (
+                PhaseConvention::TimeInvariant,
+                FrameAlignment::Centered,
+                PaddingMode::Circular,
+            ),
         };
         // The symmetric-window defect is really two entangled assumptions:
         // a filter-design window *plus* the constant-COLA-gain ISTFT that
@@ -193,7 +197,12 @@ impl Default for ConformanceSuite {
         // 250 is deliberately not a multiple of the hop past the last full
         // window: (250-32)/8 truncates, so non-circular framing must lose
         // tail samples.
-        ConformanceSuite { signal_len: 250, window_len: 32, hop: 8, fft_size: 32 }
+        ConformanceSuite {
+            signal_len: 250,
+            window_len: 32,
+            hop: 8,
+            fft_size: 32,
+        }
     }
 }
 
@@ -235,14 +244,22 @@ impl ConformanceSuite {
             .zip(&back)
             .map(|(a, b)| (*a - *b).abs())
             .fold(0.0, f64::max);
-        outcomes.push(CheckOutcome { check: "fft-roundtrip", metric: rt_err, pass: rt_err < 1e-9 });
+        outcomes.push(CheckOutcome {
+            check: "fft-roundtrip",
+            metric: rt_err,
+            pass: rt_err < 1e-9,
+        });
 
         // 2. Parseval: time energy vs spectral energy under the documented
         //    convention (unscaled forward).
         let time_e: f64 = s.iter().map(|v| v * v).sum();
         let freq_e = spectral_energy(&spec) / s.len() as f64;
         let pv_err = (time_e - freq_e).abs() / time_e.max(1e-30);
-        outcomes.push(CheckOutcome { check: "parseval", metric: pv_err, pass: pv_err < 1e-9 });
+        outcomes.push(CheckOutcome {
+            check: "parseval",
+            metric: pv_err,
+            pass: pv_err < 1e-9,
+        });
 
         // 3. RFFT amplitude: a unit-amplitude tone must have bin magnitude
         //    N/2 under the documented convention.
@@ -274,8 +291,11 @@ impl ConformanceSuite {
         let plan = profile.stft_plan(self.window_len, self.hop, self.fft_size)?;
         let st = plan.analyze(&s)?;
         let rec = plan.synthesize(&st)?;
-        let stft_err =
-            s.iter().zip(&rec).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let stft_err = s
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         outcomes.push(CheckOutcome {
             check: "stft-roundtrip",
             metric: stft_err,
@@ -285,11 +305,8 @@ impl ConformanceSuite {
         // 5. STFT phase agreement with the time-invariant reference
         //    convention (catches the stored-window phase skew).
         {
-            let ref_plan = LibraryProfile::Reference.stft_plan(
-                self.window_len,
-                self.hop,
-                self.fft_size,
-            )?;
+            let ref_plan =
+                LibraryProfile::Reference.stft_plan(self.window_len, self.hop, self.fft_size)?;
             let ref_st = ref_plan.analyze(&s)?;
             let frames = st.num_frames().min(ref_st.num_frames());
             let mut max_phase = 0.0f64;
@@ -322,7 +339,11 @@ impl ConformanceSuite {
                 .zip(&rec[self.signal_len - tail..])
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max);
-            outcomes.push(CheckOutcome { check: "tail-coverage", metric: err, pass: err < 1e-9 });
+            outcomes.push(CheckOutcome {
+                check: "tail-coverage",
+                metric: err,
+                pass: err < 1e-9,
+            });
         }
 
         // 7. Log-softmax stability at extreme logits (§V).
@@ -331,7 +352,11 @@ impl ConformanceSuite {
             let out = profile.log_softmax(&logits);
             let audit = rcr_numerics::float::FloatAudit::scan(&out);
             let bad = (audit.nan_count + audit.inf_count) as f64;
-            outcomes.push(CheckOutcome { check: "log-softmax", metric: bad, pass: bad == 0.0 });
+            outcomes.push(CheckOutcome {
+                check: "log-softmax",
+                metric: bad,
+                pass: bad == 0.0,
+            });
         }
 
         Ok(ProfileReport { profile, outcomes })
@@ -342,7 +367,10 @@ impl ConformanceSuite {
     /// # Errors
     /// Propagates kernel errors.
     pub fn run_all(&self) -> Result<Vec<ProfileReport>, SignalError> {
-        LibraryProfile::all().iter().map(|&p| self.run_profile(p)).collect()
+        LibraryProfile::all()
+            .iter()
+            .map(|&p| self.run_profile(p))
+            .collect()
     }
 }
 
@@ -355,7 +383,11 @@ mod tests {
     }
 
     fn failed(r: &ProfileReport) -> Vec<&'static str> {
-        r.outcomes.iter().filter(|o| !o.pass).map(|o| o.check).collect()
+        r.outcomes
+            .iter()
+            .filter(|o| !o.pass)
+            .map(|o| o.check)
+            .collect()
     }
 
     #[test]
@@ -381,7 +413,10 @@ mod tests {
         let f = failed(&r);
         assert!(f.contains(&"stft-phase"));
         assert!(!f.contains(&"fft-roundtrip"));
-        assert!(!f.contains(&"stft-roundtrip"), "own-convention roundtrip still works");
+        assert!(
+            !f.contains(&"stft-roundtrip"),
+            "own-convention roundtrip still works"
+        );
     }
 
     #[test]

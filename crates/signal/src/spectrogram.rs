@@ -63,7 +63,10 @@ impl Spectrogram {
                     .collect()
             })
             .collect();
-        Spectrogram { data, n_bins: self.n_bins }
+        Spectrogram {
+            data,
+            n_bins: self.n_bins,
+        }
     }
 
     /// Total power summed over the whole plane.
@@ -94,11 +97,18 @@ mod tests {
     #[test]
     fn tone_concentrates_power_at_its_bin() {
         let k0 = 6usize;
-        let s: Vec<f64> = (0..256).map(|i| (2.0 * PI * k0 as f64 * i as f64 / 32.0).cos()).collect();
+        let s: Vec<f64> = (0..256)
+            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / 32.0).cos())
+            .collect();
         let sp = make(&s);
         assert_eq!(sp.num_bins(), 17);
         for row in sp.rows() {
-            let peak = row.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+            let peak = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
             assert_eq!(peak, k0);
         }
     }
@@ -107,8 +117,18 @@ mod tests {
     fn db_conversion_peak_is_zero() {
         let s: Vec<f64> = (0..128).map(|i| (0.3 * i as f64).sin()).collect();
         let db = make(&s).to_db(-80.0);
-        let max = db.rows().iter().flatten().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let min = db.rows().iter().flatten().cloned().fold(f64::INFINITY, f64::min);
+        let max = db
+            .rows()
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = db
+            .rows()
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!((max - 0.0).abs() < 1e-12);
         assert!(min >= -80.0);
     }

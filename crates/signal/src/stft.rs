@@ -21,9 +21,10 @@
 //! multiplication of the STFT with an a priori determined matrix of phase
 //! factors" the paper prescribes; see [`Stft::convert`].
 
-use crate::fft::{fft, ifft};
+use crate::fft::FftPlan;
 use crate::{Complex64, SignalError};
 use std::f64::consts::PI;
+use std::sync::Arc;
 
 /// Where phase zero sits within each analysis frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,8 +81,14 @@ pub enum Normalization {
 #[derive(Debug, Clone)]
 pub struct StftPlan {
     window: Vec<f64>,
+    /// Cached `g[l]²` — the overlap-add weights, computed once at plan
+    /// construction instead of per frame in [`StftPlan::synthesize`].
+    window_sq: Vec<f64>,
     hop: usize,
     fft_size: usize,
+    /// Shared FFT plan for `fft_size`: twiddle/bit-reversal tables are
+    /// built once and reused for every analysis and synthesis frame.
+    fft_plan: Arc<FftPlan>,
     convention: PhaseConvention,
     alignment: FrameAlignment,
     padding: PaddingMode,
@@ -126,10 +133,14 @@ impl StftPlan {
                 window.len()
             )));
         }
+        let fft_plan = FftPlan::for_len(fft_size)?;
+        let window_sq = window.iter().map(|g| g * g).collect();
         Ok(StftPlan {
             window,
+            window_sq,
             hop,
             fft_size,
+            fft_plan,
             convention,
             alignment: FrameAlignment::Centered,
             padding: PaddingMode::Circular,
@@ -257,9 +268,13 @@ impl StftPlan {
                 let pos = self.phase_position(start, l);
                 buf[pos] += Complex64::from_real(sample * g);
             }
-            data.push(fft(&buf)?);
+            data.push(self.fft_plan.forward(&buf)?);
         }
-        Ok(Stft { data, plan: self.clone(), signal_len: signal.len() })
+        Ok(Stft {
+            data,
+            plan: self.clone(),
+            signal_len: signal.len(),
+        })
     }
 
     /// Buffer index realizing the phase convention: placing windowed sample
@@ -297,7 +312,7 @@ impl StftPlan {
         let mut weight = vec![0.0; out_len];
         for (n, frame) in stft.data.iter().enumerate() {
             let start = self.frame_start(n);
-            let time = ifft(frame)?;
+            let time = self.fft_plan.inverse(frame)?;
             for (l, &g) in self.window.iter().enumerate() {
                 let idx = start + l as i64;
                 let target = match self.padding {
@@ -311,7 +326,7 @@ impl StftPlan {
                 } as usize;
                 let pos = self.phase_position(start, l);
                 out[target] += time[pos].re * g;
-                weight[target] += g * g;
+                weight[target] += self.window_sq[l];
             }
         }
         match self.normalization {
@@ -323,8 +338,7 @@ impl StftPlan {
                 }
             }
             Normalization::ColaConstant => {
-                let gain: f64 =
-                    self.window.iter().map(|g| g * g).sum::<f64>() / self.hop as f64;
+                let gain: f64 = self.window_sq.iter().sum::<f64>() / self.hop as f64;
                 if gain > 1e-12 {
                     for o in &mut out {
                         *o /= gain;
@@ -406,7 +420,7 @@ impl Stft {
         }
         for (n, frame) in out.data.iter_mut().enumerate() {
             for (m, v) in frame.iter_mut().enumerate() {
-                *v = *v * Self::conversion_factor(&self.plan, from, to, m, n);
+                *v *= Self::conversion_factor(&self.plan, from, to, m, n);
             }
         }
         out.plan.convention = to;
@@ -429,7 +443,9 @@ mod tests {
         (0..len)
             .map(|i| {
                 let t = i as f64;
-                (0.21 * t).sin() + 0.5 * (0.07 * t + 1.0).cos() + 0.1 * ((i * 2654435761) % 97) as f64 / 97.0
+                (0.21 * t).sin()
+                    + 0.5 * (0.07 * t + 1.0).cos()
+                    + 0.1 * ((i * 2654435761) % 97) as f64 / 97.0
             })
             .collect()
     }
@@ -453,7 +469,11 @@ mod tests {
             let p = plan(conv);
             let st = p.analyze(&s).unwrap();
             let back = p.synthesize(&st).unwrap();
-            let err: f64 = s.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            let err: f64 = s
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
             assert!(err < 1e-10, "{conv:?}: max err {err}");
         }
     }
@@ -483,16 +503,24 @@ mod tests {
         assert_eq!(st.num_frames(), 22);
         let back = p.synthesize(&st).unwrap();
         // The final samples are simply never covered.
-        let tail_err: f64 =
-            s[200..].iter().zip(&back[200..]).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
-        assert!(tail_err > 1e-3, "tail unexpectedly reconstructed: {tail_err}");
+        let tail_err: f64 = s[200..]
+            .iter()
+            .zip(&back[200..])
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            tail_err > 1e-3,
+            "tail unexpectedly reconstructed: {tail_err}"
+        );
     }
 
     #[test]
     fn conventions_agree_in_magnitude_but_not_phase() {
         let s = test_signal(128);
         let ti = plan(PhaseConvention::TimeInvariant).analyze(&s).unwrap();
-        let sti = plan(PhaseConvention::SimplifiedTimeInvariant).analyze(&s).unwrap();
+        let sti = plan(PhaseConvention::SimplifiedTimeInvariant)
+            .analyze(&s)
+            .unwrap();
         let mut max_mag_diff = 0.0f64;
         let mut max_phase_diff = 0.0f64;
         for (fa, fb) in ti.frames().iter().zip(sti.frames()) {
@@ -511,9 +539,18 @@ mod tests {
     fn pointwise_phase_correction_converts_conventions() {
         let s = test_signal(160);
         for (from, to) in [
-            (PhaseConvention::SimplifiedTimeInvariant, PhaseConvention::TimeInvariant),
-            (PhaseConvention::TimeInvariant, PhaseConvention::FrequencyInvariant),
-            (PhaseConvention::SimplifiedTimeInvariant, PhaseConvention::FrequencyInvariant),
+            (
+                PhaseConvention::SimplifiedTimeInvariant,
+                PhaseConvention::TimeInvariant,
+            ),
+            (
+                PhaseConvention::TimeInvariant,
+                PhaseConvention::FrequencyInvariant,
+            ),
+            (
+                PhaseConvention::SimplifiedTimeInvariant,
+                PhaseConvention::FrequencyInvariant,
+            ),
         ] {
             let x_from = plan(from).analyze(&s).unwrap();
             let x_to_direct = plan(to).analyze(&s).unwrap();
@@ -562,12 +599,19 @@ mod tests {
         let pc = plan(PhaseConvention::TimeInvariant);
         let pd = plan(PhaseConvention::TimeInvariant).with_alignment(FrameAlignment::Causal);
         let energy = |st: &Stft| -> Vec<f64> {
-            st.frames().iter().map(|f| f.iter().map(|c| c.norm_sqr()).sum()).collect()
+            st.frames()
+                .iter()
+                .map(|f| f.iter().map(|c| c.norm_sqr()).sum())
+                .collect()
         };
         let ec = energy(&pc.analyze(&s).unwrap());
         let ed = energy(&pd.analyze(&s).unwrap());
         let peak = |e: &[f64]| {
-            e.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+            e.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
         };
         // Centered: impulse at sample 64 peaks at frame 64/8 = 8.
         assert_eq!(peak(&ec), 8);

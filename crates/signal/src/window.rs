@@ -44,13 +44,22 @@ pub enum WindowSymmetry {
 /// # Errors
 /// * [`SignalError::InvalidLength`] when `len == 0`.
 /// * [`SignalError::InvalidParameter`] for a non-positive Gaussian sigma.
-pub fn window(kind: WindowKind, symmetry: WindowSymmetry, len: usize) -> Result<Vec<f64>, SignalError> {
+pub fn window(
+    kind: WindowKind,
+    symmetry: WindowSymmetry,
+    len: usize,
+) -> Result<Vec<f64>, SignalError> {
     if len == 0 {
-        return Err(SignalError::InvalidLength { what: "window length", got: 0 });
+        return Err(SignalError::InvalidLength {
+            what: "window length",
+            got: 0,
+        });
     }
     if let WindowKind::Gaussian { sigma } = kind {
         if !(sigma > 0.0) || !sigma.is_finite() {
-            return Err(SignalError::InvalidParameter(format!("gaussian sigma {sigma}")));
+            return Err(SignalError::InvalidParameter(format!(
+                "gaussian sigma {sigma}"
+            )));
         }
     }
     if len == 1 {
@@ -149,17 +158,30 @@ mod tests {
 
     #[test]
     fn gaussian_peak_at_center() {
-        let w = window(WindowKind::Gaussian { sigma: 0.4 }, WindowSymmetry::Symmetric, 33).unwrap();
+        let w = window(
+            WindowKind::Gaussian { sigma: 0.4 },
+            WindowSymmetry::Symmetric,
+            33,
+        )
+        .unwrap();
         assert!((w[16] - 1.0).abs() < 1e-12);
         assert!(w[0] < w[16]);
     }
 
     #[test]
     fn gaussian_rejects_bad_sigma() {
-        assert!(window(WindowKind::Gaussian { sigma: 0.0 }, WindowSymmetry::Periodic, 8).is_err());
-        assert!(
-            window(WindowKind::Gaussian { sigma: -1.0 }, WindowSymmetry::Periodic, 8).is_err()
-        );
+        assert!(window(
+            WindowKind::Gaussian { sigma: 0.0 },
+            WindowSymmetry::Periodic,
+            8
+        )
+        .is_err());
+        assert!(window(
+            WindowKind::Gaussian { sigma: -1.0 },
+            WindowSymmetry::Periodic,
+            8
+        )
+        .is_err());
     }
 
     #[test]

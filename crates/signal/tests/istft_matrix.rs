@@ -1,0 +1,143 @@
+//! ISTFT round-trip matrix: every [`PaddingMode`] × [`Normalization`]
+//! combination, with the expected reconstruction quality of each cell
+//! spelled out — including the combinations that *cannot* reconstruct
+//! (Truncate's unanalyzed tail, ColaConstant's attenuated boundaries),
+//! which is exactly the library-behavior divergence the paper's §IV-B
+//! catalogues.
+
+use rcr_signal::stft::{FrameAlignment, Normalization, PaddingMode, PhaseConvention, StftPlan};
+use rcr_signal::window::{window, WindowKind, WindowSymmetry};
+
+const WIN: usize = 32;
+const HOP: usize = 8; // 75% overlap: squared periodic Hann satisfies COLA.
+const LEN: usize = 264; // LEN − WIN is a hop multiple: Truncate covers all.
+
+fn test_signal() -> Vec<f64> {
+    (0..LEN)
+        .map(|i| {
+            let t = i as f64;
+            (0.19 * t).sin() + 0.4 * (0.053 * t + 0.7).cos()
+        })
+        .collect()
+}
+
+fn plan(padding: PaddingMode, normalization: Normalization) -> StftPlan {
+    let g = window(WindowKind::Hann, WindowSymmetry::Periodic, WIN).unwrap();
+    let alignment = match padding {
+        // Truncate's frame-count formula assumes frames start inside the
+        // signal; causal alignment is its natural pairing.
+        PaddingMode::Truncate => FrameAlignment::Causal,
+        _ => FrameAlignment::Centered,
+    };
+    StftPlan::new(g, HOP, WIN, PhaseConvention::TimeInvariant)
+        .unwrap()
+        .with_alignment(alignment)
+        .with_padding(padding)
+        .with_normalization(normalization)
+}
+
+/// Max absolute reconstruction error over `range`.
+fn max_err(s: &[f64], back: &[f64], range: std::ops::Range<usize>) -> f64 {
+    s[range.clone()]
+        .iter()
+        .zip(&back[range])
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn roundtrip_matrix_matches_documented_guarantees() {
+    let s = test_signal();
+    let paddings = [
+        PaddingMode::Circular,
+        PaddingMode::ZeroPad,
+        PaddingMode::Truncate,
+    ];
+    let norms = [
+        Normalization::WindowSquaredPerSample,
+        Normalization::ColaConstant,
+    ];
+
+    for padding in paddings {
+        for norm in norms {
+            let p = plan(padding, norm);
+            let st = p.analyze(&s).unwrap();
+            let back = p.synthesize(&st).unwrap();
+            assert_eq!(back.len(), s.len());
+            let label = format!("{padding:?} x {norm:?}");
+
+            // Interior samples reconstruct exactly in every combination:
+            // full window overlap makes per-sample and COLA-constant
+            // normalization coincide there.
+            let interior = max_err(&s, &back, 2 * WIN..LEN - 2 * WIN);
+            assert!(interior < 1e-10, "{label}: interior err {interior:e}");
+
+            match padding {
+                PaddingMode::Circular => {
+                    // Periodic extension: no boundary at all. Both
+                    // normalizations are exact end to end because the
+                    // accumulated window energy is constant everywhere.
+                    let full = max_err(&s, &back, 0..LEN);
+                    assert!(full < 1e-10, "{label}: full err {full:e}");
+                }
+                PaddingMode::ZeroPad => {
+                    let edge = max_err(&s, &back, 0..WIN / 2);
+                    match norm {
+                        Normalization::WindowSquaredPerSample => {
+                            // Per-sample weights track the *actual*
+                            // accumulated window energy, so even partially
+                            // covered edges divide out correctly.
+                            assert!(edge < 1e-9, "{label}: edge err {edge:e}");
+                        }
+                        Normalization::ColaConstant => {
+                            // The constant assumes full overlap; edges see
+                            // less window energy and come back attenuated.
+                            assert!(edge > 1e-3, "{label}: edge unexpectedly exact");
+                        }
+                    }
+                }
+                PaddingMode::Truncate => {
+                    // Frames exist only for n ≤ (L − L_g)/a. At this LEN
+                    // the last frame happens to end exactly at the signal
+                    // boundary, so the whole signal is covered; the
+                    // unrecoverable-tail case (L − L_g not a hop multiple)
+                    // is exercised by the dedicated test below.
+                    let frames = p.num_frames(LEN);
+                    assert_eq!(frames, (LEN - WIN) / HOP + 1, "{label}: frame count");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncate_tail_is_unrecoverable_under_both_normalizations() {
+    // 269 samples: (269 − 32)/8 = 29 rem 5 → the last 5 samples fall
+    // beyond every frame. Both normalizations must fail identically on
+    // the tail while reconstructing the covered interior exactly.
+    let len = 269usize;
+    let s: Vec<f64> = (0..len).map(|i| (0.23 * i as f64).sin() + 0.5).collect();
+    for norm in [
+        Normalization::WindowSquaredPerSample,
+        Normalization::ColaConstant,
+    ] {
+        let p = plan(PaddingMode::Truncate, norm);
+        let st = p.analyze(&s).unwrap();
+        assert_eq!(st.num_frames(), (len - WIN) / HOP + 1);
+        let back = p.synthesize(&st).unwrap();
+        let interior = max_err(&s, &back, 2 * WIN..len - 2 * WIN);
+        assert!(interior < 1e-10, "{norm:?}: interior err {interior:e}");
+        let tail = max_err(&s, &back, len - 5..len);
+        assert!(
+            tail > 1e-2,
+            "{norm:?}: unanalyzed tail reconstructed: {tail:e}"
+        );
+    }
+}
+
+#[test]
+fn truncate_rejects_signals_shorter_than_the_window() {
+    let p = plan(PaddingMode::Truncate, Normalization::WindowSquaredPerSample);
+    let short = vec![1.0; WIN - 1];
+    assert!(p.analyze(&short).is_err());
+}

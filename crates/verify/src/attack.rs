@@ -112,8 +112,18 @@ pub fn coordinate_attack(
             _ => best = Some((m, x)),
         }
     }
-    let (worst_margin, worst_input) = best.expect("at least the center start");
-    Ok(AttackResult { worst_input, worst_margin, evaluations })
+    // The start set always contains the box center, so `best` is Some;
+    // surface a typed error rather than a panic if that invariant breaks.
+    let Some((worst_margin, worst_input)) = best else {
+        return Err(VerifyError::InvalidInput(
+            "attack produced no start points".into(),
+        ));
+    };
+    Ok(AttackResult {
+        worst_input,
+        worst_margin,
+        evaluations,
+    })
 }
 
 #[cfg(test)]
@@ -123,7 +133,10 @@ mod tests {
 
     fn abs_net() -> AffineReluNet {
         AffineReluNet::new(vec![
-            (Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(), vec![0.0, 0.0]),
+            (
+                Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(),
+                vec![0.0, 0.0],
+            ),
             (Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(), vec![0.0]),
         ])
         .unwrap()
@@ -133,7 +146,10 @@ mod tests {
     fn finds_the_violation_when_one_exists() {
         // |x| − 0.5 > 0 fails on (−0.5, 0.5); the attack must find it.
         let net = abs_net();
-        let spec = Specification { c: vec![1.0], offset: -0.5 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: -0.5,
+        };
         let r = coordinate_attack(&net, &[(-1.0, 1.0)], &spec, 12).unwrap();
         assert!(r.succeeded(), "margin {}", r.worst_margin);
         assert!(r.worst_input[0].abs() < 0.5 + 1e-9);
@@ -142,7 +158,10 @@ mod tests {
     #[test]
     fn cannot_attack_a_true_property() {
         let net = abs_net();
-        let spec = Specification { c: vec![1.0], offset: 0.1 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: 0.1,
+        };
         let r = coordinate_attack(&net, &[(-1.0, 1.0)], &spec, 12).unwrap();
         assert!(!r.succeeded());
         // And the attack margin upper-bounds the true minimum (0.1).
@@ -154,16 +173,15 @@ mod tests {
         // For any net: attack margin (an upper bound on the min) must be
         // ≥ the exact verifier's certified lower bound.
         let net = abs_net();
-        let spec = Specification { c: vec![1.0], offset: 0.05 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: 0.05,
+        };
         let bx = [(-1.0, 1.0)];
         let attack = coordinate_attack(&net, &bx, &spec, 16).unwrap();
-        let exact = crate::exact::verify_complete(
-            &net,
-            &bx,
-            &spec,
-            &crate::exact::BnbSettings::default(),
-        )
-        .unwrap();
+        let exact =
+            crate::exact::verify_complete(&net, &bx, &spec, &crate::exact::BnbSettings::default())
+                .unwrap();
         assert!(attack.worst_margin >= exact.lower_bound - 1e-9);
         // On |x| the attack actually reaches the true minimum at x = 0.
         assert!((attack.worst_margin - 0.05).abs() < 1e-9);
@@ -174,23 +192,35 @@ mod tests {
         // f(x,y) = |x| + |y| − 0.3: minimum −0.3 at the origin.
         let net = AffineReluNet::new(vec![
             (
-                Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]])
-                    .unwrap(),
+                Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]]).unwrap(),
                 vec![0.0; 4],
             ),
-            (Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]).unwrap(), vec![-0.3]),
+            (
+                Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]).unwrap(),
+                vec![-0.3],
+            ),
         ])
         .unwrap();
-        let spec = Specification { c: vec![1.0], offset: 0.0 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: 0.0,
+        };
         let r = coordinate_attack(&net, &[(-1.0, 1.0), (-1.0, 1.0)], &spec, 16).unwrap();
         assert!(r.succeeded());
-        assert!((r.worst_margin + 0.3).abs() < 1e-6, "margin {}", r.worst_margin);
+        assert!(
+            (r.worst_margin + 0.3).abs() < 1e-6,
+            "margin {}",
+            r.worst_margin
+        );
     }
 
     #[test]
     fn validation() {
         let net = abs_net();
-        let spec = Specification { c: vec![1.0], offset: 0.0 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: 0.0,
+        };
         assert!(coordinate_attack(&net, &[], &spec, 4).is_err());
         assert!(coordinate_attack(&net, &[(-1.0, 1.0)], &spec, 0).is_err());
     }

@@ -65,6 +65,25 @@ pub fn interval_bounds(
     net: &AffineReluNet,
     input_box: &[(f64, f64)],
 ) -> Result<LayerBounds, VerifyError> {
+    interval_bounds_parallel(net, input_box, 1)
+}
+
+/// [`interval_bounds`] with the per-layer row sweep fanned out across
+/// `workers` threads (a count as resolved by
+/// [`rcr_runtime::resolve_workers`]).
+///
+/// Rows of one layer are independent and each row's accumulation order is
+/// unchanged, so the result is bit-identical to the serial propagation for
+/// every worker count. Layers stay sequential — each consumes the previous
+/// layer's post-activation box.
+///
+/// # Errors
+/// Same as [`interval_bounds`].
+pub fn interval_bounds_parallel(
+    net: &AffineReluNet,
+    input_box: &[(f64, f64)],
+    workers: usize,
+) -> Result<LayerBounds, VerifyError> {
     validate_box(input_box)?;
     if input_box.len() != net.input_dim() {
         return Err(VerifyError::DimensionMismatch(format!(
@@ -78,8 +97,8 @@ pub fn interval_bounds(
     let mut pre = Vec::with_capacity(depth);
     let mut post = Vec::with_capacity(depth);
     for (li, (w, b)) in net.layers().iter().enumerate() {
-        let mut layer_pre = Vec::with_capacity(w.rows());
-        for r in 0..w.rows() {
+        let rows: Vec<usize> = (0..w.rows()).collect();
+        let layer_pre: Vec<(f64, f64)> = rcr_runtime::parallel_map(&rows, workers, |_, &r| {
             let mut lo = b[r];
             let mut hi = b[r];
             for c in 0..w.cols() {
@@ -93,10 +112,13 @@ pub fn interval_bounds(
                     hi += wv * xl;
                 }
             }
-            layer_pre.push((lo, hi));
-        }
+            (lo, hi)
+        });
         let layer_post: Vec<(f64, f64)> = if li + 1 < depth {
-            layer_pre.iter().map(|&(lo, hi)| (lo.max(0.0), hi.max(0.0))).collect()
+            layer_pre
+                .iter()
+                .map(|&(lo, hi)| (lo.max(0.0), hi.max(0.0)))
+                .collect()
         } else {
             layer_pre.clone()
         };
@@ -114,7 +136,10 @@ mod tests {
 
     fn abs_net() -> AffineReluNet {
         AffineReluNet::new(vec![
-            (Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(), vec![0.0, 0.0]),
+            (
+                Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(),
+                vec![0.0, 0.0],
+            ),
             (Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(), vec![0.0]),
         ])
         .unwrap()
@@ -163,7 +188,10 @@ mod tests {
                     input_box[1].0 + (input_box[1].1 - input_box[1].0) * j as f64 / 10.0,
                 ];
                 let y = net.eval(&x).unwrap()[0];
-                assert!(y >= lo - 1e-12 && y <= hi + 1e-12, "y={y} outside [{lo},{hi}]");
+                assert!(
+                    y >= lo - 1e-12 && y <= hi + 1e-12,
+                    "y={y} outside [{lo},{hi}]"
+                );
             }
         }
     }

@@ -110,7 +110,11 @@ pub fn crown_lower_with_bounds(
     for (ai, &(lo, hi)) in a.iter().zip(input_box) {
         lower += if *ai >= 0.0 { ai * lo } else { ai * hi };
     }
-    Ok(CrownBound { lower, input_coeffs: a, constant: c })
+    Ok(CrownBound {
+        lower,
+        input_coeffs: a,
+        constant: c,
+    })
 }
 
 /// Computes a CROWN lower bound, deriving interval bounds internally.
@@ -135,22 +139,49 @@ pub fn crown_output_bounds(
     net: &AffineReluNet,
     input_box: &[(f64, f64)],
 ) -> Result<Vec<(f64, f64)>, VerifyError> {
+    crown_output_bounds_parallel(net, input_box, 1)
+}
+
+/// [`crown_output_bounds`] with the per-output-node backward passes fanned
+/// out across `workers` threads (a count as resolved by
+/// [`rcr_runtime::resolve_workers`]).
+///
+/// Each output's `±e_j` backward substitutions are independent and share
+/// only the read-only pre-activation bounds, so results are bit-identical
+/// to the serial sweep for every worker count.
+///
+/// # Errors
+/// Same as [`crown_lower`].
+pub fn crown_output_bounds_parallel(
+    net: &AffineReluNet,
+    input_box: &[(f64, f64)],
+    workers: usize,
+) -> Result<Vec<(f64, f64)>, VerifyError> {
     let bounds = interval_bounds(net, input_box)?;
     let m = net.output_dim();
-    let mut out = Vec::with_capacity(m);
-    for j in 0..m {
+    let outputs: Vec<usize> = (0..m).collect();
+    let per_output = rcr_runtime::parallel_map(&outputs, workers, |_, &j| {
         let mut c = vec![0.0; m];
         c[j] = 1.0;
-        let lo = crown_lower_with_bounds(net, input_box, &Specification { c: c.clone(), offset: 0.0 }, &bounds)?
-            .lower;
+        let lo = crown_lower_with_bounds(
+            net,
+            input_box,
+            &Specification {
+                c: c.clone(),
+                offset: 0.0,
+            },
+            &bounds,
+        )?
+        .lower;
         for v in &mut c {
             *v = -*v;
         }
-        let hi = -crown_lower_with_bounds(net, input_box, &Specification { c, offset: 0.0 }, &bounds)?
-            .lower;
-        out.push((lo, hi));
-    }
-    Ok(out)
+        let hi =
+            -crown_lower_with_bounds(net, input_box, &Specification { c, offset: 0.0 }, &bounds)?
+                .lower;
+        Ok::<(f64, f64), VerifyError>((lo, hi))
+    });
+    per_output.into_iter().collect()
 }
 
 /// Largest `ε` in `[0, max_eps]` (to resolution `tol`) at which the
@@ -171,11 +202,12 @@ pub fn relaxed_certified_radius(
     tol: f64,
 ) -> Result<f64, VerifyError> {
     if !(max_eps > 0.0) || !(tol > 0.0) {
-        return Err(VerifyError::InvalidInput("max_eps and tol must be positive".into()));
+        return Err(VerifyError::InvalidInput(
+            "max_eps and tol must be positive".into(),
+        ));
     }
-    let ball = |eps: f64| -> Vec<(f64, f64)> {
-        center.iter().map(|&c| (c - eps, c + eps)).collect()
-    };
+    let ball =
+        |eps: f64| -> Vec<(f64, f64)> { center.iter().map(|&c| (c - eps, c + eps)).collect() };
     let holds = |eps: f64| -> Result<bool, VerifyError> {
         Ok(crown_lower(net, &ball(eps), spec)?.lower > 0.0)
     };
@@ -205,7 +237,10 @@ mod tests {
 
     fn abs_net() -> AffineReluNet {
         AffineReluNet::new(vec![
-            (Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(), vec![0.0, 0.0]),
+            (
+                Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(),
+                vec![0.0, 0.0],
+            ),
             (Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(), vec![0.0]),
         ])
         .unwrap()
@@ -215,7 +250,9 @@ mod tests {
         // Deterministic pseudo-random 2-4-4-1 network.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mk = |rows: usize, cols: usize, f: &mut dyn FnMut() -> f64| {
@@ -230,7 +267,10 @@ mod tests {
     }
 
     fn spec1() -> Specification {
-        Specification { c: vec![1.0], offset: 0.0 }
+        Specification {
+            c: vec![1.0],
+            offset: 0.0,
+        }
     }
 
     #[test]
@@ -249,7 +289,10 @@ mod tests {
         let cb = crown_lower(&net, &input_box, &spec1()).unwrap();
         assert!(cb.lower <= 0.0 + 1e-12, "must be sound: {}", cb.lower);
         let ibp = interval_bounds(&net, &input_box).unwrap();
-        assert!(cb.lower >= ibp.output()[0].0 - 1e-12, "never looser than IBP here");
+        assert!(
+            cb.lower >= ibp.output()[0].0 - 1e-12,
+            "never looser than IBP here"
+        );
     }
 
     #[test]
@@ -262,10 +305,7 @@ mod tests {
             let mut min_seen = f64::INFINITY;
             for i in 0..=24 {
                 for j in 0..=24 {
-                    let x = [
-                        -0.8 + 1.6 * i as f64 / 24.0,
-                        -0.5 + 1.5 * j as f64 / 24.0,
-                    ];
+                    let x = [-0.8 + 1.6 * i as f64 / 24.0, -0.5 + 1.5 * j as f64 / 24.0];
                     min_seen = min_seen.min(net.eval(&x).unwrap()[0]);
                 }
             }
@@ -289,7 +329,10 @@ mod tests {
         // f(x) = ReLU(x + 1.5) + ReLU(−x + 1.5) ≡ 3 on [−1, 1] (both
         // neurons stably active): CROWN is exact, IBP is off by 2.
         let net = AffineReluNet::new(vec![
-            (Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(), vec![1.5, 1.5]),
+            (
+                Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(),
+                vec![1.5, 1.5],
+            ),
             (Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(), vec![0.0]),
         ])
         .unwrap();
@@ -330,7 +373,10 @@ mod tests {
         let net = abs_net();
         assert!(crown_lower(&net, &[], &spec1()).is_err());
         assert!(crown_lower(&net, &[(0.0, 1.0), (0.0, 1.0)], &spec1()).is_err());
-        let bad_spec = Specification { c: vec![1.0, 2.0], offset: 0.0 };
+        let bad_spec = Specification {
+            c: vec![1.0, 2.0],
+            offset: 0.0,
+        };
         assert!(crown_lower(&net, &[(0.0, 1.0)], &bad_spec).is_err());
     }
 
@@ -339,9 +385,11 @@ mod tests {
         // f(x) = |x| − 0.2 > 0 holds on the ball around 0.6 of radius 0.4
         // exactly; CROWN certifies a subset of that.
         let net = abs_net();
-        let spec = Specification { c: vec![1.0], offset: -0.2 };
-        let relaxed =
-            relaxed_certified_radius(&net, &[0.6], &spec, 1.0, 1e-3).unwrap();
+        let spec = Specification {
+            c: vec![1.0],
+            offset: -0.2,
+        };
+        let relaxed = relaxed_certified_radius(&net, &[0.6], &spec, 1.0, 1e-3).unwrap();
         let exact = crate::exact::certified_radius(
             &net,
             &[0.6],

@@ -70,11 +70,25 @@ pub struct BnbSettings {
     pub max_nodes: usize,
     /// Terminate once `upper − lower < epsilon` (bound gap).
     pub epsilon: f64,
+    /// Worker threads for bounding/probing subproblems: `0` = auto (the
+    /// `RCR_WORKERS` environment variable, else serial). Results are
+    /// identical for every worker count.
+    pub workers: usize,
+    /// Open nodes popped and bounded per round. The wave size — not the
+    /// worker count — determines the exploration order, which is why
+    /// verdicts and node counts are worker-count independent. `0` is
+    /// treated as `1`.
+    pub wave: usize,
 }
 
 impl Default for BnbSettings {
     fn default() -> Self {
-        BnbSettings { max_nodes: 100_000, epsilon: 1e-6 }
+        BnbSettings {
+            max_nodes: 100_000,
+            epsilon: 1e-6,
+            workers: 0,
+            wave: 8,
+        }
     }
 }
 
@@ -99,7 +113,7 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the smallest lower.
-        other.lower.partial_cmp(&self.lower).unwrap_or(Ordering::Equal)
+        other.lower.total_cmp(&self.lower)
     }
 }
 
@@ -136,12 +150,12 @@ pub fn verify_complete(
 ) -> Result<BnbReport, VerifyError> {
     validate_box(input_box)?;
     if settings.max_nodes == 0 || !(settings.epsilon > 0.0) {
-        return Err(VerifyError::InvalidInput("max_nodes >= 1 and epsilon > 0 required".into()));
+        return Err(VerifyError::InvalidInput(
+            "max_nodes >= 1 and epsilon > 0 required".into(),
+        ));
     }
 
-    let eval_margin = |x: &[f64]| -> Result<f64, VerifyError> {
-        Ok(spec.eval(&net.eval(x)?))
-    };
+    let eval_margin = |x: &[f64]| -> Result<f64, VerifyError> { Ok(spec.eval(&net.eval(x)?)) };
 
     // Concrete probes: center and corners (corners capped at 2^10).
     let probe = |domain: &[(f64, f64)]| -> Result<(f64, Vec<f64>), VerifyError> {
@@ -179,7 +193,9 @@ pub fn verify_complete(
     }
     if lower_global > 0.0 {
         return Ok(BnbReport {
-            verdict: Verdict::Verified { lower_bound: lower_global },
+            verdict: Verdict::Verified {
+                lower_bound: lower_global,
+            },
             nodes,
             lower_bound: lower_global,
             upper_bound: upper,
@@ -187,16 +203,34 @@ pub fn verify_complete(
         });
     }
 
+    let workers = rcr_runtime::resolve_workers(settings.workers);
+    let wave = settings.wave.max(1);
     let mut heap = BinaryHeap::new();
-    heap.push(Node { lower: root_lower, domain: input_box.to_vec() });
+    heap.push(Node {
+        lower: root_lower,
+        domain: input_box.to_vec(),
+    });
 
-    while let Some(node) = heap.pop() {
-        // Global lower bound = weakest open node (heap top after pop is
-        // this node, the smallest).
-        lower_global = node.lower;
+    while !heap.is_empty() {
+        // Pop a wave of the weakest-bound open nodes. The wave size is a
+        // setting, not the worker count, so the exploration schedule —
+        // and with it every bound, verdict, and node count — is the same
+        // no matter how many threads compute it.
+        let mut batch = Vec::with_capacity(wave);
+        while batch.len() < wave {
+            match heap.pop() {
+                Some(n) => batch.push(n),
+                None => break,
+            }
+        }
+
+        // Global lower bound = weakest open node (first of the batch).
+        lower_global = batch[0].lower;
         if lower_global > 0.0 {
             return Ok(BnbReport {
-                verdict: Verdict::Verified { lower_bound: lower_global },
+                verdict: Verdict::Verified {
+                    lower_bound: lower_global,
+                },
                 nodes,
                 lower_bound: lower_global,
                 upper_bound: upper,
@@ -206,7 +240,9 @@ pub fn verify_complete(
         if upper - lower_global < settings.epsilon {
             // Gap closed: the true minimum is ≈ upper; sign decides.
             let verdict = if upper > 0.0 {
-                Verdict::Verified { lower_bound: lower_global }
+                Verdict::Verified {
+                    lower_bound: lower_global,
+                }
             } else {
                 Verdict::Falsified { margin: upper }
             };
@@ -222,40 +258,56 @@ pub fn verify_complete(
             return Err(VerifyError::BudgetExhausted { nodes });
         }
 
-        // Split along the widest dimension.
-        let (dim, _) = node
-            .domain
-            .iter()
-            .enumerate()
-            .map(|(i, &(l, h))| (i, h - l))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite widths"))
-            .expect("non-empty domain");
-        let mid = 0.5 * (node.domain[dim].0 + node.domain[dim].1);
-        for half in 0..2 {
-            let mut sub = node.domain.clone();
-            if half == 0 {
-                sub[dim].1 = mid;
-            } else {
-                sub[dim].0 = mid;
-            }
-            nodes += 1;
-            let lower = node_bound(net, &sub, spec)?;
-            let (m, x) = probe(&sub)?;
-            if m < upper {
-                upper = m;
-                witness = x;
-                if upper <= 0.0 {
-                    return Ok(BnbReport {
-                        verdict: Verdict::Falsified { margin: upper },
-                        nodes,
-                        lower_bound: lower_global,
-                        upper_bound: upper,
-                        counterexample: Some(witness),
-                    });
+        // Bound and probe both children of every node in the wave across
+        // the worker pool; each child subproblem is independent.
+        type Child = ((f64, f64), Vec<f64>, Vec<(f64, f64)>);
+        let results: Vec<Result<Vec<Child>, VerifyError>> =
+            rcr_runtime::parallel_map(&batch, workers, |_, node| {
+                // Split along the widest dimension.
+                let (dim, _) = node
+                    .domain
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(l, h))| (i, h - l))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .ok_or_else(|| VerifyError::InvalidInput("empty domain".into()))?;
+                let mid = 0.5 * (node.domain[dim].0 + node.domain[dim].1);
+                let mut children = Vec::with_capacity(2);
+                for half in 0..2 {
+                    let mut sub = node.domain.clone();
+                    if half == 0 {
+                        sub[dim].1 = mid;
+                    } else {
+                        sub[dim].0 = mid;
+                    }
+                    let lower = node_bound(net, &sub, spec)?;
+                    let (m, x) = probe(&sub)?;
+                    children.push(((lower, m), x, sub));
                 }
-            }
-            if lower <= 0.0 {
-                heap.push(Node { lower, domain: sub });
+                Ok(children)
+            });
+
+        // Serial merge in wave order: identical to processing the popped
+        // nodes one by one.
+        for node_children in results {
+            for ((lower, m), x, sub) in node_children? {
+                nodes += 1;
+                if m < upper {
+                    upper = m;
+                    witness = x;
+                    if upper <= 0.0 {
+                        return Ok(BnbReport {
+                            verdict: Verdict::Falsified { margin: upper },
+                            nodes,
+                            lower_bound: lower_global,
+                            upper_bound: upper,
+                            counterexample: Some(witness),
+                        });
+                    }
+                }
+                if lower <= 0.0 {
+                    heap.push(Node { lower, domain: sub });
+                }
             }
         }
     }
@@ -286,11 +338,12 @@ pub fn certified_radius(
     settings: &BnbSettings,
 ) -> Result<f64, VerifyError> {
     if !(max_eps > 0.0) || !(tol > 0.0) {
-        return Err(VerifyError::InvalidInput("max_eps and tol must be positive".into()));
+        return Err(VerifyError::InvalidInput(
+            "max_eps and tol must be positive".into(),
+        ));
     }
-    let ball = |eps: f64| -> Vec<(f64, f64)> {
-        center.iter().map(|&c| (c - eps, c + eps)).collect()
-    };
+    let ball =
+        |eps: f64| -> Vec<(f64, f64)> { center.iter().map(|&c| (c - eps, c + eps)).collect() };
     // The margin at the center must be positive to begin with.
     if spec.eval(&net.eval(center)?) <= 0.0 {
         return Ok(0.0);
@@ -322,7 +375,10 @@ mod tests {
     fn abs_net() -> AffineReluNet {
         // f(x) = |x|.
         AffineReluNet::new(vec![
-            (Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(), vec![0.0, 0.0]),
+            (
+                Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(),
+                vec![0.0, 0.0],
+            ),
             (Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(), vec![0.0]),
         ])
         .unwrap()
@@ -337,7 +393,10 @@ mod tests {
         // |x| + 0.5 > 0 everywhere: trivially true, needs tight bounding
         // because IBP at the root gives lower −... actually 0.5 > 0.
         let net = abs_net();
-        let spec = Specification { c: vec![1.0], offset: 0.5 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: 0.5,
+        };
         let r = verify_complete(&net, &[(-1.0, 1.0)], &spec, &settings()).unwrap();
         assert!(matches!(r.verdict, Verdict::Verified { .. }), "{r:?}");
     }
@@ -346,7 +405,10 @@ mod tests {
     fn falsifies_false_property() {
         // |x| − 0.5 > 0 fails near x = 0.
         let net = abs_net();
-        let spec = Specification { c: vec![1.0], offset: -0.5 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: -0.5,
+        };
         let r = verify_complete(&net, &[(-1.0, 1.0)], &spec, &settings()).unwrap();
         match r.verdict {
             Verdict::Falsified { margin } => {
@@ -378,10 +440,17 @@ mod tests {
         let net = loose_net();
         // f(x) = |x| − 0.9x has min 0 at x = 0, so f + 0.05 > 0 holds
         // everywhere with margin 0.05.
-        let spec = Specification { c: vec![1.0], offset: 0.05 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: 0.05,
+        };
         // Root CROWN bound is loose (≈ −0.85) so branching must kick in.
         let root = crate::crown::crown_lower(&net, &[(-1.0, 1.0)], &spec).unwrap();
-        assert!(root.lower < 0.0, "root bound unexpectedly tight: {}", root.lower);
+        assert!(
+            root.lower < 0.0,
+            "root bound unexpectedly tight: {}",
+            root.lower
+        );
         let r = verify_complete(&net, &[(-1.0, 1.0)], &spec, &settings()).unwrap();
         assert!(matches!(r.verdict, Verdict::Verified { .. }), "{r:?}");
         assert!(r.nodes > 1, "expected branching, got {} nodes", r.nodes);
@@ -410,14 +479,19 @@ mod tests {
         // 0.3 — BnB must find it.
         let net = AffineReluNet::new(vec![
             (
-                Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]])
-                    .unwrap(),
+                Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]]).unwrap(),
                 vec![0.0; 4],
             ),
-            (Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]).unwrap(), vec![-0.3]),
+            (
+                Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]).unwrap(),
+                vec![-0.3],
+            ),
         ])
         .unwrap();
-        let spec = Specification { c: vec![1.0], offset: 0.0 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: 0.0,
+        };
         let r = verify_complete(&net, &[(-1.0, 1.0), (-1.0, 1.0)], &spec, &settings()).unwrap();
         assert!(matches!(r.verdict, Verdict::Falsified { .. }));
         // Restricted to a far corner, the property holds.
@@ -430,10 +504,20 @@ mod tests {
         // True property with a loose root bound: verification needs many
         // nodes, a 2-node budget cannot finish.
         let net = loose_net();
-        let spec = Specification { c: vec![1.0], offset: 0.05 };
-        let s = BnbSettings { max_nodes: 1, epsilon: 1e-12 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: 0.05,
+        };
+        let s = BnbSettings {
+            max_nodes: 1,
+            epsilon: 1e-12,
+            ..Default::default()
+        };
         let r = verify_complete(&net, &[(-1.0, 1.0)], &spec, &s);
-        assert!(matches!(r, Err(VerifyError::BudgetExhausted { .. })), "{r:?}");
+        assert!(
+            matches!(r, Err(VerifyError::BudgetExhausted { .. })),
+            "{r:?}"
+        );
     }
 
     #[test]
@@ -441,7 +525,10 @@ mod tests {
         // f(x) = |x| − margin spec at center 0.6: property f > 0.2 holds
         // while |x| > 0.2, i.e. radius 0.4 around 0.6.
         let net = abs_net();
-        let spec = Specification { c: vec![1.0], offset: -0.2 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: -0.2,
+        };
         let r = certified_radius(&net, &[0.6], &spec, 1.0, 1e-3, &settings()).unwrap();
         assert!((r - 0.4).abs() < 5e-3, "radius {r}");
     }
@@ -449,7 +536,10 @@ mod tests {
     #[test]
     fn certified_radius_zero_for_misclassified_center() {
         let net = abs_net();
-        let spec = Specification { c: vec![1.0], offset: -0.5 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: -0.5,
+        };
         // At center 0.1 the margin is already negative.
         let r = certified_radius(&net, &[0.1], &spec, 1.0, 1e-3, &settings()).unwrap();
         assert_eq!(r, 0.0);
@@ -458,7 +548,10 @@ mod tests {
     #[test]
     fn full_radius_when_property_globally_true() {
         let net = abs_net();
-        let spec = Specification { c: vec![1.0], offset: 1.0 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: 1.0,
+        };
         let r = certified_radius(&net, &[0.0], &spec, 0.5, 1e-3, &settings()).unwrap();
         assert_eq!(r, 0.5);
     }
@@ -466,9 +559,16 @@ mod tests {
     #[test]
     fn validation() {
         let net = abs_net();
-        let spec = Specification { c: vec![1.0], offset: 0.0 };
+        let spec = Specification {
+            c: vec![1.0],
+            offset: 0.0,
+        };
         assert!(verify_complete(&net, &[], &spec, &settings()).is_err());
-        let bad = BnbSettings { max_nodes: 0, epsilon: 1e-6 };
+        let bad = BnbSettings {
+            max_nodes: 0,
+            epsilon: 1e-6,
+            ..Default::default()
+        };
         assert!(verify_complete(&net, &[(0.0, 1.0)], &spec, &bad).is_err());
         assert!(certified_radius(&net, &[0.0], &spec, -1.0, 1e-3, &settings()).is_err());
     }

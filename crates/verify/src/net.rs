@@ -21,7 +21,9 @@ impl AffineReluNet {
     /// * [`VerifyError::NotFinite`] for NaN/inf parameters.
     pub fn new(layers: Vec<(Matrix, Vec<f64>)>) -> Result<Self, VerifyError> {
         if layers.is_empty() {
-            return Err(VerifyError::InvalidInput("network needs at least one layer".into()));
+            return Err(VerifyError::InvalidInput(
+                "network needs at least one layer".into(),
+            ));
         }
         let mut prev_out: Option<usize> = None;
         for (i, (w, b)) in layers.iter().enumerate() {
@@ -100,7 +102,9 @@ impl AffineReluNet {
         }
         let mut cur = x.to_vec();
         for (i, (w, b)) in self.layers.iter().enumerate() {
-            let mut z = w.matvec(&cur).map_err(|e| VerifyError::InvalidInput(e.to_string()))?;
+            let mut z = w
+                .matvec(&cur)
+                .map_err(|e| VerifyError::InvalidInput(e.to_string()))?;
             for (zi, bi) in z.iter_mut().zip(b) {
                 *zi += bi;
             }
@@ -161,7 +165,9 @@ pub fn validate_box(input_box: &[(f64, f64)]) -> Result<(), VerifyError> {
     }
     for &(lo, hi) in input_box {
         if !lo.is_finite() || !hi.is_finite() || lo > hi {
-            return Err(VerifyError::InvalidInput(format!("bad interval [{lo}, {hi}]")));
+            return Err(VerifyError::InvalidInput(format!(
+                "bad interval [{lo}, {hi}]"
+            )));
         }
     }
     Ok(())
@@ -175,7 +181,10 @@ mod tests {
         // f(x) = W2 ReLU(W1 x + b1) + b2 with W1 = [[1],[−1]], b1 = 0,
         // W2 = [1, 1], b2 = 0 ⇒ f(x) = |x|.
         AffineReluNet::new(vec![
-            (Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(), vec![0.0, 0.0]),
+            (
+                Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(),
+                vec![0.0, 0.0],
+            ),
             (Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(), vec![0.0]),
         ])
         .unwrap()
@@ -218,7 +227,8 @@ mod tests {
     #[test]
     fn extraction_from_rcr_nn_linear() {
         let mut l1 = rcr_nn::layers::Linear::new(2, 3, 0).unwrap();
-        l1.set_parameters(&[1.0, 0.0, 0.0, 1.0, 1.0, -1.0], &[0.0, 0.1, -0.1]).unwrap();
+        l1.set_parameters(&[1.0, 0.0, 0.0, 1.0, 1.0, -1.0], &[0.0, 0.1, -0.1])
+            .unwrap();
         let l2 = rcr_nn::layers::Linear::new(3, 1, 1).unwrap();
         let net = AffineReluNet::from_linear_layers(&[&l1, &l2]).unwrap();
         assert_eq!(net.input_dim(), 2);
@@ -230,8 +240,8 @@ mod tests {
             (0.0 * x[0] + 1.0 * x[1] + 0.1).max(0.0),
             (1.0 * x[0] - 1.0 * x[1] - 0.1).max(0.0),
         ];
-        let expected: f64 = l2.weight().iter().zip(&z1).map(|(w, z)| w * z).sum::<f64>()
-            + l2.bias()[0];
+        let expected: f64 =
+            l2.weight().iter().zip(&z1).map(|(w, z)| w * z).sum::<f64>() + l2.bias()[0];
         assert!((net.eval(&x).unwrap()[0] - expected).abs() < 1e-12);
     }
 

@@ -13,11 +13,7 @@ fn net_from(weights: &[f64], biases: &[f64]) -> AffineReluNet {
     // 2-4-1 ReLU net: 8 + 4 weights, 4 + 1 biases.
     let w1 = Matrix::from_vec(4, 2, weights[..8].to_vec()).unwrap();
     let w2 = Matrix::from_vec(1, 4, weights[8..12].to_vec()).unwrap();
-    AffineReluNet::new(vec![
-        (w1, biases[..4].to_vec()),
-        (w2, vec![biases[4]]),
-    ])
-    .unwrap()
+    AffineReluNet::new(vec![(w1, biases[..4].to_vec()), (w2, vec![biases[4]])]).unwrap()
 }
 
 proptest! {
@@ -61,7 +57,7 @@ proptest! {
         let net = net_from(&weights, &biases);
         let spec = Specification { c: vec![1.0], offset };
         let bx = [(-0.3, 0.3), (-0.3, 0.3)];
-        let settings = BnbSettings { max_nodes: 20_000, epsilon: 1e-5 };
+        let settings = BnbSettings { max_nodes: 20_000, epsilon: 1e-5, ..Default::default() };
         let Ok(report) = verify_complete(&net, &bx, &spec, &settings) else {
             // Budget exhaustion on a degenerate margin: acceptable.
             return Ok(());

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let scenario = Scenario::generate(&config, 2026)?;
 
-    println!("cell: {} users on {} resource blocks", config.users, config.resource_blocks);
+    println!(
+        "cell: {} users on {} resource blocks",
+        config.users, config.resource_blocks
+    );
     for (u, (class, dist)) in scenario
         .classes
         .iter()
@@ -40,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
-    let pso = PsoSettings { swarm_size: 20, max_iter: 60, seed: 3, ..Default::default() };
+    let pso = PsoSettings {
+        swarm_size: 20,
+        max_iter: 60,
+        seed: 3,
+        ..Default::default()
+    };
     let comparison = compare_solvers(&scenario, &BnbSettings::default(), &pso)?;
     println!(
         "relaxation upper bound: {:.2} Mb/s (no allocation can exceed this)",

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ball = QuadraticForm::new(Matrix::identity(2), vec![0.0, 0.0], -0.5)?;
     let qcqp = QcqpProblem::new(objective, vec![ball], None)?;
     let sol = qcqp.solve(&QcqpSettings::default())?;
-    println!("QCQP:     x* = ({:.4}, {:.4}), gap bound {:.1e}", sol.x[0], sol.x[1], sol.gap_bound);
+    println!(
+        "QCQP:     x* = ({:.4}, {:.4}), gap bound {:.1e}",
+        sol.x[0], sol.x[1], sol.gap_bound
+    );
 
     // 2. Rank minimization via the trace relaxation (Eqs. 8–10).
     let v = Matrix::from_rows(&[&[1.0], &[2.0], &[-1.0]])?;
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let f = BenchFunction::Rastrigin;
     let pso = Swarm::minimize(|x| f.eval(x), &f.bounds(2), &settings)?;
-    println!("PSO:      rastrigin best = {:.2e} in {} generations", pso.best_value, pso.iterations);
+    println!(
+        "PSO:      rastrigin best = {:.2e} in {} generations",
+        pso.best_value, pso.iterations
+    );
 
     // 4. STFT phase conventions (Eqs. 5–6): analyze in the stored-window
     //    convention, convert to time-invariant by the phase-factor matrix.
@@ -63,9 +69,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (Matrix::from_rows(&[&[1.0], &[-1.0]])?, vec![0.0, 0.0]),
         (Matrix::from_rows(&[&[1.0, 1.0]])?, vec![0.0]),
     ])?;
-    let spec = Specification { c: vec![1.0], offset: 0.1 };
+    let spec = Specification {
+        c: vec![1.0],
+        offset: 0.1,
+    };
     let report = verify_complete(&net, &[(-1.0, 1.0)], &spec, &BnbSettings::default())?;
-    println!("Verify:   |x| + 0.1 > 0 on [-1,1] → {:?} ({} nodes)", report.verdict, report.nodes);
+    println!(
+        "Verify:   |x| + 0.1 > 0 on [-1,1] → {:?} ({} nodes)",
+        report.verdict, report.nodes
+    );
 
     Ok(())
 }

@@ -9,9 +9,7 @@
 //! paper's two verifier arms (relaxed: IBP and CROWN; exact:
 //! branch-and-bound), plus a certified-radius computation.
 
-use rcr::core::robust::{
-    certify, train_classifier, BlobData, RobustTrainConfig, TrainMode,
-};
+use rcr::core::robust::{certify, train_classifier, BlobData, RobustTrainConfig, TrainMode};
 use rcr::verify::exact::{certified_radius, BnbSettings};
 use rcr::verify::net::Specification;
 
@@ -21,11 +19,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eps = 0.2;
 
     for mode in [TrainMode::Standard, TrainMode::RelaxationAdversarial] {
-        let cfg = RobustTrainConfig { mode, epochs: 80, epsilon: eps, seed: 5, ..Default::default() };
+        let cfg = RobustTrainConfig {
+            mode,
+            epochs: 80,
+            epsilon: eps,
+            seed: 5,
+            ..Default::default()
+        };
         let mut model = train_classifier(&train_data, &cfg)?;
         let report = certify(&mut model, &eval_data, eps, &BnbSettings::default())?;
         println!("{mode:?} (ε = {eps}):");
-        println!("  clean accuracy:      {:.0}%", 100.0 * report.clean_accuracy);
+        println!(
+            "  clean accuracy:      {:.0}%",
+            100.0 * report.clean_accuracy
+        );
         println!(
             "  verified robust:     IBP {:.0}%  |  CROWN {:.0}%  |  exact {:.0}%",
             100.0 * report.verified_ibp,

@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut signal = vec![0.0f64; n];
     let mut lcg = 0x2545F4914F6CDD1Du64;
     let mut noise = move || {
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((lcg >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.1
     };
     for (i, s) in signal.iter_mut().enumerate() {
@@ -56,12 +58,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|(_, &p)| p > 0.25 * frame_power.iter().cloned().fold(0.0, f64::max))
         .map(|(i, _)| i)
         .collect();
-    println!("high-energy frames: {} of {} (bursts live here)", hot.len(), spec.num_frames());
+    println!(
+        "high-energy frames: {} of {} (bursts live here)",
+        hot.len(),
+        spec.num_frames()
+    );
 
     // --- 3. Train the squeezed MSY3I detector on the burst dataset.
-    let burst_cfg = BurstConfig { count: 128, bursts: (1, 1), noise: 0.1, ..Default::default() };
+    let burst_cfg = BurstConfig {
+        count: 128,
+        bursts: (1, 1),
+        noise: 0.1,
+        ..Default::default()
+    };
     let train = BurstDataset::generate(&burst_cfg, 1)?;
-    let eval = BurstDataset::generate(&BurstConfig { count: 32, ..burst_cfg }, 2)?;
+    let eval = BurstDataset::generate(
+        &BurstConfig {
+            count: 32,
+            ..burst_cfg
+        },
+        2,
+    )?;
     let mut model = Msy3iModel::build(&Msy3iConfig {
         kind: BackboneKind::Squeezed,
         seed: 7,
@@ -90,7 +107,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c = corrected.frames()[frame][bin];
     println!("phase at (frame {frame}, bin {bin}):");
     println!("  Eq.5 (time-invariant):        {:+.4} rad", a.arg());
-    println!("  Eq.6 (stored-window):         {:+.4} rad  ← skewed", b.arg());
-    println!("  Eq.6 corrected point-wise:    {:+.4} rad  ← matches Eq.5", c.arg());
+    println!(
+        "  Eq.6 (stored-window):         {:+.4} rad  ← skewed",
+        b.arg()
+    );
+    println!(
+        "  Eq.6 corrected point-wise:    {:+.4} rad  ← matches Eq.5",
+        c.arg()
+    );
     Ok(())
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full CI gate: release build, complete test suite, formatting, lints.
+# Usage: scripts/verify.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release ==" >&2
+cargo build --release
+
+echo "== cargo test --workspace ==" >&2
+cargo test --workspace -q
+
+echo "== cargo fmt --check ==" >&2
+cargo fmt --check
+
+echo "== cargo clippy (warnings are errors) ==" >&2
+cargo clippy --workspace -- -D warnings
+
+echo "verify.sh: all gates passed" >&2

@@ -10,11 +10,20 @@ use rcr::qos::workload::{Scenario, ScenarioConfig};
 #[test]
 fn solver_hierarchy_and_certificates() {
     let scenario = Scenario::generate(
-        &ScenarioConfig { users: 3, resource_blocks: 6, ..Default::default() },
+        &ScenarioConfig {
+            users: 3,
+            resource_blocks: 6,
+            ..Default::default()
+        },
         77,
     )
     .unwrap();
-    let pso = PsoSettings { swarm_size: 12, max_iter: 40, seed: 5, ..Default::default() };
+    let pso = PsoSettings {
+        swarm_size: 12,
+        max_iter: 40,
+        seed: 5,
+        ..Default::default()
+    };
     let cmp = compare_solvers(&scenario, &BnbSettings::default(), &pso).unwrap();
 
     let exact = cmp
@@ -31,7 +40,11 @@ fn solver_hierarchy_and_certificates() {
     assert!(exact.total_rate_bps <= bound * (1.0 + 1e-9));
     for o in &cmp.outcomes {
         if let Some(s) = &o.solution {
-            assert!(s.total_rate_bps <= exact.total_rate_bps * (1.0 + 1e-9), "{:?}", o.solver);
+            assert!(
+                s.total_rate_bps <= exact.total_rate_bps * (1.0 + 1e-9),
+                "{:?}",
+                o.solver
+            );
             // Every reported allocation is physically consistent.
             let band = 180e3 * scenario.rra.resource_blocks() as f64;
             assert!((s.spectral_efficiency - s.total_rate_bps / band).abs() < 1e-9);
@@ -53,7 +66,12 @@ fn urllc_heavy_mix_still_solvable_and_guarantees_rates() {
     .unwrap();
     let exact = rcr::qos::rra::solve_exact(&scenario.rra, &BnbSettings::default()).unwrap();
     assert!(exact.qos_satisfied);
-    for (rate, min) in exact.power.user_rates_bps.iter().zip(&scenario.rra.min_rates_bps) {
+    for (rate, min) in exact
+        .power
+        .user_rates_bps
+        .iter()
+        .zip(&scenario.rra.min_rates_bps)
+    {
         assert!(rate >= &(min - 1.0), "rate {rate} below min {min}");
     }
 }

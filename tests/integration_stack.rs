@@ -8,7 +8,12 @@ use rcr::core::stack::{RcrStack, StackConfig};
 fn rcr_stack_quick_run_produces_consistent_report() {
     let report = RcrStack::new(StackConfig::quick()).run().unwrap();
     // Phase 2 tuned every declared hyperparameter.
-    for key in ["base_channels", "squeeze_ratio", "backbone", "learning_rate"] {
+    for key in [
+        "base_channels",
+        "squeeze_ratio",
+        "backbone",
+        "learning_rate",
+    ] {
         assert!(report.tuned.contains_key(key), "missing {key}");
     }
     // Tuned integers are inside their declared ranges.

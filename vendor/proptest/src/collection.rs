@@ -1,0 +1,79 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Length specification for [`vec`]: a fixed length or a range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        let span = (self.hi_exclusive - self.lo) as u128;
+        self.lo + (((rng.next_u64() as u128 * span) >> 64) as usize)
+    }
+}
+
+/// Strategy producing `Vec<S::Value>` with lengths drawn from a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Builds a vector strategy: `vec(-2.0f64..2.0, 16)` or `vec(0u64..4, 1..12)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::from_seed(1);
+        let fixed = vec(-2.0f64..2.0, 16).generate(&mut rng);
+        assert_eq!(fixed.len(), 16);
+        assert!(fixed.iter().all(|x| (-2.0..2.0).contains(x)));
+        for _ in 0..200 {
+            let v = vec(0u64..4, 1..12).generate(&mut rng);
+            assert!((1..12).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+}

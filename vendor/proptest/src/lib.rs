@@ -1,0 +1,158 @@
+//! Hermetic, std-only stand-in for the parts of the `proptest` crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a property-testing harness with the same API surface as the
+//! subset of `proptest` 1.x the test suites use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * range strategies (`-1.0f64..1.0`, `0u64..500`, `1usize..=8`, …),
+//!   [`prelude::any`]`::<bool>()` and `prop::collection::vec`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * `.proptest-regressions` persistence: `cc <hex>` seed lines next to
+//!   the test file are re-run before any novel cases, and new failures
+//!   are appended in the same format.
+//!
+//! Differences from upstream, by design: no shrinking (the failing input
+//! is printed verbatim instead), and novel cases are derived from a fixed
+//! per-test base seed (override with `PROPTEST_RNG_SEED`) so runs are
+//! hermetic. Case count defaults to 64 (upstream: 256); override with
+//! `PROPTEST_CASES` or `ProptestConfig::with_cases`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The items `use proptest::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of `proptest::prelude::prop`: module-style access such as
+    /// `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with the generated inputs echoed) instead of aborting the whole
+/// process immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)*)),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Defines property tests. Supports the upstream surface used in this
+/// workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn name(a in -1.0f64..1.0, v in prop::collection::vec(0u64..4, 3)) {
+///         prop_assert!(a < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(
+                &__config,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__proptest_rng: &mut $crate::test_runner::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    let __case_desc = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}", &$arg));
+                            s.push('\n');
+                        )+
+                        s
+                    };
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    $crate::test_runner::CaseOutcome { desc: __case_desc, outcome: __outcome }
+                },
+            );
+        }
+    )*};
+}

@@ -1,0 +1,350 @@
+//! Case runner, configuration, and `.proptest-regressions` persistence.
+
+use std::any::Any;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Per-block configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of novel cases to run per test (regression seeds run extra).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Marks the current case as failed with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// What one executed case produced: the generated inputs rendered for
+/// failure reports, plus the body's outcome (panic or explicit result).
+pub struct CaseOutcome {
+    /// `name = value` lines describing the generated inputs.
+    pub desc: String,
+    /// `Err` if the body panicked; `Ok(Err)` if a `prop_assert!` failed.
+    pub outcome: Result<Result<(), TestCaseError>, Box<dyn Any + Send>>,
+}
+
+/// The deterministic generator driving strategies: xoshiro256++ seeded via
+/// SplitMix64. Kept self-contained so the vendored crates stay independent.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        TestRng { s }
+    }
+
+    /// Returns the next random `u64`.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Locates `<stem>.proptest-regressions` next to the test's source file.
+///
+/// `file` is `file!()` from the macro expansion (workspace-relative under
+/// cargo); `manifest_dir` is the package's `CARGO_MANIFEST_DIR`. The test
+/// binary's working directory varies, so try the path as written first,
+/// then fall back to `<manifest_dir>/tests/<stem>.proptest-regressions`.
+fn regression_path(manifest_dir: &str, file: &str) -> PathBuf {
+    let as_written = Path::new(file).with_extension("proptest-regressions");
+    if as_written.exists() {
+        return as_written;
+    }
+    let stem = Path::new(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "proptests".to_string());
+    Path::new(manifest_dir)
+        .join("tests")
+        .join(format!("{stem}.proptest-regressions"))
+}
+
+/// Parses `cc <hex> # ...` lines, folding each hash to one u64 re-run seed.
+///
+/// Upstream proptest persists a 32-byte RNG state per failure; this shim
+/// cannot reconstruct upstream's generator from it, but folding the words
+/// together still yields a stable seed so every committed regression line
+/// deterministically re-exercises one case on every run.
+fn parse_regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("cc ") else {
+            continue;
+        };
+        let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        if hex.is_empty() {
+            continue;
+        }
+        let mut folded = 0u64;
+        for chunk in hex.as_bytes().chunks(16) {
+            let part = std::str::from_utf8(chunk)
+                .ok()
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .unwrap_or(0);
+            folded ^= part;
+        }
+        seeds.push(folded);
+    }
+    seeds
+}
+
+/// Renders `seed` as a 64-hex-digit hash whose folded value is `seed`
+/// again, so a line we persist re-runs the exact same case later.
+fn seed_to_hash(seed: u64) -> String {
+    let mut sm = seed ^ 0xA5A5_A5A5_A5A5_A5A5;
+    let b = splitmix64(&mut sm);
+    let c = splitmix64(&mut sm);
+    let d = splitmix64(&mut sm);
+    let a = seed ^ b ^ c ^ d;
+    format!("{a:016x}{b:016x}{c:016x}{d:016x}")
+}
+
+/// Best-effort append of a new regression line; IO errors are ignored
+/// (read-only checkouts must not turn one failure into another).
+fn persist_failure(path: &Path, seed: u64, desc: &str) {
+    let hash = seed_to_hash(seed);
+    if let Ok(existing) = fs::read_to_string(path) {
+        if existing.contains(&hash) {
+            return;
+        }
+    }
+    let mut line = String::from("cc ");
+    line.push_str(&hash);
+    line.push_str(" # shrinks to ");
+    line.push_str(&desc.trim().replace('\n', ", "));
+    line.push('\n');
+    let fresh = !path.exists();
+    if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
+        if fresh {
+            let _ = f.write_all(
+                b"# Seeds for failure cases proptest has generated in the past. It is\n\
+                  # automatically read and these particular cases re-run before any\n\
+                  # novel cases are generated.\n\
+                  #\n\
+                  # It is recommended to check this file in to source control so that\n\
+                  # everyone who runs the test benefits from these saved cases.\n",
+            );
+        }
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+/// Executes one property test: regression seeds first, then `cases` novel
+/// cases. Panics (failing the `#[test]`) on the first failing case, after
+/// printing the generated inputs and persisting the seed.
+pub fn run_cases<F>(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    file: &str,
+    test_name: &str,
+    mut case: F,
+) where
+    F: FnMut(&mut TestRng) -> CaseOutcome,
+{
+    let reg_path = regression_path(manifest_dir, file);
+    let base_seed = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fnv1a(test_name.as_bytes()));
+
+    let mut run_one = |seed: u64, origin: &str, persist: bool| {
+        let mut rng = TestRng::from_seed(seed);
+        let result = case(&mut rng);
+        let failure = match result.outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e.to_string()),
+            Err(payload) => Some(panic_message(payload.as_ref())),
+        };
+        if let Some(msg) = failure {
+            if persist {
+                persist_failure(&reg_path, seed, &result.desc);
+            }
+            panic!(
+                "proptest: test `{test_name}` failed on {origin} (seed {seed:#018x})\n\
+                 {msg}\n\
+                 minimal failing input:\n{}",
+                result.desc
+            );
+        }
+    };
+
+    for seed in parse_regression_seeds(&reg_path) {
+        run_one(seed, "a persisted regression case", false);
+    }
+
+    let mut sm = base_seed;
+    for i in 0..config.cases {
+        let seed = splitmix64(&mut sm) ^ i as u64;
+        run_one(seed, "a novel case", true);
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "test body panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_hash_round_trips_through_parser() {
+        for seed in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            let hash = seed_to_hash(seed);
+            assert_eq!(hash.len(), 64);
+            let mut folded = 0u64;
+            for chunk in hash.as_bytes().chunks(16) {
+                folded ^= u64::from_str_radix(std::str::from_utf8(chunk).unwrap(), 16).unwrap();
+            }
+            assert_eq!(folded, seed);
+        }
+    }
+
+    #[test]
+    fn regression_parser_reads_upstream_format() {
+        let dir = std::env::temp_dir().join("proptest-shim-test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("sample.proptest-regressions");
+        fs::write(
+            &path,
+            "# comment line\n\
+             cc 1a7dc6be8f8b7f0c9d2e3f4a5b6c7d8e0123456789abcdeffedcba9876543210 # shrinks to x = 1.0\n\
+             not a cc line\n",
+        )
+        .unwrap();
+        let seeds = parse_regression_seeds(&path);
+        assert_eq!(seeds.len(), 1);
+        assert_ne!(seeds[0], 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn runner_is_deterministic_and_counts_cases() {
+        let config = ProptestConfig::with_cases(10);
+        let mut draws_a = Vec::new();
+        run_cases(
+            &config,
+            env!("CARGO_MANIFEST_DIR"),
+            file!(),
+            "det_probe",
+            |rng| {
+                draws_a.push(rng.next_u64());
+                CaseOutcome {
+                    desc: String::new(),
+                    outcome: Ok(Ok(())),
+                }
+            },
+        );
+        let mut draws_b = Vec::new();
+        run_cases(
+            &config,
+            env!("CARGO_MANIFEST_DIR"),
+            file!(),
+            "det_probe",
+            |rng| {
+                draws_b.push(rng.next_u64());
+                CaseOutcome {
+                    desc: String::new(),
+                    outcome: Ok(Ok(())),
+                }
+            },
+        );
+        assert_eq!(draws_a.len(), 10);
+        assert_eq!(draws_a, draws_b);
+    }
+}

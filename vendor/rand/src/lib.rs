@@ -1,0 +1,307 @@
+//! Hermetic, std-only stand-in for the parts of the `rand` crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal implementation with the same *API surface* (not the
+//! same output streams) as `rand` 0.8: [`Rng`], [`SeedableRng`] and
+//! [`rngs::StdRng`]. Determinism contract: for a fixed seed the generated
+//! sequence is stable across runs, platforms and worker counts — which is
+//! what every consumer in this workspace actually relies on. The value
+//! streams differ from upstream `rand` (upstream `StdRng` is ChaCha12;
+//! this shim is xoshiro256++ seeded via SplitMix64), so tests must not
+//! bake in upstream-specific constants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators. Mirrors the subset of `rand::SeedableRng` the
+/// workspace uses (`seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it with SplitMix64
+    /// exactly like upstream `rand` documents for small-state generators.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step — the standard seed expander.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types samplable uniformly from a "standard" distribution
+/// (`rng.gen::<T>()`): `[0, 1)` for floats, full range for integers,
+/// fair coin for `bool`.
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range types usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` by 128-bit multiply-shift (Lemire).
+/// Bias is below `span / 2^64` — negligible for every use in this repo.
+#[inline]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(bounded_u64(rng, span) as $wide) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                if lo == hi {
+                    return lo;
+                }
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as $wide).wrapping_add(bounded_u64(rng, span + 1) as $wide) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = <$t as StandardSample>::sample_standard(rng);
+                let v = self.start + u * (self.end - self.start);
+                // Floating rounding can land exactly on `end`; fold back.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let u = <$t as StandardSample>::sample_standard(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+/// The user-facing generator trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution of `T`.
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the upstream ChaCha12 `StdRng` — see the crate docs for the
+    /// compatibility contract.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state is the one invalid xoshiro state; SplitMix64
+            // cannot produce it from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5f64..1.5);
+            assert!((-2.5..1.5).contains(&x));
+            let y = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&y));
+            let z = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&z));
+            let w = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn degenerate_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(rng.gen_range(5i64..=5), 5);
+        assert_eq!(rng.gen_range(0.25f64..=0.25), 0.25);
+    }
+
+    #[test]
+    fn integer_ranges_hit_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..1000 {
+            match rng.gen_range(0u64..=3) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn mean_of_unit_floats_is_centered() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
