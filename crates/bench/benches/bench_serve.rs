@@ -1,0 +1,85 @@
+//! Service-layer benchmark: enqueue→response throughput for a fixed
+//! mixed-class trace through `rcr-serve`, at 1/2/4 workers.
+//!
+//! Criterion times the full trace (submit everything, wait for every
+//! response). Because the vendored harness has no throughput reporter,
+//! a separate untimed pass prints requests/sec and the p99
+//! enqueue→response latency taken from the service's own
+//! [`MetricsSnapshot`] histograms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcr_qos::QosClass;
+use rcr_serve::{Payload, ScenarioSpec, Service, ServiceConfig, SolveRequest, SolverKind, Ticket};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const TRACE_LEN: u64 = 96;
+
+/// Fixed mixed URLLC/eMBB/mMTC trace; generous deadlines so the bench
+/// measures scheduling + solving, not expiry handling.
+fn trace() -> Vec<SolveRequest> {
+    (0..TRACE_LEN)
+        .map(|id| SolveRequest {
+            id,
+            class: QosClass::ALL[(id % 3) as usize],
+            deadline: Duration::from_secs(60),
+            solver: SolverKind::Greedy,
+            payload: Payload::Scenario(ScenarioSpec {
+                users: 3,
+                resource_blocks: 6,
+                seed: id * 17 + 3,
+            }),
+        })
+        .collect()
+}
+
+fn config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Submits the whole trace and blocks until every response arrives.
+fn drain_trace(service: &Service) {
+    let client = service.client();
+    let tickets: Vec<Ticket> = trace().into_iter().map(|r| client.submit(r)).collect();
+    for ticket in tickets {
+        black_box(ticket.wait().expect("response"));
+    }
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    for &workers in &[1usize, 2, 4] {
+        // One long-lived service per worker count; each iteration pushes
+        // the full trace through it, mirroring steady-state operation.
+        let service = Service::spawn(config(workers));
+        group.bench_with_input(BenchmarkId::new("trace96", workers), &workers, |b, _| {
+            b.iter(|| drain_trace(&service))
+        });
+        service.shutdown();
+    }
+    group.finish();
+
+    // Untimed reporting pass: throughput and service-side p99.
+    for &workers in &[1usize, 2, 4] {
+        let service = Service::spawn(config(workers));
+        let start = Instant::now();
+        drain_trace(&service);
+        let wall = start.elapsed();
+        let snapshot = service.shutdown();
+        let rps = TRACE_LEN as f64 / wall.as_secs_f64();
+        println!(
+            "serve/trace96/{workers}w: {rps:.0} req/s, \
+             p99 enqueue→response {:?} (p50 {:?}, {} responses)",
+            snapshot.response_latency.p99,
+            snapshot.response_latency.p50,
+            snapshot.total_responses(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

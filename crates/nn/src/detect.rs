@@ -461,9 +461,11 @@ mod tests {
             h: 0.2,
         }];
         let t = encode_targets(&boxes, 4).unwrap();
-        // cx 0.6 → cell 2, cy 0.3 → cell 1.
+        // cx 0.6 → cell 2, cy 0.3 → cell 1 (channel 0, spelled out).
         let g = 4;
-        assert_eq!(t.data()[(0 * g + 1) * g + 2], 1.0);
+        #[allow(clippy::erasing_op)]
+        let idx = (0 * g + 1) * g + 2;
+        assert_eq!(t.data()[idx], 1.0);
         let total: f64 = t.data()[..g * g].iter().sum();
         assert_eq!(total, 1.0);
     }

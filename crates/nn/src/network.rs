@@ -289,6 +289,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // per-layer W·x+b arithmetic spelled out
     fn param_count_sums_layers() {
         let net = xor_net(0);
         assert_eq!(net.param_count(), (2 * 8 + 8) + (8 * 1 + 1));

@@ -107,7 +107,7 @@ mod tests {
     fn kahan_beats_naive_on_ill_conditioned_sum() {
         // 1 followed by many tiny values that naive accumulation drops.
         let mut xs = vec![1.0];
-        xs.extend(std::iter::repeat(1e-16).take(100_000));
+        xs.extend(std::iter::repeat_n(1e-16, 100_000));
         let exact = 1.0 + 1e-16 * 100_000.0;
         let naive_err = (naive_sum(&xs) - exact).abs();
         let kahan_err = (kahan_sum(&xs) - exact).abs();

@@ -53,3 +53,4 @@ pub mod workload;
 mod error;
 
 pub use error::QosError;
+pub use workload::QosClass;

@@ -154,29 +154,31 @@ pub fn solve_exact(
 
 /// Greedy baseline: users in order of their best-vs-second-best utility
 /// gap pick their best RAT with remaining capacity.
-pub fn solve_greedy(problem: &MultiRatProblem) -> MultiRatSolution {
+///
+/// # Errors
+/// Returns [`QosError::Solver`] when the constructed assignment fails
+/// re-evaluation — possible only for a degenerate RAT table, and reported
+/// as an error rather than a panic so a long-running service thread
+/// survives it.
+pub fn solve_greedy(problem: &MultiRatProblem) -> Result<MultiRatSolution, QosError> {
     let users = problem.users();
     let rats = problem.rats();
     let mut order: Vec<usize> = (0..users).collect();
     let regret = |u: usize| -> f64 {
         let mut vals: Vec<f64> = problem.utility[u].clone();
-        vals.sort_by(|a, b| b.partial_cmp(a).expect("finite utilities"));
+        vals.sort_by(|a, b| b.total_cmp(a));
         if vals.len() > 1 {
             vals[0] - vals[1]
         } else {
             vals[0]
         }
     };
-    order.sort_by(|&a, &b| regret(b).partial_cmp(&regret(a)).expect("finite regrets"));
+    order.sort_by(|&a, &b| regret(b).total_cmp(&regret(a)));
     let mut remaining = problem.capacity.clone();
     let mut assignment = vec![0usize; users];
     for &u in &order {
         let mut rats_by_pref: Vec<usize> = (0..rats).collect();
-        rats_by_pref.sort_by(|&a, &b| {
-            problem.utility[u][b]
-                .partial_cmp(&problem.utility[u][a])
-                .expect("finite utilities")
-        });
+        rats_by_pref.sort_by(|&a, &b| problem.utility[u][b].total_cmp(&problem.utility[u][a]));
         for r in rats_by_pref {
             if remaining[r] > 0 {
                 remaining[r] -= 1;
@@ -187,7 +189,7 @@ pub fn solve_greedy(problem: &MultiRatProblem) -> MultiRatSolution {
     }
     problem
         .evaluate(&assignment)
-        .expect("greedy respects capacities by construction")
+        .ok_or_else(|| QosError::Solver("greedy multi-RAT assignment failed re-evaluation".into()))
 }
 
 #[cfg(test)]
@@ -240,7 +242,7 @@ mod tests {
     fn greedy_feasible_and_close() {
         let p = toy();
         let exact = solve_exact(&p, &BnbSettings::default()).unwrap();
-        let greedy = solve_greedy(&p);
+        let greedy = solve_greedy(&p).unwrap();
         assert!(greedy.utility <= exact.utility + 1e-9);
         assert!(
             greedy.utility >= 0.9 * exact.utility,

@@ -49,6 +49,21 @@ pub struct PowerSolution {
     pub feasible: bool,
 }
 
+impl PowerSolution {
+    /// An empty placeholder allocation (no RBs, no users, zero rate,
+    /// infeasible) — for decoders and summaries that carry a solution's
+    /// headline numbers without the per-RB breakdown.
+    pub fn empty() -> PowerSolution {
+        PowerSolution {
+            powers: Vec::new(),
+            rb_rates_bps: Vec::new(),
+            user_rates_bps: Vec::new(),
+            total_rate_bps: 0.0,
+            feasible: false,
+        }
+    }
+}
+
 fn rate_bps(bandwidth: f64, a: f64, p: f64) -> f64 {
     bandwidth * (1.0 + a * p).log2()
 }

@@ -25,6 +25,11 @@ pub enum QosClass {
 }
 
 impl QosClass {
+    /// Every class, in *service-priority order* (URLLC first): the order
+    /// a QoS-aware scheduler visits lanes, and the canonical order for
+    /// per-class metric tables.
+    pub const ALL: [QosClass; 3] = [QosClass::Urllc, QosClass::Embb, QosClass::Mmtc];
+
     /// The minimum-rate requirement of the class, as a multiple of one
     /// RB's bandwidth (bit/s per Hz of a single block).
     pub fn min_rate_per_rb_bandwidth(&self) -> f64 {
@@ -42,6 +47,28 @@ impl QosClass {
             QosClass::Urllc => "URLLC",
             QosClass::Mmtc => "mMTC",
         }
+    }
+
+    /// The class's position in [`QosClass::ALL`] — 0 for URLLC (highest
+    /// priority) through 2 for mMTC. Stable across releases: wire
+    /// protocols and lane arrays may index by it.
+    pub fn priority_rank(&self) -> usize {
+        match self {
+            QosClass::Urllc => 0,
+            QosClass::Embb => 1,
+            QosClass::Mmtc => 2,
+        }
+    }
+
+    /// Parses a service-class name, case-insensitively, accepting the
+    /// display names from [`QosClass::name`] (`"URLLC"`, `"eMBB"`,
+    /// `"mMTC"`) in any capitalization — the inverse mapping used by
+    /// text protocols and CLI flags.
+    pub fn from_name(name: &str) -> Option<QosClass> {
+        let name = name.trim();
+        QosClass::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(name))
     }
 }
 
@@ -74,6 +101,25 @@ impl Default for ScenarioConfig {
             rb_bandwidth_hz: 180e3,
             noise_power_w: 1e-12,
             channel: ChannelConfig::default(),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A configuration whose every user belongs to `class` — the request
+    /// conversion used by the solver service, where one request carries
+    /// one service class and a cell size.
+    pub fn single_class(class: QosClass, users: usize, resource_blocks: usize) -> ScenarioConfig {
+        let class_mix = match class {
+            QosClass::Embb => (1.0, 0.0, 0.0),
+            QosClass::Urllc => (0.0, 1.0, 0.0),
+            QosClass::Mmtc => (0.0, 0.0, 1.0),
+        };
+        ScenarioConfig {
+            users,
+            resource_blocks,
+            class_mix,
+            ..ScenarioConfig::default()
         }
     }
 }
@@ -220,5 +266,35 @@ mod tests {
         assert_eq!(QosClass::Embb.name(), "eMBB");
         assert_eq!(QosClass::Urllc.name(), "URLLC");
         assert_eq!(QosClass::Mmtc.name(), "mMTC");
+    }
+
+    #[test]
+    fn name_round_trips_and_ranks_align() {
+        for (rank, class) in QosClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.priority_rank(), rank);
+            assert_eq!(QosClass::from_name(class.name()), Some(class));
+            assert_eq!(
+                QosClass::from_name(&class.name().to_uppercase()),
+                Some(class)
+            );
+            assert_eq!(
+                QosClass::from_name(&class.name().to_lowercase()),
+                Some(class)
+            );
+        }
+        assert_eq!(QosClass::from_name(" urllc "), Some(QosClass::Urllc));
+        assert_eq!(QosClass::from_name("bestEffort"), None);
+        assert_eq!(QosClass::from_name(""), None);
+    }
+
+    #[test]
+    fn single_class_scenarios_are_uniform() {
+        for class in QosClass::ALL {
+            let cfg = ScenarioConfig::single_class(class, 6, 12);
+            assert_eq!(cfg.users, 6);
+            assert_eq!(cfg.resource_blocks, 12);
+            let s = Scenario::generate(&cfg, 17).unwrap();
+            assert!(s.classes.iter().all(|&c| c == class), "{class:?}");
+        }
     }
 }

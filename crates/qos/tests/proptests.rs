@@ -82,7 +82,7 @@ proptest! {
         let base = users / rats + 1;
         let capacity = vec![base; rats];
         let p = MultiRatProblem::new(utility, capacity.clone()).unwrap();
-        let sol = multirat_greedy(&p);
+        let sol = multirat_greedy(&p).unwrap();
         for (r, &load) in sol.load.iter().enumerate() {
             prop_assert!(load <= capacity[r]);
         }

@@ -1,0 +1,504 @@
+//! Deadline-aware admission queue with per-class priority lanes.
+//!
+//! Three lanes — one per [`QosClass`], visited in priority order
+//! (URLLC → eMBB → mMTC). Within a lane, requests are ordered
+//! earliest-deadline-first with arrival order as the tie-break, and lane
+//! depth is bounded: a full lane **rejects** at enqueue (backpressure)
+//! instead of buffering without limit, and a request whose deadline has
+//! passed is **expired** explicitly — enqueue, [`AdmissionQueue::sweep_expired`],
+//! and batch formation together account for every admitted request
+//! exactly once.
+//!
+//! The queue is a plain data structure: all methods take the current
+//! [`Instant`] as an argument, so edge cases (zero capacity, pre-expired
+//! deadlines, whole-lane simultaneous expiry) are unit-testable with
+//! synthetic clocks and no threads.
+
+use rcr_qos::QosClass;
+use std::time::{Duration, Instant};
+
+/// Per-lane admission and batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LanePolicy {
+    /// Maximum queued requests; enqueue into a full lane is rejected.
+    pub capacity: usize,
+    /// Largest batch drained at once (clamped to at least 1).
+    pub max_batch: usize,
+    /// Oldest age a queued request may reach before the lane fires a
+    /// partial batch. `ZERO` fires immediately on any queued request.
+    pub max_age: Duration,
+}
+
+/// Policy for all three lanes.
+///
+/// Defaults encode the classes' semantics: URLLC never waits (batch of
+/// 1, fired immediately), eMBB coalesces briefly for throughput, mMTC
+/// coalesces the longest and queues the deepest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuePolicy {
+    /// URLLC lane.
+    pub urllc: LanePolicy,
+    /// eMBB lane.
+    pub embb: LanePolicy,
+    /// mMTC lane.
+    pub mmtc: LanePolicy,
+}
+
+impl Default for QueuePolicy {
+    fn default() -> Self {
+        QueuePolicy {
+            urllc: LanePolicy {
+                capacity: 256,
+                max_batch: 1,
+                max_age: Duration::ZERO,
+            },
+            embb: LanePolicy {
+                capacity: 512,
+                max_batch: 16,
+                max_age: Duration::from_micros(500),
+            },
+            mmtc: LanePolicy {
+                capacity: 1024,
+                max_batch: 32,
+                max_age: Duration::from_millis(2),
+            },
+        }
+    }
+}
+
+impl QueuePolicy {
+    /// The policy of `class`'s lane.
+    pub fn lane(&self, class: QosClass) -> &LanePolicy {
+        match class {
+            QosClass::Urllc => &self.urllc,
+            QosClass::Embb => &self.embb,
+            QosClass::Mmtc => &self.mmtc,
+        }
+    }
+}
+
+/// An entry as it sits in (or leaves) a lane.
+#[derive(Debug, Clone)]
+pub struct Queued<T> {
+    /// The caller's payload.
+    pub item: T,
+    /// The lane it was admitted to.
+    pub class: QosClass,
+    /// When it was admitted.
+    pub enqueued_at: Instant,
+    /// Absolute deadline; at this instant the entry is expired.
+    pub deadline_at: Instant,
+    /// Admission sequence number — the EDF tie-break, so equal deadlines
+    /// drain in arrival order.
+    seq: u64,
+}
+
+/// Why an enqueue was refused; carries the item back to the caller so a
+/// response can still be delivered.
+#[derive(Debug)]
+pub enum EnqueueRejection<T> {
+    /// The lane was full — explicit backpressure.
+    QueueFull {
+        /// The refused item.
+        item: T,
+        /// Lane depth at the attempt.
+        depth: usize,
+        /// Lane capacity.
+        capacity: usize,
+    },
+    /// The deadline had already passed at enqueue.
+    AlreadyExpired {
+        /// The refused item.
+        item: T,
+        /// How far past the deadline the attempt was.
+        late_by: Duration,
+    },
+}
+
+#[derive(Debug)]
+struct Lane<T> {
+    policy: LanePolicy,
+    // Sorted ascending by (deadline_at, seq): index 0 is the EDF front.
+    entries: Vec<Queued<T>>,
+}
+
+impl<T> Lane<T> {
+    fn oldest_enqueue(&self) -> Option<Instant> {
+        self.entries.iter().map(|e| e.enqueued_at).min()
+    }
+
+    /// Whether this lane should fire a batch at `now`.
+    fn ready(&self, now: Instant) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        if self.entries.len() >= self.policy.max_batch.max(1) {
+            return true;
+        }
+        // Age trigger: the oldest entry has waited its fill, or the most
+        // urgent deadline is inside the coalescing window (waiting the
+        // full window would risk expiring it for nothing).
+        let age_due = self
+            .oldest_enqueue()
+            .is_some_and(|t| now.saturating_duration_since(t) >= self.policy.max_age);
+        let deadline_close = self.entries[0].deadline_at <= now + self.policy.max_age;
+        age_due || deadline_close
+    }
+}
+
+/// The three-lane deadline-aware queue. See the module docs.
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    lanes: [Lane<T>; 3],
+    seq: u64,
+    depth_high_water: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue under `policy`.
+    pub fn new(policy: &QueuePolicy) -> AdmissionQueue<T> {
+        let lane = |p: &LanePolicy| Lane {
+            policy: *p,
+            entries: Vec::new(),
+        };
+        AdmissionQueue {
+            lanes: [lane(&policy.urllc), lane(&policy.embb), lane(&policy.mmtc)],
+            seq: 0,
+            depth_high_water: 0,
+        }
+    }
+
+    fn lane(&self, class: QosClass) -> &Lane<T> {
+        &self.lanes[class.priority_rank()]
+    }
+
+    /// Attempts to admit `item` into `class`'s lane.
+    ///
+    /// # Errors
+    /// [`EnqueueRejection::AlreadyExpired`] when `deadline_at <= now`,
+    /// [`EnqueueRejection::QueueFull`] when the lane is at capacity; both
+    /// return the item so the caller can answer the request.
+    pub fn enqueue(
+        &mut self,
+        item: T,
+        class: QosClass,
+        now: Instant,
+        deadline_at: Instant,
+    ) -> Result<(), EnqueueRejection<T>> {
+        if deadline_at <= now {
+            return Err(EnqueueRejection::AlreadyExpired {
+                item,
+                late_by: now.saturating_duration_since(deadline_at),
+            });
+        }
+        let lane = &mut self.lanes[class.priority_rank()];
+        if lane.entries.len() >= lane.policy.capacity {
+            return Err(EnqueueRejection::QueueFull {
+                item,
+                depth: lane.entries.len(),
+                capacity: lane.policy.capacity,
+            });
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let entry = Queued {
+            item,
+            class,
+            enqueued_at: now,
+            deadline_at,
+            seq,
+        };
+        let at = lane
+            .entries
+            .partition_point(|e| (e.deadline_at, e.seq) <= (entry.deadline_at, entry.seq));
+        lane.entries.insert(at, entry);
+        self.depth_high_water = self.depth_high_water.max(self.depth());
+        Ok(())
+    }
+
+    /// Removes and returns every entry whose deadline has passed at
+    /// `now`, across all lanes — including a whole lane expiring at
+    /// once. Swept entries are *never* returned by
+    /// [`AdmissionQueue::next_batch`] afterwards.
+    pub fn sweep_expired(&mut self, now: Instant) -> Vec<Queued<T>> {
+        let mut expired = Vec::new();
+        for lane in &mut self.lanes {
+            // EDF order ⇒ expired entries form a prefix of the lane.
+            let cut = lane.entries.partition_point(|e| e.deadline_at <= now);
+            expired.extend(lane.entries.drain(..cut));
+        }
+        expired
+    }
+
+    /// Drains the next ready batch, visiting lanes in priority order.
+    ///
+    /// A lane fires when it holds `max_batch` entries, when its oldest
+    /// entry has waited `max_age`, or when its most urgent deadline falls
+    /// inside the coalescing window; `force` fires any non-empty lane
+    /// regardless (shutdown drain). At most `max_batch` entries are
+    /// drained, earliest deadline first. Callers should
+    /// [`AdmissionQueue::sweep_expired`] first so a batch never contains
+    /// an already-expired entry.
+    pub fn next_batch(&mut self, now: Instant, force: bool) -> Option<(QosClass, Vec<Queued<T>>)> {
+        for (rank, lane) in self.lanes.iter_mut().enumerate() {
+            if lane.entries.is_empty() || !(force || lane.ready(now)) {
+                continue;
+            }
+            let take = lane.policy.max_batch.max(1).min(lane.entries.len());
+            let batch: Vec<Queued<T>> = lane.entries.drain(..take).collect();
+            return Some((QosClass::ALL[rank], batch));
+        }
+        None
+    }
+
+    /// The next instant at which something becomes actionable: a batch
+    /// trigger (age fill or deadline proximity) or an expiry sweep.
+    /// `None` when the queue is empty. A returned instant `<= now` means
+    /// "act immediately".
+    pub fn next_wakeup(&self, now: Instant) -> Option<Instant> {
+        let mut wake: Option<Instant> = None;
+        let mut consider = |t: Instant| {
+            wake = Some(match wake {
+                Some(w) => w.min(t),
+                None => t,
+            });
+        };
+        for lane in &self.lanes {
+            if lane.entries.is_empty() {
+                continue;
+            }
+            if lane.ready(now) {
+                return Some(now);
+            }
+            if let Some(oldest) = lane.oldest_enqueue() {
+                consider(oldest + lane.policy.max_age);
+            }
+            let front = &lane.entries[0];
+            // Deadline-proximity trigger, then the expiry itself.
+            consider(
+                front
+                    .deadline_at
+                    .checked_sub(lane.policy.max_age)
+                    .unwrap_or(front.deadline_at),
+            );
+            consider(front.deadline_at);
+        }
+        wake
+    }
+
+    /// Total queued entries across lanes.
+    pub fn depth(&self) -> usize {
+        self.lanes.iter().map(|l| l.entries.len()).sum()
+    }
+
+    /// Queued entries in `class`'s lane.
+    pub fn lane_depth(&self, class: QosClass) -> usize {
+        self.lane(class).entries.len()
+    }
+
+    /// Whether every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.depth() == 0
+    }
+
+    /// Highest total depth ever observed (for metrics).
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(capacity: usize, max_batch: usize, max_age_us: u64) -> QueuePolicy {
+        let lane = LanePolicy {
+            capacity,
+            max_batch,
+            max_age: Duration::from_micros(max_age_us),
+        };
+        QueuePolicy {
+            urllc: lane,
+            embb: lane,
+            mmtc: lane,
+        }
+    }
+
+    fn far(t0: Instant) -> Instant {
+        t0 + Duration::from_secs(3600)
+    }
+
+    #[test]
+    fn edf_order_within_lane_with_fifo_tiebreak() {
+        let mut q = AdmissionQueue::new(&policy(16, 16, 0));
+        let t0 = Instant::now();
+        let ms = Duration::from_millis(1);
+        q.enqueue("late", QosClass::Embb, t0, t0 + 30 * ms).unwrap();
+        q.enqueue("early", QosClass::Embb, t0, t0 + 10 * ms)
+            .unwrap();
+        q.enqueue("tie-a", QosClass::Embb, t0, t0 + 20 * ms)
+            .unwrap();
+        q.enqueue("tie-b", QosClass::Embb, t0, t0 + 20 * ms)
+            .unwrap();
+        let (class, batch) = q.next_batch(t0, false).unwrap();
+        assert_eq!(class, QosClass::Embb);
+        let order: Vec<&str> = batch.iter().map(|e| e.item).collect();
+        assert_eq!(order, ["early", "tie-a", "tie-b", "late"]);
+    }
+
+    #[test]
+    fn lanes_drain_in_priority_order() {
+        let mut q = AdmissionQueue::new(&policy(16, 4, 0));
+        let t0 = Instant::now();
+        q.enqueue("mmtc", QosClass::Mmtc, t0, far(t0)).unwrap();
+        q.enqueue("embb", QosClass::Embb, t0, far(t0)).unwrap();
+        q.enqueue("urllc", QosClass::Urllc, t0, far(t0)).unwrap();
+        let classes: Vec<QosClass> = std::iter::from_fn(|| q.next_batch(t0, false))
+            .map(|(c, _)| c)
+            .collect();
+        assert_eq!(classes, [QosClass::Urllc, QosClass::Embb, QosClass::Mmtc]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_lane_rejects_everything() {
+        let mut q = AdmissionQueue::new(&policy(0, 1, 0));
+        let t0 = Instant::now();
+        match q.enqueue(7u32, QosClass::Urllc, t0, far(t0)) {
+            Err(EnqueueRejection::QueueFull {
+                item,
+                depth,
+                capacity,
+            }) => {
+                assert_eq!(item, 7);
+                assert_eq!(depth, 0);
+                assert_eq!(capacity, 0);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.depth_high_water(), 0);
+    }
+
+    #[test]
+    fn full_lane_rejects_with_backpressure_only_for_that_lane() {
+        let mut q = AdmissionQueue::new(&policy(2, 8, 1_000_000));
+        let t0 = Instant::now();
+        q.enqueue(0u32, QosClass::Mmtc, t0, far(t0)).unwrap();
+        q.enqueue(1, QosClass::Mmtc, t0, far(t0)).unwrap();
+        assert!(matches!(
+            q.enqueue(2, QosClass::Mmtc, t0, far(t0)),
+            Err(EnqueueRejection::QueueFull {
+                depth: 2,
+                capacity: 2,
+                ..
+            })
+        ));
+        // Other lanes are unaffected by mMTC backpressure.
+        q.enqueue(3, QosClass::Urllc, t0, far(t0)).unwrap();
+        assert_eq!(q.lane_depth(QosClass::Mmtc), 2);
+        assert_eq!(q.lane_depth(QosClass::Urllc), 1);
+    }
+
+    #[test]
+    fn expired_at_enqueue_is_reported_not_queued() {
+        let mut q = AdmissionQueue::new(&policy(4, 1, 0));
+        let t0 = Instant::now();
+        let now = t0 + Duration::from_millis(5);
+        match q.enqueue("dead", QosClass::Embb, now, t0 + Duration::from_millis(2)) {
+            Err(EnqueueRejection::AlreadyExpired { item, late_by }) => {
+                assert_eq!(item, "dead");
+                assert_eq!(late_by, Duration::from_millis(3));
+            }
+            other => panic!("expected AlreadyExpired, got {other:?}"),
+        }
+        // Deadline exactly at `now` also counts as expired.
+        assert!(matches!(
+            q.enqueue("edge", QosClass::Embb, now, now),
+            Err(EnqueueRejection::AlreadyExpired { .. })
+        ));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn whole_lane_simultaneous_expiry_is_swept_never_batched() {
+        let mut q = AdmissionQueue::new(&policy(16, 16, 1_000_000));
+        let t0 = Instant::now();
+        let deadline = t0 + Duration::from_millis(1);
+        for i in 0..5u32 {
+            q.enqueue(i, QosClass::Mmtc, t0, deadline).unwrap();
+        }
+        // One survivor in another lane proves the sweep is per-entry.
+        q.enqueue(99, QosClass::Urllc, t0, far(t0)).unwrap();
+
+        let later = t0 + Duration::from_millis(2);
+        let swept = q.sweep_expired(later);
+        assert_eq!(swept.len(), 5);
+        assert!(swept.iter().all(|e| e.class == QosClass::Mmtc));
+        assert!(swept.iter().all(|e| e.deadline_at <= later));
+        assert_eq!(q.lane_depth(QosClass::Mmtc), 0);
+        // What remains is only the unexpired entry.
+        let (class, batch) = q.next_batch(later, true).unwrap();
+        assert_eq!(class, QosClass::Urllc);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].item, 99);
+        assert!(q.next_batch(later, true).is_none());
+    }
+
+    #[test]
+    fn batching_coalesces_until_fill_or_age() {
+        let mut q = AdmissionQueue::new(&policy(16, 3, 500));
+        let t0 = Instant::now();
+        q.enqueue(0u32, QosClass::Embb, t0, far(t0)).unwrap();
+        q.enqueue(1, QosClass::Embb, t0, far(t0)).unwrap();
+        // Below fill, below age: not ready yet.
+        assert!(q.next_batch(t0, false).is_none());
+        // Fill trigger at 3.
+        q.enqueue(2, QosClass::Embb, t0, far(t0)).unwrap();
+        let (_, batch) = q.next_batch(t0, false).unwrap();
+        assert_eq!(batch.len(), 3);
+        // Age trigger: a lone entry fires once it has waited max_age.
+        q.enqueue(3, QosClass::Embb, t0, far(t0)).unwrap();
+        assert!(q.next_batch(t0, false).is_none());
+        let aged = t0 + Duration::from_micros(500);
+        let (_, batch) = q.next_batch(aged, false).unwrap();
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn urgent_deadline_fires_before_age_fill() {
+        let mut q = AdmissionQueue::new(&policy(16, 8, 10_000));
+        let t0 = Instant::now();
+        // Deadline inside the 10ms coalescing window → fire immediately.
+        q.enqueue(0u32, QosClass::Mmtc, t0, t0 + Duration::from_millis(5))
+            .unwrap();
+        assert!(q.next_batch(t0, false).is_some());
+    }
+
+    #[test]
+    fn wakeup_tracks_earliest_trigger() {
+        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(&policy(16, 8, 1_000));
+        let t0 = Instant::now();
+        assert_eq!(q.next_wakeup(t0), None);
+        let deadline = t0 + Duration::from_millis(50);
+        q.enqueue(0, QosClass::Embb, t0, deadline).unwrap();
+        let wake = q.next_wakeup(t0).unwrap();
+        // The age trigger (t0 + 1ms) comes before the deadline triggers.
+        assert_eq!(wake, t0 + Duration::from_millis(1));
+        // Once ready, wakeup is immediate.
+        let at_age = t0 + Duration::from_millis(1);
+        assert_eq!(q.next_wakeup(at_age), Some(at_age));
+    }
+
+    #[test]
+    fn high_water_tracks_total_depth() {
+        let mut q = AdmissionQueue::new(&policy(16, 16, 1_000_000));
+        let t0 = Instant::now();
+        for i in 0..4u32 {
+            q.enqueue(i, QosClass::Embb, t0, far(t0)).unwrap();
+        }
+        q.enqueue(4, QosClass::Urllc, t0, far(t0)).unwrap();
+        let _ = q.next_batch(t0, true);
+        assert_eq!(q.depth_high_water(), 5);
+    }
+}

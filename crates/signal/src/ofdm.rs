@@ -294,7 +294,6 @@ mod tests {
         let cfg = OfdmConfig {
             subcarriers: 64,
             cyclic_prefix: 8,
-            ..Default::default()
         };
         let symbols = 400usize;
         let bits = test_bits(cfg.bits_per_symbol() * symbols);

@@ -1,0 +1,107 @@
+//! The solver as a service: a loopback `rcr-serve` instance under a
+//! mixed URLLC/eMBB/mMTC request trace.
+//!
+//! ```sh
+//! cargo run --release --example qos_service
+//! ```
+//!
+//! Spawns the QoS-class-aware service with its TCP frontend on an
+//! ephemeral loopback port, drives a 60-request mixed-class trace over
+//! the line-delimited JSON protocol from a plain `TcpStream` client,
+//! then prints the per-class outcome counters and latency histograms.
+
+use rcr::qos::QosClass;
+use rcr::serve::{
+    wire, Outcome, Payload, ScenarioSpec, Service, ServiceConfig, SolveRequest, SolverKind,
+    TcpFrontend,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let service = Service::spawn(ServiceConfig::default());
+    let frontend = TcpFrontend::bind("127.0.0.1:0", service.client())?;
+    println!("service listening on {}", frontend.local_addr());
+
+    // A mixed trace: URLLC requests carry tight-but-feasible deadlines,
+    // eMBB/mMTC generous ones; every tenth request is already expired
+    // on arrival to show the deadline-miss path.
+    let requests: Vec<SolveRequest> = (0..60u64)
+        .map(|id| {
+            let class = QosClass::ALL[(id % 3) as usize];
+            let deadline = if id % 10 == 7 {
+                Duration::ZERO
+            } else {
+                match class {
+                    QosClass::Urllc => Duration::from_millis(250),
+                    _ => Duration::from_secs(10),
+                }
+            };
+            SolveRequest {
+                id,
+                class,
+                deadline,
+                solver: SolverKind::Greedy,
+                payload: Payload::Scenario(ScenarioSpec {
+                    users: 3,
+                    resource_blocks: 6,
+                    seed: id + 1,
+                }),
+            }
+        })
+        .collect();
+
+    // Pipeline everything over one connection, then read the answers.
+    let stream = TcpStream::connect(frontend.local_addr())?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    for request in &requests {
+        writer.write_all(wire::encode_request(request)?.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+
+    let mut solved = 0u32;
+    let mut expired = 0u32;
+    for _ in &requests {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let response = wire::parse_response(line.trim_end())?;
+        match &response.outcome {
+            Outcome::Solved(s) => {
+                solved += 1;
+                println!(
+                    "  #{:<3} {:<5} solved  rate {:>7.2} Mbit/s  batch {}  queue {:?}",
+                    response.id,
+                    response.class.name(),
+                    s.solution.total_rate_bps / 1e6,
+                    s.batch_size,
+                    response.queue_time,
+                );
+            }
+            Outcome::Expired(miss) => {
+                expired += 1;
+                println!(
+                    "  #{:<3} {:<5} expired ({:?}, late by {:?})",
+                    response.id,
+                    response.class.name(),
+                    miss.phase,
+                    miss.late_by,
+                );
+            }
+            other => println!("  #{:<3} {other:?}", response.id),
+        }
+    }
+    println!(
+        "\n{solved} solved, {expired} expired out of {} requests",
+        requests.len()
+    );
+
+    drop(writer);
+    drop(reader);
+    drop(frontend);
+    let snapshot = service.shutdown();
+    println!("\n{}", snapshot.render());
+    Ok(())
+}

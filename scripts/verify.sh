@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
-# The full CI gate: release build, complete test suite, formatting, lints.
-# Usage: scripts/verify.sh
+# The CI gate: release build, complete test suite, formatting, lints.
+# Usage: scripts/verify.sh [--quick]
+#   --quick  build + tests only (skips fmt, clippy, and bench compilation)
 set -eu
 cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo build --release ==" >&2
 cargo build --release
@@ -10,10 +19,18 @@ cargo build --release
 echo "== cargo test --workspace ==" >&2
 cargo test --workspace -q
 
+echo "== cargo test --test integration_serve (service loopback) ==" >&2
+cargo test -q --test integration_serve
+
+if [ "$quick" -eq 1 ]; then
+  echo "verify.sh: quick gates passed (fmt/clippy/benches skipped)" >&2
+  exit 0
+fi
+
 echo "== cargo fmt --check ==" >&2
 cargo fmt --check
 
 echo "== cargo clippy (warnings are errors) ==" >&2
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --benches -- -D warnings
 
 echo "verify.sh: all gates passed" >&2

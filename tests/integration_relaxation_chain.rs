@@ -26,7 +26,7 @@ fn nonconvex_rank_objective_rejected_but_sdp_relaxation_succeeds() {
     // The rank function cannot enter the QCQP solver (nonconvex gate), but
     // the trace relaxation solves the same decomposition as an SDP.
     let indefinite = QuadraticForm::new(Matrix::from_diag(&[1.0, -1.0]), vec![0.0; 2], 0.0);
-    assert!(indefinite.unwrap().is_convex(1e-9) == false);
+    assert!(!indefinite.unwrap().is_convex(1e-9));
 
     let v = Matrix::from_rows(&[&[1.0], &[0.5], &[-2.0], &[1.5]]).unwrap();
     let d = [0.6, 0.8, 0.5, 0.9];
