@@ -190,6 +190,7 @@ impl RcrStack {
                     BackboneKind::FullConv
                 },
                 batchnorm: true,
+                // rcr-lint: allow(float-literal-eq, reason = "discrete tuner axis: special_fire is assigned exactly 0.0 or 1.0, both exactly representable")
                 special_fire: a["special_fire"] == 1.0,
                 learning_rate: a["learning_rate"],
                 seed,
@@ -235,6 +236,7 @@ impl RcrStack {
                 BackboneKind::FullConv
             },
             batchnorm: true,
+            // rcr-lint: allow(float-literal-eq, reason = "discrete tuner axis: special_fire is assigned exactly 0.0 or 1.0, both exactly representable")
             special_fire: best["special_fire"] == 1.0,
             learning_rate: best["learning_rate"],
             seed: cfg.seed,

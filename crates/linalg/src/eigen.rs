@@ -57,6 +57,7 @@ impl SymmetricEigen {
             return Err(LinalgError::InvalidInput("matrix is not symmetric".into()));
         }
         let n = a.rows();
+        // rcr-lint: allow(no-unwrap-in-lib, reason = "symmetrize only errs on non-square input, rejected two lines above")
         let mut m = a.symmetrize().expect("square checked above");
         let mut v = Matrix::identity(n);
         let tol = 1e-14 * scale;
@@ -121,7 +122,9 @@ impl SymmetricEigen {
         let n = m.rows();
         let mut idx: Vec<usize> = (0..n).collect();
         let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-        idx.sort_by(|&a, &b| diag[a].partial_cmp(&diag[b]).expect("finite eigenvalues"));
+        // IEEE total order: ascending, with any NaN (impossible for a
+        // converged Jacobi sweep, but never worth a panic) sorting last.
+        idx.sort_by(|&a, &b| diag[a].total_cmp(&diag[b]));
         let eigenvalues: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
         let eigenvectors = Matrix::from_fn(n, n, |r, c| v[(r, idx[c])]);
         SymmetricEigen {
@@ -162,6 +165,7 @@ impl SymmetricEigen {
     /// Rebuilds the original matrix `V * diag(λ) * V^T`.
     pub fn reconstruct(&self) -> Matrix {
         self.reconstruct_with(&self.eigenvalues.clone())
+            // rcr-lint: allow(no-unwrap-in-lib, reason = "reconstruct_with only errs on a length mismatch; self.eigenvalues matches by construction")
             .expect("matching lengths")
     }
 
@@ -178,6 +182,7 @@ impl SymmetricEigen {
             .iter()
             .map(|&l| l.max(0.0).sqrt())
             .collect();
+        // rcr-lint: allow(no-unwrap-in-lib, reason = "vals is mapped 1:1 from self.eigenvalues, so the lengths cannot mismatch")
         self.reconstruct_with(&vals).expect("matching lengths")
     }
 }

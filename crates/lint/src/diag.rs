@@ -1,0 +1,90 @@
+//! Diagnostics and their renderings (human `file:line` and JSON).
+
+use std::fmt::Write as _;
+
+/// One finding: a rule violation or a malformed pragma.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule slug, e.g. `float-total-cmp`; malformed pragmas report as
+    /// `bad-pragma`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `path/to/file.rs:12: [rule] message` — clickable in most
+    /// terminals and editors.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders diagnostics as a JSON array (`--format=json`). Hand-rolled
+/// on purpose: the tool is std-only and the schema is four flat fields.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_str(d.rule),
+            json_str(&d.file),
+            d.line,
+            json_str(&d.message)
+        );
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let diags = vec![Diagnostic {
+            rule: "float-literal-eq",
+            file: "a\\b.rs".into(),
+            line: 3,
+            message: "say \"no\"".into(),
+        }];
+        let j = render_json(&diags);
+        assert!(j.contains(r#""file":"a\\b.rs""#));
+        assert!(j.contains(r#""message":"say \"no\"""#));
+        assert_eq!(render_json(&[]), "[]");
+    }
+}

@@ -1,0 +1,278 @@
+//! Per-file analysis: tokenize, mark test regions, run the scoped
+//! rules, then apply `rcr-lint: allow(...)` suppressions.
+
+use crate::diag::Diagnostic;
+use crate::pragma::{self, Allow};
+use crate::rules::{registry, FileCtx, Rule, TestPolicy, BAD_PRAGMA};
+use crate::tokenizer::{tokenize, Token};
+use std::collections::BTreeMap;
+
+/// Per-rule outcome counters for the end-of-run summary.
+#[derive(Debug, Default, Clone)]
+pub struct RuleStats {
+    pub violations: usize,
+    pub suppressed: usize,
+}
+
+/// Result of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Keyed by rule slug; present for every rule that ran on the file.
+    pub stats: BTreeMap<&'static str, RuleStats>,
+}
+
+/// Analyzes one source file. `crate_name` drives per-crate rule
+/// scoping; `rel_path` is used in diagnostics and for test-file
+/// detection; `is_crate_root` enables the hygiene rule.
+pub fn analyze_source(
+    crate_name: &str,
+    rel_path: &str,
+    source: &str,
+    is_crate_root: bool,
+) -> FileReport {
+    let tokens = tokenize(source);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let in_test = mark_test_regions(&tokens, &code);
+
+    let has_code_on_line = |line: u32| code.iter().any(|&i| tokens[i].line == line);
+    let (allows, bad) = pragma::collect(&tokens, &has_code_on_line);
+
+    let ctx = FileCtx {
+        crate_name,
+        rel_path,
+        tokens: &tokens,
+        code: &code,
+        in_test: &in_test,
+        is_crate_root,
+    };
+
+    let known: Vec<&str> = registry().iter().map(|r| r.slug).collect();
+    let mut report = FileReport::default();
+
+    for b in &bad {
+        report.diagnostics.push(Diagnostic {
+            rule: BAD_PRAGMA,
+            file: rel_path.to_string(),
+            line: b.line,
+            message: b.message.clone(),
+        });
+    }
+    for a in &allows {
+        if !known.contains(&a.rule.as_str()) {
+            report.diagnostics.push(Diagnostic {
+                rule: BAD_PRAGMA,
+                file: rel_path.to_string(),
+                line: a.line,
+                message: format!("allow(...) names unknown rule {:?}", a.rule),
+            });
+        }
+    }
+
+    let file_is_testish = ctx.is_test_file();
+    for rule in registry() {
+        if !(rule.applies_to)(crate_name) {
+            continue;
+        }
+        let stats = report.stats.entry(rule.slug).or_default();
+        if rule.test_policy == TestPolicy::SkipTests && file_is_testish {
+            continue;
+        }
+        for v in (rule.check)(&ctx) {
+            if rule.test_policy == TestPolicy::SkipTests && v.in_test {
+                continue;
+            }
+            if is_suppressed(rule, v.line, &allows) {
+                stats.suppressed += 1;
+                continue;
+            }
+            stats.violations += 1;
+            report.diagnostics.push(Diagnostic {
+                rule: rule.slug,
+                file: rel_path.to_string(),
+                line: v.line,
+                message: v.message,
+            });
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    report
+}
+
+/// A violation at `line` is suppressed by a trailing allow on the same
+/// line or a standalone allow on the line directly above.
+fn is_suppressed(rule: &Rule, line: u32, allows: &[Allow]) -> bool {
+    allows.iter().any(|a| {
+        a.rule == rule.slug
+            && ((a.trailing && a.line == line) || (!a.trailing && a.line + 1 == line))
+    })
+}
+
+/// Marks code tokens inside test regions: any item annotated with an
+/// attribute containing the `test` ident (`#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, ...))]`) — but not `not(test)` — is a test region,
+/// spanning to the item's closing brace (or terminating semicolon).
+fn mark_test_regions(tokens: &[Token<'_>], code: &[usize]) -> Vec<bool> {
+    let n = code.len();
+    let mut in_test = vec![false; n];
+    let text = |i: usize| -> &str {
+        if i < n {
+            tokens[code[i]].text
+        } else {
+            ""
+        }
+    };
+    let mut i = 0usize;
+    while i < n {
+        if !(text(i) == "#" && text(i + 1) == "[") {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute's bracket group.
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < n {
+            match text(j) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "test" => has_test = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j + 1;
+            continue;
+        }
+        // The region covers everything from the attribute through the
+        // end of the annotated item: further attributes, the item
+        // header, then either a `;` (brace-less item) or the matching
+        // `}` of the item's first brace group.
+        let start = i;
+        let mut k = j + 1;
+        // Skip any further attributes on the same item.
+        while text(k) == "#" && text(k + 1) == "[" {
+            let mut d = 0usize;
+            k += 1;
+            while k < n {
+                match text(k) {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut end = k;
+        let mut brace = 0usize;
+        while end < n {
+            match text(end) {
+                "{" => brace += 1,
+                "}" => {
+                    // An unmatched `}` means the attribute sat at the
+                    // end of an enclosing block: stop the region there.
+                    if brace <= 1 {
+                        break;
+                    }
+                    brace -= 1;
+                }
+                ";" if brace == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        for flag in in_test.iter_mut().take((end + 1).min(n)).skip(start) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(crate_name: &str, src: &str) -> Vec<String> {
+        analyze_source(crate_name, "crates/x/src/lib.rs", src, false)
+            .diagnostics
+            .iter()
+            .map(|d| format!("{}:{}", d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt_from_unwrap_rule() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(diags("rcr-qos", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_tests_fires() {
+        let src = "fn lib() { Some(1).unwrap(); }\n";
+        assert_eq!(diags("rcr-qos", src), vec!["no-unwrap-in-lib:1"]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn lib() { Some(1).unwrap(); }\n";
+        assert_eq!(diags("rcr-qos", src), vec!["no-unwrap-in-lib:2"]);
+    }
+
+    #[test]
+    fn trailing_and_standalone_allows_suppress() {
+        let src = "use std::collections::HashMap; // rcr-lint: allow(hash-iteration-order, reason = \"k\")\n// rcr-lint: allow(hash-iteration-order, reason = \"k\")\nfn f(m: HashMap<u32, u32>) -> usize { m.len() }\n";
+        assert!(diags("rcr-qos", src).is_empty());
+    }
+
+    #[test]
+    fn reasonless_allow_is_bad_pragma_and_does_not_suppress() {
+        let src = "// rcr-lint: allow(hash-iteration-order)\nuse std::collections::HashMap;\n";
+        let d = diags("rcr-qos", src);
+        assert!(d.contains(&"bad-pragma:1".to_string()));
+        assert!(d.contains(&"hash-iteration-order:2".to_string()));
+    }
+
+    #[test]
+    fn unknown_rule_allow_is_bad_pragma() {
+        let src = "// rcr-lint: allow(no-such-rule, reason = \"x\")\nfn f() {}\n";
+        assert_eq!(diags("rcr-qos", src), vec!["bad-pragma:1"]);
+    }
+
+    #[test]
+    fn float_total_cmp_fires_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(v: &mut Vec<f64>) {\n        v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    }\n}\n";
+        assert_eq!(diags("rcr-serve", src), vec!["float-total-cmp:4"]);
+    }
+
+    #[test]
+    fn lock_unwrap_idiom_is_exempt() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() }\n";
+        assert!(diags("rcr-serve", src).is_empty());
+    }
+
+    #[test]
+    fn scoping_keeps_hash_rule_out_of_serve() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(diags("rcr-serve", src).is_empty());
+        assert_eq!(diags("rcr-signal", src), vec!["hash-iteration-order:1"]);
+    }
+}

@@ -1,0 +1,90 @@
+//! CLI for `rcr-lint`: lints the workspace, prints diagnostics and the
+//! per-rule summary, exits non-zero on any finding.
+
+#![forbid(unsafe_code)]
+
+use rcr_lint::{find_workspace_root, lint_workspace, render_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Human;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format=json" => format = Format::Json,
+            "--format=human" => format = Format::Human,
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage("--root requires a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: rcr-lint [--format=json|human] [--root <workspace>]\n\
+                     Lints every workspace crate's src/ tree; exits 1 on any finding."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("rcr-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("rcr-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rcr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Human => {
+            for d in &report.diagnostics {
+                println!("{}", d.render_human());
+            }
+            // Summary to stderr so it shows in CI logs without
+            // polluting machine-readable stdout use.
+            eprint!("{}", report.render_summary());
+        }
+        Format::Json => {
+            println!("{}", render_json(&report.diagnostics));
+            eprint!("{}", report.render_summary());
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("rcr-lint: {msg}\nusage: rcr-lint [--format=json|human] [--root <workspace>]");
+    ExitCode::from(2)
+}

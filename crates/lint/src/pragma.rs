@@ -1,0 +1,135 @@
+//! Inline suppression pragmas.
+//!
+//! A violation is suppressed by a line comment of the form
+//!
+//! ```text
+//! // rcr-lint: allow(rule-name, reason = "why this site is sound")
+//! ```
+//!
+//! either trailing the offending line or on its own line directly
+//! above it. The `reason` is **mandatory**: an `allow` without a
+//! non-empty reason is itself a diagnostic (`bad-pragma`), as is an
+//! `allow` naming a rule the tool does not know. This keeps every
+//! suppression auditable — `grep -rn 'rcr-lint: allow'` is the
+//! workspace's exception ledger.
+
+use crate::tokenizer::{TokKind, Token};
+
+/// A parsed, well-formed `allow` pragma.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub reason: String,
+    pub line: u32,
+    /// `true` when the pragma shares its line with code (trailing
+    /// form): it then applies to that line; otherwise to the next.
+    pub trailing: bool,
+}
+
+/// A malformed pragma — reported as a `bad-pragma` diagnostic and
+/// never honored as a suppression.
+#[derive(Debug, Clone)]
+pub struct BadPragma {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Extracts pragmas from the token stream. `code_lines` must report
+/// whether a source line holds any non-comment token (to classify
+/// trailing vs. standalone pragmas).
+pub fn collect(
+    tokens: &[Token<'_>],
+    has_code_on_line: &dyn Fn(u32) -> bool,
+) -> (Vec<Allow>, Vec<BadPragma>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for t in tokens {
+        if t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment {
+            continue;
+        }
+        let body = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("rcr-lint:") else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => allows.push(Allow {
+                rule,
+                reason,
+                line: t.line,
+                trailing: has_code_on_line(t.line),
+            }),
+            Err(message) => bad.push(BadPragma {
+                line: t.line,
+                message,
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// Parses `allow(<rule>, reason = "...")`; returns `(rule, reason)`.
+fn parse_allow(s: &str) -> Result<(String, String), String> {
+    let Some(inner) = s
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.strip_suffix(')'))
+    else {
+        return Err(format!(
+            "unrecognized pragma {s:?}: expected `allow(<rule>, reason = \"...\")`"
+        ));
+    };
+    let Some((rule_part, reason_part)) = inner.split_once(',') else {
+        return Err("allow(...) is missing the mandatory `reason = \"...\"` clause".into());
+    };
+    let rule = rule_part.trim().to_string();
+    if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
+        return Err(format!("invalid rule name {rule:?} in allow(...)"));
+    }
+    let reason_part = reason_part.trim();
+    let Some(q) = reason_part
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim_start)
+    else {
+        return Err("allow(...) is missing the mandatory `reason = \"...\"` clause".into());
+    };
+    let Some(reason) = q.strip_prefix('"').and_then(|r| r.strip_suffix('"')) else {
+        return Err("allow(...) reason must be a double-quoted string".into());
+    };
+    if reason.trim().is_empty() {
+        return Err("allow(...) reason must not be empty".into());
+    }
+    Ok((rule, reason.trim().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_allow() {
+        let (rule, reason) =
+            parse_allow(r#"allow(float-literal-eq, reason = "one-hot encoding")"#).unwrap();
+        assert_eq!(rule, "float-literal-eq");
+        assert_eq!(reason, "one-hot encoding");
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        assert!(parse_allow("allow(float-literal-eq)").is_err());
+        assert!(parse_allow(r#"allow(float-literal-eq, reason = "")"#).is_err());
+        assert!(parse_allow(r#"allow(float-literal-eq, reason = "  ")"#).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_allow("deny(x)").is_err());
+        assert!(parse_allow(r#"allow(bad rule!, reason = "r")"#).is_err());
+    }
+}

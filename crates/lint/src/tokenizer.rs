@@ -1,0 +1,483 @@
+//! A small, comment- and string-aware Rust tokenizer.
+//!
+//! The lint rules only need a faithful *lexical* view of a source file:
+//! identifiers, punctuation, and literals — with comments and string
+//! contents cleanly separated so that a rule never fires on text inside
+//! a doc comment or a string literal (the classic grep false positive).
+//! This is deliberately not a full Rust lexer: it covers the token
+//! shapes that occur in this workspace (raw strings, byte strings,
+//! lifetimes vs. char literals, float vs. integer literals, nested
+//! block comments) and nothing more.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`partial_cmp`, `fn`, `HashMap`, ...).
+    Ident,
+    /// Integer literal, including hex/octal/binary and int suffixes.
+    Int,
+    /// Float literal: has a fractional part, an exponent, or an
+    /// `f32`/`f64` suffix.
+    Float,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Operator / punctuation. Multi-char operators (`::`, `==`, `!=`,
+    /// `->`, ...) are single tokens.
+    Punct,
+    /// `// ...` comment, text includes the slashes. Doc line comments
+    /// (`///`, `//!`) are classified as [`TokKind::DocComment`].
+    LineComment,
+    /// `/* ... */` comment (nesting handled), non-doc.
+    BlockComment,
+    /// Doc comment of any flavor (`///`, `//!`, `/** */`, `/*! */`).
+    DocComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// `true` for comment tokens of any flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+        )
+    }
+}
+
+/// Multi-char operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "...", "..=", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Tokenizes `src`, never failing: unrecognized bytes become one-char
+/// punct tokens so the rule passes degrade gracefully on exotic input.
+pub fn tokenize(src: &str) -> Vec<Token<'_>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let start_line = line;
+        // Comments.
+        if b == b'/' && i + 1 < bytes.len() {
+            match bytes[i + 1] {
+                b'/' => {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let kind = if text.starts_with("///") || text.starts_with("//!") {
+                        TokKind::DocComment
+                    } else {
+                        TokKind::LineComment
+                    };
+                    toks.push(Token {
+                        kind,
+                        text,
+                        line: start_line,
+                    });
+                    continue;
+                }
+                b'*' => {
+                    let mut depth = 1usize;
+                    i += 2;
+                    while i < bytes.len() && depth > 0 {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                            i += 1;
+                        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                            depth += 1;
+                            i += 2;
+                        } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    let text = &src[start..i];
+                    let kind = if text.starts_with("/**") || text.starts_with("/*!") {
+                        TokKind::DocComment
+                    } else {
+                        TokKind::BlockComment
+                    };
+                    toks.push(Token {
+                        kind,
+                        text,
+                        line: start_line,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Raw strings and byte strings: r"", r#""#, br"", b"".
+        if (b == b'r' || b == b'b') && raw_or_byte_string(bytes, i).is_some() {
+            let end = scan_string_like(bytes, i, &mut line);
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: &src[start..end],
+                line: start_line,
+            });
+            i = end;
+            continue;
+        }
+        // Byte char b'x'.
+        if b == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+            let end = scan_char(bytes, i + 1);
+            toks.push(Token {
+                kind: TokKind::Char,
+                text: &src[start..end],
+                line: start_line,
+            });
+            i = end;
+            continue;
+        }
+        if b == b'"' {
+            let end = scan_string_like(bytes, i, &mut line);
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: &src[start..end],
+                line: start_line,
+            });
+            i = end;
+            continue;
+        }
+        if b == b'\'' {
+            // Lifetime `'a` vs char literal `'a'`: an identifier start
+            // not followed by a closing quote is a lifetime.
+            let is_lifetime = i + 1 < bytes.len()
+                && (bytes[i + 1].is_ascii_alphabetic() || bytes[i + 1] == b'_')
+                && !(i + 2 < bytes.len() && bytes[i + 2] == b'\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: &src[start..j],
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            let end = scan_char(bytes, i);
+            toks.push(Token {
+                kind: TokKind::Char,
+                text: &src[start..end],
+                line: start_line,
+            });
+            i = end;
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let (end, is_float) = scan_number(bytes, i);
+            toks.push(Token {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text: &src[start..end],
+                line: start_line,
+            });
+            i = end;
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let mut j = i;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: &src[start..j],
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation: maximal munch over the multi-char table.
+        let rest = &src[i..];
+        let mut matched = 1usize;
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op) {
+                matched = op.len();
+                break;
+            }
+        }
+        // Guard against splitting a multi-byte UTF-8 char.
+        while matched < rest.len() && !rest.is_char_boundary(matched) {
+            matched += 1;
+        }
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: &src[i..i + matched],
+            line: start_line,
+        });
+        i += matched;
+    }
+    toks
+}
+
+/// Returns `Some(prefix_len)` when position `i` starts a raw or byte
+/// string literal (`r"`, `r#`+`"`, `b"`, `br"`, `br#`+`"`).
+fn raw_or_byte_string(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < bytes.len() && bytes[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        // `r#ident` is a raw identifier, not a string.
+        if j < bytes.len() && bytes[j] == b'"' {
+            return Some(j - i + 1);
+        }
+        let _ = hashes;
+        return None;
+    }
+    if j < bytes.len() && bytes[j] == b'"' && j > i {
+        return Some(j - i + 1);
+    }
+    None
+}
+
+/// Scans any string literal starting at `i` (plain, raw, or byte),
+/// updating `line` for embedded newlines; returns the end offset.
+fn scan_string_like(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    let mut raw = false;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < bytes.len() && bytes[j] == b'"');
+    j += 1; // opening quote
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'\\' if !raw => {
+                j += 2;
+            }
+            b'"' => {
+                j += 1;
+                if !raw {
+                    return j;
+                }
+                let mut h = 0usize;
+                while h < hashes && j + h < bytes.len() && bytes[j + h] == b'#' {
+                    h += 1;
+                }
+                if h == hashes {
+                    return j + hashes;
+                }
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Scans a char/byte-char literal starting at the opening quote.
+fn scan_char(bytes: &[u8], quote: usize) -> usize {
+    let mut j = quote + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Scans a numeric literal; returns `(end, is_float)`.
+fn scan_number(bytes: &[u8], i: usize) -> (usize, bool) {
+    let mut j = i;
+    // Hex / octal / binary: always integers (suffix consumed below).
+    if bytes[j] == b'0' && j + 1 < bytes.len() && matches!(bytes[j + 1], b'x' | b'o' | b'b') {
+        j += 2;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        return (j, false);
+    }
+    let mut is_float = false;
+    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+        j += 1;
+    }
+    // Fractional part: a dot NOT followed by another dot (range `1..2`)
+    // or an identifier start (method call `1.max(x)`, tuple `.0` handled
+    // elsewhere) is part of the float.
+    if j < bytes.len() && bytes[j] == b'.' {
+        let next = bytes.get(j + 1).copied();
+        let next_is_ident = next.is_some_and(|c| c.is_ascii_alphabetic() || c == b'_');
+        if next != Some(b'.') && !next_is_ident {
+            is_float = true;
+            j += 1;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < bytes.len() && matches!(bytes[j], b'e' | b'E') {
+        let mut k = j + 1;
+        if k < bytes.len() && matches!(bytes[k], b'+' | b'-') {
+            k += 1;
+        }
+        if k < bytes.len() && bytes[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`f64`, `u32`, ...). An `f32`/`f64` suffix makes the
+    // literal a float even without a dot.
+    if j < bytes.len() && (bytes[j].is_ascii_alphabetic() || bytes[j] == b'_') {
+        let s = j;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if matches!(&bytes[s..j], b"f32" | b"f64") {
+            is_float = true;
+        }
+    }
+    (j, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_isolated() {
+        let toks = kinds("let x = \"partial_cmp\"; // partial_cmp\n/* unwrap */ y");
+        assert!(toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .all(|(_, t)| *t != "partial_cmp" && *t != "unwrap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| matches!(k, TokKind::LineComment | TokKind::BlockComment))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn doc_comments_classified() {
+        let toks = kinds("/// a.unwrap()\n//! b\n/** c */\nfn f() {}");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokKind::DocComment)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let toks = kinds("1 1.0 1. 1e5 2f64 0x1f 3u32 1..2 x.0 1_000.5");
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1.", "1e5", "2f64", "1_000.5"]);
+        let ints: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Int)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(ints, vec!["1", "0x1f", "3u32", "1", "2", "0"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("<'a> 'x' b'\\n' '\\''");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            1
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let toks = kinds("r#\"a \" unwrap() \"#; x");
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "x"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn multichar_punct_single_tokens() {
+        let toks = kinds("a::b == c != d -> e");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(puncts, vec!["::", "==", "!=", "->"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\n\"x\ny\"\nc");
+        let c = toks.iter().find(|t| t.text == "c").map(|t| t.line);
+        assert_eq!(c, Some(5));
+    }
+}

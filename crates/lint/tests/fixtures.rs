@@ -1,0 +1,204 @@
+//! Golden fixture tests: every rule has a fixture that must fail and a
+//! fixture that must pass (including allow-pragma handling), a
+//! reason-less `allow(...)` is itself rejected, the real workspace is
+//! lint-clean, and the binary exits non-zero on a broken workspace.
+
+use rcr_lint::analyze_source;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Distinct rule slugs reported for a fixture analyzed under
+/// `crate_name` (as a non-root file unless `as_root`).
+fn slugs(crate_name: &str, name: &str, as_root: bool) -> BTreeSet<String> {
+    let src = fixture(name);
+    let rel = format!("crates/x/src/{name}");
+    analyze_source(crate_name, &rel, &src, as_root)
+        .diagnostics
+        .into_iter()
+        .map(|d| d.rule.to_string())
+        .collect()
+}
+
+fn assert_fails(crate_name: &str, name: &str, as_root: bool, rule: &str) {
+    let s = slugs(crate_name, name, as_root);
+    assert!(
+        s.contains(rule),
+        "{name} under {crate_name}: expected a {rule} finding, got {s:?}"
+    );
+}
+
+fn assert_passes(crate_name: &str, name: &str, as_root: bool) {
+    let s = slugs(crate_name, name, as_root);
+    assert!(
+        s.is_empty(),
+        "{name} under {crate_name}: expected clean, got {s:?}"
+    );
+}
+
+#[test]
+fn float_total_cmp_fixtures() {
+    assert_fails(
+        "rcr-signal",
+        "float_total_cmp_fail.rs",
+        false,
+        "float-total-cmp",
+    );
+    // Three sites: two library, one in the test module (no exemption).
+    let src = fixture("float_total_cmp_fail.rs");
+    let n = analyze_source("rcr-signal", "crates/x/src/f.rs", &src, false)
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "float-total-cmp")
+        .count();
+    assert_eq!(n, 3);
+    assert_passes("rcr-signal", "float_total_cmp_pass.rs", false);
+}
+
+#[test]
+fn no_unwrap_fixtures() {
+    assert_fails("rcr-qos", "no_unwrap_fail.rs", false, "no-unwrap-in-lib");
+    assert_passes("rcr-qos", "no_unwrap_pass.rs", false);
+    // The bench crate is out of scope for this rule.
+    let s = slugs("rcr-bench", "no_unwrap_fail.rs", false);
+    assert!(
+        !s.contains("no-unwrap-in-lib"),
+        "bench is exempt, got {s:?}"
+    );
+}
+
+#[test]
+fn crate_hygiene_fixtures() {
+    assert_fails("rcr-qos", "crate_hygiene_fail.rs", true, "crate-hygiene");
+    assert_passes("rcr-qos", "crate_hygiene_pass.rs", true);
+    // Non-root files are not checked for the crate attribute.
+    assert_passes("rcr-qos", "crate_hygiene_fail.rs", false);
+}
+
+#[test]
+fn hash_iteration_order_fixtures() {
+    assert_fails(
+        "rcr-signal",
+        "hash_iter_fail.rs",
+        false,
+        "hash-iteration-order",
+    );
+    assert_passes("rcr-signal", "hash_iter_pass.rs", false);
+    // Scoped: the service layer may hash freely.
+    assert_passes("rcr-serve", "hash_iter_fail.rs", false);
+}
+
+#[test]
+fn wall_clock_fixtures() {
+    assert_fails(
+        "rcr-pso",
+        "wall_clock_fail.rs",
+        false,
+        "no-wall-clock-in-solvers",
+    );
+    // All three sites, including the un-called fn-pointer read.
+    let src = fixture("wall_clock_fail.rs");
+    let n = analyze_source("rcr-pso", "crates/x/src/f.rs", &src, false)
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "no-wall-clock-in-solvers")
+        .count();
+    assert_eq!(n, 3);
+    assert_passes("rcr-pso", "wall_clock_pass.rs", false);
+    // Scoped: serve/runtime/bench own the clock.
+    assert_passes("rcr-serve", "wall_clock_fail.rs", false);
+}
+
+#[test]
+fn float_literal_eq_fixtures() {
+    assert_fails("rcr-core", "float_eq_fail.rs", false, "float-literal-eq");
+    let src = fixture("float_eq_fail.rs");
+    let n = analyze_source("rcr-core", "crates/x/src/f.rs", &src, false)
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "float-literal-eq")
+        .count();
+    assert_eq!(n, 2);
+    assert_passes("rcr-core", "float_eq_pass.rs", false);
+}
+
+#[test]
+fn reasonless_allow_is_rejected_and_does_not_suppress() {
+    let src = fixture("allow_no_reason_fail.rs");
+    let diags = analyze_source("rcr-signal", "crates/x/src/f.rs", &src, false).diagnostics;
+    let bad = diags.iter().filter(|d| d.rule == "bad-pragma").count();
+    // Three malformed pragmas: no reason, empty reason, unknown rule.
+    assert_eq!(bad, 3, "{diags:?}");
+    // And the violations they sat on still fire.
+    let hash = diags
+        .iter()
+        .filter(|d| d.rule == "hash-iteration-order")
+        .count();
+    assert_eq!(hash, 2, "{diags:?}");
+}
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = rcr_lint::lint_workspace(&root).expect("lint run");
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.render_human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}
+
+#[test]
+fn binary_exits_nonzero_on_broken_workspace_and_emits_json() {
+    let mini: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini_ws");
+    let out = Command::new(env!("CARGO_BIN_EXE_rcr-lint"))
+        .args(["--format=json", "--root"])
+        .arg(&mini)
+        .output()
+        .expect("run rcr-lint");
+    assert!(
+        !out.status.success(),
+        "expected failure exit on broken fixture workspace"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "float-total-cmp",
+        "no-unwrap-in-lib",
+        "crate-hygiene",
+        "hash-iteration-order",
+        "no-wall-clock-in-solvers",
+        "float-literal-eq",
+    ] {
+        assert!(
+            stdout.contains(rule),
+            "JSON output missing {rule}: {stdout}"
+        );
+    }
+    assert!(stdout.contains("\"file\":\"crates/bad/src/lib.rs\""));
+    // The rule summary goes to stderr for CI logs.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("violation(s)"), "missing summary: {stderr}");
+
+    // Sanity: collect distinct rules via the library walk too.
+    let report = rcr_lint::lint_workspace(&mini).expect("lint run");
+    let rules: BTreeSet<_> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules.len(), 6, "{rules:?}");
+}

@@ -1,0 +1,13 @@
+//! Fixture: must FAIL twice — a reason-less allow is a bad-pragma AND
+//! it does not suppress the violation it sits on.
+
+// rcr-lint: allow(hash-iteration-order)
+use std::collections::HashMap;
+
+// rcr-lint: allow(hash-iteration-order, reason = "")
+pub fn empty_reason(m: HashMap<u32, u32>) -> usize {
+    m.len()
+}
+
+// rcr-lint: allow(no-such-rule, reason = "unknown rules are rejected")
+pub fn unknown_rule() {}

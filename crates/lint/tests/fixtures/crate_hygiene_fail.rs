@@ -1,0 +1,4 @@
+//! Fixture: must FAIL crate-hygiene when analyzed as a crate root —
+//! no `#![forbid(unsafe_code)]`.
+
+pub fn f() {}

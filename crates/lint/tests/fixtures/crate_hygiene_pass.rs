@@ -1,0 +1,5 @@
+//! Fixture: must PASS crate-hygiene as a crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn f() {}

@@ -1,0 +1,9 @@
+//! Fixture: must FAIL float-literal-eq (non-zero literals, both sides).
+
+pub fn bad_eq(x: f64) -> bool {
+    x == 0.3
+}
+
+pub fn bad_ne(x: f64) -> bool {
+    0.1f64 != x
+}

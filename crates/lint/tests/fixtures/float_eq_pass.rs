@@ -1,0 +1,32 @@
+//! Fixture: must PASS float-literal-eq — zero guards are exempt,
+//! non-zero exact-representability sites carry a justified allow, and
+//! test code is out of scope.
+
+pub fn zero_guard(x: f64) -> f64 {
+    if x == 0.0 {
+        1.0
+    } else {
+        x
+    }
+}
+
+pub fn neg_zero(x: f64) -> bool {
+    x != -0.0
+}
+
+pub fn one_hot(x: f64) -> bool {
+    // rcr-lint: allow(float-literal-eq, reason = "fixture: one-hot labels are exactly 0.0/1.0")
+    x == 1.0
+}
+
+pub fn int_compare(n: u32) -> bool {
+    n == 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_in_tests_is_fine() {
+        assert!(super::zero_guard(0.5) == 0.5);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: must FAIL float-total-cmp (both sinks, including inside a
+//! test module — the rule has no test exemption).
+
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn best(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| {
+        a.partial_cmp(b) // spans lines: the rule must still see it
+            .expect("finite")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let mut v = vec![2.0, 1.0];
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}

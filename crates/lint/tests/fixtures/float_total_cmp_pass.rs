@@ -1,0 +1,25 @@
+//! Fixture: must PASS float-total-cmp — total orders, `unwrap_or`
+//! fallbacks, a `PartialOrd` impl, and mentions in strings/docs.
+
+use std::cmp::Ordering;
+
+/// Doc text about `partial_cmp(..).unwrap()` must not fire.
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn tolerant(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+pub struct Wrapped(pub f64);
+
+impl PartialEq for Wrapped {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+pub fn in_string() -> &'static str {
+    "partial_cmp(x).unwrap()"
+}

@@ -1,0 +1,23 @@
+//! Fixture: must PASS hash-iteration-order — ordered containers by
+//! default, one justified exception.
+
+use std::collections::BTreeMap;
+// rcr-lint: allow(hash-iteration-order, reason = "fixture: membership-only set, never iterated")
+use std::collections::HashSet;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.len()
+}
+
+pub fn dedup_count(xs: &[u32]) -> usize {
+    // rcr-lint: allow(hash-iteration-order, reason = "fixture: membership-only set, never iterated")
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}

@@ -1,0 +1,25 @@
+//! Deliberately broken crate: one violation per rule, so the binary
+//! must exit non-zero and report all six slugs.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().expect("non-empty")
+}
+
+pub fn tally(m: &HashMap<u32, u32>) -> usize {
+    m.len()
+}
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_eq(x: f64) -> bool {
+    x == 0.25
+}

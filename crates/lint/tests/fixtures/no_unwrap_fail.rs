@@ -1,0 +1,9 @@
+//! Fixture: must FAIL no-unwrap-in-lib (library-code unwrap/expect).
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("numeric")
+}

@@ -1,0 +1,39 @@
+//! Fixture: must PASS no-unwrap-in-lib — typed errors in library code,
+//! the mutex-poisoning idiom, unwraps confined to test code, and a
+//! justified allow.
+
+use std::sync::Mutex;
+
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn read(m: &Mutex<u32>) -> u32 {
+    // The poisoning idiom is exempt by design.
+    *m.lock().unwrap()
+}
+
+pub fn read2(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned")
+}
+
+pub fn invariant(v: &[u32]) -> u32 {
+    // rcr-lint: allow(no-unwrap-in-lib, reason = "fixture: caller guarantees non-empty")
+    *v.first().expect("non-empty")
+}
+
+/// Doc example code is comment text:
+///
+/// ```
+/// let x = Some(1).unwrap();
+/// ```
+pub fn documented() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

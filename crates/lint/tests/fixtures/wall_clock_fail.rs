@@ -1,0 +1,16 @@
+//! Fixture: must FAIL no-wall-clock-in-solvers when analyzed under a
+//! solver crate (both clock sources, call or not).
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn as_fn_pointer() -> impl Fn() -> Instant {
+    Instant::now
+}

@@ -1,0 +1,24 @@
+//! Fixture: must PASS no-wall-clock-in-solvers — durations without a
+//! clock read, clock reads confined to test code, and strings/docs.
+
+use std::time::Duration;
+
+/// Doc text saying `Instant::now()` must not fire.
+pub fn tick() -> Duration {
+    Duration::from_millis(5)
+}
+
+pub fn in_string() -> &'static str {
+    "Instant::now()"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 1_000);
+    }
+}

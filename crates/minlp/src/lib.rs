@@ -313,11 +313,11 @@ pub fn solve<P: RelaxableProblem + ?Sized>(
             .iter()
             .enumerate()
             .filter(|(i, _)| node.bounds[*i].0 < node.bounds[*i].1)
-            .max_by(|a, b| {
-                frac(*a.1)
-                    .partial_cmp(&frac(*b.1))
-                    .unwrap_or(Ordering::Equal)
-            })
+            // total_cmp: a NaN relaxed coordinate (frac(NaN) = NaN)
+            // ranks most-fractional and is branched on first, rather
+            // than tying with everything and leaving the pick to
+            // position — strict order, deterministic.
+            .max_by(|a, b| frac(*a.1).total_cmp(&frac(*b.1)))
             .map(|(i, _)| i);
 
         let Some(bv) = branch_var else {

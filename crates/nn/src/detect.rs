@@ -13,6 +13,21 @@ use crate::tensor::Tensor;
 use crate::NnError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+
+/// Descending confidence order with an explicit NaN policy: NaN ranks
+/// *below every real confidence* (a meaningless score must never outrank
+/// a real detection), and NaN ties are equal — total, deterministic,
+/// never panics. `total_cmp` alone would rank NaN above `+inf` and let a
+/// corrupt score win, so the NaN arm is spelled out.
+fn nan_last_desc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater, // NaN sorts after b
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
 
 /// An axis-aligned box in normalized image coordinates (`cx, cy, w, h`
 /// all in `[0, 1]`).
@@ -339,7 +354,7 @@ pub fn average_precision(
         .enumerate()
         .flat_map(|(i, v)| v.iter().map(move |&(b, c)| (i, b, c)))
         .collect();
-    flat.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite confidences"));
+    flat.sort_by(|a, b| nan_last_desc(a.2, b.2));
 
     let mut matched: Vec<Vec<bool>> = ground_truth.iter().map(|v| vec![false; v.len()]).collect();
     let mut tp = 0usize;
@@ -381,6 +396,43 @@ pub fn average_precision(
         prev_r = recalls[k];
     }
     Ok(ap)
+}
+
+/// Greedy non-maximum suppression: returns the indices of the kept
+/// detections, in descending confidence order.
+///
+/// Detections are ranked by confidence with NaN ranking *below every
+/// real score* (see the module's NaN ordering policy); rank ties break
+/// toward the lower input index, so the result is fully deterministic
+/// for any input, NaN and duplicates included. A detection is dropped
+/// when a higher-ranked kept box overlaps it with IoU strictly above
+/// `iou_threshold`.
+///
+/// # Errors
+/// Returns [`NnError::InvalidParameter`] when `iou_threshold` is not a
+/// number in `[0, 1]`.
+pub fn non_max_suppression(
+    detections: &[(Box2d, f64)],
+    iou_threshold: f64,
+) -> Result<Vec<usize>, NnError> {
+    if !(0.0..=1.0).contains(&iou_threshold) {
+        return Err(NnError::InvalidParameter(format!(
+            "iou_threshold {iou_threshold} must be in [0, 1]"
+        )));
+    }
+    let mut order: Vec<usize> = (0..detections.len()).collect();
+    // Stable sort: equal keys (including NaN/NaN) keep index order.
+    order.sort_by(|&a, &b| nan_last_desc(detections[a].1, detections[b].1));
+    let mut kept: Vec<usize> = Vec::new();
+    for &i in &order {
+        let suppressed = kept
+            .iter()
+            .any(|&k| detections[k].0.iou(&detections[i].0) > iou_threshold);
+        if !suppressed {
+            kept.push(i);
+        }
+    }
+    Ok(kept)
 }
 
 #[cfg(test)]
@@ -646,5 +698,64 @@ mod tests {
         assert_eq!(t.shape(), &[3, 5, 4, 4]);
         assert!(ds.batch(&[0], 5).is_err()); // 5 does not divide 16
         assert!(ds.batch(&[999], 4).is_err());
+    }
+
+    fn unit_box(cx: f64, cy: f64) -> Box2d {
+        Box2d {
+            cx,
+            cy,
+            w: 0.2,
+            h: 0.2,
+        }
+    }
+
+    #[test]
+    fn nms_keeps_best_of_overlapping_cluster() {
+        let dets = vec![
+            (unit_box(0.5, 0.5), 0.9),
+            (unit_box(0.51, 0.5), 0.8), // overlaps the first
+            (unit_box(0.1, 0.1), 0.7),  // disjoint
+        ];
+        let kept = non_max_suppression(&dets, 0.5).unwrap();
+        assert_eq!(kept, vec![0, 2]);
+        assert!(non_max_suppression(&dets, 1.5).is_err());
+        assert!(non_max_suppression(&dets, f64::NAN).is_err());
+    }
+
+    // NaN regression (Fig. 3 defect class): a NaN confidence must not
+    // panic the ranking and must rank below every real detection.
+    #[test]
+    fn nms_nan_confidence_never_panics_and_ranks_last() {
+        let dets = vec![
+            (unit_box(0.5, 0.5), f64::NAN),
+            (unit_box(0.5, 0.5), 0.3), // same box, real confidence
+            (unit_box(0.1, 0.1), f64::NAN),
+        ];
+        let kept = non_max_suppression(&dets, 0.5).unwrap();
+        // The real detection outranks its NaN duplicate, which is then
+        // suppressed by IoU; the disjoint NaN survives at the tail.
+        assert_eq!(kept, vec![1, 2]);
+        // All-NaN input: rank ties break by index — fully deterministic.
+        let all_nan = vec![
+            (unit_box(0.5, 0.5), f64::NAN),
+            (unit_box(0.1, 0.1), f64::NAN),
+        ];
+        assert_eq!(non_max_suppression(&all_nan, 0.5).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn average_precision_with_nan_confidence_does_not_panic() {
+        let gt = vec![vec![unit_box(0.5, 0.5)]];
+        // NaN-confidence detection on the true box, real-confidence miss:
+        // the real detection is ranked first (NaN sorts last), so the
+        // miss consumes a false positive before the NaN hit matches.
+        let dets = vec![vec![
+            (unit_box(0.5, 0.5), f64::NAN),
+            (unit_box(0.1, 0.1), 0.9),
+        ]];
+        let ap = average_precision(&dets, &gt, 0.5).unwrap();
+        // Deterministic documented outcome: fp at rank 1, tp at rank 2
+        // => precision 1/2 at recall 1, all-point AP = 0.5.
+        assert!((ap - 0.5).abs() < 1e-12);
     }
 }

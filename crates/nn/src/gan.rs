@@ -275,6 +275,7 @@ impl GanTrainer {
     fn latent_batch(&mut self, n: usize) -> Tensor {
         let z = self.config.latent_dim;
         let data: Vec<f64> = (0..n * z).map(|_| gauss(&mut self.rng)).collect();
+        // rcr-lint: allow(no-unwrap-in-lib, reason = "data has exactly n*z elements by construction, the only from_vec error case")
         Tensor::from_vec(vec![n, z], data).expect("sized correctly")
     }
 

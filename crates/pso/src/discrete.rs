@@ -20,7 +20,7 @@ use crate::swarm::PsoSettings;
 use crate::PsoError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One decision variable of a mixed problem.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -211,7 +211,7 @@ fn rounding_pso(
     let dim = specs.len();
     let bounds = relaxed_bounds(specs);
     let mut rng = StdRng::seed_from_u64(settings.seed);
-    let mut seen: HashSet<Vec<i64>> = HashSet::new();
+    let mut seen: BTreeSet<Vec<i64>> = BTreeSet::new();
     let mut evaluations = 0usize;
 
     struct RPart {
@@ -477,7 +477,7 @@ fn distribution_pso(
 
     let mut g_best: Vec<f64> = Vec::new();
     let mut g_best_f = f64::INFINITY;
-    let mut seen: HashSet<Vec<i64>> = HashSet::new();
+    let mut seen: BTreeSet<Vec<i64>> = BTreeSet::new();
     let mut evaluations = 0usize;
     let mut history = Vec::with_capacity(settings.max_iter);
 

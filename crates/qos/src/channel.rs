@@ -156,11 +156,9 @@ mod tests {
                 / ch.resource_blocks() as f64
         };
         let mut idx: Vec<usize> = (0..ch.users()).collect();
-        idx.sort_by(|&a, &b| {
-            ch.distances_m()[a]
-                .partial_cmp(&ch.distances_m()[b])
-                .unwrap()
-        });
+        // total_cmp: generated distances are finite, but the ordering
+        // must not be able to panic regardless (NaN would sort last).
+        idx.sort_by(|&a, &b| ch.distances_m()[a].total_cmp(&ch.distances_m()[b]));
         let near = mean(idx[0]);
         let far = mean(*idx.last().unwrap());
         assert!(near > far, "near {near} vs far {far}");

@@ -203,7 +203,9 @@ pub fn solve_power(problem: &PowerProblem) -> Result<PowerSolution, QosError> {
             *m = (*m + step * v / problem.rb_bandwidth_hz.max(1.0)).max(0.0);
         }
     }
-    Ok(best.expect("at least one iteration"))
+    best.ok_or_else(|| {
+        QosError::PowerAllocationFailure("subgradient loop completed zero iterations".into())
+    })
 }
 
 #[cfg(test)]

@@ -319,18 +319,21 @@ pub fn solve_pso(problem: &RraProblem, settings: &PsoSettings) -> Result<RraSolu
 /// # Errors
 /// Propagates evaluation errors.
 pub fn solve_greedy(problem: &RraProblem) -> Result<RraSolution, QosError> {
-    let mut owners: Vec<usize> = (0..problem.resource_blocks())
-        .map(|k| {
-            (0..problem.users())
-                .max_by(|&a, &b| {
-                    problem
-                        .normalized_gain(a, k)
-                        .partial_cmp(&problem.normalized_gain(b, k))
-                        .expect("finite gains")
-                })
-                .expect("at least one user")
-        })
-        .collect();
+    // IEEE total order throughout this solver: a NaN gain ranks above
+    // every finite gain (total_cmp), so a corrupt channel entry claims
+    // the block deterministically and surfaces in evaluate() instead of
+    // panicking mid-assignment.
+    let mut owners = Vec::with_capacity(problem.resource_blocks());
+    for k in 0..problem.resource_blocks() {
+        let owner = (0..problem.users())
+            .max_by(|&a, &b| {
+                problem
+                    .normalized_gain(a, k)
+                    .total_cmp(&problem.normalized_gain(b, k))
+            })
+            .ok_or_else(|| QosError::InvalidParameter("problem has no users".into()))?;
+        owners.push(owner);
+    }
     let mut best = problem.evaluate(&owners)?;
     // Repair: for each unsatisfied user, steal the RB where that user's
     // gain is highest among blocks owned by satisfied users.
@@ -344,7 +347,9 @@ pub fn solve_greedy(problem: &RraProblem) -> Result<RraSolution, QosError> {
             .max_by(|&a, &b| {
                 let da = problem.min_rates_bps[a] - rates[a];
                 let db = problem.min_rates_bps[b] - rates[b];
-                da.partial_cmp(&db).expect("finite deficits")
+                // NaN deficit ranks greatest: the corrupt user is
+                // repaired first and the NaN reaches evaluate().
+                da.total_cmp(&db)
             })
         else {
             break;
@@ -354,8 +359,7 @@ pub fn solve_greedy(problem: &RraProblem) -> Result<RraSolution, QosError> {
             .max_by(|&a, &b| {
                 problem
                     .normalized_gain(needy, a)
-                    .partial_cmp(&problem.normalized_gain(needy, b))
-                    .expect("finite gains")
+                    .total_cmp(&problem.normalized_gain(needy, b))
             });
         let Some(k) = candidate else { break };
         owners[k] = needy;

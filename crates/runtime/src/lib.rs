@@ -131,6 +131,7 @@ where
 
     let mut pairs = collected
         .into_inner()
+        // rcr-lint: allow(no-unwrap-in-lib, reason = "mutex poisoning means a worker already panicked; propagating that panic is the bounded response")
         .expect("runtime: result mutex poisoned after scope");
     debug_assert_eq!(pairs.len(), n);
     pairs.sort_unstable_by_key(|(i, _)| *i);
@@ -305,6 +306,7 @@ impl WorkerPool {
             });
             sender
                 .send(job)
+                // rcr-lint: allow(no-unwrap-in-lib, reason = "send only fails when every worker died, which itself carries a panic; fail loudly, not silently")
                 .expect("runtime: pool worker threads exited early");
         }
         drop(result_tx);

@@ -328,6 +328,7 @@ impl Service {
             std::thread::Builder::new()
                 .name("rcr-serve-batcher".into())
                 .spawn(move || batcher_loop(&shared))
+                // rcr-lint: allow(no-unwrap-in-lib, reason = "spawn fails only on OS resource exhaustion at service startup; the service cannot run without its batcher")
                 .expect("serve: failed to spawn batcher thread")
         };
         Service {
@@ -502,6 +503,7 @@ fn batcher_loop(shared: &Shared) {
             None => shared
                 .wakeup
                 .wait(state)
+                // rcr-lint: allow(no-unwrap-in-lib, reason = "condvar re-lock poisoning means a holder already panicked; propagate it")
                 .expect("serve: state mutex poisoned"),
             Some(at) => {
                 // `at <= now` only from clock races between the sweep
@@ -513,6 +515,7 @@ fn batcher_loop(shared: &Shared) {
                 shared
                     .wakeup
                     .wait_timeout(state, wait)
+                    // rcr-lint: allow(no-unwrap-in-lib, reason = "condvar re-lock poisoning means a holder already panicked; propagate it")
                     .expect("serve: state mutex poisoned")
                     .0
             }

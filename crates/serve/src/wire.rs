@@ -324,6 +324,7 @@ impl TcpFrontend {
             std::thread::Builder::new()
                 .name("rcr-serve-accept".into())
                 .spawn(move || accept_loop(&listener, &client, &stop))
+                // rcr-lint: allow(no-unwrap-in-lib, reason = "spawn fails only on OS resource exhaustion at frontend startup; failing fast beats serving without an acceptor")
                 .expect("serve: failed to spawn accept thread")
         };
         Ok(TcpFrontend {
@@ -392,6 +393,7 @@ fn handle_connection(stream: TcpStream, client: &Client) -> std::io::Result<()> 
                 }
                 Ok(())
             })
+            // rcr-lint: allow(no-unwrap-in-lib, reason = "spawn fails only on OS resource exhaustion; a connection without its writer half is unusable anyway")
             .expect("serve: failed to spawn writer thread")
     };
 

@@ -10,7 +10,10 @@
 //!   ambiguity class the paper's §IV-A discusses.
 
 use crate::{Complex64, SignalError};
-use std::collections::HashMap;
+// BTreeMap rather than HashMap: the cache is keyed by transform length
+// and tiny, and a BTree makes any future iteration over it ordered by
+// construction (hash-iteration-order invariant).
+use std::collections::BTreeMap;
 use std::f64::consts::PI;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -158,8 +161,8 @@ impl FftPlan {
         if n == 0 {
             return Err(SignalError::EmptyInput);
         }
-        static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        static CACHE: OnceLock<Mutex<BTreeMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
         let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
         Ok(Arc::clone(
             map.entry(n).or_insert_with(|| Arc::new(FftPlan::build(n))),
@@ -461,12 +464,7 @@ mod tests {
             .collect();
         let spec = rfft(&x).unwrap();
         let mags: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
-        let peak = mags
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak = crate::peaks::peak_bin(&mags).unwrap();
         assert_eq!(peak, k0);
         assert!((mags[k0] - n as f64 / 2.0).abs() < 1e-9);
     }

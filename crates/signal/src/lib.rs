@@ -47,6 +47,7 @@ mod error;
 pub mod fft;
 pub mod gabor;
 pub mod ofdm;
+pub mod peaks;
 pub mod profile;
 pub mod spectrogram;
 pub mod stft;

@@ -1,0 +1,80 @@
+//! NaN-robust peak picking.
+//!
+//! Spectral pipelines routinely argmax over magnitudes, and the classic
+//! implementation — `max_by(|a, b| a.partial_cmp(b).unwrap())` — panics
+//! the moment one bin is NaN (a Fig. 3-class defect: an FFT fed a NaN
+//! sample propagates it to every output bin). This module fixes the
+//! ordering once, with the NaN policy in the signature instead of in a
+//! panic message.
+
+use std::cmp::Ordering;
+
+/// Index of the largest value in `values`.
+///
+/// The ordering is total and deterministic: NaN ranks *below every real
+/// value* (a corrupt bin must not hijack a peak estimate), `-0.0 < 0.0`
+/// per IEEE total order, and ties break toward the lowest index.
+/// Returns `None` only for an empty slice; an all-NaN slice yields
+/// `Some(0)` — the corruption is still visible because the caller reads
+/// `values[0]` back as NaN.
+pub fn peak_bin(values: &[f64]) -> Option<usize> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, v) in values.iter().enumerate().skip(1) {
+        if nan_first(values[best], *v) == Ordering::Less {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Ascending total order with NaN smallest: `NaN < -inf < ... < +inf`.
+fn nan_first(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_the_maximum() {
+        assert_eq!(peak_bin(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(peak_bin(&[-5.0, -1.0, -3.0]), Some(1));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(peak_bin(&[]), None);
+    }
+
+    #[test]
+    fn ties_break_low() {
+        assert_eq!(peak_bin(&[2.0, 2.0, 1.0]), Some(0));
+    }
+
+    #[test]
+    fn nan_never_wins_over_a_real_value() {
+        assert_eq!(peak_bin(&[f64::NAN, 1.0, f64::NAN]), Some(1));
+        assert_eq!(peak_bin(&[0.5, f64::NAN, f64::NEG_INFINITY]), Some(0));
+        // Even -inf beats NaN.
+        assert_eq!(peak_bin(&[f64::NAN, f64::NEG_INFINITY]), Some(1));
+    }
+
+    #[test]
+    fn all_nan_is_deterministic_and_visible() {
+        assert_eq!(peak_bin(&[f64::NAN, f64::NAN]), Some(0));
+    }
+
+    #[test]
+    fn negative_zero_ranks_below_positive_zero() {
+        assert_eq!(peak_bin(&[-0.0, 0.0]), Some(1));
+    }
+}

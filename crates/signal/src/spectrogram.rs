@@ -103,13 +103,58 @@ mod tests {
         let sp = make(&s);
         assert_eq!(sp.num_bins(), 17);
         for row in sp.rows() {
-            let peak = row
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0;
+            let peak = crate::peaks::peak_bin(row).unwrap();
             assert_eq!(peak, k0);
+        }
+    }
+
+    // NaN regression (Fig. 3 defect class). Two layers of defense, both
+    // deterministic and panic-free: (1) the STFT front door rejects a
+    // NaN-containing signal with a typed error — corruption cannot even
+    // enter this crate's transform chain; (2) peak-picking over spectra
+    // that arrive poisoned from elsewhere (the cross-toolkit scenario
+    // Fig. 3 catalogs) never panics and never lets a NaN bin outrank a
+    // real one.
+    #[test]
+    fn nan_spectra_keep_peak_picking_deterministic() {
+        let k0 = 6usize;
+        let mut s: Vec<f64> = (0..256)
+            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / 32.0).cos())
+            .collect();
+        s[100] = f64::NAN;
+        // Layer 1: the transform refuses NaN input outright.
+        let g = window(WindowKind::Hann, WindowSymmetry::Periodic, 32).unwrap();
+        let plan = StftPlan::new(g, 8, 32, PhaseConvention::TimeInvariant).unwrap();
+        assert!(matches!(
+            plan.analyze(&s),
+            Err(crate::SignalError::NotFinite)
+        ));
+
+        // Layer 2: spectra corrupted upstream of us.
+        s[100] = 0.0;
+        let mut rows: Vec<Vec<f64>> = make(&s).rows().to_vec();
+        let poisoned = 3usize;
+        for v in &mut rows[poisoned][..4] {
+            *v = f64::NAN; // partially corrupt one frame
+        }
+        let all_nan = rows.len() - 1;
+        for v in &mut rows[all_nan] {
+            *v = f64::NAN; // fully corrupt another
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let peak = crate::peaks::peak_bin(row).unwrap();
+            if i == all_nan {
+                // Documented all-NaN behavior: bin 0, and reading the
+                // value back still shows the NaN.
+                assert_eq!(peak, 0);
+                assert!(row[peak].is_nan());
+            } else {
+                // A NaN bin never wins over a real one; clean frames
+                // (and the partially poisoned one, whose tone bin
+                // k0 = 6 survived) still pick the tone.
+                assert!(!row[peak].is_nan());
+                assert_eq!(peak, k0);
+            }
         }
     }
 

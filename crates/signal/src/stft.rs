@@ -606,13 +606,7 @@ mod tests {
         };
         let ec = energy(&pc.analyze(&s).unwrap());
         let ed = energy(&pd.analyze(&s).unwrap());
-        let peak = |e: &[f64]| {
-            e.iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0
-        };
+        let peak = |e: &[f64]| crate::peaks::peak_bin(e).unwrap();
         // Centered: impulse at sample 64 peaks at frame 64/8 = 8.
         assert_eq!(peak(&ec), 8);
         // Causal: window [n*8, n*8+32) has its Hann peak at n*8+16; energy

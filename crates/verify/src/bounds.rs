@@ -33,6 +33,7 @@ impl LayerBounds {
 
     /// Bounds of the network output (post of the last layer).
     pub fn output(&self) -> &[(f64, f64)] {
+        // rcr-lint: allow(no-unwrap-in-lib, reason = "constructor rejects empty networks, so post always has one entry per layer")
         self.post.last().expect("at least one layer")
     }
 

@@ -80,6 +80,7 @@ impl AffineReluNet {
 
     /// Output dimension.
     pub fn output_dim(&self) -> usize {
+        // rcr-lint: allow(no-unwrap-in-lib, reason = "constructor rejects zero-layer networks, so last() cannot be None")
         self.layers.last().expect("non-empty").1.len()
     }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The CI gate: release build, complete test suite, formatting, lints.
 # Usage: scripts/verify.sh [--quick]
-#   --quick  build + tests only (skips fmt, clippy, and bench compilation)
+#   --quick  build + tests only (skips rcr-lint, fmt, clippy, and bench compilation)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,9 +23,14 @@ echo "== cargo test --test integration_serve (service loopback) ==" >&2
 cargo test -q --test integration_serve
 
 if [ "$quick" -eq 1 ]; then
-  echo "verify.sh: quick gates passed (fmt/clippy/benches skipped)" >&2
+  echo "verify.sh: quick gates passed (lint/fmt/clippy/benches skipped)" >&2
   exit 0
 fi
+
+echo "== rcr-lint (workspace static analysis) ==" >&2
+# Hard gate: the project-specific linter must report zero violations.
+# Its per-rule summary (including justified suppressions) goes to stderr.
+cargo run -q --release -p rcr-lint
 
 echo "== cargo fmt --check ==" >&2
 cargo fmt --check

@@ -24,6 +24,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use rcr_convex as convex;
 pub use rcr_core as core;
 pub use rcr_linalg as linalg;
