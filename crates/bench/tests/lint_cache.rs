@@ -1,0 +1,61 @@
+//! The analyzer's per-file cache must pay for itself: over the real
+//! workspace, a warm run (every file a hit) has to beat a cold run
+//! (every file a miss), and the hit/miss accounting must be exact.
+
+use rcr_lint::{lint_workspace_with, Options, Report};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn workspace_root() -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn timed_run(root: &PathBuf, opts: &Options) -> (Duration, Report) {
+    let start = Instant::now();
+    let report = lint_workspace_with(root, opts).expect("lint run");
+    (start.elapsed(), report)
+}
+
+#[test]
+fn warm_cache_is_faster_than_cold() {
+    let root = workspace_root();
+    let cache = root.join("target/rcr-lint-cache.json");
+    let opts = Options {
+        use_cache: true,
+        ..Options::default()
+    };
+
+    // Min-of-3 on both sides to shrug off scheduler noise.
+    let mut cold = Duration::MAX;
+    let mut cold_report = Report::default();
+    for _ in 0..3 {
+        let _ = std::fs::remove_file(&cache);
+        let (t, r) = timed_run(&root, &opts);
+        cold = cold.min(t);
+        cold_report = r;
+    }
+    assert!(cold_report.files_scanned > 0);
+    assert_eq!(cold_report.cache_hits, 0, "cold run must miss everywhere");
+    assert_eq!(cold_report.cache_misses, cold_report.files_scanned);
+
+    // The last cold run left a fully populated cache behind.
+    let mut warm = Duration::MAX;
+    let mut warm_report = Report::default();
+    for _ in 0..3 {
+        let (t, r) = timed_run(&root, &opts);
+        warm = warm.min(t);
+        warm_report = r;
+    }
+    assert_eq!(warm_report.cache_misses, 0, "warm run must hit everywhere");
+    assert_eq!(warm_report.cache_hits, warm_report.files_scanned);
+    assert_eq!(warm_report.files_scanned, cold_report.files_scanned);
+
+    assert!(
+        warm < cold,
+        "warm cache run ({warm:?}) should be faster than cold ({cold:?})"
+    );
+}

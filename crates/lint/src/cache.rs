@@ -1,0 +1,464 @@
+//! Incremental analysis cache, keyed by file-content hash.
+//!
+//! Per-file work (tokenize → lexical rules → semantic extraction) is
+//! pure in the file's bytes, crate name, and path, so its result is
+//! cached in one JSON document under the workspace `target/` directory.
+//! The semantic *passes* are whole-workspace and always re-run over the
+//! (cached or fresh) extractions — they are graph fixpoints over small
+//! summaries, not the expensive part.
+//!
+//! All IO here is best-effort: a missing, stale, or corrupt cache means
+//! a cold run, never a failure. The key hashes the source bytes plus an
+//! analyzer version constant (`SipHash` with `DefaultHasher::new()`'s
+//! fixed keys, so values are stable across runs); bump
+//! [`ANALYZER_VERSION`] whenever rules or extraction change shape.
+
+use crate::diag::Diagnostic;
+use crate::engine::{FileReport, RuleStats};
+use crate::jsonio::{self, n, obj, s, Value};
+use crate::rules::{registry, BAD_PRAGMA};
+use crate::sem::{passes, Call, FileSem, FnDef, LockAcq, RiskySite, Site};
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+
+/// Bump on any change to tokenizer, rules, or semantic extraction.
+pub const ANALYZER_VERSION: u64 = 1;
+
+/// Relative location of the cache document under the workspace root.
+pub const CACHE_REL_PATH: &str = "target/rcr-lint-cache.json";
+
+#[derive(Debug, Default)]
+pub struct Cache {
+    /// rel_path → (content hash, serialized report).
+    entries: BTreeMap<String, (u64, Value)>,
+    path: Option<PathBuf>,
+    pub hits: usize,
+    pub misses: usize,
+    dirty: bool,
+}
+
+/// Stable content key for one file.
+pub fn content_key(crate_name: &str, rel_path: &str, source: &str) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    ANALYZER_VERSION.hash(&mut h);
+    crate_name.hash(&mut h);
+    rel_path.hash(&mut h);
+    source.hash(&mut h);
+    h.finish()
+}
+
+impl Cache {
+    /// Loads the cache for `root`; any problem yields an empty cache.
+    pub fn load(root: &Path) -> Cache {
+        let path = root.join(CACHE_REL_PATH);
+        let mut cache = Cache {
+            path: Some(path.clone()),
+            ..Cache::default()
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return cache;
+        };
+        let Ok(v) = jsonio::parse(&text) else {
+            return cache;
+        };
+        if v.get("version").and_then(Value::as_u64) != Some(ANALYZER_VERSION) {
+            return cache;
+        }
+        if let Some(Value::Obj(files)) = v.get("files") {
+            for (rel, entry) in files {
+                let Some(hash) = entry
+                    .get("hash")
+                    .and_then(Value::as_str)
+                    .and_then(|h| h.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                if let Some(report) = entry.get("report") {
+                    cache.entries.insert(rel.clone(), (hash, report.clone()));
+                }
+            }
+        }
+        cache
+    }
+
+    /// A cache that never persists (for `--no-cache` and tests).
+    pub fn disabled() -> Cache {
+        Cache::default()
+    }
+
+    /// Returns the cached report when the key matches.
+    pub fn get(&mut self, rel_path: &str, key: u64) -> Option<FileReport> {
+        match self.entries.get(rel_path) {
+            Some((hash, report)) if *hash == key => match report_from_json(report) {
+                Some(r) => {
+                    self.hits += 1;
+                    Some(r)
+                }
+                None => {
+                    self.misses += 1;
+                    None
+                }
+            },
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub fn put(&mut self, rel_path: &str, key: u64, report: &FileReport) {
+        self.entries
+            .insert(rel_path.to_string(), (key, report_to_json(report)));
+        self.dirty = true;
+    }
+
+    /// Drops entries for files that no longer exist in the scan set.
+    pub fn retain_files(&mut self, live: &[String]) {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| live.iter().any(|f| f == k));
+        if self.entries.len() != before {
+            self.dirty = true;
+        }
+    }
+
+    /// Persists the cache (best-effort; errors are swallowed).
+    pub fn save(&self) {
+        let Some(path) = &self.path else { return };
+        if !self.dirty {
+            return;
+        }
+        let files: BTreeMap<String, Value> = self
+            .entries
+            .iter()
+            .map(|(rel, (hash, report))| {
+                (
+                    rel.clone(),
+                    obj(vec![
+                        ("hash", s(&hash.to_string())),
+                        ("report", report.clone()),
+                    ]),
+                )
+            })
+            .collect();
+        let doc = obj(vec![
+            ("version", n(ANALYZER_VERSION)),
+            ("files", Value::Obj(files)),
+        ]);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(path, doc.render());
+    }
+}
+
+/// Maps a serialized rule name back to its interned slug; unknown names
+/// (from older tool versions) invalidate the entry.
+fn intern_rule(name: &str) -> Option<&'static str> {
+    registry()
+        .iter()
+        .map(|r| r.slug)
+        .chain(passes::SEMANTIC_RULES.iter().copied())
+        .chain([BAD_PRAGMA])
+        .find(|slug| *slug == name)
+}
+
+fn strings(items: &[String]) -> Value {
+    Value::Arr(items.iter().map(|x| s(x)).collect())
+}
+
+fn read_strings(v: Option<&Value>) -> Vec<String> {
+    v.and_then(Value::as_arr)
+        .map(|a| {
+            a.iter()
+                .filter_map(|x| x.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn site_to_json(site: &Site) -> Value {
+    obj(vec![("line", n(site.line as u64)), ("what", s(&site.what))])
+}
+
+fn site_from_json(v: &Value) -> Option<Site> {
+    Some(Site {
+        line: v.get("line")?.as_u64()? as u32,
+        what: v.get("what")?.as_str()?.to_string(),
+    })
+}
+
+fn report_to_json(r: &FileReport) -> Value {
+    let diags: Vec<Value> = r
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut fields = vec![
+                ("rule", s(d.rule)),
+                ("file", s(&d.file)),
+                ("line", n(d.line as u64)),
+                ("message", s(&d.message)),
+            ];
+            if let Some(sym) = &d.symbol {
+                fields.push(("symbol", s(sym)));
+            }
+            obj(fields)
+        })
+        .collect();
+    let stats: BTreeMap<String, Value> = r
+        .stats
+        .iter()
+        .map(|(slug, st)| {
+            (
+                slug.to_string(),
+                obj(vec![
+                    ("violations", n(st.violations as u64)),
+                    ("suppressed", n(st.suppressed as u64)),
+                ]),
+            )
+        })
+        .collect();
+    let fns: Vec<Value> = r.sem.fns.iter().map(fn_to_json).collect();
+    obj(vec![
+        ("diagnostics", Value::Arr(diags)),
+        ("stats", Value::Obj(stats)),
+        (
+            "sem",
+            obj(vec![
+                ("fns", Value::Arr(fns)),
+                ("cut_panics", n(r.sem.cut_panics as u64)),
+                ("cut_taints", n(r.sem.cut_taints as u64)),
+                ("cut_risky", n(r.sem.cut_risky as u64)),
+            ]),
+        ),
+    ])
+}
+
+fn fn_to_json(f: &FnDef) -> Value {
+    obj(vec![
+        ("crate", s(&f.crate_name)),
+        ("file", s(&f.file)),
+        ("module", s(&f.module)),
+        ("name", s(&f.name)),
+        ("qual", f.qual.as_deref().map(s).unwrap_or(Value::Null)),
+        ("is_pub", Value::Bool(f.is_pub)),
+        ("has_self", Value::Bool(f.has_self)),
+        ("line", n(f.line as u64)),
+        ("cut_panic", Value::Bool(f.cut_panic)),
+        ("cut_taint", Value::Bool(f.cut_taint)),
+        (
+            "calls",
+            Value::Arr(
+                f.calls
+                    .iter()
+                    .map(|c| {
+                        obj(vec![
+                            ("path", strings(&c.path)),
+                            ("method", Value::Bool(c.method)),
+                            ("line", n(c.line as u64)),
+                            ("held", strings(&c.held)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "panics",
+            Value::Arr(f.panics.iter().map(site_to_json).collect()),
+        ),
+        (
+            "locks",
+            Value::Arr(
+                f.locks
+                    .iter()
+                    .map(|l| {
+                        obj(vec![
+                            ("name", s(&l.name)),
+                            ("line", n(l.line as u64)),
+                            ("held", strings(&l.held)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "risky",
+            Value::Arr(
+                f.risky
+                    .iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("line", n(r.line as u64)),
+                            ("what", s(&r.what)),
+                            ("held", strings(&r.held)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "taints",
+            Value::Arr(f.taints.iter().map(site_to_json).collect()),
+        ),
+    ])
+}
+
+fn fn_from_json(v: &Value) -> Option<FnDef> {
+    Some(FnDef {
+        crate_name: v.get("crate")?.as_str()?.to_string(),
+        file: v.get("file")?.as_str()?.to_string(),
+        module: v.get("module")?.as_str()?.to_string(),
+        name: v.get("name")?.as_str()?.to_string(),
+        qual: v.get("qual").and_then(Value::as_str).map(str::to_string),
+        is_pub: v.get("is_pub")?.as_bool()?,
+        has_self: v.get("has_self")?.as_bool()?,
+        line: v.get("line")?.as_u64()? as u32,
+        cut_panic: v.get("cut_panic")?.as_bool()?,
+        cut_taint: v.get("cut_taint")?.as_bool()?,
+        calls: v
+            .get("calls")?
+            .as_arr()?
+            .iter()
+            .filter_map(|c| {
+                Some(Call {
+                    path: read_strings(c.get("path")),
+                    method: c.get("method")?.as_bool()?,
+                    line: c.get("line")?.as_u64()? as u32,
+                    held: read_strings(c.get("held")),
+                })
+            })
+            .collect(),
+        panics: v
+            .get("panics")?
+            .as_arr()?
+            .iter()
+            .filter_map(site_from_json)
+            .collect(),
+        locks: v
+            .get("locks")?
+            .as_arr()?
+            .iter()
+            .filter_map(|l| {
+                Some(LockAcq {
+                    name: l.get("name")?.as_str()?.to_string(),
+                    line: l.get("line")?.as_u64()? as u32,
+                    held: read_strings(l.get("held")),
+                })
+            })
+            .collect(),
+        risky: v
+            .get("risky")?
+            .as_arr()?
+            .iter()
+            .filter_map(|r| {
+                Some(RiskySite {
+                    line: r.get("line")?.as_u64()? as u32,
+                    what: r.get("what")?.as_str()?.to_string(),
+                    held: read_strings(r.get("held")),
+                })
+            })
+            .collect(),
+        taints: v
+            .get("taints")?
+            .as_arr()?
+            .iter()
+            .filter_map(site_from_json)
+            .collect(),
+    })
+}
+
+fn report_from_json(v: &Value) -> Option<FileReport> {
+    let mut report = FileReport::default();
+    for d in v.get("diagnostics")?.as_arr()? {
+        report.diagnostics.push(Diagnostic {
+            rule: intern_rule(d.get("rule")?.as_str()?)?,
+            file: d.get("file")?.as_str()?.to_string(),
+            line: d.get("line")?.as_u64()? as u32,
+            message: d.get("message")?.as_str()?.to_string(),
+            symbol: d.get("symbol").and_then(Value::as_str).map(str::to_string),
+        });
+    }
+    if let Some(Value::Obj(stats)) = v.get("stats") {
+        for (slug, st) in stats {
+            let slug = intern_rule(slug)?;
+            report.stats.insert(
+                slug,
+                RuleStats {
+                    violations: st.get("violations")?.as_u64()? as usize,
+                    suppressed: st.get("suppressed")?.as_u64()? as usize,
+                },
+            );
+        }
+    }
+    let sem = v.get("sem")?;
+    let mut fns = Vec::new();
+    for f in sem.get("fns")?.as_arr()? {
+        fns.push(fn_from_json(f)?);
+    }
+    report.sem = FileSem {
+        fns,
+        cut_panics: sem.get("cut_panics")?.as_u64()? as usize,
+        cut_taints: sem.get("cut_taints")?.as_u64()? as usize,
+        cut_risky: sem.get("cut_risky")?.as_u64()? as usize,
+    };
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_source;
+
+    #[test]
+    fn file_report_round_trips_through_json() {
+        let src = "use std::sync::Mutex;\npub fn f(m: &Mutex<u32>, xs: &[f64]) -> f64 {\n    let g = m.lock().unwrap();\n    drop(g);\n    helper(xs)\n}\nfn helper(xs: &[f64]) -> f64 { xs[0] }\n";
+        let report = analyze_source("rcr-qos", "crates/qos/src/lib.rs", src, false);
+        let v = report_to_json(&report);
+        let back = report_from_json(&jsonio::parse(&v.render()).unwrap()).unwrap();
+        assert_eq!(back.sem, report.sem);
+        assert_eq!(back.diagnostics.len(), report.diagnostics.len());
+        assert_eq!(back.stats.len(), report.stats.len());
+    }
+
+    #[test]
+    fn content_key_is_stable_and_input_sensitive() {
+        let a = content_key("rcr-qos", "crates/qos/src/lib.rs", "fn f() {}");
+        let b = content_key("rcr-qos", "crates/qos/src/lib.rs", "fn f() {}");
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            content_key("rcr-qos", "crates/qos/src/lib.rs", "fn g() {}")
+        );
+        assert_ne!(
+            a,
+            content_key("rcr-pso", "crates/qos/src/lib.rs", "fn f() {}")
+        );
+    }
+
+    #[test]
+    fn cache_hit_requires_matching_key() {
+        let mut cache = Cache::disabled();
+        let report = analyze_source("rcr-qos", "crates/qos/src/lib.rs", "pub fn f() {}\n", false);
+        cache.put("crates/qos/src/lib.rs", 7, &report);
+        assert!(cache.get("crates/qos/src/lib.rs", 8).is_none());
+        let hit = cache.get("crates/qos/src/lib.rs", 7).unwrap();
+        assert_eq!(hit.sem.fns.len(), 1);
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 1);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("rcr-lint-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = analyze_source("rcr-qos", "crates/qos/src/lib.rs", "pub fn f() {}\n", false);
+        let key = content_key("rcr-qos", "crates/qos/src/lib.rs", "pub fn f() {}\n");
+        let mut cache = Cache::load(&dir);
+        cache.put("crates/qos/src/lib.rs", key, &report);
+        cache.save();
+        let mut reloaded = Cache::load(&dir);
+        assert!(reloaded.get("crates/qos/src/lib.rs", key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

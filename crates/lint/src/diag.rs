@@ -13,6 +13,9 @@ pub struct Diagnostic {
     /// 1-based line.
     pub line: u32,
     pub message: String,
+    /// For semantic findings, the fn symbol (`Type::name` or `name`)
+    /// the finding is anchored to — the ratchet baseline keys on it.
+    pub symbol: Option<String>,
 }
 
 impl Diagnostic {
@@ -36,12 +39,16 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
         }
         let _ = write!(
             out,
-            "\n  {{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            "\n  {{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}",
             json_str(d.rule),
             json_str(&d.file),
             d.line,
             json_str(&d.message)
         );
+        if let Some(sym) = &d.symbol {
+            let _ = write!(out, ",\"symbol\":{}", json_str(sym));
+        }
+        out.push('}');
     }
     if !diags.is_empty() {
         out.push('\n');
@@ -81,10 +88,24 @@ mod tests {
             file: "a\\b.rs".into(),
             line: 3,
             message: "say \"no\"".into(),
+            symbol: None,
         }];
         let j = render_json(&diags);
         assert!(j.contains(r#""file":"a\\b.rs""#));
         assert!(j.contains(r#""message":"say \"no\"""#));
+        assert!(!j.contains("symbol"));
         assert_eq!(render_json(&[]), "[]");
+    }
+
+    #[test]
+    fn symbol_field_is_emitted_when_present() {
+        let diags = vec![Diagnostic {
+            rule: "panic-reachability",
+            file: "lib.rs".into(),
+            line: 7,
+            message: "m".into(),
+            symbol: Some("Engine::solve_item".into()),
+        }];
+        assert!(render_json(&diags).contains(r#""symbol":"Engine::solve_item""#));
     }
 }

@@ -4,6 +4,7 @@
 use crate::diag::Diagnostic;
 use crate::pragma::{self, Allow};
 use crate::rules::{registry, FileCtx, Rule, TestPolicy, BAD_PRAGMA};
+use crate::sem::{self, FileSem};
 use crate::tokenizer::{tokenize, Token};
 use std::collections::BTreeMap;
 
@@ -20,6 +21,8 @@ pub struct FileReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Keyed by rule slug; present for every rule that ran on the file.
     pub stats: BTreeMap<&'static str, RuleStats>,
+    /// Semantic extraction — input to the workspace-level passes.
+    pub sem: FileSem,
 }
 
 /// Analyzes one source file. `crate_name` drives per-crate rule
@@ -49,8 +52,15 @@ pub fn analyze_source(
         is_crate_root,
     };
 
-    let known: Vec<&str> = registry().iter().map(|r| r.slug).collect();
+    let known: Vec<&str> = registry()
+        .iter()
+        .map(|r| r.slug)
+        .chain(sem::passes::SEMANTIC_RULES.iter().copied())
+        .collect();
     let mut report = FileReport::default();
+    if !ctx.is_test_file() {
+        report.sem = sem::extract_file(crate_name, rel_path, &tokens, &code, &in_test, &allows);
+    }
 
     for b in &bad {
         report.diagnostics.push(Diagnostic {
@@ -58,6 +68,7 @@ pub fn analyze_source(
             file: rel_path.to_string(),
             line: b.line,
             message: b.message.clone(),
+            symbol: None,
         });
     }
     for a in &allows {
@@ -67,6 +78,7 @@ pub fn analyze_source(
                 file: rel_path.to_string(),
                 line: a.line,
                 message: format!("allow(...) names unknown rule {:?}", a.rule),
+                symbol: None,
             });
         }
     }
@@ -94,6 +106,7 @@ pub fn analyze_source(
                 file: rel_path.to_string(),
                 line: v.line,
                 message: v.message,
+                symbol: None,
             });
         }
     }
@@ -132,11 +145,14 @@ fn mark_test_regions(tokens: &[Token<'_>], code: &[usize]) -> Vec<bool> {
             i += 1;
             continue;
         }
-        // Scan the attribute's bracket group.
+        // Scan the attribute's bracket group. `#[cfg_attr(test, ...)]`
+        // conditionally applies an *attribute*; the annotated item still
+        // compiles outside tests, so it must NOT open a test region.
         let mut j = i + 1;
         let mut depth = 0usize;
         let mut has_test = false;
         let mut has_not = false;
+        let is_cfg_attr = text(i + 2) == "cfg_attr";
         while j < n {
             match text(j) {
                 "[" => depth += 1,
@@ -152,7 +168,7 @@ fn mark_test_regions(tokens: &[Token<'_>], code: &[usize]) -> Vec<bool> {
             }
             j += 1;
         }
-        if !has_test || has_not {
+        if !has_test || has_not || is_cfg_attr {
             i = j + 1;
             continue;
         }
@@ -229,6 +245,28 @@ mod tests {
     fn unwrap_outside_tests_fires() {
         let src = "fn lib() { Some(1).unwrap(); }\n";
         assert_eq!(diags("rcr-qos", src), vec!["no-unwrap-in-lib:1"]);
+    }
+
+    #[test]
+    fn cfg_test_survives_interleaved_doc_comments_and_attributes() {
+        // The attribute and the `mod` keyword separated by doc comments
+        // and further attributes, in every interleaving.
+        for src in [
+            "fn lib() {}\n#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n",
+            "fn lib() {}\n#[cfg(test)]\n/// docs about the tests\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n",
+            "fn lib() {}\n#[cfg(test)]\n/// docs\n#[allow(dead_code)]\n/** more docs */\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n",
+            "fn lib() {}\n#[allow(dead_code)]\n/// docs\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n",
+        ] {
+            assert!(diags("rcr-qos", src).is_empty(), "src:\n{src}");
+        }
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_a_test_region() {
+        // cfg_attr(test, ...) gates an attribute, not compilation: the
+        // item is live outside tests and must still be linted.
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn lib() { Some(1).unwrap(); }\n";
+        assert_eq!(diags("rcr-qos", src), vec!["no-unwrap-in-lib:2"]);
     }
 
     #[test]

@@ -27,13 +27,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod cache;
 pub mod diag;
 pub mod engine;
+pub mod jsonio;
 pub mod pragma;
 pub mod rules;
+pub mod sem;
 pub mod tokenizer;
 pub mod workspace;
 
+pub use baseline::Baseline;
 pub use diag::{render_json, Diagnostic};
 pub use engine::{analyze_source, FileReport};
-pub use workspace::{find_workspace_root, lint_workspace, Report};
+pub use workspace::{find_workspace_root, lint_workspace, lint_workspace_with, Options, Report};

@@ -3,7 +3,9 @@
 
 #![forbid(unsafe_code)]
 
-use rcr_lint::{find_workspace_root, lint_workspace, render_json};
+use rcr_lint::baseline::Baseline;
+use rcr_lint::sem::passes::SEMANTIC_RULES;
+use rcr_lint::{find_workspace_root, lint_workspace_with, render_json, Options};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,11 +17,26 @@ enum Format {
 fn main() -> ExitCode {
     let mut format = Format::Human;
     let mut root_arg: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut opts = Options {
+        use_cache: true,
+        ..Options::default()
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format=json" => format = Format::Json,
             "--format=human" => format = Format::Human,
+            "--changed-only" => opts.changed_only = true,
+            "--no-cache" => opts.use_cache = false,
+            "--write-baseline" => {
+                write_baseline = true;
+                opts.no_baseline = true;
+            }
+            "--baseline" => match args.next() {
+                Some(p) => opts.baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline requires a path"),
+            },
             "--root" => match args.next() {
                 Some(p) => root_arg = Some(PathBuf::from(p)),
                 None => return usage("--root requires a path"),
@@ -27,7 +44,15 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: rcr-lint [--format=json|human] [--root <workspace>]\n\
-                     Lints every workspace crate's src/ tree; exits 1 on any finding."
+                     \x20               [--changed-only] [--no-cache]\n\
+                     \x20               [--baseline <file>] [--write-baseline]\n\
+                     Lints every workspace crate's src/ tree; exits 1 on any finding.\n\
+                     Semantic findings are ratcheted against <workspace>/lint-baseline.json:\n\
+                     known entries are accepted, new findings and stale entries fail.\n\
+                     --changed-only  lexical rules on files changed vs merge-base HEAD main\n\
+                     \x20               (full scan when git is unavailable)\n\
+                     --no-cache      ignore and don't write target/rcr-lint-cache.json\n\
+                     --write-baseline  print a baseline accepting current semantic findings"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -55,13 +80,29 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match lint_workspace(&root) {
+    let report = match lint_workspace_with(&root, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("rcr-lint: {e}");
             return ExitCode::from(2);
         }
     };
+
+    if write_baseline {
+        // Print the baseline accepting today's semantic findings; the
+        // caller reviews and commits it. Lexical findings still gate.
+        print!("{}", Baseline::render_from(&report.diagnostics));
+        let lexical_dirty = report
+            .diagnostics
+            .iter()
+            .any(|d| !SEMANTIC_RULES.contains(&d.rule));
+        return if lexical_dirty {
+            eprintln!("rcr-lint: lexical findings remain; fix them — they cannot be baselined");
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
 
     match format {
         Format::Human => {
@@ -85,6 +126,8 @@ fn main() -> ExitCode {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("rcr-lint: {msg}\nusage: rcr-lint [--format=json|human] [--root <workspace>]");
+    eprintln!(
+        "rcr-lint: {msg}\nusage: rcr-lint [--format=json|human] [--root <workspace>] [--changed-only] [--no-cache] [--baseline <file>] [--write-baseline]"
+    );
     ExitCode::from(2)
 }

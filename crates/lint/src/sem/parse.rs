@@ -1,0 +1,817 @@
+//! The lightweight item/expression parser: token stream → [`FileSem`].
+//!
+//! One forward walk over the code tokens recovers `impl`/`trait`
+//! contexts and fn items; a second walk over each fn body records call
+//! expressions, panic sites, lock-guard lifetimes, `send`/callback
+//! sites under locks, and nondeterminism sources. Reason-carrying
+//! pragmas ([`crate::pragma`]) act as cut points: an allowed site is
+//! dropped here, before the graph ever sees it.
+
+use super::{Call, FileSem, FnDef, LockAcq, RiskySite, Site};
+use crate::pragma::Allow;
+use crate::tokenizer::{TokKind, Token};
+
+/// Macros that unconditionally panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that must not be mistaken for call targets.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "match", "for", "loop", "return", "in", "as", "let", "move", "ref",
+    "break", "continue", "where", "impl", "fn", "use", "mod", "struct", "enum", "union", "trait",
+    "type", "pub", "crate", "super", "dyn", "box", "await", "yield", "unsafe", "extern", "const",
+    "static", "mut",
+];
+
+struct Cursor<'a> {
+    tokens: &'a [Token<'a>],
+    code: &'a [usize],
+    in_test: &'a [bool],
+}
+
+impl<'a> Cursor<'a> {
+    fn text(&self, i: usize) -> &'a str {
+        if i < self.code.len() {
+            self.tokens[self.code[i]].text
+        } else {
+            ""
+        }
+    }
+
+    fn kind(&self, i: usize) -> Option<TokKind> {
+        self.code.get(i).map(|&j| self.tokens[j].kind)
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        if i < self.code.len() {
+            self.tokens[self.code[i]].line
+        } else {
+            0
+        }
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.kind(i) == Some(TokKind::Ident)
+    }
+}
+
+/// `true` when any of `rules` is allowed (with a reason) at `line`.
+fn allowed(allows: &[Allow], rules: &[&str], line: u32) -> bool {
+    allows.iter().any(|a| {
+        rules.contains(&a.rule.as_str())
+            && ((a.trailing && a.line == line) || (!a.trailing && a.line + 1 == line))
+    })
+}
+
+/// Extracts the semantic summary of one file. `in_test` is parallel to
+/// `code` (see [`crate::engine`]); fns inside test regions are skipped
+/// entirely — test code may panic and read clocks by design.
+pub fn extract_file(
+    crate_name: &str,
+    rel_path: &str,
+    tokens: &[Token<'_>],
+    code: &[usize],
+    in_test: &[bool],
+    allows: &[Allow],
+) -> FileSem {
+    let cur = Cursor {
+        tokens,
+        code,
+        in_test,
+    };
+    let module = rel_path
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("")
+        .to_string();
+
+    let mut sem = FileSem::default();
+    // Stack of (brace_depth_at_open, self_type) for impl/trait blocks.
+    let mut quals: Vec<(usize, String)> = Vec::new();
+    let mut depth = 0usize;
+    let n = code.len();
+    let mut i = 0usize;
+    while i < n {
+        match cur.text(i) {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                while quals.last().is_some_and(|&(d, _)| d > depth) {
+                    quals.pop();
+                }
+            }
+            "impl" | "trait" => {
+                if let Some((open, name)) = scan_qual_header(&cur, i) {
+                    // Register the block; the `{` itself is consumed by
+                    // the main loop when we get there, so record the
+                    // depth it will open.
+                    quals.push((depth + 1, name));
+                    depth += 1;
+                    i = open + 1;
+                    continue;
+                }
+            }
+            "fn" if cur.is_ident(i + 1) => {
+                if cur.in_test.get(i).copied().unwrap_or(false) {
+                    // Test fns are invisible to the semantic passes;
+                    // skip past the signature so `Fn` bounds inside it
+                    // don't confuse the walk.
+                    i += 2;
+                    continue;
+                }
+                let qual = quals.last().map(|(_, q)| q.clone());
+                let (def, next, body) =
+                    scan_fn(&cur, i, crate_name, rel_path, &module, qual, allows);
+                let mut def = def;
+                if let Some((b0, b1)) = body {
+                    scan_body(&cur, b0, b1, &mut def, &mut sem, allows);
+                    // Resuming *inside* the body skips its `{`; account
+                    // for it so the closing `}` doesn't desync `depth`
+                    // (and pop the enclosing impl's qual early).
+                    depth += 1;
+                }
+                sem.fns.push(def);
+                i = next;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    sem
+}
+
+/// Parses an `impl`/`trait` header starting at `i`; returns the index
+/// of the opening `{` and the self-type name.
+fn scan_qual_header(cur: &Cursor<'_>, i: usize) -> Option<(usize, String)> {
+    let n = cur.code.len();
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut first: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while j < n {
+        match cur.text(j) {
+            "{" if angle <= 0 && paren == 0 => {
+                let name = after_for.or(first)?;
+                return Some((j, name));
+            }
+            ";" if angle <= 0 && paren == 0 => return None, // `impl Trait for Ty;` style — no block
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            ">>" => angle -= 2,
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "for" if angle <= 0 && paren == 0 => saw_for = true,
+            "where" if angle <= 0 && paren == 0 => {
+                // Type name is settled before the where clause; keep
+                // scanning for the `{` only.
+                while j < n && cur.text(j) != "{" {
+                    j += 1;
+                }
+                continue;
+            }
+            t if cur.is_ident(j) && angle <= 0 && paren == 0 => {
+                if saw_for && after_for.is_none() {
+                    after_for = Some(t.to_string());
+                } else if first.is_none() {
+                    first = Some(t.to_string());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses one fn item starting at the `fn` keyword. Returns the
+/// definition shell, the index to resume scanning at (past the
+/// signature; the body — if any — is left for the caller so nested
+/// items keep their own entries), and the body's code-token range.
+fn scan_fn(
+    cur: &Cursor<'_>,
+    fn_idx: usize,
+    crate_name: &str,
+    rel_path: &str,
+    module: &str,
+    qual: Option<String>,
+    allows: &[Allow],
+) -> (FnDef, usize, Option<(usize, usize)>) {
+    let n = cur.code.len();
+    let name = cur.text(fn_idx + 1).to_string();
+    let line = cur.line(fn_idx);
+
+    // Visibility: walk back over `const`/`unsafe`/`async`/`extern "C"`.
+    let mut k = fn_idx;
+    while k > 0 {
+        let prev = cur.text(k - 1);
+        if matches!(prev, "const" | "unsafe" | "async" | "extern")
+            || cur.kind(k - 1) == Some(TokKind::Str)
+        {
+            k -= 1;
+        } else {
+            break;
+        }
+    }
+    let mut is_pub = false;
+    if k > 0 {
+        if cur.text(k - 1) == "pub" {
+            is_pub = true;
+        } else if cur.text(k - 1) == ")" {
+            // `pub(crate)` / `pub(super)` / `pub(in path)`: restricted,
+            // not public API.
+            is_pub = false;
+        }
+    }
+
+    // Parameter list: skip generics after the name, then balance parens.
+    let mut j = fn_idx + 2;
+    if cur.text(j) == "<" {
+        let mut angle = 0i32;
+        while j < n {
+            match cur.text(j) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+            j += 1;
+            if angle <= 0 {
+                break;
+            }
+        }
+    }
+    let mut has_self = false;
+    let mut params: Vec<String> = Vec::new();
+    if cur.text(j) == "(" {
+        let open = j;
+        let mut paren = 0i32;
+        let mut angle = 0i32;
+        let mut bracket = 0i32;
+        let mut seg_start = open + 1;
+        while j < n {
+            match cur.text(j) {
+                "(" => paren += 1,
+                ")" => {
+                    paren -= 1;
+                    if paren == 0 {
+                        param_name(cur, seg_start, j, &mut has_self, &mut params);
+                        break;
+                    }
+                }
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "," if paren == 1 && angle <= 0 && bracket == 0 => {
+                    param_name(cur, seg_start, j, &mut has_self, &mut params);
+                    seg_start = j + 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // Step past the closing `)` so the body search below starts at
+        // paren depth 0.
+        j += 1;
+    }
+    // Body: first `{` at paren depth 0 before a terminating `;`.
+    let mut body = None;
+    let mut paren = 0i32;
+    let mut end = j;
+    while end < n {
+        match cur.text(end) {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "{" if paren == 0 => {
+                // Balance to the matching close.
+                let b0 = end;
+                let mut brace = 0usize;
+                while end < n {
+                    match cur.text(end) {
+                        "{" => brace += 1,
+                        "}" => {
+                            brace -= 1;
+                            if brace == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    end += 1;
+                }
+                body = Some((b0, end.min(n.saturating_sub(1))));
+                break;
+            }
+            ";" if paren == 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    let _ = params;
+    let def = FnDef {
+        crate_name: crate_name.to_string(),
+        file: rel_path.to_string(),
+        module: module.to_string(),
+        name,
+        qual,
+        is_pub,
+        has_self,
+        line,
+        cut_panic: allowed(allows, &["panic-reachability"], line),
+        cut_taint: allowed(allows, &["determinism-taint"], line),
+        calls: Vec::new(),
+        panics: Vec::new(),
+        locks: Vec::new(),
+        risky: Vec::new(),
+        taints: Vec::new(),
+    };
+    // Resume just past the signature: the caller walks the body region
+    // itself so nested fns/impls are discovered too.
+    let resume = match body {
+        Some((b0, _)) => b0 + 1,
+        None => end + 1,
+    };
+    (def, resume, body)
+}
+
+/// Records the parameter name (the ident before the top-level `:`) for
+/// one parameter segment, or flags a `self` receiver.
+fn param_name(
+    cur: &Cursor<'_>,
+    start: usize,
+    end: usize,
+    has_self: &mut bool,
+    params: &mut Vec<String>,
+) {
+    let mut colon = None;
+    for k in start..end {
+        if cur.text(k) == "self" {
+            *has_self = true;
+            return;
+        }
+        if cur.text(k) == ":" && colon.is_none() {
+            colon = Some(k);
+        }
+    }
+    if let Some(c) = colon {
+        if c > start && cur.is_ident(c - 1) {
+            params.push(cur.text(c - 1).to_string());
+        }
+    }
+}
+
+/// One active mutex guard during the body walk.
+struct Held {
+    name: String,
+    /// Guard variable, when the acquisition was `let g = ...lock()...`
+    /// or `g = ...lock()...`; released by `drop(g)` or rebinding.
+    binding: Option<String>,
+    /// Brace depth at acquisition; the guard dies when the walk leaves
+    /// that block.
+    depth: usize,
+    /// Un-bound guards (`m.lock().unwrap().push(x)`) die at the end of
+    /// the enclosing statement.
+    temp: bool,
+}
+
+/// Walks one fn body, filling `def` with calls and sites.
+fn scan_body(
+    cur: &Cursor<'_>,
+    b0: usize,
+    b1: usize,
+    def: &mut FnDef,
+    sem: &mut FileSem,
+    allows: &[Allow],
+) {
+    let params = body_params(cur, def, b0);
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let mut mentions_hash = false;
+    let mut i = b0;
+    while i <= b1 {
+        let t = cur.text(i);
+        match t {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                held.retain(|h| h.depth <= depth);
+            }
+            ";" => held.retain(|h| !(h.temp && h.depth == depth)),
+            "HashMap" | "HashSet" => mentions_hash = true,
+            _ => {}
+        }
+
+        // `drop(guard)` releases a bound guard.
+        if t == "drop" && cur.text(i + 1) == "(" && cur.is_ident(i + 2) && cur.text(i + 3) == ")" {
+            let victim = cur.text(i + 2);
+            held.retain(|h| h.binding.as_deref() != Some(victim));
+            i += 4;
+            continue;
+        }
+
+        // Panic macros: `panic!(...)` etc.
+        if cur.is_ident(i) && cur.text(i + 1) == "!" && PANIC_MACROS.contains(&t) {
+            let line = cur.line(i);
+            if allowed(allows, &["panic-reachability"], line) {
+                sem.cut_panics += 1;
+            } else {
+                def.panics.push(Site {
+                    line,
+                    what: format!("{t}!"),
+                });
+            }
+            i += 2;
+            continue;
+        }
+
+        // Method calls: `. name (`.
+        if t == "." && cur.is_ident(i + 1) && cur.text(i + 2) == "(" {
+            let name = cur.text(i + 1);
+            let line = cur.line(i + 1);
+            let held_names: Vec<String> = held.iter().map(|h| h.name.clone()).collect();
+            let after_lock = i >= 3
+                && cur.text(i - 3) == "lock"
+                && cur.text(i - 2) == "("
+                && cur.text(i - 1) == ")";
+            match name {
+                "unwrap" | "expect" if !after_lock => {
+                    if allowed(allows, &["panic-reachability", "no-unwrap-in-lib"], line) {
+                        sem.cut_panics += 1;
+                    } else {
+                        def.panics.push(Site {
+                            line,
+                            what: format!("{name}()"),
+                        });
+                    }
+                }
+                "lock" => {
+                    let (lock_name, binding, temp) = lock_shape(cur, i);
+                    def.locks.push(LockAcq {
+                        name: lock_name.clone(),
+                        line,
+                        held: held_names.clone(),
+                    });
+                    held.push(Held {
+                        name: lock_name,
+                        binding,
+                        depth,
+                        temp,
+                    });
+                }
+                "send" if !held_names.is_empty() => {
+                    if allowed(allows, &["lock-held-across-send"], line) {
+                        sem.cut_risky += 1;
+                    } else {
+                        def.risky.push(RiskySite {
+                            line,
+                            what: "send".into(),
+                            held: held_names.clone(),
+                        });
+                    }
+                }
+                // `thread::current().id()`.
+                "id" if i >= 6
+                    && cur.text(i - 6) == "thread"
+                    && cur.text(i - 5) == "::"
+                    && cur.text(i - 4) == "current" =>
+                {
+                    taint_site(cur, def, sem, allows, line, "thread::current().id()");
+                }
+                "iter" | "keys" | "values" | "drain" | "into_iter" if mentions_hash => {
+                    taint_site(cur, def, sem, allows, line, "Hash* iteration");
+                }
+                _ => {}
+            }
+            def.calls.push(Call {
+                path: vec![name.to_string()],
+                method: true,
+                line,
+                held: held_names,
+            });
+            i += 2;
+            continue;
+        }
+
+        // Clock / parallelism sources.
+        if (t == "Instant" || t == "SystemTime")
+            && cur.text(i + 1) == "::"
+            && cur.text(i + 2) == "now"
+        {
+            taint_site(cur, def, sem, allows, cur.line(i), &format!("{t}::now"));
+            i += 3;
+            continue;
+        }
+        if t == "available_parallelism" && cur.is_ident(i) {
+            taint_site(cur, def, sem, allows, cur.line(i), "available_parallelism");
+        }
+
+        // Free/path calls: `name (` not preceded by `.` or `fn`.
+        if cur.is_ident(i)
+            && cur.text(i + 1) == "("
+            && cur.text(i.wrapping_sub(1)) != "."
+            && cur.text(i.wrapping_sub(1)) != "fn"
+            && !KEYWORDS.contains(&t)
+        {
+            let line = cur.line(i);
+            let held_names: Vec<String> = held.iter().map(|h| h.name.clone()).collect();
+            let path = call_path(cur, i, def.qual.as_deref());
+            if !path.is_empty() {
+                if path.len() == 1 && params.contains(&path[0]) && !held_names.is_empty() {
+                    let what = format!("callback `{}`", path[0]);
+                    if allowed(allows, &["lock-held-across-send"], line) {
+                        sem.cut_risky += 1;
+                    } else {
+                        def.risky.push(RiskySite {
+                            line,
+                            what,
+                            held: held_names.clone(),
+                        });
+                    }
+                }
+                def.calls.push(Call {
+                    path,
+                    method: false,
+                    line,
+                    held: held_names,
+                });
+            }
+            i += 2;
+            continue;
+        }
+
+        // Index sites: `expr[...]` — `[` after an ident, `)` or `]`.
+        if t == "["
+            && i > b0
+            && (cur.text(i - 1) == ")"
+                || cur.text(i - 1) == "]"
+                || (cur.is_ident(i - 1) && !KEYWORDS.contains(&cur.text(i - 1))))
+        {
+            let line = cur.line(i);
+            if allowed(allows, &["panic-reachability"], line) {
+                sem.cut_panics += 1;
+            } else {
+                def.panics.push(Site {
+                    line,
+                    what: "slice index".into(),
+                });
+            }
+        }
+
+        i += 1;
+    }
+}
+
+/// Re-parses the parameter-name list for callback detection (cheap; the
+/// signature sits directly before `b0`).
+fn body_params(cur: &Cursor<'_>, def: &FnDef, b0: usize) -> Vec<String> {
+    // Walk back from the body to the matching `(` of the params.
+    let mut j = b0;
+    let mut paren = 0i32;
+    while j > 0 {
+        j -= 1;
+        match cur.text(j) {
+            ")" => paren += 1,
+            "(" => {
+                paren -= 1;
+                if paren <= 0 {
+                    break;
+                }
+            }
+            "fn" => return Vec::new(),
+            _ => {}
+        }
+    }
+    let open = j;
+    let mut params = Vec::new();
+    let mut has_self = def.has_self;
+    let mut depth = (0i32, 0i32, 0i32); // paren, angle, bracket
+    let mut seg_start = open + 1;
+    let mut k = open;
+    loop {
+        match cur.text(k) {
+            "(" => depth.0 += 1,
+            ")" => {
+                depth.0 -= 1;
+                if depth.0 == 0 {
+                    param_name(cur, seg_start, k, &mut has_self, &mut params);
+                    break;
+                }
+            }
+            "<" => depth.1 += 1,
+            ">" => depth.1 -= 1,
+            ">>" => depth.1 -= 2,
+            "[" => depth.2 += 1,
+            "]" => depth.2 -= 1,
+            "," if depth.0 == 1 && depth.1 <= 0 && depth.2 == 0 => {
+                param_name(cur, seg_start, k, &mut has_self, &mut params);
+                seg_start = k + 1;
+            }
+            _ => {}
+        }
+        k += 1;
+        if k >= cur.code.len() || k > b0 {
+            break;
+        }
+    }
+    params
+}
+
+/// Records one nondeterminism source unless a pragma cuts it.
+fn taint_site(
+    cur: &Cursor<'_>,
+    def: &mut FnDef,
+    sem: &mut FileSem,
+    allows: &[Allow],
+    line: u32,
+    what: &str,
+) {
+    let _ = cur;
+    if allowed(
+        allows,
+        &[
+            "determinism-taint",
+            "no-wall-clock-in-solvers",
+            "hash-iteration-order",
+        ],
+        line,
+    ) {
+        sem.cut_taints += 1;
+    } else {
+        def.taints.push(Site {
+            line,
+            what: what.to_string(),
+        });
+    }
+}
+
+/// Shape of a `.lock()` acquisition at the `.` before `lock`:
+/// `(canonical_name, guard_binding, is_temporary)`.
+fn lock_shape(cur: &Cursor<'_>, dot: usize) -> (String, Option<String>, bool) {
+    // Canonical name: last receiver segment.
+    let name = if dot > 0 && cur.is_ident(dot - 1) {
+        cur.text(dot - 1).to_string()
+    } else {
+        "<anon>".to_string()
+    };
+    // Does the chain continue past `.lock().unwrap()/.expect(...)`?
+    // `let x = m.lock().expect(..).field.get();` binds the *derived
+    // value*, not the guard — the guard is a temporary then.
+    let mut k = dot + 4; // past `.lock ( )`
+    if cur.text(k) == "."
+        && matches!(cur.text(k + 1), "unwrap" | "expect")
+        && cur.text(k + 2) == "("
+    {
+        let mut p = 0i32;
+        let mut m = k + 2;
+        while m < cur.code.len() {
+            match cur.text(m) {
+                "(" => p += 1,
+                ")" => {
+                    p -= 1;
+                    if p == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        k = m + 1;
+    }
+    let chained = cur.text(k) == ".";
+    // Receiver chain start: walk back over `ident`/`self`/`.`/`::`.
+    let mut j = dot;
+    while j > 0 {
+        let prev = cur.text(j - 1);
+        if prev == "." || prev == "::" || cur.is_ident(j - 1) || prev == "self" {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    if j == 0 {
+        return (name, None, true);
+    }
+    let before = cur.text(j - 1);
+    if before == "*" {
+        // `*m.lock().unwrap()`: the binding (if any) holds the value,
+        // not the guard.
+        return (name, None, true);
+    }
+    if before == "=" && j >= 2 && cur.is_ident(j - 2) && !chained {
+        // `let g = ...lock()` or `g = ...lock()`: g is the guard.
+        return (name, Some(cur.text(j - 2).to_string()), false);
+    }
+    (name, None, true)
+}
+
+/// Builds the path of a free call ending at `name_idx` (`a::b::name`),
+/// mapping a leading `Self` to the enclosing impl type and dropping
+/// `crate`/`super` prefixes.
+fn call_path(cur: &Cursor<'_>, name_idx: usize, qual: Option<&str>) -> Vec<String> {
+    let mut segs = vec![cur.text(name_idx).to_string()];
+    let mut j = name_idx;
+    while j >= 2 && cur.text(j - 1) == "::" && cur.is_ident(j - 2) {
+        segs.push(cur.text(j - 2).to_string());
+        j -= 2;
+    }
+    segs.reverse();
+    while matches!(
+        segs.first().map(String::as_str),
+        Some("crate") | Some("super")
+    ) {
+        segs.remove(0);
+    }
+    if segs.first().map(String::as_str) == Some("Self") {
+        match qual {
+            Some(q) => segs[0] = q.to_string(),
+            None => {
+                segs.remove(0);
+            }
+        }
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn extract(src: &str) -> FileSem {
+        let tokens = tokenize(src);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let in_test = vec![false; code.len()];
+        extract_file(
+            "rcr-x",
+            "crates/x/src/lib.rs",
+            &tokens,
+            &code,
+            &in_test,
+            &[],
+        )
+    }
+
+    #[test]
+    fn every_method_of_an_impl_keeps_its_qual() {
+        // Regression: the first method's closing brace must not pop the
+        // enclosing impl's qual for its siblings.
+        let src = "pub struct A;\nimpl A {\n    pub fn first(&self) {}\n    pub fn second(&self) {}\n}\npub struct B;\nimpl B {\n    pub fn third(&self) {}\n}\npub fn free() {}\n";
+        let sem = extract(src);
+        let syms: Vec<String> = sem.fns.iter().map(FnDef::symbol).collect();
+        assert_eq!(syms, vec!["A::first", "A::second", "B::third", "free"]);
+    }
+
+    #[test]
+    fn visibility_self_and_signature_shapes() {
+        let src = "pub(crate) fn restricted() {}\npub const unsafe fn scary() {}\nfn private<T: Clone>(x: T) -> T { x }\ntrait T {\n    fn required(&self);\n}\n";
+        let sem = extract(src);
+        let flags: Vec<(String, bool, bool)> = sem
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.is_pub, f.has_self))
+            .collect();
+        assert_eq!(
+            flags,
+            vec![
+                ("restricted".into(), false, false),
+                ("scary".into(), true, false),
+                ("private".into(), false, false),
+                ("required".into(), false, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_guard_bound_vs_chained_value() {
+        // `let g = m.lock().unwrap();` binds the guard (held until
+        // drop); `let v = m.lock().unwrap().len();` binds a value (the
+        // guard is a temporary, dead at the `;`).
+        let src = "use std::sync::Mutex;\npub fn f(m: &Mutex<Vec<u32>>, n: &Mutex<u32>) {\n    let v = m.lock().unwrap().len();\n    let g = n.lock().unwrap();\n    helper();\n    drop(g);\n    helper();\n}\nfn helper() {}\n";
+        let sem = extract(src);
+        let f = &sem.fns[0];
+        let helper_calls: Vec<&Vec<String>> = f
+            .calls
+            .iter()
+            .filter(|c| c.path == vec!["helper".to_string()])
+            .map(|c| &c.held)
+            .collect();
+        assert_eq!(helper_calls.len(), 2);
+        assert_eq!(helper_calls[0], &vec!["n".to_string()]);
+        assert!(helper_calls[1].is_empty());
+    }
+
+    #[test]
+    fn panic_macros_and_index_sites_are_recorded() {
+        let src = "pub fn f(xs: &[u32], i: usize) -> u32 {\n    if i > xs.len() { panic!(\"oob\"); }\n    xs[i]\n}\n";
+        let sem = extract(src);
+        let whats: Vec<&str> = sem.fns[0].panics.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(whats, vec!["panic!", "slice index"]);
+    }
+}

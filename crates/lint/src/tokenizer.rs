@@ -68,6 +68,14 @@ pub fn tokenize(src: &str) -> Vec<Token<'_>> {
     let mut toks = Vec::new();
     let mut i = 0usize;
     let mut line: u32 = 1;
+    // A shebang (`#!/usr/bin/env ...`) is legal on line 1 of a crate
+    // root and is not Rust tokens: skip the whole line. `#![...]` is an
+    // inner attribute, not a shebang.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        while i < bytes.len() && bytes[i] != b'\n' {
+            i += 1;
+        }
+    }
     while i < bytes.len() {
         let b = bytes[i];
         if b == b'\n' {
@@ -208,10 +216,31 @@ pub fn tokenize(src: &str) -> Vec<Token<'_>> {
             i = end;
             continue;
         }
-        if b.is_ascii_alphabetic() || b == b'_' {
+        // Identifiers: ASCII fast path, with non-ASCII alphabetic chars
+        // accepted as starts/continuations so Unicode identifiers
+        // (`λ`, `überschuss`) lex as one Ident instead of a spray of
+        // one-char punct tokens.
+        let ident_start = b.is_ascii_alphabetic()
+            || b == b'_'
+            || (b >= 0x80 && src[i..].chars().next().is_some_and(char::is_alphabetic));
+        if ident_start {
             let mut j = i;
-            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
-                j += 1;
+            while j < bytes.len() {
+                let c = bytes[j];
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    j += 1;
+                } else if c >= 0x80 {
+                    let Some(ch) = src[j..].chars().next() else {
+                        break;
+                    };
+                    if ch.is_alphanumeric() {
+                        j += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                } else {
+                    break;
+                }
             }
             toks.push(Token {
                 kind: TokKind::Ident,
@@ -323,12 +352,13 @@ fn scan_char(bytes: &[u8], quote: usize) -> usize {
     let mut j = quote + 1;
     while j < bytes.len() {
         match bytes[j] {
+            // A trailing escape can step past the end; clamp below.
             b'\\' => j += 2,
             b'\'' => return j + 1,
             _ => j += 1,
         }
     }
-    j
+    j.min(bytes.len())
 }
 
 /// Scans a numeric literal; returns `(end, is_float)`.
@@ -479,5 +509,75 @@ mod tests {
         let toks = tokenize("a\nb\n\"x\ny\"\nc");
         let c = toks.iter().find(|t| t.text == "c").map(|t| t.line);
         assert_eq!(c, Some(5));
+    }
+
+    #[test]
+    fn nested_raw_strings_with_multiple_hashes() {
+        // The body contains `"#` which must not terminate an r##
+        // string; only `"##` does.
+        let toks = kinds("r##\"inner \"# still.unwrap() inside\"## ; tail");
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks[0].1.ends_with("\"##"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "tail"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn byte_string_escapes_do_not_leak() {
+        // `\"` inside a byte string must not close it; `\\` must not
+        // escape the real closing quote.
+        let toks = kinds(r#"b"a\"b\\" x b"\x7f\n" y"#);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(strs, vec![r#"b"a\"b\\""#, r#"b"\x7f\n""#]);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(idents, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn shebang_line_is_skipped() {
+        let toks = kinds("#!/usr/bin/env rust-script\nfn main() {}");
+        assert_eq!(toks[0], (TokKind::Ident, "fn"));
+        // An inner attribute is NOT a shebang and must still lex.
+        let attr = kinds("#![forbid(unsafe_code)]\nfn f() {}");
+        assert_eq!(attr[0], (TokKind::Punct, "#"));
+        assert!(attr.iter().any(|(_, t)| *t == "forbid"));
+    }
+
+    #[test]
+    fn non_ascii_identifiers_lex_as_single_idents() {
+        let toks = kinds("let übergröße = λ + μ2;");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(idents, vec!["let", "übergröße", "λ", "μ2"]);
+    }
+
+    #[test]
+    fn exotic_bytes_never_panic() {
+        // Tokenization must degrade gracefully, not panic, on any input.
+        for src in [
+            "\u{1F600} fn ?? ' \\",
+            "r#\"unterminated",
+            "b'",
+            "\"open",
+            "0x 1e+ 'a",
+            "#!",
+        ] {
+            let _ = tokenize(src);
+        }
     }
 }

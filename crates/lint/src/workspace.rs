@@ -5,14 +5,31 @@
 //! output are never linted. Only `src/` trees are scanned — the rules
 //! with test exemptions already skip `tests/`, `benches/`, and
 //! `examples/`, and the determinism rules care about library code.
+//!
+//! A full run has two layers:
+//!
+//! 1. **per-file** — tokenize, lexical rules, semantic extraction;
+//!    cacheable by content hash ([`crate::cache`]);
+//! 2. **workspace** — build the call graph over all extractions and run
+//!    the inter-procedural passes ([`crate::sem::passes`]), then apply
+//!    the ratchet baseline ([`crate::baseline`]).
+//!
+//! `--changed-only` keeps layer 1 on files changed vs
+//! `git merge-base HEAD main` and skips layer 2 (the passes are only
+//! sound over the whole workspace); outside a git repo it falls back to
+//! a full scan.
 
+use crate::baseline::{Baseline, STALE_BASELINE};
+use crate::cache::{self, Cache};
 use crate::diag::Diagnostic;
 use crate::engine::{analyze_source, RuleStats};
 use crate::rules::registry;
-use std::collections::BTreeMap;
+use crate::sem::{passes, FileSem, Graph};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::process::Command;
 
 /// One discovered workspace member.
 #[derive(Debug, Clone)]
@@ -23,14 +40,45 @@ pub struct CrateInfo {
     pub dir: PathBuf,
 }
 
+/// Knobs for one lint run. `Default` is a full, uncached run with the
+/// workspace's committed baseline (when present) applied.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Persist and reuse the per-file analysis cache under `target/`.
+    pub use_cache: bool,
+    /// Lexical-only scan of files changed vs `merge-base HEAD main`.
+    pub changed_only: bool,
+    /// Explicit baseline path; `None` auto-loads
+    /// `<root>/lint-baseline.json` when it exists.
+    pub baseline_path: Option<PathBuf>,
+    /// Skip baseline application, leaving raw semantic findings in the
+    /// report (used by `--write-baseline`).
+    pub no_baseline: bool,
+}
+
 /// The full run's outcome.
 #[derive(Debug, Default)]
 pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
-    /// Per-rule totals across all files, keyed by slug.
+    /// Per-rule totals for the lexical layer, keyed by slug.
     pub stats: BTreeMap<&'static str, RuleStats>,
+    /// Per-rule totals for the semantic passes: `violations` counts
+    /// findings that survived the baseline, `suppressed` counts
+    /// baselined ones.
+    pub sem_stats: BTreeMap<&'static str, RuleStats>,
     pub files_scanned: usize,
     pub crates_scanned: usize,
+    /// Call-graph size, for the summary line.
+    pub graph_fns: usize,
+    pub graph_edges: usize,
+    /// Sites removed by semantic allow-pragmas (graph cut points).
+    pub sem_cut_sites: usize,
+    pub stale_baseline: usize,
+    pub cache_hits: usize,
+    pub cache_misses: usize,
+    /// `true` when the run was restricted to changed files (semantic
+    /// passes skipped).
+    pub changed_only: bool,
 }
 
 impl Report {
@@ -44,8 +92,14 @@ impl Report {
     pub fn render_summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "rcr-lint: {} crates, {} files scanned\n",
-            self.crates_scanned, self.files_scanned
+            "rcr-lint: {} crates, {} files scanned{}\n",
+            self.crates_scanned,
+            self.files_scanned,
+            if self.changed_only {
+                " (changed-only: lexical rules, semantic passes skipped)"
+            } else {
+                ""
+            }
         ));
         for rule in registry() {
             let s = self.stats.get(rule.slug).cloned().unwrap_or_default();
@@ -63,6 +117,31 @@ impl Report {
             out.push_str(&format!(
                 "  {:<26} {:>3} malformed pragma(s)\n",
                 "bad-pragma", bad
+            ));
+        }
+        if !self.changed_only {
+            out.push_str(&format!(
+                "  semantic: call graph over {} fns, {} edges; {} pragma cut point(s)\n",
+                self.graph_fns, self.graph_edges, self.sem_cut_sites
+            ));
+            for slug in passes::SEMANTIC_RULES {
+                let s = self.sem_stats.get(slug).cloned().unwrap_or_default();
+                out.push_str(&format!(
+                    "  {:<26} {:>3} finding(s), {:>2} baselined\n",
+                    slug, s.violations, s.suppressed
+                ));
+            }
+            if self.stale_baseline > 0 {
+                out.push_str(&format!(
+                    "  {:<26} {:>3} stale entry(ies) — baseline may only shrink\n",
+                    STALE_BASELINE, self.stale_baseline
+                ));
+            }
+        }
+        if self.cache_hits + self.cache_misses > 0 {
+            out.push_str(&format!(
+                "  cache: {} hit(s), {} miss(es)\n",
+                self.cache_hits, self.cache_misses
             ));
         }
         out
@@ -133,13 +212,31 @@ fn package_name(manifest: &Path) -> io::Result<Option<String>> {
     Ok(None)
 }
 
-/// Lints every `src/**/*.rs` of every discovered crate.
+/// Full-default run: every file, no cache, committed baseline applied.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    lint_workspace_with(root, &Options::default())
+}
+
+/// Lints every `src/**/*.rs` of every discovered crate, per `opts`.
+pub fn lint_workspace_with(root: &Path, opts: &Options) -> io::Result<Report> {
     let crates = discover_crates(root)?;
+    let changed = if opts.changed_only {
+        changed_files(root)
+    } else {
+        None
+    };
+    let mut cache = if opts.use_cache {
+        Cache::load(root)
+    } else {
+        Cache::disabled()
+    };
     let mut report = Report {
         crates_scanned: crates.len(),
+        changed_only: opts.changed_only && changed.is_some(),
         ..Report::default()
     };
+    let mut sems: Vec<FileSem> = Vec::new();
+    let mut scanned: Vec<String> = Vec::new();
     for info in &crates {
         let src_dir = info.dir.join("src");
         if !src_dir.is_dir() {
@@ -149,17 +246,31 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         collect_rs_files(&src_dir, &mut files)?;
         files.sort();
         for path in files {
-            let source = fs::read_to_string(&path)?;
             let rel = path
                 .strip_prefix(root)
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let is_root = path
-                .file_name()
-                .is_some_and(|f| f == "lib.rs" || f == "main.rs")
-                && path.parent().is_some_and(|p| p == src_dir);
-            let file_report = analyze_source(&info.name, &rel, &source, is_root);
+            if let Some(set) = &changed {
+                if !set.contains(&rel) {
+                    continue;
+                }
+            }
+            let source = fs::read_to_string(&path)?;
+            let key = cache::content_key(&info.name, &rel, &source);
+            let file_report = match cache.get(&rel, key) {
+                Some(r) => r,
+                None => {
+                    let is_root = path
+                        .file_name()
+                        .is_some_and(|f| f == "lib.rs" || f == "main.rs")
+                        && path.parent().is_some_and(|p| p == src_dir);
+                    let r = analyze_source(&info.name, &rel, &source, is_root);
+                    cache.put(&rel, key, &r);
+                    r
+                }
+            };
+            scanned.push(rel);
             report.files_scanned += 1;
             report.diagnostics.extend(file_report.diagnostics);
             for (slug, s) in file_report.stats {
@@ -167,12 +278,132 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
                 agg.violations += s.violations;
                 agg.suppressed += s.suppressed;
             }
+            report.sem_cut_sites +=
+                file_report.sem.cut_panics + file_report.sem.cut_taints + file_report.sem.cut_risky;
+            sems.push(file_report.sem);
         }
     }
+
+    if !report.changed_only {
+        let graph = Graph::build(&sems);
+        report.graph_fns = graph.fns.len();
+        report.graph_edges = graph.callees.iter().map(Vec::len).sum();
+        let sem_diags = passes::run_all(&graph);
+        let baseline = load_baseline(root, opts)?;
+        let sem_diags = match &baseline {
+            Some(b) => {
+                let pre = count_by_rule(&sem_diags);
+                let (survivors, stats) = b.apply(sem_diags, "lint-baseline.json");
+                report.stale_baseline = stats.stale;
+                let post = count_by_rule(&survivors);
+                for slug in passes::SEMANTIC_RULES {
+                    let before = pre.get(slug).copied().unwrap_or(0);
+                    let after = post.get(slug).copied().unwrap_or(0);
+                    report.sem_stats.insert(
+                        slug,
+                        RuleStats {
+                            violations: after,
+                            suppressed: before - after,
+                        },
+                    );
+                }
+                survivors
+            }
+            None => {
+                for slug in passes::SEMANTIC_RULES {
+                    let count = sem_diags.iter().filter(|d| d.rule == *slug).count();
+                    report.sem_stats.insert(
+                        slug,
+                        RuleStats {
+                            violations: count,
+                            suppressed: 0,
+                        },
+                    );
+                }
+                sem_diags
+            }
+        };
+        report.diagnostics.extend(sem_diags);
+    }
+
+    if !report.changed_only {
+        cache.retain_files(&scanned);
+    }
+    cache.save();
+    report.cache_hits = cache.hits;
+    report.cache_misses = cache.misses;
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(report)
+}
+
+fn count_by_rule(diags: &[Diagnostic]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for d in diags {
+        *counts.entry(d.rule).or_default() += 1;
+    }
+    counts
+}
+
+/// Resolves which baseline (if any) governs this run. An explicit path
+/// that fails to load is an error; the implicit workspace baseline is
+/// only used when present.
+fn load_baseline(root: &Path, opts: &Options) -> io::Result<Option<Baseline>> {
+    if opts.no_baseline {
+        return Ok(None);
+    }
+    let path = match &opts.baseline_path {
+        Some(p) => p.clone(),
+        None => {
+            let implicit = root.join("lint-baseline.json");
+            if !implicit.is_file() {
+                return Ok(None);
+            }
+            implicit
+        }
+    };
+    Baseline::load(&path)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Files changed vs `merge-base HEAD main` plus untracked files, as
+/// workspace-relative paths. `None` when git is unavailable or the
+/// repo/branch layout doesn't cooperate — callers fall back to a full
+/// scan.
+fn changed_files(root: &Path) -> Option<BTreeSet<String>> {
+    let git = |args: &[&str]| -> Option<String> {
+        let out = Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        Some(String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+    let base = git(&["merge-base", "HEAD", "main"])?;
+    let base = base.trim();
+    if base.is_empty() {
+        return None;
+    }
+    let mut set = BTreeSet::new();
+    for line in git(&["diff", "--name-only", base])?.lines() {
+        if !line.is_empty() {
+            set.insert(line.trim().to_string());
+        }
+    }
+    if let Some(untracked) = git(&["ls-files", "--others", "--exclude-standard"]) {
+        for line in untracked.lines() {
+            if !line.is_empty() {
+                set.insert(line.trim().to_string());
+            }
+        }
+    }
+    Some(set)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

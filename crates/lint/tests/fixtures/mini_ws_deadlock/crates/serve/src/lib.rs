@@ -1,0 +1,30 @@
+//! Two mutexes acquired in opposite orders on two paths (the classic
+//! AB/BA deadlock), and a channel send performed while a guard is live.
+#![forbid(unsafe_code)]
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Lanes {
+    pub state: Mutex<u64>,
+    pub metrics: Mutex<u64>,
+}
+
+impl Lanes {
+    pub fn forward(&self) {
+        let state = self.state.lock().expect("state");
+        let metrics = self.metrics.lock().expect("metrics");
+        let _ = (state, metrics);
+    }
+
+    pub fn backward(&self) {
+        let metrics = self.metrics.lock().expect("metrics");
+        let state = self.state.lock().expect("state");
+        let _ = (state, metrics);
+    }
+
+    pub fn publish(&self, tx: &Sender<u64>) {
+        let metrics = self.metrics.lock().expect("metrics");
+        tx.send(*metrics).expect("send");
+    }
+}

@@ -1,0 +1,16 @@
+//! A public solver entry point that transitively reaches a slice-index
+//! panic two calls down. The lexical rules see nothing wrong; only the
+//! call-graph pass connects `solve` to the indexing site.
+#![forbid(unsafe_code)]
+
+pub fn solve(xs: &[f64]) -> f64 {
+    helper(xs)
+}
+
+fn helper(xs: &[f64]) -> f64 {
+    inner(xs)
+}
+
+fn inner(xs: &[f64]) -> f64 {
+    xs[0]
+}

@@ -1,0 +1,7 @@
+//! A public solver entry point whose result depends on the runtime's
+//! clock read — a cross-crate determinism-taint flow.
+#![forbid(unsafe_code)]
+
+pub fn solve(x: u64) -> u64 {
+    x.wrapping_add(rcr_runtime::jitter())
+}

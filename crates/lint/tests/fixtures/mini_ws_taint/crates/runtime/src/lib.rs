@@ -1,0 +1,10 @@
+//! The runtime crate may read the clock (it owns scheduling), so no
+//! lexical rule fires here — the taint only matters once it flows into
+//! a solver's return value.
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub fn jitter() -> u64 {
+    Instant::now().elapsed().subsec_nanos() as u64
+}

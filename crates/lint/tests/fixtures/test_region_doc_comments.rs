@@ -1,0 +1,23 @@
+//! Regression fixture: `#[cfg(test)]` separated from its `mod` by doc
+//! comments and further attributes must still open a test region, while
+//! `#[cfg_attr(test, ...)]` must NOT (it gates an attribute, not
+//! compilation).
+
+pub fn live() -> u32 {
+    1
+}
+
+#[cfg_attr(test, allow(dead_code))]
+pub fn still_live(v: &[u32]) -> u32 {
+    *v.first().expect("cfg_attr is not a test region")
+}
+
+#[cfg(test)]
+/// Docs about the tests, wedged between the cfg and the mod.
+#[allow(dead_code)]
+/** Block docs too. */
+mod tests {
+    pub fn helper(v: &[u32]) -> u32 {
+        *v.first().expect("tests may unwrap")
+    }
+}

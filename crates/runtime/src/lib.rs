@@ -66,6 +66,7 @@ pub fn resolve_workers(requested: usize) -> usize {
 fn parse_workers_spec(value: &str) -> Option<usize> {
     let value = value.trim();
     if value.eq_ignore_ascii_case("auto") {
+        // rcr-lint: allow(determinism-taint, reason = "worker count feeds scheduling only; parallel_map is order-deterministic for any worker count (PR1 invariant)")
         return std::thread::available_parallelism().ok().map(|n| n.get());
     }
     value.parse::<usize>().ok().filter(|&n| n > 0)

@@ -109,6 +109,7 @@ impl BatchSolve for Engine {
     type Output = (Result<RraSolution, QosError>, Duration);
 
     fn solve_item(&self, _index: usize, item: &WorkItem) -> Self::Output {
+        // rcr-lint: allow(determinism-taint, reason = "per-item wall time is deadline telemetry; the solution payload in .0 is clock-free")
         let start = Instant::now();
         let result = self.solve_one(item);
         (result, start.elapsed())
