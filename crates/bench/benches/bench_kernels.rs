@@ -1,0 +1,235 @@
+//! Regression benchmarks backing the committed `BENCH_5.json` baseline:
+//! the blocked GEMM microkernel against the naive triple loop, the
+//! scratch-pooled IBP/CROWN paths against their allocating ancestors,
+//! exact branch-and-bound verification, and service throughput.
+//!
+//! Run with JSON output for the gate (pass an absolute path: cargo runs
+//! bench binaries with the package directory, not the workspace root, as
+//! their working directory — `scripts/verify.sh --bench-smoke` does this):
+//!
+//! ```text
+//! cargo bench -p rcr-bench --bench bench_kernels --features alloc-count \
+//!     -- --save-json "$PWD/target/bench_current.json"
+//! cargo run -p rcr-bench --bin bench_gate -- \
+//!     target/bench_current.json BENCH_5.json
+//! ```
+//!
+//! All inputs are fixed splitmix64 streams so wall times and (for the
+//! single-threaded benches) allocation counts are reproducible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcr_core::robust::{train_classifier, BlobData, RobustTrainConfig, TrainMode};
+use rcr_kernels::{gemm, gemm_naive, Scratch};
+use rcr_linalg::Matrix;
+use rcr_qos::QosClass;
+use rcr_serve::{Payload, ScenarioSpec, Service, ServiceConfig, SolveRequest, SolverKind, Ticket};
+use rcr_verify::bounds::{interval_bounds, interval_bounds_scratch};
+use rcr_verify::crown::{crown_lower_value_scratch, crown_lower_with_bounds};
+use rcr_verify::exact::{verify_complete, BnbSettings};
+use rcr_verify::net::{AffineReluNet, Specification};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Deterministic pseudo-random values in [-1, 1] (splitmix64).
+fn weights(n: usize, mut state: u64) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Square-matrix product, naive vs register/cache-blocked kernel. The
+/// baseline pins a `>= 2x` blocked-over-naive speedup at 128 and 256
+/// (the sizes where the cache blocking pays for its bookkeeping).
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(15);
+    for &n in &[32usize, 128, 256] {
+        let a = weights(n * n, 0x11);
+        let b = weights(n * n, 0x22);
+        let mut out = vec![0.0; n * n];
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |be, &n| {
+            be.iter(|| {
+                gemm_naive(n, n, n, black_box(&a), black_box(&b), &mut out);
+                out[0]
+            })
+        });
+        let mut out2 = vec![0.0; n * n];
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |be, &n| {
+            be.iter(|| {
+                gemm(n, n, n, black_box(&a), black_box(&b), &mut out2);
+                out2[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fixed 6-128-128-8 synthetic network shared by the IBP and CROWN
+/// benches; wide enough that per-layer propagation dominates call
+/// overhead.
+fn test_net() -> AffineReluNet {
+    AffineReluNet::new(vec![
+        (
+            Matrix::from_vec(128, 6, weights(768, 1)).expect("w1"),
+            weights(128, 2),
+        ),
+        (
+            Matrix::from_vec(128, 128, weights(16384, 3)).expect("w2"),
+            weights(128, 4),
+        ),
+        (
+            Matrix::from_vec(8, 128, weights(1024, 5)).expect("w3"),
+            weights(8, 6),
+        ),
+    ])
+    .expect("net")
+}
+
+fn input_box() -> Vec<(f64, f64)> {
+    (0..6).map(|i| (-0.3 - 0.01 * i as f64, 0.3)).collect()
+}
+
+/// Interval bound propagation: historical allocating path vs the warm
+/// scratch-pool path (bounds recycled back into the pool every
+/// iteration, so the steady state performs no layer-buffer allocations).
+fn bench_ibp(c: &mut Criterion) {
+    let net = test_net();
+    let bx = input_box();
+    let mut group = c.benchmark_group("ibp");
+    group.sample_size(30);
+    group.bench_function("alloc", |b| {
+        b.iter(|| interval_bounds(black_box(&net), black_box(&bx)).expect("ibp"))
+    });
+    let mut scratch = Scratch::new();
+    group.bench_function("scratch", |b| {
+        b.iter(|| {
+            let lb = interval_bounds_scratch(black_box(&net), black_box(&bx), 1, &mut scratch)
+                .expect("ibp");
+            let lo = lb.output()[0].0;
+            lb.recycle(&mut scratch);
+            lo
+        })
+    });
+    group.finish();
+}
+
+/// CROWN backward pass over precomputed layer bounds: the legacy
+/// allocating entry point (fresh pool per call) vs the warm-pool value
+/// variant branch-and-bound uses per node. The baseline requires the
+/// scratch path to allocate at most 70% of the allocating path
+/// (in practice it is allocation-free once warm).
+fn bench_crown(c: &mut Criterion) {
+    let net = test_net();
+    let bx = input_box();
+    let spec = Specification::margin(8, 1, 0).expect("spec");
+    let bounds = interval_bounds(&net, &bx).expect("bounds");
+    let mut group = c.benchmark_group("crown");
+    group.sample_size(30);
+    group.bench_function("alloc", |b| {
+        b.iter(|| {
+            crown_lower_with_bounds(black_box(&net), black_box(&bx), &spec, &bounds)
+                .expect("crown")
+                .lower
+        })
+    });
+    let mut scratch = Scratch::new();
+    group.bench_function("scratch", |b| {
+        b.iter(|| {
+            crown_lower_value_scratch(
+                black_box(&net),
+                black_box(&bx),
+                &spec,
+                &bounds,
+                &mut scratch,
+            )
+            .expect("crown")
+        })
+    });
+    group.finish();
+}
+
+/// Exact verification by branch-and-bound on a trained classifier — the
+/// downstream consumer of the scratch-pooled IBP/CROWN re-verification.
+fn bench_bnb(c: &mut Criterion) {
+    let data = BlobData::generate(40, 3);
+    let cfg = RobustTrainConfig {
+        mode: TrainMode::Standard,
+        epochs: 60,
+        ..Default::default()
+    };
+    let model = train_classifier(&data, &cfg).expect("training");
+    let net = model.to_affine_relu().expect("extraction");
+    let spec = Specification::margin(2, 1, 0).expect("spec");
+    let eps = 0.25;
+    let bx = [(1.0 - eps, 1.0 + eps), (-eps, eps)];
+    let mut group = c.benchmark_group("bnb");
+    group.sample_size(20);
+    group.bench_function("verify_complete", |b| {
+        b.iter(|| {
+            verify_complete(
+                black_box(&net),
+                black_box(&bx),
+                &spec,
+                &BnbSettings::default(),
+            )
+            .expect("bnb")
+        })
+    });
+    group.finish();
+}
+
+/// Enqueue-to-response throughput for a fixed mixed-class trace through
+/// the service at 2 workers. Worker threads allocate nondeterministically,
+/// so the baseline leaves this entry's allocation count unpinned.
+fn bench_serve(c: &mut Criterion) {
+    const TRACE_LEN: u64 = 48;
+    let trace = || -> Vec<SolveRequest> {
+        (0..TRACE_LEN)
+            .map(|id| SolveRequest {
+                id,
+                class: QosClass::ALL[(id % 3) as usize],
+                deadline: Duration::from_secs(60),
+                solver: SolverKind::Greedy,
+                payload: Payload::Scenario(ScenarioSpec {
+                    users: 3,
+                    resource_blocks: 6,
+                    seed: id * 17 + 3,
+                }),
+            })
+            .collect()
+    };
+    let service = Service::spawn(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("trace48/2w", |b| {
+        b.iter(|| {
+            let client = service.client();
+            let tickets: Vec<Ticket> = trace().into_iter().map(|r| client.submit(r)).collect();
+            for ticket in tickets {
+                black_box(ticket.wait().expect("response"));
+            }
+        })
+    });
+    group.finish();
+    service.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_ibp,
+    bench_crown,
+    bench_bnb,
+    bench_serve
+);
+criterion_main!(benches);

@@ -3,10 +3,13 @@
 //! Each `table_*` binary regenerates one experiment from DESIGN.md's
 //! index (E1–E14), printing the rows the paper's evaluation would have
 //! tabulated. The `benches/` directory holds the matching Criterion
-//! performance benchmarks.
+//! performance benchmarks, and [`gate`] implements the JSON regression
+//! gate the `bench_gate` binary applies against `BENCH_5.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod gate;
 
 /// A fixed-width console table writer.
 #[derive(Debug)]

@@ -173,24 +173,38 @@ impl QpProblem {
         let mut z = vec![0.0; m];
         let mut y = vec![0.0; m];
 
+        // Per-iteration workspaces, hoisted so the ADMM loop allocates
+        // nothing in steady state. Every buffer is fully overwritten before
+        // use each iteration, so reuse cannot change any computed value.
+        let mut rhs = vec![0.0; n];
+        let mut w = vec![0.0; m];
+        let mut atw = vec![0.0; n];
+        let mut x_new = vec![0.0; n];
+        let mut chol_work = vec![0.0; n];
+        let mut ax = vec![0.0; m];
+        let mut z_new = vec![0.0; m];
+        let mut px = vec![0.0; n];
+        let mut aty = vec![0.0; n];
+        let mut d = vec![0.0; n];
+
         let mut primal_res = f64::INFINITY;
         let mut dual_res = f64::INFINITY;
         for iter in 0..settings.max_iter {
             // x-update: solve (P+σI+ρAᵀA)x = σx - q + Aᵀ(ρz - y).
-            let mut rhs = vec![0.0; n];
             for i in 0..n {
                 rhs[i] = sigma * x[i] - self.q[i];
             }
-            let w: Vec<f64> = z.iter().zip(&y).map(|(&zi, &yi)| rho * zi - yi).collect();
-            let atw = self.a.matvec_t(&w)?;
+            for i in 0..m {
+                w[i] = rho * z[i] - y[i];
+            }
+            self.a.matvec_t_into(&w, &mut atw)?;
             for i in 0..n {
                 rhs[i] += atw[i];
             }
-            let x_new = chol.solve(&rhs)?;
+            chol.solve_into(&rhs, &mut chol_work, &mut x_new)?;
 
             // Over-relaxed z-update with projection onto [l, u].
-            let ax = self.a.matvec(&x_new)?;
-            let mut z_new = vec![0.0; m];
+            self.a.matvec_into(&x_new, &mut ax)?;
             for i in 0..m {
                 let v = alpha * ax[i] + (1.0 - alpha) * z[i] + y[i] / rho;
                 z_new[i] = v.clamp(self.l[i], self.u[i]);
@@ -199,16 +213,16 @@ impl QpProblem {
             for i in 0..m {
                 y[i] += rho * (alpha * ax[i] + (1.0 - alpha) * z[i] - z_new[i]);
             }
-            x = x_new;
-            z = z_new;
+            std::mem::swap(&mut x, &mut x_new);
+            std::mem::swap(&mut z, &mut z_new);
 
-            // Residuals (checked every 10 iterations to save work).
+            // Residuals (checked every 10 iterations to save work). `ax`
+            // still holds A·x for the just-accepted iterate, so it is not
+            // recomputed.
             if iter % 10 == 0 || iter + 1 == settings.max_iter {
-                let ax = self.a.matvec(&x)?;
-                primal_res = vector::norm_inf(&vector::sub(&ax, &z));
-                let px = self.p.matvec(&x)?;
-                let aty = self.a.matvec_t(&y)?;
-                let mut d = vec![0.0; n];
+                primal_res = rcr_kernels::norm_inf_diff(&ax, &z);
+                self.p.matvec_into(&x, &mut px)?;
+                self.a.matvec_t_into(&y, &mut aty)?;
                 for i in 0..n {
                     d[i] = px[i] + self.q[i] + aty[i];
                 }

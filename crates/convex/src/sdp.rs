@@ -155,7 +155,9 @@ impl SdpProblem {
             let w = chol.solve(&resid)?;
             let mut out = mat.clone();
             for ((a, _), wi) in self.constraints.iter().zip(&w) {
-                out = &out - &(a * *wi);
+                // In-place axpy replaces the historical `out - a·wᵢ`
+                // temporaries; x + (-w)·a and x - w·a are bitwise equal.
+                rcr_kernels::axpy(-wi, a.as_slice(), out.as_mut_slice());
             }
             Ok(out)
         };

@@ -75,31 +75,50 @@ impl Cholesky {
     /// [`LinalgError::DimensionMismatch`] when `b.len()` differs from `n`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.l.rows();
-        if b.len() != n {
+        let mut work = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        self.solve_into(b, &mut work, &mut x)?;
+        Ok(x)
+    }
+
+    /// Allocation-free variant of [`Cholesky::solve`]: writes the solution
+    /// into `out`, using `work` for the forward-substitution intermediate.
+    /// Both buffers must have length `n`; prior contents are ignored
+    /// (every element is written before it is read).
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] when any slice length differs
+    /// from `n`.
+    pub fn solve_into(
+        &self,
+        b: &[f64],
+        work: &mut [f64],
+        out: &mut [f64],
+    ) -> Result<(), LinalgError> {
+        let n = self.l.rows();
+        if b.len() != n || work.len() != n || out.len() != n {
             return Err(LinalgError::DimensionMismatch {
-                op: "cholesky solve",
-                got: vec![n, b.len()],
+                op: "cholesky solve_into",
+                got: vec![n, b.len(), work.len(), out.len()],
             });
         }
         // L y = b
-        let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[i];
             for j in 0..i {
-                s -= self.l[(i, j)] * y[j];
+                s -= self.l[(i, j)] * work[j];
             }
-            y[i] = s / self.l[(i, i)];
+            work[i] = s / self.l[(i, i)];
         }
         // L^T x = y
-        let mut x = vec![0.0; n];
         for i in (0..n).rev() {
-            let mut s = y[i];
+            let mut s = work[i];
             for j in (i + 1)..n {
-                s -= self.l[(j, i)] * x[j];
+                s -= self.l[(j, i)] * out[j];
             }
-            x[i] = s / self.l[(i, i)];
+            out[i] = s / self.l[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Log-determinant of `A` (twice the log-sum of the diagonal of `L`);

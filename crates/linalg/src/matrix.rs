@@ -110,16 +110,19 @@ impl Matrix {
     }
 
     /// Number of rows.
+    #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// `(rows, cols)`.
+    #[inline]
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
     }
@@ -130,11 +133,13 @@ impl Matrix {
     }
 
     /// Borrow the underlying row-major data.
+    #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
 
     /// Mutably borrow the underlying row-major data.
+    #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
@@ -145,6 +150,7 @@ impl Matrix {
     }
 
     /// Returns entry `(r, c)` or `None` when out of bounds.
+    #[inline]
     pub fn get(&self, r: usize, c: usize) -> Option<f64> {
         if r < self.rows && c < self.cols {
             Some(self.data[r * self.cols + c])
@@ -167,10 +173,16 @@ impl Matrix {
 
     /// Borrows row `r` as a slice.
     ///
+    /// This is a hot accessor on the IBP/CROWN propagation paths, so the
+    /// friendly bounds message is a `debug_assert!`; release builds rely on
+    /// the slice-range check below, which still panics for any `r` out of
+    /// bounds (when `cols > 0`) — just with the std range message.
+    ///
     /// # Panics
     /// Panics if `r >= self.rows()`.
+    #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row {r} out of bounds");
+        debug_assert!(r < self.rows, "row {r} out of bounds");
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -259,20 +271,17 @@ impl Matrix {
                 got: vec![self.rows, self.cols, rhs.rows, rhs.cols],
             });
         }
+        // Register/cache-blocked kernel, bit-identical to the historical
+        // naive i-k-j loop (see rcr_kernels::gemm for the contract).
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[r * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let lhs_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in lhs_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        rcr_kernels::gemm(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
         Ok(out)
     }
 
@@ -288,11 +297,26 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            out[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
+        rcr_kernels::gemv(self.rows, self.cols, &self.data, x, &mut out);
         Ok(out)
+    }
+
+    /// Matrix–vector product `self * x` written into `out` — the
+    /// allocation-free form of [`Matrix::matvec`] for hot loops that own a
+    /// reusable buffer (e.g. the ADMM iteration in `rcr-convex`).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`
+    /// or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.cols || out.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec_into",
+                got: vec![self.rows, self.cols, x.len(), out.len()],
+            });
+        }
+        rcr_kernels::gemv(self.rows, self.cols, &self.data, x, out);
+        Ok(())
     }
 
     /// Transposed matrix–vector product `self^T * x`.
@@ -307,17 +331,25 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
-            if xr == 0.0 {
-                continue;
-            }
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (o, &a) in out.iter_mut().zip(row) {
-                *o += a * xr;
-            }
-        }
+        rcr_kernels::gemv_t(self.rows, self.cols, &self.data, x, &mut out);
         Ok(out)
+    }
+
+    /// Transposed matrix–vector product `self^T * x` written into `out` —
+    /// the allocation-free form of [`Matrix::matvec_t`].
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.rows()`
+    /// or `out.len() != self.cols()`.
+    pub fn matvec_t_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.rows || out.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec_t_into",
+                got: vec![self.rows, self.cols, x.len(), out.len()],
+            });
+        }
+        rcr_kernels::gemv_t(self.rows, self.cols, &self.data, x, out);
+        Ok(())
     }
 
     /// Quadratic form `x^T * self * x`.
@@ -376,7 +408,9 @@ impl Matrix {
                 got: vec![self.rows, self.cols, rhs.rows, rhs.cols],
             });
         }
-        Ok(self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).sum())
+        // rcr_kernels::dot reproduces the historical zip-map-`.sum()`
+        // chain bit-for-bit (same -0.0 fold seed as std's Sum<f64>).
+        Ok(rcr_kernels::dot(&self.data, &rhs.data))
     }
 
     /// Extracts the contiguous submatrix with rows `r0..r1` and columns `c0..c1`.
@@ -504,6 +538,7 @@ impl Index<(usize, usize)> for Matrix {
 
     /// # Panics
     /// Panics when the index is out of bounds.
+    #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
         assert!(
             r < self.rows && c < self.cols,
@@ -514,6 +549,7 @@ impl Index<(usize, usize)> for Matrix {
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
         assert!(
             r < self.rows && c < self.cols,

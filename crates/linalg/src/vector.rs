@@ -6,11 +6,14 @@
 
 /// Dot product of two equal-length slices.
 ///
+/// Delegates to `rcr_kernels::dot`, which preserves the sequential
+/// `.sum()` fold (seeded with `-0.0`, matching std) bit-for-bit.
+///
 /// # Panics
 /// Panics in debug builds if the lengths differ.
+#[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    rcr_kernels::dot(a, b)
 }
 
 /// Euclidean norm.
@@ -32,11 +35,9 @@ pub fn norm_inf(a: &[f64]) -> f64 {
 ///
 /// # Panics
 /// Panics in debug builds if the lengths differ.
+#[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    rcr_kernels::axpy(alpha, x, y)
 }
 
 /// Element-wise `a - b` into a new vector.

@@ -147,6 +147,14 @@ pub fn registry() -> &'static [Rule] {
             applies_to: |_| true,
             check: check_float_literal_eq,
         },
+        Rule {
+            slug: "no-alloc-in-kernel",
+            summary:
+                "kernel crate code paths must not allocate; use caller-provided slices or Scratch",
+            test_policy: TestPolicy::SkipTests,
+            applies_to: |c| c == "rcr-kernels",
+            check: check_no_alloc_in_kernel,
+        },
     ]
 }
 
@@ -340,6 +348,59 @@ fn check_float_literal_eq(ctx: &FileCtx<'_>) -> Vec<Violation> {
             ),
             in_test: ctx.in_test[i],
         });
+    }
+    out
+}
+
+/// Allocation sites inside the kernel crate: the whole point of
+/// `rcr-kernels` is that hot loops run on caller-provided slices and the
+/// pooled [`Scratch`] workspace, so `Vec::new`, `vec![..]`, `.to_vec()`
+/// and `.collect()` are all suspect there. Cold paths (pool refill,
+/// constructors) escape with a reasoned allow pragma.
+fn check_no_alloc_in_kernel(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let n = ctx.code.len();
+    for i in 0..n {
+        // `Vec::new(` / `Vec::with_capacity(` — direct vector construction.
+        if ctx.text(i) == "Vec" && ctx.text(i + 1) == "::" {
+            let method = ctx.text(i + 2);
+            if (method == "new" || method == "with_capacity") && ctx.text(i + 3) == "(" {
+                out.push(Violation {
+                    line: ctx.ct(i).line,
+                    message: format!(
+                        "Vec::{method} in kernel code: take a caller-provided slice or draw from Scratch"
+                    ),
+                    in_test: ctx.in_test[i],
+                });
+                continue;
+            }
+        }
+        // `vec![..]` — macro allocation.
+        if ctx.text(i) == "vec" && ctx.text(i + 1) == "!" {
+            out.push(Violation {
+                line: ctx.ct(i).line,
+                message:
+                    "vec![..] in kernel code: take a caller-provided slice or draw from Scratch"
+                        .into(),
+                in_test: ctx.in_test[i],
+            });
+            continue;
+        }
+        // `.to_vec()` / `.collect(..)` / `.collect::<..>(..)` — cloning or
+        // iterator-driven allocation.
+        if ctx.text(i) == "." {
+            let method = ctx.text(i + 1);
+            let opens = ctx.text(i + 2) == "(" || ctx.text(i + 2) == "::";
+            if (method == "to_vec" || method == "collect") && opens {
+                out.push(Violation {
+                    line: ctx.ct(i + 1).line,
+                    message: format!(
+                        "{method}() in kernel code: write into a caller-provided buffer instead of allocating"
+                    ),
+                    in_test: ctx.in_test[i + 1],
+                });
+            }
+        }
     }
     out
 }

@@ -131,6 +131,29 @@ fn float_literal_eq_fixtures() {
 }
 
 #[test]
+fn no_alloc_in_kernel_fixtures() {
+    assert_fails(
+        "rcr-kernels",
+        "no_alloc_kernel_fail.rs",
+        false,
+        "no-alloc-in-kernel",
+    );
+    // All five allocation sites: Vec::new, vec!, to_vec, collect, and
+    // the turbofish collect.
+    let src = fixture("no_alloc_kernel_fail.rs");
+    let n = analyze_source("rcr-kernels", "crates/x/src/f.rs", &src, false)
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "no-alloc-in-kernel")
+        .count();
+    assert_eq!(n, 5);
+    // Reasoned allow + test-module allocation stay clean.
+    assert_passes("rcr-kernels", "no_alloc_kernel_pass.rs", false);
+    // Scoped: every other crate allocates freely.
+    assert_passes("rcr-linalg", "no_alloc_kernel_fail.rs", false);
+}
+
+#[test]
 fn reasonless_allow_is_rejected_and_does_not_suppress() {
     let src = fixture("allow_no_reason_fail.rs");
     let diags = analyze_source("rcr-signal", "crates/x/src/f.rs", &src, false).diagnostics;

@@ -1,0 +1,21 @@
+//! Fixture: allocation sites that must all fire under `rcr-kernels`.
+
+pub fn bad_vec_new() -> Vec<f64> {
+    Vec::new()
+}
+
+pub fn bad_vec_macro(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+
+pub fn bad_to_vec(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}
+
+pub fn bad_collect(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|v| v * 2.0).collect()
+}
+
+pub fn bad_turbofish_collect(xs: &[f64]) -> Vec<f64> {
+    xs.iter().copied().collect::<Vec<f64>>()
+}

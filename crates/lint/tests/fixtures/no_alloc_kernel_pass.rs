@@ -1,0 +1,26 @@
+//! Fixture: kernel-style code that must stay clean — slice-in/slice-out
+//! compute, a reasoned allow on a cold path, and test-module allocation.
+
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+pub fn pool_refill(cap: usize) -> Vec<f64> {
+    let mut buf =
+        // rcr-lint: allow(no-alloc-in-kernel, reason = "cold-path pool refill, amortized away in steady state")
+        Vec::new();
+    buf.reserve(cap);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_allocate_freely() {
+        let xs = vec![1.0; 8];
+        let doubled: Vec<f64> = xs.iter().map(|v| v * 2.0).collect();
+        assert_eq!(doubled.len(), 8);
+    }
+}

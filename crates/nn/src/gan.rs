@@ -320,6 +320,16 @@ impl GanTrainer {
         let mut d_loss_hist = Vec::with_capacity(cfg.steps);
         let mut g_loss_hist = Vec::with_capacity(cfg.steps);
 
+        // Step-invariant tensors, hoisted out of the training loop: the
+        // real/fake label layout and the generator-step target never
+        // change, and grad_logits' real half stays zero (only the fake
+        // half is overwritten each step).
+        let mut labels = vec![1.0; half];
+        labels.extend(vec![0.0; half]);
+        let labels_t = Tensor::from_vec(vec![2 * half, 1], labels)?;
+        let ones = Tensor::from_vec(vec![half, 1], vec![1.0; half])?;
+        let mut grad_logits = Tensor::zeros(vec![2 * half, 1]);
+
         for step in 0..cfg.steps {
             let g_idx = step % self.generators.len();
 
@@ -332,9 +342,6 @@ impl GanTrainer {
             let mut combined: Vec<f64> = real.iter().flat_map(|p| [p[0], p[1]]).collect();
             combined.extend_from_slice(fake_t.data());
             let batch_t = Tensor::from_vec(vec![2 * half, 2], combined)?;
-            let mut labels = vec![1.0; half];
-            labels.extend(vec![0.0; half]);
-            let labels_t = Tensor::from_vec(vec![2 * half, 1], labels)?;
 
             let logits = self.discriminator.forward(&batch_t)?;
             let (loss_d, grad_d) = bce_with_logits(&logits, &labels_t)?;
@@ -342,7 +349,6 @@ impl GanTrainer {
             self.discriminator.clip_grad_norm(5.0);
             self.discriminator.step(&mut opt_d);
             d_loss_hist.push(2.0 * loss_d);
-            let ones = Tensor::from_vec(vec![half, 1], vec![1.0; half])?;
 
             // ---- Generator step: fool the discriminator (labels 1 on
             // the fake half). The batch again mixes real and fake so the
@@ -357,7 +363,6 @@ impl GanTrainer {
             let logits = self.discriminator.forward(&batch_t)?;
             let fake_logits = Tensor::from_vec(vec![half, 1], logits.data()[half..].to_vec())?;
             let (loss_g, grad_fake) = bce_with_logits(&fake_logits, &ones)?;
-            let mut grad_logits = Tensor::zeros(vec![2 * half, 1]);
             grad_logits.data_mut()[half..].copy_from_slice(grad_fake.data());
             let grad_into_d_input = self.discriminator.backward(&grad_logits)?;
             // Discard D's parameter grads from this pass.

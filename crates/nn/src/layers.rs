@@ -137,13 +137,12 @@ impl Layer for Linear {
         let n = x.batch();
         let mut out = Tensor::zeros(vec![n, self.out_f]);
         for i in 0..n {
-            for o in 0..self.out_f {
-                let mut s = self.b[o];
-                for k in 0..self.in_f {
-                    s += self.w[o * self.in_f + k] * x.data()[i * self.in_f + k];
-                }
-                out.data_mut()[i * self.out_f + o] = s;
-            }
+            // gemv_bias seeds each output at the bias and accumulates in
+            // ascending-k order — bit-identical to the historical scalar
+            // loop this replaced.
+            let xi = &x.data()[i * self.in_f..(i + 1) * self.in_f];
+            let oi = &mut out.data_mut()[i * self.out_f..(i + 1) * self.out_f];
+            rcr_kernels::gemv_bias(self.out_f, self.in_f, &self.w, xi, &self.b, oi);
         }
         self.cache_x = Some(x.clone());
         Ok(out)
@@ -163,13 +162,19 @@ impl Layer for Linear {
         }
         let mut gx = Tensor::zeros(vec![n, self.in_f]);
         for i in 0..n {
+            let xi = &x.data()[i * self.in_f..(i + 1) * self.in_f];
             for o in 0..self.out_f {
                 let go = grad.data()[i * self.out_f + o];
                 self.gb[o] += go;
-                for k in 0..self.in_f {
-                    self.gw[o * self.in_f + k] += go * x.data()[i * self.in_f + k];
-                    gx.data_mut()[i * self.in_f + k] += go * self.w[o * self.in_f + k];
-                }
+                // The two axpy calls write disjoint buffers, so splitting
+                // the historical fused k-loop keeps every element's
+                // accumulation order unchanged.
+                rcr_kernels::axpy(go, xi, &mut self.gw[o * self.in_f..(o + 1) * self.in_f]);
+                rcr_kernels::axpy(
+                    go,
+                    &self.w[o * self.in_f..(o + 1) * self.in_f],
+                    &mut gx.data_mut()[i * self.in_f..(i + 1) * self.in_f],
+                );
             }
         }
         Ok(gx)

@@ -89,19 +89,25 @@ impl Tensor {
         self.shape.first().copied().unwrap_or(0)
     }
 
-    /// 4-D accessor `[n, c, h, w]` (debug-checked).
+    /// 4-D accessor `[n, c, h, w]`. Per-axis bounds are debug-checked;
+    /// release builds rely on the flat-index bound check alone (an
+    /// out-of-range coordinate that stays within the buffer wraps into a
+    /// neighbouring row only in release — the debug assertions exist to
+    /// catch exactly that class of bug in tests).
     #[inline]
     pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f64 {
         debug_assert_eq!(self.shape.len(), 4);
         let (_, ch, hh, ww) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
+        debug_assert!(n < self.shape[0] && c < ch && h < hh && w < ww);
         self.data[((n * ch + c) * hh + h) * ww + w]
     }
 
-    /// 4-D mutable accessor.
+    /// 4-D mutable accessor (same checking policy as [`Tensor::at4`]).
     #[inline]
     pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f64 {
         debug_assert_eq!(self.shape.len(), 4);
         let (_, ch, hh, ww) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
+        debug_assert!(n < self.shape[0] && c < ch && h < hh && w < ww);
         &mut self.data[((n * ch + c) * hh + h) * ww + w]
     }
 

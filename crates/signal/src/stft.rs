@@ -244,29 +244,46 @@ impl StftPlan {
             )));
         }
         let mut data = Vec::with_capacity(n_frames);
+        // Frame workspaces, reused across the whole analysis pass: the FFT
+        // input is re-zeroed per frame, and fully-in-range frames window
+        // through the fused multiply kernel before the phase scatter.
+        let mut buf = vec![Complex64::ZERO; m_size];
+        let mut windowed = vec![0.0; lg];
         for n in 0..n_frames {
             let start = self.frame_start(n);
-            let mut buf = vec![Complex64::ZERO; m_size];
-            for (l, &g) in self.window.iter().enumerate() {
-                let idx = start + l as i64;
-                let sample = match self.padding {
-                    PaddingMode::Circular => signal[idx.rem_euclid(len) as usize],
-                    PaddingMode::ZeroPad => {
-                        if idx >= 0 && idx < len {
-                            signal[idx as usize]
-                        } else {
-                            0.0
+            buf.fill(Complex64::ZERO);
+            if start >= 0 && start + lg as i64 <= len {
+                // Every padding mode is the identity on in-range indices,
+                // so the windowed products are a contiguous elementwise
+                // multiply (sample·g per element, same as the scalar loop).
+                let s = start as usize;
+                rcr_kernels::mul_into(&signal[s..s + lg], &self.window, &mut windowed);
+                for (l, &wg) in windowed.iter().enumerate() {
+                    let pos = self.phase_position(start, l);
+                    buf[pos] += Complex64::from_real(wg);
+                }
+            } else {
+                for (l, &g) in self.window.iter().enumerate() {
+                    let idx = start + l as i64;
+                    let sample = match self.padding {
+                        PaddingMode::Circular => signal[idx.rem_euclid(len) as usize],
+                        PaddingMode::ZeroPad => {
+                            if idx >= 0 && idx < len {
+                                signal[idx as usize]
+                            } else {
+                                0.0
+                            }
                         }
-                    }
-                    PaddingMode::Truncate => {
-                        // Truncate mode guarantees 0 <= idx < len for
-                        // causal alignment; centered frames may still poke
-                        // out on the left, fall back to clamping.
-                        signal[idx.clamp(0, len - 1) as usize]
-                    }
-                };
-                let pos = self.phase_position(start, l);
-                buf[pos] += Complex64::from_real(sample * g);
+                        PaddingMode::Truncate => {
+                            // Truncate mode guarantees 0 <= idx < len for
+                            // causal alignment; centered frames may still poke
+                            // out on the left, fall back to clamping.
+                            signal[idx.clamp(0, len - 1) as usize]
+                        }
+                    };
+                    let pos = self.phase_position(start, l);
+                    buf[pos] += Complex64::from_real(sample * g);
+                }
             }
             data.push(self.fft_plan.forward(&buf)?);
         }

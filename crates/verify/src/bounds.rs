@@ -9,6 +9,7 @@
 
 use crate::net::{validate_box, AffineReluNet};
 use crate::VerifyError;
+use rcr_kernels::Scratch;
 
 /// Per-layer interval bounds for one network and input box.
 #[derive(Debug, Clone)]
@@ -54,6 +55,18 @@ impl LayerBounds {
         let out = self.output();
         out.iter().map(|(lo, hi)| hi - lo).sum::<f64>() / out.len().max(1) as f64
     }
+
+    /// Returns the per-layer bound buffers to `scratch` so the next
+    /// propagation through [`interval_bounds_scratch`] can reuse them
+    /// instead of allocating. Branch-and-bound calls this once per node.
+    pub fn recycle(self, scratch: &mut Scratch) {
+        for buf in self.pre {
+            scratch.give_pairs(buf);
+        }
+        for buf in self.post {
+            scratch.give_pairs(buf);
+        }
+    }
 }
 
 /// Propagates interval bounds through the network.
@@ -85,6 +98,48 @@ pub fn interval_bounds_parallel(
     input_box: &[(f64, f64)],
     workers: usize,
 ) -> Result<LayerBounds, VerifyError> {
+    let mut scratch = Scratch::new();
+    interval_bounds_scratch(net, input_box, workers, &mut scratch)
+}
+
+/// One affine row of interval arithmetic: the tightest `(lo, hi)` of
+/// `bias + Σ row[c]·x[c]` over the box `cur`. Accumulation order matches
+/// the historical per-row loop exactly (increasing `c`, lo/hi interleaved).
+#[inline]
+fn ibp_row(row: &[f64], bias: f64, cur: &[(f64, f64)]) -> (f64, f64) {
+    let mut lo = bias;
+    let mut hi = bias;
+    for (&wv, &(xl, xh)) in row.iter().zip(cur) {
+        if wv >= 0.0 {
+            lo += wv * xl;
+            hi += wv * xh;
+        } else {
+            lo += wv * xh;
+            hi += wv * xl;
+        }
+    }
+    (lo, hi)
+}
+
+/// [`interval_bounds_parallel`] propagating through buffers checked out of
+/// `scratch` — the allocation-free form used per node by branch-and-bound.
+/// Pass the returned [`LayerBounds`] back via [`LayerBounds::recycle`] to
+/// keep the pool warm.
+///
+/// The per-layer row sweep writes results in place via
+/// `rcr_runtime::parallel_map_mut` chunks (no per-row index vector, no
+/// reassembly copy, no per-layer clones), and each row's accumulation
+/// order is unchanged, so results are bit-identical to the historical
+/// serial propagation for every worker count.
+///
+/// # Errors
+/// Same as [`interval_bounds`].
+pub fn interval_bounds_scratch(
+    net: &AffineReluNet,
+    input_box: &[(f64, f64)],
+    workers: usize,
+    scratch: &mut Scratch,
+) -> Result<LayerBounds, VerifyError> {
     validate_box(input_box)?;
     if input_box.len() != net.input_dim() {
         return Err(VerifyError::DimensionMismatch(format!(
@@ -93,37 +148,25 @@ pub fn interval_bounds_parallel(
             net.input_dim()
         )));
     }
-    let mut cur: Vec<(f64, f64)> = input_box.to_vec();
     let depth = net.depth();
-    let mut pre = Vec::with_capacity(depth);
-    let mut post = Vec::with_capacity(depth);
+    let mut pre: Vec<Vec<(f64, f64)>> = Vec::with_capacity(depth);
+    let mut post: Vec<Vec<(f64, f64)>> = Vec::with_capacity(depth);
     for (li, (w, b)) in net.layers().iter().enumerate() {
-        let rows: Vec<usize> = (0..w.rows()).collect();
-        let layer_pre: Vec<(f64, f64)> = rcr_runtime::parallel_map(&rows, workers, |_, &r| {
-            let mut lo = b[r];
-            let mut hi = b[r];
-            for c in 0..w.cols() {
-                let wv = w[(r, c)];
-                let (xl, xh) = cur[c];
-                if wv >= 0.0 {
-                    lo += wv * xl;
-                    hi += wv * xh;
-                } else {
-                    lo += wv * xh;
-                    hi += wv * xl;
-                }
+        let mut layer_pre = scratch.take_pairs(w.rows(), (0.0, 0.0));
+        {
+            let cur: &[(f64, f64)] = if li == 0 { input_box } else { &post[li - 1] };
+            rcr_runtime::parallel_map_mut(&mut layer_pre, workers, |r, slot| {
+                *slot = ibp_row(w.row(r), b[r], cur);
+            });
+        }
+        let mut layer_post = scratch.take_pairs(w.rows(), (0.0, 0.0));
+        if li + 1 < depth {
+            for (dst, &(lo, hi)) in layer_post.iter_mut().zip(&layer_pre) {
+                *dst = (lo.max(0.0), hi.max(0.0));
             }
-            (lo, hi)
-        });
-        let layer_post: Vec<(f64, f64)> = if li + 1 < depth {
-            layer_pre
-                .iter()
-                .map(|&(lo, hi)| (lo.max(0.0), hi.max(0.0)))
-                .collect()
         } else {
-            layer_pre.clone()
-        };
-        cur = layer_post.clone();
+            layer_post.copy_from_slice(&layer_pre);
+        }
         pre.push(layer_pre);
         post.push(layer_post);
     }

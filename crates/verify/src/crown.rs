@@ -12,6 +12,7 @@
 use crate::bounds::{interval_bounds, LayerBounds};
 use crate::net::{validate_box, AffineReluNet, Specification};
 use crate::VerifyError;
+use rcr_kernels::Scratch;
 
 /// Result of a CROWN bound computation.
 #[derive(Debug, Clone)]
@@ -38,11 +39,72 @@ pub fn crown_lower_with_bounds(
     spec: &Specification,
     bounds: &LayerBounds,
 ) -> Result<CrownBound, VerifyError> {
+    let mut scratch = Scratch::new();
+    crown_lower_with_bounds_scratch(net, input_box, spec, bounds, &mut scratch)
+}
+
+/// [`crown_lower_with_bounds`] propagating the backward state through
+/// buffers checked out of `scratch`. The intermediate coefficient vectors
+/// ping-pong through the pool; only the returned
+/// [`CrownBound::input_coeffs`] vector permanently leaves it. For a fully
+/// allocation-free bound (the branch-and-bound hot path), use
+/// [`crown_lower_value_scratch`].
+///
+/// # Errors
+/// Same as [`crown_lower_with_bounds`].
+pub fn crown_lower_with_bounds_scratch(
+    net: &AffineReluNet,
+    input_box: &[(f64, f64)],
+    spec: &Specification,
+    bounds: &LayerBounds,
+    scratch: &mut Scratch,
+) -> Result<CrownBound, VerifyError> {
+    let (lower, constant, input_coeffs) =
+        crown_backward(net, input_box, &spec.c, spec.offset, bounds, scratch)?;
+    Ok(CrownBound {
+        lower,
+        input_coeffs,
+        constant,
+    })
+}
+
+/// The lower bound of [`crown_lower_with_bounds_scratch`] alone, with
+/// every intermediate buffer returned to `scratch` — zero allocations once
+/// the pool is warm. Branch-and-bound calls this once per node.
+///
+/// # Errors
+/// Same as [`crown_lower_with_bounds`].
+pub fn crown_lower_value_scratch(
+    net: &AffineReluNet,
+    input_box: &[(f64, f64)],
+    spec: &Specification,
+    bounds: &LayerBounds,
+    scratch: &mut Scratch,
+) -> Result<f64, VerifyError> {
+    let (lower, _, coeffs) = crown_backward(net, input_box, &spec.c, spec.offset, bounds, scratch)?;
+    scratch.give_f64(coeffs);
+    Ok(lower)
+}
+
+/// Slice-level backward pass shared by the public CROWN entry points:
+/// returns `(lower, constant, input_coeffs)` with `input_coeffs` checked
+/// out of `scratch` (the caller owns it and decides whether to recycle).
+/// Accumulation orders are exactly those of the historical implementation:
+/// the bias dot is a sequential `.sum()`-seeded fold and the `aᵀW` row
+/// combination keeps the increasing-`r` order with the `ar == 0.0` skip.
+fn crown_backward(
+    net: &AffineReluNet,
+    input_box: &[(f64, f64)],
+    spec_c: &[f64],
+    spec_offset: f64,
+    bounds: &LayerBounds,
+    scratch: &mut Scratch,
+) -> Result<(f64, f64, Vec<f64>), VerifyError> {
     validate_box(input_box)?;
-    if spec.c.len() != net.output_dim() {
+    if spec_c.len() != net.output_dim() {
         return Err(VerifyError::DimensionMismatch(format!(
             "spec has {} coefficients, network emits {}",
-            spec.c.len(),
+            spec_c.len(),
             net.output_dim()
         )));
     }
@@ -57,8 +119,9 @@ pub fn crown_lower_with_bounds(
     let depth = net.depth();
     // Backward state: spec ≥ a·h + c where h is the post-activation of
     // layer `li` (initially the output itself).
-    let mut a: Vec<f64> = spec.c.clone();
-    let mut c = spec.offset;
+    let mut a = scratch.take_f64(spec_c.len(), 0.0);
+    a.copy_from_slice(spec_c);
+    let mut c = spec_offset;
 
     for li in (0..depth).rev() {
         let (w, b) = &net.layers()[li];
@@ -66,9 +129,6 @@ pub fn crown_lower_with_bounds(
         // z = W h_prev + b, and (except the last layer) h = ReLU(z).
         // `a` currently multiplies h(li)-post; first undo the ReLU (if
         // any), turning it into a function of z(li).
-        if li + 1 < depth || depth == 1 {
-            // NOTE: the last layer has no ReLU; for li == depth-1 skip.
-        }
         if li + 1 < depth {
             // a·h with h = ReLU(z): relax each unstable coordinate.
             let pre = &bounds.pre_activation()[li];
@@ -92,17 +152,15 @@ pub fn crown_lower_with_bounds(
         }
         // Now through the affine map z = W h_prev + b:
         // a·z + c = (aᵀW)·h_prev + a·b + c.
-        c += a.iter().zip(b).map(|(ai, bi)| ai * bi).sum::<f64>();
-        let mut new_a = vec![0.0; w.cols()];
+        c += rcr_kernels::dot(&a, b);
+        let mut new_a = scratch.take_f64(w.cols(), 0.0);
         for (r, ar) in a.iter().enumerate() {
             if *ar == 0.0 {
                 continue;
             }
-            for (cc, na) in new_a.iter_mut().enumerate() {
-                *na += ar * w[(r, cc)];
-            }
+            rcr_kernels::axpy(*ar, w.row(r), &mut new_a);
         }
-        a = new_a;
+        scratch.give_f64(std::mem::replace(&mut a, new_a));
     }
 
     // Concretize over the input box.
@@ -110,11 +168,7 @@ pub fn crown_lower_with_bounds(
     for (ai, &(lo, hi)) in a.iter().zip(input_box) {
         lower += if *ai >= 0.0 { ai * lo } else { ai * hi };
     }
-    Ok(CrownBound {
-        lower,
-        input_coeffs: a,
-        constant: c,
-    })
+    Ok((lower, c, a))
 }
 
 /// Computes a CROWN lower bound, deriving interval bounds internally.
@@ -161,25 +215,21 @@ pub fn crown_output_bounds_parallel(
     let m = net.output_dim();
     let outputs: Vec<usize> = (0..m).collect();
     let per_output = rcr_runtime::parallel_map(&outputs, workers, |_, &j| {
-        let mut c = vec![0.0; m];
-        c[j] = 1.0;
-        let lo = crown_lower_with_bounds(
-            net,
-            input_box,
-            &Specification {
-                c: c.clone(),
-                offset: 0.0,
-            },
-            &bounds,
-        )?
-        .lower;
-        for v in &mut c {
-            *v = -*v;
-        }
-        let hi =
-            -crown_lower_with_bounds(net, input_box, &Specification { c, offset: 0.0 }, &bounds)?
-                .lower;
-        Ok::<(f64, f64), VerifyError>((lo, hi))
+        // Both ±e_j backward passes run through this worker thread's
+        // scratch pool: after the first output, no allocations remain.
+        crate::with_scratch(|scratch| {
+            let mut c = scratch.take_f64(m, 0.0);
+            c[j] = 1.0;
+            let (lo, _, coeffs) = crown_backward(net, input_box, &c, 0.0, &bounds, scratch)?;
+            scratch.give_f64(coeffs);
+            for v in &mut c {
+                *v = -*v;
+            }
+            let (neg_hi, _, coeffs) = crown_backward(net, input_box, &c, 0.0, &bounds, scratch)?;
+            scratch.give_f64(coeffs);
+            scratch.give_f64(c);
+            Ok::<(f64, f64), VerifyError>((lo, -neg_hi))
+        })
     });
     per_output.into_iter().collect()
 }

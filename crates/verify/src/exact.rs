@@ -10,27 +10,73 @@
 //! concrete center/corner evaluations, and terminates with an exact
 //! verdict up to the requested gap `epsilon`.
 
-use crate::bounds::interval_bounds;
-use crate::crown::crown_lower_with_bounds;
+use crate::bounds::interval_bounds_scratch;
+use crate::crown::crown_lower_value_scratch;
 use crate::net::{validate_box, AffineReluNet, Specification};
-use crate::VerifyError;
+use crate::{Scratch, VerifyError};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Node bound: the tighter of the CROWN linear relaxation and the plain
 /// IBP interval bound (neither dominates the other in general).
+///
+/// Every buffer — the per-layer interval bounds and the CROWN backward
+/// state — cycles through the calling thread's scratch pool, so
+/// re-verifying a branch-and-bound node is allocation-free once the pool
+/// is warm.
 fn node_bound(
     net: &AffineReluNet,
     domain: &[(f64, f64)],
     spec: &Specification,
 ) -> Result<f64, VerifyError> {
-    let ib = interval_bounds(net, domain)?;
-    let cb = crown_lower_with_bounds(net, domain, spec, &ib)?;
-    let mut ibp_spec = spec.offset;
-    for (ci, &(lo, hi)) in spec.c.iter().zip(ib.output()) {
-        ibp_spec += if *ci >= 0.0 { ci * lo } else { ci * hi };
+    crate::with_scratch(|scratch| {
+        let ib = interval_bounds_scratch(net, domain, 1, scratch)?;
+        let cb_lower = crown_lower_value_scratch(net, domain, spec, &ib, scratch)?;
+        let mut ibp_spec = spec.offset;
+        for (ci, &(lo, hi)) in spec.c.iter().zip(ib.output()) {
+            ibp_spec += if *ci >= 0.0 { ci * lo } else { ci * hi };
+        }
+        ib.recycle(scratch);
+        Ok(cb_lower.max(ibp_spec))
+    })
+}
+
+/// Margin `spec(net(x))` evaluated through scratch buffers: the forward
+/// pass ping-pongs two pooled activation vectors and the final
+/// specification dot keeps the `.sum()` fold, so the value is bit-identical
+/// to `spec.eval(&net.eval(x)?)` without its per-layer allocations.
+fn eval_margin_scratch(
+    net: &AffineReluNet,
+    spec: &Specification,
+    x: &[f64],
+    scratch: &mut Scratch,
+) -> Result<f64, VerifyError> {
+    if x.len() != net.input_dim() {
+        return Err(VerifyError::DimensionMismatch(format!(
+            "input has {} entries, expected {}",
+            x.len(),
+            net.input_dim()
+        )));
     }
-    Ok(cb.lower.max(ibp_spec))
+    let mut cur = scratch.take_f64(x.len(), 0.0);
+    cur.copy_from_slice(x);
+    let depth = net.depth();
+    for (i, (w, b)) in net.layers().iter().enumerate() {
+        let mut z = scratch.take_f64(w.rows(), 0.0);
+        rcr_kernels::gemv(w.rows(), w.cols(), w.as_slice(), &cur, &mut z);
+        for (zi, bi) in z.iter_mut().zip(b) {
+            *zi += bi;
+        }
+        if i + 1 < depth {
+            for zi in &mut z {
+                *zi = zi.max(0.0);
+            }
+        }
+        scratch.give_f64(std::mem::replace(&mut cur, z));
+    }
+    let margin = rcr_kernels::dot(&spec.c, &cur) + spec.offset;
+    scratch.give_f64(cur);
+    Ok(margin)
 }
 
 /// Verdict of a complete verification run.
@@ -155,26 +201,41 @@ pub fn verify_complete(
         ));
     }
 
-    let eval_margin = |x: &[f64]| -> Result<f64, VerifyError> { Ok(spec.eval(&net.eval(x)?)) };
-
-    // Concrete probes: center and corners (corners capped at 2^10).
+    // Concrete probes: center and corners (corners capped at 2^10). One
+    // pooled point buffer is rewritten per candidate; only the winning
+    // probe point is materialised as an owned witness vector.
     let probe = |domain: &[(f64, f64)]| -> Result<(f64, Vec<f64>), VerifyError> {
-        let center: Vec<f64> = domain.iter().map(|&(l, h)| 0.5 * (l + h)).collect();
-        let mut best = (eval_margin(&center)?, center);
-        if domain.len() <= 10 {
-            for mask in 0..(1usize << domain.len()) {
-                let corner: Vec<f64> = domain
+        crate::with_scratch(|scratch| {
+            let mut x = scratch.take_f64(domain.len(), 0.0);
+            for (xi, &(l, h)) in x.iter_mut().zip(domain) {
+                *xi = 0.5 * (l + h);
+            }
+            let mut best_margin = eval_margin_scratch(net, spec, &x, scratch)?;
+            // `None` marks the center as the incumbent probe point.
+            let mut best_mask: Option<usize> = None;
+            if domain.len() <= 10 {
+                for mask in 0..(1usize << domain.len()) {
+                    for (i, (xi, &(l, h))) in x.iter_mut().zip(domain).enumerate() {
+                        *xi = if mask >> i & 1 == 1 { h } else { l };
+                    }
+                    let m = eval_margin_scratch(net, spec, &x, scratch)?;
+                    if m < best_margin {
+                        best_margin = m;
+                        best_mask = Some(mask);
+                    }
+                }
+            }
+            scratch.give_f64(x);
+            let witness: Vec<f64> = match best_mask {
+                None => domain.iter().map(|&(l, h)| 0.5 * (l + h)).collect(),
+                Some(mask) => domain
                     .iter()
                     .enumerate()
                     .map(|(i, &(l, h))| if mask >> i & 1 == 1 { h } else { l })
-                    .collect();
-                let m = eval_margin(&corner)?;
-                if m < best.0 {
-                    best = (m, corner);
-                }
-            }
-        }
-        Ok(best)
+                    .collect(),
+            };
+            Ok((best_margin, witness))
+        })
     };
 
     let root_lower = node_bound(net, input_box, spec)?;

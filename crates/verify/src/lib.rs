@@ -51,3 +51,23 @@ pub mod net;
 mod error;
 
 pub use error::VerifyError;
+/// Re-export of the workspace scratch pool so callers of the
+/// `*_scratch` verifier entry points need not depend on `rcr-kernels`
+/// directly.
+pub use rcr_kernels::Scratch;
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread verifier scratch pool. Worker threads of the parallel
+    /// entry points (and the branch-and-bound node loop) each warm their
+    /// own pool once and then propagate bounds allocation-free.
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Runs `f` with this thread's scratch pool. Callees must take the pool as
+/// a parameter rather than re-entering `with_scratch` (the `RefCell` is
+/// already mutably borrowed for the duration of `f`).
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
 # The CI gate: release build, complete test suite, formatting, lints.
-# Usage: scripts/verify.sh [--quick]
-#   --quick  build + tests only (skips rcr-lint, fmt, clippy, and bench compilation)
+# Usage: scripts/verify.sh [--quick] [--bench-smoke]
+#   --quick        build + tests only (skips rcr-lint, fmt, clippy, and bench compilation)
+#   --bench-smoke  also run the benchmark suite in smoke mode and diff the
+#                  results against the committed BENCH_5.json baseline
+#                  (wall-time regressions beyond 25% of the host factor,
+#                  allocation-count drift, and the pinned blocked-GEMM
+#                  speedup / scratch-path allocation reductions all fail)
 set -eu
 cd "$(dirname "$0")/.."
 
 quick=0
+bench_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --quick) quick=1 ;;
+    --bench-smoke) bench_smoke=1 ;;
     *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -37,5 +44,29 @@ cargo fmt --check
 
 echo "== cargo clippy (warnings are errors) ==" >&2
 cargo clippy --workspace --benches -- -D warnings
+
+if [ "$bench_smoke" -eq 1 ]; then
+  echo "== bench smoke + regression gate (vs BENCH_5.json) ==" >&2
+  # Cargo runs bench binaries with the package directory as CWD, so the
+  # JSON path must be absolute to land in the workspace target/.
+  bench_json="$(pwd)/target/bench_current.json"
+  # One retry: the gate compares fastest samples, but on a shared host a
+  # sustained contention phase can degrade a whole smoke run. A genuine
+  # regression fails both attempts; a noise phase rarely spans two.
+  gate_ok=0
+  for attempt in 1 2; do
+    cargo bench -p rcr-bench --bench bench_kernels --features alloc-count -- \
+      --smoke --save-json "$bench_json"
+    if cargo run -q -p rcr-bench --bin bench_gate -- "$bench_json" BENCH_5.json; then
+      gate_ok=1
+      break
+    fi
+    echo "verify.sh: bench gate attempt $attempt failed" >&2
+  done
+  if [ "$gate_ok" -ne 1 ]; then
+    echo "verify.sh: bench regression gate failed on both attempts" >&2
+    exit 1
+  fi
+fi
 
 echo "verify.sh: all gates passed" >&2

@@ -1,0 +1,55 @@
+//! Feature-gated counting allocator (`--features alloc-count`).
+//!
+//! Wraps [`std::alloc::System`] and bumps a relaxed atomic on every
+//! allocation event (`alloc`, `alloc_zeroed`, `realloc`). Deallocation is
+//! not counted: the benchmarks care about "how many times did this
+//! routine hit the allocator", and every dealloc is paired with a counted
+//! alloc anyway. The counter is process-global, so multi-threaded
+//! routines fold their workers' allocations into the same total.
+//!
+//! This module is the only `unsafe` code in the shim, and it only exists
+//! when the `alloc-count` feature is enabled (the crate root downgrades
+//! `forbid(unsafe_code)` to `deny` + this one `allow` in that
+//! configuration).
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Allocation events since process start.
+pub fn events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+/// System-allocator wrapper that counts allocation events.
+pub struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter increment has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
