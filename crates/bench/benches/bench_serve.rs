@@ -55,7 +55,7 @@ fn bench_service(c: &mut Criterion) {
     for &workers in &[1usize, 2, 4] {
         // One long-lived service per worker count; each iteration pushes
         // the full trace through it, mirroring steady-state operation.
-        let service = Service::spawn(config(workers));
+        let service = Service::spawn(config(workers)).expect("valid policy");
         group.bench_with_input(BenchmarkId::new("trace96", workers), &workers, |b, _| {
             b.iter(|| drain_trace(&service))
         });
@@ -65,7 +65,7 @@ fn bench_service(c: &mut Criterion) {
 
     // Untimed reporting pass: throughput and service-side p99.
     for &workers in &[1usize, 2, 4] {
-        let service = Service::spawn(config(workers));
+        let service = Service::spawn(config(workers)).expect("valid policy");
         let start = Instant::now();
         drain_trace(&service);
         let wall = start.elapsed();

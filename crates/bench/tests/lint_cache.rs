@@ -3,7 +3,7 @@
 //! (every file a miss), and the hit/miss accounting must be exact.
 
 use rcr_lint::{lint_workspace_with, Options, Report};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 fn workspace_root() -> PathBuf {
@@ -14,7 +14,7 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn timed_run(root: &PathBuf, opts: &Options) -> (Duration, Report) {
+fn timed_run(root: &Path, opts: &Options) -> (Duration, Report) {
     let start = Instant::now();
     let report = lint_workspace_with(root, opts).expect("lint run");
     (start.elapsed(), report)

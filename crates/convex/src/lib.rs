@@ -20,6 +20,10 @@
 //! * [`envelope`] — convex under-estimators and concave over-estimators
 //!   (convex/concave envelopes, McCormick bilinear relaxation) used by the
 //!   MINLP branch-and-bound.
+//! * [`warm`] — a warm-start and solution-reuse cache for the three
+//!   solver families above: fingerprints instances, keeps a bounded
+//!   deterministic LRU of prior solutions and factorizations, and
+//!   re-solves drifting instances in a handful of iterations.
 //!
 //! # Example
 //!
@@ -50,5 +54,6 @@ pub mod quasi_newton;
 pub mod rankmin;
 pub mod sdp;
 pub mod trust_region;
+pub mod warm;
 
 pub use error::ConvexError;

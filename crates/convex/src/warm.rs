@@ -1,0 +1,1097 @@
+//! Warm-start and solution-reuse layer for the convex solvers.
+//!
+//! At production scale most solve requests are near-duplicates: the same
+//! cell resolved every scheduling interval with a slowly drifting channel.
+//! This module exploits that redundancy. A [`WarmCache`] fingerprints each
+//! problem instance — a *structural* hash of the dimensions and sparsity
+//! patterns plus a *quantized coefficient digest* that tolerates small
+//! drift — and keeps a bounded, deterministic LRU of prior solutions and
+//! reusable factorizations per solver family:
+//!
+//! * **ADMM-QP** ([`crate::qp`]): seeds `x`/`y`/`z` from the nearest
+//!   cached solution and reuses the condensed KKT Cholesky whenever
+//!   `(P, A, ρ, σ)` are bit-identical; a rank-one channel perturbation
+//!   takes the O(n²) [`rcr_linalg::Cholesky::rank_one_update`] path
+//!   instead of the O(n³) refactorize.
+//! * **Interior-point QCQP** ([`crate::qcqp`]): seeds the primal from the
+//!   cached solution (in the barrier method a strictly feasible primal is
+//!   a centered-slack seed) and restarts the barrier parameter near the
+//!   previous solve's final `t`, skipping phase-I and most of the outer
+//!   homotopy.
+//! * **Conic-ADMM SDP** ([`crate::sdp`]): seeds the cone-side iterate `Z`
+//!   and the scaled dual `U`, and reuses the affine-projection Gram
+//!   Cholesky when the constraint matrices are bit-identical.
+//!
+//! Warm solves run to the *same* stopping tolerance as cold solves — the
+//! layer trades iterations, never accuracy. Every lookup, update and
+//! eviction is deterministic (ordered maps, an explicit recency clock, no
+//! hash-iteration order), so a fixed request trace produces bit-identical
+//! results at any cache size and regardless of when entries were evicted.
+
+use crate::qcqp::{QcqpProblem, QcqpSettings, QcqpSolution};
+use crate::qp::{QpProblem, QpSettings, QpSolution, QpWarmStart};
+use crate::sdp::{SdpProblem, SdpSettings, SdpSolution};
+use crate::ConvexError;
+use rcr_linalg::{Cholesky, Matrix};
+use std::collections::BTreeMap;
+
+/// Default number of cached entries per solver family.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Counters describing how the cache has been used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStats {
+    /// Lookups that found a structurally matching entry to warm-start from.
+    pub hits: u64,
+    /// Lookups that found nothing and solved cold.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Hits that additionally reused a cached factorization verbatim.
+    pub factorization_reuses: u64,
+    /// Factorizations refreshed by a rank-one update instead of a
+    /// refactorize.
+    pub rank_one_updates: u64,
+}
+
+/// What the cache did for one solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmReport {
+    /// A cached entry seeded the iteration.
+    pub hit: bool,
+    /// The entry's digest matched the instance exactly (no drift since it
+    /// was stored).
+    pub exact: bool,
+    /// A cached factorization was reused verbatim.
+    pub factorization_reused: bool,
+    /// The factorization was refreshed by a rank-one update.
+    pub rank_one_updated: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprinting
+// ---------------------------------------------------------------------------
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Running hash accumulator (splitmix64 compression per word).
+#[derive(Debug, Clone, Copy)]
+struct Hasher(u64);
+
+impl Hasher {
+    fn new(seed: u64) -> Self {
+        Hasher(splitmix64(seed))
+    }
+    fn word(&mut self, v: u64) {
+        self.0 = splitmix64(self.0 ^ v);
+    }
+    fn usize(&mut self, v: usize) {
+        self.word(v as u64);
+    }
+    /// Exact bit pattern of a float (normalizing -0.0 to 0.0 so equal
+    /// values always hash equally).
+    fn f64_exact(&mut self, v: f64) {
+        self.word((v + 0.0).to_bits());
+    }
+    /// Coarse quantization: sign, exponent and the top 5 mantissa bits
+    /// (~3% relative precision), so a slowly drifting coefficient keeps
+    /// its digest until the drift accumulates.
+    fn f64_quantized(&mut self, v: f64) {
+        self.word((v + 0.0).to_bits() >> 47);
+    }
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_matrix_structure(h: &mut Hasher, m: &Matrix) {
+    h.usize(m.rows());
+    h.usize(m.cols());
+    // Sparsity pattern packed 64 entries per word.
+    let mut word = 0u64;
+    let mut bit = 0u32;
+    for v in m.as_slice() {
+        if *v != 0.0 {
+            word |= 1 << bit;
+        }
+        bit += 1;
+        if bit == 64 {
+            h.word(word);
+            word = 0;
+            bit = 0;
+        }
+    }
+    if bit > 0 {
+        h.word(word);
+    }
+}
+
+fn hash_matrix_quantized(h: &mut Hasher, m: &Matrix) {
+    for v in m.as_slice() {
+        h.f64_quantized(*v);
+    }
+}
+
+fn hash_matrix_exact(h: &mut Hasher, m: &Matrix) {
+    h.usize(m.rows());
+    h.usize(m.cols());
+    for v in m.as_slice() {
+        h.f64_exact(*v);
+    }
+}
+
+fn hash_slice_quantized(h: &mut Hasher, s: &[f64]) {
+    h.usize(s.len());
+    for v in s {
+        h.f64_quantized(*v);
+    }
+}
+
+/// Combined key: structural hash in the high 64 bits (so all digests of
+/// one structure are contiguous under the ordered map), digest in the low.
+fn key_of(structural: u64, digest: u64) -> u128 {
+    (u128::from(structural) << 64) | u128::from(digest)
+}
+
+fn structure_range(structural: u64) -> std::ops::RangeInclusive<u128> {
+    key_of(structural, 0)..=key_of(structural, u64::MAX)
+}
+
+fn fingerprint_qp(p: &QpProblem) -> u128 {
+    let mut s = Hasher::new(0x51_70);
+    s.usize(p.num_vars());
+    s.usize(p.num_constraints());
+    hash_matrix_structure(&mut s, p.p());
+    hash_matrix_structure(&mut s, p.a());
+    let mut d = Hasher::new(0xD1_6E);
+    hash_matrix_quantized(&mut d, p.p());
+    hash_matrix_quantized(&mut d, p.a());
+    hash_slice_quantized(&mut d, p.q());
+    hash_slice_quantized(&mut d, p.l());
+    hash_slice_quantized(&mut d, p.u());
+    key_of(s.finish(), d.finish())
+}
+
+fn exact_hash_qp_pa(p: &QpProblem) -> u64 {
+    let mut h = Hasher::new(0xEC_AC);
+    hash_matrix_exact(&mut h, p.p());
+    hash_matrix_exact(&mut h, p.a());
+    h.finish()
+}
+
+fn fingerprint_qcqp(p: &QcqpProblem) -> u128 {
+    let mut s = Hasher::new(0x9C_97);
+    s.usize(p.num_vars());
+    s.usize(p.num_constraints());
+    hash_matrix_structure(&mut s, &p.objective().p);
+    for c in p.constraints() {
+        hash_matrix_structure(&mut s, &c.p);
+    }
+    if let Some((a, b)) = p.equality() {
+        hash_matrix_structure(&mut s, a);
+        s.usize(b.len());
+    }
+    let mut d = Hasher::new(0xD9_C9);
+    let forms = std::iter::once(p.objective()).chain(p.constraints().iter());
+    for f in forms {
+        hash_matrix_quantized(&mut d, &f.p);
+        hash_slice_quantized(&mut d, &f.q);
+        d.f64_quantized(f.r);
+    }
+    if let Some((a, b)) = p.equality() {
+        hash_matrix_quantized(&mut d, a);
+        hash_slice_quantized(&mut d, b);
+    }
+    key_of(s.finish(), d.finish())
+}
+
+fn fingerprint_sdp(p: &SdpProblem) -> u128 {
+    let mut s = Hasher::new(0x5D_90);
+    s.usize(p.dim());
+    s.usize(p.num_constraints());
+    hash_matrix_structure(&mut s, p.c());
+    for (a, _) in p.constraints() {
+        hash_matrix_structure(&mut s, a);
+    }
+    let mut d = Hasher::new(0xDD_5D);
+    hash_matrix_quantized(&mut d, p.c());
+    for (a, b) in p.constraints() {
+        hash_matrix_quantized(&mut d, a);
+        d.f64_quantized(*b);
+    }
+    key_of(s.finish(), d.finish())
+}
+
+fn exact_hash_sdp_constraints(p: &SdpProblem) -> u64 {
+    let mut h = Hasher::new(0xEC_5D);
+    for (a, _) in p.constraints() {
+        hash_matrix_exact(&mut h, a);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// The LRU store
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    last_used: u64,
+    entry: T,
+}
+
+/// A bounded, fully deterministic LRU: an ordered map plus an explicit
+/// recency clock. Eviction removes the entry with the smallest
+/// `(last_used, key)` — no hash-iteration order anywhere, so two runs
+/// that perform the same operations hold byte-identical cache states.
+#[derive(Debug, Clone)]
+struct Lru<T> {
+    map: BTreeMap<u128, Slot<T>>,
+    capacity: usize,
+}
+
+impl<T> Lru<T> {
+    fn new(capacity: usize) -> Self {
+        Lru {
+            map: BTreeMap::new(),
+            capacity,
+        }
+    }
+
+    /// The best entry for `structural`: an exact digest match when
+    /// present, otherwise the most recently used entry of the same
+    /// structure ("nearest" in the drifting-trace sense). Returns the
+    /// full key and whether the match was exact.
+    fn lookup(&self, key: u128, structural_lo: u128, structural_hi: u128) -> Option<(u128, bool)> {
+        if self.map.contains_key(&key) {
+            return Some((key, true));
+        }
+        self.map
+            .range(structural_lo..=structural_hi)
+            .max_by_key(|(k, slot)| (slot.last_used, **k))
+            .map(|(k, _)| (*k, false))
+    }
+
+    fn touch(&mut self, key: u128, clock: u64) -> Option<&mut T> {
+        self.map.get_mut(&key).map(|slot| {
+            slot.last_used = clock;
+            &mut slot.entry
+        })
+    }
+
+    /// Inserts (or replaces) `key`, evicting the LRU entry if the
+    /// capacity bound is exceeded. Returns the number of evictions.
+    fn insert(&mut self, key: u128, entry: T, clock: u64) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.map.insert(
+            key,
+            Slot {
+                last_used: clock,
+                entry,
+            },
+        );
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(k, slot)| (slot.last_used, **k))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.map.remove(&k);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Moves an entry to a new key (the digest changed after a re-solve),
+    /// preserving its recency.
+    fn rekey(&mut self, old: u128, new: u128) {
+        if old != new {
+            if let Some(slot) = self.map.remove(&old) {
+                self.map.insert(new, slot);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-family cache entries
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct QpEntry {
+    warm: QpWarmStart,
+    kkt: Cholesky,
+    /// Bit-exact hash of `(P, A)` the factorization was computed for.
+    exact_pa: u64,
+    rho: f64,
+    sigma: f64,
+}
+
+#[derive(Debug, Clone)]
+struct QcqpEntry {
+    x: Vec<f64>,
+    /// Final barrier parameter of the previous solve (`m / gap_bound`).
+    t_final: f64,
+}
+
+#[derive(Debug, Clone)]
+struct SdpEntry {
+    z: Matrix,
+    u: Matrix,
+    gram: Option<Cholesky>,
+    /// Bit-exact hash of the constraint matrices the Gram factor is for.
+    exact_a: u64,
+}
+
+// ---------------------------------------------------------------------------
+// The cache
+// ---------------------------------------------------------------------------
+
+/// A warm-start and solution-reuse cache over the three solver families.
+///
+/// Not thread-safe by design — wrap per worker or shard externally (the
+/// serve layer does the latter), which is also what keeps parallel runs
+/// bit-identical to serial ones.
+///
+/// # Example
+/// ```
+/// use rcr_convex::qp::{QpProblem, QpSettings};
+/// use rcr_convex::warm::WarmCache;
+/// use rcr_linalg::Matrix;
+///
+/// # fn main() -> Result<(), rcr_convex::ConvexError> {
+/// let mut cache = WarmCache::new(16);
+/// let s = QpSettings::default();
+/// let prob = QpProblem::new(
+///     Matrix::identity(2),
+///     vec![-1.0, -1.0],
+///     Matrix::identity(2),
+///     vec![0.0, 0.0],
+///     vec![0.5, 0.5],
+/// )?;
+/// let (cold, r0) = cache.solve_qp(&prob, &s)?;
+/// let (warm, r1) = cache.solve_qp(&prob, &s)?;
+/// assert!(!r0.hit && r1.hit && r1.factorization_reused);
+/// assert!((cold.objective - warm.objective).abs() < 1e-6);
+/// assert!(warm.iterations <= cold.iterations);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WarmCache {
+    clock: u64,
+    qp: Lru<QpEntry>,
+    qcqp: Lru<QcqpEntry>,
+    sdp: Lru<SdpEntry>,
+    stats: WarmStats,
+}
+
+impl Default for WarmCache {
+    fn default() -> Self {
+        WarmCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl WarmCache {
+    /// Creates a cache holding at most `capacity` entries *per solver
+    /// family* (a capacity of 0 disables caching but still solves).
+    pub fn new(capacity: usize) -> Self {
+        WarmCache {
+            clock: 0,
+            qp: Lru::new(capacity),
+            qcqp: Lru::new(capacity),
+            sdp: Lru::new(capacity),
+            stats: WarmStats::default(),
+        }
+    }
+
+    /// Usage counters so far.
+    pub fn stats(&self) -> WarmStats {
+        self.stats
+    }
+
+    /// Entries currently held, summed over the solver families.
+    pub fn len(&self) -> usize {
+        self.qp.map.len() + self.qcqp.map.len() + self.sdp.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    // -- QP -----------------------------------------------------------------
+
+    /// Solves a QP, warm-starting from (and updating) the cache.
+    ///
+    /// The solution satisfies the same stopping tolerance as a cold
+    /// [`QpProblem::solve`]. A hit seeds `x`/`y`/`z` from the nearest
+    /// cached entry; when `(P, A)` and the penalty parameters are
+    /// bit-identical to the cached factorization's, the KKT Cholesky is
+    /// reused too and the solve performs no factorization at all.
+    ///
+    /// # Errors
+    /// Those of [`QpProblem::solve`]; a failing warm seed falls back to a
+    /// cold solve before any error is reported.
+    pub fn solve_qp(
+        &mut self,
+        problem: &QpProblem,
+        settings: &QpSettings,
+    ) -> Result<(QpSolution, WarmReport), ConvexError> {
+        let key = fingerprint_qp(problem);
+        let structural = (key >> 64) as u64;
+        let exact_pa = exact_hash_qp_pa(problem);
+        let clock = self.tick();
+        let mut report = WarmReport::default();
+
+        let found = self.qp.lookup(
+            key,
+            *structure_range(structural).start(),
+            *structure_range(structural).end(),
+        );
+        if let Some((hit_key, exact)) = found {
+            report.hit = true;
+            report.exact = exact;
+            self.stats.hits += 1;
+            // Borrow the entry immutably via a clone of the small parts we
+            // need; the factor itself is only cloned on the rank-one path.
+            let (warm, factor_ok) = {
+                // Entry exists: lookup returned its key.
+                let Some(entry) = self.qp.touch(hit_key, clock) else {
+                    return Err(ConvexError::InvalidParameter(
+                        "warm cache entry vanished (internal invariant)".into(),
+                    ));
+                };
+                let factor_ok = entry.exact_pa == exact_pa
+                    && entry.rho.to_bits() == settings.rho.to_bits()
+                    && entry.sigma.to_bits() == settings.sigma.to_bits();
+                (entry.warm.clone(), factor_ok)
+            };
+            if factor_ok {
+                self.stats.factorization_reuses += 1;
+                report.factorization_reused = true;
+                // Split borrow: clone nothing, solve against the stored factor.
+                let sol = {
+                    let Some(entry) = self.qp.touch(hit_key, clock) else {
+                        return Err(ConvexError::InvalidParameter(
+                            "warm cache entry vanished (internal invariant)".into(),
+                        ));
+                    };
+                    match problem.solve_with(settings, Some(&warm), Some(&entry.kkt)) {
+                        Ok(sol) => sol,
+                        // A stale seed (large drift) can stall; retry cold
+                        // with the same factorization before giving up.
+                        Err(ConvexError::NonConvergence { .. }) => {
+                            problem.solve_with(settings, None, Some(&entry.kkt))?
+                        }
+                        Err(e) => return Err(e),
+                    }
+                };
+                self.store_qp(hit_key, key, &sol, problem, None, exact_pa, settings)?;
+                return Ok((sol, report));
+            }
+            // Coefficients of (P, A) drifted: refactorize, keep the seed.
+            let factor = problem.kkt_factor(settings.rho, settings.sigma)?;
+            let sol = match problem.solve_with(settings, Some(&warm), Some(&factor)) {
+                Ok(sol) => sol,
+                Err(ConvexError::NonConvergence { .. }) => {
+                    problem.solve_with(settings, None, Some(&factor))?
+                }
+                Err(e) => return Err(e),
+            };
+            self.store_qp(
+                hit_key,
+                key,
+                &sol,
+                problem,
+                Some(factor),
+                exact_pa,
+                settings,
+            )?;
+            return Ok((sol, report));
+        }
+
+        // Miss: cold solve, then populate.
+        self.stats.misses += 1;
+        let factor = problem.kkt_factor(settings.rho, settings.sigma)?;
+        let sol = problem.solve_with(settings, None, Some(&factor))?;
+        let warm = QpWarmStart::from_solution(problem, &sol)?;
+        let evicted = self.qp.insert(
+            key,
+            QpEntry {
+                warm,
+                kkt: factor,
+                exact_pa,
+                rho: settings.rho,
+                sigma: settings.sigma,
+            },
+            clock,
+        );
+        self.stats.evictions += evicted;
+        Ok((sol, report))
+    }
+
+    /// Re-solves after a rank-one perturbation `P' = P + α·v·vᵀ` of the
+    /// cached instance's quadratic term (`A` unchanged): the cached KKT
+    /// Cholesky is refreshed by an O(n²)
+    /// [`rcr_linalg::Cholesky::rank_one_update`] instead of the O(n³)
+    /// refactorize, then the solve warm-starts as usual. `problem` must
+    /// already *be* the perturbed instance; `(v, alpha)` describe how it
+    /// differs from the previously solved one. Falls back to the plain
+    /// [`WarmCache::solve_qp`] path (full refactorize) when no matching
+    /// entry exists, when `A` or the penalty parameters changed, or when
+    /// a downdate would leave the KKT matrix indefinite.
+    ///
+    /// # Errors
+    /// Those of [`QpProblem::solve`].
+    pub fn solve_qp_rank_one(
+        &mut self,
+        problem: &QpProblem,
+        v: &[f64],
+        alpha: f64,
+        settings: &QpSettings,
+    ) -> Result<(QpSolution, WarmReport), ConvexError> {
+        let key = fingerprint_qp(problem);
+        let structural = (key >> 64) as u64;
+        let exact_pa = exact_hash_qp_pa(problem);
+        let clock = self.tick();
+
+        let found = self.qp.lookup(
+            key,
+            *structure_range(structural).start(),
+            *structure_range(structural).end(),
+        );
+        let Some((hit_key, exact)) = found else {
+            return self.solve_qp(problem, settings);
+        };
+        // The condensed KKT matrix is P + σI + ρAᵀA, so a rank-one change
+        // of P is a rank-one change of the KKT matrix with the same (v, α).
+        let updated = {
+            let Some(entry) = self.qp.touch(hit_key, clock) else {
+                return Err(ConvexError::InvalidParameter(
+                    "warm cache entry vanished (internal invariant)".into(),
+                ));
+            };
+            if entry.rho.to_bits() != settings.rho.to_bits()
+                || entry.sigma.to_bits() != settings.sigma.to_bits()
+            {
+                None
+            } else {
+                let mut kkt = entry.kkt.clone();
+                match kkt.rank_one_update(v, alpha) {
+                    Ok(()) => Some((kkt, entry.warm.clone())),
+                    Err(_) => None,
+                }
+            }
+        };
+        let Some((factor, warm)) = updated else {
+            return self.solve_qp(problem, settings);
+        };
+        self.stats.hits += 1;
+        self.stats.rank_one_updates += 1;
+        let report = WarmReport {
+            hit: true,
+            exact,
+            factorization_reused: false,
+            rank_one_updated: true,
+        };
+        let sol = match problem.solve_with(settings, Some(&warm), Some(&factor)) {
+            Ok(sol) => sol,
+            Err(ConvexError::NonConvergence { .. }) => {
+                problem.solve_with(settings, None, Some(&factor))?
+            }
+            Err(e) => return Err(e),
+        };
+        self.store_qp(
+            hit_key,
+            key,
+            &sol,
+            problem,
+            Some(factor),
+            exact_pa,
+            settings,
+        )?;
+        Ok((sol, report))
+    }
+
+    /// Refreshes the hit entry with the new solution (and optionally a new
+    /// factorization), then moves it under the instance's current key.
+    #[allow(clippy::too_many_arguments)]
+    fn store_qp(
+        &mut self,
+        hit_key: u128,
+        new_key: u128,
+        sol: &QpSolution,
+        problem: &QpProblem,
+        new_factor: Option<Cholesky>,
+        exact_pa: u64,
+        settings: &QpSettings,
+    ) -> Result<(), ConvexError> {
+        let warm = QpWarmStart::from_solution(problem, sol)?;
+        if let Some(entry) = self.qp.map.get_mut(&hit_key) {
+            entry.entry.warm = warm;
+            if let Some(f) = new_factor {
+                entry.entry.kkt = f;
+                entry.entry.exact_pa = exact_pa;
+                entry.entry.rho = settings.rho;
+                entry.entry.sigma = settings.sigma;
+            }
+        }
+        self.qp.rekey(hit_key, new_key);
+        Ok(())
+    }
+
+    // -- QCQP ---------------------------------------------------------------
+
+    /// Solves a QCQP, warm-starting from (and updating) the cache.
+    ///
+    /// A hit seeds the barrier method with the cached primal (skipping
+    /// phase-I) and restarts the barrier parameter one `mu`-step below the
+    /// previous solve's final `t`, so only the last centering steps are
+    /// repeated. If drift pushed the cached point out of strict
+    /// feasibility the solve silently falls back to the cold path.
+    ///
+    /// # Errors
+    /// Those of [`QcqpProblem::solve`].
+    pub fn solve_qcqp(
+        &mut self,
+        problem: &QcqpProblem,
+        settings: &QcqpSettings,
+    ) -> Result<(QcqpSolution, WarmReport), ConvexError> {
+        let key = fingerprint_qcqp(problem);
+        let structural = (key >> 64) as u64;
+        let clock = self.tick();
+        let mut report = WarmReport::default();
+
+        let found = self.qcqp.lookup(
+            key,
+            *structure_range(structural).start(),
+            *structure_range(structural).end(),
+        );
+        if let Some((hit_key, exact)) = found {
+            let seed = self
+                .qcqp
+                .touch(hit_key, clock)
+                .map(|e| (e.x.clone(), e.t_final));
+            if let Some((x0, t_final)) = seed {
+                // Restart one homotopy step below the previous final t: the
+                // solution moved, so one round of re-centering is honest.
+                let t0 = (t_final / settings.mu).max(settings.t0);
+                match problem.solve_warm_start(&x0, t0, settings) {
+                    Ok(sol) => {
+                        report.hit = true;
+                        report.exact = exact;
+                        self.stats.hits += 1;
+                        self.store_qcqp(hit_key, key, &sol, problem);
+                        return Ok((sol, report));
+                    }
+                    // Stale seed (left the interior) — fall through cold.
+                    Err(ConvexError::Infeasible) | Err(ConvexError::NonConvergence { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        self.stats.misses += 1;
+        let sol = problem.solve(settings)?;
+        let entry = QcqpEntry {
+            x: sol.x.clone(),
+            t_final: t_final_of(problem, &sol),
+        };
+        let evicted = self.qcqp.insert(key, entry, clock);
+        self.stats.evictions += evicted;
+        Ok((sol, report))
+    }
+
+    fn store_qcqp(
+        &mut self,
+        hit_key: u128,
+        new_key: u128,
+        sol: &QcqpSolution,
+        problem: &QcqpProblem,
+    ) {
+        if let Some(entry) = self.qcqp.map.get_mut(&hit_key) {
+            entry.entry.x = sol.x.clone();
+            entry.entry.t_final = t_final_of(problem, sol);
+        }
+        self.qcqp.rekey(hit_key, new_key);
+    }
+
+    // -- SDP ----------------------------------------------------------------
+
+    /// Solves an SDP, warm-starting from (and updating) the cache.
+    ///
+    /// A hit seeds the cone-side iterate `Z` and the scaled dual `U`; the
+    /// affine-projection Gram Cholesky is reused whenever the constraint
+    /// matrices are bit-identical to those it was computed for.
+    ///
+    /// # Errors
+    /// Those of [`SdpProblem::solve`].
+    pub fn solve_sdp(
+        &mut self,
+        problem: &SdpProblem,
+        settings: &SdpSettings,
+    ) -> Result<(SdpSolution, WarmReport), ConvexError> {
+        let key = fingerprint_sdp(problem);
+        let structural = (key >> 64) as u64;
+        let exact_a = exact_hash_sdp_constraints(problem);
+        let clock = self.tick();
+        let mut report = WarmReport::default();
+
+        let found = self.sdp.lookup(
+            key,
+            *structure_range(structural).start(),
+            *structure_range(structural).end(),
+        );
+        if let Some((hit_key, exact)) = found {
+            report.hit = true;
+            report.exact = exact;
+            self.stats.hits += 1;
+            let gram_ok = self
+                .sdp
+                .map
+                .get(&hit_key)
+                .map(|s| s.entry.exact_a == exact_a && s.entry.gram.is_some())
+                .unwrap_or(false);
+            let (sol, u_final) = {
+                let Some(entry) = self.sdp.touch(hit_key, clock) else {
+                    return Err(ConvexError::InvalidParameter(
+                        "warm cache entry vanished (internal invariant)".into(),
+                    ));
+                };
+                let gram = if gram_ok { entry.gram.as_ref() } else { None };
+                let warm = Some((&entry.z, &entry.u));
+                match problem.solve_with(settings, warm, gram) {
+                    Ok(out) => out,
+                    Err(ConvexError::NonConvergence { .. }) => {
+                        problem.solve_with(settings, None, gram)?
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            if gram_ok {
+                self.stats.factorization_reuses += 1;
+                report.factorization_reused = true;
+                self.store_sdp(hit_key, key, &sol, &u_final, None, exact_a);
+            } else {
+                let gram = problem.gram_factor()?;
+                self.store_sdp(hit_key, key, &sol, &u_final, Some(gram), exact_a);
+            }
+            return Ok((sol, report));
+        }
+
+        self.stats.misses += 1;
+        let gram = problem.gram_factor()?;
+        let (sol, u_final) = problem.solve_with(settings, None, gram.as_ref())?;
+        let entry = SdpEntry {
+            z: sol.x.clone(),
+            // The converged scaled dual: seeding it next time is what
+            // lets the warm solve skip re-converging the dual residual.
+            u: u_final,
+            gram,
+            exact_a,
+        };
+        let evicted = self.sdp.insert(key, entry, clock);
+        self.stats.evictions += evicted;
+        Ok((sol, report))
+    }
+
+    fn store_sdp(
+        &mut self,
+        hit_key: u128,
+        new_key: u128,
+        sol: &SdpSolution,
+        u_final: &Matrix,
+        new_gram: Option<Option<Cholesky>>,
+        exact_a: u64,
+    ) {
+        if let Some(entry) = self.sdp.map.get_mut(&hit_key) {
+            entry.entry.z = sol.x.clone();
+            entry.entry.u = u_final.clone();
+            if let Some(g) = new_gram {
+                entry.entry.gram = g;
+                entry.entry.exact_a = exact_a;
+            }
+        }
+        self.sdp.rekey(hit_key, new_key);
+    }
+}
+
+/// Recovers the final barrier parameter from a solution's gap bound
+/// (`gap_bound = m_eff / t_final`).
+fn t_final_of(problem: &QcqpProblem, sol: &QcqpSolution) -> f64 {
+    let m_eff = problem.num_constraints().max(1) as f64;
+    if sol.gap_bound > 0.0 && sol.gap_bound.is_finite() {
+        m_eff / sol.gap_bound
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qcqp::QuadraticForm;
+    use rcr_linalg::vector;
+
+    fn qp_instance(shift: f64) -> QpProblem {
+        // Dense SPD P (a channel-Gram-like matrix): rank-one channel
+        // perturbations keep the sparsity pattern, as in the serve trace.
+        let n = 4;
+        let p = Matrix::from_fn(n, n, |i, j| {
+            let base = 1.0 / (1.0 + i.abs_diff(j) as f64);
+            if i == j {
+                base + 2.0
+            } else {
+                base
+            }
+        });
+        let q: Vec<f64> = (0..n).map(|i| -1.0 + shift + 0.1 * i as f64).collect();
+        QpProblem::new(p, q, Matrix::identity(n), vec![-1.0; n], vec![1.0; n]).unwrap()
+    }
+
+    #[test]
+    fn qp_repeat_solve_hits_and_reuses_factorization() {
+        let mut cache = WarmCache::new(8);
+        let s = QpSettings::default();
+        let prob = qp_instance(0.0);
+        let (cold, r0) = cache.solve_qp(&prob, &s).unwrap();
+        assert!(!r0.hit);
+        let (warm, r1) = cache.solve_qp(&prob, &s).unwrap();
+        assert!(r1.hit && r1.exact && r1.factorization_reused);
+        assert!((cold.objective - warm.objective).abs() < 1e-6);
+        assert!(warm.iterations <= cold.iterations);
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.factorization_reuses), (1, 1, 1));
+    }
+
+    #[test]
+    fn qp_drifting_q_warm_starts_without_refactorizing() {
+        // q drifts (picked up by the digest or not — either way the
+        // structural match warm-starts) while (P, A) stay bit-identical,
+        // so the factorization is reused on every step.
+        let mut cache = WarmCache::new(8);
+        let s = QpSettings::default();
+        let mut max_iters_warm = 0;
+        let (first, _) = cache.solve_qp(&qp_instance(0.0), &s).unwrap();
+        for step in 1..10 {
+            let prob = qp_instance(1e-4 * step as f64);
+            let (sol, rep) = cache.solve_qp(&prob, &s).unwrap();
+            assert!(rep.hit, "step {step} should warm-start");
+            assert!(rep.factorization_reused, "step {step} should reuse KKT");
+            // Same tolerance as cold:
+            let cold = prob.solve(&s).unwrap();
+            assert!((sol.objective - cold.objective).abs() < 1e-6);
+            max_iters_warm = max_iters_warm.max(sol.iterations);
+        }
+        assert!(
+            max_iters_warm < first.iterations,
+            "warm {max_iters_warm} vs cold {}",
+            first.iterations
+        );
+    }
+
+    #[test]
+    fn qp_rank_one_path_matches_refactorized_solve() {
+        let mut cache = WarmCache::new(8);
+        let s = QpSettings::default();
+        let base = qp_instance(0.0);
+        cache.solve_qp(&base, &s).unwrap();
+
+        // Perturb P by α·vvᵀ.
+        let n = base.num_vars();
+        let v: Vec<f64> = (0..n).map(|i| 0.3 * ((i + 1) as f64).sin()).collect();
+        let alpha = 0.2;
+        let mut p2 = base.p().clone();
+        for i in 0..n {
+            for j in 0..n {
+                p2[(i, j)] += alpha * v[i] * v[j];
+            }
+        }
+        let perturbed = QpProblem::new(
+            p2,
+            base.q().to_vec(),
+            base.a().clone(),
+            base.l().to_vec(),
+            base.u().to_vec(),
+        )
+        .unwrap();
+
+        let (sol, rep) = cache.solve_qp_rank_one(&perturbed, &v, alpha, &s).unwrap();
+        assert!(rep.rank_one_updated, "{rep:?}");
+        let cold = perturbed.solve(&s).unwrap();
+        assert!((sol.objective - cold.objective).abs() < 1e-6);
+        assert!(vector::norm_inf(&vector::sub(&sol.x, &cold.x)) < 1e-4);
+        assert_eq!(cache.stats().rank_one_updates, 1);
+    }
+
+    #[test]
+    fn qp_rank_one_without_cached_entry_falls_back_cold() {
+        let mut cache = WarmCache::new(8);
+        let s = QpSettings::default();
+        let prob = qp_instance(0.0);
+        let v = vec![0.0; prob.num_vars()];
+        let (_, rep) = cache.solve_qp_rank_one(&prob, &v, 0.0, &s).unwrap();
+        assert!(!rep.hit && !rep.rank_one_updated);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_is_deterministic_lru() {
+        let mut cache = WarmCache::new(2);
+        let s = QpSettings::default();
+        // Three structurally distinct instances (different n).
+        let probs: Vec<QpProblem> = (2..5)
+            .map(|n| {
+                QpProblem::new(
+                    Matrix::identity(n),
+                    vec![-1.0; n],
+                    Matrix::identity(n),
+                    vec![0.0; n],
+                    vec![1.0; n],
+                )
+                .unwrap()
+            })
+            .collect();
+        cache.solve_qp(&probs[0], &s).unwrap(); // clock 1
+        cache.solve_qp(&probs[1], &s).unwrap(); // clock 2
+        cache.solve_qp(&probs[0], &s).unwrap(); // hit, clock 3
+        cache.solve_qp(&probs[2], &s).unwrap(); // evicts probs[1] (LRU)
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, rep0) = cache.solve_qp(&probs[0], &s).unwrap();
+        assert!(rep0.hit, "probs[0] was recently used, must survive");
+        let (_, rep1) = cache.solve_qp(&probs[1], &s).unwrap();
+        assert!(!rep1.hit, "probs[1] was the LRU victim");
+    }
+
+    #[test]
+    fn zero_capacity_cache_still_solves() {
+        let mut cache = WarmCache::new(0);
+        let s = QpSettings::default();
+        let prob = qp_instance(0.0);
+        let (a, _) = cache.solve_qp(&prob, &s).unwrap();
+        let (b, rep) = cache.solve_qp(&prob, &s).unwrap();
+        assert!(!rep.hit);
+        assert_eq!(a.x, b.x);
+        assert!(cache.is_empty());
+    }
+
+    fn ball(center: &[f64], radius: f64) -> QuadraticForm {
+        let q: Vec<f64> = center.iter().map(|v| -v).collect();
+        let r = 0.5 * vector::dot(center, center) - 0.5 * radius * radius;
+        QuadraticForm {
+            p: Matrix::identity(center.len()),
+            q,
+            r,
+        }
+    }
+
+    fn qcqp_instance(shift: f64) -> QcqpProblem {
+        let obj =
+            QuadraticForm::new(Matrix::identity(2), vec![-1.0 - shift, -2.0 + shift], 0.0).unwrap();
+        QcqpProblem::new(obj, vec![ball(&[0.0, 0.0], 1.5)], None).unwrap()
+    }
+
+    #[test]
+    fn qcqp_repeat_and_drift_hit() {
+        let mut cache = WarmCache::new(8);
+        let s = QcqpSettings::default();
+        let (cold, r0) = cache.solve_qcqp(&qcqp_instance(0.0), &s).unwrap();
+        assert!(!r0.hit);
+        let (warm, r1) = cache.solve_qcqp(&qcqp_instance(0.0), &s).unwrap();
+        assert!(r1.hit);
+        assert!((cold.objective - warm.objective).abs() < 1e-6);
+        assert!(warm.newton_iterations <= cold.newton_iterations);
+        // Drifted instance: still hits via the structural match.
+        let drifted = qcqp_instance(1e-3);
+        let (sol, r2) = cache.solve_qcqp(&drifted, &s).unwrap();
+        assert!(r2.hit);
+        let cold_drift = drifted.solve(&s).unwrap();
+        assert!((sol.objective - cold_drift.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sdp_repeat_hits_and_reuses_gram() {
+        let mut cache = WarmCache::new(8);
+        let s = SdpSettings::default();
+        let c = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let prob = SdpProblem::new(c, vec![(Matrix::identity(2), 1.0)]).unwrap();
+        let (cold, r0) = cache.solve_sdp(&prob, &s).unwrap();
+        assert!(!r0.hit);
+        let (warm, r1) = cache.solve_sdp(&prob, &s).unwrap();
+        assert!(r1.hit && r1.factorization_reused);
+        assert!((cold.objective - warm.objective).abs() < 1e-6);
+        assert!(warm.iterations <= cold.iterations);
+    }
+
+    #[test]
+    fn sdp_drifting_objective_warm_starts() {
+        let mut cache = WarmCache::new(8);
+        let s = SdpSettings::default();
+        let make = |eps: f64| {
+            let c = Matrix::from_rows(&[&[2.0 + eps, 1.0], &[1.0, 2.0 - eps]]).unwrap();
+            SdpProblem::new(c, vec![(Matrix::identity(2), 1.0)]).unwrap()
+        };
+        let (cold, _) = cache.solve_sdp(&make(0.0), &s).unwrap();
+        let drifted = make(1e-3);
+        let (sol, rep) = cache.solve_sdp(&drifted, &s).unwrap();
+        assert!(rep.hit);
+        let cold_drift = drifted.solve(&s).unwrap();
+        assert!((sol.objective - cold_drift.objective).abs() < 1e-6);
+        assert!(sol.iterations < cold.iterations);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_structure_but_tolerate_tiny_drift() {
+        let a = qp_instance(0.0);
+        let b = qp_instance(0.0);
+        assert_eq!(fingerprint_qp(&a), fingerprint_qp(&b));
+        // Different dimension → different structural half.
+        let other = QpProblem::new(
+            Matrix::identity(3),
+            vec![0.0; 3],
+            Matrix::identity(3),
+            vec![0.0; 3],
+            vec![1.0; 3],
+        )
+        .unwrap();
+        assert_ne!(fingerprint_qp(&a) >> 64, fingerprint_qp(&other) >> 64);
+        // -0.0 and 0.0 hash identically.
+        let neg = QpProblem::new(
+            Matrix::identity(2),
+            vec![-0.0, 0.0],
+            Matrix::identity(2),
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        let pos = QpProblem::new(
+            Matrix::identity(2),
+            vec![0.0, 0.0],
+            Matrix::identity(2),
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        assert_eq!(fingerprint_qp(&neg), fingerprint_qp(&pos));
+    }
+}

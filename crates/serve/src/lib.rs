@@ -32,6 +32,9 @@
 //!   plus the shared codec.
 //! * [`metrics`] — per-class outcome counters and fixed-bin latency
 //!   histograms ([`MetricsSnapshot`]).
+//! * [`reuse`] — opt-in exact-match solution reuse: a sharded
+//!   deterministic LRU over bit-exact problem digests, so repeated
+//!   identical requests skip the solver without perturbing determinism.
 //!
 //! Determinism carries over from the rest of the workspace: for a fixed
 //! request trace, solver outputs are bit-identical at every worker
@@ -45,7 +48,7 @@
 //! use rcr_qos::QosClass;
 //! use std::time::Duration;
 //!
-//! let service = Service::spawn(ServiceConfig::default());
+//! let service = Service::spawn(ServiceConfig::default()).unwrap();
 //! let response = service
 //!     .client()
 //!     .solve(SolveRequest {
@@ -68,15 +71,17 @@ pub mod json;
 pub mod metrics;
 pub mod queue;
 pub mod request;
+pub mod reuse;
 pub mod service;
 pub mod wire;
 
 pub use metrics::{ClassCounters, LatencySummary, MetricsSnapshot};
-pub use queue::{AdmissionQueue, EnqueueRejection, LanePolicy, QueuePolicy};
+pub use queue::{AdmissionQueue, EnqueueRejection, LanePolicy, PolicyError, QueuePolicy};
 pub use request::{
     DeadlineMissed, ExpiryPhase, Outcome, Payload, RejectReason, ScenarioSpec, SolveRequest,
     SolveResponse, Solved, SolverKind,
 };
+pub use reuse::{ReuseConfig, ReuseCounters};
 pub use service::{Client, Service, ServiceConfig, Ticket};
 pub use wire::TcpFrontend;
 
@@ -89,6 +94,9 @@ pub enum ServeError {
     /// The response channel closed without a response — the service was
     /// torn down non-gracefully while the request was pending.
     ChannelClosed,
+    /// The service configuration carried an invalid queue policy, caught
+    /// at [`Service::spawn`] before any thread was started.
+    InvalidPolicy(PolicyError),
 }
 
 impl fmt::Display for ServeError {
@@ -97,8 +105,22 @@ impl fmt::Display for ServeError {
             ServeError::ChannelClosed => {
                 write!(f, "service dropped the request without responding")
             }
+            ServeError::InvalidPolicy(e) => write!(f, "invalid queue policy: {e}"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::ChannelClosed => None,
+            ServeError::InvalidPolicy(e) => Some(e),
+        }
+    }
+}
+
+impl From<PolicyError> for ServeError {
+    fn from(e: PolicyError) -> Self {
+        ServeError::InvalidPolicy(e)
+    }
+}

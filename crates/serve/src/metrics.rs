@@ -8,6 +8,7 @@
 //! an upper bound with ≤ 2× resolution error, plenty for service-level
 //! p50/p99 reporting.
 
+use crate::reuse::ReuseCounters;
 use rcr_qos::QosClass;
 use std::time::Duration;
 
@@ -142,6 +143,8 @@ pub struct MetricsSnapshot {
     pub response_latency: LatencySummary,
     /// Batches fanned out to the worker pool.
     pub batches: u64,
+    /// Solution-reuse cache counters (all zero when reuse is disabled).
+    pub reuse: ReuseCounters,
 }
 
 impl MetricsSnapshot {
@@ -176,6 +179,10 @@ impl MetricsSnapshot {
             "queue depth high water: {}\nbatches: {}\n",
             self.queue_depth_high_water, self.batches
         ));
+        out.push_str(&format!(
+            "reuse: hits={} misses={} evictions={}\n",
+            self.reuse.hits, self.reuse.misses, self.reuse.evictions
+        ));
         let lat = |name: &str, s: &LatencySummary| {
             format!(
                 "{name}: n={} p50={:?} p99={:?} max={:?}\n",
@@ -204,7 +211,7 @@ impl Metrics {
         &mut self.per_class[class.priority_rank()]
     }
 
-    pub fn snapshot(&self, queue_depth_high_water: usize) -> MetricsSnapshot {
+    pub fn snapshot(&self, queue_depth_high_water: usize, reuse: ReuseCounters) -> MetricsSnapshot {
         MetricsSnapshot {
             per_class: self.per_class,
             queue_depth_high_water,
@@ -212,6 +219,7 @@ impl Metrics {
             solve_latency: self.solve_latency.summary(),
             response_latency: self.response_latency.summary(),
             batches: self.batches,
+            reuse,
         }
     }
 }
@@ -275,12 +283,20 @@ mod tests {
         m.class_mut(QosClass::Embb).rejected = 2;
         m.class_mut(QosClass::Mmtc).expired = 1;
         m.class_mut(QosClass::Mmtc).admitted = 5;
-        let snap = m.snapshot(7);
+        let snap = m.snapshot(
+            7,
+            ReuseCounters {
+                hits: 4,
+                misses: 2,
+                evictions: 1,
+            },
+        );
         assert_eq!(snap.total_responses(), 6);
         assert_eq!(snap.queue_depth_high_water, 7);
         assert_eq!(snap.class(QosClass::Urllc).solved, 3);
         let table = snap.render();
         assert!(table.contains("URLLC"));
         assert!(table.contains("high water: 7"));
+        assert!(table.contains("reuse: hits=4 misses=2 evictions=1"));
     }
 }

@@ -22,7 +22,9 @@ use std::time::{Duration, Instant};
 pub struct LanePolicy {
     /// Maximum queued requests; enqueue into a full lane is rejected.
     pub capacity: usize,
-    /// Largest batch drained at once (clamped to at least 1).
+    /// Largest batch drained at once. Must be at least 1 — a zero would
+    /// make the lane undrainable, so [`QueuePolicy::validate`] rejects it
+    /// at construction instead of silently clamping.
     pub max_batch: usize,
     /// Oldest age a queued request may reach before the lane fires a
     /// partial batch. `ZERO` fires immediately on any queued request.
@@ -75,7 +77,45 @@ impl QueuePolicy {
             QosClass::Mmtc => &self.mmtc,
         }
     }
+
+    /// Checks the policy's invariants: every lane's `max_batch` must be at
+    /// least 1 (a zero-batch lane could never drain).
+    ///
+    /// # Errors
+    /// [`PolicyError::ZeroMaxBatch`] naming the first offending lane.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        for class in QosClass::ALL {
+            if self.lane(class).max_batch == 0 {
+                return Err(PolicyError::ZeroMaxBatch { class });
+            }
+        }
+        Ok(())
+    }
 }
+
+/// A misconfigured [`QueuePolicy`], detected at construction rather than
+/// silently papered over at drain time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolicyError {
+    /// A lane was configured with `max_batch == 0`.
+    ZeroMaxBatch {
+        /// The offending lane's class.
+        class: QosClass,
+    },
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::ZeroMaxBatch { class } => {
+                write!(f, "{} lane has max_batch = 0 (must be >= 1)", class.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
 
 /// An entry as it sits in (or leaves) a lane.
 #[derive(Debug, Clone)]
@@ -132,7 +172,7 @@ impl<T> Lane<T> {
         if self.entries.is_empty() {
             return false;
         }
-        if self.entries.len() >= self.policy.max_batch.max(1) {
+        if self.entries.len() >= self.policy.max_batch {
             return true;
         }
         // Age trigger: the oldest entry has waited its fill, or the most
@@ -146,6 +186,22 @@ impl<T> Lane<T> {
     }
 }
 
+/// When the deadline-proximity trigger for an entry expiring at
+/// `deadline_at` should wake the batcher: `max_age` ahead of the deadline,
+/// so the batch still fires with slack. When that subtraction underflows
+/// (a deadline within `max_age` of the `Instant` epoch) the trigger clamps
+/// to `now` — waking immediately, with whatever slack remains. The old
+/// fallback of `deadline_at` itself scheduled a zero-slack wake that could
+/// only ever expire the entry.
+///
+/// In the current call graph the underflow branch is a defensive backstop:
+/// [`Lane::ready`] reports ready (and [`AdmissionQueue::next_wakeup`]
+/// short-circuits to `now`) whenever `deadline_at <= now + max_age`, which
+/// covers every instant at which the subtraction could underflow.
+fn proximity_trigger(deadline_at: Instant, max_age: Duration, now: Instant) -> Instant {
+    deadline_at.checked_sub(max_age).unwrap_or(now)
+}
+
 /// The three-lane deadline-aware queue. See the module docs.
 #[derive(Debug)]
 pub struct AdmissionQueue<T> {
@@ -156,16 +212,20 @@ pub struct AdmissionQueue<T> {
 
 impl<T> AdmissionQueue<T> {
     /// An empty queue under `policy`.
-    pub fn new(policy: &QueuePolicy) -> AdmissionQueue<T> {
+    ///
+    /// # Errors
+    /// [`PolicyError`] when the policy fails [`QueuePolicy::validate`].
+    pub fn new(policy: &QueuePolicy) -> Result<AdmissionQueue<T>, PolicyError> {
+        policy.validate()?;
         let lane = |p: &LanePolicy| Lane {
             policy: *p,
             entries: Vec::new(),
         };
-        AdmissionQueue {
+        Ok(AdmissionQueue {
             lanes: [lane(&policy.urllc), lane(&policy.embb), lane(&policy.mmtc)],
             seq: 0,
             depth_high_water: 0,
-        }
+        })
     }
 
     fn lane(&self, class: QosClass) -> &Lane<T> {
@@ -244,7 +304,7 @@ impl<T> AdmissionQueue<T> {
             if lane.entries.is_empty() || !(force || lane.ready(now)) {
                 continue;
             }
-            let take = lane.policy.max_batch.max(1).min(lane.entries.len());
+            let take = lane.policy.max_batch.min(lane.entries.len());
             let batch: Vec<Queued<T>> = lane.entries.drain(..take).collect();
             return Some((QosClass::ALL[rank], batch));
         }
@@ -275,12 +335,11 @@ impl<T> AdmissionQueue<T> {
             }
             let front = &lane.entries[0];
             // Deadline-proximity trigger, then the expiry itself.
-            consider(
-                front
-                    .deadline_at
-                    .checked_sub(lane.policy.max_age)
-                    .unwrap_or(front.deadline_at),
-            );
+            consider(proximity_trigger(
+                front.deadline_at,
+                lane.policy.max_age,
+                now,
+            ));
             consider(front.deadline_at);
         }
         wake
@@ -330,7 +389,7 @@ mod tests {
 
     #[test]
     fn edf_order_within_lane_with_fifo_tiebreak() {
-        let mut q = AdmissionQueue::new(&policy(16, 16, 0));
+        let mut q = AdmissionQueue::new(&policy(16, 16, 0)).unwrap();
         let t0 = Instant::now();
         let ms = Duration::from_millis(1);
         q.enqueue("late", QosClass::Embb, t0, t0 + 30 * ms).unwrap();
@@ -348,7 +407,7 @@ mod tests {
 
     #[test]
     fn lanes_drain_in_priority_order() {
-        let mut q = AdmissionQueue::new(&policy(16, 4, 0));
+        let mut q = AdmissionQueue::new(&policy(16, 4, 0)).unwrap();
         let t0 = Instant::now();
         q.enqueue("mmtc", QosClass::Mmtc, t0, far(t0)).unwrap();
         q.enqueue("embb", QosClass::Embb, t0, far(t0)).unwrap();
@@ -362,7 +421,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_lane_rejects_everything() {
-        let mut q = AdmissionQueue::new(&policy(0, 1, 0));
+        let mut q = AdmissionQueue::new(&policy(0, 1, 0)).unwrap();
         let t0 = Instant::now();
         match q.enqueue(7u32, QosClass::Urllc, t0, far(t0)) {
             Err(EnqueueRejection::QueueFull {
@@ -382,7 +441,7 @@ mod tests {
 
     #[test]
     fn full_lane_rejects_with_backpressure_only_for_that_lane() {
-        let mut q = AdmissionQueue::new(&policy(2, 8, 1_000_000));
+        let mut q = AdmissionQueue::new(&policy(2, 8, 1_000_000)).unwrap();
         let t0 = Instant::now();
         q.enqueue(0u32, QosClass::Mmtc, t0, far(t0)).unwrap();
         q.enqueue(1, QosClass::Mmtc, t0, far(t0)).unwrap();
@@ -402,7 +461,7 @@ mod tests {
 
     #[test]
     fn expired_at_enqueue_is_reported_not_queued() {
-        let mut q = AdmissionQueue::new(&policy(4, 1, 0));
+        let mut q = AdmissionQueue::new(&policy(4, 1, 0)).unwrap();
         let t0 = Instant::now();
         let now = t0 + Duration::from_millis(5);
         match q.enqueue("dead", QosClass::Embb, now, t0 + Duration::from_millis(2)) {
@@ -422,7 +481,7 @@ mod tests {
 
     #[test]
     fn whole_lane_simultaneous_expiry_is_swept_never_batched() {
-        let mut q = AdmissionQueue::new(&policy(16, 16, 1_000_000));
+        let mut q = AdmissionQueue::new(&policy(16, 16, 1_000_000)).unwrap();
         let t0 = Instant::now();
         let deadline = t0 + Duration::from_millis(1);
         for i in 0..5u32 {
@@ -447,7 +506,7 @@ mod tests {
 
     #[test]
     fn batching_coalesces_until_fill_or_age() {
-        let mut q = AdmissionQueue::new(&policy(16, 3, 500));
+        let mut q = AdmissionQueue::new(&policy(16, 3, 500)).unwrap();
         let t0 = Instant::now();
         q.enqueue(0u32, QosClass::Embb, t0, far(t0)).unwrap();
         q.enqueue(1, QosClass::Embb, t0, far(t0)).unwrap();
@@ -467,7 +526,7 @@ mod tests {
 
     #[test]
     fn urgent_deadline_fires_before_age_fill() {
-        let mut q = AdmissionQueue::new(&policy(16, 8, 10_000));
+        let mut q = AdmissionQueue::new(&policy(16, 8, 10_000)).unwrap();
         let t0 = Instant::now();
         // Deadline inside the 10ms coalescing window → fire immediately.
         q.enqueue(0u32, QosClass::Mmtc, t0, t0 + Duration::from_millis(5))
@@ -477,7 +536,7 @@ mod tests {
 
     #[test]
     fn wakeup_tracks_earliest_trigger() {
-        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(&policy(16, 8, 1_000));
+        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(&policy(16, 8, 1_000)).unwrap();
         let t0 = Instant::now();
         assert_eq!(q.next_wakeup(t0), None);
         let deadline = t0 + Duration::from_millis(50);
@@ -491,8 +550,67 @@ mod tests {
     }
 
     #[test]
+    fn zero_max_batch_is_rejected_at_construction() {
+        // Regression test: `max_batch == 0` used to be silently clamped to
+        // 1 at drain time; it is now a typed construction error naming the
+        // offending lane.
+        let mut p = policy(16, 4, 0);
+        p.embb.max_batch = 0;
+        assert_eq!(
+            p.validate(),
+            Err(PolicyError::ZeroMaxBatch {
+                class: QosClass::Embb,
+            })
+        );
+        match AdmissionQueue::<u32>::new(&p) {
+            Err(e @ PolicyError::ZeroMaxBatch { class }) => {
+                assert_eq!(class, QosClass::Embb);
+                assert!(e.to_string().contains("max_batch = 0"));
+            }
+            Ok(_) => panic!("zero max_batch must not construct"),
+        }
+        assert!(policy(16, 1, 0).validate().is_ok());
+    }
+
+    #[test]
+    fn near_epoch_deadline_proximity_trigger_clamps_to_now() {
+        // Regression test: when `deadline_at - max_age` underflows (a
+        // deadline close to the Instant epoch), the trigger used to fall
+        // back to the deadline itself — a zero-slack wake that could only
+        // expire the entry. It must clamp to `now` instead.
+        //
+        // Construct an instant near the platform's representable minimum
+        // by walking backwards with doubling steps (the minimum can be
+        // ~292 billion years before now, so a fixed step never gets
+        // there).
+        let hour = Duration::from_secs(3600);
+        let mut early = Instant::now();
+        let mut step = hour;
+        while let Some(e) = early.checked_sub(step) {
+            early = e;
+            step = step.saturating_mul(2);
+        }
+        let deadline = early + hour;
+        let max_age = step.saturating_mul(4); // >= step + hour: must underflow
+        let now = Instant::now();
+        assert!(
+            deadline.checked_sub(max_age).is_none(),
+            "setup must underflow"
+        );
+        let wake = proximity_trigger(deadline, max_age, now);
+        assert_eq!(wake, now, "underflow must clamp to now, not the deadline");
+        // The non-underflow path is unchanged.
+        let t0 = Instant::now();
+        let d = t0 + Duration::from_millis(50);
+        assert_eq!(
+            proximity_trigger(d, Duration::from_millis(10), t0),
+            d - Duration::from_millis(10)
+        );
+    }
+
+    #[test]
     fn high_water_tracks_total_depth() {
-        let mut q = AdmissionQueue::new(&policy(16, 16, 1_000_000));
+        let mut q = AdmissionQueue::new(&policy(16, 16, 1_000_000)).unwrap();
         let t0 = Instant::now();
         for i in 0..4u32 {
             q.enqueue(i, QosClass::Embb, t0, far(t0)).unwrap();

@@ -25,6 +25,7 @@ use crate::request::{
     DeadlineMissed, ExpiryPhase, Outcome, Payload, RejectReason, SolveRequest, SolveResponse,
     Solved, SolverKind,
 };
+use crate::reuse::{self, ReuseCache, ReuseConfig};
 use crate::ServeError;
 use rcr_minlp::BnbSettings;
 use rcr_pso::swarm::PsoSettings;
@@ -50,6 +51,9 @@ pub struct ServiceConfig {
     /// and the request id, so results are per-request deterministic and
     /// independent of batching.
     pub pso: PsoSettings,
+    /// Exact-match solution reuse (disabled by default). See
+    /// [`crate::reuse`] for the determinism contract.
+    pub reuse: ReuseConfig,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +67,7 @@ impl Default for ServiceConfig {
                 max_iter: 40,
                 ..Default::default()
             },
+            reuse: ReuseConfig::default(),
         }
     }
 }
@@ -73,6 +78,7 @@ impl Default for ServiceConfig {
 struct Engine {
     bnb: BnbSettings,
     pso: PsoSettings,
+    reuse: Option<ReuseCache>,
 }
 
 /// One item of a drained batch, ready for the pool.
@@ -85,6 +91,27 @@ struct WorkItem {
 
 impl Engine {
     fn solve_one(&self, item: &WorkItem) -> Result<RraSolution, QosError> {
+        if let Some(cache) = &self.reuse {
+            if reuse::cacheable(item.solver) {
+                if let Some(hit) = cache.get(item.solver, &item.problem) {
+                    // Bit-identical to a fresh solve: the cache only
+                    // stores deterministic solver kinds keyed bit-exact.
+                    return Ok(hit);
+                }
+            } else {
+                cache.count_bypass();
+            }
+        }
+        let result = self.dispatch(item);
+        if let (Some(cache), Ok(solution)) = (&self.reuse, &result) {
+            if reuse::cacheable(item.solver) {
+                cache.put(item.solver, &item.problem, solution);
+            }
+        }
+        result
+    }
+
+    fn dispatch(&self, item: &WorkItem) -> Result<RraSolution, QosError> {
         match item.solver {
             SolverKind::Greedy => rra::solve_greedy(&item.problem),
             SolverKind::Exact => rra::solve_exact(&item.problem, &self.bnb),
@@ -149,10 +176,16 @@ impl Shared {
             .expect("serve: state mutex poisoned")
             .queue
             .depth_high_water();
+        let reuse = self
+            .engine
+            .reuse
+            .as_ref()
+            .map(ReuseCache::counters)
+            .unwrap_or_default();
         self.metrics
             .lock()
             .expect("serve: metrics mutex poisoned")
-            .snapshot(high_water)
+            .snapshot(high_water, reuse)
     }
 }
 
@@ -310,10 +343,14 @@ pub struct Service {
 
 impl Service {
     /// Spawns the batcher thread and worker pool.
-    pub fn spawn(config: ServiceConfig) -> Service {
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidPolicy`] if the queue policy is invalid
+    /// (e.g. a lane with `max_batch == 0`); nothing is spawned.
+    pub fn spawn(config: ServiceConfig) -> Result<Service, ServeError> {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                queue: AdmissionQueue::new(&config.queue),
+                queue: AdmissionQueue::new(&config.queue)?,
                 shutdown: false,
             }),
             wakeup: Condvar::new(),
@@ -322,6 +359,7 @@ impl Service {
             engine: Arc::new(Engine {
                 bnb: config.bnb,
                 pso: config.pso,
+                reuse: ReuseCache::from_config(&config.reuse),
             }),
         });
         let batcher = {
@@ -332,10 +370,10 @@ impl Service {
                 // rcr-lint: allow(no-unwrap-in-lib, reason = "spawn fails only on OS resource exhaustion at service startup; the service cannot run without its batcher")
                 .expect("serve: failed to spawn batcher thread")
         };
-        Service {
+        Ok(Service {
             shared,
             batcher: Some(batcher),
-        }
+        })
     }
 
     /// A submission handle.
@@ -546,7 +584,7 @@ mod tests {
 
     #[test]
     fn solves_a_request_end_to_end() {
-        let service = Service::spawn(ServiceConfig::default());
+        let service = Service::spawn(ServiceConfig::default()).unwrap();
         let client = service.client();
         let resp = client
             .solve(spec_request(1, QosClass::Urllc, Duration::from_secs(30)))
@@ -566,7 +604,7 @@ mod tests {
 
     #[test]
     fn zero_deadline_expires_at_enqueue() {
-        let service = Service::spawn(ServiceConfig::default());
+        let service = Service::spawn(ServiceConfig::default()).unwrap();
         let resp = service
             .client()
             .solve(spec_request(2, QosClass::Embb, Duration::ZERO))
@@ -596,7 +634,7 @@ mod tests {
             },
             ..ServiceConfig::default()
         };
-        let service = Service::spawn(config);
+        let service = Service::spawn(config).unwrap();
         let resp = service
             .client()
             .solve(spec_request(3, QosClass::Mmtc, Duration::from_secs(30)))
@@ -611,7 +649,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_queued_requests() {
-        let service = Service::spawn(ServiceConfig::default());
+        let service = Service::spawn(ServiceConfig::default()).unwrap();
         let client = service.client();
         // mMTC coalesces for up to 2 ms; submit then shut down at once —
         // the drain must still answer them all with solutions.
@@ -632,7 +670,7 @@ mod tests {
 
     #[test]
     fn submissions_after_shutdown_are_rejected() {
-        let service = Service::spawn(ServiceConfig::default());
+        let service = Service::spawn(ServiceConfig::default()).unwrap();
         let client = service.client();
         let snap = service.shutdown();
         assert_eq!(snap.total_responses(), 0);
@@ -660,7 +698,7 @@ mod tests {
             },
             ..ServiceConfig::default()
         };
-        let service = Service::spawn(config);
+        let service = Service::spawn(config).unwrap();
         let client = service.client();
         let tickets: Vec<Ticket> = (0..8)
             .map(|i| client.submit(spec_request(i, QosClass::Embb, Duration::from_secs(30))))
@@ -679,6 +717,64 @@ mod tests {
     }
 
     #[test]
+    fn reuse_serves_identical_requests_from_cache() {
+        let config = ServiceConfig {
+            reuse: ReuseConfig {
+                enabled: true,
+                capacity: 64,
+            },
+            ..ServiceConfig::default()
+        };
+        let service = Service::spawn(config).unwrap();
+        let client = service.client();
+        let request = |id: u64| SolveRequest {
+            id,
+            class: QosClass::Urllc,
+            deadline: Duration::from_secs(30),
+            solver: SolverKind::Greedy,
+            payload: Payload::Scenario(ScenarioSpec {
+                users: 3,
+                resource_blocks: 6,
+                seed: 5,
+            }),
+        };
+        // Sequential solves of the *same* problem under different ids:
+        // the second must hit and answer bit-identically.
+        let first = client.solve(request(1)).unwrap();
+        let second = client.solve(request(2)).unwrap();
+        let rate = |resp: &SolveResponse| match &resp.outcome {
+            Outcome::Solved(s) => s.solution.total_rate_bps,
+            other => panic!("expected Solved, got {other:?}"),
+        };
+        assert_eq!(rate(&first).to_bits(), rate(&second).to_bits());
+        let snap = service.shutdown();
+        assert_eq!(snap.reuse.hits, 1);
+        assert_eq!(snap.reuse.misses, 1);
+        assert_eq!(snap.reuse.evictions, 0);
+    }
+
+    #[test]
+    fn spawn_rejects_zero_max_batch_policy() {
+        let config = ServiceConfig {
+            queue: QueuePolicy {
+                urllc: LanePolicy {
+                    capacity: 8,
+                    max_batch: 0,
+                    max_age: Duration::ZERO,
+                },
+                ..QueuePolicy::default()
+            },
+            ..ServiceConfig::default()
+        };
+        match Service::spawn(config) {
+            Err(ServeError::InvalidPolicy(crate::queue::PolicyError::ZeroMaxBatch { class })) => {
+                assert_eq!(class, QosClass::Urllc)
+            }
+            other => panic!("expected InvalidPolicy, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn failed_solves_are_reported_not_panicked() {
         // An infeasible exact solve returns Outcome::Failed.
         let spec = ScenarioSpec {
@@ -688,7 +784,7 @@ mod tests {
         };
         let mut problem = spec.to_problem(QosClass::Embb).unwrap();
         problem.min_rates_bps = vec![1e15; 2];
-        let service = Service::spawn(ServiceConfig::default());
+        let service = Service::spawn(ServiceConfig::default()).unwrap();
         let resp = service
             .client()
             .solve(SolveRequest {

@@ -292,6 +292,10 @@ pub fn encode_metrics(snapshot: &MetricsSnapshot) -> String {
     out.push_str(&lat("solve_latency", &snapshot.solve_latency));
     out.push_str(&lat("response_latency", &snapshot.response_latency));
     out.push_str(&format!(
+        ",\"reuse\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}",
+        snapshot.reuse.hits, snapshot.reuse.misses, snapshot.reuse.evictions
+    ));
+    out.push_str(&format!(
         ",\"queue_depth_high_water\":{},\"batches\":{}}}",
         snapshot.queue_depth_high_water, snapshot.batches
     ));

@@ -20,7 +20,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let service = Service::spawn(ServiceConfig::default());
+    let service = Service::spawn(ServiceConfig::default()).expect("valid policy");
     let frontend = TcpFrontend::bind("127.0.0.1:0", service.client())?;
     println!("service listening on {}", frontend.local_addr());
 

@@ -5,8 +5,8 @@
 
 use rcr::qos::QosClass;
 use rcr::serve::{
-    wire, LanePolicy, Outcome, Payload, QueuePolicy, ScenarioSpec, Service, ServiceConfig,
-    SolveRequest, SolverKind, TcpFrontend, Ticket,
+    wire, LanePolicy, Outcome, Payload, QueuePolicy, ReuseConfig, ScenarioSpec, Service,
+    ServiceConfig, SolveRequest, SolverKind, TcpFrontend, Ticket,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -69,7 +69,11 @@ fn config(workers: usize) -> ServiceConfig {
 /// `(id, class, outcome-tag, solved owners, solved rate bits)` per
 /// request, in id order.
 fn run_trace(workers: usize) -> Vec<(u64, QosClass, &'static str, Vec<usize>, u64)> {
-    let service = Service::spawn(config(workers));
+    run_trace_with(config(workers))
+}
+
+fn run_trace_with(config: ServiceConfig) -> Vec<(u64, QosClass, &'static str, Vec<usize>, u64)> {
+    let service = Service::spawn(config).expect("valid policy");
     let client = service.client();
     let tickets: Vec<(u64, QosClass, Ticket)> = trace()
         .into_iter()
@@ -129,7 +133,7 @@ fn mixed_trace_accounts_for_every_request() {
 
 #[test]
 fn solved_responses_always_meet_their_deadline() {
-    let service = Service::spawn(config(4));
+    let service = Service::spawn(config(4)).expect("valid policy");
     let client = service.client();
     let deadline = Duration::from_secs(60);
     let tickets: Vec<Ticket> = trace()
@@ -163,8 +167,34 @@ fn fixed_trace_solver_outputs_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn reuse_cache_preserves_bit_identity_across_worker_counts() {
+    // The exact-match reuse cache must be invisible to outputs: the
+    // same fixed trace, serial and 4-way parallel, with the cache on,
+    // produces responses bit-identical to the cache-off runs above.
+    let with_reuse = |workers: usize| ServiceConfig {
+        reuse: ReuseConfig {
+            enabled: true,
+            capacity: 128,
+        },
+        ..config(workers)
+    };
+    let baseline = run_trace(1);
+    let serial = run_trace_with(with_reuse(1));
+    let parallel = run_trace_with(with_reuse(4));
+    for run in [&serial, &parallel] {
+        assert_eq!(baseline.len(), run.len());
+        for (a, b) in baseline.iter().zip(run.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.2, b.2, "request {}: outcome differs under reuse", a.0);
+            assert_eq!(a.3, b.3, "request {}: owners differ under reuse", a.0);
+            assert_eq!(a.4, b.4, "request {}: rate bits differ under reuse", a.0);
+        }
+    }
+}
+
+#[test]
 fn loopback_tcp_round_trip() {
-    let service = Service::spawn(config(2));
+    let service = Service::spawn(config(2)).expect("valid policy");
     let frontend = TcpFrontend::bind("127.0.0.1:0", service.client()).expect("bind loopback");
     let addr = frontend.local_addr();
 
@@ -224,7 +254,7 @@ fn loopback_tcp_round_trip() {
 
 #[test]
 fn wire_rejects_malformed_lines_without_dropping_the_connection() {
-    let service = Service::spawn(ServiceConfig::default());
+    let service = Service::spawn(ServiceConfig::default()).expect("valid policy");
     let frontend = TcpFrontend::bind("127.0.0.1:0", service.client()).expect("bind loopback");
     let stream = TcpStream::connect(frontend.local_addr()).expect("connect");
     let mut writer = stream.try_clone().unwrap();
