@@ -1,0 +1,83 @@
+//! Scenario-engine benchmark: trace generation and digest throughput for
+//! `rcr-scenarios`.
+//!
+//! The generator is the hot path of every expectation test and the load
+//! harness alike — it runs on the submitting thread, so its cost is pure
+//! overhead subtracted from the offered load a one-core host can
+//! sustain. Criterion times (a) streaming a 10⁴-request trace end to
+//! end and (b) folding the same trace into its replay digest; an
+//! untimed pass prints requests/sec so the number lands in the bench
+//! log next to the serve-layer throughput it has to outrun.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_scenarios::{
+    trace_digest, ArrivalProcess, ClassMix, FadingModel, ScenarioManifest, TraceGenerator,
+};
+use rcr_serve::SolverKind;
+use std::hint::black_box;
+use std::time::Instant;
+
+const TRACE_LEN: u64 = 10_000;
+
+/// A mixed diurnal scenario over a large population: representative of
+/// the committed storm manifest, scaled down to bench length.
+fn manifest() -> ScenarioManifest {
+    ScenarioManifest {
+        name: "bench-trace".into(),
+        seed: 0xBE7C4,
+        requests: TRACE_LEN,
+        cells: 16,
+        population: 100_000,
+        users_per_problem: 3,
+        resource_blocks: 6,
+        class_mix: ClassMix {
+            urllc: 0.1,
+            embb: 0.3,
+            mmtc: 0.6,
+        },
+        fading: FadingModel::BlockRayleigh {
+            coherence_us: 20_000,
+        },
+        arrivals: ArrivalProcess::Diurnal {
+            base_rate_per_sec: 2_000.0,
+            peak_rate_per_sec: 20_000.0,
+            period_us: 1_000_000,
+        },
+        deadlines_us: [50_000, 200_000, 1_000_000],
+        solver: SolverKind::Greedy,
+    }
+}
+
+/// Streams the full trace, returning the consumed length so the
+/// optimizer cannot elide the iteration.
+fn stream(m: &ScenarioManifest) -> u64 {
+    let mut n = 0u64;
+    for t in TraceGenerator::new(m).expect("valid manifest") {
+        black_box(&t);
+        n += 1;
+    }
+    n
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let m = manifest();
+    let mut group = c.benchmark_group("scenarios");
+    group.sample_size(10);
+    group.bench_function("generate10k", |b| b.iter(|| stream(&m)));
+    group.bench_function("digest10k", |b| {
+        b.iter(|| trace_digest(black_box(&m)).expect("valid manifest"))
+    });
+    group.finish();
+
+    // Untimed reporting pass: generator throughput in requests/sec.
+    let start = Instant::now();
+    let n = stream(&m);
+    let wall = start.elapsed();
+    println!(
+        "scenarios/generate10k: {:.0} req/s ({n} requests in {wall:?})",
+        n as f64 / wall.as_secs_f64()
+    );
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

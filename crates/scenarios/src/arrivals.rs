@@ -1,0 +1,285 @@
+//! Arrival-time generation on the virtual microsecond timeline.
+//!
+//! [`Arrivals`] is an infinite iterator of absolute arrival times (u64
+//! virtual µs, strictly increasing — gaps clamp to ≥ 1 µs) driven purely
+//! by a seeded [`StdRng`], so a `(process, seed)` pair pins the whole
+//! timeline. Three processes, matching [`ArrivalProcess`]:
+//!
+//! * **Poisson** — i.i.d. exponential gaps.
+//! * **MMPP(2)** — exponential sojourns alternating a slow and a fast
+//!   phase; arrivals are Poisson at the current phase's rate. Phase
+//!   switches use the memoryless property: the pending gap is simply
+//!   resampled at the new rate from the switch instant.
+//! * **Diurnal** — non-homogeneous Poisson with a sinusoidal rate, drawn
+//!   by thinning against the peak rate.
+
+use crate::manifest::ArrivalProcess;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const US_PER_SEC: f64 = 1_000_000.0;
+
+/// Draws an exponential variate with the given rate (events per µs).
+fn exp_gap_us(rng: &mut StdRng, rate_per_us: f64) -> f64 {
+    // gen::<f64>() is in [0, 1), so 1-u is in (0, 1] and ln() is finite.
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate_per_us
+}
+
+enum State {
+    Poisson {
+        rate_per_us: f64,
+    },
+    Mmpp {
+        slow_rate_per_us: f64,
+        fast_rate_per_us: f64,
+        mean_slow_us: f64,
+        mean_fast_us: f64,
+        /// True while in the fast (burst) phase.
+        fast: bool,
+        /// Virtual time at which the current phase ends.
+        phase_end_us: f64,
+    },
+    Diurnal {
+        base_rate_per_us: f64,
+        peak_rate_per_us: f64,
+        period_us: f64,
+    },
+}
+
+/// Infinite, deterministic arrival-time stream. See the module docs.
+pub struct Arrivals {
+    rng: StdRng,
+    state: State,
+    /// Exact integer clock of the last emitted arrival.
+    now_us: u64,
+    /// Fractional µs carried between gaps so long-run rates stay
+    /// unbiased despite integer emission.
+    carry_us: f64,
+}
+
+impl Arrivals {
+    /// A stream for `process`, fully determined by `seed`.
+    pub fn new(process: ArrivalProcess, seed: u64) -> Arrivals {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = match process {
+            ArrivalProcess::Poisson { rate_per_sec } => State::Poisson {
+                rate_per_us: rate_per_sec / US_PER_SEC,
+            },
+            ArrivalProcess::Mmpp {
+                slow_rate_per_sec,
+                fast_rate_per_sec,
+                mean_slow_us,
+                mean_fast_us,
+            } => {
+                let phase_end_us = exp_gap_us(&mut rng, 1.0 / mean_slow_us);
+                State::Mmpp {
+                    slow_rate_per_us: slow_rate_per_sec / US_PER_SEC,
+                    fast_rate_per_us: fast_rate_per_sec / US_PER_SEC,
+                    mean_slow_us,
+                    mean_fast_us,
+                    fast: false,
+                    phase_end_us,
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_rate_per_sec,
+                peak_rate_per_sec,
+                period_us,
+            } => State::Diurnal {
+                base_rate_per_us: base_rate_per_sec / US_PER_SEC,
+                peak_rate_per_us: peak_rate_per_sec / US_PER_SEC,
+                period_us: period_us as f64,
+            },
+        };
+        Arrivals {
+            rng,
+            state,
+            now_us: 0,
+            carry_us: 0.0,
+        }
+    }
+
+    /// The exact gap (fractional µs) from the previous arrival to the
+    /// next one, per the process.
+    fn next_gap_us(&mut self) -> f64 {
+        match &mut self.state {
+            State::Poisson { rate_per_us } => exp_gap_us(&mut self.rng, *rate_per_us),
+            State::Mmpp {
+                slow_rate_per_us,
+                fast_rate_per_us,
+                mean_slow_us,
+                mean_fast_us,
+                fast,
+                phase_end_us,
+            } => {
+                // Walk phase boundaries until an arrival lands inside the
+                // current phase. Memoryless: crossing a boundary discards
+                // the pending gap and resamples at the new phase's rate.
+                let mut t = self.now_us as f64 + self.carry_us;
+                let start = t;
+                loop {
+                    let rate = if *fast {
+                        *fast_rate_per_us
+                    } else {
+                        *slow_rate_per_us
+                    };
+                    let candidate = t + exp_gap_us(&mut self.rng, rate);
+                    if candidate <= *phase_end_us {
+                        return candidate - start;
+                    }
+                    t = *phase_end_us;
+                    *fast = !*fast;
+                    let mean = if *fast { *mean_fast_us } else { *mean_slow_us };
+                    *phase_end_us = t + exp_gap_us(&mut self.rng, 1.0 / mean);
+                }
+            }
+            State::Diurnal {
+                base_rate_per_us,
+                peak_rate_per_us,
+                period_us,
+            } => {
+                // Thinning (Lewis–Shedler): propose at the peak rate,
+                // accept with probability rate(t)/peak.
+                let start = self.now_us as f64 + self.carry_us;
+                let mut t = start;
+                loop {
+                    t += exp_gap_us(&mut self.rng, *peak_rate_per_us);
+                    let phase = 2.0 * std::f64::consts::PI * (t / *period_us);
+                    let rate = *base_rate_per_us
+                        + (*peak_rate_per_us - *base_rate_per_us) * (0.5 - 0.5 * phase.cos());
+                    let u: f64 = self.rng.gen();
+                    if u * *peak_rate_per_us < rate {
+                        return t - start;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for Arrivals {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let gap = self.next_gap_us() + self.carry_us;
+        // Emit on the integer µs grid, strictly increasing; the dropped
+        // fraction carries into the next gap so rates stay unbiased.
+        let whole = (gap.floor() as u64).max(1);
+        self.carry_us = (gap - gap.floor()).clamp(0.0, 1.0);
+        self.now_us += whole;
+        Some(self.now_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaps(process: ArrivalProcess, seed: u64, n: usize) -> Vec<u64> {
+        let mut last = 0u64;
+        Arrivals::new(process, seed)
+            .take(n)
+            .map(|t| {
+                let gap = t - last;
+                last = t;
+                gap
+            })
+            .collect()
+    }
+
+    fn mean_and_scv(gaps: &[u64]) -> (f64, f64) {
+        let n = gaps.len() as f64;
+        let mean = gaps.iter().map(|&g| g as f64).sum::<f64>() / n;
+        let var = gaps
+            .iter()
+            .map(|&g| {
+                let d = g as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        (mean, var / (mean * mean))
+    }
+
+    #[test]
+    fn poisson_gaps_match_exponential_moments() {
+        // 200k gaps at 10k req/s: mean gap 100 µs, SCV 1 (exponential).
+        let g = gaps(
+            ArrivalProcess::Poisson {
+                rate_per_sec: 10_000.0,
+            },
+            7,
+            200_000,
+        );
+        let (mean, scv) = mean_and_scv(&g);
+        assert!((mean - 100.0).abs() < 2.0, "mean gap {mean} µs, want ~100");
+        assert!((scv - 1.0).abs() < 0.05, "SCV {scv}, want ~1");
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson_with_the_right_mean() {
+        // Short sojourns on purpose: the horizon of an MMPP sample is
+        // itself random (exponential sojourns), so the mean-gap estimator
+        // needs many phase cycles (~700 here → ~3% noise) to settle.
+        let process = ArrivalProcess::Mmpp {
+            slow_rate_per_sec: 2_000.0,
+            fast_rate_per_sec: 50_000.0,
+            mean_slow_us: 40_000.0,
+            mean_fast_us: 4_000.0,
+        };
+        let g = gaps(process, 11, 200_000);
+        let (mean, scv) = mean_and_scv(&g);
+        // Time-averaged rate: (λs·Ts + λf·Tf)/(Ts+Tf) per µs.
+        let expected_rate = (0.002 * 40_000.0 + 0.05 * 4_000.0) / (40_000.0 + 4_000.0);
+        let expected_mean = 1.0 / expected_rate;
+        assert!(
+            (mean - expected_mean).abs() / expected_mean < 0.10,
+            "mean gap {mean} µs, want ~{expected_mean}"
+        );
+        assert!(scv > 1.3, "MMPP gaps must be overdispersed, got SCV {scv}");
+    }
+
+    #[test]
+    fn diurnal_rate_stays_between_base_and_peak_and_waves() {
+        let period_us = 1_000_000u64;
+        let process = ArrivalProcess::Diurnal {
+            base_rate_per_sec: 1_000.0,
+            peak_rate_per_sec: 20_000.0,
+            period_us,
+        };
+        // Count arrivals per quarter-period over many periods: crest
+        // quarters (around period/2) must far out-arrive trough quarters.
+        let horizon = 40 * period_us;
+        let mut quarter_counts = [0u64; 4];
+        for t in Arrivals::new(process, 3).take_while(|&t| t < horizon) {
+            quarter_counts[((t % period_us) * 4 / period_us) as usize] += 1;
+        }
+        let total: u64 = quarter_counts.iter().sum();
+        let mean_rate_per_sec = total as f64 / (horizon as f64 / US_PER_SEC);
+        assert!(
+            mean_rate_per_sec > 1_000.0 && mean_rate_per_sec < 20_000.0,
+            "average rate {mean_rate_per_sec}/s must sit between base and peak"
+        );
+        // rate(t) peaks at t = period/2 (quarters 1 and 2 straddle it).
+        let crest = quarter_counts[1] + quarter_counts[2];
+        let trough = quarter_counts[0] + quarter_counts[3];
+        assert!(
+            crest as f64 > 2.0 * trough as f64,
+            "crest {crest} vs trough {trough}: wave not visible"
+        );
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_strictly_increasing() {
+        let process = ArrivalProcess::Poisson {
+            rate_per_sec: 5_000.0,
+        };
+        let a: Vec<u64> = Arrivals::new(process, 9).take(10_000).collect();
+        let b: Vec<u64> = Arrivals::new(process, 9).take(10_000).collect();
+        assert_eq!(a, b, "same seed, same timeline");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        let c: Vec<u64> = Arrivals::new(process, 10).take(10_000).collect();
+        assert_ne!(a, c, "different seed, different timeline");
+    }
+}

@@ -1,0 +1,195 @@
+//! Scenario expectations: the QoS *shape* a run must exhibit.
+//!
+//! Raw latency numbers are machine-dependent; the paper's claims are
+//! about shapes — URLLC latency stays flat while mMTC sheds under
+//! overload, EDF saves deadlines FIFO burns. Expectations encode those
+//! shapes as relative assertions between runs (or simulated outcomes),
+//! so the integration tests are meaningful on any machine.
+
+use crate::report::ScenarioReport;
+use crate::sim::SimOutcome;
+use rcr_qos::QosClass;
+
+/// The isolation shape under overload: driving the system far past
+/// capacity must shed low-priority load instead of degrading URLLC.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadExpectation {
+    /// URLLC p99 under overload may grow at most this factor over the
+    /// baseline p99.
+    pub max_urllc_p99_ratio: f64,
+    /// …or up to this absolute value, whichever is larger (guards the
+    /// ratio against a near-zero baseline).
+    pub urllc_p99_floor_us: u64,
+    /// mMTC must shed at least this fraction of its offered load under
+    /// overload — the pressure has to go *somewhere*, and it must be
+    /// the lowest class that takes it.
+    pub min_mmtc_shed: f64,
+    /// URLLC must still solve at least this fraction of its offered
+    /// load under overload.
+    pub min_urllc_solved: f64,
+}
+
+impl Default for OverloadExpectation {
+    fn default() -> OverloadExpectation {
+        OverloadExpectation {
+            max_urllc_p99_ratio: 10.0,
+            urllc_p99_floor_us: 2_000,
+            min_mmtc_shed: 0.25,
+            min_urllc_solved: 0.95,
+        }
+    }
+}
+
+/// Whether `over_p99_us` counts as "flat" relative to `base_p99_us`
+/// under a growth-factor cap with an absolute floor.
+fn flat_enough(base_p99_us: u64, over_p99_us: u64, ratio: f64, floor_us: u64) -> bool {
+    let allowance = (base_p99_us as f64 * ratio).max(floor_us as f64);
+    (over_p99_us as f64) <= allowance
+}
+
+impl OverloadExpectation {
+    /// Checks the overload run against the baseline run.
+    ///
+    /// # Errors
+    /// The first violated shape assertion, with the numbers.
+    pub fn check(
+        &self,
+        baseline: &ScenarioReport,
+        overload: &ScenarioReport,
+    ) -> Result<(), String> {
+        let base_urllc = baseline.class(QosClass::Urllc);
+        let over_urllc = overload.class(QosClass::Urllc);
+        if base_urllc.solved == 0 {
+            return Err("baseline run solved no URLLC requests — nothing to compare".into());
+        }
+        if !flat_enough(
+            base_urllc.p99_us(),
+            over_urllc.p99_us(),
+            self.max_urllc_p99_ratio,
+            self.urllc_p99_floor_us,
+        ) {
+            return Err(format!(
+                "URLLC p99 not flat under overload: baseline {} µs, overload {} µs \
+                 (allowed {}× or {} µs)",
+                base_urllc.p99_us(),
+                over_urllc.p99_us(),
+                self.max_urllc_p99_ratio,
+                self.urllc_p99_floor_us
+            ));
+        }
+        if over_urllc.offered > 0 {
+            let solved_frac = over_urllc.solved as f64 / over_urllc.offered as f64;
+            if solved_frac < self.min_urllc_solved {
+                return Err(format!(
+                    "URLLC solved only {:.1}% under overload (want ≥ {:.1}%)",
+                    100.0 * solved_frac,
+                    100.0 * self.min_urllc_solved
+                ));
+            }
+        }
+        let over_mmtc = overload.class(QosClass::Mmtc);
+        if over_mmtc.shed_fraction() < self.min_mmtc_shed {
+            return Err(format!(
+                "mMTC shed only {:.1}% under overload (want ≥ {:.1}%): overload must \
+                 land on the lowest class",
+                100.0 * over_mmtc.shed_fraction(),
+                100.0 * self.min_mmtc_shed
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The scheduling shape: at high utilization, EDF must meet visibly more
+/// deadlines than FIFO on the same arrival sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct DisciplineExpectation {
+    /// Minimum met-deadline-fraction advantage EDF must show over FIFO.
+    pub min_met_gain: f64,
+}
+
+impl Default for DisciplineExpectation {
+    fn default() -> DisciplineExpectation {
+        DisciplineExpectation { min_met_gain: 0.02 }
+    }
+}
+
+impl DisciplineExpectation {
+    /// Checks simulated EDF and FIFO outcomes of the same item sequence.
+    ///
+    /// # Errors
+    /// A message with both outcomes when EDF's advantage is below the
+    /// configured gain.
+    pub fn check(&self, edf: &SimOutcome, fifo: &SimOutcome) -> Result<(), String> {
+        if edf.total() != fifo.total() {
+            return Err(format!(
+                "outcomes cover different arrival counts: {} vs {}",
+                edf.total(),
+                fifo.total()
+            ));
+        }
+        let gain = edf.met_fraction() - fifo.met_fraction();
+        if gain < self.min_met_gain {
+            return Err(format!(
+                "EDF met {:.1}% vs FIFO {:.1}% — gain {:.1}% below the required {:.1}%",
+                100.0 * edf.met_fraction(),
+                100.0 * fifo.met_fraction(),
+                100.0 * gain,
+                100.0 * self.min_met_gain
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatness_uses_ratio_with_an_absolute_floor() {
+        assert!(flat_enough(100, 900, 10.0, 2_000), "within the ratio");
+        assert!(
+            flat_enough(10, 1_900, 10.0, 2_000),
+            "floor rescues tiny baselines"
+        );
+        assert!(!flat_enough(100, 2_500, 10.0, 2_000), "past both bounds");
+        assert!(
+            flat_enough(1_000, 9_000, 10.0, 2_000),
+            "ratio dominates large baselines"
+        );
+        assert!(!flat_enough(1_000, 11_000, 10.0, 2_000));
+    }
+
+    #[test]
+    fn discipline_check_compares_met_fractions() {
+        let edf = SimOutcome {
+            met: 90,
+            late: 10,
+            expired: 0,
+            rejected: 0,
+        };
+        let fifo = SimOutcome {
+            met: 60,
+            late: 40,
+            expired: 0,
+            rejected: 0,
+        };
+        let expectation = DisciplineExpectation::default();
+        assert!(expectation.check(&edf, &fifo).is_ok());
+        assert!(
+            expectation.check(&fifo, &edf).is_err(),
+            "reversed gain fails"
+        );
+        let mismatched = SimOutcome {
+            met: 60,
+            late: 0,
+            expired: 0,
+            rejected: 0,
+        };
+        assert!(
+            expectation.check(&edf, &mismatched).is_err(),
+            "count mismatch fails"
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! Scenario run reporting and closed-book accounting.
+//!
+//! [`ScenarioReport`] is what a load run returns: per-class outcome
+//! counts with *exact* latency quantiles (the harness keeps every sample,
+//! unlike the service's fixed-bin histograms), plus the service's own
+//! [`MetricsSnapshot`] taken at shutdown. [`ScenarioReport::reconcile`]
+//! then cross-checks the two books: every offered request must be
+//! accounted for exactly once, the harness's counts must agree with the
+//! service's, and sustained `QueueFull` rejections must coincide with the
+//! lane having actually hit its configured capacity.
+
+use rcr_qos::QosClass;
+use rcr_serve::{ExpiryPhase, MetricsSnapshot, Outcome, QueuePolicy, RejectReason};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One class's view of a run, from the harness's side of the wire.
+#[derive(Debug, Clone, Default)]
+pub struct ClassReport {
+    /// Requests the harness submitted for this class.
+    pub offered: u64,
+    /// Solved within deadline.
+    pub solved: u64,
+    /// Rejected with `QueueFull`.
+    pub rejected_full: u64,
+    /// Rejected with `ShuttingDown`.
+    pub rejected_shutdown: u64,
+    /// Expired before admission.
+    pub expired_at_enqueue: u64,
+    /// Expired waiting in the lane.
+    pub expired_in_queue: u64,
+    /// Expired detected after the solve finished.
+    pub expired_after_solve: u64,
+    /// Solver errors.
+    pub failed: u64,
+    /// Service-side latency (queue + solve) of each solved request, µs,
+    /// sorted ascending once the run is sealed.
+    latencies_us: Vec<u64>,
+}
+
+impl ClassReport {
+    /// Terminal outcomes recorded — must equal `offered` after a run.
+    pub fn accounted(&self) -> u64 {
+        self.solved
+            + self.rejected_full
+            + self.rejected_shutdown
+            + self.expired_at_enqueue
+            + self.expired_in_queue
+            + self.expired_after_solve
+            + self.failed
+    }
+
+    /// Fraction of offered requests that were shed (rejected or expired).
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        let shed = self.offered - self.solved - self.failed;
+        shed as f64 / self.offered as f64
+    }
+
+    /// Exact latency quantile (nearest-rank on the sorted samples), or
+    /// zero when no request of this class was solved.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let n = self.latencies_us.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.latencies_us[rank - 1]
+    }
+
+    /// Median solved latency, µs.
+    pub fn p50_us(&self) -> u64 {
+        self.latency_quantile_us(0.50)
+    }
+
+    /// 99th-percentile solved latency, µs.
+    pub fn p99_us(&self) -> u64 {
+        self.latency_quantile_us(0.99)
+    }
+
+    /// Maximum solved latency, µs.
+    pub fn max_us(&self) -> u64 {
+        self.latencies_us.last().copied().unwrap_or(0)
+    }
+
+    fn record(&mut self, outcome: &Outcome, latency: Duration) {
+        self.offered += 1;
+        match outcome {
+            Outcome::Solved(_) => {
+                self.solved += 1;
+                self.latencies_us.push(latency.as_micros() as u64);
+            }
+            Outcome::Rejected(RejectReason::QueueFull { .. }) => self.rejected_full += 1,
+            Outcome::Rejected(RejectReason::ShuttingDown) => self.rejected_shutdown += 1,
+            Outcome::Expired(miss) => match miss.phase {
+                ExpiryPhase::AtEnqueue => self.expired_at_enqueue += 1,
+                ExpiryPhase::InQueue => self.expired_in_queue += 1,
+                ExpiryPhase::AfterSolve => self.expired_after_solve += 1,
+            },
+            Outcome::Failed(_) => self.failed += 1,
+        }
+    }
+
+    fn seal(&mut self) {
+        self.latencies_us.sort_unstable();
+    }
+}
+
+/// The complete result of one scenario load run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Per-class harness books, indexed by [`QosClass::priority_rank`].
+    pub per_class: [ClassReport; 3],
+    /// Wall-clock duration of the load loop.
+    pub elapsed: Duration,
+    /// The service's own metrics, snapshotted at shutdown.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Incremental report assembly — the load loop folds each response in as
+/// it completes, so a 10⁶-request run never materializes its outcomes.
+#[derive(Debug, Default)]
+pub struct ReportBuilder {
+    per_class: [ClassReport; 3],
+}
+
+impl ReportBuilder {
+    /// An empty builder.
+    pub fn new() -> ReportBuilder {
+        ReportBuilder::default()
+    }
+
+    /// Folds one response in. `latency` is the service-side total
+    /// (queue time + solve time).
+    pub fn record(&mut self, class: QosClass, outcome: &Outcome, latency: Duration) {
+        self.per_class[class.priority_rank()].record(outcome, latency);
+    }
+
+    /// Seals the books into a [`ScenarioReport`].
+    pub fn finish(mut self, elapsed: Duration, snapshot: MetricsSnapshot) -> ScenarioReport {
+        for report in &mut self.per_class {
+            report.seal();
+        }
+        ScenarioReport {
+            per_class: self.per_class,
+            elapsed,
+            snapshot,
+        }
+    }
+}
+
+impl ScenarioReport {
+    /// The harness book for `class`.
+    pub fn class(&self, class: QosClass) -> &ClassReport {
+        &self.per_class[class.priority_rank()]
+    }
+
+    /// Total requests offered across classes.
+    pub fn offered(&self) -> u64 {
+        self.per_class.iter().map(|c| c.offered).sum()
+    }
+
+    /// Achieved throughput over the run (responses per wall second).
+    pub fn achieved_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.offered() as f64 / secs
+    }
+
+    /// Renders the per-class table plus run totals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<6} {:>9} {:>9} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9} {:>8}",
+            "class",
+            "offered",
+            "solved",
+            "rejected",
+            "expired",
+            "failed",
+            "p50_us",
+            "p99_us",
+            "max_us",
+            "lane_hw"
+        );
+        for class in QosClass::ALL {
+            let c = self.class(class);
+            let _ = writeln!(
+                out,
+                "{:<6} {:>9} {:>9} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9} {:>8}",
+                class.name(),
+                c.offered,
+                c.solved,
+                c.rejected_full + c.rejected_shutdown,
+                c.expired_at_enqueue + c.expired_in_queue + c.expired_after_solve,
+                c.failed,
+                c.p50_us(),
+                c.p99_us(),
+                c.max_us(),
+                self.snapshot.lane_high_water(class),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total  {:>9} requests in {:.3}s ({:.0} req/s)",
+            self.offered(),
+            self.elapsed.as_secs_f64(),
+            self.achieved_rps(),
+        );
+        out
+    }
+
+    /// Cross-checks the harness's books against the service's.
+    ///
+    /// With `policy` provided, additionally requires that any sustained
+    /// `QueueFull` shedding coincides with the lane having reached its
+    /// configured capacity — the accounting that pins the lane-full
+    /// bookkeeping under overload.
+    ///
+    /// # Errors
+    /// The first discrepancy found, as a human-readable message.
+    pub fn reconcile(&self, policy: Option<&QueuePolicy>) -> Result<(), String> {
+        for class in QosClass::ALL {
+            let c = self.class(class);
+            let name = class.name();
+            if c.accounted() != c.offered {
+                return Err(format!(
+                    "{name}: {} outcomes recorded for {} offered requests",
+                    c.accounted(),
+                    c.offered
+                ));
+            }
+            let s = self.snapshot.class(class);
+            let pairs = [
+                ("solved", c.solved, s.solved),
+                (
+                    "rejected",
+                    c.rejected_full + c.rejected_shutdown,
+                    s.rejected,
+                ),
+                (
+                    "expired",
+                    c.expired_at_enqueue + c.expired_in_queue + c.expired_after_solve,
+                    s.expired,
+                ),
+                ("failed", c.failed, s.failed),
+            ];
+            for (what, harness, service) in pairs {
+                if harness != service {
+                    return Err(format!(
+                        "{name}: harness counted {harness} {what}, service counted {service}"
+                    ));
+                }
+            }
+            // Everything the service admitted must terminate past the
+            // admission gate; at-enqueue expiries and rejections never
+            // entered the lane.
+            let past_admission = c.solved + c.failed + c.expired_in_queue + c.expired_after_solve;
+            if s.admitted != past_admission {
+                return Err(format!(
+                    "{name}: service admitted {} but {} outcomes passed admission",
+                    s.admitted, past_admission
+                ));
+            }
+            if let Some(policy) = policy {
+                let capacity = policy.lane(class).capacity;
+                let high_water = self.snapshot.lane_high_water(class);
+                if c.rejected_full > 0 && high_water != capacity {
+                    return Err(format!(
+                        "{name}: {} QueueFull rejections but lane high water {high_water} \
+                         never reached capacity {capacity}",
+                        c.rejected_full
+                    ));
+                }
+                if high_water > capacity {
+                    return Err(format!(
+                        "{name}: lane high water {high_water} exceeds capacity {capacity}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcr_serve::{DeadlineMissed, ScenarioSpec, Solved};
+
+    fn solved_outcome() -> Outcome {
+        let problem = ScenarioSpec {
+            users: 3,
+            resource_blocks: 6,
+            seed: 1,
+        }
+        .to_problem(QosClass::Embb)
+        .expect("valid spec");
+        Outcome::Solved(Solved {
+            solution: rcr_qos::rra::solve_greedy(&problem).expect("solvable"),
+            batch_size: 1,
+        })
+    }
+
+    fn expired(phase: ExpiryPhase) -> Outcome {
+        Outcome::Expired(DeadlineMissed {
+            phase,
+            late_by: Duration::from_micros(5),
+        })
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let mut c = ClassReport::default();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            c.record(&solved_outcome(), Duration::from_micros(us));
+        }
+        c.seal();
+        assert_eq!(c.p50_us(), 50);
+        assert_eq!(c.latency_quantile_us(0.90), 90);
+        assert_eq!(c.p99_us(), 100);
+        assert_eq!(c.max_us(), 100);
+        assert_eq!(c.latency_quantile_us(0.0), 10, "q=0 clamps to min");
+    }
+
+    #[test]
+    fn shed_fraction_counts_rejections_and_expiries() {
+        let mut c = ClassReport::default();
+        c.record(&solved_outcome(), Duration::from_micros(1));
+        c.record(
+            &Outcome::Rejected(RejectReason::QueueFull {
+                depth: 4,
+                capacity: 4,
+            }),
+            Duration::ZERO,
+        );
+        c.record(&expired(ExpiryPhase::InQueue), Duration::ZERO);
+        c.record(&expired(ExpiryPhase::AtEnqueue), Duration::ZERO);
+        c.seal();
+        assert_eq!(c.offered, 4);
+        assert_eq!(c.accounted(), 4);
+        assert!((c.shed_fraction() - 0.75).abs() < 1e-12);
+    }
+}

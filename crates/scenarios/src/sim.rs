@@ -1,0 +1,225 @@
+//! Virtual-time discrete-event simulation over the *real* admission
+//! queue.
+//!
+//! The live service measures scheduling with wall clocks, which makes
+//! discipline comparisons (EDF vs FIFO) machine-dependent and noisy. This
+//! simulator drives the very same [`AdmissionQueue`] — same lanes, same
+//! sweep, same batching triggers — on a virtual µs clock with a single
+//! deterministic server, so "EDF meets more deadlines than FIFO at 0.9
+//! utilization" becomes an exact, replayable statement about the
+//! scheduling code rather than about the machine the test ran on.
+//!
+//! The module is clock-free: the caller supplies the base [`Instant`]
+//! that anchors the virtual timeline (any instant works — only offsets
+//! from it matter), and the simulation never reads a clock.
+
+use rcr_qos::QosClass;
+use rcr_serve::{AdmissionQueue, EnqueueRejection, QueuePolicy};
+use std::time::{Duration, Instant};
+
+/// One arrival to simulate.
+#[derive(Debug, Clone, Copy)]
+pub struct SimItem {
+    /// Virtual arrival time, µs from the base instant.
+    pub at_us: u64,
+    /// Admission lane.
+    pub class: QosClass,
+    /// Deadline budget from arrival, µs.
+    pub deadline_us: u64,
+}
+
+/// Deadline bookkeeping of one simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// Solved with the (serialized) completion inside the deadline.
+    pub met: u64,
+    /// Solved, but the completion landed past the deadline.
+    pub late: u64,
+    /// Expired before service (at enqueue or swept from the lane).
+    pub expired: u64,
+    /// Refused admission (lane full).
+    pub rejected: u64,
+}
+
+impl SimOutcome {
+    /// Total arrivals accounted for.
+    pub fn total(&self) -> u64 {
+        self.met + self.late + self.expired + self.rejected
+    }
+
+    /// Fraction of arrivals whose deadline was met.
+    pub fn met_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.met as f64 / self.total() as f64
+    }
+}
+
+/// Simulates `items` (must be sorted by `at_us`) through an admission
+/// queue under `policy`, with one server taking `service_time_us` per
+/// request; a drained batch of `n` completes its entries serially at
+/// `t + k·service_time_us` for `k = 1..=n`, matching how a batch solve
+/// reports per-entry completions.
+///
+/// # Errors
+/// An invalid `policy`, or unsorted `items`.
+pub fn simulate(
+    base: Instant,
+    items: &[SimItem],
+    service_time_us: u64,
+    policy: &QueuePolicy,
+) -> Result<SimOutcome, String> {
+    if items.windows(2).any(|w| w[0].at_us > w[1].at_us) {
+        return Err("sim items must be sorted by arrival time".into());
+    }
+    let mut queue: AdmissionQueue<usize> =
+        AdmissionQueue::new(policy).map_err(|e| e.to_string())?;
+    let service_time = Duration::from_micros(service_time_us);
+    let mut outcome = SimOutcome::default();
+    let mut now = base;
+    let mut free_at = base;
+    let mut next_item = 0usize;
+    loop {
+        // 1. Expire whatever the clock has overtaken.
+        outcome.expired += queue.sweep_expired(now).len() as u64;
+        // 2. Admit every arrival due by now.
+        while next_item < items.len() && base + Duration::from_micros(items[next_item].at_us) <= now
+        {
+            let item = items[next_item];
+            let deadline_at = base + Duration::from_micros(item.at_us + item.deadline_us);
+            match queue.enqueue(next_item, item.class, now, deadline_at) {
+                Ok(()) => {}
+                Err(EnqueueRejection::QueueFull { .. }) => outcome.rejected += 1,
+                Err(EnqueueRejection::AlreadyExpired { .. }) => outcome.expired += 1,
+            }
+            next_item += 1;
+        }
+        // 3. An idle server takes at most one batch and goes busy.
+        if now >= free_at {
+            if let Some((_, batch)) = queue.next_batch(now, false) {
+                for (k, entry) in batch.iter().enumerate() {
+                    let done = now + service_time * (k as u32 + 1);
+                    if done <= entry.deadline_at {
+                        outcome.met += 1;
+                    } else {
+                        outcome.late += 1;
+                    }
+                }
+                free_at = now + service_time * batch.len() as u32;
+            }
+        }
+        // 4. Advance to the next event.
+        let mut next: Option<Instant> = None;
+        let mut consider = |t: Instant| {
+            next = Some(match next {
+                Some(n) => n.min(t),
+                None => t,
+            });
+        };
+        if next_item < items.len() {
+            consider(base + Duration::from_micros(items[next_item].at_us));
+        }
+        if free_at > now {
+            consider(free_at);
+        } else if let Some(wake) = queue.next_wakeup(now) {
+            consider(wake);
+        }
+        match next {
+            None => break,
+            // A wakeup may be "now" (e.g. ready lane behind a just-freed
+            // server); nudge forward one tick so time always advances.
+            Some(t) if t <= now => now += Duration::from_micros(1),
+            Some(t) => now = t,
+        }
+    }
+    debug_assert_eq!(outcome.total(), items.len() as u64);
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcr_serve::{LanePolicy, QueueDiscipline};
+
+    fn policy(discipline: QueueDiscipline) -> QueuePolicy {
+        let lane = LanePolicy {
+            capacity: 64,
+            max_batch: 4,
+            max_age: Duration::from_micros(200),
+        };
+        QueuePolicy {
+            urllc: lane,
+            embb: lane,
+            mmtc: lane,
+            discipline,
+        }
+    }
+
+    /// Bursts of 9 requests every 10 ms against a 1 ms server — 0.9
+    /// utilization, but *bursty*, so a queue actually forms. Each burst
+    /// puts five loose-deadline items ahead of four tight-deadline ones:
+    /// EDF reorders to save the tight ones, FIFO can't.
+    fn items(bursts: u64) -> Vec<SimItem> {
+        let mut v = Vec::new();
+        for b in 0..bursts {
+            let at_us = b * 10_000;
+            for i in 0..9u64 {
+                v.push(SimItem {
+                    at_us,
+                    class: QosClass::Embb,
+                    deadline_us: if i < 5 { 50_000 } else { 5_000 },
+                });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn accounts_for_every_item_and_is_deterministic() {
+        let items = items(50);
+        let a = simulate(Instant::now(), &items, 1_000, &policy(QueueDiscipline::Edf)).unwrap();
+        let b = simulate(Instant::now(), &items, 1_000, &policy(QueueDiscipline::Edf)).unwrap();
+        assert_eq!(a, b, "virtual time ⇒ base instant must not matter");
+        assert_eq!(a.total(), 450);
+    }
+
+    #[test]
+    fn underload_meets_every_deadline_under_both_disciplines() {
+        // 10% utilization: gap 10ms, service 1ms, generous deadlines.
+        let easy: Vec<SimItem> = (0..100)
+            .map(|i| SimItem {
+                at_us: i * 10_000,
+                class: QosClass::Embb,
+                deadline_us: 50_000,
+            })
+            .collect();
+        for discipline in [QueueDiscipline::Edf, QueueDiscipline::Fifo] {
+            let out = simulate(Instant::now(), &easy, 1_000, &policy(discipline)).unwrap();
+            assert_eq!(out.met, 100, "{discipline:?} shed under 10% load: {out:?}");
+        }
+    }
+
+    #[test]
+    fn edf_beats_fifo_at_high_utilization() {
+        let items = items(200);
+        let edf = simulate(Instant::now(), &items, 1_000, &policy(QueueDiscipline::Edf)).unwrap();
+        let fifo = simulate(
+            Instant::now(),
+            &items,
+            1_000,
+            &policy(QueueDiscipline::Fifo),
+        )
+        .unwrap();
+        assert!(
+            edf.met > fifo.met,
+            "EDF must meet more deadlines than FIFO at 0.9 utilization: {edf:?} vs {fifo:?}"
+        );
+        // The gap is structural, not marginal: every tight deadline EDF
+        // rescues, FIFO burns.
+        assert!(
+            edf.met_fraction() - fifo.met_fraction() > 0.2,
+            "expected a structural gap: {edf:?} vs {fifo:?}"
+        );
+    }
+}

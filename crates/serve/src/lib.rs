@@ -76,7 +76,9 @@ pub mod service;
 pub mod wire;
 
 pub use metrics::{ClassCounters, LatencySummary, MetricsSnapshot};
-pub use queue::{AdmissionQueue, EnqueueRejection, LanePolicy, PolicyError, QueuePolicy};
+pub use queue::{
+    AdmissionQueue, EnqueueRejection, LanePolicy, PolicyError, QueueDiscipline, QueuePolicy,
+};
 pub use request::{
     DeadlineMissed, ExpiryPhase, Outcome, Payload, RejectReason, ScenarioSpec, SolveRequest,
     SolveResponse, Solved, SolverKind,

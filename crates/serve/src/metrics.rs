@@ -133,6 +133,16 @@ pub struct MetricsSnapshot {
     /// Counters per class, indexed by [`QosClass::priority_rank`] (the
     /// [`QosClass::ALL`] order).
     pub per_class: [ClassCounters; 3],
+    /// Enqueue → response latency per class (solved and failed
+    /// requests), indexed like [`MetricsSnapshot::per_class`] — what
+    /// lets a scenario expectation assert "URLLC p99 stayed flat"
+    /// without parsing logs.
+    pub per_class_response_latency: [LatencySummary; 3],
+    /// Highest depth each class lane ever reached, indexed like
+    /// [`MetricsSnapshot::per_class`]. A lane that rejected work must
+    /// show its configured capacity here — the reconciliation
+    /// invariant the scenario overload tests pin.
+    pub lane_depth_high_water: [usize; 3],
     /// Highest total queue depth ever observed.
     pub queue_depth_high_water: usize,
     /// Enqueue → batch-drain latency of admitted requests.
@@ -153,6 +163,17 @@ impl MetricsSnapshot {
         &self.per_class[class.priority_rank()]
     }
 
+    /// Enqueue → response latency of `class` (solved and failed
+    /// requests of that class only).
+    pub fn class_response_latency(&self, class: QosClass) -> &LatencySummary {
+        &self.per_class_response_latency[class.priority_rank()]
+    }
+
+    /// Highest depth `class`'s lane ever reached.
+    pub fn lane_high_water(&self, class: QosClass) -> usize {
+        self.lane_depth_high_water[class.priority_rank()]
+    }
+
     /// Sum of terminal responses over all classes.
     pub fn total_responses(&self) -> u64 {
         self.per_class.iter().map(ClassCounters::responses).sum()
@@ -162,17 +183,23 @@ impl MetricsSnapshot {
     /// example and bench output).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str("class   admitted rejected  expired   solved   failed\n");
+        out.push_str(
+            "class   admitted rejected  expired   solved   failed   p50_us   p99_us  lane_hw\n",
+        );
         for class in QosClass::ALL {
             let c = self.class(class);
+            let lat = self.class_response_latency(class);
             out.push_str(&format!(
-                "{:<7} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                "{:<7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
                 class.name(),
                 c.admitted,
                 c.rejected,
                 c.expired,
                 c.solved,
-                c.failed
+                c.failed,
+                lat.p50.as_micros(),
+                lat.p99.as_micros(),
+                self.lane_high_water(class),
             ));
         }
         out.push_str(&format!(
@@ -200,6 +227,7 @@ impl MetricsSnapshot {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Metrics {
     pub per_class: [ClassCounters; 3],
+    pub per_class_response: [LatencyHistogram; 3],
     pub queue_latency: LatencyHistogram,
     pub solve_latency: LatencyHistogram,
     pub response_latency: LatencyHistogram,
@@ -211,9 +239,22 @@ impl Metrics {
         &mut self.per_class[class.priority_rank()]
     }
 
-    pub fn snapshot(&self, queue_depth_high_water: usize, reuse: ReuseCounters) -> MetricsSnapshot {
+    pub fn class_response_mut(&mut self, class: QosClass) -> &mut LatencyHistogram {
+        &mut self.per_class_response[class.priority_rank()]
+    }
+
+    pub fn snapshot(
+        &self,
+        queue_depth_high_water: usize,
+        lane_depth_high_water: [usize; 3],
+        reuse: ReuseCounters,
+    ) -> MetricsSnapshot {
+        let summaries =
+            |h: &[LatencyHistogram; 3]| [h[0].summary(), h[1].summary(), h[2].summary()];
         MetricsSnapshot {
             per_class: self.per_class,
+            per_class_response_latency: summaries(&self.per_class_response),
+            lane_depth_high_water,
             queue_depth_high_water,
             queue_latency: self.queue_latency.summary(),
             solve_latency: self.solve_latency.summary(),
@@ -283,8 +324,11 @@ mod tests {
         m.class_mut(QosClass::Embb).rejected = 2;
         m.class_mut(QosClass::Mmtc).expired = 1;
         m.class_mut(QosClass::Mmtc).admitted = 5;
+        m.class_response_mut(QosClass::Urllc)
+            .record(Duration::from_micros(100));
         let snap = m.snapshot(
             7,
+            [4, 2, 1],
             ReuseCounters {
                 hits: 4,
                 misses: 2,
@@ -294,9 +338,15 @@ mod tests {
         assert_eq!(snap.total_responses(), 6);
         assert_eq!(snap.queue_depth_high_water, 7);
         assert_eq!(snap.class(QosClass::Urllc).solved, 3);
+        assert_eq!(snap.lane_high_water(QosClass::Urllc), 4);
+        assert_eq!(snap.lane_high_water(QosClass::Mmtc), 1);
+        assert_eq!(snap.class_response_latency(QosClass::Urllc).count, 1);
+        assert!(snap.class_response_latency(QosClass::Urllc).p99 >= Duration::from_micros(100));
+        assert_eq!(snap.class_response_latency(QosClass::Embb).count, 0);
         let table = snap.render();
         assert!(table.contains("URLLC"));
         assert!(table.contains("high water: 7"));
+        assert!(table.contains("lane_hw"));
         assert!(table.contains("reuse: hits=4 misses=2 evictions=1"));
     }
 }

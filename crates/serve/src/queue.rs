@@ -31,6 +31,22 @@ pub struct LanePolicy {
     pub max_age: Duration,
 }
 
+/// Intra-lane ordering discipline.
+///
+/// [`QueueDiscipline::Edf`] is the production default; `Fifo` exists as
+/// the experimental control the scenario harness compares it against
+/// ("EDF beats FIFO at high utilization" is a *measured* claim, so the
+/// strawman has to be runnable, not hypothetical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// Earliest-deadline-first, arrival order as the tie-break.
+    #[default]
+    Edf,
+    /// Pure arrival order, deadlines ignored for ordering (they still
+    /// expire entries).
+    Fifo,
+}
+
 /// Policy for all three lanes.
 ///
 /// Defaults encode the classes' semantics: URLLC never waits (batch of
@@ -44,6 +60,8 @@ pub struct QueuePolicy {
     pub embb: LanePolicy,
     /// mMTC lane.
     pub mmtc: LanePolicy,
+    /// Ordering within every lane (EDF unless experimenting).
+    pub discipline: QueueDiscipline,
 }
 
 impl Default for QueuePolicy {
@@ -64,6 +82,7 @@ impl Default for QueuePolicy {
                 max_batch: 32,
                 max_age: Duration::from_millis(2),
             },
+            discipline: QueueDiscipline::Edf,
         }
     }
 }
@@ -158,13 +177,27 @@ pub enum EnqueueRejection<T> {
 #[derive(Debug)]
 struct Lane<T> {
     policy: LanePolicy,
-    // Sorted ascending by (deadline_at, seq): index 0 is the EDF front.
+    discipline: QueueDiscipline,
+    // EDF: sorted ascending by (deadline_at, seq), index 0 is the front.
+    // FIFO: sorted by seq (arrival), index 0 is the oldest arrival.
     entries: Vec<Queued<T>>,
+    /// Highest depth this lane ever reached.
+    high_water: usize,
 }
 
 impl<T> Lane<T> {
     fn oldest_enqueue(&self) -> Option<Instant> {
         self.entries.iter().map(|e| e.enqueued_at).min()
+    }
+
+    /// The earliest deadline queued in this lane. Under EDF that is the
+    /// front entry; under FIFO the front is the oldest *arrival*, so the
+    /// whole lane is scanned.
+    fn urgent_deadline(&self) -> Option<Instant> {
+        match self.discipline {
+            QueueDiscipline::Edf => self.entries.first().map(|e| e.deadline_at),
+            QueueDiscipline::Fifo => self.entries.iter().map(|e| e.deadline_at).min(),
+        }
     }
 
     /// Whether this lane should fire a batch at `now`.
@@ -181,7 +214,9 @@ impl<T> Lane<T> {
         let age_due = self
             .oldest_enqueue()
             .is_some_and(|t| now.saturating_duration_since(t) >= self.policy.max_age);
-        let deadline_close = self.entries[0].deadline_at <= now + self.policy.max_age;
+        let deadline_close = self
+            .urgent_deadline()
+            .is_some_and(|d| d <= now + self.policy.max_age);
         age_due || deadline_close
     }
 }
@@ -219,7 +254,9 @@ impl<T> AdmissionQueue<T> {
         policy.validate()?;
         let lane = |p: &LanePolicy| Lane {
             policy: *p,
+            discipline: policy.discipline,
             entries: Vec::new(),
+            high_water: 0,
         };
         Ok(AdmissionQueue {
             lanes: [lane(&policy.urllc), lane(&policy.embb), lane(&policy.mmtc)],
@@ -268,10 +305,17 @@ impl<T> AdmissionQueue<T> {
             deadline_at,
             seq,
         };
-        let at = lane
-            .entries
-            .partition_point(|e| (e.deadline_at, e.seq) <= (entry.deadline_at, entry.seq));
-        lane.entries.insert(at, entry);
+        match lane.discipline {
+            QueueDiscipline::Edf => {
+                let at = lane
+                    .entries
+                    .partition_point(|e| (e.deadline_at, e.seq) <= (entry.deadline_at, entry.seq));
+                lane.entries.insert(at, entry);
+            }
+            // Arrival order: seq is monotone, so pushing keeps the sort.
+            QueueDiscipline::Fifo => lane.entries.push(entry),
+        }
+        lane.high_water = lane.high_water.max(lane.entries.len());
         self.depth_high_water = self.depth_high_water.max(self.depth());
         Ok(())
     }
@@ -283,9 +327,27 @@ impl<T> AdmissionQueue<T> {
     pub fn sweep_expired(&mut self, now: Instant) -> Vec<Queued<T>> {
         let mut expired = Vec::new();
         for lane in &mut self.lanes {
-            // EDF order ⇒ expired entries form a prefix of the lane.
-            let cut = lane.entries.partition_point(|e| e.deadline_at <= now);
-            expired.extend(lane.entries.drain(..cut));
+            match lane.discipline {
+                QueueDiscipline::Edf => {
+                    // EDF order ⇒ expired entries form a prefix of the lane.
+                    let cut = lane.entries.partition_point(|e| e.deadline_at <= now);
+                    expired.extend(lane.entries.drain(..cut));
+                }
+                QueueDiscipline::Fifo => {
+                    // Arrival order says nothing about deadlines: expired
+                    // entries can sit anywhere, so partition the whole
+                    // lane, keeping the survivors' arrival order.
+                    let mut live = Vec::with_capacity(lane.entries.len());
+                    for e in lane.entries.drain(..) {
+                        if e.deadline_at <= now {
+                            expired.push(e);
+                        } else {
+                            live.push(e);
+                        }
+                    }
+                    lane.entries = live;
+                }
+            }
         }
         expired
     }
@@ -333,14 +395,11 @@ impl<T> AdmissionQueue<T> {
             if let Some(oldest) = lane.oldest_enqueue() {
                 consider(oldest + lane.policy.max_age);
             }
-            let front = &lane.entries[0];
-            // Deadline-proximity trigger, then the expiry itself.
-            consider(proximity_trigger(
-                front.deadline_at,
-                lane.policy.max_age,
-                now,
-            ));
-            consider(front.deadline_at);
+            if let Some(urgent) = lane.urgent_deadline() {
+                // Deadline-proximity trigger, then the expiry itself.
+                consider(proximity_trigger(urgent, lane.policy.max_age, now));
+                consider(urgent);
+            }
         }
         wake
     }
@@ -364,6 +423,20 @@ impl<T> AdmissionQueue<T> {
     pub fn depth_high_water(&self) -> usize {
         self.depth_high_water
     }
+
+    /// Highest depth `class`'s lane ever reached.
+    pub fn lane_depth_high_water(&self, class: QosClass) -> usize {
+        self.lane(class).high_water
+    }
+
+    /// Per-lane high waters indexed by [`QosClass::priority_rank`].
+    pub fn lane_high_waters(&self) -> [usize; 3] {
+        [
+            self.lanes[0].high_water,
+            self.lanes[1].high_water,
+            self.lanes[2].high_water,
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -380,6 +453,7 @@ mod tests {
             urllc: lane,
             embb: lane,
             mmtc: lane,
+            discipline: QueueDiscipline::Edf,
         }
     }
 
@@ -606,6 +680,83 @@ mod tests {
             proximity_trigger(d, Duration::from_millis(10), t0),
             d - Duration::from_millis(10)
         );
+    }
+
+    #[test]
+    fn fifo_drains_in_arrival_order_ignoring_deadlines() {
+        let mut p = policy(16, 16, 0);
+        p.discipline = QueueDiscipline::Fifo;
+        let mut q = AdmissionQueue::new(&p).unwrap();
+        let t0 = Instant::now();
+        let ms = Duration::from_millis(1);
+        q.enqueue("late", QosClass::Embb, t0, t0 + 30 * ms).unwrap();
+        q.enqueue("early", QosClass::Embb, t0, t0 + 10 * ms)
+            .unwrap();
+        q.enqueue("mid", QosClass::Embb, t0, t0 + 20 * ms).unwrap();
+        let (_, batch) = q.next_batch(t0, false).unwrap();
+        let order: Vec<&str> = batch.iter().map(|e| e.item).collect();
+        assert_eq!(order, ["late", "early", "mid"]);
+    }
+
+    #[test]
+    fn fifo_sweeps_mid_queue_expiry_preserving_arrival_order() {
+        let mut p = policy(16, 16, 1_000_000);
+        p.discipline = QueueDiscipline::Fifo;
+        let mut q = AdmissionQueue::new(&p).unwrap();
+        let t0 = Instant::now();
+        let ms = Duration::from_millis(1);
+        // The soon-to-expire entry sits in the middle of the lane, which
+        // the EDF prefix sweep would miss under FIFO ordering.
+        q.enqueue("keep-a", QosClass::Mmtc, t0, far(t0)).unwrap();
+        q.enqueue("dies", QosClass::Mmtc, t0, t0 + 2 * ms).unwrap();
+        q.enqueue("keep-b", QosClass::Mmtc, t0, far(t0)).unwrap();
+        let later = t0 + 5 * ms;
+        let swept = q.sweep_expired(later);
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].item, "dies");
+        let (_, batch) = q.next_batch(later, true).unwrap();
+        let order: Vec<&str> = batch.iter().map(|e| e.item).collect();
+        assert_eq!(order, ["keep-a", "keep-b"]);
+    }
+
+    #[test]
+    fn fifo_urgent_deadline_still_triggers_and_wakes() {
+        let mut p = policy(16, 8, 10_000);
+        p.discipline = QueueDiscipline::Fifo;
+        let mut q = AdmissionQueue::new(&p).unwrap();
+        let t0 = Instant::now();
+        // The urgent deadline is on the *second* arrival; FIFO must still
+        // see it (scan, not front-peek) for both ready() and next_wakeup().
+        q.enqueue(0u32, QosClass::Mmtc, t0, far(t0)).unwrap();
+        assert!(q.next_batch(t0, false).is_none());
+        q.enqueue(1, QosClass::Mmtc, t0, t0 + Duration::from_millis(5))
+            .unwrap();
+        assert_eq!(q.next_wakeup(t0), Some(t0));
+        assert!(q.next_batch(t0, false).is_some());
+    }
+
+    #[test]
+    fn per_lane_high_water_tracks_each_lane_independently() {
+        let mut q = AdmissionQueue::new(&policy(4, 16, 1_000_000)).unwrap();
+        let t0 = Instant::now();
+        for i in 0..4u32 {
+            q.enqueue(i, QosClass::Mmtc, t0, far(t0)).unwrap();
+        }
+        // Full lane: rejection implies the lane's high water hit capacity.
+        assert!(matches!(
+            q.enqueue(4, QosClass::Mmtc, t0, far(t0)),
+            Err(EnqueueRejection::QueueFull { .. })
+        ));
+        q.enqueue(5, QosClass::Urllc, t0, far(t0)).unwrap();
+        let _ = q.next_batch(t0, true);
+        let _ = q.next_batch(t0, true);
+        assert_eq!(q.lane_depth_high_water(QosClass::Mmtc), 4);
+        assert_eq!(q.lane_depth_high_water(QosClass::Urllc), 1);
+        assert_eq!(q.lane_depth_high_water(QosClass::Embb), 0);
+        assert_eq!(q.lane_high_waters(), [1, 0, 4]);
+        // Draining does not lower a high water.
+        assert!(q.is_empty());
+        assert_eq!(q.depth_high_water(), 5);
     }
 
     #[test]

@@ -170,12 +170,13 @@ struct Shared {
 
 impl Shared {
     fn snapshot(&self) -> MetricsSnapshot {
-        let high_water = self
-            .state
-            .lock()
-            .expect("serve: state mutex poisoned")
-            .queue
-            .depth_high_water();
+        let (high_water, lane_high_waters) = {
+            let state = self.state.lock().expect("serve: state mutex poisoned");
+            (
+                state.queue.depth_high_water(),
+                state.queue.lane_high_waters(),
+            )
+        };
         let reuse = self
             .engine
             .reuse
@@ -185,7 +186,7 @@ impl Shared {
         self.metrics
             .lock()
             .expect("serve: metrics mutex poisoned")
-            .snapshot(high_water, reuse)
+            .snapshot(high_water, lane_high_waters, reuse)
     }
 }
 
@@ -478,9 +479,9 @@ fn solve_batch(shared: &Shared, entries: Vec<Queued<Job>>) {
         let queue_time = drained_at.saturating_duration_since(enqueued_at);
         metrics.queue_latency.record(queue_time);
         metrics.solve_latency.record(solve_time);
-        metrics
-            .response_latency
-            .record(completed_at.saturating_duration_since(enqueued_at));
+        let response_time = completed_at.saturating_duration_since(enqueued_at);
+        metrics.response_latency.record(response_time);
+        metrics.class_response_mut(class).record(response_time);
         let outcome = match result {
             // The deadline gate: a late solve is reported as expired, so
             // downstream consumers can rely on "solved ⇒ in time".

@@ -268,14 +268,22 @@ pub fn encode_metrics(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::from("{\"outcome\":\"metrics\"");
     for class in QosClass::ALL {
         let c = snapshot.class(class);
+        let lat = snapshot.class_response_latency(class);
         out.push_str(&format!(
-            ",{}:{{\"admitted\":{},\"rejected\":{},\"expired\":{},\"solved\":{},\"failed\":{}}}",
+            ",{}:{{\"admitted\":{},\"rejected\":{},\"expired\":{},\"solved\":{},\"failed\":{},\
+             \"lane_depth_high_water\":{},\"response_latency\":{{\"count\":{},\"p50_us\":{},\
+             \"p99_us\":{},\"max_us\":{}}}}}",
             json::encode_str(class.name()),
             c.admitted,
             c.rejected,
             c.expired,
             c.solved,
-            c.failed
+            c.failed,
+            snapshot.lane_high_water(class),
+            lat.count,
+            lat.p50.as_micros(),
+            lat.p99.as_micros(),
+            lat.max.as_micros(),
         ));
     }
     let lat = |name: &str, s: &crate::metrics::LatencySummary| {
@@ -595,7 +603,15 @@ mod tests {
 
     #[test]
     fn metrics_encode_is_valid_json() {
-        let snapshot = MetricsSnapshot::default();
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.per_class[0].solved = 5;
+        snapshot.lane_depth_high_water = [3, 0, 7];
+        snapshot.per_class_response_latency[0] = crate::metrics::LatencySummary {
+            count: 5,
+            p50: Duration::from_micros(64),
+            p99: Duration::from_micros(256),
+            max: Duration::from_micros(300),
+        };
         let line = encode_metrics(&snapshot);
         let value = json::parse(&line).unwrap();
         let obj = value.as_object().unwrap();
@@ -603,7 +619,25 @@ mod tests {
             obj.get("outcome").and_then(JsonValue::as_str),
             Some("metrics")
         );
-        assert!(obj.get("URLLC").is_some());
         assert_eq!(obj.get_u64("batches"), Some(0));
+        let urllc = obj
+            .get("URLLC")
+            .and_then(JsonValue::as_object)
+            .expect("URLLC block");
+        assert_eq!(urllc.get_u64("solved"), Some(5));
+        assert_eq!(urllc.get_u64("lane_depth_high_water"), Some(3));
+        let lat = urllc
+            .get("response_latency")
+            .and_then(JsonValue::as_object)
+            .expect("per-class latency block");
+        assert_eq!(lat.get_u64("count"), Some(5));
+        assert_eq!(lat.get_u64("p50_us"), Some(64));
+        assert_eq!(lat.get_u64("p99_us"), Some(256));
+        assert_eq!(lat.get_u64("max_us"), Some(300));
+        let mmtc = obj
+            .get("mMTC")
+            .and_then(JsonValue::as_object)
+            .expect("mMTC block");
+        assert_eq!(mmtc.get_u64("lane_depth_high_water"), Some(7));
     }
 }

@@ -1,0 +1,52 @@
+//! Diurnal-storm scenario demo: replay the committed 100k-request,
+//! million-user manifest against a live service and print the per-class
+//! report — the workload behind EXPERIMENTS.md E17.
+//!
+//! The committed run manifest pins the trace with a 128-bit digest, so
+//! the first thing this example does is *prove the replay*: regenerate
+//! the trace from the spec and check the digest bit-for-bit. Then the
+//! trace is offered open-loop at 2× virtual speed — a million distinct
+//! users means no solution reuse, so the wave crest lands far past the
+//! cold-solve capacity and the lanes show their priority order starkly:
+//! what little the service can solve goes to URLLC, eMBB expires in
+//! queue, and mMTC is mostly bounced at admission before it can waste
+//! queue space it would never survive.
+//!
+//! ```sh
+//! cargo run --release --example scenario_storm
+//! ```
+
+use rcr::scenarios::{run_scenario, trace_digest, LoadMode, RunManifest};
+use rcr::serve::ServiceConfig;
+
+const COMMITTED: &str = include_str!("../crates/scenarios/manifests/diurnal_storm.json");
+const SPEED: f64 = 2.0;
+
+fn main() {
+    let run = RunManifest::parse(COMMITTED.trim()).expect("committed manifest parses");
+    let manifest = &run.manifest;
+    println!(
+        "scenario {:?}: {} requests, {} users across {} cells",
+        manifest.name, manifest.requests, manifest.population, manifest.cells
+    );
+
+    let digest = trace_digest(manifest).expect("valid manifest");
+    assert_eq!(
+        digest, run.trace_digest,
+        "replay contract broken: regenerated trace digest differs from the committed one"
+    );
+    println!("trace digest {digest} — replay verified");
+
+    let report = run_scenario(
+        manifest,
+        ServiceConfig::default(),
+        LoadMode::Open { speed: SPEED },
+    )
+    .expect("load run completes");
+    report
+        .reconcile(Some(&ServiceConfig::default().queue))
+        .expect("harness and service books reconcile");
+
+    println!("offered open-loop at {SPEED}x virtual speed:");
+    print!("{}", report.render());
+}

@@ -1,21 +1,27 @@
 #!/usr/bin/env bash
 # The CI gate: release build, complete test suite, formatting, lints.
-# Usage: scripts/verify.sh [--quick] [--bench-smoke]
+# Usage: scripts/verify.sh [--quick] [--bench-smoke] [--scenario-smoke]
 #   --quick        build + tests only (skips rcr-lint, fmt, clippy, and bench compilation)
 #   --bench-smoke  also run the benchmark suite in smoke mode and diff the
 #                  results against the committed BENCH_6.json baseline
 #                  (wall-time regressions beyond 25% of the host factor,
 #                  allocation-count drift, and the pinned blocked-GEMM
 #                  speedup / scratch-path allocation reductions all fail)
+#   --scenario-smoke  also replay a capped 10⁴-request scenario through a
+#                  live service (optimized build) and require exact
+#                  per-class accounting — the fast end-to-end check that
+#                  the scenario engine and the admission lanes agree
 set -eu
 cd "$(dirname "$0")/.."
 
 quick=0
 bench_smoke=0
+scenario_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --quick) quick=1 ;;
     --bench-smoke) bench_smoke=1 ;;
+    --scenario-smoke) scenario_smoke=1 ;;
     *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -67,6 +73,11 @@ if [ "$bench_smoke" -eq 1 ]; then
     echo "verify.sh: bench regression gate failed on both attempts" >&2
     exit 1
   fi
+fi
+
+if [ "$scenario_smoke" -eq 1 ]; then
+  echo "== scenario smoke (10⁴-request closed-loop replay, exact books) ==" >&2
+  cargo test -q --release --test integration_scenarios scenario_smoke
 fi
 
 echo "verify.sh: all gates passed" >&2

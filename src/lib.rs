@@ -35,6 +35,7 @@ pub use rcr_numerics as numerics;
 pub use rcr_pso as pso;
 pub use rcr_qos as qos;
 pub use rcr_runtime as runtime;
+pub use rcr_scenarios as scenarios;
 pub use rcr_serve as serve;
 pub use rcr_signal as signal;
 pub use rcr_verify as verify;

@@ -60,6 +60,7 @@ fn config(workers: usize) -> ServiceConfig {
                 max_batch: 32,
                 max_age: Duration::from_millis(2),
             },
+            ..QueuePolicy::default()
         },
         ..ServiceConfig::default()
     }
@@ -242,7 +243,22 @@ fn loopback_tcp_round_trip() {
             .and_then(rcr::serve::json::JsonValue::as_str),
         Some("metrics")
     );
-    assert!(obj.get("URLLC").is_some());
+    // Per-class blocks carry the new lane high water + latency summary.
+    let urllc = obj
+        .get("URLLC")
+        .and_then(rcr::serve::json::JsonValue::as_object)
+        .expect("URLLC block");
+    assert!(urllc.get_u64("solved").unwrap_or(0) > 0);
+    assert!(urllc.get_u64("lane_depth_high_water").is_some());
+    let lat = urllc
+        .get("response_latency")
+        .and_then(rcr::serve::json::JsonValue::as_object)
+        .expect("per-class latency block");
+    assert_eq!(
+        lat.get_u64("count"),
+        Some(urllc.get_u64("solved").unwrap()),
+        "URLLC latency samples == solved responses for this trace"
+    );
 
     drop(writer);
     drop(reader);
