@@ -23,7 +23,8 @@ use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 
 /// Bump on any change to tokenizer, rules, or semantic extraction.
-pub const ANALYZER_VERSION: u64 = 1;
+/// (2: dataflow layer — time_ops/allocs/reductions site vectors.)
+pub const ANALYZER_VERSION: u64 = 2;
 
 /// Relative location of the cache document under the workspace root.
 pub const CACHE_REL_PATH: &str = "target/rcr-lint-cache.json";
@@ -36,12 +37,34 @@ pub struct Cache {
     pub hits: usize,
     pub misses: usize,
     dirty: bool,
+    /// Rule-set fingerprint the on-disk document is keyed by.
+    fingerprint: u64,
 }
 
-/// Stable content key for one file.
-pub fn content_key(crate_name: &str, rel_path: &str, source: &str) -> u64 {
+/// Fingerprint of the active rule set: every lexical rule's id and
+/// summary plus every semantic/dataflow slug, folded with
+/// [`ANALYZER_VERSION`]. Editing a rule or adding a pass changes it,
+/// which invalidates every warm cache entry — a cache must never serve
+/// a "clean" verdict computed under a different rule set.
+pub fn ruleset_fingerprint() -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     ANALYZER_VERSION.hash(&mut h);
+    for r in registry() {
+        r.slug.hash(&mut h);
+        r.summary.hash(&mut h);
+    }
+    for slug in passes::SEMANTIC_RULES {
+        slug.hash(&mut h);
+    }
+    BAD_PRAGMA.hash(&mut h);
+    h.finish()
+}
+
+/// Stable content key for one file (includes the rule-set fingerprint,
+/// so a key is only ever valid for the rule set that minted it).
+pub fn content_key(crate_name: &str, rel_path: &str, source: &str) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    ruleset_fingerprint().hash(&mut h);
     crate_name.hash(&mut h);
     rel_path.hash(&mut h);
     source.hash(&mut h);
@@ -51,9 +74,16 @@ pub fn content_key(crate_name: &str, rel_path: &str, source: &str) -> u64 {
 impl Cache {
     /// Loads the cache for `root`; any problem yields an empty cache.
     pub fn load(root: &Path) -> Cache {
+        Self::load_keyed(root, ruleset_fingerprint())
+    }
+
+    /// [`Cache::load`] under an explicit fingerprint — split out so
+    /// tests can prove cross-fingerprint invalidation.
+    pub fn load_keyed(root: &Path, fingerprint: u64) -> Cache {
         let path = root.join(CACHE_REL_PATH);
         let mut cache = Cache {
             path: Some(path.clone()),
+            fingerprint,
             ..Cache::default()
         };
         let Ok(text) = std::fs::read_to_string(&path) else {
@@ -63,6 +93,9 @@ impl Cache {
             return cache;
         };
         if v.get("version").and_then(Value::as_u64) != Some(ANALYZER_VERSION) {
+            return cache;
+        }
+        if v.get("ruleset").and_then(Value::as_str) != Some(fingerprint.to_string().as_str()) {
             return cache;
         }
         if let Some(Value::Obj(files)) = v.get("files") {
@@ -143,6 +176,7 @@ impl Cache {
             .collect();
         let doc = obj(vec![
             ("version", n(ANALYZER_VERSION)),
+            ("ruleset", s(&self.fingerprint.to_string())),
             ("files", Value::Obj(files)),
         ]);
         if let Some(dir) = path.parent() {
@@ -229,6 +263,9 @@ fn report_to_json(r: &FileReport) -> Value {
                 ("cut_panics", n(r.sem.cut_panics as u64)),
                 ("cut_taints", n(r.sem.cut_taints as u64)),
                 ("cut_risky", n(r.sem.cut_risky as u64)),
+                ("cut_time_ops", n(r.sem.cut_time_ops as u64)),
+                ("cut_allocs", n(r.sem.cut_allocs as u64)),
+                ("cut_reductions", n(r.sem.cut_reductions as u64)),
             ]),
         ),
     ])
@@ -246,6 +283,7 @@ fn fn_to_json(f: &FnDef) -> Value {
         ("line", n(f.line as u64)),
         ("cut_panic", Value::Bool(f.cut_panic)),
         ("cut_taint", Value::Bool(f.cut_taint)),
+        ("cut_alloc", Value::Bool(f.cut_alloc)),
         (
             "calls",
             Value::Arr(
@@ -300,6 +338,18 @@ fn fn_to_json(f: &FnDef) -> Value {
             "taints",
             Value::Arr(f.taints.iter().map(site_to_json).collect()),
         ),
+        (
+            "time_ops",
+            Value::Arr(f.time_ops.iter().map(site_to_json).collect()),
+        ),
+        (
+            "allocs",
+            Value::Arr(f.allocs.iter().map(site_to_json).collect()),
+        ),
+        (
+            "reductions",
+            Value::Arr(f.reductions.iter().map(site_to_json).collect()),
+        ),
     ])
 }
 
@@ -315,6 +365,7 @@ fn fn_from_json(v: &Value) -> Option<FnDef> {
         line: v.get("line")?.as_u64()? as u32,
         cut_panic: v.get("cut_panic")?.as_bool()?,
         cut_taint: v.get("cut_taint")?.as_bool()?,
+        cut_alloc: v.get("cut_alloc")?.as_bool()?,
         calls: v
             .get("calls")?
             .as_arr()?
@@ -364,6 +415,24 @@ fn fn_from_json(v: &Value) -> Option<FnDef> {
             .iter()
             .filter_map(site_from_json)
             .collect(),
+        time_ops: v
+            .get("time_ops")?
+            .as_arr()?
+            .iter()
+            .filter_map(site_from_json)
+            .collect(),
+        allocs: v
+            .get("allocs")?
+            .as_arr()?
+            .iter()
+            .filter_map(site_from_json)
+            .collect(),
+        reductions: v
+            .get("reductions")?
+            .as_arr()?
+            .iter()
+            .filter_map(site_from_json)
+            .collect(),
     })
 }
 
@@ -400,6 +469,9 @@ fn report_from_json(v: &Value) -> Option<FileReport> {
         cut_panics: sem.get("cut_panics")?.as_u64()? as usize,
         cut_taints: sem.get("cut_taints")?.as_u64()? as usize,
         cut_risky: sem.get("cut_risky")?.as_u64()? as usize,
+        cut_time_ops: sem.get("cut_time_ops")?.as_u64()? as usize,
+        cut_allocs: sem.get("cut_allocs")?.as_u64()? as usize,
+        cut_reductions: sem.get("cut_reductions")?.as_u64()? as usize,
     };
     Some(report)
 }
@@ -459,6 +531,31 @@ mod tests {
         cache.save();
         let mut reloaded = Cache::load(&dir);
         assert!(reloaded.get("crates/qos/src/lib.rs", key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_written_under_one_ruleset_is_ignored_under_another() {
+        let dir =
+            std::env::temp_dir().join(format!("rcr-lint-ruleset-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = analyze_source("rcr-qos", "crates/qos/src/lib.rs", "pub fn f() {}\n", false);
+        let key = content_key("rcr-qos", "crates/qos/src/lib.rs", "pub fn f() {}\n");
+        let mut cache = Cache::load(&dir);
+        cache.put("crates/qos/src/lib.rs", key, &report);
+        cache.save();
+        // Same fingerprint: warm. Different fingerprint (rule set changed
+        // without an ANALYZER_VERSION bump): the document must be ignored.
+        let mut same = Cache::load_keyed(&dir, ruleset_fingerprint());
+        assert!(same.get("crates/qos/src/lib.rs", key).is_some());
+        let mut other = Cache::load_keyed(&dir, ruleset_fingerprint() ^ 1);
+        assert!(other.get("crates/qos/src/lib.rs", key).is_none());
+        // A save under the new fingerprint re-keys the document.
+        other.put("crates/qos/src/lib.rs", key, &report);
+        other.save();
+        let mut old = Cache::load_keyed(&dir, ruleset_fingerprint());
+        assert!(old.get("crates/qos/src/lib.rs", key).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,4 +1,5 @@
-//! Diagnostics and their renderings (human `file:line` and JSON).
+//! Diagnostics and their renderings (human `file:line`, JSON, and
+//! GitHub Actions workflow annotations).
 
 use std::fmt::Write as _;
 
@@ -27,6 +28,26 @@ impl Diagnostic {
             self.file, self.line, self.rule, self.message
         )
     }
+
+    /// A GitHub Actions workflow command (`--format=github`): the
+    /// runner turns it into an inline annotation on the PR diff.
+    pub fn render_github(&self) -> String {
+        format!(
+            "::error file={},line={},title=rcr-lint/{}::{}",
+            gh_escape(&self.file),
+            self.line,
+            gh_escape(self.rule),
+            gh_escape(&self.message)
+        )
+    }
+}
+
+/// Workflow-command escaping: `%`, CR, and LF are the only characters
+/// with meaning inside a `::error ...::` payload.
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// Renders diagnostics as a JSON array (`--format=json`). Hand-rolled
@@ -95,6 +116,23 @@ mod tests {
         assert!(j.contains(r#""message":"say \"no\"""#));
         assert!(!j.contains("symbol"));
         assert_eq!(render_json(&[]), "[]");
+    }
+
+    #[test]
+    fn github_annotations_escape_the_payload() {
+        let d = Diagnostic {
+            rule: "unchecked-time-arithmetic",
+            file: "crates/serve/src/queue.rs".into(),
+            line: 42,
+            message: "raw `-` underflows\nat 100% load".into(),
+            symbol: Some("Lane::ready".into()),
+        };
+        assert_eq!(
+            d.render_github(),
+            "::error file=crates/serve/src/queue.rs,line=42,\
+             title=rcr-lint/unchecked-time-arithmetic\
+             ::raw `-` underflows%0Aat 100%25 load"
+        );
     }
 
     #[test]

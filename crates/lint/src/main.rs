@@ -12,6 +12,7 @@ use std::process::ExitCode;
 enum Format {
     Human,
     Json,
+    Github,
 }
 
 fn main() -> ExitCode {
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--format=json" => format = Format::Json,
             "--format=human" => format = Format::Human,
+            "--format=github" => format = Format::Github,
             "--changed-only" => opts.changed_only = true,
             "--no-cache" => opts.use_cache = false,
             "--write-baseline" => {
@@ -43,7 +45,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: rcr-lint [--format=json|human] [--root <workspace>]\n\
+                    "usage: rcr-lint [--format=json|human|github] [--root <workspace>]\n\
                      \x20               [--changed-only] [--no-cache]\n\
                      \x20               [--baseline <file>] [--write-baseline]\n\
                      Lints every workspace crate's src/ tree; exits 1 on any finding.\n\
@@ -52,6 +54,7 @@ fn main() -> ExitCode {
                      --changed-only  lexical rules on files changed vs merge-base HEAD main\n\
                      \x20               (full scan when git is unavailable)\n\
                      --no-cache      ignore and don't write target/rcr-lint-cache.json\n\
+                     --format=github emit GitHub Actions ::error annotations\n\
                      --write-baseline  print a baseline accepting current semantic findings"
                 );
                 return ExitCode::SUCCESS;
@@ -117,6 +120,12 @@ fn main() -> ExitCode {
             println!("{}", render_json(&report.diagnostics));
             eprint!("{}", report.render_summary());
         }
+        Format::Github => {
+            for d in &report.diagnostics {
+                println!("{}", d.render_github());
+            }
+            eprint!("{}", report.render_summary());
+        }
     }
     if report.is_clean() {
         ExitCode::SUCCESS
@@ -127,7 +136,7 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "rcr-lint: {msg}\nusage: rcr-lint [--format=json|human] [--root <workspace>] [--changed-only] [--no-cache] [--baseline <file>] [--write-baseline]"
+        "rcr-lint: {msg}\nusage: rcr-lint [--format=json|human|github] [--root <workspace>] [--changed-only] [--no-cache] [--baseline <file>] [--write-baseline]"
     );
     ExitCode::from(2)
 }

@@ -27,6 +27,7 @@
 //! over-approximate in places; the committed ratchet baseline
 //! ([`crate::baseline`]) is where known, reviewed findings live.
 
+pub mod dataflow;
 pub mod graph;
 pub mod parse;
 pub mod passes;
@@ -41,6 +42,10 @@ pub struct FileSem {
     pub cut_panics: usize,
     pub cut_taints: usize,
     pub cut_risky: usize,
+    /// Cuts for the dataflow layer ([`dataflow`]).
+    pub cut_time_ops: usize,
+    pub cut_allocs: usize,
+    pub cut_reductions: usize,
 }
 
 /// One function item (free fn, inherent/trait/impl method).
@@ -67,11 +72,23 @@ pub struct FnDef {
     pub cut_panic: bool,
     /// Same, for `allow(determinism-taint, ...)`.
     pub cut_taint: bool,
+    /// Same, for `allow(alloc-flow, ...)` — removes the fn (and its
+    /// direct sites) from alloc-flow propagation.
+    pub cut_alloc: bool,
     pub calls: Vec<Call>,
     pub panics: Vec<Site>,
     pub locks: Vec<LockAcq>,
     pub risky: Vec<RiskySite>,
     pub taints: Vec<Site>,
+    /// Raw `+`/`-`/`+=`/`-=` on time-typed operands
+    /// ([`dataflow::UNCHECKED_TIME_ARITHMETIC`]).
+    pub time_ops: Vec<Site>,
+    /// Allocation sites (`Vec::new`, `collect`, `format!`, ...)
+    /// ([`dataflow::ALLOC_FLOW`] walks reachability over these).
+    pub allocs: Vec<Site>,
+    /// Accumulations inside order-nondeterministic iteration
+    /// ([`dataflow::FLOAT_REDUCTION_ORDER`]).
+    pub reductions: Vec<Site>,
 }
 
 impl FnDef {

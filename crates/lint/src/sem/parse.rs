@@ -7,12 +7,65 @@
 //! pragmas ([`crate::pragma`]) act as cut points: an allowed site is
 //! dropped here, before the graph ever sees it.
 
+use super::dataflow::{ALLOC_FLOW, FLOAT_REDUCTION_ORDER, UNCHECKED_TIME_ARITHMETIC};
 use super::{Call, FileSem, FnDef, LockAcq, RiskySite, Site};
 use crate::pragma::Allow;
 use crate::tokenizer::{TokKind, Token};
 
 /// Macros that unconditionally panic when reached.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Macros that allocate on every expansion.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Container/owner types whose constructors allocate (or may).
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "String", "Box", "VecDeque", "BTreeMap", "BTreeSet", "HashMap", "HashSet", "Rc", "Arc",
+];
+
+/// Associated constructors on [`ALLOC_TYPES`] that allocate.
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from", "from_iter"];
+
+/// Methods that hand back a freshly allocated container/string.
+const ALLOC_METHODS: &[&str] = &[
+    "collect",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "clone",
+    "concat",
+    "repeat",
+];
+
+/// std time types: any path through one of these is a time value.
+const TIME_TYPES: &[&str] = &["Duration", "Instant", "SystemTime"];
+
+/// Identifier segments that mark a time value (`deadline_at`,
+/// `queue_time`, `max_age`, ...).
+const TIME_WORDS: &[&str] = &[
+    "now",
+    "instant",
+    "epoch",
+    "deadline",
+    "timestamp",
+    "wakeup",
+    "elapsed",
+    "time",
+    "age",
+    "expiry",
+    "expires",
+    "duration",
+];
+
+/// Trailing segments that mark an integer tick count (`at_us`,
+/// `coherence_us`, `deadline_slot` is covered by `deadline` above).
+const TIME_SUFFIXES: &[&str] = &[
+    "us", "ns", "ms", "micros", "nanos", "millis", "secs", "sec", "at",
+];
+
+/// Disqualifying segments: rates and frequencies carry time *units* in
+/// their names but are not tick counts (and are typically floats).
+const NOT_TIME_WORDS: &[&str] = &["rate", "per", "freq", "hz", "ratio", "ops", "loss", "count"];
 
 /// Keywords that must not be mistaken for call targets.
 const KEYWORDS: &[&str] = &[
@@ -323,11 +376,15 @@ fn scan_fn(
         line,
         cut_panic: allowed(allows, &["panic-reachability"], line),
         cut_taint: allowed(allows, &["determinism-taint"], line),
+        cut_alloc: allowed(allows, &[ALLOC_FLOW], line),
         calls: Vec::new(),
         panics: Vec::new(),
         locks: Vec::new(),
         risky: Vec::new(),
         taints: Vec::new(),
+        time_ops: Vec::new(),
+        allocs: Vec::new(),
+        reductions: Vec::new(),
     };
     // Resume just past the signature: the caller walks the body region
     // itself so nested fns/impls are discovered too.
@@ -390,19 +447,81 @@ fn scan_body(
     let params = body_params(cur, def, b0);
     let mut held: Vec<Held> = Vec::new();
     let mut depth = 0usize;
-    let mut mentions_hash = false;
+    let mut mentions_hash = sig_mentions_hash(cur, b0);
+    // Depths of `for` bodies whose iteration source is unordered
+    // (Hash* containers, channel receivers) — accumulations inside are
+    // float-reduction-order sites.
+    let mut unordered_loops: Vec<usize> = Vec::new();
+    // Code index of a detected unordered loop's body `{`, pending until
+    // the main walk reaches it.
+    let mut pending_loop: Option<usize> = None;
+    // An unordered iteration began in the current statement (for
+    // chained `.sum()`/`.fold(...)` reductions).
+    let mut stmt_unordered = false;
     let mut i = b0;
     while i <= b1 {
         let t = cur.text(i);
         match t {
-            "{" => depth += 1,
+            "{" => {
+                depth += 1;
+                if pending_loop == Some(i) {
+                    pending_loop = None;
+                    unordered_loops.push(depth);
+                }
+                stmt_unordered = false;
+            }
             "}" => {
                 depth = depth.saturating_sub(1);
                 held.retain(|h| h.depth <= depth);
+                unordered_loops.retain(|&d| d <= depth);
+                stmt_unordered = false;
             }
-            ";" => held.retain(|h| !(h.temp && h.depth == depth)),
+            ";" => {
+                held.retain(|h| !(h.temp && h.depth == depth));
+                stmt_unordered = false;
+            }
             "HashMap" | "HashSet" => mentions_hash = true,
+            "for" => {
+                if let Some((open, unordered)) = scan_for_header(cur, i, b1, mentions_hash) {
+                    if unordered {
+                        pending_loop = Some(open);
+                    }
+                }
+            }
             _ => {}
+        }
+
+        // Raw `+`/`-` (and compound forms) on time-typed operands: the
+        // class of arithmetic that under/overflows at time boundaries.
+        if matches!(t, "+" | "-" | "+=" | "-=") {
+            if let Some(what) = time_arith_site(cur, i) {
+                let line = cur.line(i);
+                if allowed(allows, &[UNCHECKED_TIME_ARITHMETIC], line) {
+                    sem.cut_time_ops += 1;
+                } else {
+                    def.time_ops.push(Site { line, what });
+                }
+            }
+        }
+
+        // Float-order-sensitive accumulation inside an unordered loop.
+        if matches!(t, "+=" | "-=" | "*=" | "/=") && !unordered_loops.is_empty() {
+            let line = cur.line(i);
+            if allowed(allows, &[FLOAT_REDUCTION_ORDER], line) {
+                sem.cut_reductions += 1;
+            } else {
+                let lhs = if i > b0 && cur.is_ident(i - 1) {
+                    cur.text(i - 1)
+                } else {
+                    "<expr>"
+                };
+                def.reductions.push(Site {
+                    line,
+                    what: format!(
+                        "accumulation `{lhs} {t} ...` inside order-nondeterministic iteration"
+                    ),
+                });
+            }
         }
 
         // `drop(guard)` releases a bound guard.
@@ -411,6 +530,41 @@ fn scan_body(
             held.retain(|h| h.binding.as_deref() != Some(victim));
             i += 4;
             continue;
+        }
+
+        // Allocating macros: `vec![...]`, `format!(...)`.
+        if cur.is_ident(i) && cur.text(i + 1) == "!" && ALLOC_MACROS.contains(&t) {
+            alloc_site(def, sem, allows, cur.line(i), &format!("{t}!"));
+            i += 2;
+            continue;
+        }
+
+        // Allocating constructors: `Vec::new(...)`, `Box::new(...)`,
+        // `String::with_capacity(...)`. The free-call branch below still
+        // records the call itself; this only marks the alloc site.
+        if cur.is_ident(i)
+            && ALLOC_TYPES.contains(&t)
+            && cur.text(i + 1) == "::"
+            && cur.is_ident(i + 2)
+            && ALLOC_CTORS.contains(&cur.text(i + 2))
+            && cur.text(i + 3) == "("
+        {
+            let what = format!("{t}::{}", cur.text(i + 2));
+            alloc_site(def, sem, allows, cur.line(i), &what);
+        }
+
+        // Turbofish method calls (`.collect::<Vec<_>>()`,
+        // `.sum::<f64>()`): the plain method branch below requires an
+        // immediate `(` and misses these.
+        if t == "." && cur.is_ident(i + 1) && cur.text(i + 2) == "::" && cur.text(i + 3) == "<" {
+            let name = cur.text(i + 1);
+            let line = cur.line(i + 1);
+            if ALLOC_METHODS.contains(&name) {
+                alloc_site(def, sem, allows, line, &format!(".{name}()"));
+            }
+            if matches!(name, "sum" | "product" | "fold") && stmt_unordered {
+                reduction_site(def, sem, allows, line, name);
+            }
         }
 
         // Panic macros: `panic!(...)` etc.
@@ -483,6 +637,19 @@ fn scan_body(
                 }
                 "iter" | "keys" | "values" | "drain" | "into_iter" if mentions_hash => {
                     taint_site(cur, def, sem, allows, line, "Hash* iteration");
+                    stmt_unordered = true;
+                }
+                // mpsc receiver drain: arrival order across producers
+                // is scheduling-dependent.
+                "try_iter" => stmt_unordered = true,
+                "sum" | "product" if stmt_unordered => {
+                    reduction_site(def, sem, allows, line, name);
+                }
+                "fold" if stmt_unordered => {
+                    reduction_site(def, sem, allows, line, name);
+                }
+                n if ALLOC_METHODS.contains(&n) => {
+                    alloc_site(def, sem, allows, line, &format!(".{n}()"));
                 }
                 _ => {}
             }
@@ -646,6 +813,297 @@ fn taint_site(
             what: what.to_string(),
         });
     }
+}
+
+/// Records one allocation site unless a pragma cuts it. The lexical
+/// kernel rule's pragmas double as cuts here, so reviewed
+/// `no-alloc-in-kernel` waivers carry over to the flow pass.
+fn alloc_site(def: &mut FnDef, sem: &mut FileSem, allows: &[Allow], line: u32, what: &str) {
+    if allowed(allows, &[ALLOC_FLOW, "no-alloc-in-kernel"], line) {
+        sem.cut_allocs += 1;
+    } else {
+        def.allocs.push(Site {
+            line,
+            what: what.to_string(),
+        });
+    }
+}
+
+/// Records one order-sensitive reduction site unless a pragma cuts it.
+fn reduction_site(def: &mut FnDef, sem: &mut FileSem, allows: &[Allow], line: u32, method: &str) {
+    if allowed(allows, &[FLOAT_REDUCTION_ORDER], line) {
+        sem.cut_reductions += 1;
+    } else {
+        def.reductions.push(Site {
+            line,
+            what: format!("`.{method}()` over order-nondeterministic iteration"),
+        });
+    }
+}
+
+/// `HashMap`/`HashSet` named in the fn signature — the body iterates
+/// what the signature carries, so hash-iteration heuristics apply.
+fn sig_mentions_hash(cur: &Cursor<'_>, b0: usize) -> bool {
+    let mut j = b0;
+    while j > 0 {
+        j -= 1;
+        match cur.text(j) {
+            "fn" => return false,
+            "HashMap" | "HashSet" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Scans a `for pat in <expr> {` header starting at the `for` keyword.
+/// Returns the code index of the body `{` and whether the iteration
+/// source is order-nondeterministic: Hash* iteration, an mpsc
+/// `try_iter` drain, or a bare channel receiver (`for r in rx`).
+fn scan_for_header(
+    cur: &Cursor<'_>,
+    i: usize,
+    b1: usize,
+    mentions_hash: bool,
+) -> Option<(usize, bool)> {
+    let mut j = i + 1;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut saw_in = false;
+    let mut unordered = false;
+    let mut hash_here = mentions_hash;
+    let mut expr_idents = 0usize;
+    let mut only_ident: Option<&str> = None;
+    while j <= b1 && j < i + 400 {
+        let t = cur.text(j);
+        match t {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => {
+                if !unordered
+                    && expr_idents == 1
+                    && matches!(only_ident, Some("rx") | Some("receiver"))
+                {
+                    unordered = true;
+                }
+                return Some((j, unordered));
+            }
+            "in" if paren == 0 && bracket == 0 && !saw_in => {
+                saw_in = true;
+                j += 1;
+                continue;
+            }
+            "HashMap" | "HashSet" => hash_here = true,
+            _ => {}
+        }
+        if saw_in {
+            if cur.is_ident(j) && !KEYWORDS.contains(&t) {
+                expr_idents += 1;
+                only_ident = Some(t);
+            }
+            if t == "." && cur.is_ident(j + 1) {
+                let m = cur.text(j + 1);
+                if m == "try_iter"
+                    || (hash_here
+                        && matches!(m, "iter" | "keys" | "values" | "drain" | "into_iter"))
+                {
+                    unordered = true;
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// One side of a binary op, classified for the time-arithmetic check:
+/// `evidence` names the time-typed segment (when any), `float` marks
+/// float-typed operands (float arithmetic saturates, it cannot
+/// under/overflow-panic).
+struct Operand {
+    evidence: Option<String>,
+    float: bool,
+}
+
+/// `true` when `name`'s `_`-separated segments mark a time value and no
+/// segment disqualifies it (rates/frequencies).
+fn time_typed_name(name: &str) -> bool {
+    let mut any_time = false;
+    let mut last = "";
+    for seg in name.split('_').filter(|s| !s.is_empty()) {
+        let lower = seg.to_ascii_lowercase();
+        if NOT_TIME_WORDS.contains(&lower.as_str()) {
+            return false;
+        }
+        if TIME_WORDS.contains(&lower.as_str()) {
+            any_time = true;
+        }
+        last = seg;
+    }
+    any_time || TIME_SUFFIXES.contains(&last.to_ascii_lowercase().as_str())
+}
+
+/// Classifies a `.`/`::` chain of identifier segments.
+fn classify_chain(segs: &[&str]) -> (Option<String>, bool) {
+    if let Some(t) = segs.iter().find(|s| TIME_TYPES.contains(*s)) {
+        return (Some((*t).to_string()), false);
+    }
+    let last = segs.last().copied().unwrap_or("");
+    if last
+        .split('_')
+        .any(|p| p.eq_ignore_ascii_case("f64") || p.eq_ignore_ascii_case("f32"))
+    {
+        return (None, true);
+    }
+    (
+        segs.iter()
+            .find(|s| time_typed_name(s))
+            .map(|s| (*s).to_string()),
+        false,
+    )
+}
+
+/// Walks a receiver/path chain leftwards from the segment at `last`.
+fn chain_left<'a>(cur: &Cursor<'a>, last: usize) -> Vec<&'a str> {
+    let mut segs = vec![cur.text(last)];
+    let mut k = last;
+    while k >= 2 && (cur.text(k - 1) == "." || cur.text(k - 1) == "::") && cur.is_ident(k - 2) {
+        k -= 2;
+        segs.push(cur.text(k));
+    }
+    segs.reverse();
+    segs
+}
+
+/// Index of the `(`/`[` matching the closer at `close`, scanning left.
+fn matching_open(cur: &Cursor<'_>, close: usize) -> Option<usize> {
+    let (open_t, close_t) = if cur.text(close) == ")" {
+        ("(", ")")
+    } else {
+        ("[", "]")
+    };
+    let mut bal = 0i32;
+    let mut k = close;
+    loop {
+        let t = cur.text(k);
+        if t == close_t {
+            bal += 1;
+        } else if t == open_t {
+            bal -= 1;
+            if bal == 0 {
+                return Some(k);
+            }
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+}
+
+/// The operand ending just before the op at `op_idx`; `None` when the
+/// op is unary (pattern/return/paren context).
+fn left_operand(cur: &Cursor<'_>, op_idx: usize) -> Option<Operand> {
+    if op_idx == 0 {
+        return None;
+    }
+    let j = op_idx - 1;
+    match cur.kind(j)? {
+        TokKind::Float => Some(Operand {
+            evidence: None,
+            float: true,
+        }),
+        TokKind::Int => Some(Operand {
+            evidence: None,
+            float: false,
+        }),
+        TokKind::Ident => {
+            // `x as f64 + ...`: the cast target sits left of the op.
+            if matches!(cur.text(j), "f64" | "f32") && j >= 1 && cur.text(j - 1) == "as" {
+                return Some(Operand {
+                    evidence: None,
+                    float: true,
+                });
+            }
+            if KEYWORDS.contains(&cur.text(j)) {
+                return None;
+            }
+            let segs = chain_left(cur, j);
+            let (evidence, float) = classify_chain(&segs);
+            Some(Operand { evidence, float })
+        }
+        _ => match cur.text(j) {
+            ")" | "]" => {
+                let open = matching_open(cur, j)?;
+                if open == 0 {
+                    return None;
+                }
+                let k = open - 1;
+                if !cur.is_ident(k) || KEYWORDS.contains(&cur.text(k)) {
+                    return None;
+                }
+                let segs = chain_left(cur, k);
+                let (evidence, float) = classify_chain(&segs);
+                Some(Operand { evidence, float })
+            }
+            _ => None,
+        },
+    }
+}
+
+/// The operand starting just after the op at `op_idx`.
+fn right_operand(cur: &Cursor<'_>, op_idx: usize) -> Option<Operand> {
+    let mut j = op_idx + 1;
+    while matches!(cur.text(j), "&" | "*" | "mut") {
+        j += 1;
+    }
+    match cur.kind(j)? {
+        TokKind::Float => Some(Operand {
+            evidence: None,
+            float: true,
+        }),
+        TokKind::Int => Some(Operand {
+            evidence: None,
+            float: false,
+        }),
+        TokKind::Ident => {
+            if KEYWORDS.contains(&cur.text(j)) {
+                return None;
+            }
+            let mut segs = vec![cur.text(j)];
+            let mut k = j;
+            while (cur.text(k + 1) == "." || cur.text(k + 1) == "::") && cur.is_ident(k + 2) {
+                k += 2;
+                segs.push(cur.text(k));
+            }
+            if cur.text(k + 1) == "as" && matches!(cur.text(k + 2), "f64" | "f32") {
+                return Some(Operand {
+                    evidence: None,
+                    float: true,
+                });
+            }
+            let (evidence, float) = classify_chain(&segs);
+            Some(Operand { evidence, float })
+        }
+        _ => None,
+    }
+}
+
+/// When the op at `i` is raw binary arithmetic with a time-typed
+/// operand (and no float evidence), describes the site.
+fn time_arith_site(cur: &Cursor<'_>, i: usize) -> Option<String> {
+    let left = left_operand(cur, i)?;
+    let right = right_operand(cur, i);
+    if left.float || right.as_ref().is_some_and(|r| r.float) {
+        return None;
+    }
+    let evidence = left.evidence.or_else(|| right.and_then(|r| r.evidence))?;
+    Some(format!(
+        "raw `{}` on time-typed value `{evidence}`",
+        cur.text(i)
+    ))
 }
 
 /// Shape of a `.lock()` acquisition at the `.` before `lock`:

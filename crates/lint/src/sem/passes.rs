@@ -11,16 +11,21 @@ pub const LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
 pub const LOCK_HELD_ACROSS_SEND: &str = "lock-held-across-send";
 pub const DETERMINISM_TAINT: &str = "determinism-taint";
 
+/// All rules of the semantic + dataflow layers: the set pragmas may
+/// name, the baseline may hold, and the summary reports on.
 pub const SEMANTIC_RULES: &[&str] = &[
     PANIC_REACHABILITY,
     LOCK_ORDER_CYCLE,
     LOCK_HELD_ACROSS_SEND,
     DETERMINISM_TAINT,
+    super::dataflow::UNCHECKED_TIME_ARITHMETIC,
+    super::dataflow::ALLOC_FLOW,
+    super::dataflow::FLOAT_REDUCTION_ORDER,
 ];
 
 /// Crates whose *public* fns must be transitively panic-free: a panic
 /// inside a worker loses the whole batch it was solving.
-const PANIC_SCOPE: &[&str] = &[
+pub(super) const PANIC_SCOPE: &[&str] = &[
     "rcr-core",
     "rcr-convex",
     "rcr-minlp",
@@ -39,13 +44,15 @@ const LOCK_SCOPE: &[&str] = &["rcr-runtime", "rcr-serve"];
 /// lives — the values these return feed verifier verdicts.
 const SOLVE_ENTRY_METHODS: &[&str] = &["solve_item", "solve_batch", "solve_batch_on"];
 
-/// Runs all three passes; diagnostics come back sorted by
+/// Runs the call-graph passes plus the dataflow layer
+/// ([`super::dataflow`]); diagnostics come back sorted by
 /// (file, line, rule) like the lexical layer's.
 pub fn run_all(graph: &Graph) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     diags.extend(panic_reachability(graph));
     diags.extend(lock_order(graph));
     diags.extend(determinism_taint(graph));
+    diags.extend(super::dataflow::run_all(graph));
     diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     diags
 }
@@ -53,7 +60,7 @@ pub fn run_all(graph: &Graph) -> Vec<Diagnostic> {
 /// Why a fn reaches a panic: its own site, or the first callee found to
 /// reach one.
 #[derive(Clone)]
-enum Why {
+pub(super) enum Why {
     Site(u32, String),
     Via(usize, u32),
 }
@@ -123,7 +130,7 @@ fn determinism_taint(graph: &Graph) -> Vec<Diagnostic> {
 /// Shared backwards fixpoint: a fn "fires" when it has a direct site
 /// (per `site`) or calls a firing fn, unless `keep` excludes it from
 /// propagation (pragma cut point). Returns the provenance per fn.
-fn propagate(
+pub(super) fn propagate(
     graph: &Graph,
     keep: impl Fn(&super::FnDef) -> bool,
     site: impl Fn(&super::FnDef) -> Option<(u32, String)>,
@@ -156,7 +163,7 @@ fn propagate(
 
 /// Renders one concrete path to the originating site, capped at a few
 /// hops so messages stay one line.
-fn narrate(graph: &Graph, why: &[Option<Why>], start: usize, first: &Why) -> String {
+pub(super) fn narrate(graph: &Graph, why: &[Option<Why>], start: usize, first: &Why) -> String {
     let mut out = String::new();
     let mut cur = first.clone();
     let mut at = start;

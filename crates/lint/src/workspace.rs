@@ -278,8 +278,12 @@ pub fn lint_workspace_with(root: &Path, opts: &Options) -> io::Result<Report> {
                 agg.violations += s.violations;
                 agg.suppressed += s.suppressed;
             }
-            report.sem_cut_sites +=
-                file_report.sem.cut_panics + file_report.sem.cut_taints + file_report.sem.cut_risky;
+            report.sem_cut_sites += file_report.sem.cut_panics
+                + file_report.sem.cut_taints
+                + file_report.sem.cut_risky
+                + file_report.sem.cut_time_ops
+                + file_report.sem.cut_allocs
+                + file_report.sem.cut_reductions;
             sems.push(file_report.sem);
         }
     }

@@ -299,6 +299,84 @@ fn e2e_taint_fixture_workspace() {
 }
 
 #[test]
+fn e2e_unchecked_time_arithmetic_fixture_workspace() {
+    let (ok, stdout, _) = run_binary_on("mini_ws_underflow", &[]);
+    assert!(!ok, "raw time subtraction must fail the run");
+    assert!(
+        stdout.contains("\"rule\":\"unchecked-time-arithmetic\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"symbol\":\"age_us/time-arith\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"file\":\"crates/serve/src/lib.rs\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("raw `-`"), "{stdout}");
+    // The checked form and the reviewed (pragma-cut) site stay silent.
+    assert!(!stdout.contains("age_us_checked"), "{stdout}");
+    assert!(!stdout.contains("age_us_reviewed"), "{stdout}");
+}
+
+#[test]
+fn e2e_alloc_flow_fixture_workspace() {
+    let (ok, stdout, _) = run_binary_on("mini_ws_allocflow", &[]);
+    assert!(!ok, "kernel entry reaching a cross-crate alloc must fail");
+    assert!(stdout.contains("\"rule\":\"alloc-flow\""), "{stdout}");
+    // The budget is part of the symbol, so a count change is a ratchet
+    // event in both directions.
+    assert!(
+        stdout.contains("\"symbol\":\"axpy_into/allocs=1\""),
+        "{stdout}"
+    );
+    // The narrated path crosses the crate boundary to the alloc site.
+    assert!(stdout.contains("`stage`"), "{stdout}");
+    assert!(stdout.contains("to_vec"), "{stdout}");
+    // The allocation lives in rcr-linalg, so the lexical kernel rule
+    // must NOT fire — only the interprocedural pass sees the flow.
+    assert!(!stdout.contains("no-alloc-in-kernel"), "{stdout}");
+    assert!(!stdout.contains("scale_into"), "{stdout}");
+}
+
+#[test]
+fn e2e_float_reduction_order_fixture_workspace() {
+    let (ok, stdout, _) = run_binary_on("mini_ws_reduction", &[]);
+    assert!(!ok, "float sum over hash iteration must fail the run");
+    assert!(
+        stdout.contains("\"rule\":\"float-reduction-order\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"symbol\":\"mean_latency_us/reduction\""),
+        "{stdout}"
+    );
+    // Slice iteration and the reviewed integer count stay silent.
+    assert!(!stdout.contains("mean_latency_sorted"), "{stdout}");
+    assert!(!stdout.contains("sample_count"), "{stdout}");
+}
+
+#[test]
+fn e2e_github_format_emits_error_annotations() {
+    let root: PathBuf =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini_ws_underflow");
+    let out = Command::new(env!("CARGO_BIN_EXE_rcr-lint"))
+        .args(["--format=github", "--no-cache", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run rcr-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "fixture must still fail the run");
+    assert!(
+        stdout.contains(
+            "::error file=crates/serve/src/lib.rs,line=7,title=rcr-lint/unchecked-time-arithmetic::"
+        ),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn test_region_survives_doc_comments_but_not_cfg_attr() {
     let src = fixture("test_region_doc_comments.rs");
     let diags: Vec<String> = analyze_source("rcr-qos", "crates/x/src/f.rs", &src, false)

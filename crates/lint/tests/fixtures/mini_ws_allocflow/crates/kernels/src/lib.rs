@@ -1,0 +1,18 @@
+//! The kernel crate itself never allocates, so the lexical rule stays
+//! silent — the allocation hides behind a cross-crate call.
+#![forbid(unsafe_code)]
+
+/// Public kernel entry point whose callee allocates.
+pub fn axpy_into(a: f64, x: &[f64], out: &mut [f64]) {
+    let staged = rcr_linalg::stage(x);
+    for (o, s) in out.iter_mut().zip(staged.iter()) {
+        *o += a * s;
+    }
+}
+
+/// Allocation-free entry point; must stay clean.
+pub fn scale_into(a: f64, out: &mut [f64]) {
+    for o in out.iter_mut() {
+        *o *= a;
+    }
+}

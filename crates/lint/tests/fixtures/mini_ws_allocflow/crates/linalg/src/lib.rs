@@ -1,0 +1,8 @@
+//! An allocating helper in a solver crate: legal here on its own (the
+//! lexical kernel rule is scoped to rcr-kernels), but it taints every
+//! kernel entry point that can reach it.
+#![forbid(unsafe_code)]
+
+pub fn stage(x: &[f64]) -> Vec<f64> {
+    x.to_vec()
+}

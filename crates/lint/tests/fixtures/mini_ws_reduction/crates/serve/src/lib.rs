@@ -1,0 +1,34 @@
+//! Hash containers are legal in the service layer (the lexical
+//! hash-iteration rule is scoped to solver crates), so only the
+//! reduction-order pass can flag the float accumulation here.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Float sum over hash-iteration order: the total depends on the seed.
+pub fn mean_latency_us(samples: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in samples.values() {
+        total += v;
+    }
+    total / samples.len() as f64
+}
+
+/// Index-ordered accumulation over a slice must stay clean.
+pub fn mean_latency_sorted(samples: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for v in samples {
+        total += v;
+    }
+    total / samples.len() as f64
+}
+
+/// A reviewed order-independent accumulation is cut at the pragma.
+pub fn sample_count(samples: &HashMap<u64, f64>) -> u64 {
+    let mut n = 0u64;
+    for _v in samples.values() {
+        // rcr-lint: allow(float-reduction-order, reason = "integer count; order cannot change the result")
+        n += 1;
+    }
+    n
+}

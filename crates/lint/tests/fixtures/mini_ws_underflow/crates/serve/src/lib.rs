@@ -1,0 +1,19 @@
+//! One raw time subtraction that must fire, one checked form and one
+//! reviewed (pragma-cut) site that must stay silent.
+#![forbid(unsafe_code)]
+
+/// Underflow-panics whenever the clock read lags the enqueue stamp.
+pub fn age_us(now_us: u64, enqueued_us: u64) -> u64 {
+    now_us - enqueued_us
+}
+
+/// The saturating form is the fix the pass asks for.
+pub fn age_us_checked(now_us: u64, enqueued_us: u64) -> u64 {
+    now_us.saturating_sub(enqueued_us)
+}
+
+/// A reviewed site is cut at the pragma, not baselined.
+pub fn age_us_reviewed(now_us: u64, enqueued_us: u64) -> u64 {
+    // rcr-lint: allow(unchecked-time-arithmetic, reason = "caller orders the stamps; see enqueue contract")
+    now_us - enqueued_us
+}

@@ -94,7 +94,7 @@ pub fn schedule(
             }
             // Slots left before the deadline, counting this one; overdue
             // tasks get a single-slot horizon (demand everything now).
-            let left = t.deadline_slot.saturating_sub(slot) + 1;
+            let left = t.deadline_slot.saturating_sub(slot).saturating_add(1);
             min_rates[t.user] += rem / (left as f64 * slot_duration_s);
         }
         let sub = RraProblem::new(
@@ -245,6 +245,23 @@ mod tests {
         let r = schedule(&p, &tasks, 4, 1e-3).unwrap();
         assert_eq!(r.per_slot_rate.len(), 4);
         assert!(r.per_slot_rate.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn deadline_at_usize_max_does_not_overflow_the_horizon() {
+        // `deadline_slot = usize::MAX` used to overflow in the fluid-EDF
+        // horizon (`saturating_sub(slot) + 1` at slot 0); the saturating
+        // form clamps and the task just gets the widest possible horizon.
+        let p = problem(2, 6, 6);
+        let slot_s = 1e-3;
+        let demand = 0.5 * slot_capacity_bits(&p, slot_s);
+        let tasks = [SlotTask {
+            user: 0,
+            demand_bits: demand,
+            deadline_slot: usize::MAX,
+        }];
+        let r = schedule(&p, &tasks, 2, slot_s).unwrap();
+        assert!(r.met_deadline[0], "completed {:?}", r.completed_slot);
     }
 
     #[test]

@@ -124,6 +124,7 @@ impl Arrivals {
                     } else {
                         *slow_rate_per_us
                     };
+                    // rcr-lint: allow(unchecked-time-arithmetic, reason = "f64 virtual-time math: saturates to inf, cannot underflow-panic")
                     let candidate = t + exp_gap_us(&mut self.rng, rate);
                     if candidate <= *phase_end_us {
                         return candidate - start;
@@ -131,6 +132,7 @@ impl Arrivals {
                     t = *phase_end_us;
                     *fast = !*fast;
                     let mean = if *fast { *mean_fast_us } else { *mean_slow_us };
+                    // rcr-lint: allow(unchecked-time-arithmetic, reason = "f64 virtual-time math: saturates to inf, cannot underflow-panic")
                     *phase_end_us = t + exp_gap_us(&mut self.rng, 1.0 / mean);
                 }
             }
@@ -144,6 +146,7 @@ impl Arrivals {
                 let start = self.now_us as f64 + self.carry_us;
                 let mut t = start;
                 loop {
+                    // rcr-lint: allow(unchecked-time-arithmetic, reason = "f64 virtual-time math: saturates to inf, cannot underflow-panic")
                     t += exp_gap_us(&mut self.rng, *peak_rate_per_us);
                     let phase = 2.0 * std::f64::consts::PI * (t / *period_us);
                     let rate = *base_rate_per_us
@@ -162,12 +165,13 @@ impl Iterator for Arrivals {
     type Item = u64;
 
     fn next(&mut self) -> Option<u64> {
+        // rcr-lint: allow(unchecked-time-arithmetic, reason = "f64 virtual-time math: saturates to inf, cannot underflow-panic")
         let gap = self.next_gap_us() + self.carry_us;
         // Emit on the integer µs grid, strictly increasing; the dropped
         // fraction carries into the next gap so rates stay unbiased.
         let whole = (gap.floor() as u64).max(1);
         self.carry_us = (gap - gap.floor()).clamp(0.0, 1.0);
-        self.now_us += whole;
+        self.now_us = self.now_us.saturating_add(whole);
         Some(self.now_us)
     }
 }

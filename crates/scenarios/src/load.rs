@@ -82,7 +82,11 @@ pub fn run_scenario(
     let mut builder = ReportBuilder::new();
     let settle = |builder: &mut ReportBuilder, class: QosClass, ticket: Ticket| {
         let resp = ticket.wait().map_err(|e| e.to_string())?;
-        builder.record(class, &resp.outcome, resp.queue_time + resp.solve_time);
+        builder.record(
+            class,
+            &resp.outcome,
+            resp.queue_time.saturating_add(resp.solve_time),
+        );
         Ok::<(), String>(())
     };
     let start = wall_now();
@@ -94,7 +98,12 @@ pub fn run_scenario(
             let mut pending: Vec<(QosClass, Ticket)> = Vec::new();
             let mut backlogged = 0u64;
             for t in trace {
-                let target = start + Duration::from_secs_f64(t.at_us as f64 / (speed * 1e6));
+                // A schedule offset the clock can't represent (absurd
+                // speed, or a trace hour beyond the Instant range)
+                // degrades to "submit immediately" instead of panicking.
+                let offset = Duration::try_from_secs_f64(t.at_us as f64 / (speed * 1e6))
+                    .unwrap_or(Duration::ZERO);
+                let target = start.checked_add(offset).unwrap_or(start);
                 let now = wall_now();
                 match target.checked_duration_since(now) {
                     Some(ahead) if !ahead.is_zero() => thread::sleep(ahead),
@@ -196,6 +205,22 @@ mod tests {
             let c = report.class(class);
             assert_eq!(c.solved, c.offered, "{} shed under no load", class.name());
         }
+    }
+
+    #[test]
+    fn open_loop_survives_unrepresentable_schedule_offsets() {
+        // A vanishingly small (but valid) replay speed pushes every
+        // schedule offset past what Duration can represent; the
+        // try_from_secs_f64 + checked_add pacing must degrade to
+        // "submit immediately" rather than panic in Duration::from_secs_f64.
+        let report = run_scenario(
+            &manifest(50),
+            ServiceConfig::default(),
+            LoadMode::Open { speed: 1e-300 },
+        )
+        .expect("run succeeds");
+        assert_eq!(report.offered(), 50);
+        report.reconcile(None).expect("books balance");
     }
 
     #[test]

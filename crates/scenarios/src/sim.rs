@@ -56,6 +56,19 @@ impl SimOutcome {
     }
 }
 
+/// `base + d`, saturating toward the end of the representable `Instant`
+/// range instead of panicking: an event the clock can never reach stays
+/// in the far future (and so never becomes "due"). Halving converges
+/// because `checked_add(ZERO)` always succeeds.
+fn forward(base: Instant, mut d: Duration) -> Instant {
+    loop {
+        if let Some(t) = base.checked_add(d) {
+            return t;
+        }
+        d /= 2;
+    }
+}
+
 /// Simulates `items` (must be sorted by `at_us`) through an admission
 /// queue under `policy`, with one server taking `service_time_us` per
 /// request; a drained batch of `n` completes its entries serially at
@@ -84,10 +97,12 @@ pub fn simulate(
         // 1. Expire whatever the clock has overtaken.
         outcome.expired += queue.sweep_expired(now).len() as u64;
         // 2. Admit every arrival due by now.
-        while next_item < items.len() && base + Duration::from_micros(items[next_item].at_us) <= now
+        while next_item < items.len()
+            && forward(base, Duration::from_micros(items[next_item].at_us)) <= now
         {
             let item = items[next_item];
-            let deadline_at = base + Duration::from_micros(item.at_us + item.deadline_us);
+            let due_us = item.at_us.saturating_add(item.deadline_us);
+            let deadline_at = forward(base, Duration::from_micros(due_us));
             match queue.enqueue(next_item, item.class, now, deadline_at) {
                 Ok(()) => {}
                 Err(EnqueueRejection::QueueFull { .. }) => outcome.rejected += 1,
@@ -99,14 +114,14 @@ pub fn simulate(
         if now >= free_at {
             if let Some((_, batch)) = queue.next_batch(now, false) {
                 for (k, entry) in batch.iter().enumerate() {
-                    let done = now + service_time * (k as u32 + 1);
+                    let done = forward(now, service_time.saturating_mul(k as u32 + 1));
                     if done <= entry.deadline_at {
                         outcome.met += 1;
                     } else {
                         outcome.late += 1;
                     }
                 }
-                free_at = now + service_time * batch.len() as u32;
+                free_at = forward(now, service_time.saturating_mul(batch.len() as u32));
             }
         }
         // 4. Advance to the next event.
@@ -118,7 +133,7 @@ pub fn simulate(
             });
         };
         if next_item < items.len() {
-            consider(base + Duration::from_micros(items[next_item].at_us));
+            consider(forward(base, Duration::from_micros(items[next_item].at_us)));
         }
         if free_at > now {
             consider(free_at);
@@ -129,7 +144,11 @@ pub fn simulate(
             None => break,
             // A wakeup may be "now" (e.g. ready lane behind a just-freed
             // server); nudge forward one tick so time always advances.
-            Some(t) if t <= now => now += Duration::from_micros(1),
+            // If even one tick overflows the clock, the run is over.
+            Some(t) if t <= now => match now.checked_add(Duration::from_micros(1)) {
+                Some(tick) => now = tick,
+                None => break,
+            },
             Some(t) => now = t,
         }
     }
@@ -198,6 +217,33 @@ mod tests {
             let out = simulate(Instant::now(), &easy, 1_000, &policy(discipline)).unwrap();
             assert_eq!(out.met, 100, "{discipline:?} shed under 10% load: {out:?}");
         }
+    }
+
+    #[test]
+    fn near_boundary_timestamps_do_not_panic_and_still_account() {
+        // `at_us + deadline_us` would overflow u64 raw; the saturating
+        // sum plus `forward`'s Instant clamp must keep the event loop
+        // total-accounting invariant intact instead of panicking.
+        let extreme = vec![
+            SimItem {
+                at_us: 0,
+                class: QosClass::Embb,
+                deadline_us: u64::MAX,
+            },
+            SimItem {
+                at_us: 1,
+                class: QosClass::Embb,
+                deadline_us: u64::MAX - 1,
+            },
+        ];
+        let out = simulate(
+            Instant::now(),
+            &extreme,
+            1_000,
+            &policy(QueueDiscipline::Edf),
+        )
+        .unwrap();
+        assert_eq!(out.total(), 2, "{out:?}");
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl LatencyHistogram {
         let bin = if us == 0 {
             0
         } else {
-            (63 - us.leading_zeros() as usize).min(BINS - 1)
+            (us.ilog2() as usize).min(BINS - 1)
         };
         self.bins[bin] += 1;
         self.count += 1;

@@ -214,9 +214,11 @@ impl<T> Lane<T> {
         let age_due = self
             .oldest_enqueue()
             .is_some_and(|t| now.saturating_duration_since(t) >= self.policy.max_age);
+        // An overflowing window end means the window covers every
+        // representable instant, so any deadline counts as close.
         let deadline_close = self
             .urgent_deadline()
-            .is_some_and(|d| d <= now + self.policy.max_age);
+            .is_some_and(|d| now.checked_add(self.policy.max_age).is_none_or(|w| d <= w));
         age_due || deadline_close
     }
 }
@@ -392,8 +394,13 @@ impl<T> AdmissionQueue<T> {
             if lane.ready(now) {
                 return Some(now);
             }
-            if let Some(oldest) = lane.oldest_enqueue() {
-                consider(oldest + lane.policy.max_age);
+            // An age trigger past the representable range can never fire
+            // within the process lifetime — nothing to schedule for it.
+            if let Some(fill) = lane
+                .oldest_enqueue()
+                .and_then(|oldest| oldest.checked_add(lane.policy.max_age))
+            {
+                consider(fill);
             }
             if let Some(urgent) = lane.urgent_deadline() {
                 // Deadline-proximity trigger, then the expiry itself.
@@ -757,6 +764,23 @@ mod tests {
         // Draining does not lower a high water.
         assert!(q.is_empty());
         assert_eq!(q.depth_high_water(), 5);
+    }
+
+    #[test]
+    fn overflowing_coalescing_window_covers_every_deadline() {
+        // `max_age` so large that `now + max_age` overflows the Instant
+        // range. The window then covers every representable instant:
+        // any queued deadline must count as close (batch fires), and
+        // next_wakeup must schedule rather than panic.
+        let mut q = AdmissionQueue::new(&policy(16, 16, 0)).unwrap();
+        for lane in &mut q.lanes {
+            lane.policy.max_age = Duration::from_secs(u64::MAX);
+        }
+        let t0 = Instant::now();
+        q.enqueue("only", QosClass::Embb, t0, far(t0)).unwrap();
+        assert_eq!(q.next_wakeup(t0), Some(t0));
+        let (_, batch) = q.next_batch(t0, false).expect("window covers the deadline");
+        assert_eq!(batch.len(), 1);
     }
 
     #[test]

@@ -265,7 +265,15 @@ impl Client {
         };
 
         let now = Instant::now();
-        let deadline_at = now + deadline;
+        // A client-supplied deadline large enough to overflow `Instant`
+        // is effectively "never": clamp to ~30 years out (double failure
+        // would need centuries of uptime; fall back to immediate expiry
+        // rather than panic).
+        const EFFECTIVELY_NEVER: Duration = Duration::from_secs(30 * 365 * 86_400);
+        let deadline_at = now
+            .checked_add(deadline)
+            .or_else(|| now.checked_add(EFFECTIVELY_NEVER))
+            .unwrap_or(now);
         let job = Job {
             id,
             solver,

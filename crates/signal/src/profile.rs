@@ -254,6 +254,7 @@ impl ConformanceSuite {
         //    convention (unscaled forward).
         let time_e: f64 = s.iter().map(|v| v * v).sum();
         let freq_e = spectral_energy(&spec) / s.len() as f64;
+        // rcr-lint: allow(unchecked-time-arithmetic, reason = "f64 Parseval energies, not timestamps")
         let pv_err = (time_e - freq_e).abs() / time_e.max(1e-30);
         outcomes.push(CheckOutcome {
             check: "parseval",

@@ -342,6 +342,7 @@ impl StftPlan {
                     }
                 } as usize;
                 let pos = self.phase_position(start, l);
+                // rcr-lint: allow(unchecked-time-arithmetic, reason = "time-domain f64 sample buffer, not a timestamp")
                 out[target] += time[pos].re * g;
                 weight[target] += self.window_sq[l];
             }

@@ -30,11 +30,14 @@ fn weights(n: usize, mut state: u64) -> Vec<f64> {
         .collect()
 }
 
+/// Per-layer `(lo, hi)` boxes, one vec per layer.
+type LayerBoxes = Vec<Vec<(f64, f64)>>;
+
 /// Pre-PR interval propagation, kept verbatim as the bitwise oracle.
 fn naive_interval_bounds(
     net: &AffineReluNet,
     input_box: &[(f64, f64)],
-) -> (Vec<Vec<(f64, f64)>>, Vec<Vec<(f64, f64)>>) {
+) -> (LayerBoxes, LayerBoxes) {
     let mut cur: Vec<(f64, f64)> = input_box.to_vec();
     let depth = net.depth();
     let mut pre = Vec::with_capacity(depth);

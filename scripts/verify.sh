@@ -41,9 +41,12 @@ if [ "$quick" -eq 1 ]; then
 fi
 
 echo "== rcr-lint (workspace static analysis) ==" >&2
-# Hard gate: the project-specific linter must report zero violations.
+# Hard gate: the project-specific linter must report zero violations
+# across the lexical rules, the call-graph passes, and the dataflow
+# passes (unchecked-time-arithmetic, alloc-flow, float-reduction-order).
 # Its per-rule summary (including justified suppressions) goes to stderr.
-cargo run -q --release -p rcr-lint
+# CI sets RCR_LINT_FORMAT=github so findings annotate the PR diff.
+cargo run -q --release -p rcr-lint -- "--format=${RCR_LINT_FORMAT:-human}"
 
 echo "== cargo fmt --check ==" >&2
 cargo fmt --check

@@ -175,7 +175,7 @@ fn worker_count_does_not_change_served_solutions() {
 fn scenario_smoke() {
     let manifest = cached_manifest(10_000, 50_000.0);
     let config = cached_config();
-    let policy = config.queue.clone();
+    let policy = config.queue;
     let report = run_scenario(&manifest, config, LoadMode::Closed { concurrency: 32 })
         .expect("smoke run completes");
     assert_eq!(report.offered(), 10_000);
@@ -224,7 +224,7 @@ fn overload_sheds_mmtc_while_urllc_stays_flat() {
     // A shallower best-effort lane: mMTC tolerates loss, not staleness,
     // so bounce excess load instead of aging it out of a deep queue.
     config.queue.mmtc.capacity = 256;
-    let policy = config.queue.clone();
+    let policy = config.queue;
     // The arrival rate sets the *virtual* span (and with it the number of
     // fading epochs the trace crosses) even though a closed loop ignores
     // the timeline for pacing. mMTC gets a 1 s budget — delay-tolerant,
@@ -454,7 +454,7 @@ fn lane_full_accounting_reconciles_under_sustained_overload() {
         max_batch: 8,
         max_age: std::time::Duration::from_millis(1),
     };
-    let policy = config.queue.clone();
+    let policy = config.queue;
     let report = run_scenario(&manifest, config, LoadMode::Open { speed: 1.0 })
         .expect("overload run completes");
     report

@@ -107,6 +107,28 @@ fn run_trace_with(config: ServiceConfig) -> Vec<(u64, QosClass, &'static str, Ve
 }
 
 #[test]
+fn duration_max_deadline_is_clamped_not_panicked() {
+    // `now + Duration::MAX` overflows `Instant`; submit_with must clamp
+    // the deadline to "effectively never" and still solve the request.
+    let service = Service::spawn(config(1)).expect("valid policy");
+    let client = service.client();
+    let ticket = client.submit(SolveRequest {
+        id: 1,
+        class: QosClass::Embb,
+        deadline: Duration::MAX,
+        solver: SolverKind::Greedy,
+        payload: Payload::Scenario(ScenarioSpec {
+            users: 3,
+            resource_blocks: 6,
+            seed: 11,
+        }),
+    });
+    let resp = ticket.wait().expect("a response arrives");
+    assert_eq!(resp.outcome.tag(), "solved", "{:?}", resp.outcome);
+    service.shutdown();
+}
+
+#[test]
 fn mixed_trace_accounts_for_every_request() {
     let rows = run_trace(2);
     assert_eq!(rows.len(), 200);
