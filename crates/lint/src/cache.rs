@@ -23,8 +23,9 @@ use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 
 /// Bump on any change to tokenizer, rules, or semantic extraction.
-/// (2: dataflow layer — time_ops/allocs/reductions site vectors.)
-pub const ANALYZER_VERSION: u64 = 2;
+/// (2: dataflow layer — time_ops/allocs/reductions site vectors.
+///  3: unit-flow layer — params/units/args vectors and cut_units.)
+pub const ANALYZER_VERSION: u64 = 3;
 
 /// Relative location of the cache document under the workspace root.
 pub const CACHE_REL_PATH: &str = "target/rcr-lint-cache.json";
@@ -33,6 +34,10 @@ pub const CACHE_REL_PATH: &str = "target/rcr-lint-cache.json";
 pub struct Cache {
     /// rel_path → (content hash, serialized report).
     entries: BTreeMap<String, (u64, Value)>,
+    /// Serialized result of the last whole-workspace semantic run
+    /// (graph shape + pre-baseline pass diagnostics), reusable by
+    /// `--changed-only` when no contributing extraction changed.
+    passes: Option<Value>,
     path: Option<PathBuf>,
     pub hits: usize,
     pub misses: usize,
@@ -112,6 +117,7 @@ impl Cache {
                 }
             }
         }
+        cache.passes = v.get("passes").cloned();
         cache
     }
 
@@ -155,6 +161,71 @@ impl Cache {
         }
     }
 
+    /// Drops entries whose file no longer exists under `root` — cache
+    /// hygiene for modes (like `--changed-only`) that never enumerate
+    /// the full scan set and so cannot call [`Cache::retain_files`].
+    pub fn prune_missing(&mut self, root: &Path) {
+        let before = self.entries.len();
+        self.entries.retain(|rel, _| root.join(rel).is_file());
+        if self.entries.len() != before {
+            self.dirty = true;
+        }
+    }
+
+    /// The cached semantic extraction for one file, regardless of
+    /// content hash — the *previous* run's view, used by
+    /// `--changed-only` to decide whether a changed file altered the
+    /// call-graph inputs.
+    pub fn cached_sem(&self, rel_path: &str) -> Option<FileSem> {
+        let (_, report) = self.entries.get(rel_path)?;
+        report_from_json(report).map(|r| r.sem)
+    }
+
+    /// Records the whole-workspace pass results (graph shape plus
+    /// pre-baseline pass diagnostics) for later reuse.
+    pub fn store_passes(&mut self, graph_fns: usize, graph_edges: usize, diags: &[Diagnostic]) {
+        let ds: Vec<Value> = diags
+            .iter()
+            .map(|d| {
+                let mut fields = vec![
+                    ("rule", s(d.rule)),
+                    ("file", s(&d.file)),
+                    ("line", n(d.line as u64)),
+                    ("message", s(&d.message)),
+                ];
+                if let Some(sym) = &d.symbol {
+                    fields.push(("symbol", s(sym)));
+                }
+                obj(fields)
+            })
+            .collect();
+        self.passes = Some(obj(vec![
+            ("graph_fns", n(graph_fns as u64)),
+            ("graph_edges", n(graph_edges as u64)),
+            ("diagnostics", Value::Arr(ds)),
+        ]));
+        self.dirty = true;
+    }
+
+    /// The stored pass results, if any: `(graph_fns, graph_edges,
+    /// diagnostics)`. Unknown rule names invalidate the whole record.
+    pub fn load_passes(&self) -> Option<(usize, usize, Vec<Diagnostic>)> {
+        let p = self.passes.as_ref()?;
+        let fns = p.get("graph_fns")?.as_u64()? as usize;
+        let edges = p.get("graph_edges")?.as_u64()? as usize;
+        let mut diags = Vec::new();
+        for d in p.get("diagnostics")?.as_arr()? {
+            diags.push(Diagnostic {
+                rule: intern_rule(d.get("rule")?.as_str()?)?,
+                file: d.get("file")?.as_str()?.to_string(),
+                line: d.get("line")?.as_u64()? as u32,
+                message: d.get("message")?.as_str()?.to_string(),
+                symbol: d.get("symbol").and_then(Value::as_str).map(str::to_string),
+            });
+        }
+        Some((fns, edges, diags))
+    }
+
     /// Persists the cache (best-effort; errors are swallowed).
     pub fn save(&self) {
         let Some(path) = &self.path else { return };
@@ -174,11 +245,15 @@ impl Cache {
                 )
             })
             .collect();
-        let doc = obj(vec![
+        let mut fields = vec![
             ("version", n(ANALYZER_VERSION)),
             ("ruleset", s(&self.fingerprint.to_string())),
             ("files", Value::Obj(files)),
-        ]);
+        ];
+        if let Some(p) = &self.passes {
+            fields.push(("passes", p.clone()));
+        }
+        let doc = obj(fields);
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
@@ -266,6 +341,7 @@ fn report_to_json(r: &FileReport) -> Value {
                 ("cut_time_ops", n(r.sem.cut_time_ops as u64)),
                 ("cut_allocs", n(r.sem.cut_allocs as u64)),
                 ("cut_reductions", n(r.sem.cut_reductions as u64)),
+                ("cut_units", n(r.sem.cut_units as u64)),
             ]),
         ),
     ])
@@ -284,6 +360,17 @@ fn fn_to_json(f: &FnDef) -> Value {
         ("cut_panic", Value::Bool(f.cut_panic)),
         ("cut_taint", Value::Bool(f.cut_taint)),
         ("cut_alloc", Value::Bool(f.cut_alloc)),
+        ("cut_unit", Value::Bool(f.cut_unit)),
+        ("params", strings(&f.params)),
+        (
+            "units",
+            Value::Arr(
+                f.units
+                    .iter()
+                    .map(|(name, dim)| obj(vec![("name", s(name)), ("dim", s(dim))]))
+                    .collect(),
+            ),
+        ),
         (
             "calls",
             Value::Arr(
@@ -295,6 +382,7 @@ fn fn_to_json(f: &FnDef) -> Value {
                             ("method", Value::Bool(c.method)),
                             ("line", n(c.line as u64)),
                             ("held", strings(&c.held)),
+                            ("args", strings(&c.args)),
                         ])
                     })
                     .collect(),
@@ -350,6 +438,14 @@ fn fn_to_json(f: &FnDef) -> Value {
             "reductions",
             Value::Arr(f.reductions.iter().map(site_to_json).collect()),
         ),
+        (
+            "db_mixes",
+            Value::Arr(f.db_mixes.iter().map(site_to_json).collect()),
+        ),
+        (
+            "rate_mixes",
+            Value::Arr(f.rate_mixes.iter().map(site_to_json).collect()),
+        ),
     ])
 }
 
@@ -366,6 +462,19 @@ fn fn_from_json(v: &Value) -> Option<FnDef> {
         cut_panic: v.get("cut_panic")?.as_bool()?,
         cut_taint: v.get("cut_taint")?.as_bool()?,
         cut_alloc: v.get("cut_alloc")?.as_bool()?,
+        cut_unit: v.get("cut_unit")?.as_bool()?,
+        params: read_strings(v.get("params")),
+        units: v
+            .get("units")?
+            .as_arr()?
+            .iter()
+            .filter_map(|u| {
+                Some((
+                    u.get("name")?.as_str()?.to_string(),
+                    u.get("dim")?.as_str()?.to_string(),
+                ))
+            })
+            .collect(),
         calls: v
             .get("calls")?
             .as_arr()?
@@ -376,6 +485,7 @@ fn fn_from_json(v: &Value) -> Option<FnDef> {
                     method: c.get("method")?.as_bool()?,
                     line: c.get("line")?.as_u64()? as u32,
                     held: read_strings(c.get("held")),
+                    args: read_strings(c.get("args")),
                 })
             })
             .collect(),
@@ -433,6 +543,18 @@ fn fn_from_json(v: &Value) -> Option<FnDef> {
             .iter()
             .filter_map(site_from_json)
             .collect(),
+        db_mixes: v
+            .get("db_mixes")?
+            .as_arr()?
+            .iter()
+            .filter_map(site_from_json)
+            .collect(),
+        rate_mixes: v
+            .get("rate_mixes")?
+            .as_arr()?
+            .iter()
+            .filter_map(site_from_json)
+            .collect(),
     })
 }
 
@@ -472,6 +594,7 @@ fn report_from_json(v: &Value) -> Option<FileReport> {
         cut_time_ops: sem.get("cut_time_ops")?.as_u64()? as usize,
         cut_allocs: sem.get("cut_allocs")?.as_u64()? as usize,
         cut_reductions: sem.get("cut_reductions")?.as_u64()? as usize,
+        cut_units: sem.get("cut_units")?.as_u64()? as usize,
     };
     Some(report)
 }
@@ -531,6 +654,46 @@ mod tests {
         cache.save();
         let mut reloaded = Cache::load(&dir);
         assert!(reloaded.get("crates/qos/src/lib.rs", key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_missing_drops_entries_for_deleted_files() {
+        let dir = std::env::temp_dir().join(format!("rcr-lint-prune-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/qos/src")).unwrap();
+        std::fs::write(dir.join("crates/qos/src/lib.rs"), "pub fn f() {}\n").unwrap();
+        let report = analyze_source("rcr-qos", "crates/qos/src/lib.rs", "pub fn f() {}\n", false);
+        let mut cache = Cache::load(&dir);
+        cache.put("crates/qos/src/lib.rs", 1, &report);
+        cache.put("crates/qos/src/gone.rs", 2, &report);
+        cache.prune_missing(&dir);
+        assert!(cache.get("crates/qos/src/lib.rs", 1).is_some());
+        assert!(cache.get("crates/qos/src/gone.rs", 2).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pass_results_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("rcr-lint-passes-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let diag = Diagnostic {
+            rule: passes::SEMANTIC_RULES[0],
+            file: "crates/qos/src/lib.rs".to_string(),
+            line: 3,
+            message: "m".to_string(),
+            symbol: Some("f/panic".to_string()),
+        };
+        let mut cache = Cache::load(&dir);
+        cache.store_passes(7, 4, std::slice::from_ref(&diag));
+        cache.save();
+        let reloaded = Cache::load(&dir);
+        let (fns, edges, diags) = reloaded.load_passes().unwrap();
+        assert_eq!((fns, edges), (7, 4));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, diag.rule);
+        assert_eq!(diags[0].symbol, diag.symbol);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

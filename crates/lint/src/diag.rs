@@ -1,6 +1,7 @@
-//! Diagnostics and their renderings (human `file:line`, JSON, and
-//! GitHub Actions workflow annotations).
+//! Diagnostics and their renderings (human `file:line`, JSON, GitHub
+//! Actions workflow annotations, and SARIF 2.1.0).
 
+use crate::jsonio::{n, obj, s, Value};
 use std::fmt::Write as _;
 
 /// One finding: a rule violation or a malformed pragma.
@@ -78,6 +79,62 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Renders diagnostics as a minimal SARIF 2.1.0 log (`--format=sarif`)
+/// — one run, one driver, one result per diagnostic — the subset CI
+/// code-scanning uploads and SARIF viewers need.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut rule_ids: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+    let rules: Vec<Value> = rule_ids
+        .into_iter()
+        .map(|id| obj(vec![("id", s(id))]))
+        .collect();
+    let results: Vec<Value> = diags
+        .iter()
+        .map(|d| {
+            obj(vec![
+                ("ruleId", s(d.rule)),
+                ("level", s("error")),
+                ("message", obj(vec![("text", s(&d.message))])),
+                (
+                    "locations",
+                    Value::Arr(vec![obj(vec![(
+                        "physicalLocation",
+                        obj(vec![
+                            ("artifactLocation", obj(vec![("uri", s(&d.file))])),
+                            // SARIF lines are 1-based; clamp line-0
+                            // (whole-file) findings to 1.
+                            ("region", obj(vec![("startLine", n(d.line.max(1) as u64))])),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    let doc = obj(vec![
+        (
+            "$schema",
+            s("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Value::Arr(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![("name", s("rcr-lint")), ("rules", Value::Arr(rules))]),
+                    )]),
+                ),
+                ("results", Value::Arr(results)),
+            ])]),
+        ),
+    ]);
+    doc.render()
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -132,6 +189,52 @@ mod tests {
             "::error file=crates/serve/src/queue.rs,line=42,\
              title=rcr-lint/unchecked-time-arithmetic\
              ::raw `-` underflows%0Aat 100%25 load"
+        );
+    }
+
+    #[test]
+    fn sarif_log_has_schema_rules_and_result_locations() {
+        let diags = vec![
+            Diagnostic {
+                rule: "db-linear-mix",
+                file: "crates/qos/src/power.rs".into(),
+                line: 12,
+                message: "adds dB to linear".into(),
+                symbol: Some("combine/db-mix".into()),
+            },
+            Diagnostic {
+                rule: "db-linear-mix",
+                file: "crates/qos/src/power.rs".into(),
+                line: 30,
+                message: "again".into(),
+                symbol: None,
+            },
+        ];
+        let log = render_sarif(&diags);
+        let v = crate::jsonio::parse(&log).unwrap();
+        assert_eq!(v.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let run = &v.get("runs").unwrap().as_arr().unwrap()[0];
+        let driver = run.get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(driver.get("name").and_then(Value::as_str), Some("rcr-lint"));
+        // Two results, but the rule table is deduplicated.
+        assert_eq!(driver.get("rules").unwrap().as_arr().unwrap().len(), 1);
+        let results = run.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        let loc = &results[0].get("locations").unwrap().as_arr().unwrap()[0];
+        let phys = loc.get("physicalLocation").unwrap();
+        assert_eq!(
+            phys.get("artifactLocation")
+                .unwrap()
+                .get("uri")
+                .and_then(Value::as_str),
+            Some("crates/qos/src/power.rs")
+        );
+        assert_eq!(
+            phys.get("region")
+                .unwrap()
+                .get("startLine")
+                .and_then(Value::as_u64),
+            Some(12)
         );
     }
 

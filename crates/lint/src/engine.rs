@@ -41,7 +41,8 @@ pub fn analyze_source(
     let in_test = mark_test_regions(&tokens, &code);
 
     let has_code_on_line = |line: u32| code.iter().any(|&i| tokens[i].line == line);
-    let (allows, bad) = pragma::collect(&tokens, &has_code_on_line);
+    let pragmas = pragma::collect(&tokens, &has_code_on_line);
+    let (allows, bad) = (&pragmas.allows, &pragmas.bad);
 
     let ctx = FileCtx {
         crate_name,
@@ -59,10 +60,10 @@ pub fn analyze_source(
         .collect();
     let mut report = FileReport::default();
     if !ctx.is_test_file() {
-        report.sem = sem::extract_file(crate_name, rel_path, &tokens, &code, &in_test, &allows);
+        report.sem = sem::extract_file(crate_name, rel_path, &tokens, &code, &in_test, &pragmas);
     }
 
-    for b in &bad {
+    for b in bad {
         report.diagnostics.push(Diagnostic {
             rule: BAD_PRAGMA,
             file: rel_path.to_string(),
@@ -71,7 +72,7 @@ pub fn analyze_source(
             symbol: None,
         });
     }
-    for a in &allows {
+    for a in allows {
         if !known.contains(&a.rule.as_str()) {
             report.diagnostics.push(Diagnostic {
                 rule: BAD_PRAGMA,
@@ -96,7 +97,7 @@ pub fn analyze_source(
             if rule.test_policy == TestPolicy::SkipTests && v.in_test {
                 continue;
             }
-            if is_suppressed(rule, v.line, &allows) {
+            if is_suppressed(rule, v.line, allows) {
                 stats.suppressed += 1;
                 continue;
             }

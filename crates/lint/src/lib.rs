@@ -39,6 +39,6 @@ pub mod tokenizer;
 pub mod workspace;
 
 pub use baseline::Baseline;
-pub use diag::{render_json, Diagnostic};
+pub use diag::{render_json, render_sarif, Diagnostic};
 pub use engine::{analyze_source, FileReport};
 pub use workspace::{find_workspace_root, lint_workspace, lint_workspace_with, Options, Report};

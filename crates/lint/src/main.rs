@@ -5,7 +5,7 @@
 
 use rcr_lint::baseline::Baseline;
 use rcr_lint::sem::passes::SEMANTIC_RULES;
-use rcr_lint::{find_workspace_root, lint_workspace_with, render_json, Options};
+use rcr_lint::{find_workspace_root, lint_workspace_with, render_json, render_sarif, Options};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -13,6 +13,7 @@ enum Format {
     Human,
     Json,
     Github,
+    Sarif,
 }
 
 fn main() -> ExitCode {
@@ -29,6 +30,25 @@ fn main() -> ExitCode {
             "--format=json" => format = Format::Json,
             "--format=human" => format = Format::Human,
             "--format=github" => format = Format::Github,
+            "--format=sarif" => format = Format::Sarif,
+            "--check-json" => {
+                // Standalone: validate that a file parses as JSON with
+                // the same reader the tool itself uses. CI uses this to
+                // gate the SARIF artifact without external tooling.
+                let Some(p) = args.next() else {
+                    return usage("--check-json requires a path");
+                };
+                return match std::fs::read_to_string(&p)
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| rcr_lint::jsonio::parse(&t).map_err(|e| e.to_string()))
+                {
+                    Ok(_) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("rcr-lint: {p}: {e}");
+                        ExitCode::from(2)
+                    }
+                };
+            }
             "--changed-only" => opts.changed_only = true,
             "--no-cache" => opts.use_cache = false,
             "--write-baseline" => {
@@ -45,16 +65,20 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: rcr-lint [--format=json|human|github] [--root <workspace>]\n\
+                    "usage: rcr-lint [--format=json|human|github|sarif] [--root <workspace>]\n\
                      \x20               [--changed-only] [--no-cache]\n\
                      \x20               [--baseline <file>] [--write-baseline]\n\
+                     \x20               [--check-json <file>]\n\
                      Lints every workspace crate's src/ tree; exits 1 on any finding.\n\
                      Semantic findings are ratcheted against <workspace>/lint-baseline.json:\n\
                      known entries are accepted, new findings and stale entries fail.\n\
-                     --changed-only  lexical rules on files changed vs merge-base HEAD main\n\
-                     \x20               (full scan when git is unavailable)\n\
+                     --changed-only  lexical rules on files changed vs merge-base HEAD main;\n\
+                     \x20               semantic passes reused from cache when their inputs\n\
+                     \x20               are unchanged (full scan when git is unavailable)\n\
                      --no-cache      ignore and don't write target/rcr-lint-cache.json\n\
                      --format=github emit GitHub Actions ::error annotations\n\
+                     --format=sarif  emit a SARIF 2.1.0 log on stdout\n\
+                     --check-json <file>  just validate that <file> parses as JSON\n\
                      --write-baseline  print a baseline accepting current semantic findings"
                 );
                 return ExitCode::SUCCESS;
@@ -126,6 +150,10 @@ fn main() -> ExitCode {
             }
             eprint!("{}", report.render_summary());
         }
+        Format::Sarif => {
+            println!("{}", render_sarif(&report.diagnostics));
+            eprint!("{}", report.render_summary());
+        }
     }
     if report.is_clean() {
         ExitCode::SUCCESS
@@ -136,7 +164,7 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "rcr-lint: {msg}\nusage: rcr-lint [--format=json|human|github] [--root <workspace>] [--changed-only] [--no-cache] [--baseline <file>] [--write-baseline]"
+        "rcr-lint: {msg}\nusage: rcr-lint [--format=json|human|github|sarif] [--root <workspace>] [--changed-only] [--no-cache] [--baseline <file>] [--write-baseline] [--check-json <file>]"
     );
     ExitCode::from(2)
 }

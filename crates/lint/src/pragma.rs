@@ -1,4 +1,4 @@
-//! Inline suppression pragmas.
+//! Inline suppression and contract pragmas.
 //!
 //! A violation is suppressed by a line comment of the form
 //!
@@ -12,6 +12,19 @@
 //! `allow` naming a rule the tool does not know. This keeps every
 //! suppression auditable — `grep -rn 'rcr-lint: allow'` is the
 //! workspace's exception ledger.
+//!
+//! The unit-flow layer ([`crate::sem::units`]) adds a second form, a
+//! *contract* rather than a suppression, placed directly above (or
+//! trailing) a `fn` item:
+//!
+//! ```text
+//! // rcr-lint: unit(bandwidth_hz = Hz, return = BitsPerSec, reason = "Shannon rate")
+//! ```
+//!
+//! Each binding names a parameter (or `return`) and a dimension from
+//! [`crate::sem::units::DIM_NAMES`]. The reason is mandatory here too:
+//! a contract is a claim about physics, and the ledger should say whose
+//! physics.
 
 use crate::tokenizer::{TokKind, Token};
 
@@ -26,23 +39,39 @@ pub struct Allow {
     pub trailing: bool,
 }
 
+/// A parsed, well-formed `unit(...)` contract pragma.
+#[derive(Debug, Clone)]
+pub struct UnitPragma {
+    /// `(binding name, dimension name)` pairs; the binding name is a
+    /// parameter name or the keyword `return`.
+    pub bindings: Vec<(String, String)>,
+    pub reason: String,
+    pub line: u32,
+    /// Same trailing/standalone semantics as [`Allow`].
+    pub trailing: bool,
+}
+
 /// A malformed pragma — reported as a `bad-pragma` diagnostic and
-/// never honored as a suppression.
+/// never honored as a suppression or contract.
 #[derive(Debug, Clone)]
 pub struct BadPragma {
     pub line: u32,
     pub message: String,
 }
 
-/// Extracts pragmas from the token stream. `code_lines` must report
-/// whether a source line holds any non-comment token (to classify
-/// trailing vs. standalone pragmas).
-pub fn collect(
-    tokens: &[Token<'_>],
-    has_code_on_line: &dyn Fn(u32) -> bool,
-) -> (Vec<Allow>, Vec<BadPragma>) {
-    let mut allows = Vec::new();
-    let mut bad = Vec::new();
+/// Everything [`collect`] extracts from one file's token stream.
+#[derive(Debug, Clone, Default)]
+pub struct Pragmas {
+    pub allows: Vec<Allow>,
+    pub units: Vec<UnitPragma>,
+    pub bad: Vec<BadPragma>,
+}
+
+/// Extracts pragmas from the token stream. `has_code_on_line` must
+/// report whether a source line holds any non-comment token (to
+/// classify trailing vs. standalone pragmas).
+pub fn collect(tokens: &[Token<'_>], has_code_on_line: &dyn Fn(u32) -> bool) -> Pragmas {
+    let mut out = Pragmas::default();
     for t in tokens {
         if t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment {
             continue;
@@ -55,20 +84,36 @@ pub fn collect(
         let Some(rest) = body.strip_prefix("rcr-lint:") else {
             continue;
         };
-        match parse_allow(rest.trim()) {
-            Ok((rule, reason)) => allows.push(Allow {
+        let rest = rest.trim();
+        if rest.starts_with("unit") {
+            match parse_unit(rest) {
+                Ok((bindings, reason)) => out.units.push(UnitPragma {
+                    bindings,
+                    reason,
+                    line: t.line,
+                    trailing: has_code_on_line(t.line),
+                }),
+                Err(message) => out.bad.push(BadPragma {
+                    line: t.line,
+                    message,
+                }),
+            }
+            continue;
+        }
+        match parse_allow(rest) {
+            Ok((rule, reason)) => out.allows.push(Allow {
                 rule,
                 reason,
                 line: t.line,
                 trailing: has_code_on_line(t.line),
             }),
-            Err(message) => bad.push(BadPragma {
+            Err(message) => out.bad.push(BadPragma {
                 line: t.line,
                 message,
             }),
         }
     }
-    (allows, bad)
+    out
 }
 
 /// Parses `allow(<rule>, reason = "...")`; returns `(rule, reason)`.
@@ -80,7 +125,8 @@ fn parse_allow(s: &str) -> Result<(String, String), String> {
         .and_then(|r| r.strip_suffix(')'))
     else {
         return Err(format!(
-            "unrecognized pragma {s:?}: expected `allow(<rule>, reason = \"...\")`"
+            "unrecognized pragma {s:?}: expected `allow(<rule>, reason = \"...\")` \
+             or `unit(<param> = <Dim>, ..., reason = \"...\")`"
         ));
     };
     let Some((rule_part, reason_part)) = inner.split_once(',') else {
@@ -108,6 +154,90 @@ fn parse_allow(s: &str) -> Result<(String, String), String> {
     Ok((rule, reason.trim().to_string()))
 }
 
+/// Parses `unit(<name> = <Dim>, ..., reason = "...")`; returns the
+/// bindings and the reason. Dimension names are validated against
+/// [`crate::sem::units::DIM_NAMES`] so a typo'd dimension is a
+/// `bad-pragma`, not a silently dead contract.
+fn parse_unit(s: &str) -> Result<(Vec<(String, String)>, String), String> {
+    let Some(inner) = s
+        .strip_prefix("unit")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.strip_suffix(')'))
+    else {
+        return Err(format!(
+            "unrecognized pragma {s:?}: expected `unit(<param> = <Dim>, ..., reason = \"...\")`"
+        ));
+    };
+    let mut bindings = Vec::new();
+    let mut reason: Option<String> = None;
+    for part in split_top(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = part.split_once('=') else {
+            return Err(format!(
+                "unit(...) clause {part:?} is not of the form `<name> = <Dim>`"
+            ));
+        };
+        let (k, v) = (k.trim(), v.trim());
+        if k == "reason" {
+            let Some(r) = v.strip_prefix('"').and_then(|r| r.strip_suffix('"')) else {
+                return Err("unit(...) reason must be a double-quoted string".into());
+            };
+            if r.trim().is_empty() {
+                return Err("unit(...) reason must not be empty".into());
+            }
+            reason = Some(r.trim().to_string());
+            continue;
+        }
+        if k.is_empty() || !k.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            return Err(format!("invalid binding name {k:?} in unit(...)"));
+        }
+        if !crate::sem::units::DIM_NAMES.contains(&v) {
+            return Err(format!(
+                "unknown dimension {v:?} in unit(...): expected one of {}",
+                crate::sem::units::DIM_NAMES.join(", ")
+            ));
+        }
+        bindings.push((k.to_string(), v.to_string()));
+    }
+    if bindings.is_empty() {
+        return Err("unit(...) must bind at least one parameter or `return`".into());
+    }
+    let Some(reason) = reason else {
+        return Err("unit(...) is missing the mandatory `reason = \"...\"` clause".into());
+    };
+    Ok((bindings, reason))
+}
+
+/// Splits on top-level commas, respecting double-quoted strings (with
+/// `\"` escapes) so a reason containing a comma stays intact.
+fn split_top(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +261,52 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_allow("deny(x)").is_err());
         assert!(parse_allow(r#"allow(bad rule!, reason = "r")"#).is_err());
+    }
+
+    #[test]
+    fn parses_well_formed_unit_contract() {
+        let (bindings, reason) = parse_unit(
+            r#"unit(bandwidth_hz = Hz, snr = GainLinear, return = BitsPerSec, reason = "Shannon rate, Hz × log2(1 + SNR)")"#,
+        )
+        .unwrap();
+        assert_eq!(
+            bindings,
+            vec![
+                ("bandwidth_hz".to_string(), "Hz".to_string()),
+                ("snr".to_string(), "GainLinear".to_string()),
+                ("return".to_string(), "BitsPerSec".to_string()),
+            ]
+        );
+        assert_eq!(reason, "Shannon rate, Hz × log2(1 + SNR)");
+    }
+
+    #[test]
+    fn unit_reason_may_contain_commas_and_escapes() {
+        let (bindings, reason) = parse_unit(r#"unit(x = Hz, reason = "a, b, and \"c\"")"#).unwrap();
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(reason, r#"a, b, and \"c\""#);
+    }
+
+    #[test]
+    fn unit_rejects_unknown_dimension_and_bad_names() {
+        assert!(parse_unit(r#"unit(x = Hertz, reason = "r")"#).is_err());
+        assert!(parse_unit(r#"unit(x = Unknown, reason = "r")"#).is_err());
+        assert!(parse_unit(r#"unit(bad name = Hz, reason = "r")"#).is_err());
+        assert!(parse_unit(r#"unit(x: Hz, reason = "r")"#).is_err());
+    }
+
+    #[test]
+    fn unit_rejects_missing_reason_or_bindings() {
+        assert!(parse_unit("unit(x = Hz)").is_err());
+        assert!(parse_unit(r#"unit(x = Hz, reason = "")"#).is_err());
+        assert!(parse_unit(r#"unit(reason = "r")"#).is_err());
+        assert!(parse_unit("unit()").is_err());
+    }
+
+    #[test]
+    fn split_top_respects_quoted_commas() {
+        assert_eq!(split_top(r#"a = Hz, reason = "x, y""#).len(), 2);
+        assert_eq!(split_top("a, b, c").len(), 3);
+        assert_eq!(split_top("").len(), 1);
     }
 }

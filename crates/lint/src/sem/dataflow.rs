@@ -44,8 +44,9 @@ pub fn run_all(graph: &Graph) -> Vec<Diagnostic> {
 }
 
 /// Per-site diagnostics with ordinal symbols (`sym/tag`, `sym/tag#2`,
-/// ...) so each site gets its own ratchet-baseline key.
-fn site_pass(
+/// ...) so each site gets its own ratchet-baseline key. Shared with the
+/// unit-flow layer ([`super::units`]).
+pub(super) fn site_pass(
     graph: &Graph,
     rule: &'static str,
     tag: &str,
@@ -183,7 +184,6 @@ fn reachable_alloc_sites(graph: &Graph, start: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pragma::Allow;
     use crate::sem::{extract_file, FileSem};
     use crate::tokenizer::tokenize;
 
@@ -194,8 +194,8 @@ mod tests {
             .collect();
         let in_test = vec![false; code.len()];
         let has_code_on_line = |line: u32| code.iter().any(|&i| tokens[i].line == line);
-        let (allows, _bad): (Vec<Allow>, _) = crate::pragma::collect(&tokens, &has_code_on_line);
-        extract_file(crate_name, file, &tokens, &code, &in_test, &allows)
+        let pragmas = crate::pragma::collect(&tokens, &has_code_on_line);
+        extract_file(crate_name, file, &tokens, &code, &in_test, &pragmas)
     }
 
     fn rules_syms(diags: &[Diagnostic]) -> Vec<(&str, Option<&str>)> {

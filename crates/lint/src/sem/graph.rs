@@ -343,7 +343,7 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pragma::Allow;
+    use crate::pragma::Pragmas;
     use crate::sem::extract_file;
     use crate::tokenizer::tokenize;
 
@@ -353,8 +353,14 @@ mod tests {
             .filter(|&i| !tokens[i].is_comment())
             .collect();
         let in_test = vec![false; code.len()];
-        let allows: Vec<Allow> = Vec::new();
-        extract_file(crate_name, file, &tokens, &code, &in_test, &allows)
+        extract_file(
+            crate_name,
+            file,
+            &tokens,
+            &code,
+            &in_test,
+            &Pragmas::default(),
+        )
     }
 
     fn idx(g: &Graph, name: &str) -> usize {

@@ -31,6 +31,7 @@ pub mod dataflow;
 pub mod graph;
 pub mod parse;
 pub mod passes;
+pub mod units;
 
 /// Semantic extraction for one source file — everything the
 /// inter-procedural passes need, cacheable per file-content hash.
@@ -46,6 +47,9 @@ pub struct FileSem {
     pub cut_time_ops: usize,
     pub cut_allocs: usize,
     pub cut_reductions: usize,
+    /// Cuts for the unit-flow layer ([`units`]) — expression mixes and
+    /// call-site contract checks removed by reviewed pragmas.
+    pub cut_units: usize,
 }
 
 /// One function item (free fn, inherent/trait/impl method).
@@ -67,6 +71,13 @@ pub struct FnDef {
     pub has_self: bool,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
+    /// Parameter names in declaration order (patterns and `self`
+    /// receivers excluded) — the unit-flow layer matches call arguments
+    /// against these positionally.
+    pub params: Vec<String>,
+    /// `unit(...)` contract bindings attached to this fn: `(param name
+    /// or "return", dimension name)` pairs.
+    pub units: Vec<(String, String)>,
     /// An `allow(panic-reachability, ...)` pragma directly above the
     /// `fn` line cuts this node out of panic propagation entirely.
     pub cut_panic: bool,
@@ -75,6 +86,9 @@ pub struct FnDef {
     /// Same, for `allow(alloc-flow, ...)` — removes the fn (and its
     /// direct sites) from alloc-flow propagation.
     pub cut_alloc: bool,
+    /// Same, for `allow(unit-mismatch-at-call, ...)` — removes the fn
+    /// from contract checks entirely (as caller and as callee).
+    pub cut_unit: bool,
     pub calls: Vec<Call>,
     pub panics: Vec<Site>,
     pub locks: Vec<LockAcq>,
@@ -89,6 +103,11 @@ pub struct FnDef {
     /// Accumulations inside order-nondeterministic iteration
     /// ([`dataflow::FLOAT_REDUCTION_ORDER`]).
     pub reductions: Vec<Site>,
+    /// Additive dB/linear mix expressions ([`units::DB_LINEAR_MIX`]).
+    pub db_mixes: Vec<Site>,
+    /// Rate/bandwidth vs count/time mix expressions
+    /// ([`units::RATE_COUNT_MIX`]).
+    pub rate_mixes: Vec<Site>,
 }
 
 impl FnDef {
@@ -112,6 +131,10 @@ pub struct Call {
     pub line: u32,
     /// Canonical names of locks held at the call site.
     pub held: Vec<String>,
+    /// Per-argument inferred dimension names ([`units::Dim::as_str`])
+    /// for free/path calls; `"?"` for unclassifiable arguments, empty
+    /// when no argument carries a dimension (or for method calls).
+    pub args: Vec<String>,
 }
 
 /// A panic or nondeterminism-source site.

@@ -7,9 +7,12 @@
 //! pragmas ([`crate::pragma`]) act as cut points: an allowed site is
 //! dropped here, before the graph ever sees it.
 
+use std::collections::BTreeMap;
+
 use super::dataflow::{ALLOC_FLOW, FLOAT_REDUCTION_ORDER, UNCHECKED_TIME_ARITHMETIC};
+use super::units::{self, Dim, DB_LINEAR_MIX, MATH_METHODS, UNIT_MISMATCH_AT_CALL};
 use super::{Call, FileSem, FnDef, LockAcq, RiskySite, Site};
-use crate::pragma::Allow;
+use crate::pragma::{Allow, Pragmas};
 use crate::tokenizer::{TokKind, Token};
 
 /// Macros that unconditionally panic when reached.
@@ -124,8 +127,9 @@ pub fn extract_file(
     tokens: &[Token<'_>],
     code: &[usize],
     in_test: &[bool],
-    allows: &[Allow],
+    pragmas: &Pragmas,
 ) -> FileSem {
+    let allows = &pragmas.allows;
     let cur = Cursor {
         tokens,
         code,
@@ -174,7 +178,7 @@ pub fn extract_file(
                 }
                 let qual = quals.last().map(|(_, q)| q.clone());
                 let (def, next, body) =
-                    scan_fn(&cur, i, crate_name, rel_path, &module, qual, allows);
+                    scan_fn(&cur, i, crate_name, rel_path, &module, qual, pragmas);
                 let mut def = def;
                 if let Some((b0, b1)) = body {
                     scan_body(&cur, b0, b1, &mut def, &mut sem, allows);
@@ -250,8 +254,9 @@ fn scan_fn(
     rel_path: &str,
     module: &str,
     qual: Option<String>,
-    allows: &[Allow],
+    pragmas: &Pragmas,
 ) -> (FnDef, usize, Option<(usize, usize)>) {
+    let allows = &pragmas.allows;
     let n = cur.code.len();
     let name = cur.text(fn_idx + 1).to_string();
     let line = cur.line(fn_idx);
@@ -364,7 +369,14 @@ fn scan_fn(
         }
         end += 1;
     }
-    let _ = params;
+    // `unit(...)` contracts attach like `allow` pragmas: trailing the
+    // `fn` line or on the line directly above it.
+    let unit_bindings: Vec<(String, String)> = pragmas
+        .units
+        .iter()
+        .filter(|u| (u.trailing && u.line == line) || (!u.trailing && u.line + 1 == line))
+        .flat_map(|u| u.bindings.iter().cloned())
+        .collect();
     let def = FnDef {
         crate_name: crate_name.to_string(),
         file: rel_path.to_string(),
@@ -374,9 +386,12 @@ fn scan_fn(
         is_pub,
         has_self,
         line,
+        params,
+        units: unit_bindings,
         cut_panic: allowed(allows, &["panic-reachability"], line),
         cut_taint: allowed(allows, &["determinism-taint"], line),
         cut_alloc: allowed(allows, &[ALLOC_FLOW], line),
+        cut_unit: allowed(allows, &[UNIT_MISMATCH_AT_CALL], line),
         calls: Vec::new(),
         panics: Vec::new(),
         locks: Vec::new(),
@@ -385,6 +400,8 @@ fn scan_fn(
         time_ops: Vec::new(),
         allocs: Vec::new(),
         reductions: Vec::new(),
+        db_mixes: Vec::new(),
+        rate_mixes: Vec::new(),
     };
     // Resume just past the signature: the caller walks the body region
     // itself so nested fns/impls are discovered too.
@@ -445,6 +462,15 @@ fn scan_body(
     allows: &[Allow],
 ) {
     let params = body_params(cur, def, b0);
+    // Known dimensions of locals, seeded from `unit(...)` parameter
+    // contracts and extended by classifiable `let` bindings — the
+    // intra-procedural propagation leg of the unit-flow layer.
+    let mut unit_locals: BTreeMap<String, Dim> = def
+        .units
+        .iter()
+        .filter(|(k, _)| k != "return")
+        .filter_map(|(k, v)| Dim::parse(v).map(|d| (k.clone(), d)))
+        .collect();
     let mut held: Vec<Held> = Vec::new();
     let mut depth = 0usize;
     let mut mentions_hash = sig_mentions_hash(cur, b0);
@@ -488,6 +514,7 @@ fn scan_body(
                     }
                 }
             }
+            "let" => track_let_binding(cur, i, b1, &mut unit_locals),
             _ => {}
         }
 
@@ -500,6 +527,18 @@ fn scan_body(
                     sem.cut_time_ops += 1;
                 } else {
                     def.time_ops.push(Site { line, what });
+                }
+            }
+            // Additive combination across unit domains (dB + linear,
+            // rate + count): the expression leg of the unit-flow layer.
+            if let Some((rule, what)) = unit_mix_site(cur, i, &unit_locals) {
+                let line = cur.line(i);
+                if allowed(allows, &[rule], line) {
+                    sem.cut_units += 1;
+                } else if rule == DB_LINEAR_MIX {
+                    def.db_mixes.push(Site { line, what });
+                } else {
+                    def.rate_mixes.push(Site { line, what });
                 }
             }
         }
@@ -658,6 +697,9 @@ fn scan_body(
                 method: true,
                 line,
                 held: held_names,
+                // Method receivers make positional arg/param matching
+                // unreliable; contract checks apply to free calls only.
+                args: Vec::new(),
             });
             i += 2;
             continue;
@@ -699,11 +741,21 @@ fn scan_body(
                         });
                     }
                 }
+                // Argument dimensions for the contract check; a pragma
+                // at the call line cuts the whole call out of it.
+                let mut args = call_args(cur, i, b1, &unit_locals);
+                if args.iter().all(|a| a == "?") {
+                    args = Vec::new();
+                } else if allowed(allows, &[DB_LINEAR_MIX, UNIT_MISMATCH_AT_CALL], line) {
+                    sem.cut_units += 1;
+                    args = Vec::new();
+                }
                 def.calls.push(Call {
                     path,
                     method: false,
                     line,
                     held: held_names,
+                    args,
                 });
             }
             i += 2;
@@ -1106,6 +1158,317 @@ fn time_arith_site(cur: &Cursor<'_>, i: usize) -> Option<String> {
     ))
 }
 
+/// Classifies a `.`/`::` chain for the unit-flow layer: any math-method
+/// segment marks a sanctioned conversion (unclassifiable on purpose),
+/// otherwise the rightmost dimension-bearing segment wins (the
+/// field/leaf name is the most specific). A single bare ident falls
+/// back to the propagated local table.
+fn classify_unit_chain(segs: &[&str], locals: &BTreeMap<String, Dim>) -> Option<(Dim, String)> {
+    if segs.iter().any(|s| MATH_METHODS.contains(s)) {
+        return None;
+    }
+    for s in segs.iter().rev() {
+        let d = units::unit_of_name(s);
+        if d != Dim::Unknown {
+            return Some((d, (*s).to_string()));
+        }
+    }
+    if segs.len() == 1 {
+        if let Some(&d) = locals.get(segs[0]) {
+            return Some((d, segs[0].to_string()));
+        }
+    }
+    None
+}
+
+/// The dimension (and evidence name) of the operand ending just before
+/// the op at `op_idx`; literals and unclassifiable shapes are `None`.
+fn unit_left(
+    cur: &Cursor<'_>,
+    op_idx: usize,
+    locals: &BTreeMap<String, Dim>,
+) -> Option<(Dim, String)> {
+    if op_idx == 0 {
+        return None;
+    }
+    let j = op_idx - 1;
+    match cur.kind(j)? {
+        TokKind::Float | TokKind::Int => None,
+        TokKind::Ident => {
+            // `x as f64 + ...`: classify the cast source.
+            if matches!(cur.text(j), "f64" | "f32") && j >= 1 && cur.text(j - 1) == "as" {
+                if j >= 2 && cur.is_ident(j - 2) && !KEYWORDS.contains(&cur.text(j - 2)) {
+                    return classify_unit_chain(&chain_left(cur, j - 2), locals);
+                }
+                return None;
+            }
+            if KEYWORDS.contains(&cur.text(j)) {
+                return None;
+            }
+            classify_unit_chain(&chain_left(cur, j), locals)
+        }
+        _ => match cur.text(j) {
+            ")" | "]" => {
+                // `f(...)`, `xs[...]`: classify the callee/receiver name.
+                let open = matching_open(cur, j)?;
+                if open == 0 {
+                    return None;
+                }
+                let k = open - 1;
+                if !cur.is_ident(k) || KEYWORDS.contains(&cur.text(k)) {
+                    return None;
+                }
+                classify_unit_chain(&chain_left(cur, k), locals)
+            }
+            _ => None,
+        },
+    }
+}
+
+/// The dimension (and evidence name) of the operand starting just after
+/// the op at `op_idx`.
+fn unit_right(
+    cur: &Cursor<'_>,
+    op_idx: usize,
+    locals: &BTreeMap<String, Dim>,
+) -> Option<(Dim, String)> {
+    let mut j = op_idx + 1;
+    while matches!(cur.text(j), "&" | "*" | "mut") {
+        j += 1;
+    }
+    match cur.kind(j)? {
+        TokKind::Float | TokKind::Int => None,
+        TokKind::Ident => {
+            if KEYWORDS.contains(&cur.text(j)) {
+                return None;
+            }
+            let mut segs = vec![cur.text(j)];
+            let mut k = j;
+            while (cur.text(k + 1) == "." || cur.text(k + 1) == "::") && cur.is_ident(k + 2) {
+                k += 2;
+                segs.push(cur.text(k));
+            }
+            classify_unit_chain(&segs, locals)
+        }
+        _ => None,
+    }
+}
+
+/// When the additive op at `i` combines two operands whose dimensions
+/// violate a unit rule, describes the site.
+fn unit_mix_site(
+    cur: &Cursor<'_>,
+    i: usize,
+    locals: &BTreeMap<String, Dim>,
+) -> Option<(&'static str, String)> {
+    let (ld, le) = unit_left(cur, i, locals)?;
+    let (rd, re) = unit_right(cur, i, locals)?;
+    let rule = units::additive_mix_rule(ld, rd)?;
+    Some((
+        rule,
+        format!(
+            "combines `{le}` ({}) with `{re}` ({}) under `{}`",
+            ld.as_str(),
+            rd.as_str(),
+            cur.text(i)
+        ),
+    ))
+}
+
+/// Tracks `let [mut] name = <expr>;` bindings whose RHS classifies to a
+/// single dimension; an unclassifiable RHS clears any stale knowledge
+/// for the rebound name.
+fn track_let_binding(
+    cur: &Cursor<'_>,
+    let_idx: usize,
+    b1: usize,
+    locals: &mut BTreeMap<String, Dim>,
+) {
+    let mut k = let_idx + 1;
+    if cur.text(k) == "mut" {
+        k += 1;
+    }
+    if !cur.is_ident(k) || KEYWORDS.contains(&cur.text(k)) {
+        return;
+    }
+    let name = cur.text(k);
+    // Find the `=` (skipping a `: Type` ascription); bail on patterns.
+    let mut j = k + 1;
+    let mut angle = 0i32;
+    let limit = (k + 16).min(b1);
+    loop {
+        if j > limit {
+            return;
+        }
+        match cur.text(j) {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            ">>" => angle -= 2,
+            "=" if angle <= 0 => break,
+            ";" | "{" | "(" | "|" => return,
+            _ => {}
+        }
+        j += 1;
+    }
+    match classify_unit_span(cur, j + 1, b1, locals) {
+        Some(d) => {
+            locals.insert(name.to_string(), d);
+        }
+        None => {
+            locals.remove(name);
+        }
+    }
+}
+
+/// Classifies an expression span (a let RHS) up to its terminating `;`:
+/// the single dimension its classifiable idents agree on, or `None` on
+/// conflict, math-method conversion, or a call through an
+/// unclassifiable callee (an unknown transformation).
+fn classify_unit_span(
+    cur: &Cursor<'_>,
+    start: usize,
+    b1: usize,
+    locals: &BTreeMap<String, Dim>,
+) -> Option<Dim> {
+    let mut found: Option<Dim> = None;
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let limit = (start + 96).min(b1);
+    let mut j = start;
+    while j <= limit {
+        let t = cur.text(j);
+        match t {
+            ";" if paren == 0 && bracket == 0 && brace == 0 => break,
+            "(" => paren += 1,
+            ")" => {
+                if paren == 0 {
+                    break;
+                }
+                paren -= 1;
+            }
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" => brace += 1,
+            "}" => {
+                if brace == 0 {
+                    break;
+                }
+                brace -= 1;
+            }
+            _ => {}
+        }
+        if cur.is_ident(j) && !KEYWORDS.contains(&t) {
+            if MATH_METHODS.contains(&t) {
+                return None;
+            }
+            let mut d = units::unit_of_name(t);
+            if d == Dim::Unknown {
+                if cur.text(j + 1) == "(" {
+                    return None;
+                }
+                if let Some(&l) = locals.get(t) {
+                    d = l;
+                }
+            }
+            if d != Dim::Unknown {
+                match found {
+                    None => found = Some(d),
+                    Some(f) if units::family(f) == units::family(d) => {}
+                    Some(_) => return None,
+                }
+            }
+        }
+        j += 1;
+    }
+    found
+}
+
+/// Classifies each argument of the free call whose name sits at
+/// `name_idx` (the `(` follows it): one dimension name per argument,
+/// `"?"` when unclassifiable.
+fn call_args(
+    cur: &Cursor<'_>,
+    name_idx: usize,
+    b1: usize,
+    locals: &BTreeMap<String, Dim>,
+) -> Vec<String> {
+    let open = name_idx + 1;
+    let mut args = Vec::new();
+    let mut depth = 1i32;
+    let (mut bracket, mut brace) = (0i32, 0i32);
+    let mut seg_start = open + 1;
+    let mut j = open + 1;
+    while j <= b1 {
+        match cur.text(j) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    if j > seg_start {
+                        args.push(classify_arg(cur, seg_start, j, locals));
+                    }
+                    break;
+                }
+            }
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" => brace += 1,
+            "}" => brace -= 1,
+            "," if depth == 1 && bracket == 0 && brace == 0 => {
+                args.push(classify_arg(cur, seg_start, j, locals));
+                seg_start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    args
+}
+
+/// Classifies one argument span: the single dimension its idents agree
+/// on (same-family dims merge), `"?"` on conflict, conversion-method
+/// presence, or a call through an unclassifiable callee.
+fn classify_arg(
+    cur: &Cursor<'_>,
+    start: usize,
+    end: usize,
+    locals: &BTreeMap<String, Dim>,
+) -> String {
+    let mut found: Option<Dim> = None;
+    for k in start..end {
+        if !cur.is_ident(k) {
+            continue;
+        }
+        let t = cur.text(k);
+        if MATH_METHODS.contains(&t) {
+            return "?".into();
+        }
+        if KEYWORDS.contains(&t) {
+            continue;
+        }
+        let mut d = units::unit_of_name(t);
+        if d == Dim::Unknown && cur.text(k + 1) == "(" {
+            // An unknown transformation: its result could be anything.
+            return "?".into();
+        }
+        if d == Dim::Unknown && end == start + 1 {
+            if let Some(&l) = locals.get(t) {
+                d = l;
+            }
+        }
+        if d == Dim::Unknown {
+            continue;
+        }
+        match found {
+            None => found = Some(d),
+            Some(f) if units::family(f) == units::family(d) => {}
+            Some(_) => return "?".into(),
+        }
+    }
+    found
+        .map(|d| d.as_str().to_string())
+        .unwrap_or_else(|| "?".into())
+}
+
 /// Shape of a `.lock()` acquisition at the `.` before `lock`:
 /// `(canonical_name, guard_binding, is_temporary)`.
 fn lock_shape(cur: &Cursor<'_>, dot: usize) -> (String, Option<String>, bool) {
@@ -1212,7 +1575,7 @@ mod tests {
             &tokens,
             &code,
             &in_test,
-            &[],
+            &Pragmas::default(),
         )
     }
 

@@ -11,8 +11,8 @@ pub const LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
 pub const LOCK_HELD_ACROSS_SEND: &str = "lock-held-across-send";
 pub const DETERMINISM_TAINT: &str = "determinism-taint";
 
-/// All rules of the semantic + dataflow layers: the set pragmas may
-/// name, the baseline may hold, and the summary reports on.
+/// All rules of the semantic + dataflow + unit-flow layers: the set
+/// pragmas may name, the baseline may hold, and the summary reports on.
 pub const SEMANTIC_RULES: &[&str] = &[
     PANIC_REACHABILITY,
     LOCK_ORDER_CYCLE,
@@ -21,6 +21,9 @@ pub const SEMANTIC_RULES: &[&str] = &[
     super::dataflow::UNCHECKED_TIME_ARITHMETIC,
     super::dataflow::ALLOC_FLOW,
     super::dataflow::FLOAT_REDUCTION_ORDER,
+    super::units::DB_LINEAR_MIX,
+    super::units::UNIT_MISMATCH_AT_CALL,
+    super::units::RATE_COUNT_MIX,
 ];
 
 /// Crates whose *public* fns must be transitively panic-free: a panic
@@ -44,15 +47,16 @@ const LOCK_SCOPE: &[&str] = &["rcr-runtime", "rcr-serve"];
 /// lives — the values these return feed verifier verdicts.
 const SOLVE_ENTRY_METHODS: &[&str] = &["solve_item", "solve_batch", "solve_batch_on"];
 
-/// Runs the call-graph passes plus the dataflow layer
-/// ([`super::dataflow`]); diagnostics come back sorted by
-/// (file, line, rule) like the lexical layer's.
+/// Runs the call-graph passes plus the dataflow ([`super::dataflow`])
+/// and unit-flow ([`super::units`]) layers; diagnostics come back
+/// sorted by (file, line, rule) like the lexical layer's.
 pub fn run_all(graph: &Graph) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     diags.extend(panic_reachability(graph));
     diags.extend(lock_order(graph));
     diags.extend(determinism_taint(graph));
     diags.extend(super::dataflow::run_all(graph));
+    diags.extend(super::units::run_all(graph));
     diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     diags
 }
@@ -377,7 +381,6 @@ fn reaches(adj: &BTreeMap<&str, Vec<&str>>, from: &str, to: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pragma::Allow;
     use crate::sem::{extract_file, FileSem};
     use crate::tokenizer::tokenize;
 
@@ -388,8 +391,8 @@ mod tests {
             .collect();
         let in_test = vec![false; code.len()];
         let has_code_on_line = |line: u32| code.iter().any(|&i| tokens[i].line == line);
-        let (allows, _bad): (Vec<Allow>, _) = crate::pragma::collect(&tokens, &has_code_on_line);
-        extract_file(crate_name, file, &tokens, &code, &in_test, &allows)
+        let pragmas = crate::pragma::collect(&tokens, &has_code_on_line);
+        extract_file(crate_name, file, &tokens, &code, &in_test, &pragmas)
     }
 
     fn rules_of(diags: &[Diagnostic]) -> Vec<(&str, Option<&str>)> {

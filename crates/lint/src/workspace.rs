@@ -14,10 +14,12 @@
 //!    the inter-procedural passes ([`crate::sem::passes`]), then apply
 //!    the ratchet baseline ([`crate::baseline`]).
 //!
-//! `--changed-only` keeps layer 1 on files changed vs
-//! `git merge-base HEAD main` and skips layer 2 (the passes are only
-//! sound over the whole workspace); outside a git repo it falls back to
-//! a full scan.
+//! `--changed-only` runs layer 1 on files changed vs
+//! `git merge-base HEAD main` only. Layer 2 is whole-workspace by
+//! nature, so it is *reused* from the cache when no changed file
+//! altered its inputs (the semantic extraction), and re-run over a
+//! full extraction sweep when one did; outside a git repo the mode
+//! falls back to a full scan.
 
 use crate::baseline::{Baseline, STALE_BASELINE};
 use crate::cache::{self, Cache};
@@ -76,9 +78,11 @@ pub struct Report {
     pub stale_baseline: usize,
     pub cache_hits: usize,
     pub cache_misses: usize,
-    /// `true` when the run was restricted to changed files (semantic
-    /// passes skipped).
+    /// `true` when the run was restricted to changed files.
     pub changed_only: bool,
+    /// `true` when the semantic passes were served from the cache
+    /// because no changed file altered the call-graph inputs.
+    pub sem_reused: bool,
 }
 
 impl Report {
@@ -96,7 +100,7 @@ impl Report {
             self.crates_scanned,
             self.files_scanned,
             if self.changed_only {
-                " (changed-only: lexical rules, semantic passes skipped)"
+                " (changed-only: lexical rules on changed files)"
             } else {
                 ""
             }
@@ -119,24 +123,29 @@ impl Report {
                 "bad-pragma", bad
             ));
         }
-        if !self.changed_only {
+        let sem_note = if !self.changed_only {
+            ""
+        } else if self.sem_reused {
+            " (changed-only: semantic passes reused from cache)"
+        } else {
+            " (changed-only: extraction changed, semantic passes re-run)"
+        };
+        out.push_str(&format!(
+            "  semantic: call graph over {} fns, {} edges; {} pragma cut point(s){}\n",
+            self.graph_fns, self.graph_edges, self.sem_cut_sites, sem_note
+        ));
+        for slug in passes::SEMANTIC_RULES {
+            let s = self.sem_stats.get(slug).cloned().unwrap_or_default();
             out.push_str(&format!(
-                "  semantic: call graph over {} fns, {} edges; {} pragma cut point(s)\n",
-                self.graph_fns, self.graph_edges, self.sem_cut_sites
+                "  {:<26} {:>3} finding(s), {:>2} baselined\n",
+                slug, s.violations, s.suppressed
             ));
-            for slug in passes::SEMANTIC_RULES {
-                let s = self.sem_stats.get(slug).cloned().unwrap_or_default();
-                out.push_str(&format!(
-                    "  {:<26} {:>3} finding(s), {:>2} baselined\n",
-                    slug, s.violations, s.suppressed
-                ));
-            }
-            if self.stale_baseline > 0 {
-                out.push_str(&format!(
-                    "  {:<26} {:>3} stale entry(ies) — baseline may only shrink\n",
-                    STALE_BASELINE, self.stale_baseline
-                ));
-            }
+        }
+        if self.stale_baseline > 0 {
+            out.push_str(&format!(
+                "  {:<26} {:>3} stale entry(ies) — baseline may only shrink\n",
+                STALE_BASELINE, self.stale_baseline
+            ));
         }
         if self.cache_hits + self.cache_misses > 0 {
             out.push_str(&format!(
@@ -237,6 +246,11 @@ pub fn lint_workspace_with(root: &Path, opts: &Options) -> io::Result<Report> {
     };
     let mut sems: Vec<FileSem> = Vec::new();
     let mut scanned: Vec<String> = Vec::new();
+    // Unchanged files in a changed-only run: scanned for semantic
+    // extraction only (no lexical diagnostics) iff a changed file
+    // altered the call-graph inputs. `(crate, path, rel, src_dir)`.
+    let mut deferred: Vec<(String, PathBuf, String, PathBuf)> = Vec::new();
+    let mut sem_changed = false;
     for info in &crates {
         let src_dir = info.dir.join("src");
         if !src_dir.is_dir() {
@@ -253,11 +267,13 @@ pub fn lint_workspace_with(root: &Path, opts: &Options) -> io::Result<Report> {
                 .replace('\\', "/");
             if let Some(set) = &changed {
                 if !set.contains(&rel) {
+                    deferred.push((info.name.clone(), path, rel, src_dir.clone()));
                     continue;
                 }
             }
             let source = fs::read_to_string(&path)?;
             let key = cache::content_key(&info.name, &rel, &source);
+            let old_sem = cache.cached_sem(&rel);
             let file_report = match cache.get(&rel, key) {
                 Some(r) => r,
                 None => {
@@ -270,6 +286,7 @@ pub fn lint_workspace_with(root: &Path, opts: &Options) -> io::Result<Report> {
                     r
                 }
             };
+            sem_changed |= old_sem.unwrap_or_default() != file_report.sem;
             scanned.push(rel);
             report.files_scanned += 1;
             report.diagnostics.extend(file_report.diagnostics);
@@ -283,54 +300,68 @@ pub fn lint_workspace_with(root: &Path, opts: &Options) -> io::Result<Report> {
                 + file_report.sem.cut_risky
                 + file_report.sem.cut_time_ops
                 + file_report.sem.cut_allocs
-                + file_report.sem.cut_reductions;
+                + file_report.sem.cut_reductions
+                + file_report.sem.cut_units;
             sems.push(file_report.sem);
         }
     }
+    // A changed `.rs` path that no longer exists in the scan set but
+    // has a non-trivial cached extraction was deleted: its fns left
+    // the graph, so the cached pass results are stale.
+    if let Some(set) = &changed {
+        for rel in set {
+            if rel.ends_with(".rs")
+                && !scanned.contains(rel)
+                && cache
+                    .cached_sem(rel)
+                    .is_some_and(|s| s != FileSem::default())
+            {
+                sem_changed = true;
+            }
+        }
+    }
 
-    if !report.changed_only {
+    if report.changed_only && !sem_changed {
+        if let Some((fns, edges, diags)) = cache.load_passes() {
+            report.graph_fns = fns;
+            report.graph_edges = edges;
+            report.sem_reused = true;
+            let survivors = apply_baseline(root, opts, diags, &mut report)?;
+            report.diagnostics.extend(survivors);
+        }
+    }
+    if !report.sem_reused {
+        // Full pass run: extract the deferred (unchanged) files too so
+        // the graph covers the whole workspace, then rebuild.
+        for (crate_name, path, rel, src_dir) in &deferred {
+            let source = fs::read_to_string(path)?;
+            let key = cache::content_key(crate_name, rel, &source);
+            let file_report = match cache.get(rel, key) {
+                Some(r) => r,
+                None => {
+                    let is_root = path
+                        .file_name()
+                        .is_some_and(|f| f == "lib.rs" || f == "main.rs")
+                        && path.parent().is_some_and(|p| p == *src_dir);
+                    let r = analyze_source(crate_name, rel, &source, is_root);
+                    cache.put(rel, key, &r);
+                    r
+                }
+            };
+            sems.push(file_report.sem);
+        }
         let graph = Graph::build(&sems);
         report.graph_fns = graph.fns.len();
         report.graph_edges = graph.callees.iter().map(Vec::len).sum();
         let sem_diags = passes::run_all(&graph);
-        let baseline = load_baseline(root, opts)?;
-        let sem_diags = match &baseline {
-            Some(b) => {
-                let pre = count_by_rule(&sem_diags);
-                let (survivors, stats) = b.apply(sem_diags, "lint-baseline.json");
-                report.stale_baseline = stats.stale;
-                let post = count_by_rule(&survivors);
-                for slug in passes::SEMANTIC_RULES {
-                    let before = pre.get(slug).copied().unwrap_or(0);
-                    let after = post.get(slug).copied().unwrap_or(0);
-                    report.sem_stats.insert(
-                        slug,
-                        RuleStats {
-                            violations: after,
-                            suppressed: before - after,
-                        },
-                    );
-                }
-                survivors
-            }
-            None => {
-                for slug in passes::SEMANTIC_RULES {
-                    let count = sem_diags.iter().filter(|d| d.rule == *slug).count();
-                    report.sem_stats.insert(
-                        slug,
-                        RuleStats {
-                            violations: count,
-                            suppressed: 0,
-                        },
-                    );
-                }
-                sem_diags
-            }
-        };
-        report.diagnostics.extend(sem_diags);
+        cache.store_passes(report.graph_fns, report.graph_edges, &sem_diags);
+        let survivors = apply_baseline(root, opts, sem_diags, &mut report)?;
+        report.diagnostics.extend(survivors);
     }
 
-    if !report.changed_only {
+    if report.changed_only {
+        cache.prune_missing(root);
+    } else {
         cache.retain_files(&scanned);
     }
     cache.save();
@@ -340,6 +371,51 @@ pub fn lint_workspace_with(root: &Path, opts: &Options) -> io::Result<Report> {
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(report)
+}
+
+/// Applies the governing baseline to pre-baseline pass diagnostics,
+/// filling `report.sem_stats`/`stale_baseline`, and returns the
+/// surviving diagnostics.
+fn apply_baseline(
+    root: &Path,
+    opts: &Options,
+    sem_diags: Vec<Diagnostic>,
+    report: &mut Report,
+) -> io::Result<Vec<Diagnostic>> {
+    let baseline = load_baseline(root, opts)?;
+    Ok(match &baseline {
+        Some(b) => {
+            let pre = count_by_rule(&sem_diags);
+            let (survivors, stats) = b.apply(sem_diags, "lint-baseline.json");
+            report.stale_baseline = stats.stale;
+            let post = count_by_rule(&survivors);
+            for slug in passes::SEMANTIC_RULES {
+                let before = pre.get(slug).copied().unwrap_or(0);
+                let after = post.get(slug).copied().unwrap_or(0);
+                report.sem_stats.insert(
+                    slug,
+                    RuleStats {
+                        violations: after,
+                        suppressed: before - after,
+                    },
+                );
+            }
+            survivors
+        }
+        None => {
+            for slug in passes::SEMANTIC_RULES {
+                let count = sem_diags.iter().filter(|d| d.rule == *slug).count();
+                report.sem_stats.insert(
+                    slug,
+                    RuleStats {
+                        violations: count,
+                        suppressed: 0,
+                    },
+                );
+            }
+            sem_diags
+        }
+    })
 }
 
 fn count_by_rule(diags: &[Diagnostic]) -> BTreeMap<&'static str, usize> {

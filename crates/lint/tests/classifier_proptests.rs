@@ -1,0 +1,87 @@
+//! Property-based checks for the name-segment dimension classifier:
+//! stop-listed names never classify as a physical quantity, and the
+//! classification is stable under case perturbation (identifiers are
+//! matched per lowercased segment).
+
+use proptest::prelude::*;
+use rcr_lint::sem::units::{unit_of_name, Dim, STOP_WORDS};
+
+/// Segments that, on their own, pin a dimension — the vocabulary a
+/// stop word must always override.
+const QUANTITY_WORDS: &[&str] = &[
+    "snr",
+    "sinr",
+    "gain",
+    "power",
+    "bandwidth",
+    "rate",
+    "throughput",
+    "count",
+    "num",
+    "hz",
+    "mhz",
+    "db",
+    "dbm",
+    "bps",
+    "mbps",
+    "us",
+    "ms",
+    "mw",
+];
+
+/// Neutral filler segments with no unit meaning.
+const NEUTRAL_WORDS: &[&str] = &["total", "avg", "peak", "cell", "user", "link", "target"];
+
+fn build_name(picks: &[usize], stop_at: Option<(usize, usize)>) -> String {
+    let pool: Vec<&str> = QUANTITY_WORDS
+        .iter()
+        .chain(NEUTRAL_WORDS.iter())
+        .copied()
+        .collect();
+    let mut segs: Vec<&str> = picks.iter().map(|&i| pool[i % pool.len()]).collect();
+    if let Some((pos, word)) = stop_at {
+        segs.insert(pos % (segs.len() + 1), STOP_WORDS[word % STOP_WORDS.len()]);
+    }
+    segs.join("_")
+}
+
+fn flip_case(name: &str, mask: &[bool]) -> String {
+    name.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if mask.get(i).copied().unwrap_or(false) {
+                c.to_ascii_uppercase()
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn stop_listed_names_never_classify_as_quantities(
+        picks in prop::collection::vec(0usize..25, 1..4),
+        pos in 0usize..8,
+        word in 0usize..32,
+    ) {
+        let name = build_name(&picks, Some((pos, word)));
+        prop_assert_eq!(unit_of_name(&name), Dim::Unknown, "{}", name);
+    }
+
+    #[test]
+    fn classification_is_stable_under_case_perturbation(
+        picks in prop::collection::vec(0usize..25, 1..4),
+        mask in prop::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let name = build_name(&picks, None);
+        let perturbed = flip_case(&name, &mask);
+        prop_assert_eq!(
+            unit_of_name(&name),
+            unit_of_name(&perturbed),
+            "{} vs {}", name, perturbed
+        );
+    }
+}

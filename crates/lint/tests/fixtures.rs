@@ -358,6 +358,95 @@ fn e2e_float_reduction_order_fixture_workspace() {
 }
 
 #[test]
+fn e2e_unit_flow_fixture_workspace() {
+    let (ok, stdout, _) = run_binary_on("mini_ws_units", &[]);
+    assert!(!ok, "unit confusion must fail the run");
+    // Additive dB/linear mix inside one fn.
+    assert!(stdout.contains("\"rule\":\"db-linear-mix\""), "{stdout}");
+    assert!(
+        stdout.contains("\"symbol\":\"combine_snr/db-mix\""),
+        "{stdout}"
+    );
+    // Rate + raw count.
+    assert!(stdout.contains("\"rule\":\"rate-count-mix\""), "{stdout}");
+    assert!(stdout.contains("\"symbol\":\"bump/rate-mix\""), "{stdout}");
+    // Cross-crate contract violations: a dB argument into a linear
+    // parameter, and a rate into the bandwidth slot.
+    assert!(
+        stdout.contains("\"symbol\":\"throughput/unit-call\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"rule\":\"unit-mismatch-at-call\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"symbol\":\"misrouted/unit-call\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"file\":\"crates/signal/src/lib.rs\""),
+        "{stdout}"
+    );
+    // The annotated callee and both clean twins stay silent.
+    assert!(!stdout.contains("\"symbol\":\"rate_bps"), "{stdout}");
+    assert!(!stdout.contains("clean/"), "{stdout}");
+    assert!(!stdout.contains("via_conversion"), "{stdout}");
+}
+
+#[test]
+fn e2e_sarif_format_is_valid_and_locates_findings() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini_ws_units");
+    let out = Command::new(env!("CARGO_BIN_EXE_rcr-lint"))
+        .args(["--format=sarif", "--no-cache", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run rcr-lint");
+    assert!(!out.status.success(), "fixture must still fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v = rcr_lint::jsonio::parse(&stdout).expect("SARIF output must parse as JSON");
+    assert_eq!(
+        v.get("version").and_then(rcr_lint::jsonio::Value::as_str),
+        Some("2.1.0")
+    );
+    let run = &v.get("runs").unwrap().as_arr().unwrap()[0];
+    let rules = run
+        .get("tool")
+        .unwrap()
+        .get("driver")
+        .unwrap()
+        .get("rules")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    let ids: Vec<&str> = rules
+        .iter()
+        .filter_map(|r| r.get("id").and_then(rcr_lint::jsonio::Value::as_str))
+        .collect();
+    assert!(ids.contains(&"db-linear-mix"), "{ids:?}");
+    assert!(ids.contains(&"unit-mismatch-at-call"), "{ids:?}");
+    let results = run.get("results").unwrap().as_arr().unwrap();
+    assert!(!results.is_empty());
+    assert!(
+        stdout.contains("\"uri\": \"crates/signal/src/lib.rs\"")
+            || stdout.contains("\"uri\":\"crates/signal/src/lib.rs\""),
+        "{stdout}"
+    );
+
+    // The binary's own JSON checker accepts its SARIF output.
+    let sarif_path =
+        std::env::temp_dir().join(format!("rcr-lint-sarif-{}.json", std::process::id()));
+    std::fs::write(&sarif_path, stdout.as_bytes()).expect("write sarif");
+    let check = Command::new(env!("CARGO_BIN_EXE_rcr-lint"))
+        .arg("--check-json")
+        .arg(&sarif_path)
+        .output()
+        .expect("run rcr-lint --check-json");
+    let _ = std::fs::remove_file(&sarif_path);
+    assert!(check.status.success(), "{check:?}");
+}
+
+#[test]
 fn e2e_github_format_emits_error_annotations() {
     let root: PathBuf =
         Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini_ws_underflow");
@@ -418,7 +507,7 @@ fn changed_only_falls_back_to_full_scan_outside_git() {
 }
 
 #[test]
-fn changed_only_in_repo_skips_semantic_passes() {
+fn changed_only_in_repo_still_runs_semantic_passes() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
@@ -430,15 +519,100 @@ fn changed_only_in_repo_skips_semantic_passes() {
     };
     let report = rcr_lint::lint_workspace_with(&root, &opts).expect("lint run");
     if report.changed_only {
-        // Git cooperated: the scan is lexical-only over the diff.
-        assert_eq!(report.graph_fns, 0);
-        assert!(report
-            .diagnostics
-            .iter()
-            .all(|d| !d.rule.contains("reachability") && !d.rule.contains("taint")));
+        // Git cooperated. The lexical layer is restricted to the diff,
+        // but the semantic layer still covers the whole workspace —
+        // either reused from the cache or re-run over a full
+        // extraction sweep (here cacheless, so always re-run).
+        assert!(!report.sem_reused, "no cache to reuse from");
+        assert!(report.graph_fns > 0, "semantic passes must still run");
     }
     // Outside git (or with git absent) the fallback ran instead; the
     // dedicated fallback test covers that path.
+}
+
+/// Satellite: `--changed-only` with a warm cache reuses the semantic
+/// pass results when no changed file altered the extraction (hit
+/// path), and re-runs them when one did (invalidation path).
+#[test]
+fn changed_only_reuses_and_invalidates_cached_passes() {
+    let src: PathBuf =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini_ws_underflow");
+    let dst = std::env::temp_dir().join(format!("rcr-lint-sem-reuse-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dst);
+    copy_tree(&src, &dst).expect("copy fixture");
+    let git = |args: &[&str]| {
+        let out = Command::new("git")
+            .arg("-C")
+            .arg(&dst)
+            .args(args)
+            .output()
+            .expect("run git");
+        assert!(out.status.success(), "git {args:?} failed: {out:?}");
+    };
+    git(&["init", "-q"]);
+    git(&["-c", "user.email=t@t", "-c", "user.name=t", "add", "."]);
+    git(&[
+        "-c",
+        "user.email=t@t",
+        "-c",
+        "user.name=t",
+        "commit",
+        "-qm",
+        "seed",
+    ]);
+    git(&["branch", "-M", "main"]);
+    let run = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_rcr-lint"))
+            .args(["--format=json"])
+            .args(extra)
+            .arg("--root")
+            .arg(&dst)
+            .output()
+            .expect("run rcr-lint");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    // Warm the cache with a full run (fails: the fixture is broken).
+    let (ok, _, _) = run(&[]);
+    assert!(!ok);
+
+    // Hit path: a comment-only edit leaves the extraction unchanged,
+    // so the pass results come from the cache — including the finding.
+    let serve = dst.join("crates/serve/src/lib.rs");
+    let orig = std::fs::read_to_string(&serve).expect("read fixture lib");
+    std::fs::write(&serve, format!("{orig}// touched\n")).expect("append comment");
+    let (ok, stdout, stderr) = run(&["--changed-only"]);
+    assert!(!ok, "cached semantic finding must still gate");
+    assert!(
+        stderr.contains("semantic passes reused from cache"),
+        "{stderr}"
+    );
+    assert!(
+        stdout.contains("\"symbol\":\"age_us/time-arith\""),
+        "{stdout}"
+    );
+
+    // Invalidation path: a new fn with a raw time subtraction changes
+    // the extraction; the passes re-run and see the new site.
+    std::fs::write(
+        &serve,
+        format!("{orig}pub fn extra_age(deadline_us: u64, now_us: u64) -> u64 {{ deadline_us - now_us }}\n"),
+    )
+    .expect("append fn");
+    let (ok, stdout, stderr) = run(&["--changed-only"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("semantic passes re-run"),
+        "extraction change must invalidate the cached passes: {stderr}"
+    );
+    assert!(
+        stdout.contains("\"symbol\":\"extra_age/time-arith\""),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dst);
 }
 
 fn copy_tree(src: &Path, dst: &Path) -> std::io::Result<()> {

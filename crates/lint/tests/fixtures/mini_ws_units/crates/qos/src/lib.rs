@@ -1,0 +1,8 @@
+//! The annotated callee side: a Shannon-rate helper whose unit(...)
+//! contract the sibling crate must honor at every call site.
+#![forbid(unsafe_code)]
+
+// rcr-lint: unit(bandwidth_hz = Hz, snr = GainLinear, return = BitsPerSec, reason = "Shannon rate: Hz times log2(1 + linear SNR)")
+pub fn rate_bps(bandwidth_hz: f64, snr: f64) -> f64 {
+    bandwidth_hz * (1.0 + snr).log2()
+}

@@ -1,0 +1,34 @@
+//! The caller side: every way to get a physical unit wrong, plus the
+//! clean twins that must stay silent.
+#![forbid(unsafe_code)]
+
+/// dB values add where linear ones multiply: this "sum" is a unit bug.
+pub fn combine_snr(snr_db: f64, gain_lin: f64) -> f64 {
+    snr_db + gain_lin
+}
+
+/// A bit/s rate plus a raw symbol count is dimensionally meaningless.
+pub fn bump(total_rate_bps: f64, symbol_count: f64) -> f64 {
+    total_rate_bps + symbol_count
+}
+
+/// Passes a dB-domain noise figure where the contract wants linear SNR.
+pub fn throughput(noise_db: f64, width_hz: f64) -> f64 {
+    rcr_qos::rate_bps(width_hz, noise_db)
+}
+
+/// Swaps a rate into the bandwidth slot — wrong unit, same float type.
+pub fn misrouted(total_rate_bps: f64, snr: f64) -> f64 {
+    rcr_qos::rate_bps(total_rate_bps, snr)
+}
+
+/// Clean twin: both arguments match the callee's contract.
+pub fn clean(width_hz: f64, snr: f64) -> f64 {
+    rcr_qos::rate_bps(width_hz, snr)
+}
+
+/// Clean twin: the sanctioned 10^(x/10) shape converts dB to linear
+/// before the call, so no contract is violated.
+pub fn via_conversion(snr_db: f64, width_hz: f64) -> f64 {
+    rcr_qos::rate_bps(width_hz, 10f64.powf(snr_db / 10.0))
+}

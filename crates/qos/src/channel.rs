@@ -113,6 +113,7 @@ impl Channel {
     ///
     /// # Panics
     /// Panics when either index is out of range.
+    // rcr-lint: unit(return = GainLinear, reason = "linear |h|^2 path-times-fading power gain, not dB")
     pub fn gain(&self, user: usize, rb: usize) -> f64 {
         self.gains[user][rb]
     }

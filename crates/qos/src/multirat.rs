@@ -36,6 +36,7 @@ impl MultiRatProblem {
     /// # Errors
     /// Returns [`QosError::InvalidParameter`] for empty/ragged utilities,
     /// mismatched capacities, or total capacity below the user count.
+    // rcr-lint: unit(utility = Dimensionless, reason = "abstract association utility; any rate-derived score must be normalized before it enters")
     pub fn new(utility: Vec<Vec<f64>>, capacity: Vec<usize>) -> Result<Self, QosError> {
         if utility.is_empty() || utility[0].is_empty() {
             return Err(QosError::InvalidParameter("empty utility matrix".into()));

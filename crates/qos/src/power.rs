@@ -64,12 +64,14 @@ impl PowerSolution {
     }
 }
 
+// rcr-lint: unit(bandwidth = Hz, a = GainLinear, p = PowerLinear, return = BitsPerSec, reason = "Shannon rate per RB: Hz times log2(1 + normalized-gain times watts)")
 fn rate_bps(bandwidth: f64, a: f64, p: f64) -> f64 {
     bandwidth * (1.0 + a * p).log2()
 }
 
 /// Weighted water-filling: maximize `Σ w_k log(1 + a_k p_k)` subject to
 /// `Σ p ≤ budget`, `p ≥ 0`. Exact via bisection on the water level.
+// rcr-lint: unit(gains = GainLinear, budget = PowerLinear, reason = "water-filling works on linear normalized gains and a watt budget, never dB")
 fn weighted_waterfill(gains: &[f64], weights: &[f64], budget: f64) -> Vec<f64> {
     let power_at = |lambda: f64| -> Vec<f64> {
         gains

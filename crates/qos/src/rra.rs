@@ -54,6 +54,7 @@ impl RraProblem {
     ///
     /// # Errors
     /// Returns [`QosError::InvalidParameter`] on malformed data.
+    // rcr-lint: unit(noise_power_w = PowerLinear, power_budget_w = PowerLinear, rb_bandwidth_hz = Hz, reason = "problem data is linear-domain watts and Hz; dB inputs must be converted upstream")
     pub fn new(
         channel: Channel,
         noise_power_w: f64,
@@ -103,6 +104,7 @@ impl RraProblem {
     }
 
     /// Normalized gain `a = g / N` of `user` on `rb`.
+    // rcr-lint: unit(return = GainLinear, reason = "linear power ratio gain/noise, the `a_k` of the water-filling inner problem")
     pub fn normalized_gain(&self, user: usize, rb: usize) -> f64 {
         self.channel.gain(user, rb) / self.noise_power_w
     }
@@ -268,6 +270,7 @@ pub fn solve_exact(problem: &RraProblem, settings: &BnbSettings) -> Result<RraSo
 
 /// The relaxation upper bound on the total rate (drop integrality *and*
 /// minimum rates) — the certificate companion to heuristic solvers.
+// rcr-lint: unit(return = BitsPerSec, reason = "upper bound on the same bit/s objective the solvers report")
 pub fn relaxation_bound_bps(problem: &RraProblem) -> f64 {
     let bounds = vec![(0i64, problem.users() as i64 - 1); problem.resource_blocks()];
     // Validated problem data cannot fail the unconstrained water-filling;

@@ -32,6 +32,7 @@ impl QosClass {
 
     /// The minimum-rate requirement of the class, as a multiple of one
     /// RB's bandwidth (bit/s per Hz of a single block).
+    // rcr-lint: unit(return = PerRb, reason = "normalized per-RB requirement; multiply by rb_bandwidth_hz to get bit/s")
     pub fn min_rate_per_rb_bandwidth(&self) -> f64 {
         match self {
             QosClass::Embb => 2.0,

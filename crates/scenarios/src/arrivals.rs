@@ -20,6 +20,7 @@ use rand::{Rng, SeedableRng};
 const US_PER_SEC: f64 = 1_000_000.0;
 
 /// Draws an exponential variate with the given rate (events per µs).
+// rcr-lint: unit(return = Seconds, reason = "a gap on the virtual microsecond timeline; rate_per_us is its reciprocal domain")
 fn exp_gap_us(rng: &mut StdRng, rate_per_us: f64) -> f64 {
     // gen::<f64>() is in [0, 1), so 1-u is in (0, 1] and ln() is finite.
     let u: f64 = rng.gen();

@@ -37,6 +37,7 @@ impl Default for DenoiseConfig {
 ///
 /// # Errors
 /// Propagates analysis errors.
+// rcr-lint: unit(return = Dimensionless, reason = "linear magnitude per bin; spectral subtraction operates pre-dB")
 pub fn noise_profile(plan: &StftPlan, noise: &[f64]) -> Result<Vec<f64>, SignalError> {
     let stft = plan.analyze(noise)?;
     let bins = stft.num_bins();
@@ -59,6 +60,7 @@ pub fn noise_profile(plan: &StftPlan, noise: &[f64]) -> Result<Vec<f64>, SignalE
 /// # Errors
 /// * [`SignalError::InvalidParameter`] when the profile length differs
 ///   from the STFT bin count or the config is out of range.
+// rcr-lint: unit(profile = Dimensionless, reason = "linear magnitudes from noise_profile; feeding dB here would subtract in the wrong domain")
 pub fn subtract_spectrum(
     stft: &mut Stft,
     profile: &[f64],
@@ -94,6 +96,7 @@ pub fn subtract_spectrum(
 ///
 /// # Errors
 /// Propagates STFT and parameter errors.
+// rcr-lint: unit(profile = Dimensionless, reason = "same linear-domain profile contract as subtract_spectrum")
 pub fn denoise(
     plan: &StftPlan,
     noisy: &[f64],

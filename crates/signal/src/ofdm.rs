@@ -49,11 +49,13 @@ impl OfdmConfig {
     }
 
     /// Bits carried per OFDM symbol (QPSK: 2 per subcarrier).
+    // rcr-lint: unit(return = Count, reason = "a raw bit count per symbol, not a bit/s rate; multiply by symbol rate for throughput")
     pub fn bits_per_symbol(&self) -> usize {
         2 * self.subcarriers
     }
 
     /// Samples per OFDM symbol including the cyclic prefix.
+    // rcr-lint: unit(return = Count, reason = "raw sample count; divide by the sample rate for a duration")
     pub fn samples_per_symbol(&self) -> usize {
         self.subcarriers + self.cyclic_prefix
     }

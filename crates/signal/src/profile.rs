@@ -142,6 +142,7 @@ impl LibraryProfile {
     }
 
     /// Log-softmax as this profile's library computes it.
+    // rcr-lint: unit(return = Dimensionless, reason = "log-probabilities, a pure number — natural log, not the dB log10 family")
     pub fn log_softmax(&self, xs: &[f64]) -> Vec<f64> {
         if *self == LibraryProfile::NaiveKernels {
             naive_log_softmax(xs)

@@ -47,6 +47,7 @@ impl Spectrogram {
 
     /// Converts to decibels relative to the peak, clamped at `floor_db`
     /// (e.g. `-80.0`).
+    // rcr-lint: unit(floor_db = GainDb, reason = "dB relative to peak — a ratio in the log domain, the one sanctioned 10*log10 boundary of this type")
     pub fn to_db(&self, floor_db: f64) -> Spectrogram {
         let peak = self
             .data
@@ -70,6 +71,7 @@ impl Spectrogram {
     }
 
     /// Total power summed over the whole plane.
+    // rcr-lint: unit(return = PowerLinear, reason = "sums linear |X|^2 cells; summing a dB plane would be meaningless")
     pub fn total_power(&self) -> f64 {
         self.data.iter().flatten().sum()
     }

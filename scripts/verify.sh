@@ -42,11 +42,22 @@ fi
 
 echo "== rcr-lint (workspace static analysis) ==" >&2
 # Hard gate: the project-specific linter must report zero violations
-# across the lexical rules, the call-graph passes, and the dataflow
-# passes (unchecked-time-arithmetic, alloc-flow, float-reduction-order).
-# Its per-rule summary (including justified suppressions) goes to stderr.
-# CI sets RCR_LINT_FORMAT=github so findings annotate the PR diff.
+# across the lexical rules, the call-graph passes, the dataflow passes
+# (unchecked-time-arithmetic, alloc-flow, float-reduction-order), and
+# the unit-flow passes (db-linear-mix, unit-mismatch-at-call,
+# rate-count-mix). Its per-rule summary (including justified
+# suppressions) goes to stderr. CI sets RCR_LINT_FORMAT=github so
+# findings annotate the PR diff.
 cargo run -q --release -p rcr-lint -- "--format=${RCR_LINT_FORMAT:-human}"
+
+echo "== rcr-lint SARIF log (emit + parse check) ==" >&2
+# The SARIF artifact CI uploads must always be well-formed JSON, even
+# on a green run — emit it (|| true: a failing run above already
+# exited; here findings may legitimately exist under --no-baseline
+# consumers) and re-parse it with the linter's own JSON reader.
+sarif_log="$(pwd)/target/rcr-lint.sarif"
+cargo run -q --release -p rcr-lint -- --format=sarif > "$sarif_log" || true
+cargo run -q --release -p rcr-lint -- --check-json "$sarif_log"
 
 echo "== cargo fmt --check ==" >&2
 cargo fmt --check
