@@ -1,5 +1,5 @@
 //! Benchmark regression gate: compares a fresh `--save-json` result file
-//! against a committed baseline (`BENCH_6.json`) and reports violations.
+//! against a committed baseline (`BENCH_7.json`) and reports violations.
 //!
 //! Wall-clock comparisons use each benchmark's *lower-quartile* sample
 //! (`p25_ns`, falling back to `min_ns` then `mean_ns` for older
@@ -26,6 +26,13 @@
 //! * `"alloc_reductions": [{"lean": id, "rich": id, "max_fraction":
 //!   0.7}]` — the scratch path must allocate at most the given fraction
 //!   of the allocating path.
+//!
+//! A baseline may additionally declare `"required_groups": ["cholesky/",
+//! …]` — id prefixes that must be populated. A required prefix with no
+//! baseline entry, no current-run entry, or a current-run entry missing
+//! from the baseline is a hard error: benchmarks inside a required group
+//! can never be silently dropped from either side, and new benches added
+//! under the group must land a baseline entry in the same change.
 
 use rcr_lint::jsonio::{self, Value};
 use std::collections::BTreeMap;
@@ -65,6 +72,9 @@ pub struct BenchReport {
     pub speedups: Vec<SpeedupCheck>,
     /// Self-relative allocation-reduction assertions (baseline files only).
     pub alloc_reductions: Vec<AllocReductionCheck>,
+    /// Id prefixes whose coverage is mandatory on both sides (baseline
+    /// files only); see the module docs for the exact contract.
+    pub required_groups: Vec<String>,
 }
 
 /// Requires `slower.stat / faster.stat >= min_ratio` in the current run
@@ -174,6 +184,18 @@ impl BenchReport {
                 });
             }
         }
+        let mut required_groups = Vec::new();
+        if let Some(items) = root.get("required_groups").and_then(Value::as_arr) {
+            for item in items {
+                let prefix = item
+                    .as_str()
+                    .ok_or("required_groups entries must be strings")?;
+                if prefix.is_empty() {
+                    return Err("required_groups entries must be non-empty".into());
+                }
+                required_groups.push(prefix.to_string());
+            }
+        }
         Ok(BenchReport {
             results,
             alloc_counting: root
@@ -182,6 +204,7 @@ impl BenchReport {
                 .unwrap_or(false),
             speedups,
             alloc_reductions,
+            required_groups,
         })
     }
 }
@@ -236,6 +259,34 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, max_regression: f6
         }
     }
 
+    // Required-group coverage is a hard error in every direction: a
+    // prefix nobody populates means the group was dropped wholesale, and
+    // a current id under a required prefix without a baseline entry
+    // means a new bench landed without committing its baseline.
+    for prefix in &baseline.required_groups {
+        if !baseline.results.keys().any(|id| id.starts_with(prefix)) {
+            failures.push(format!(
+                "required-group: baseline declares prefix {prefix:?} but \
+                 contains no result under it"
+            ));
+        }
+        if !current.results.keys().any(|id| id.starts_with(prefix)) {
+            failures.push(format!(
+                "required-group: current run has no result under required \
+                 prefix {prefix:?}"
+            ));
+        }
+        for id in current.results.keys() {
+            if id.starts_with(prefix) && !baseline.results.contains_key(id) {
+                failures.push(format!(
+                    "required-group: current id {id:?} under required prefix \
+                     {prefix:?} has no baseline entry (add it to the \
+                     committed baseline)"
+                ));
+            }
+        }
+    }
+
     let Some(factor) = machine_factor(current, baseline) else {
         failures.push("coverage: no shared benchmark ids between runs".to_string());
         return failures;
@@ -262,7 +313,7 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, max_regression: f6
                     Some(cur_allocs) => failures.push(format!(
                         "alloc: {id} performs {cur_allocs} allocations per \
                          iteration, baseline pins {base_allocs} (update \
-                         BENCH_6.json if the change is intentional)"
+                         BENCH_7.json if the change is intentional)"
                     )),
                     None => failures.push(format!(
                         "alloc: {id} recorded no allocation count but the \
@@ -352,6 +403,7 @@ mod tests {
             alloc_counting: true,
             speedups: Vec::new(),
             alloc_reductions: Vec::new(),
+            required_groups: Vec::new(),
         }
     }
 
@@ -464,6 +516,74 @@ mod tests {
         );
         assert!(
             failures.iter().any(|f| f.contains("alloc-reduction:")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn required_groups_parse_and_reject_non_strings() {
+        let text = r#"{
+          "schema": "rcr-bench-v1",
+          "results": [{"id": "cholesky/blocked/96", "mean_ns": 10.0}],
+          "required_groups": ["cholesky/", "sdp/"]
+        }"#;
+        let r = BenchReport::parse(text).expect("parse");
+        assert_eq!(r.required_groups, vec!["cholesky/", "sdp/"]);
+        let bad = r#"{
+          "schema": "rcr-bench-v1",
+          "results": [{"id": "a", "mean_ns": 10.0}],
+          "required_groups": [3]
+        }"#;
+        assert!(BenchReport::parse(bad).is_err());
+        let empty = r#"{
+          "schema": "rcr-bench-v1",
+          "results": [{"id": "a", "mean_ns": 10.0}],
+          "required_groups": [""]
+        }"#;
+        assert!(BenchReport::parse(empty).is_err());
+    }
+
+    #[test]
+    fn required_group_coverage_is_a_hard_error_in_every_direction() {
+        let mut baseline = report(&[("cholesky/blocked/96", 100.0, None), ("other", 50.0, None)]);
+        baseline.required_groups.push("cholesky/".to_string());
+
+        // Fully covered: no failures.
+        let good = report(&[("cholesky/blocked/96", 100.0, None), ("other", 50.0, None)]);
+        assert!(compare(&good, &baseline, 0.25).is_empty());
+
+        // Current run dropped the whole group.
+        let dropped = report(&[("other", 50.0, None)]);
+        let failures = compare(&dropped, &baseline, 0.25);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("required-group") && f.contains("no result under required")),
+            "{failures:?}"
+        );
+
+        // Current run grew a bench under the group with no baseline entry.
+        let grown = report(&[
+            ("cholesky/blocked/96", 100.0, None),
+            ("cholesky/blocked/128", 180.0, None),
+            ("other", 50.0, None),
+        ]);
+        let failures = compare(&grown, &baseline, 0.25);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("required-group") && f.contains("no baseline entry")),
+            "{failures:?}"
+        );
+
+        // Baseline declares a prefix it does not itself populate.
+        let mut hollow = report(&[("other", 50.0, None)]);
+        hollow.required_groups.push("cholesky/".to_string());
+        let failures = compare(&good, &hollow, 0.25);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("required-group") && f.contains("contains no result")),
             "{failures:?}"
         );
     }

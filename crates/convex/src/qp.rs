@@ -228,17 +228,46 @@ impl QpProblem {
         self.solve_with(settings, Some(warm), None)
     }
 
-    /// Factorizes the condensed KKT matrix `P + σI + ρAᵀA` for the given
-    /// penalty parameters. The factor can be passed back to
-    /// [`QpProblem::solve_with`] to skip refactorization, and is what the
-    /// warm-start cache stores per fingerprint.
-    pub(crate) fn kkt_factor(&self, rho: f64, sigma: f64) -> Result<Cholesky, ConvexError> {
+    /// Assembles the condensed KKT matrix `P + σI + ρAᵀA` without
+    /// factorizing it. Exposed so batch planners (the serve robust path)
+    /// can assemble the KKT systems of many independent requests and push
+    /// them through `rcr_linalg::BatchFactor::cholesky_batch` together,
+    /// then hand each factor back via [`QpProblem::solve_prefactored`].
+    ///
+    /// # Errors
+    /// [`ConvexError::DimensionMismatch`] if `AᵀA` cannot be formed (not
+    /// reachable for a validated problem).
+    pub fn kkt_matrix(&self, rho: f64, sigma: f64) -> Result<Matrix, ConvexError> {
         let n = self.num_vars();
         let ata = self.a.transpose().matmul(&self.a)?;
         let mut kkt = &self.p + &(&ata * rho);
         for i in 0..n {
             kkt[(i, i)] += sigma;
         }
+        Ok(kkt)
+    }
+
+    /// Solves with a caller-supplied KKT factorization, skipping the
+    /// per-solve refactorize. `factor` must factor exactly
+    /// [`QpProblem::kkt_matrix`]`(settings.rho, settings.sigma)` for this
+    /// problem — typically produced by a batched pre-factor phase.
+    ///
+    /// # Errors
+    /// Same as [`QpProblem::solve`].
+    pub fn solve_prefactored(
+        &self,
+        settings: &QpSettings,
+        factor: &Cholesky,
+    ) -> Result<QpSolution, ConvexError> {
+        self.solve_with(settings, None, Some(factor))
+    }
+
+    /// Factorizes the condensed KKT matrix `P + σI + ρAᵀA` for the given
+    /// penalty parameters. The factor can be passed back to
+    /// [`QpProblem::solve_with`] to skip refactorization, and is what the
+    /// warm-start cache stores per fingerprint.
+    pub(crate) fn kkt_factor(&self, rho: f64, sigma: f64) -> Result<Cholesky, ConvexError> {
+        let kkt = self.kkt_matrix(rho, sigma)?;
         Cholesky::new(&kkt)
             .map_err(|_| ConvexError::NotConvex("P + σI + ρAᵀA is not positive definite".into()))
     }

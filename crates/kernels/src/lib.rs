@@ -26,9 +26,14 @@
 //! with a reason. Kernels write into caller-provided slices; the only
 //! allocation sites live in [`Scratch`]'s cold checkout path.
 
+pub mod factor;
 pub mod gemm;
 pub mod scratch;
 
+pub use factor::{
+    cholesky, cholesky_unblocked, cholesky_with_block, eigh, eigh_with_block, qr, qr_thin_q,
+    qr_unblocked, qr_with_block, FACTOR_NB,
+};
 pub use gemm::{
     axpy, dot, gemm, gemm_naive, gemv, gemv_bias, gemv_t, mul_into, norm_inf_diff, MR, NR,
 };

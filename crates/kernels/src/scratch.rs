@@ -22,6 +22,7 @@
 pub struct Scratch {
     f64s: Vec<Vec<f64>>,
     pairs: Vec<Vec<(f64, f64)>>,
+    mats: Vec<Vec<f64>>,
     checkouts: u64,
     cold: u64,
 }
@@ -72,6 +73,34 @@ impl Scratch {
         self.pairs.push(buf);
     }
 
+    /// Checks out a 2-D (row-major `rows x cols`) panel buffer, every
+    /// element initialised to `fill`.
+    ///
+    /// Matrix-shaped checkouts draw from their own pool, separate from
+    /// [`Scratch::take_f64`]: panel buffers are typically much larger than
+    /// the vector workspaces interleaved with them, and sharing one LIFO
+    /// pool would let a small vector checkout walk off with a panel-sized
+    /// capacity (and vice versa), re-triggering cold allocations every
+    /// iteration. Counted by the same checkout/cold-alloc counters.
+    pub fn take_mat(&mut self, rows: usize, cols: usize, fill: f64) -> Vec<f64> {
+        let len = rows * cols;
+        self.checkouts += 1;
+        // Cold-path pool refill (`Vec::default` when the pool is empty);
+        // steady state reuses pooled capacity.
+        let mut buf = self.mats.pop().unwrap_or_default();
+        if buf.capacity() < len {
+            self.cold += 1;
+        }
+        buf.clear();
+        buf.resize(len, fill);
+        buf
+    }
+
+    /// Returns a buffer obtained from [`Scratch::take_mat`] to the pool.
+    pub fn give_mat(&mut self, buf: Vec<f64>) {
+        self.mats.push(buf);
+    }
+
     /// Total checkouts served over the pool's lifetime.
     pub fn checkouts(&self) -> u64 {
         self.checkouts
@@ -86,7 +115,7 @@ impl Scratch {
 
     /// Number of buffers currently resting in the pool.
     pub fn pooled(&self) -> usize {
-        self.f64s.len() + self.pairs.len()
+        self.f64s.len() + self.pairs.len() + self.mats.len()
     }
 
     /// Drops all pooled buffers and zeroes the counters, returning the pool
@@ -94,6 +123,7 @@ impl Scratch {
     pub fn reset(&mut self) {
         self.f64s = Vec::default();
         self.pairs = Vec::default();
+        self.mats = Vec::default();
         self.checkouts = 0;
         self.cold = 0;
     }
@@ -140,6 +170,55 @@ mod tests {
         assert!(s.cold_allocs() > cold);
         s.give_f64(b);
         assert_eq!(s.pooled(), 1);
+    }
+
+    #[test]
+    fn matrix_checkouts_pin_counter_accounting() {
+        // The 2-D checkout path must hit the same counters as the vector
+        // paths: one checkout per take, one cold alloc per capacity miss,
+        // zero cold allocs once warm. Pinned exactly so pool regressions
+        // (e.g. a panel buffer bypassing the pool) are visible.
+        let mut s = Scratch::new();
+        let panel = s.take_mat(8, 6, 0.0);
+        assert_eq!(panel.len(), 48);
+        assert!(panel.iter().all(|&v| v == 0.0));
+        assert_eq!((s.checkouts(), s.cold_allocs()), (1, 1));
+        s.give_mat(panel);
+
+        // Same-size re-checkout: served warm.
+        let panel = s.take_mat(8, 6, 1.0);
+        assert!(panel.iter().all(|&v| v == 1.0));
+        assert_eq!((s.checkouts(), s.cold_allocs()), (2, 1));
+        s.give_mat(panel);
+
+        // Smaller panel reuses the pooled capacity; larger one goes cold.
+        let small = s.take_mat(2, 3, 0.0);
+        assert_eq!((s.checkouts(), s.cold_allocs()), (3, 1));
+        s.give_mat(small);
+        let big = s.take_mat(32, 32, 0.0);
+        assert_eq!((s.checkouts(), s.cold_allocs()), (4, 2));
+        s.give_mat(big);
+        assert_eq!(s.pooled(), 1);
+    }
+
+    #[test]
+    fn matrix_pool_is_separate_from_vector_pool() {
+        // A panel checkout must never be served from (or donate capacity
+        // to) the 1-D pool: interleaved small vector checkouts would
+        // otherwise steal panel-sized capacity and force a cold alloc on
+        // every factorization pass.
+        let mut s = Scratch::new();
+        let panel = s.take_mat(16, 16, 0.0);
+        s.give_mat(panel);
+        let cold = s.cold_allocs();
+        // A smaller f64 checkout must not pop the pooled panel…
+        let v = s.take_f64(4, 0.0);
+        assert_eq!(s.cold_allocs(), cold + 1, "take_f64 must not raid mats");
+        s.give_f64(v);
+        // …so the panel is still warm.
+        let panel = s.take_mat(16, 16, 0.0);
+        assert_eq!(s.cold_allocs(), cold + 1, "panel re-checkout must be warm");
+        s.give_mat(panel);
     }
 
     #[test]

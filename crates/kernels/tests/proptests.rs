@@ -6,7 +6,10 @@
 //! NaN/±inf propagation and signed zeros.
 
 use proptest::prelude::*;
-use rcr_kernels::{axpy, dot, gemm, gemm_naive, gemv, gemv_bias, gemv_t, norm_inf_diff};
+use rcr_kernels::{
+    axpy, cholesky_unblocked, cholesky_with_block, dot, eigh_with_block, gemm, gemm_naive, gemv,
+    gemv_bias, gemv_t, norm_inf_diff, qr_thin_q, qr_unblocked, qr_with_block, Scratch, FACTOR_NB,
+};
 
 const MAX_M: usize = 13;
 const MAX_K: usize = 40;
@@ -188,5 +191,125 @@ proptest! {
         let diff: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
         let want_inf = diff.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         prop_assert_eq!(norm_inf_diff(&a, &b).to_bits(), want_inf.to_bits());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocked factorizations vs unblocked references
+// ---------------------------------------------------------------------
+
+/// Builds an SPD matrix G·Gᵀ/n + I from a raw coefficient pool.
+fn spd_from_pool(n: usize, pool: &[f64]) -> Vec<f64> {
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += pool[k * n + i] * pool[k * n + j];
+            }
+            a[i * n + j] = s / n as f64 + if i == j { 1.0 } else { 0.0 };
+        }
+    }
+    a
+}
+
+/// Sizes straddling the default panel width: below, exactly at, one past,
+/// and a non-multiple beyond `FACTOR_NB`.
+const STRADDLE_NS: [usize; 5] = [7, FACTOR_NB - 1, FACTOR_NB, FACTOR_NB + 1, FACTOR_NB + 13];
+const MAX_STRADDLE_N: usize = FACTOR_NB + 13;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn blocked_cholesky_is_bit_identical(
+        size_idx in 0usize..STRADDLE_NS.len(),
+        nb in 1usize..=2 * FACTOR_NB,
+        pool in prop::collection::vec(-1.0f64..1.0, MAX_STRADDLE_N * MAX_STRADDLE_N),
+    ) {
+        let n = STRADDLE_NS[size_idx];
+        let a = spd_from_pool(n, &pool);
+        let mut unb = a.clone();
+        cholesky_unblocked(&mut unb, n, n, 0.0).unwrap();
+        let mut blk = a.clone();
+        cholesky_with_block(&mut blk, n, n, 0.0, nb).unwrap();
+        for i in 0..n {
+            for j in 0..=i {
+                prop_assert_eq!(
+                    blk[i * n + j].to_bits(),
+                    unb[i * n + j].to_bits(),
+                    "n={} nb={} ({},{})", n, nb, i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_cholesky_pivot_index_matches_unblocked(
+        n in 2usize..=MAX_STRADDLE_N,
+        bad in 0usize..MAX_STRADDLE_N,
+        nb in 1usize..=2 * FACTOR_NB,
+        pool in prop::collection::vec(-1.0f64..1.0, MAX_STRADDLE_N * MAX_STRADDLE_N),
+    ) {
+        // Poison one diagonal entry so the factorization must fail, and
+        // require both paths to report the same (first) failing pivot.
+        let bad = bad % n;
+        let mut a = spd_from_pool(n, &pool);
+        a[bad * n + bad] = -1.0;
+        let mut unb = a.clone();
+        let want = cholesky_unblocked(&mut unb, n, n, 0.0);
+        let mut blk = a.clone();
+        let got = cholesky_with_block(&mut blk, n, n, 0.0, nb);
+        prop_assert!(want.is_err());
+        prop_assert_eq!(got, want, "n={} nb={} poisoned={}", n, nb, bad);
+    }
+
+    #[test]
+    fn blocked_qr_is_bit_identical(
+        size_idx in 0usize..STRADDLE_NS.len(),
+        extra_rows in 0usize..5,
+        nb in 1usize..=2 * FACTOR_NB,
+        pool in prop::collection::vec(-2.0f64..2.0, (MAX_STRADDLE_N + 4) * MAX_STRADDLE_N),
+        zero_stride in 2usize..7,
+    ) {
+        let n = STRADDLE_NS[size_idx];
+        let m = n + extra_rows;
+        let mut a = pool[..m * n].to_vec();
+        spice(&mut a, zero_stride, 0);
+        let mut r_ref = a.clone();
+        let mut vh_ref = vec![0.0; n];
+        let mut vt_ref = vec![0.0; n];
+        qr_unblocked(&mut r_ref, m, n, &mut vh_ref, &mut vt_ref);
+        let mut q_ref = vec![0.0; m * n];
+        qr_thin_q(&r_ref, m, n, &vh_ref, &vt_ref, &mut q_ref);
+
+        let mut scratch = Scratch::new();
+        let mut r = a.clone();
+        let mut vh = vec![0.0; n];
+        let mut vt = vec![0.0; n];
+        qr_with_block(&mut r, m, n, &mut vh, &mut vt, &mut scratch, nb);
+        assert_bits_eq(&r, &r_ref)?;
+        let mut q = vec![0.0; m * n];
+        qr_thin_q(&r, m, n, &vh, &vt, &mut q);
+        assert_bits_eq(&q, &q_ref)?;
+    }
+
+    #[test]
+    fn banded_eigh_is_bit_identical(
+        size_idx in 0usize..STRADDLE_NS.len(),
+        nb in 1usize..=2 * FACTOR_NB,
+        pool in prop::collection::vec(-1.0f64..1.0, MAX_STRADDLE_N * MAX_STRADDLE_N),
+    ) {
+        let n = STRADDLE_NS[size_idx];
+        let a = spd_from_pool(n, &pool);
+        let mut scratch = Scratch::new();
+        let mut v_ref = a.clone();
+        let mut vals_ref = vec![0.0; n];
+        eigh_with_block(&mut v_ref, n, &mut vals_ref, &mut scratch, n).unwrap();
+        let mut v = a.clone();
+        let mut vals = vec![0.0; n];
+        eigh_with_block(&mut v, n, &mut vals, &mut scratch, nb).unwrap();
+        assert_bits_eq(&vals, &vals_ref)?;
+        assert_bits_eq(&v, &v_ref)?;
     }
 }

@@ -1,0 +1,203 @@
+//! Batched small-matrix factorizations over the deterministic worker pool.
+//!
+//! A serve batch is many *independent* 8×8–32×32 factorizations — one KKT
+//! Cholesky and one channel-Gram eigendecomposition per request. Factoring
+//! them one by one leaves the per-item O(n³) too small to amortize anything;
+//! [`BatchFactor`] runs them through [`rcr_runtime::parallel_map`] with one
+//! [`Scratch`](rcr_kernels::Scratch) pool per worker slot, so in the steady
+//! state (warmed pools, same matrix sizes) a whole batch performs zero heap
+//! allocation inside the factorization kernels.
+//!
+//! Results are bit-identical to factoring the items sequentially: each item
+//! is factored by the same kernel on its own data, parallelism is only
+//! across items, and the scratch pools never influence values — pinned by
+//! the batch-vs-sequential proptests in `tests/batch_identity.rs`.
+
+use std::sync::Mutex;
+
+use crate::{Cholesky, LinalgError, Matrix, SymmetricEigen};
+
+/// Reusable context for batched factorizations.
+///
+/// Holds one scratch pool per worker slot. Keep the value alive across
+/// batches: the pools warm up on the first batch and serve every later
+/// checkout from recycled capacity.
+#[derive(Debug)]
+pub struct BatchFactor {
+    scratches: Vec<Mutex<rcr_kernels::Scratch>>,
+    workers: usize,
+}
+
+impl BatchFactor {
+    /// Creates a batch context for `workers` worker threads (values `<= 1`
+    /// run inline on the caller's thread). Allocates nothing until the
+    /// first batch warms the pools.
+    pub fn new(workers: usize) -> Self {
+        let slots = workers.max(1);
+        BatchFactor {
+            scratches: (0..slots)
+                .map(|_| Mutex::new(rcr_kernels::Scratch::new()))
+                .collect(),
+            workers: slots,
+        }
+    }
+
+    /// Number of worker threads batches are spread across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total cold allocations across all per-worker scratch pools — lets
+    /// tests pin that a warmed steady state no longer hits the allocator.
+    pub fn cold_allocs(&self) -> u64 {
+        self.scratches
+            .iter()
+            .map(|s| s.lock().map(|g| g.cold_allocs()).unwrap_or(0))
+            .sum()
+    }
+
+    /// Grabs any currently-free scratch pool, blocking on the first slot
+    /// only in the (impossible under `parallel_map`'s one-task-per-thread
+    /// dispatch) case that all are busy. Which pool an item gets never
+    /// affects its result, so determinism is preserved regardless.
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut rcr_kernels::Scratch) -> R) -> R {
+        for slot in &self.scratches {
+            if let Ok(mut guard) = slot.try_lock() {
+                return f(&mut guard);
+            }
+        }
+        // rcr-lint: allow(no-unwrap-in-lib, reason = "scratch mutexes cannot be poisoned: the closures run no user code that can panic mid-checkout")
+        let mut guard = self.scratches[0].lock().expect("scratch mutex poisoned");
+        f(&mut guard)
+    }
+
+    /// Factors every matrix in the batch with the blocked Cholesky kernel,
+    /// in parallel across items. Per-item results (including the failing
+    /// pivot index on indefinite input) are identical to calling
+    /// [`Cholesky::new`] sequentially.
+    pub fn cholesky_batch(&self, items: &[Matrix]) -> Vec<Result<Cholesky, LinalgError>> {
+        rcr_runtime::parallel_map(items, self.workers, |_, a| {
+            if !a.is_square() {
+                return Err(LinalgError::NotSquare {
+                    rows: a.rows(),
+                    cols: a.cols(),
+                });
+            }
+            if !a.is_finite() {
+                return Err(LinalgError::NotFinite);
+            }
+            let n = a.rows();
+            let tol = 1e-13 * a.max_abs().max(1.0);
+            let mut l = a.clone();
+            rcr_kernels::cholesky(l.as_mut_slice(), n, n, tol)
+                .map_err(|pivot| LinalgError::NotPositiveDefinite { pivot })?;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    l[(i, j)] = 0.0;
+                }
+            }
+            Ok(Cholesky::from_factor(l))
+        })
+    }
+
+    /// Eigendecomposes every symmetric matrix in the batch with the blocked
+    /// tridiagonalization + QL kernel (at *every* size — batches are
+    /// homogeneous enough that the Jacobi crossover would only split the
+    /// batch), in parallel across items with per-worker scratch. Per-item
+    /// results are identical to [`SymmetricEigen::new_blocked_with_scratch`]
+    /// called sequentially.
+    pub fn eigh_batch(&self, items: &[Matrix]) -> Vec<Result<SymmetricEigen, LinalgError>> {
+        rcr_runtime::parallel_map(items, self.workers, |_, a| {
+            self.with_scratch(|scratch| SymmetricEigen::new_blocked_with_scratch(a, scratch))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: usize) -> Matrix {
+        let g = Matrix::from_fn(n, n, |i, j| {
+            ((i * 29 + j * 13 + seed * 7 + 3) % 101) as f64 / 101.0 - 0.5
+        });
+        Matrix::from_fn(n, n, |i, j| {
+            (0..n).map(|k| g[(k, i)] * g[(k, j)]).sum::<f64>() / n as f64
+                + if i == j { 1.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn batch_cholesky_matches_sequential_bitwise() {
+        let items: Vec<Matrix> = (0..12).map(|s| spd(8 + (s % 3) * 8, s)).collect();
+        for workers in [1usize, 4] {
+            let batch = BatchFactor::new(workers);
+            let got = batch.cholesky_batch(&items);
+            for (item, res) in items.iter().zip(&got) {
+                let want = Cholesky::new(item).unwrap();
+                let g = res.as_ref().unwrap().factor();
+                let n = item.rows();
+                for i in 0..n {
+                    for j in 0..n {
+                        assert_eq!(g[(i, j)].to_bits(), want.factor()[(i, j)].to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_cholesky_reports_per_item_pivots() {
+        let good = spd(8, 1);
+        let mut bad = spd(8, 2);
+        bad[(5, 5)] = -3.0;
+        let batch = BatchFactor::new(4);
+        let res = batch.cholesky_batch(&[good, bad]);
+        assert!(res[0].is_ok());
+        assert!(matches!(
+            res[1],
+            Err(LinalgError::NotPositiveDefinite { pivot: 5 })
+        ));
+    }
+
+    #[test]
+    fn batch_eigh_matches_sequential_bitwise() {
+        let items: Vec<Matrix> = (0..8).map(|s| spd(16, s)).collect();
+        let mut scratch = rcr_kernels::Scratch::new();
+        let want: Vec<SymmetricEigen> = items
+            .iter()
+            .map(|a| SymmetricEigen::new_blocked_with_scratch(a, &mut scratch).unwrap())
+            .collect();
+        for workers in [1usize, 4] {
+            let batch = BatchFactor::new(workers);
+            let got = batch.eigh_batch(&items);
+            for (g, w) in got.iter().zip(&want) {
+                let g = g.as_ref().unwrap();
+                for (a, b) in g.eigenvalues().iter().zip(w.eigenvalues()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                let n = w.eigenvalues().len();
+                for i in 0..n {
+                    for j in 0..n {
+                        assert_eq!(
+                            g.eigenvectors()[(i, j)].to_bits(),
+                            w.eigenvectors()[(i, j)].to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warmed_batches_stop_allocating_scratch() {
+        let items: Vec<Matrix> = (0..6).map(|s| spd(12, s)).collect();
+        let batch = BatchFactor::new(1);
+        batch.eigh_batch(&items);
+        let cold = batch.cold_allocs();
+        for _ in 0..3 {
+            batch.eigh_batch(&items);
+        }
+        assert_eq!(batch.cold_allocs(), cold, "warm batches must not allocate");
+    }
+}

@@ -26,11 +26,51 @@ pub struct Cholesky {
 impl Cholesky {
     /// Factorizes a symmetric positive definite matrix.
     ///
+    /// Delegates to the blocked right-looking kernel in `rcr-kernels` at
+    /// every size: the blocked factorization is bit-identical to the
+    /// historical unblocked loop (kept as [`Cholesky::new_unblocked`]), so
+    /// there is no crossover threshold to tune — blocking degenerates to
+    /// the reference loop for `n` at or below the panel width and wins
+    /// above it.
+    ///
     /// # Errors
     /// * [`LinalgError::NotSquare`] for non-square input.
     /// * [`LinalgError::NotFinite`] for NaN/inf entries.
-    /// * [`LinalgError::NotPositiveDefinite`] when a pivot is non-positive.
+    /// * [`LinalgError::NotPositiveDefinite`] when a pivot is non-positive;
+    ///   `pivot` reports the first offending column, identically in the
+    ///   blocked and unblocked paths.
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let n = a.rows();
+        let tol = 1e-13 * a.max_abs().max(1.0);
+        let mut l = a.clone();
+        rcr_kernels::cholesky(l.as_mut_slice(), n, n, tol)
+            .map_err(|pivot| LinalgError::NotPositiveDefinite { pivot })?;
+        // The kernel factors in place and leaves the strict upper triangle
+        // holding the input's entries; zero it so `factor()` is a clean L.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                l[(i, j)] = 0.0;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The historical unblocked left-looking factorization, retained as the
+    /// bit-identity oracle for [`Cholesky::new`] (equivalence is pinned by
+    /// proptests) and as the baseline leg of the `cholesky/` bench group.
+    ///
+    /// # Errors
+    /// Identical to [`Cholesky::new`], including the reported pivot index.
+    pub fn new_unblocked(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 rows: a.rows(),
@@ -49,7 +89,7 @@ impl Cholesky {
                 d -= l[(j, k)] * l[(j, k)];
             }
             if d <= tol {
-                return Err(LinalgError::NotPositiveDefinite);
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
             }
             let dj = d.sqrt();
             l[(j, j)] = dj;
@@ -62,6 +102,14 @@ impl Cholesky {
             }
         }
         Ok(Cholesky { l })
+    }
+
+    /// Builds a factorization directly from an already-computed
+    /// lower-triangular factor (row-major, strict upper triangle zero).
+    /// Used by the batched factorization path, which runs the kernel on raw
+    /// buffers. No validation is performed.
+    pub(crate) fn from_factor(l: Matrix) -> Self {
+        Cholesky { l }
     }
 
     /// The lower-triangular factor `L`.
@@ -168,7 +216,7 @@ impl Cholesky {
                 ljj * ljj - w[j] * w[j]
             };
             if r2 <= tol * tol || !r2.is_finite() {
-                return Err(LinalgError::NotPositiveDefinite);
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
             }
             let r = r2.sqrt();
             let c = r / ljj;
@@ -333,8 +381,65 @@ mod tests {
         let a = Matrix::from_diag(&[1.0, -1.0]);
         assert!(matches!(
             a.cholesky(),
-            Err(LinalgError::NotPositiveDefinite)
+            Err(LinalgError::NotPositiveDefinite { .. })
         ));
+    }
+
+    #[test]
+    fn cholesky_reports_first_nonpositive_pivot() {
+        // Indefinite with the sign structure chosen so a naive "last pivot
+        // visited" bug would report 2: the leading 1x1 minor is positive,
+        // the 2x2 minor is negative (pivot 1 fails), and the (2,2) entry is
+        // large and positive. The error must carry pivot index 1.
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.0], &[2.0, 1.0 - 1e-6, 0.0], &[0.0, 0.0, 9.0]])
+            .unwrap();
+        match a.cholesky() {
+            Err(LinalgError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 1),
+            other => panic!("expected NotPositiveDefinite {{ pivot: 1 }}, got {other:?}"),
+        }
+        // A matrix that fails immediately reports pivot 0.
+        let b = Matrix::from_diag(&[-1.0, 5.0]);
+        match b.cholesky() {
+            Err(LinalgError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 0),
+            other => panic!("expected NotPositiveDefinite {{ pivot: 0 }}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_and_unblocked_agree_bitwise_including_pivots() {
+        // Deterministic SPD matrix large enough to exercise multiple panels.
+        let n = 70;
+        let g = Matrix::from_fn(n, n, |i, j| {
+            ((i * 31 + j * 17 + 5) % 97) as f64 / 97.0 - 0.5
+        });
+        let a = Matrix::from_fn(n, n, |i, j| {
+            (0..n).map(|k| g[(k, i)] * g[(k, j)]).sum::<f64>() / n as f64
+                + if i == j { 1.0 } else { 0.0 }
+        });
+        let blocked = Cholesky::new(&a).unwrap();
+        let unblocked = Cholesky::new_unblocked(&a).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    blocked.factor()[(i, j)].to_bits(),
+                    unblocked.factor()[(i, j)].to_bits(),
+                    "factor mismatch at ({i},{j})"
+                );
+            }
+        }
+        // Poison a diagonal entry mid-matrix: both paths must report the
+        // same first failing pivot.
+        for bad in [0usize, 1, 33, 64, n - 1] {
+            let mut p = a.clone();
+            p[(bad, bad)] = -2.0;
+            let eb = Cholesky::new(&p).expect_err("blocked must fail");
+            let eu = Cholesky::new_unblocked(&p).expect_err("unblocked must fail");
+            assert_eq!(eb, eu, "pivot divergence with poisoned diag {bad}");
+            assert!(matches!(
+                eb,
+                LinalgError::NotPositiveDefinite { pivot } if pivot == bad
+            ));
+        }
     }
 
     #[test]
@@ -410,7 +515,7 @@ mod tests {
         let before = ch.factor().clone();
         // A - 2·e0·e0ᵀ has a negative eigenvalue.
         let err = ch.rank_one_update(&[2.0f64.sqrt(), 0.0], -1.0);
-        assert!(matches!(err, Err(LinalgError::NotPositiveDefinite)));
+        assert!(matches!(err, Err(LinalgError::NotPositiveDefinite { .. })));
         for i in 0..2 {
             for j in 0..2 {
                 assert_eq!(ch.factor()[(i, j)], before[(i, j)]);

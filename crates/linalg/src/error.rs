@@ -21,7 +21,13 @@ pub enum LinalgError {
     /// The matrix is singular (or numerically singular) to working precision.
     Singular,
     /// A symmetric positive definite matrix was required (e.g. Cholesky).
-    NotPositiveDefinite,
+    NotPositiveDefinite {
+        /// Column index of the *first* non-positive pivot encountered —
+        /// i.e. the order of the largest positive-definite leading
+        /// principal minor. Diagnostic only: regularization heuristics use
+        /// it to report how far a KKT assembly got before going indefinite.
+        pivot: usize,
+    },
     /// An iterative kernel failed to converge within its iteration budget.
     NonConvergence {
         /// Number of iterations performed before giving up.
@@ -43,8 +49,11 @@ impl fmt::Display for LinalgError {
                 write!(f, "square matrix required, got {rows}x{cols}")
             }
             LinalgError::Singular => write!(f, "matrix is singular to working precision"),
-            LinalgError::NotPositiveDefinite => {
-                write!(f, "matrix is not symmetric positive definite")
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(
+                    f,
+                    "matrix is not symmetric positive definite (first non-positive pivot at column {pivot})"
+                )
             }
             LinalgError::NonConvergence { iterations } => {
                 write!(

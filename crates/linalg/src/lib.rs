@@ -13,9 +13,14 @@
 //!   definite / indefinite) matrices; the cheapest positive-definiteness
 //!   test used by the convex solvers.
 //! * [`QrDecomposition`] — Householder QR and least-squares solves.
-//! * [`SymmetricEigen`] — cyclic Jacobi eigendecomposition of symmetric
-//!   matrices, the workhorse behind [`Matrix::psd_projection`] (projection
-//!   onto the positive semidefinite cone) needed by the SDP solver.
+//! * [`SymmetricEigen`] — eigendecomposition of symmetric matrices
+//!   (cyclic Jacobi below [`EIGH_CROSSOVER`], blocked tridiagonalization +
+//!   implicit QL above), the workhorse behind [`Matrix::psd_projection`]
+//!   (projection onto the positive semidefinite cone) needed by the SDP
+//!   solver.
+//! * [`BatchFactor`] — runs many independent small Cholesky/eigen
+//!   factorizations across the `rcr-runtime` worker pool with per-worker
+//!   scratch, amortizing per-request KKT factors in the serve batch path.
 //!
 //! # Example
 //!
@@ -35,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cholesky;
 mod eigen;
 mod error;
@@ -43,8 +49,9 @@ mod matrix;
 mod qr;
 pub mod vector;
 
+pub use batch::BatchFactor;
 pub use cholesky::{Cholesky, Ldlt};
-pub use eigen::SymmetricEigen;
+pub use eigen::{SymmetricEigen, EIGH_CROSSOVER};
 pub use error::LinalgError;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;

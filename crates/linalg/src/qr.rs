@@ -27,6 +27,13 @@ pub struct QrDecomposition {
 impl QrDecomposition {
     /// Factorizes `a` (requires `rows >= cols`).
     ///
+    /// Delegates to the blocked compact-WY Householder kernel in
+    /// `rcr-kernels` at every size. The returned `R` is bit-identical to
+    /// the historical unblocked loop; `Q` is accumulated backward from the
+    /// stored reflectors onto a thin identity (`O(m·n²)` instead of the old
+    /// full `m x m` product), which agrees with the old `Q` to rounding —
+    /// all downstream consumers are tolerance-based least-squares solves.
+    ///
     /// # Errors
     /// * [`LinalgError::InvalidInput`] when `rows < cols`.
     /// * [`LinalgError::NotFinite`] for NaN/inf entries.
@@ -40,60 +47,22 @@ impl QrDecomposition {
         if !a.is_finite() {
             return Err(LinalgError::NotFinite);
         }
-        let mut r = a.clone();
-        // Accumulate Q as a full m x m product, take the thin part at the end.
-        let mut q = Matrix::identity(m);
-        for k in 0..n {
-            // Householder vector for column k.
-            let mut norm = 0.0;
-            for i in k..m {
-                norm += r[(i, k)] * r[(i, k)];
-            }
-            let norm = norm.sqrt();
-            if norm == 0.0 {
-                continue;
-            }
-            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
-            let mut v = vec![0.0; m];
-            v[k] = r[(k, k)] - alpha;
-            for i in (k + 1)..m {
-                v[i] = r[(i, k)];
-            }
-            let vtv: f64 = v.iter().map(|x| x * x).sum();
-            if vtv == 0.0 {
-                continue;
-            }
-            // Apply H = I - 2 v v^T / (v^T v) to R (columns k..n).
-            for c in k..n {
-                let mut dot = 0.0;
-                for i in k..m {
-                    dot += v[i] * r[(i, c)];
-                }
-                let f = 2.0 * dot / vtv;
-                for i in k..m {
-                    let sub = f * v[i];
-                    r[(i, c)] -= sub;
-                }
-            }
-            // Accumulate into Q: Q = Q * H.
-            for rr in 0..m {
-                let mut dot = 0.0;
-                for i in k..m {
-                    dot += q[(rr, i)] * v[i];
-                }
-                let f = 2.0 * dot / vtv;
-                for i in k..m {
-                    let sub = f * v[i];
-                    q[(rr, i)] -= sub;
-                }
+        let mut rv = a.clone();
+        let mut vhead = vec![0.0; n];
+        let mut vtv = vec![0.0; n];
+        let mut scratch = rcr_kernels::Scratch::new();
+        rcr_kernels::qr(rv.as_mut_slice(), m, n, &mut vhead, &mut vtv, &mut scratch);
+        let mut q = Matrix::zeros(m, n);
+        rcr_kernels::qr_thin_q(rv.as_slice(), m, n, &vhead, &vtv, q.as_mut_slice());
+        // The strict lower triangle of `rv` stores the Householder vectors;
+        // the thin R is its upper n x n triangle.
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = rv[(i, j)];
             }
         }
-        let q_thin = q.submatrix(0, m, 0, n);
-        let r_thin = r.submatrix(0, n, 0, n);
-        Ok(QrDecomposition {
-            q: q_thin,
-            r: r_thin,
-        })
+        Ok(QrDecomposition { q, r })
     }
 
     /// The thin orthonormal factor `Q` (`m x n`).

@@ -21,6 +21,9 @@
 //!   allocation, implementing [`rcr_minlp::RelaxableProblem`] for exact
 //!   branch-and-bound, plus a PSO metaheuristic adapter and a greedy
 //!   baseline.
+//! * [`robust`] — the robust convex relaxation of the RRA assignment
+//!   (uncertainty margin from the gain-profile Gram spectrum, box QP,
+//!   round + repair), with a batched pre-factorization path for serving.
 //! * [`multirat`] — the multi-RAT assignment problem with per-RAT
 //!   capacities.
 //! * [`workload`] — scenario generators with eMBB/URLLC/mMTC QoS classes.
@@ -46,6 +49,7 @@ pub mod admission;
 pub mod channel;
 pub mod multirat;
 pub mod power;
+pub mod robust;
 pub mod rra;
 pub mod scheduler;
 pub mod workload;

@@ -337,9 +337,22 @@ pub fn solve_greedy(problem: &RraProblem) -> Result<RraSolution, QosError> {
             .ok_or_else(|| QosError::InvalidParameter("problem has no users".into()))?;
         owners.push(owner);
     }
-    let mut best = problem.evaluate(&owners)?;
-    // Repair: for each unsatisfied user, steal the RB where that user's
-    // gain is highest among blocks owned by satisfied users.
+    let best = problem.evaluate(&owners)?;
+    repair_min_rates(problem, &mut owners, best)
+}
+
+/// Repair pass shared by the greedy and robust solvers: while some user
+/// misses its minimum rate, hand the most-deficient user its best-gain
+/// block among those it does not own, re-evaluating after each steal
+/// (bounded by one round per resource block).
+///
+/// # Errors
+/// Propagates evaluation errors.
+pub(crate) fn repair_min_rates(
+    problem: &RraProblem,
+    owners: &mut [usize],
+    mut best: RraSolution,
+) -> Result<RraSolution, QosError> {
     for _round in 0..problem.resource_blocks() {
         if best.qos_satisfied {
             break;
@@ -366,7 +379,7 @@ pub fn solve_greedy(problem: &RraProblem) -> Result<RraSolution, QosError> {
             });
         let Some(k) = candidate else { break };
         owners[k] = needy;
-        let sol = problem.evaluate(&owners)?;
+        let sol = problem.evaluate(owners)?;
         best = sol;
     }
     Ok(best)

@@ -25,24 +25,35 @@ pub enum SolverKind {
     Exact,
     /// Discrete PSO metaheuristic — near-optimal, tunable budget.
     Pso,
+    /// Robust convex relaxation — hedges the assignment against channel
+    /// uncertainty via a margin-discounted box QP whose KKT factor the
+    /// service pre-builds per batch through `rcr_linalg::BatchFactor`.
+    Robust,
 }
 
 impl SolverKind {
-    /// Canonical lower-case wire name (`"greedy"`, `"exact"`, `"pso"`).
+    /// Canonical lower-case wire name (`"greedy"`, `"exact"`, `"pso"`,
+    /// `"robust"`).
     pub fn name(&self) -> &'static str {
         match self {
             SolverKind::Greedy => "greedy",
             SolverKind::Exact => "exact",
             SolverKind::Pso => "pso",
+            SolverKind::Robust => "robust",
         }
     }
 
     /// Parses a wire name, case-insensitively.
     pub fn from_name(name: &str) -> Option<SolverKind> {
         let name = name.trim();
-        [SolverKind::Greedy, SolverKind::Exact, SolverKind::Pso]
-            .into_iter()
-            .find(|k| k.name().eq_ignore_ascii_case(name))
+        [
+            SolverKind::Greedy,
+            SolverKind::Exact,
+            SolverKind::Pso,
+            SolverKind::Robust,
+        ]
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
     }
 }
 
@@ -190,7 +201,12 @@ mod tests {
 
     #[test]
     fn solver_names_round_trip() {
-        for kind in [SolverKind::Greedy, SolverKind::Exact, SolverKind::Pso] {
+        for kind in [
+            SolverKind::Greedy,
+            SolverKind::Exact,
+            SolverKind::Pso,
+            SolverKind::Robust,
+        ] {
             assert_eq!(SolverKind::from_name(kind.name()), Some(kind));
             assert_eq!(
                 SolverKind::from_name(&kind.name().to_uppercase()),

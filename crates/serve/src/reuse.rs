@@ -120,6 +120,7 @@ fn key_of(solver: SolverKind, problem: &RraProblem) -> u128 {
         // Uncacheable; callers gate on `cacheable` first. Hashed under
         // its own seed anyway so a future change cannot alias Greedy.
         SolverKind::Pso => 0x0070_736f,
+        SolverKind::Robust => 0x726f_6275_7374,
     });
     d.u64(problem.users() as u64);
     d.u64(problem.resource_blocks() as u64);
@@ -141,7 +142,11 @@ fn key_of(solver: SolverKind, problem: &RraProblem) -> u128 {
 /// therefore be cached across requests).
 pub(crate) fn cacheable(solver: SolverKind) -> bool {
     match solver {
-        SolverKind::Greedy | SolverKind::Exact => true,
+        // Robust is a pure function of the problem too; a hit does waste
+        // the batch pre-factor built for the item, but serving the cached
+        // solution is still bit-identical and strictly cheaper than the
+        // QP solve it skips.
+        SolverKind::Greedy | SolverKind::Exact | SolverKind::Robust => true,
         // Seeded per request id: two requests with identical problems
         // legitimately produce different swarms.
         SolverKind::Pso => false,
@@ -389,6 +394,7 @@ mod tests {
     fn pso_is_not_cacheable() {
         assert!(cacheable(SolverKind::Greedy));
         assert!(cacheable(SolverKind::Exact));
+        assert!(cacheable(SolverKind::Robust));
         assert!(!cacheable(SolverKind::Pso));
     }
 }

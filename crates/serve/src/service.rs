@@ -29,6 +29,7 @@ use crate::reuse::{self, ReuseCache, ReuseConfig};
 use crate::ServeError;
 use rcr_minlp::BnbSettings;
 use rcr_pso::swarm::PsoSettings;
+use rcr_qos::robust::{self, RobustPlan};
 use rcr_qos::rra::{self, RraProblem, RraSolution};
 use rcr_qos::{QosClass, QosError};
 use rcr_runtime::{seed_stream, BatchSolve, WorkerPool};
@@ -87,6 +88,11 @@ struct WorkItem {
     problem: RraProblem,
     solver: SolverKind,
     request_id: u64,
+    /// Pre-built robust plan from the batch pre-factor phase; `None` for
+    /// non-robust items (and for robust items whose planning failed — the
+    /// dispatch falls back to an inline plan so the planning error
+    /// surfaces through the normal solve path).
+    plan: Option<RobustPlan>,
 }
 
 impl Engine {
@@ -127,6 +133,12 @@ impl Engine {
                 };
                 rra::solve_pso(&item.problem, &settings)
             }
+            SolverKind::Robust => match &item.plan {
+                // The batch pre-factor phase already built the KKT
+                // Cholesky; this solve runs the ADMM iterations only.
+                Some(plan) => robust::solve_robust(&item.problem, plan),
+                None => robust::solve_robust_auto(&item.problem),
+            },
         }
     }
 }
@@ -451,6 +463,30 @@ fn respond_expired(shared: &Shared, expired: Vec<Queued<Job>>, now: Instant) {
     }
 }
 
+/// The batch pre-factor phase: plans every robust item's relaxation in
+/// one `rcr_linalg::BatchFactor` pass (batched Gram eigendecompositions
+/// and KKT Cholesky factorizations across the pool's worker count), so the
+/// per-request factorizations amortize over the batch instead of running
+/// inside each item's solve. Items whose planning fails keep `plan: None`
+/// and fall back to the inline path, where the same error surfaces
+/// through the normal solve outcome.
+fn attach_robust_plans(shared: &Shared, items: &mut [WorkItem]) {
+    let robust_idx: Vec<usize> = items
+        .iter()
+        .enumerate()
+        .filter(|(_, it)| it.solver == SolverKind::Robust)
+        .map(|(i, _)| i)
+        .collect();
+    if robust_idx.is_empty() {
+        return;
+    }
+    let problems: Vec<&RraProblem> = robust_idx.iter().map(|&i| &items[i].problem).collect();
+    let plans = robust::plan_batch(&problems, shared.pool.workers());
+    for (&i, plan) in robust_idx.iter().zip(plans) {
+        items[i].plan = plan.ok();
+    }
+}
+
 /// Solves one drained batch on the pool and answers every entry.
 fn solve_batch(shared: &Shared, entries: Vec<Queued<Job>>) {
     let drained_at = Instant::now();
@@ -462,6 +498,7 @@ fn solve_batch(shared: &Shared, entries: Vec<Queued<Job>>) {
             problem: entry.item.problem,
             solver: entry.item.solver,
             request_id: entry.item.id,
+            plan: None,
         });
         meta.push((
             entry.item.id,
@@ -471,6 +508,7 @@ fn solve_batch(shared: &Shared, entries: Vec<Queued<Job>>) {
             entry.deadline_at,
         ));
     }
+    attach_robust_plans(shared, &mut items);
 
     let engine = Arc::clone(&shared.engine);
     let outputs = shared.pool.solve_batch_on(engine, items);
@@ -781,6 +819,53 @@ mod tests {
             }
             other => panic!("expected InvalidPolicy, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn robust_requests_solve_identically_at_any_worker_count() {
+        // The robust path adds a batch pre-factor phase; this pins that
+        // neither the phase nor the worker count leaks into solutions.
+        let solve_all = |workers: usize| -> Vec<u64> {
+            let config = ServiceConfig {
+                workers,
+                queue: QueuePolicy {
+                    embb: LanePolicy {
+                        capacity: 64,
+                        max_batch: 8,
+                        max_age: Duration::from_millis(100),
+                    },
+                    ..QueuePolicy::default()
+                },
+                ..ServiceConfig::default()
+            };
+            let service = Service::spawn(config).unwrap();
+            let client = service.client();
+            let tickets: Vec<Ticket> = (0..6)
+                .map(|i| {
+                    client.submit(SolveRequest {
+                        id: i,
+                        class: QosClass::Embb,
+                        deadline: Duration::from_secs(30),
+                        solver: SolverKind::Robust,
+                        payload: Payload::Scenario(ScenarioSpec {
+                            users: 3,
+                            resource_blocks: 6,
+                            seed: 40 + i,
+                        }),
+                    })
+                })
+                .collect();
+            let rates = tickets
+                .into_iter()
+                .map(|t| match t.wait().unwrap().outcome {
+                    Outcome::Solved(s) => s.solution.total_rate_bps.to_bits(),
+                    other => panic!("expected Solved, got {other:?}"),
+                })
+                .collect();
+            service.shutdown();
+            rates
+        };
+        assert_eq!(solve_all(1), solve_all(4));
     }
 
     #[test]
